@@ -1,0 +1,46 @@
+// Experiment E5 (Corollary to Theorem 1): the universal bound — any
+// connected factor graph sorts N^r keys in at most 18(r-1)^2 N + o(r^2 N)
+// steps via torus emulation.  The table shows each family's Theorem 1
+// time against the universal bound (the bound must dominate) and the
+// executable step count of the simulator for context.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/product_sort.hpp"
+#include "product/snake_order.hpp"
+
+namespace {
+
+using namespace prodsort;
+using bench::Table;
+using bench::fmt;
+
+}  // namespace
+
+int main() {
+  std::printf("E5: Corollary universal bound 18(r-1)^2 N\n\n");
+
+  Table table({"factor", "N", "r", "Theorem1 time", "18(r-1)^2 N",
+               "within bound", "exec steps"});
+  bool all_within = true;
+  for (const LabeledFactor& f : standard_factors()) {
+    for (int r = 2; r <= 5; ++r) {
+      const ProductGraph pg(f, r);
+      if (pg.num_nodes() > 200000) continue;
+      Machine m(pg, bench::random_keys(pg.num_nodes(), 2u));
+      const SortReport report = sort_product_network(m);
+      const double bound = corollary_bound(f.size(), r);
+      const bool within = report.cost.formula_time <= bound + 1e-9;
+      all_within = all_within && within;
+      table.add_row({f.name, fmt(f.size()), fmt(r),
+                     fmt(report.cost.formula_time), fmt(bound),
+                     within ? "yes" : "NO", fmt(m.cost().exec_steps)});
+    }
+  }
+  table.print();
+  table.maybe_export_csv("corollary_bound");
+  std::printf("\nAll families within the universal bound: %s\n",
+              all_within ? "yes" : "NO");
+  return all_within ? 0 : 1;
+}

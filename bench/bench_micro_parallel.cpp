@@ -1,0 +1,58 @@
+// Experiment E12b: ParallelExecutor scaling — wall-clock of the full
+// network sort on a large grid as worker threads increase.  Results are
+// bit-identical across thread counts (disjoint phases); only the host
+// time changes.
+
+#include <benchmark/benchmark.h>
+
+#include "core/product_sort.hpp"
+#include "product/snake_order.hpp"
+
+namespace {
+
+using namespace prodsort;
+
+std::vector<Key> keys_for(const ProductGraph& pg) {
+  std::vector<Key> keys(static_cast<std::size_t>(pg.num_nodes()));
+  std::uint64_t x = 88172645463325252ull;
+  for (Key& k : keys) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    k = static_cast<Key>(x % 1000003);
+  }
+  return keys;
+}
+
+void BM_SortGridThreads(benchmark::State& state) {
+  const ProductGraph pg(labeled_path(16), 4);  // 65536 processors
+  const auto keys = keys_for(pg);
+  const int threads = static_cast<int>(state.range(0));
+  ParallelExecutor exec(threads);
+  for (auto _ : state) {
+    Machine m(pg, keys, &exec);
+    (void)sort_product_network(m);
+    benchmark::DoNotOptimize(m.keys().data());
+  }
+  state.SetItemsProcessed(state.iterations() * pg.num_nodes());
+}
+BENCHMARK(BM_SortGridThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ParallelForOverhead(benchmark::State& state) {
+  ParallelExecutor exec(static_cast<int>(state.range(0)));
+  std::vector<std::int64_t> data(1 << 16, 1);
+  for (auto _ : state) {
+    exec.parallel_for(static_cast<std::int64_t>(data.size()),
+                      [&](std::int64_t begin, std::int64_t end) {
+                        for (std::int64_t i = begin; i < end; ++i)
+                          data[static_cast<std::size_t>(i)] += 1;
+                      });
+    benchmark::DoNotOptimize(data.data());
+  }
+}
+BENCHMARK(BM_ParallelForOverhead)->Arg(1)->Arg(4)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+// Experiment E12a: hot-path microbenchmarks (google-benchmark) — the
+// addressing arithmetic and simulator primitives every phase relies on.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "core/s2/oracle_s2.hpp"
+#include "network/machine.hpp"
+#include "product/snake_order.hpp"
+
+namespace {
+
+using namespace prodsort;
+
+void BM_GrayTuple(benchmark::State& state) {
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  const int r = static_cast<int>(state.range(1));
+  const PNode total = pow_int(n, r);
+  std::vector<NodeId> tuple(static_cast<std::size_t>(r));
+  PNode rank = 0;
+  for (auto _ : state) {
+    gray_tuple(n, rank, tuple);
+    benchmark::DoNotOptimize(tuple.data());
+    rank = (rank + 1) % total;
+  }
+}
+BENCHMARK(BM_GrayTuple)->Args({2, 20})->Args({4, 10})->Args({10, 6});
+
+void BM_GrayRank(benchmark::State& state) {
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  const int r = static_cast<int>(state.range(1));
+  const PNode total = pow_int(n, r);
+  std::vector<NodeId> tuple(static_cast<std::size_t>(r));
+  PNode rank = 0;
+  for (auto _ : state) {
+    gray_tuple(n, rank, tuple);
+    benchmark::DoNotOptimize(gray_rank(n, tuple));
+    rank = (rank + 1) % total;
+  }
+}
+BENCHMARK(BM_GrayRank)->Args({2, 20})->Args({4, 10})->Args({10, 6});
+
+void BM_SnakeRankRoundTrip(benchmark::State& state) {
+  const ProductGraph pg(labeled_path(static_cast<NodeId>(state.range(0))),
+                        static_cast<int>(state.range(1)));
+  PNode rank = 0;
+  for (auto _ : state) {
+    const PNode node = node_at_snake_rank(pg, rank);
+    benchmark::DoNotOptimize(snake_rank(pg, node));
+    rank = (rank + 1) % pg.num_nodes();
+  }
+}
+BENCHMARK(BM_SnakeRankRoundTrip)->Args({4, 8})->Args({8, 5});
+
+void BM_CompareExchangePhase(benchmark::State& state) {
+  const ProductGraph pg(labeled_path(4), static_cast<int>(state.range(0)));
+  Machine m(pg, std::vector<Key>(static_cast<std::size_t>(pg.num_nodes()), 1));
+  std::vector<CEPair> pairs;
+  for (PNode v = 0; v + 1 < pg.num_nodes(); v += 2) pairs.push_back({v, v + 1});
+  for (auto _ : state) {
+    m.compare_exchange_step(pairs);
+    benchmark::DoNotOptimize(m.keys().data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(pairs.size()));
+}
+BENCHMARK(BM_CompareExchangePhase)->Arg(6)->Arg(8);
+
+void BM_OracleS2Phase(benchmark::State& state) {
+  const ProductGraph pg(labeled_path(static_cast<NodeId>(state.range(0))), 4);
+  std::vector<Key> keys(static_cast<std::size_t>(pg.num_nodes()));
+  std::mt19937 rng(1);
+  for (Key& k : keys) k = static_cast<Key>(rng());
+  Machine m(pg, std::move(keys));
+  const OracleS2 oracle;
+  const auto views = all_views(pg, 1, 2);
+  const std::vector<bool> desc(views.size(), false);
+  for (auto _ : state) {
+    oracle.sort_views(m, views, desc);
+    benchmark::DoNotOptimize(m.keys().data());
+  }
+  state.SetItemsProcessed(state.iterations() * pg.num_nodes());
+}
+BENCHMARK(BM_OracleS2Phase)->Arg(4)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

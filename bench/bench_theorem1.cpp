@@ -1,0 +1,53 @@
+// Experiment E4 (Lemma 3 + Theorem 1): phase counts and total time of the
+// network sort, measured on the simulator against the closed forms
+//   #S2 phases = (r-1)^2,  #routing phases = (r-1)(r-2),
+//   S_r(N) = (r-1)^2 S2(N) + (r-1)(r-2) R(N).
+// Every row must match exactly: the algorithm's phase schedule *is* the
+// formula.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/product_sort.hpp"
+#include "product/snake_order.hpp"
+
+namespace {
+
+using namespace prodsort;
+using bench::Table;
+using bench::fmt;
+
+}  // namespace
+
+int main() {
+  std::printf("E4: Theorem 1 — measured vs predicted (oracle S2 mode)\n\n");
+
+  Table table({"factor", "N", "r", "keys", "S2 phases", "pred", "R phases",
+               "pred", "time", "pred", "exact"});
+  bool all_exact = true;
+  for (const LabeledFactor& f : standard_factors()) {
+    for (int r = 2; r <= 6; ++r) {
+      const ProductGraph pg(f, r);
+      if (pg.num_nodes() > 200000) continue;
+      Machine m(pg, bench::random_keys(pg.num_nodes(), 1u));
+      const SortReport report = sort_product_network(m);
+      const bool sorted = m.snake_sorted(full_view(pg));
+      const bool exact =
+          sorted && report.cost.s2_phases == report.predicted.s2_phases &&
+          report.cost.routing_phases == report.predicted.routing_phases &&
+          report.cost.formula_time == report.predicted.formula_time;
+      all_exact = all_exact && exact;
+      table.add_row({f.name, fmt(f.size()), fmt(r), fmt(pg.num_nodes()),
+                     fmt(report.cost.s2_phases), fmt(report.predicted.s2_phases),
+                     fmt(report.cost.routing_phases),
+                     fmt(report.predicted.routing_phases),
+                     fmt(report.cost.formula_time),
+                     fmt(report.predicted.formula_time),
+                     exact ? "yes" : "NO"});
+    }
+  }
+  table.print();
+  table.maybe_export_csv("theorem1");
+  std::printf("\nAll rows exact: %s\n", all_exact ? "yes" : "NO");
+  return all_exact ? 0 : 1;
+}

@@ -1,0 +1,95 @@
+#pragma once
+
+// Shared helpers for the experiment benches: fixed-seed key generation,
+// simple fixed-width table printing, and wall-clock timing.  Every bench
+// prints a paper-vs-measured table for one experiment of DESIGN.md's
+// per-experiment index.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/multiway_merge.hpp"
+#include "product/gray_code.hpp"
+#include "render/csv.hpp"
+
+namespace prodsort::bench {
+
+inline std::vector<Key> random_keys(PNode count, unsigned seed) {
+  std::vector<Key> keys(static_cast<std::size_t>(count));
+  std::mt19937_64 rng(seed);
+  for (Key& k : keys) k = static_cast<Key>(rng() % 1000003);
+  return keys;
+}
+
+/// Millisecond wall-clock of a callable.
+template <typename F>
+double time_ms(F&& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(stop - start).count();
+}
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : widths_(headers.size()) {
+    for (std::size_t i = 0; i < headers.size(); ++i)
+      widths_[i] = headers[i].size() + 2;
+    rows_.push_back(std::move(headers));
+  }
+
+  void add_row(std::vector<std::string> cells) {
+    for (std::size_t i = 0; i < cells.size() && i < widths_.size(); ++i)
+      widths_[i] = std::max(widths_[i], cells[i].size() + 2);
+    rows_.push_back(std::move(cells));
+  }
+
+  void print() const {
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      for (std::size_t c = 0; c < rows_[r].size(); ++c)
+        std::printf("%-*s", static_cast<int>(widths_[c]), rows_[r][c].c_str());
+      std::printf("\n");
+      if (r == 0) {
+        std::size_t total = 0;
+        for (const auto w : widths_) total += w;
+        std::printf("%s\n", std::string(total, '-').c_str());
+      }
+    }
+  }
+
+  /// If the PRODSORT_CSV_DIR environment variable is set, also export
+  /// the table as <dir>/<name>.csv (machine-readable bench results).
+  void maybe_export_csv(const std::string& name) const {
+    const char* dir = std::getenv("PRODSORT_CSV_DIR");
+    if (dir == nullptr || rows_.empty()) return;
+    CsvWriter csv(rows_.front());
+    for (std::size_t r = 1; r < rows_.size(); ++r) {
+      auto row = rows_[r];
+      row.resize(rows_.front().size());  // pad ragged rows
+      csv.add_row(std::move(row));
+    }
+    const std::string path = std::string(dir) + "/" + name + ".csv";
+    csv.write(path);
+    std::printf("[csv exported to %s]\n", path.c_str());
+  }
+
+ private:
+  std::vector<std::size_t> widths_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.1f", v);
+  return buf;
+}
+
+inline std::string fmt(std::int64_t v) { return std::to_string(v); }
+inline std::string fmt(int v) { return std::to_string(v); }
+
+}  // namespace prodsort::bench

@@ -1,0 +1,55 @@
+// Bring your own interconnect: the algorithm needs nothing from a
+// factor graph beyond connectedness.  This example invents a small
+// irregular topology (a "kite": a clique with a tail), wraps it with
+// labeled_custom — which finds a sorted-order labeling and conservative
+// cost constants automatically — and sorts its 3-dimensional product.
+
+#include <algorithm>
+#include <cstdio>
+#include <random>
+
+#include "core/product_sort.hpp"
+#include "graph/graph_algos.hpp"
+#include "product/snake_order.hpp"
+
+using namespace prodsort;
+
+int main() {
+  // The kite: nodes 0-3 form K4, then a tail 3-4-5.
+  Graph kite(6);
+  for (NodeId a = 0; a < 4; ++a)
+    for (NodeId b = static_cast<NodeId>(a + 1); b < 4; ++b)
+      kite.add_edge(a, b);
+  kite.add_edge(3, 4);
+  kite.add_edge(4, 5);
+
+  const LabeledFactor factor = labeled_custom(std::move(kite), "kite");
+  std::printf("factor %s: N=%d, labeling=%s (dilation %d), S2=%.1f, R=%.1f\n",
+              factor.name.c_str(), factor.size(),
+              factor.hamiltonian ? "Hamiltonian path" : "Sekanina",
+              factor.dilation, factor.s2_cost, factor.routing_cost);
+
+  const ProductGraph pg(factor, 3);  // 216 processors
+  std::vector<Key> keys(static_cast<std::size_t>(pg.num_nodes()));
+  std::mt19937 rng(6);
+  for (Key& k : keys) k = static_cast<Key>(rng() % 1000);
+  std::vector<Key> expected = keys;
+  std::sort(expected.begin(), expected.end());
+
+  Machine machine(pg, std::move(keys));
+  const SortReport report = sort_product_network(machine);
+
+  std::printf("sorted %lld keys on %s^3: %s\n",
+              static_cast<long long>(pg.num_nodes()), factor.name.c_str(),
+              machine.read_snake(full_view(pg)) == expected ? "yes" : "NO");
+  std::printf("phases: %lld S2 + %lld routing (Theorem 1: %lld + %lld),"
+              " time %.1f\n",
+              static_cast<long long>(report.cost.s2_phases),
+              static_cast<long long>(report.cost.routing_phases),
+              static_cast<long long>(report.predicted.s2_phases),
+              static_cast<long long>(report.predicted.routing_phases),
+              report.cost.formula_time);
+  std::printf("\nNo sorting code referenced the kite's structure: the paper's"
+              " portability claim.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Regenerates the paper's topology figures as Graphviz DOT files in the
+// current directory:
+//   fig1a.dot  — the 3-node factor graph
+//   fig1b.dot  — its 2-dimensional product
+//   fig1c.dot  — its 3-dimensional product
+//   fig3.dot   — the snake order over the 3-D product (red traversal)
+//   fig16.dot  — the Petersen graph, Hamiltonian path highlighted
+//
+// Render with e.g.:  dot -Tsvg fig3.dot -o fig3.svg
+
+#include <cstdio>
+
+#include "graph/factor_graphs.hpp"
+#include "graph/hamiltonian.hpp"
+#include "render/dot.hpp"
+
+using namespace prodsort;
+
+namespace {
+
+void save(const std::string& path, const std::string& content) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::perror(path.c_str());
+    std::exit(1);
+  }
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s (%zu bytes)\n", path.c_str(), content.size());
+}
+
+}  // namespace
+
+int main() {
+  const LabeledFactor factor = labeled_path(3);
+
+  save("fig1a.dot", to_dot(factor.graph, "factor"));
+  save("fig1b.dot", to_dot(ProductGraph(factor, 2), "PG2"));
+  save("fig1c.dot", to_dot(ProductGraph(factor, 3), "PG3"));
+
+  DotStyle snake;
+  snake.highlight_snake = true;
+  save("fig3.dot", to_dot(ProductGraph(factor, 3), "snake", snake));
+
+  const Graph petersen = make_petersen();
+  const auto ham = find_hamiltonian_path(petersen);
+  save("fig16.dot",
+       to_dot(petersen, "petersen", ham ? *ham : std::vector<NodeId>{}));
+  return 0;
+}

@@ -1,0 +1,59 @@
+// The paper's headline claim, demonstrated: ONE sorting algorithm runs on
+// EVERY homogeneous product network.  The same sort_product_network call
+// sorts a grid, a torus, a hypercube, a mesh-connected-trees network, a
+// Petersen cube, and products of de Bruijn / shuffle-exchange graphs —
+// and on each one its running time matches the best algorithm developed
+// specifically for that architecture (Section 5).
+
+#include <algorithm>
+#include <cstdio>
+#include <random>
+
+#include "core/product_sort.hpp"
+#include "product/snake_order.hpp"
+
+using namespace prodsort;
+
+int main() {
+  struct Target {
+    const char* architecture;
+    LabeledFactor factor;
+    int r;
+    const char* specialized_competitor;
+  };
+  const Target targets[] = {
+      {"3-D grid", labeled_path(8), 3, "Schnorr-Shamir/Kunde mesh sort"},
+      {"2-D torus", labeled_cycle(16), 2, "Kunde torus sort"},
+      {"hypercube", labeled_k2(), 10, "Batcher odd-even merge"},
+      {"mesh-connected trees", labeled_binary_tree(4), 2, "grid emulation"},
+      {"Petersen cube", labeled_petersen(), 3, "none published"},
+      {"de Bruijn product", labeled_de_bruijn(4), 2, "Batcher on de Bruijn"},
+      {"shuffle-exchange product", labeled_shuffle_exchange(4), 2,
+       "Batcher on shuffle-exchange"},
+  };
+
+  std::printf("one algorithm, every product network:\n\n");
+  std::mt19937_64 rng(7);
+  for (const Target& t : targets) {
+    const ProductGraph pg(t.factor, t.r);
+    std::vector<Key> keys(static_cast<std::size_t>(pg.num_nodes()));
+    for (Key& k : keys) k = static_cast<Key>(rng() % 1000000);
+    std::vector<Key> expected = keys;
+    std::sort(expected.begin(), expected.end());
+
+    Machine m(pg, std::move(keys));
+    const SortReport report = sort_product_network(m);
+    const bool ok = m.read_snake(full_view(pg)) == expected;
+
+    std::printf("%-26s N=%-3d r=%-2d keys=%-8lld time=%-9.1f sorted=%-4s"
+                " (competitor: %s)\n",
+                t.architecture, t.factor.size(), t.r,
+                static_cast<long long>(pg.num_nodes()),
+                report.cost.formula_time, ok ? "yes" : "NO",
+                t.specialized_competitor);
+  }
+
+  std::printf("\nNo per-architecture code was written: the factor graph is"
+              " a runtime value.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Topology explorer: prints, for a chosen factor graph, the structures
+// Section 2 of the paper builds the algorithm on — the labeling (with
+// Hamiltonicity / dilation), the product's vital statistics, the N-ary
+// Gray-code sequence, the snake order, and the subsequence split of
+// Fig. 4.
+//
+//   $ ./topology_explorer [path|cycle|complete|k2|tree|star|petersen|
+//                          debruijn|shufflex] [size] [dims]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "graph/graph_algos.hpp"
+#include "product/snake_order.hpp"
+
+using namespace prodsort;
+
+namespace {
+
+LabeledFactor pick_factor(const char* name, int size) {
+  if (std::strcmp(name, "path") == 0) return labeled_path(size);
+  if (std::strcmp(name, "cycle") == 0) return labeled_cycle(size);
+  if (std::strcmp(name, "complete") == 0) return labeled_complete(size);
+  if (std::strcmp(name, "k2") == 0) return labeled_k2();
+  if (std::strcmp(name, "tree") == 0) return labeled_binary_tree(size);
+  if (std::strcmp(name, "star") == 0) return labeled_star(size);
+  if (std::strcmp(name, "petersen") == 0) return labeled_petersen();
+  if (std::strcmp(name, "debruijn") == 0) return labeled_de_bruijn(size);
+  if (std::strcmp(name, "shufflex") == 0) return labeled_shuffle_exchange(size);
+  std::fprintf(stderr, "unknown factor '%s'\n", name);
+  std::exit(1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* name = argc > 1 ? argv[1] : "petersen";
+  const int size = argc > 2 ? std::atoi(argv[2]) : 3;
+  const int dims = argc > 3 ? std::atoi(argv[3]) : 2;
+
+  const LabeledFactor f = pick_factor(name, size);
+  std::printf("factor %s: N=%d, %zu edges, degree %d..%d, diameter %d\n",
+              f.name.c_str(), f.size(), f.graph.num_edges(),
+              f.graph.min_degree(), f.graph.max_degree(), diameter(f.graph));
+  std::printf("labeling: %s (dilation %d)  S2(N)=%.1f  R(N)=%.1f\n",
+              f.hamiltonian ? "Hamiltonian path" : "Sekanina linear embedding",
+              f.dilation, f.s2_cost, f.routing_cost);
+  std::printf("sorted-order adjacency:");
+  for (NodeId v = 0; v + 1 < f.size(); ++v)
+    std::printf(" %d-%d%s", v, v + 1,
+                f.graph.has_edge(v, v + 1) ? "" : "(routed)");
+  std::printf("\n\n");
+
+  const ProductGraph pg(f, dims);
+  std::printf("product PG_%d: %lld nodes, %lld edges, diameter %d\n", dims,
+              static_cast<long long>(pg.num_nodes()),
+              static_cast<long long>(pg.num_edges()), pg.diameter());
+
+  if (pg.num_nodes() <= 128) {
+    std::printf("\nsnake order (Definition 2 / Fig. 3):\n  ");
+    for (PNode rank = 0; rank < pg.num_nodes(); ++rank) {
+      const auto tuple = pg.tuple_of(node_at_snake_rank(pg, rank));
+      for (int i = dims; i-- > 0;)
+        std::printf("%d", tuple[static_cast<std::size_t>(i)]);
+      std::printf(" ");
+      if ((rank + 1) % f.size() == 0) std::printf("\n  ");
+    }
+    std::printf("\nsubsequence split [u]Q^1 (Fig. 4): positions of each"
+                " dimension-1 digit:\n");
+    for (NodeId u = 0; u < f.size() && u < 4; ++u) {
+      std::printf("  u=%d:", u);
+      const PNode count = std::min<PNode>(pg.num_nodes() / f.size(), 9);
+      for (PNode j = 0; j < count; ++j)
+        std::printf(" %lld",
+                    static_cast<long long>(subsequence_position(f.size(), u, j)));
+      std::printf("%s\n", count < pg.num_nodes() / f.size() ? " ..." : "");
+    }
+  } else {
+    std::printf("(product too large to print the snake order)\n");
+  }
+  return 0;
+}

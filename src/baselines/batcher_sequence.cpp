@@ -1,0 +1,18 @@
+#include "baselines/batcher_sequence.hpp"
+
+#include <stdexcept>
+
+#include "sortnet/batcher.hpp"
+
+namespace prodsort {
+
+BatcherRun batcher_sort(std::span<Key> keys) {
+  const auto n = static_cast<int>(keys.size());
+  if (n < 1 || (n & (n - 1)) != 0)
+    throw std::invalid_argument("batcher_sort needs a power-of-two size");
+  const ComparatorNetwork net = odd_even_merge_sort_network(n);
+  net.apply(keys);
+  return {net.depth(), static_cast<std::int64_t>(net.size())};
+}
+
+}  // namespace prodsort

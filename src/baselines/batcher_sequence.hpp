@@ -1,0 +1,23 @@
+#pragma once
+
+// Batcher odd-even merge sort as a sequence algorithm with hypercube time
+// accounting: on the 2^d-node hypercube each network layer is one
+// neighbor compare-exchange step, so the step count equals the network
+// depth d(d+1)/2.  This is the Section 5.3 comparison point.
+
+#include <span>
+
+#include "core/multiway_merge.hpp"  // Key
+
+namespace prodsort {
+
+struct BatcherRun {
+  int depth = 0;                 ///< parallel steps (hypercube time)
+  std::int64_t comparators = 0;  ///< total work
+};
+
+/// Sorts `keys` (size must be a power of two) with Batcher's odd-even
+/// merge network; returns its depth/size.
+BatcherRun batcher_sort(std::span<Key> keys);
+
+}  // namespace prodsort

@@ -1,0 +1,29 @@
+#include "baselines/bitonic_network.hpp"
+
+#include <stdexcept>
+
+#include "sortnet/batcher.hpp"
+
+namespace prodsort {
+
+int bitonic_sort_on_hypercube(Machine& machine) {
+  const ProductGraph& pg = machine.graph();
+  if (pg.radix() != 2)
+    throw std::invalid_argument("bitonic baseline requires a K2 product");
+
+  const ComparatorNetwork net =
+      bitonic_sort_network(static_cast<int>(pg.num_nodes()));
+  std::vector<CEPair> pairs;
+  for (const auto& layer : net.layers()) {
+    pairs.clear();
+    pairs.reserve(layer.size());
+    for (const Comparator& c : layer) {
+      // Wires differing in one bit = hypercube neighbors: one hop.
+      pairs.push_back({static_cast<PNode>(c.low), static_cast<PNode>(c.high)});
+    }
+    machine.compare_exchange_step(pairs, 1);
+  }
+  return net.depth();
+}
+
+}  // namespace prodsort

@@ -1,0 +1,20 @@
+#pragma once
+
+// Batcher's bitonic sort executed on the simulated hypercube machine:
+// the network-level baseline of Section 5.3.  Every comparator of the
+// bitonic network acts between wires differing in exactly one bit, i.e.
+// between adjacent nodes of the K2 product, so each layer maps to one
+// synchronous compare-exchange phase at hop distance 1.  This gives an
+// exec-steps comparison against sort_product_network on the *same*
+// machine model.
+
+#include "network/machine.hpp"
+
+namespace prodsort {
+
+/// Sorts the machine's keys ascending by node index (the hypercube's
+/// natural order).  The machine's graph must be a K2 product.  Returns
+/// the number of phases executed (= the network depth r(r+1)/2).
+int bitonic_sort_on_hypercube(Machine& machine);
+
+}  // namespace prodsort

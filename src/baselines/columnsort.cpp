@@ -1,0 +1,99 @@
+#include "baselines/columnsort.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace prodsort {
+
+namespace {
+
+// Matrix stored column-major: m[c * rows + i] = entry (row i, column c).
+void sort_columns(std::vector<Key>& m, std::int64_t rows, std::int64_t cols,
+                  ColumnsortStats& stats) {
+  for (std::int64_t c = 0; c < cols; ++c)
+    std::sort(m.begin() + static_cast<std::ptrdiff_t>(c * rows),
+              m.begin() + static_cast<std::ptrdiff_t>((c + 1) * rows));
+  ++stats.column_sort_rounds;
+}
+
+// Step 2 "transpose": read the matrix in column-major order, write it
+// back in row-major order (keeping the r x s shape).
+std::vector<Key> transpose(const std::vector<Key>& m, std::int64_t rows,
+                           std::int64_t cols) {
+  std::vector<Key> out(m.size());
+  for (std::int64_t idx = 0; idx < static_cast<std::int64_t>(m.size()); ++idx) {
+    // idx-th element in column-major reading order = row-major slot idx:
+    // row idx / cols, column idx % cols.
+    const std::int64_t row = idx / cols;
+    const std::int64_t col = idx % cols;
+    out[static_cast<std::size_t>(col * rows + row)] =
+        m[static_cast<std::size_t>(idx)];
+  }
+  return out;
+}
+
+// Step 4 "untranspose": the inverse permutation.
+std::vector<Key> untranspose(const std::vector<Key>& m, std::int64_t rows,
+                             std::int64_t cols) {
+  std::vector<Key> out(m.size());
+  for (std::int64_t idx = 0; idx < static_cast<std::int64_t>(m.size()); ++idx) {
+    const std::int64_t row = idx / cols;
+    const std::int64_t col = idx % cols;
+    out[static_cast<std::size_t>(idx)] =
+        m[static_cast<std::size_t>(col * rows + row)];
+  }
+  return out;
+}
+
+}  // namespace
+
+bool columnsort_shape_ok(std::int64_t rows, std::int64_t cols) {
+  return rows >= 1 && cols >= 1 && rows % cols == 0 &&
+         rows >= 2 * (cols - 1) * (cols - 1);
+}
+
+ColumnsortStats columnsort(std::vector<Key>& keys, std::int64_t rows,
+                           std::int64_t cols) {
+  if (!columnsort_shape_ok(rows, cols) ||
+      static_cast<std::int64_t>(keys.size()) != rows * cols)
+    throw std::invalid_argument("columnsort shape invalid");
+  ColumnsortStats stats;
+  if (cols == 1) {  // degenerate: a single column sort suffices
+    sort_columns(keys, rows, cols, stats);
+    return stats;
+  }
+
+  sort_columns(keys, rows, cols, stats);                 // step 1
+  keys = transpose(keys, rows, cols);                    // step 2
+  stats.routed_keys += static_cast<std::int64_t>(keys.size());
+  sort_columns(keys, rows, cols, stats);                 // step 3
+  keys = untranspose(keys, rows, cols);                  // step 4
+  stats.routed_keys += static_cast<std::int64_t>(keys.size());
+  sort_columns(keys, rows, cols, stats);                 // step 5
+
+  // Steps 6-8: shift down by rows/2 into s+1 columns (padding with
+  // sentinels), sort columns, unshift.
+  const std::int64_t half = rows / 2;
+  const Key kLow = std::numeric_limits<Key>::min();
+  const Key kHigh = std::numeric_limits<Key>::max();
+  std::vector<Key> shifted(static_cast<std::size_t>((cols + 1) * rows));
+  for (std::int64_t i = 0; i < half; ++i)
+    shifted[static_cast<std::size_t>(i)] = kLow;  // top of column 0
+  for (std::int64_t idx = 0; idx < rows * cols; ++idx)
+    shifted[static_cast<std::size_t>(half + idx)] =
+        keys[static_cast<std::size_t>(idx)];
+  for (std::int64_t i = half + rows * cols;
+       i < static_cast<std::int64_t>(shifted.size()); ++i)
+    shifted[static_cast<std::size_t>(i)] = kHigh;  // bottom of last column
+  stats.routed_keys += rows * cols;
+
+  sort_columns(shifted, rows, cols + 1, stats);          // step 7
+  for (std::int64_t idx = 0; idx < rows * cols; ++idx)   // step 8
+    keys[static_cast<std::size_t>(idx)] =
+        shifted[static_cast<std::size_t>(half + idx)];
+  stats.routed_keys += rows * cols;
+  return stats;
+}
+
+}  // namespace prodsort

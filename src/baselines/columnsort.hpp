@@ -1,0 +1,30 @@
+#pragma once
+
+// Leighton's Columnsort [20], the multiway-merge relative the paper
+// positions itself against (Section 1): eight steps over an r x s matrix
+// (r rows, s columns, r % s == 0, r >= 2(s-1)^2), sorting into
+// column-major order.  Sub-sorts here are exact (std::sort) — the
+// original used AKS networks, which the paper notes are impractical;
+// exact sub-sorts only help the baseline.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/multiway_merge.hpp"  // Key
+
+namespace prodsort {
+
+struct ColumnsortStats {
+  int column_sort_rounds = 0;  ///< four in the classic eight-step scheme
+  std::int64_t routed_keys = 0;///< keys moved by the permutation steps
+};
+
+/// True iff (rows, cols) satisfies Columnsort's applicability condition.
+[[nodiscard]] bool columnsort_shape_ok(std::int64_t rows, std::int64_t cols);
+
+/// Sorts `keys` (size rows*cols) in place via the eight-step Columnsort.
+/// Throws std::invalid_argument on a bad shape.
+ColumnsortStats columnsort(std::vector<Key>& keys, std::int64_t rows,
+                           std::int64_t cols);
+
+}  // namespace prodsort

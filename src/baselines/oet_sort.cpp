@@ -1,0 +1,19 @@
+#include "baselines/oet_sort.hpp"
+
+#include <utility>
+
+namespace prodsort {
+
+int odd_even_transposition_sort(std::span<Key> keys) {
+  const auto n = static_cast<std::int64_t>(keys.size());
+  for (std::int64_t phase = 0; phase < n; ++phase) {
+    for (std::int64_t i = phase % 2; i + 1 < n; i += 2) {
+      if (keys[static_cast<std::size_t>(i)] > keys[static_cast<std::size_t>(i + 1)])
+        std::swap(keys[static_cast<std::size_t>(i)],
+                  keys[static_cast<std::size_t>(i + 1)]);
+    }
+  }
+  return static_cast<int>(n);
+}
+
+}  // namespace prodsort

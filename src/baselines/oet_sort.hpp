@@ -1,0 +1,16 @@
+#pragma once
+
+// Odd-even transposition sort: the linear-array baseline (n phases of
+// alternating neighbor compare-exchanges).
+
+#include <span>
+
+#include "core/multiway_merge.hpp"  // Key
+
+namespace prodsort {
+
+/// Sorts in place; returns the number of phases executed (== n, the
+/// oblivious schedule).
+int odd_even_transposition_sort(std::span<Key> keys);
+
+}  // namespace prodsort

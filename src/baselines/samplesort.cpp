@@ -1,0 +1,54 @@
+#include "baselines/samplesort.hpp"
+
+#include <algorithm>
+#include <random>
+#include <stdexcept>
+
+namespace prodsort {
+
+SamplesortStats samplesort(std::vector<Key>& keys, int buckets, unsigned seed,
+                           int oversampling) {
+  if (buckets < 1 || oversampling < 1)
+    throw std::invalid_argument("samplesort needs buckets, oversampling >= 1");
+  SamplesortStats stats;
+  stats.buckets = buckets;
+  if (buckets == 1 || keys.size() < 2 * static_cast<std::size_t>(buckets)) {
+    std::sort(keys.begin(), keys.end());
+    stats.buckets = 1;
+    stats.largest_bucket = stats.smallest_bucket =
+        static_cast<std::int64_t>(keys.size());
+    return stats;
+  }
+
+  // Oversample, sort the sample, take every `oversampling`-th element as
+  // a splitter.
+  std::mt19937_64 rng(seed);
+  std::vector<Key> sample(static_cast<std::size_t>(buckets) * oversampling);
+  std::uniform_int_distribution<std::size_t> pick(0, keys.size() - 1);
+  for (Key& s : sample) s = keys[pick(rng)];
+  std::sort(sample.begin(), sample.end());
+  std::vector<Key> splitters;
+  splitters.reserve(static_cast<std::size_t>(buckets) - 1);
+  for (int b = 1; b < buckets; ++b)
+    splitters.push_back(sample[static_cast<std::size_t>(b) * oversampling]);
+
+  // Partition into buckets, sort each, concatenate.
+  std::vector<std::vector<Key>> bins(static_cast<std::size_t>(buckets));
+  for (const Key k : keys) {
+    const auto it = std::upper_bound(splitters.begin(), splitters.end(), k);
+    bins[static_cast<std::size_t>(it - splitters.begin())].push_back(k);
+  }
+  std::size_t out = 0;
+  stats.smallest_bucket = static_cast<std::int64_t>(keys.size());
+  for (auto& bin : bins) {
+    std::sort(bin.begin(), bin.end());
+    stats.largest_bucket =
+        std::max(stats.largest_bucket, static_cast<std::int64_t>(bin.size()));
+    stats.smallest_bucket =
+        std::min(stats.smallest_bucket, static_cast<std::int64_t>(bin.size()));
+    for (const Key k : bin) keys[out++] = k;
+  }
+  return stats;
+}
+
+}  // namespace prodsort

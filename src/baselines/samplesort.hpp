@@ -1,0 +1,28 @@
+#pragma once
+
+// Randomized sample sort: the style of algorithm the paper's conclusion
+// points to as future work ("we could try to generalize the hypercube
+// randomized algorithms for product networks", citing the CM-2
+// comparison [5]).  Included as the randomized sequence-level baseline:
+// pick splitters from an oversampled random sample, partition into
+// buckets, sort buckets.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/multiway_merge.hpp"  // Key
+
+namespace prodsort {
+
+struct SamplesortStats {
+  int buckets = 0;
+  std::int64_t largest_bucket = 0;  ///< balance indicator
+  std::int64_t smallest_bucket = 0;
+};
+
+/// Sorts `keys` in place with `buckets` buckets (>= 1) and the given
+/// oversampling factor (samples per splitter).
+SamplesortStats samplesort(std::vector<Key>& keys, int buckets, unsigned seed,
+                           int oversampling = 8);
+
+}  // namespace prodsort

@@ -1,0 +1,67 @@
+#include "baselines/shearsort.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <stdexcept>
+
+namespace prodsort {
+
+ShearsortStats shearsort(std::vector<Key>& keys, std::int64_t rows,
+                         std::int64_t cols) {
+  if (rows < 1 || cols < 1 ||
+      static_cast<std::int64_t>(keys.size()) != rows * cols)
+    throw std::invalid_argument("shearsort shape invalid");
+  ShearsortStats stats;
+
+  auto sort_rows = [&] {
+    for (std::int64_t r = 0; r < rows; ++r) {
+      const auto begin = keys.begin() + static_cast<std::ptrdiff_t>(r * cols);
+      if (r % 2 == 0)
+        std::sort(begin, begin + static_cast<std::ptrdiff_t>(cols));
+      else
+        std::sort(begin, begin + static_cast<std::ptrdiff_t>(cols),
+                  std::greater<Key>{});
+    }
+    ++stats.row_passes;
+  };
+  auto sort_columns = [&] {
+    std::vector<Key> column(static_cast<std::size_t>(rows));
+    for (std::int64_t c = 0; c < cols; ++c) {
+      for (std::int64_t r = 0; r < rows; ++r)
+        column[static_cast<std::size_t>(r)] =
+            keys[static_cast<std::size_t>(r * cols + c)];
+      std::sort(column.begin(), column.end());
+      for (std::int64_t r = 0; r < rows; ++r)
+        keys[static_cast<std::size_t>(r * cols + c)] =
+            column[static_cast<std::size_t>(r)];
+    }
+    ++stats.column_passes;
+  };
+
+  int iterations = 1;
+  while ((std::int64_t{1} << iterations) < rows) ++iterations;
+  for (int i = 0; i < iterations + 1; ++i) {
+    sort_rows();
+    sort_columns();
+  }
+  sort_rows();
+  return stats;
+}
+
+std::vector<Key> snake_to_sequence(const std::vector<Key>& keys,
+                                   std::int64_t rows, std::int64_t cols) {
+  std::vector<Key> out;
+  out.reserve(keys.size());
+  for (std::int64_t r = 0; r < rows; ++r) {
+    if (r % 2 == 0) {
+      for (std::int64_t c = 0; c < cols; ++c)
+        out.push_back(keys[static_cast<std::size_t>(r * cols + c)]);
+    } else {
+      for (std::int64_t c = cols; c-- > 0;)
+        out.push_back(keys[static_cast<std::size_t>(r * cols + c)]);
+    }
+  }
+  return out;
+}
+
+}  // namespace prodsort

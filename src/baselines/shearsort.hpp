@@ -1,0 +1,30 @@
+#pragma once
+
+// Sequence-level shearsort on a rows x cols mesh into boustrophedon
+// (snake) row-major order: the generic-mesh baseline and the engine
+// behind ShearsortS2's correctness argument.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/multiway_merge.hpp"  // Key
+
+namespace prodsort {
+
+struct ShearsortStats {
+  int row_passes = 0;
+  int column_passes = 0;
+};
+
+/// Sorts `keys` (size rows*cols, row-major storage) into snake order:
+/// even rows ascend left-to-right, odd rows descend, rows ascend top to
+/// bottom.  ceil(log2(rows)) + 1 row/column rounds plus a final row pass.
+ShearsortStats shearsort(std::vector<Key>& keys, std::int64_t rows,
+                         std::int64_t cols);
+
+/// Reads a snake-ordered matrix out as one ascending sequence.
+[[nodiscard]] std::vector<Key> snake_to_sequence(const std::vector<Key>& keys,
+                                                 std::int64_t rows,
+                                                 std::int64_t cols);
+
+}  // namespace prodsort

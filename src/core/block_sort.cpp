@@ -1,0 +1,232 @@
+#include "core/block_sort.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <stdexcept>
+
+#include "core/product_sort.hpp"  // transposition_pairs, block_directions
+#include "product/snake_order.hpp"
+
+namespace prodsort {
+
+void BlockOracleS2::sort_views(BlockMachine& machine,
+                               std::span<const ViewSpec> views,
+                               const std::vector<bool>& descending) const {
+  const ProductGraph& pg = machine.graph();
+  const int b = machine.block_size();
+  auto body = [&](std::int64_t begin, std::int64_t end) {
+    std::vector<Key> buffer;
+    for (std::int64_t i = begin; i < end; ++i) {
+      const ViewSpec& v = views[static_cast<std::size_t>(i)];
+      const PNode size = view_size(pg, v);
+      buffer.clear();
+      buffer.reserve(static_cast<std::size_t>(size) * b);
+      for (PNode rank = 0; rank < size; ++rank) {
+        const auto blk = machine.block(view_node_at_snake_rank(pg, v, rank));
+        buffer.insert(buffer.end(), blk.begin(), blk.end());
+      }
+      std::sort(buffer.begin(), buffer.end());
+      // Scatter back: rank j gets run j ascending, or run size-1-j for a
+      // descending view (runs themselves stay ascending).
+      for (PNode rank = 0; rank < size; ++rank) {
+        const PNode run = descending[static_cast<std::size_t>(i)]
+                              ? size - 1 - rank
+                              : rank;
+        const auto src = buffer.begin() + static_cast<std::ptrdiff_t>(run * b);
+        auto dst = machine.mutable_block(view_node_at_snake_rank(pg, v, rank));
+        std::copy(src, src + b, dst.begin());
+      }
+    }
+  };
+  if (machine.executor() != nullptr)
+    machine.executor()->parallel_for(static_cast<std::int64_t>(views.size()),
+                                     body);
+  else
+    body(0, static_cast<std::int64_t>(views.size()));
+  machine.cost().exec_steps +=
+      std::llround(phase_cost(pg.factor(), b));
+}
+
+namespace {
+
+// Full odd-even transposition over node lines, in lockstep, with
+// merge-split steps (the block analog of lockstep_oet).
+void lockstep_merge_split(BlockMachine& machine,
+                          const std::vector<std::vector<PNode>>& lines,
+                          const std::vector<bool>& descending, int hop) {
+  if (lines.empty()) return;
+  const std::size_t length = lines.front().size();
+  std::vector<CEPair> pairs;
+  for (std::size_t phase = 0; phase < length; ++phase) {
+    pairs.clear();
+    for (std::size_t li = 0; li < lines.size(); ++li) {
+      const auto& line = lines[li];
+      const bool desc = descending[li];
+      for (std::size_t i = phase % 2; i + 1 < line.size(); i += 2) {
+        if (desc)
+          pairs.push_back({line[i + 1], line[i]});
+        else
+          pairs.push_back({line[i], line[i + 1]});
+      }
+    }
+    machine.merge_split_step(pairs, hop);
+  }
+}
+
+}  // namespace
+
+void BlockSnakeOETS2::sort_views(BlockMachine& machine,
+                                 std::span<const ViewSpec> views,
+                                 const std::vector<bool>& descending) const {
+  if (views.empty()) return;
+  const ProductGraph& pg = machine.graph();
+  const int hop = pg.factor().dilation;
+
+  std::vector<std::vector<PNode>> lines;
+  lines.reserve(views.size());
+  for (const ViewSpec& v : views) {
+    const PNode size = view_size(pg, v);
+    std::vector<PNode> line(static_cast<std::size_t>(size));
+    for (PNode rank = 0; rank < size; ++rank)
+      line[static_cast<std::size_t>(rank)] =
+          view_node_at_snake_rank(pg, v, rank);
+    lines.push_back(std::move(line));
+  }
+  lockstep_merge_split(machine, lines, descending, hop);
+}
+
+double BlockShearsortS2::phase_cost(const LabeledFactor& factor,
+                                    int block_size) const {
+  int iterations = 1;
+  while ((NodeId{1} << iterations) < factor.size()) ++iterations;
+  const double n = factor.size();
+  const double per_step = factor.dilation + block_size - 1.0;
+  return ((iterations + 1) * 2.0 * n + n) * per_step;
+}
+
+void BlockShearsortS2::sort_views(BlockMachine& machine,
+                                  std::span<const ViewSpec> views,
+                                  const std::vector<bool>& descending) const {
+  if (views.empty()) return;
+  const ProductGraph& pg = machine.graph();
+  const NodeId n = pg.radix();
+  const int hop = pg.factor().dilation;
+
+  std::vector<std::vector<PNode>> rows;
+  std::vector<bool> row_desc;
+  std::vector<std::vector<PNode>> cols;
+  std::vector<bool> col_desc;
+  for (std::size_t vi = 0; vi < views.size(); ++vi) {
+    const ViewSpec& v = views[vi];
+    const bool flip = descending[vi];
+    for (NodeId fixed = 0; fixed < n; ++fixed) {
+      std::vector<PNode> row(static_cast<std::size_t>(n));
+      std::vector<PNode> col(static_cast<std::size_t>(n));
+      for (NodeId j = 0; j < n; ++j) {
+        row[static_cast<std::size_t>(j)] =
+            v.base + static_cast<PNode>(j) * pg.weight(v.lo) +
+            static_cast<PNode>(fixed) * pg.weight(v.hi);
+        col[static_cast<std::size_t>(j)] =
+            v.base + static_cast<PNode>(fixed) * pg.weight(v.lo) +
+            static_cast<PNode>(j) * pg.weight(v.hi);
+      }
+      rows.push_back(std::move(row));
+      row_desc.push_back(((fixed % 2) != 0) != flip);
+      cols.push_back(std::move(col));
+      col_desc.push_back(flip);
+    }
+  }
+
+  int iterations = 1;
+  while ((NodeId{1} << iterations) < n) ++iterations;
+  for (int it = 0; it < iterations + 1; ++it) {
+    lockstep_merge_split(machine, rows, row_desc, hop);
+    lockstep_merge_split(machine, cols, col_desc, hop);
+  }
+  lockstep_merge_split(machine, rows, row_desc, hop);
+}
+
+namespace {
+
+struct BlockDriver {
+  BlockMachine& machine;
+  const BlockS2Sorter& s2;
+  std::vector<PhaseRecord>* trace = nullptr;
+
+  void record(PhaseRecord::Kind kind, int lo, int hi, double weight,
+              std::size_t units) const {
+    if (trace != nullptr) trace->push_back({kind, lo, hi, weight, units});
+  }
+};
+
+void s2_phase(const BlockDriver& driver, int lo, int hi,
+              std::span<const ViewSpec> views,
+              const std::vector<bool>& descending) {
+  BlockMachine& machine = driver.machine;
+  const double weight =
+      driver.s2.phase_cost(machine.graph().factor(), machine.block_size());
+  machine.cost().charge_s2_phase(weight);
+  driver.record(PhaseRecord::Kind::kS2Sort, lo, hi, weight, views.size());
+  driver.s2.sort_views(machine, views, descending);
+}
+
+void merge_level_blocks(const BlockDriver& driver, int lo, int hi) {
+  BlockMachine& machine = driver.machine;
+  const ProductGraph& pg = machine.graph();
+  if (hi - lo == 1) {
+    const std::vector<ViewSpec> views = all_views(pg, lo, hi);
+    s2_phase(driver, lo, hi, views, std::vector<bool>(views.size(), false));
+    return;
+  }
+  merge_level_blocks(driver, lo + 1, hi);  // Step 2
+  const std::vector<ViewSpec> blocks = all_views(pg, lo, lo + 1);
+  const std::vector<bool> dirs = block_directions(pg, blocks, lo, hi);
+  const LabeledFactor& factor = pg.factor();
+  const int b = machine.block_size();
+  s2_phase(driver, lo, hi, blocks, dirs);
+  for (const int parity : {0, 1}) {
+    machine.cost().charge_routing_phase(factor.routing_cost * b);
+    const auto pairs = transposition_pairs(pg, lo, hi, parity);
+    driver.record(PhaseRecord::Kind::kTransposition, lo, hi,
+                  factor.routing_cost * b, pairs.size());
+    machine.merge_split_step(pairs, factor.dilation);
+  }
+  s2_phase(driver, lo, hi, blocks, dirs);
+}
+
+}  // namespace
+
+BlockSortReport sort_block_network(BlockMachine& machine,
+                                   const BlockSortOptions& options) {
+  const ProductGraph& pg = machine.graph();
+  if (pg.dims() < 2)
+    throw std::invalid_argument("sorting needs r >= 2 dimensions");
+
+  static const BlockOracleS2 default_s2;
+  const BlockS2Sorter& s2 = options.s2 != nullptr ? *options.s2 : default_s2;
+  const BlockDriver driver{machine, s2, options.trace};
+
+  machine.sort_local_blocks();
+  {
+    const std::vector<ViewSpec> views = all_views(pg, 1, 2);
+    s2_phase(driver, 1, 2, views, std::vector<bool>(views.size(), false));
+  }
+  for (int k = 3; k <= pg.dims(); ++k) {
+    merge_level_blocks(driver, 1, k);
+    if (options.validate_levels) {
+      for (const ViewSpec& v : all_views(pg, 1, k))
+        if (!machine.snake_sorted(v))
+          throw std::logic_error("block merge level " + std::to_string(k) +
+                                 " left a view unsorted");
+    }
+  }
+
+  BlockSortReport report;
+  report.cost = machine.cost();
+  report.predicted = theorem1(pg.factor(), pg.dims());
+  report.predicted.formula_time *= machine.block_size();
+  return report;
+}
+
+}  // namespace prodsort

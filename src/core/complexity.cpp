@@ -1,0 +1,31 @@
+#include "core/complexity.hpp"
+
+namespace prodsort {
+
+double lemma3_merge_time(const LabeledFactor& factor, int k) {
+  return 2.0 * (k - 2) * (factor.s2_cost + factor.routing_cost) +
+         factor.s2_cost;
+}
+
+std::int64_t lemma3_s2_phases(int k) { return 2 * k - 3; }
+
+std::int64_t lemma3_routing_phases(int k) { return 2 * (k - 2); }
+
+ComplexityPrediction theorem1(const LabeledFactor& factor, int r) {
+  ComplexityPrediction p;
+  p.s2_phases = static_cast<std::int64_t>(r - 1) * (r - 1);
+  p.routing_phases = static_cast<std::int64_t>(r - 1) * (r - 2);
+  p.formula_time = theorem1_time(factor.s2_cost, factor.routing_cost, r);
+  return p;
+}
+
+double theorem1_time(double s2_cost, double routing_cost, int r) {
+  return static_cast<double>(r - 1) * (r - 1) * s2_cost +
+         static_cast<double>(r - 1) * (r - 2) * routing_cost;
+}
+
+double corollary_bound(NodeId n, int r) {
+  return 18.0 * (r - 1) * (r - 1) * n;
+}
+
+}  // namespace prodsort

@@ -1,0 +1,35 @@
+#pragma once
+
+// Closed-form running times from the paper, used as the predicted side of
+// every bench table.
+
+#include <cstdint>
+
+#include "graph/labeled_factor.hpp"
+
+namespace prodsort {
+
+struct ComplexityPrediction {
+  std::int64_t s2_phases = 0;       ///< (r-1)^2
+  std::int64_t routing_phases = 0;  ///< (r-1)(r-2)
+  double formula_time = 0;          ///< Theorem 1 with the factor's costs
+};
+
+/// Lemma 3: M_k(N) = 2(k-2)(S2(N)+R(N)) + S2(N).
+[[nodiscard]] double lemma3_merge_time(const LabeledFactor& factor, int k);
+
+/// Lemma 3 phase counts for one k-dimensional merge: 2k-3 S2 phases and
+/// 2(k-2) routing phases.
+[[nodiscard]] std::int64_t lemma3_s2_phases(int k);
+[[nodiscard]] std::int64_t lemma3_routing_phases(int k);
+
+/// Theorem 1: S_r(N) = (r-1)^2 S2(N) + (r-1)(r-2) R(N).
+[[nodiscard]] ComplexityPrediction theorem1(const LabeledFactor& factor, int r);
+
+/// Theorem 1 with explicit S2/R costs (for non-default sorters).
+[[nodiscard]] double theorem1_time(double s2_cost, double routing_cost, int r);
+
+/// Corollary: universal bound 18(r-1)^2 N for any connected factor.
+[[nodiscard]] double corollary_bound(NodeId n, int r);
+
+}  // namespace prodsort

@@ -1,0 +1,28 @@
+#pragma once
+
+// Production sequence-level engine for the Section 3.3 sort: identical
+// algorithm to multiway_merge_sort (same merge tree, same Step 1-4
+// semantics) but engineered for throughput — one preallocated scratch
+// buffer instead of per-merge vectors, gather/interleave as single
+// passes, and ParallelExecutor-backed parallelism over independent
+// groups / columns / cleanup blocks (never nested).  Used by the
+// baseline bench to show the algorithm is competitive as a plain
+// in-memory sort, not just as a network schedule.
+
+#include "core/multiway_merge.hpp"
+#include "network/parallel_executor.hpp"
+
+namespace prodsort {
+
+/// Sorts `keys` (size N^r) in place; behaviorally identical to
+/// multiway_merge_sort.  `executor` is optional.
+void multiway_merge_sort_fast(std::vector<Key>& keys, NodeId n,
+                              ParallelExecutor* executor = nullptr);
+
+/// Arbitrary-size convenience wrapper: pads to the next power of N with
+/// maximal sentinels, runs the fast engine, truncates.  Sizes below N^2
+/// fall through to std::sort.
+void multiway_sort_any(std::vector<Key>& keys, NodeId n,
+                       ParallelExecutor* executor = nullptr);
+
+}  // namespace prodsort

@@ -1,0 +1,124 @@
+#include "core/merge_stages.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <stdexcept>
+
+namespace prodsort {
+
+MergeStages expand_merge_stages(const std::vector<std::vector<Key>>& inputs) {
+  const auto n = static_cast<std::int64_t>(inputs.size());
+  if (n < 2) throw std::invalid_argument("need at least 2 sequences");
+  const auto m = static_cast<std::int64_t>(inputs.front().size());
+  if (m < n * n)
+    throw std::invalid_argument("stage expansion needs k >= 3 (m >= N^2)");
+  std::int64_t power = m;
+  while (power % n == 0) power /= n;
+  if (power != 1)
+    throw std::invalid_argument("sequence length must be N^(k-1)");
+  for (const auto& seq : inputs)
+    if (static_cast<std::int64_t>(seq.size()) != m)
+      throw std::invalid_argument("ragged input sequences");
+
+  MergeStages stages;
+  stages.inputs = inputs;
+
+  // Step 1 (Fig. 7/8): column v of A_u's snake layout.
+  const std::int64_t rows = m / n;
+  stages.b.assign(static_cast<std::size_t>(n), {});
+  for (std::int64_t u = 0; u < n; ++u) {
+    auto& per_u = stages.b[static_cast<std::size_t>(u)];
+    per_u.assign(static_cast<std::size_t>(n), {});
+    for (std::int64_t v = 0; v < n; ++v) {
+      auto& seq = per_u[static_cast<std::size_t>(v)];
+      seq.reserve(static_cast<std::size_t>(rows));
+      for (std::int64_t i = 0; i < rows; ++i) {
+        const std::int64_t col = (i % 2 == 0) ? v : n - 1 - v;
+        seq.push_back(
+            inputs[static_cast<std::size_t>(u)][static_cast<std::size_t>(
+                i * n + col)]);
+      }
+      if (!std::is_sorted(seq.begin(), seq.end()))
+        throw std::invalid_argument("input sequence not sorted");
+    }
+  }
+
+  // Step 2 (Fig. 9): merge each column's N subsequences.
+  stages.columns.assign(static_cast<std::size_t>(n), {});
+  for (std::int64_t v = 0; v < n; ++v) {
+    std::vector<std::vector<Key>> column_inputs;
+    column_inputs.reserve(static_cast<std::size_t>(n));
+    for (std::int64_t u = 0; u < n; ++u)
+      column_inputs.push_back(stages.b[static_cast<std::size_t>(u)]
+                                       [static_cast<std::size_t>(v)]);
+    stages.columns[static_cast<std::size_t>(v)] =
+        multiway_merge(column_inputs);
+  }
+
+  // Step 3 (Fig. 10): interleave row-major.
+  stages.interleaved.resize(static_cast<std::size_t>(n * m));
+  for (std::int64_t v = 0; v < n; ++v)
+    for (std::int64_t i = 0; i < m; ++i)
+      stages.interleaved[static_cast<std::size_t>(i * n + v)] =
+          stages.columns[static_cast<std::size_t>(v)]
+                        [static_cast<std::size_t>(i)];
+  stages.dirty_span = dirty_span(stages.interleaved);
+
+  // Step 4 (Fig. 11): alternating block sorts, two transpositions,
+  // final sorts.
+  const std::int64_t block = n * n;
+  const std::int64_t nblocks = (n * m) / block;
+  auto cut_blocks = [&](const std::vector<Key>& seq) {
+    std::vector<std::vector<Key>> out(static_cast<std::size_t>(nblocks));
+    for (std::int64_t z = 0; z < nblocks; ++z)
+      out[static_cast<std::size_t>(z)].assign(
+          seq.begin() + static_cast<std::ptrdiff_t>(z * block),
+          seq.begin() + static_cast<std::ptrdiff_t>((z + 1) * block));
+    return out;
+  };
+
+  stages.blocks_sorted = cut_blocks(stages.interleaved);
+  for (std::int64_t z = 0; z < nblocks; ++z) {
+    auto& blk = stages.blocks_sorted[static_cast<std::size_t>(z)];
+    if (z % 2 == 0)
+      std::sort(blk.begin(), blk.end());
+    else
+      std::sort(blk.begin(), blk.end(), std::greater<Key>{});
+  }
+
+  stages.after_transpositions = stages.blocks_sorted;
+  for (const std::int64_t parity : {std::int64_t{0}, std::int64_t{1}}) {
+    for (std::int64_t z = parity; z + 1 < nblocks; z += 2) {
+      auto& low = stages.after_transpositions[static_cast<std::size_t>(z)];
+      auto& high =
+          stages.after_transpositions[static_cast<std::size_t>(z + 1)];
+      for (std::int64_t t = 0; t < block; ++t) {
+        Key& a = low[static_cast<std::size_t>(t)];
+        Key& b = high[static_cast<std::size_t>(t)];
+        if (a > b) std::swap(a, b);
+      }
+    }
+  }
+
+  stages.final_blocks = stages.after_transpositions;
+  for (std::int64_t z = 0; z < nblocks; ++z) {
+    auto& blk = stages.final_blocks[static_cast<std::size_t>(z)];
+    if (z % 2 == 0)
+      std::sort(blk.begin(), blk.end());
+    else
+      std::sort(blk.begin(), blk.end(), std::greater<Key>{});
+  }
+
+  // Concatenate in snake order (odd blocks reversed).
+  stages.result.reserve(static_cast<std::size_t>(n * m));
+  for (std::int64_t z = 0; z < nblocks; ++z) {
+    const auto& blk = stages.final_blocks[static_cast<std::size_t>(z)];
+    if (z % 2 == 0)
+      stages.result.insert(stages.result.end(), blk.begin(), blk.end());
+    else
+      stages.result.insert(stages.result.end(), blk.rbegin(), blk.rend());
+  }
+  return stages;
+}
+
+}  // namespace prodsort

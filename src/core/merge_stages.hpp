@@ -1,0 +1,42 @@
+#pragma once
+
+// Stage-by-stage expansion of one multiway merge: the data of Figs. 6-11
+// as inspectable values.  expand_merge_stages runs Steps 1-4 of Section
+// 3.1 once (recursing through multiway_merge for Step 2) and returns
+// every intermediate sequence, so tests can check each figure's
+// semantics and examples can print the pipeline.
+
+#include <vector>
+
+#include "core/multiway_merge.hpp"
+
+namespace prodsort {
+
+struct MergeStages {
+  /// Fig. 6: the N sorted input rows A_u.
+  std::vector<std::vector<Key>> inputs;
+  /// Fig. 8: subsequences B[u][v] (columns of each A_u's snake layout).
+  std::vector<std::vector<std::vector<Key>>> b;
+  /// Fig. 9: merged columns C_v.
+  std::vector<std::vector<Key>> columns;
+  /// Fig. 10: the interleaved, almost-sorted sequence D.
+  std::vector<Key> interleaved;
+  /// Lemma 1 witness: dirty window of D (<= N^2).
+  std::int64_t dirty_span = 0;
+  /// Fig. 11b: blocks F_z after the alternating sorts.
+  std::vector<std::vector<Key>> blocks_sorted;
+  /// Fig. 11c: blocks H_z after the two odd-even transposition steps.
+  std::vector<std::vector<Key>> after_transpositions;
+  /// Fig. 11d: blocks I_z after the final alternating sorts.
+  std::vector<std::vector<Key>> final_blocks;
+  /// The merged output S (identical to multiway_merge's).
+  std::vector<Key> result;
+};
+
+/// Expands one merge of N sorted sequences of N^(k-1) keys (k >= 3 so
+/// every stage is non-trivial; k = 2 inputs are rejected because the
+/// merge degenerates to the base sort).
+[[nodiscard]] MergeStages expand_merge_stages(
+    const std::vector<std::vector<Key>>& inputs);
+
+}  // namespace prodsort

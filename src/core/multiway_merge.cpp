@@ -1,0 +1,162 @@
+#include "core/multiway_merge.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <stdexcept>
+
+namespace prodsort {
+
+namespace {
+
+bool is_power_of(std::int64_t value, std::int64_t base) {
+  while (value % base == 0) value /= base;
+  return value == 1;
+}
+
+void validate_inputs(const std::vector<std::vector<Key>>& inputs) {
+  const auto n = static_cast<std::int64_t>(inputs.size());
+  if (n < 2) throw std::invalid_argument("need at least 2 sequences");
+  const auto m = static_cast<std::int64_t>(inputs.front().size());
+  if (m < n || !is_power_of(m, n))
+    throw std::invalid_argument("sequence length must be N^(k-1), k >= 2");
+  for (const auto& seq : inputs) {
+    if (static_cast<std::int64_t>(seq.size()) != m)
+      throw std::invalid_argument("ragged input sequences");
+    if (!std::is_sorted(seq.begin(), seq.end()))
+      throw std::invalid_argument("input sequence not sorted");
+  }
+}
+
+// Step 1: B_{u,v}[i] for the snake layout of A_u on an (m/N) x N array:
+// row i holds A_u[iN..iN+N-1], forward for even rows, reversed for odd
+// ones; column v read top-down is B_{u,v}.
+Key snake_column_element(const std::vector<Key>& a, std::int64_t n,
+                         std::int64_t v, std::int64_t i) {
+  const std::int64_t col = (i % 2 == 0) ? v : n - 1 - v;
+  return a[static_cast<std::size_t>(i * n + col)];
+}
+
+std::vector<Key> merge_recursive(const std::vector<std::vector<Key>>& inputs,
+                                 MergeStats& stats) {
+  const auto n = static_cast<std::int64_t>(inputs.size());
+  const auto m = static_cast<std::int64_t>(inputs.front().size());
+  ++stats.merges;
+
+  // Base of the overall scheme: m == N means the merge holds N^2 keys,
+  // for which the paper assumes a dedicated sorter (Section 3.2).
+  if (m == n) {
+    ++stats.base_sorts;
+    std::vector<Key> out;
+    out.reserve(static_cast<std::size_t>(n * m));
+    for (const auto& seq : inputs) out.insert(out.end(), seq.begin(), seq.end());
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  // Steps 1 + 2: column v gathers B_{u,v} for all u and merges them into
+  // C_v.  When columns hold N^2 keys the recursion's base case performs
+  // the direct sort.
+  const std::int64_t rows = m / n;
+  std::vector<std::vector<Key>> columns(static_cast<std::size_t>(n));
+  for (std::int64_t v = 0; v < n; ++v) {
+    std::vector<std::vector<Key>> b(static_cast<std::size_t>(n));
+    for (std::int64_t u = 0; u < n; ++u) {
+      auto& seq = b[static_cast<std::size_t>(u)];
+      seq.reserve(static_cast<std::size_t>(rows));
+      for (std::int64_t i = 0; i < rows; ++i)
+        seq.push_back(snake_column_element(inputs[static_cast<std::size_t>(u)],
+                                           n, v, i));
+    }
+    columns[static_cast<std::size_t>(v)] = merge_recursive(b, stats);
+  }
+
+  // Step 3: interleave row-major into D.
+  std::vector<Key> d(static_cast<std::size_t>(n * m));
+  for (std::int64_t v = 0; v < n; ++v)
+    for (std::int64_t i = 0; i < m; ++i)
+      d[static_cast<std::size_t>(i * n + v)] =
+          columns[static_cast<std::size_t>(v)][static_cast<std::size_t>(i)];
+  stats.max_dirty_span = std::max(stats.max_dirty_span, dirty_span(d));
+  stats.max_displacement = std::max(stats.max_displacement, max_displacement(d));
+
+  // Step 4: clean the dirty window.  Blocks of N^2 keys, alternating sort
+  // directions, two odd-even transposition steps, final alternating sorts,
+  // concatenation along the snake (odd blocks reversed).
+  const std::int64_t block = n * n;
+  const std::int64_t nblocks = (n * m) / block;
+  auto block_begin = [&](std::int64_t z) {
+    return d.begin() + static_cast<std::ptrdiff_t>(z * block);
+  };
+  auto sort_blocks = [&](void) {
+    for (std::int64_t z = 0; z < nblocks; ++z) {
+      if (z % 2 == 0)
+        std::sort(block_begin(z), block_begin(z + 1));
+      else
+        std::sort(block_begin(z), block_begin(z + 1), std::greater<Key>{});
+      ++stats.block_sorts;
+    }
+  };
+  auto transpose_pairs = [&](std::int64_t parity) {
+    for (std::int64_t z = parity; z + 1 < nblocks; z += 2) {
+      for (std::int64_t t = 0; t < block; ++t) {
+        Key& low = d[static_cast<std::size_t>(z * block + t)];
+        Key& high = d[static_cast<std::size_t>((z + 1) * block + t)];
+        if (low > high) std::swap(low, high);
+      }
+    }
+    ++stats.transpositions;
+  };
+
+  sort_blocks();
+  transpose_pairs(0);
+  transpose_pairs(1);
+  sort_blocks();
+
+  // Concatenate the I_z in snake order: odd (descending) blocks read
+  // backwards so the final sequence ascends.
+  for (std::int64_t z = 1; z < nblocks; z += 2)
+    std::reverse(block_begin(z), block_begin(z + 1));
+  return d;
+}
+
+}  // namespace
+
+std::vector<Key> multiway_merge(const std::vector<std::vector<Key>>& inputs,
+                                MergeStats* stats) {
+  validate_inputs(inputs);
+  MergeStats local;
+  MergeStats& s = stats != nullptr ? *stats : local;
+  return merge_recursive(inputs, s);
+}
+
+std::int64_t dirty_span(const std::vector<Key>& seq) {
+  std::vector<Key> sorted = seq;
+  std::sort(sorted.begin(), sorted.end());
+  std::int64_t first = -1;
+  std::int64_t last = -1;
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(seq.size()); ++i) {
+    if (seq[static_cast<std::size_t>(i)] != sorted[static_cast<std::size_t>(i)]) {
+      if (first == -1) first = i;
+      last = i;
+    }
+  }
+  return first == -1 ? 0 : last - first + 1;
+}
+
+std::int64_t max_displacement(const std::vector<Key>& seq) {
+  std::vector<Key> sorted = seq;
+  std::sort(sorted.begin(), sorted.end());
+  std::int64_t worst = 0;
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(seq.size()); ++i) {
+    const Key k = seq[static_cast<std::size_t>(i)];
+    const auto lo = std::lower_bound(sorted.begin(), sorted.end(), k);
+    const auto hi = std::upper_bound(sorted.begin(), sorted.end(), k);
+    const std::int64_t first = lo - sorted.begin();
+    const std::int64_t last = hi - sorted.begin() - 1;
+    if (i < first) worst = std::max(worst, first - i);
+    if (i > last) worst = std::max(worst, i - last);
+  }
+  return worst;
+}
+
+}  // namespace prodsort

@@ -1,0 +1,57 @@
+#pragma once
+
+// Section 3: the multiway-merge algorithm at the sequence level,
+// independent of any network.  This is the reference implementation the
+// network version (product_sort.hpp) is cross-checked against.
+//
+// multiway_merge() combines N sorted sequences of m = N^(k-1) keys each
+// (k >= 2) into one sorted sequence of N^k keys:
+//   Step 1  split each A_u into N sorted subsequences B_{u,v} by reading
+//           the columns of the m/N x N snake layout of A_u;
+//   Step 2  merge column v's subsequences into C_v (recursively, or by a
+//           direct N^2-key sort when the column holds N^2 keys);
+//   Step 3  interleave the C_v row-major into D — "almost sorted": the
+//           dirty window is at most N^2 (Lemma 1);
+//   Step 4  clean: cut D into N^2-key blocks, sort them in alternating
+//           directions, run two odd-even transposition steps between
+//           adjacent blocks, re-sort, and concatenate along the snake
+//           (Lemma 2).
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace prodsort {
+
+using Key = std::int64_t;
+
+/// Instrumentation accumulated across a merge (and its recursive calls).
+struct MergeStats {
+  std::int64_t merges = 0;        ///< multiway_merge invocations (incl. recursion)
+  std::int64_t base_sorts = 0;    ///< direct N^2-key sorts (Step 2 base case)
+  std::int64_t block_sorts = 0;   ///< Step 4 block sorts
+  std::int64_t transpositions = 0;///< Step 4 odd-even transposition steps
+  std::int64_t max_dirty_span = 0;   ///< widest 0-1 dirty window at Step 3
+  std::int64_t max_displacement = 0; ///< farthest any key sat from its
+                                     ///< final position at Step 3
+};
+
+/// Merges N = inputs.size() sorted sequences of equal length m = N^(k-1)
+/// (k >= 2) into one sorted sequence.  Throws std::invalid_argument on
+/// ragged input, non-power length, or unsorted input sequences.
+[[nodiscard]] std::vector<Key> multiway_merge(
+    const std::vector<std::vector<Key>>& inputs, MergeStats* stats = nullptr);
+
+/// The dirty window of `seq` relative to its sorted permutation: the
+/// length of the smallest contiguous window containing every position
+/// where `seq` disagrees with sorted(`seq`); 0 if already sorted.
+/// Lemma 1 bounds this by N^2 for 0-1 inputs.
+[[nodiscard]] std::int64_t dirty_span(const std::vector<Key>& seq);
+
+/// How far any key sits from a position it could occupy in sorted order
+/// (duplicates count as an interval of valid positions).  The Step 3
+/// remark of Section 4 bounds this by N^2 for arbitrary keys.
+[[nodiscard]] std::int64_t max_displacement(const std::vector<Key>& seq);
+
+}  // namespace prodsort

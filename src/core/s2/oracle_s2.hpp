@@ -1,0 +1,23 @@
+#pragma once
+
+// OracleS2: models the best known two-dimensional sorter for the factor
+// at hand without executing it step by step.  Keys of each view are
+// gathered along the snake, sorted, and scattered back; the analytic
+// cost S2(N) from Section 5 is charged to the executed-steps clock as a
+// proxy (the formula clock is charged by the driver).  This is the mode
+// the paper's Theorem 1 / Section 5 numbers are reproduced with; see
+// DESIGN.md "Substitutions".
+
+#include "core/s2/s2_sorter.hpp"
+
+namespace prodsort {
+
+class OracleS2 final : public S2Sorter {
+ public:
+  [[nodiscard]] std::string name() const override { return "oracle"; }
+
+  void sort_views(Machine& machine, std::span<const ViewSpec> views,
+                  const std::vector<bool>& descending) const override;
+};
+
+}  // namespace prodsort

@@ -1,0 +1,30 @@
+#pragma once
+
+// ShearsortS2: executable snake sorter for any 2-D view, O(N log N)
+// compare-exchange phases.
+//
+// The view's N x N layout has rows indexed by the higher free dimension
+// and columns by the lower one; the view's snake order is exactly the
+// boustrophedon row-major order, so classic shearsort applies: repeat
+// ceil(log2 N) + 1 times { sort rows in alternating directions, sort
+// columns downward }, then one final row pass.  Row/column sorts are
+// lockstep odd-even transposition sorts (N phases each) whose partners
+// are label-consecutive factor nodes (<= dilation hops apart).
+
+#include "core/s2/s2_sorter.hpp"
+
+namespace prodsort {
+
+class ShearsortS2 final : public S2Sorter {
+ public:
+  [[nodiscard]] std::string name() const override { return "shearsort"; }
+
+  /// Executable analytic cost: (ceil(log2 N) + 1) * 2N + N phases of
+  /// dilation hops each.
+  [[nodiscard]] double phase_cost(const LabeledFactor& factor) const override;
+
+  void sort_views(Machine& machine, std::span<const ViewSpec> views,
+                  const std::vector<bool>& descending) const override;
+};
+
+}  // namespace prodsort

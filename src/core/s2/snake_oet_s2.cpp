@@ -1,0 +1,28 @@
+#include "core/s2/snake_oet_s2.hpp"
+
+#include "product/snake_order.hpp"
+
+namespace prodsort {
+
+void SnakeOETS2::sort_views(Machine& machine, std::span<const ViewSpec> views,
+                            const std::vector<bool>& descending) const {
+  if (views.empty()) return;
+  const ProductGraph& pg = machine.graph();
+  // Consecutive snake ranks differ in one digit by +-1 (the Gray-code
+  // property), so partners are at most `dilation` hops apart.
+  const int hop = pg.factor().dilation;
+
+  std::vector<std::vector<PNode>> lines;
+  lines.reserve(views.size());
+  for (const ViewSpec& v : views) {
+    const PNode size = view_size(pg, v);
+    std::vector<PNode> line(static_cast<std::size_t>(size));
+    for (PNode rank = 0; rank < size; ++rank)
+      line[static_cast<std::size_t>(rank)] =
+          view_node_at_snake_rank(pg, v, rank);
+    lines.push_back(std::move(line));
+  }
+  lockstep_oet(machine, lines, descending, hop);
+}
+
+}  // namespace prodsort

@@ -1,0 +1,62 @@
+#include "core/sequence_sort.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "product/gray_code.hpp"
+
+namespace prodsort {
+
+bool power_arity(std::int64_t size, NodeId n, int& r) {
+  if (n < 2 || size < n) return false;
+  r = 0;
+  std::int64_t v = size;
+  while (v % n == 0) {
+    v /= n;
+    ++r;
+  }
+  return v == 1;
+}
+
+MergeStats multiway_merge_sort(std::vector<Key>& keys, NodeId n) {
+  int r = 0;
+  if (!power_arity(static_cast<std::int64_t>(keys.size()), n, r))
+    throw std::invalid_argument("key count must be N^r");
+
+  MergeStats stats;
+  const std::int64_t total = static_cast<std::int64_t>(keys.size());
+
+  if (r == 1) {  // degenerate: a single factor's worth of keys
+    std::sort(keys.begin(), keys.end());
+    return stats;
+  }
+
+  // Sort the N^2-key blocks independently.
+  const std::int64_t base = static_cast<std::int64_t>(n) * n;
+  for (std::int64_t off = 0; off < total; off += base) {
+    std::sort(keys.begin() + static_cast<std::ptrdiff_t>(off),
+              keys.begin() + static_cast<std::ptrdiff_t>(off + base));
+    ++stats.base_sorts;
+  }
+
+  // Merge N sequences of length N^(k-1) into sequences of length N^k.
+  for (int k = 3; k <= r; ++k) {
+    const std::int64_t seq_len = pow_int(n, k - 1);
+    const std::int64_t group_len = seq_len * n;
+    for (std::int64_t off = 0; off < total; off += group_len) {
+      std::vector<std::vector<Key>> group(static_cast<std::size_t>(n));
+      for (NodeId u = 0; u < n; ++u) {
+        const std::int64_t lo = off + u * seq_len;
+        group[static_cast<std::size_t>(u)].assign(
+            keys.begin() + static_cast<std::ptrdiff_t>(lo),
+            keys.begin() + static_cast<std::ptrdiff_t>(lo + seq_len));
+      }
+      const std::vector<Key> merged = multiway_merge(group, &stats);
+      std::copy(merged.begin(), merged.end(),
+                keys.begin() + static_cast<std::ptrdiff_t>(off));
+    }
+  }
+  return stats;
+}
+
+}  // namespace prodsort

@@ -1,0 +1,20 @@
+#pragma once
+
+// Section 3.3: the sorting algorithm built on the multiway merge, at the
+// sequence level.  Sorts N^r keys by sorting N^2-key blocks and then
+// merging groups of N sorted sequences into ever-longer sequences.
+
+#include <vector>
+
+#include "core/multiway_merge.hpp"
+
+namespace prodsort {
+
+/// Sorts `keys` (size must be N^r for some r >= 1) with the Section 3.3
+/// algorithm.  Returns merge statistics accumulated across all levels.
+MergeStats multiway_merge_sort(std::vector<Key>& keys, NodeId n);
+
+/// True iff `size` == n^r for some integer r >= 1; sets `r` accordingly.
+[[nodiscard]] bool power_arity(std::int64_t size, NodeId n, int& r);
+
+}  // namespace prodsort

@@ -1,0 +1,45 @@
+#include "graph/embedding.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "graph/graph_algos.hpp"
+#include "graph/hamiltonian.hpp"
+#include "graph/linear_embedding.hpp"
+
+namespace prodsort {
+
+EmbeddingQuality evaluate_embedding(const Graph& host, const Graph& guest,
+                                    std::span<const NodeId> map) {
+  if (static_cast<NodeId>(map.size()) != guest.num_nodes())
+    throw std::invalid_argument("map size mismatch");
+  for (const NodeId h : map)
+    if (h < 0 || h >= host.num_nodes())
+      throw std::out_of_range("mapped node outside host");
+
+  EmbeddingQuality q;
+  std::map<std::pair<NodeId, NodeId>, int> load;
+  for (const auto& [a, b] : guest.edges()) {
+    const auto path = shortest_path(host, map[static_cast<std::size_t>(a)],
+                                    map[static_cast<std::size_t>(b)]);
+    if (path.empty() && map[static_cast<std::size_t>(a)] !=
+                            map[static_cast<std::size_t>(b)])
+      throw std::invalid_argument("host cannot route a guest edge");
+    q.dilation = std::max(q.dilation, static_cast<int>(path.size()) - 1);
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      const auto key = std::minmax(path[i], path[i + 1]);
+      q.congestion = std::max(q.congestion, ++load[{key.first, key.second}]);
+    }
+  }
+  return q;
+}
+
+std::vector<NodeId> ring_embedding(const Graph& g) {
+  // A Hamiltonian cycle gives the perfect (dilation-1) ring; otherwise
+  // the Sekanina cycle guarantees dilation <= 3 including wraparound.
+  if (auto cycle = find_hamiltonian_cycle(g)) return *cycle;
+  return linear_embedding_order(g);
+}
+
+}  // namespace prodsort

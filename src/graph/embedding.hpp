@@ -1,0 +1,33 @@
+#pragma once
+
+// Graph-embedding machinery behind the Corollary: PG_r emulates the
+// r-dimensional torus with constant slowdown because a ring embeds into
+// any connected factor with dilation 3 (Sekanina) and small congestion.
+// evaluate_embedding measures dilation and congestion of an arbitrary
+// guest->host node map, routing guest edges along BFS shortest paths.
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace prodsort {
+
+struct EmbeddingQuality {
+  int dilation = 0;    ///< longest host path implementing a guest edge
+  int congestion = 0;  ///< most-loaded host edge (over the chosen paths)
+};
+
+/// Evaluates the embedding guest -> host given by `map` (guest node g
+/// lives at host node map[g]; map need not be injective for evaluation,
+/// but embeddings of interest are).  Guest edges are routed along host
+/// BFS shortest paths (deterministic tie-break by BFS order).
+[[nodiscard]] EmbeddingQuality evaluate_embedding(const Graph& host,
+                                                  const Graph& guest,
+                                                  std::span<const NodeId> map);
+
+/// Embedding of the |G|-node ring into a connected graph G: a
+/// Hamiltonian cycle when one is found (dilation 1), the Sekanina cycle
+/// otherwise (dilation <= 3).  Ring node i -> returned[i].
+[[nodiscard]] std::vector<NodeId> ring_embedding(const Graph& g);
+
+}  // namespace prodsort

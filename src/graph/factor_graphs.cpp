@@ -1,0 +1,148 @@
+#include "graph/factor_graphs.hpp"
+
+#include <stdexcept>
+
+namespace prodsort {
+
+Graph make_path(NodeId n) {
+  if (n < 1) throw std::invalid_argument("path needs >= 1 node");
+  Graph g(n);
+  for (NodeId v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1);
+  return g;
+}
+
+Graph make_cycle(NodeId n) {
+  if (n < 3) throw std::invalid_argument("cycle needs >= 3 nodes");
+  Graph g(n);
+  for (NodeId v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1);
+  g.add_edge(n - 1, 0);
+  return g;
+}
+
+Graph make_complete(NodeId n) {
+  if (n < 1) throw std::invalid_argument("complete graph needs >= 1 node");
+  Graph g(n);
+  for (NodeId a = 0; a < n; ++a)
+    for (NodeId b = a + 1; b < n; ++b) g.add_edge(a, b);
+  return g;
+}
+
+Graph make_k2() { return make_path(2); }
+
+Graph make_complete_binary_tree(int levels) {
+  if (levels < 1 || levels > 20)
+    throw std::invalid_argument("tree levels out of range");
+  const NodeId n = static_cast<NodeId>((1u << levels) - 1u);
+  Graph g(n);
+  for (NodeId v = 0; 2 * v + 2 < n + 1; ++v) {
+    if (2 * v + 1 < n) g.add_edge(v, 2 * v + 1);
+    if (2 * v + 2 < n) g.add_edge(v, 2 * v + 2);
+  }
+  return g;
+}
+
+Graph make_star(NodeId n) {
+  if (n < 2) throw std::invalid_argument("star needs >= 2 nodes");
+  Graph g(n);
+  for (NodeId v = 1; v < n; ++v) g.add_edge(0, v);
+  return g;
+}
+
+Graph make_petersen() {
+  Graph g(10);
+  for (NodeId i = 0; i < 5; ++i) {
+    g.add_edge(i, (i + 1) % 5);          // outer 5-cycle
+    g.add_edge(5 + i, 5 + (i + 2) % 5);  // inner pentagram (step 2)
+    g.add_edge(i, 5 + i);                // spokes
+  }
+  return g;
+}
+
+Graph make_de_bruijn(int d) {
+  if (d < 1 || d > 20) throw std::invalid_argument("de Bruijn order out of range");
+  const NodeId n = static_cast<NodeId>(1u << d);
+  Graph g(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId b = 0; b < 2; ++b) {
+      const NodeId v = static_cast<NodeId>((2 * u + b) & (n - 1));
+      if (u != v && !g.has_edge(u, v)) g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+Graph make_shuffle_exchange(int d) {
+  if (d < 1 || d > 20)
+    throw std::invalid_argument("shuffle-exchange order out of range");
+  const NodeId n = static_cast<NodeId>(1u << d);
+  Graph g(n);
+  for (NodeId u = 0; u < n; ++u) {
+    const NodeId ex = u ^ 1;
+    if (u < ex && !g.has_edge(u, ex)) g.add_edge(u, ex);
+    const NodeId sh = static_cast<NodeId>(((u << 1) | (u >> (d - 1))) & (n - 1));
+    if (u != sh && !g.has_edge(u, sh)) g.add_edge(u, sh);
+  }
+  return g;
+}
+
+Graph make_grid2d(NodeId rows, NodeId cols) {
+  if (rows < 1 || cols < 1) throw std::invalid_argument("grid needs >= 1x1");
+  Graph g(rows * cols);
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      const NodeId v = r * cols + c;
+      if (c + 1 < cols) g.add_edge(v, v + 1);
+      if (r + 1 < rows) g.add_edge(v, v + cols);
+    }
+  }
+  return g;
+}
+
+Graph make_complete_bipartite(NodeId a, NodeId b) {
+  if (a < 1 || b < 1)
+    throw std::invalid_argument("complete bipartite needs both parts >= 1");
+  Graph g(a + b);
+  for (NodeId u = 0; u < a; ++u)
+    for (NodeId v = a; v < a + b; ++v) g.add_edge(u, v);
+  return g;
+}
+
+Graph make_wheel(NodeId n) {
+  if (n < 4) throw std::invalid_argument("wheel needs >= 4 nodes");
+  Graph g(n);
+  for (NodeId v = 1; v < n; ++v) {
+    g.add_edge(0, v);
+    g.add_edge(v, v == n - 1 ? 1 : v + 1);
+  }
+  return g;
+}
+
+Graph make_cube_connected_cycles(int d) {
+  if (d < 3 || d > 16)
+    throw std::invalid_argument("cube-connected cycles order out of range");
+  const NodeId words = static_cast<NodeId>(1u << d);
+  Graph g(words * d);
+  const auto id = [d](NodeId w, int i) { return w * d + static_cast<NodeId>(i); };
+  for (NodeId w = 0; w < words; ++w) {
+    for (int i = 0; i < d; ++i) {
+      g.add_edge(id(w, i), id(w, (i + 1) % d));  // cycle edge
+      const NodeId across = w ^ static_cast<NodeId>(1 << i);
+      if (w < across) g.add_edge(id(w, i), id(across, i));  // cube edge
+    }
+  }
+  return g;
+}
+
+Graph make_hypercube(int d) {
+  if (d < 1 || d > 20) throw std::invalid_argument("hypercube order out of range");
+  const NodeId n = static_cast<NodeId>(1u << d);
+  Graph g(n);
+  for (NodeId u = 0; u < n; ++u)
+    for (int bit = 0; bit < d; ++bit) {
+      const NodeId v = u ^ static_cast<NodeId>(1 << bit);
+      if (u < v) g.add_edge(u, v);
+    }
+  return g;
+}
+
+}  // namespace prodsort

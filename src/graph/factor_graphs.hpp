@@ -1,0 +1,69 @@
+#pragma once
+
+// Factor-graph families used throughout the paper.
+//
+// Each builder returns a Graph whose node ids follow the family's natural
+// labeling (e.g. path nodes are numbered along the path).  LabeledFactor
+// (labeled_factor.hpp) wraps these with the sorted-order labeling the
+// sorting algorithm requires.
+
+#include "graph/graph.hpp"
+
+namespace prodsort {
+
+/// Linear array 0-1-...-(n-1).  Products of paths are grids (Section 5.1).
+[[nodiscard]] Graph make_path(NodeId n);
+
+/// Cycle 0-1-...-(n-1)-0.  Products of cycles are tori (Corollary proof).
+[[nodiscard]] Graph make_cycle(NodeId n);
+
+/// Complete graph K_n.
+[[nodiscard]] Graph make_complete(NodeId n);
+
+/// K_2, the factor of the hypercube (Section 5.3).
+[[nodiscard]] Graph make_k2();
+
+/// Complete binary tree with `levels` >= 1 levels (2^levels - 1 nodes),
+/// the factor of mesh-connected trees (Section 5.2).  Node 0 is the root;
+/// children of v are 2v+1 and 2v+2 (heap order).
+[[nodiscard]] Graph make_complete_binary_tree(int levels);
+
+/// Star K_{1,n-1}: node 0 is the hub.  A simple non-Hamiltonian factor.
+[[nodiscard]] Graph make_star(NodeId n);
+
+/// The Petersen graph (Fig. 16): outer 5-cycle 0..4, inner pentagram 5..9,
+/// spokes i -- i+5.  Factor of the Petersen cube (Section 5.4).
+[[nodiscard]] Graph make_petersen();
+
+/// Undirected binary de Bruijn graph B(2, d) with 2^d nodes: u is adjacent
+/// to (2u + b) mod 2^d for b in {0,1}, self-loops and parallel edges
+/// collapsed (Section 5.5).
+[[nodiscard]] Graph make_de_bruijn(int d);
+
+/// Undirected shuffle-exchange graph with 2^d nodes: shuffle edges
+/// u ~ rot_left(u), exchange edges u ~ u^1, self-loops collapsed
+/// (Section 5.5).
+[[nodiscard]] Graph make_shuffle_exchange(int d);
+
+/// rows x cols grid, row-major node ids (used as a host for 2-D sorters
+/// and in topology tests; the paper's grids arise as products of paths).
+[[nodiscard]] Graph make_grid2d(NodeId rows, NodeId cols);
+
+/// Complete bipartite graph K_{a,b}: parts {0..a-1} and {a..a+b-1}.
+[[nodiscard]] Graph make_complete_bipartite(NodeId a, NodeId b);
+
+/// Wheel W_n: hub 0 joined to the cycle 1..n-1 (n >= 4).
+[[nodiscard]] Graph make_wheel(NodeId n);
+
+/// Binary hypercube Q_d with 2^d nodes, usable as a *factor* graph
+/// (products of hypercubes are themselves hypercubes, a self-similarity
+/// the homogeneous-product framework makes literal).
+[[nodiscard]] Graph make_hypercube(int d);
+
+/// Cube-connected cycles CCC(d), d >= 3: node (w, i) with w in 0..2^d-1
+/// and i in 0..d-1 has id w*d + i; cycle edges (w,i)-(w,i+-1 mod d) and
+/// the cube edge (w,i)-(w xor 2^i, i).  The paper's reference [28]
+/// (Preparata-Vuillemin) hosts Batcher's algorithm on this network.
+[[nodiscard]] Graph make_cube_connected_cycles(int d);
+
+}  // namespace prodsort

@@ -1,0 +1,71 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace prodsort {
+
+Graph::Graph(NodeId num_nodes) {
+  if (num_nodes < 0) throw std::invalid_argument("negative node count");
+  adj_.resize(static_cast<std::size_t>(num_nodes));
+}
+
+void Graph::check_node(NodeId v) const {
+  if (v < 0 || v >= num_nodes()) throw std::out_of_range("node id out of range");
+}
+
+void Graph::add_edge(NodeId a, NodeId b) {
+  check_node(a);
+  check_node(b);
+  if (a == b) throw std::invalid_argument("self-loop rejected");
+  if (has_edge(a, b)) throw std::invalid_argument("duplicate edge rejected");
+  adj_[static_cast<std::size_t>(a)].push_back(b);
+  adj_[static_cast<std::size_t>(b)].push_back(a);
+  edges_.emplace_back(std::min(a, b), std::max(a, b));
+  ++num_edges_;
+}
+
+std::span<const NodeId> Graph::neighbors(NodeId v) const {
+  check_node(v);
+  return adj_[static_cast<std::size_t>(v)];
+}
+
+int Graph::max_degree() const noexcept {
+  int d = 0;
+  for (const auto& nbrs : adj_) d = std::max(d, static_cast<int>(nbrs.size()));
+  return d;
+}
+
+int Graph::min_degree() const noexcept {
+  if (adj_.empty()) return 0;
+  int d = static_cast<int>(adj_.front().size());
+  for (const auto& nbrs : adj_) d = std::min(d, static_cast<int>(nbrs.size()));
+  return d;
+}
+
+bool Graph::has_edge(NodeId a, NodeId b) const {
+  check_node(a);
+  check_node(b);
+  const auto& nbrs = adj_[static_cast<std::size_t>(a)];
+  return std::find(nbrs.begin(), nbrs.end(), b) != nbrs.end();
+}
+
+Graph Graph::relabeled(std::span<const NodeId> perm) const {
+  if (static_cast<NodeId>(perm.size()) != num_nodes())
+    throw std::invalid_argument("permutation size mismatch");
+  // inverse[old] = new id
+  std::vector<NodeId> inverse(perm.size(), NodeId{-1});
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    const NodeId old = perm[i];
+    if (old < 0 || old >= num_nodes() || inverse[static_cast<std::size_t>(old)] != -1)
+      throw std::invalid_argument("not a permutation");
+    inverse[static_cast<std::size_t>(old)] = static_cast<NodeId>(i);
+  }
+  Graph out(num_nodes());
+  for (const auto& [a, b] : edges_)
+    out.add_edge(inverse[static_cast<std::size_t>(a)],
+                 inverse[static_cast<std::size_t>(b)]);
+  return out;
+}
+
+}  // namespace prodsort

@@ -1,0 +1,66 @@
+#pragma once
+
+// Undirected simple graph, the substrate for factor networks.
+//
+// Nodes are dense integer ids 0..num_nodes()-1.  The structure is
+// adjacency-list based and immutable-after-build in spirit: algorithms in
+// this library only read it.  Node ids double as the "sorted order" labels
+// of the paper once a LabeledFactor relabeling has been applied.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace prodsort {
+
+using NodeId = std::int32_t;
+
+/// An undirected simple graph over nodes 0..n-1.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Creates a graph with `num_nodes` nodes and no edges.
+  explicit Graph(NodeId num_nodes);
+
+  /// Adds the undirected edge {a, b}.  Self-loops and duplicate edges are
+  /// rejected (throws std::invalid_argument), as is any out-of-range id.
+  void add_edge(NodeId a, NodeId b);
+
+  [[nodiscard]] NodeId num_nodes() const noexcept {
+    return static_cast<NodeId>(adj_.size());
+  }
+  [[nodiscard]] std::size_t num_edges() const noexcept { return num_edges_; }
+
+  /// Neighbors of `v`, in insertion order.
+  [[nodiscard]] std::span<const NodeId> neighbors(NodeId v) const;
+
+  [[nodiscard]] int degree(NodeId v) const {
+    return static_cast<int>(neighbors(v).size());
+  }
+  [[nodiscard]] int max_degree() const noexcept;
+  [[nodiscard]] int min_degree() const noexcept;
+
+  [[nodiscard]] bool has_edge(NodeId a, NodeId b) const;
+
+  /// All edges as (a, b) pairs with a < b, in insertion order.
+  [[nodiscard]] const std::vector<std::pair<NodeId, NodeId>>& edges()
+      const noexcept {
+    return edges_;
+  }
+
+  /// Returns an isomorphic graph whose node `i` is old node `perm[i]`.
+  /// `perm` must be a permutation of 0..n-1.
+  [[nodiscard]] Graph relabeled(std::span<const NodeId> perm) const;
+
+ private:
+  void check_node(NodeId v) const;
+
+  std::vector<std::vector<NodeId>> adj_;
+  std::vector<std::pair<NodeId, NodeId>> edges_;
+  std::size_t num_edges_ = 0;
+};
+
+}  // namespace prodsort

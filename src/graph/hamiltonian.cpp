@@ -1,0 +1,131 @@
+#include "graph/hamiltonian.hpp"
+
+#include <algorithm>
+
+namespace prodsort {
+
+namespace {
+
+// Backtracking extension of a partial path.  Neighbors are tried in
+// ascending-degree order (Warnsdorff-style), which finds paths quickly in
+// all the factor families used by this library.
+bool extend_path(const Graph& g, std::vector<NodeId>& path,
+                 std::vector<bool>& used, std::uint64_t& budget) {
+  if (static_cast<NodeId>(path.size()) == g.num_nodes()) return true;
+  if (budget == 0) return false;
+  --budget;
+
+  const NodeId tail = path.back();
+  std::vector<NodeId> candidates;
+  for (const NodeId w : g.neighbors(tail))
+    if (!used[static_cast<std::size_t>(w)]) candidates.push_back(w);
+
+  // Count each candidate's unused-neighbor degree for the heuristic order.
+  auto unused_degree = [&](NodeId v) {
+    int d = 0;
+    for (const NodeId w : g.neighbors(v))
+      if (!used[static_cast<std::size_t>(w)]) ++d;
+    return d;
+  };
+  std::sort(candidates.begin(), candidates.end(),
+            [&](NodeId a, NodeId b) { return unused_degree(a) < unused_degree(b); });
+
+  for (const NodeId w : candidates) {
+    used[static_cast<std::size_t>(w)] = true;
+    path.push_back(w);
+    if (extend_path(g, path, used, budget)) return true;
+    path.pop_back();
+    used[static_cast<std::size_t>(w)] = false;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<std::vector<NodeId>> find_hamiltonian_path(const Graph& g,
+                                                         std::uint64_t budget) {
+  const NodeId n = g.num_nodes();
+  if (n == 0) return std::vector<NodeId>{};
+  if (n == 1) return std::vector<NodeId>{0};
+
+  // Prefer low-degree start nodes: a degree-1 node must be an endpoint.
+  std::vector<NodeId> starts(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) starts[static_cast<std::size_t>(v)] = v;
+  std::sort(starts.begin(), starts.end(),
+            [&](NodeId a, NodeId b) { return g.degree(a) < g.degree(b); });
+
+  for (const NodeId s : starts) {
+    std::vector<NodeId> path{s};
+    std::vector<bool> used(static_cast<std::size_t>(n), false);
+    used[static_cast<std::size_t>(s)] = true;
+    std::uint64_t local_budget = budget;
+    if (extend_path(g, path, used, local_budget)) return path;
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+// Extends a partial path that must eventually close back to path[0].
+bool extend_cycle(const Graph& g, std::vector<NodeId>& path,
+                  std::vector<bool>& used, std::uint64_t& budget) {
+  if (static_cast<NodeId>(path.size()) == g.num_nodes())
+    return g.has_edge(path.back(), path.front());
+  if (budget == 0) return false;
+  --budget;
+
+  const NodeId tail = path.back();
+  std::vector<NodeId> candidates;
+  for (const NodeId w : g.neighbors(tail))
+    if (!used[static_cast<std::size_t>(w)]) candidates.push_back(w);
+  auto unused_degree = [&](NodeId v) {
+    int d = 0;
+    for (const NodeId w : g.neighbors(v))
+      if (!used[static_cast<std::size_t>(w)]) ++d;
+    return d;
+  };
+  std::sort(candidates.begin(), candidates.end(),
+            [&](NodeId a, NodeId b) { return unused_degree(a) < unused_degree(b); });
+
+  for (const NodeId w : candidates) {
+    used[static_cast<std::size_t>(w)] = true;
+    path.push_back(w);
+    if (extend_cycle(g, path, used, budget)) return true;
+    path.pop_back();
+    used[static_cast<std::size_t>(w)] = false;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<std::vector<NodeId>> find_hamiltonian_cycle(
+    const Graph& g, std::uint64_t budget) {
+  const NodeId n = g.num_nodes();
+  if (n < 3) return std::nullopt;  // no simple cycle below 3 nodes
+  std::vector<NodeId> path{0};     // vertex-transitive start is fine
+  std::vector<bool> used(static_cast<std::size_t>(n), false);
+  used[0] = true;
+  if (extend_cycle(g, path, used, budget)) return path;
+  return std::nullopt;
+}
+
+bool is_hamiltonian_cycle(const Graph& g, std::span<const NodeId> order) {
+  return is_hamiltonian_path(g, order) && order.size() >= 3 &&
+         g.has_edge(order.back(), order.front());
+}
+
+bool is_hamiltonian_path(const Graph& g, std::span<const NodeId> order) {
+  if (static_cast<NodeId>(order.size()) != g.num_nodes()) return false;
+  std::vector<bool> seen(order.size(), false);
+  for (const NodeId v : order) {
+    if (v < 0 || v >= g.num_nodes() || seen[static_cast<std::size_t>(v)])
+      return false;
+    seen[static_cast<std::size_t>(v)] = true;
+  }
+  for (std::size_t i = 0; i + 1 < order.size(); ++i)
+    if (!g.has_edge(order[i], order[i + 1])) return false;
+  return true;
+}
+
+}  // namespace prodsort

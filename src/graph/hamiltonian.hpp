@@ -1,0 +1,43 @@
+#pragma once
+
+// Hamiltonian path search for factor graphs.
+//
+// The paper recommends labeling factor nodes along a Hamiltonian path when
+// one exists (Section 2): consecutive sorted-order labels are then adjacent
+// and the odd-even transposition steps of the merge cost one communication
+// step instead of a routed exchange.  Factor graphs are small (N is the
+// factor size), so a pruned backtracking search with a node budget is
+// adequate; families where search could stall (none in this library at the
+// sizes we use) fall back to the Sekanina labeling (linear_embedding.hpp).
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace prodsort {
+
+/// Searches for a Hamiltonian path.  Returns the node sequence if one is
+/// found within `budget` backtracking steps, std::nullopt otherwise
+/// (which means "not found", not "does not exist").
+[[nodiscard]] std::optional<std::vector<NodeId>> find_hamiltonian_path(
+    const Graph& g, std::uint64_t budget = 2'000'000);
+
+/// True iff `order` visits every node exactly once and consecutive nodes
+/// are adjacent in `g`.
+[[nodiscard]] bool is_hamiltonian_path(const Graph& g,
+                                       std::span<const NodeId> order);
+
+/// Searches for a Hamiltonian cycle (returned as a node order whose
+/// wraparound pair is also adjacent).  A cyclic labeling upgrades the
+/// ring embedding behind the Corollary to dilation 1.  Famously, the
+/// Petersen graph has a Hamiltonian path but no cycle.
+[[nodiscard]] std::optional<std::vector<NodeId>> find_hamiltonian_cycle(
+    const Graph& g, std::uint64_t budget = 2'000'000);
+
+/// True iff `order` is a Hamiltonian path whose endpoints are adjacent.
+[[nodiscard]] bool is_hamiltonian_cycle(const Graph& g,
+                                        std::span<const NodeId> order);
+
+}  // namespace prodsort

@@ -1,0 +1,252 @@
+#include "graph/labeled_factor.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "graph/factor_graphs.hpp"
+#include "graph/graph_algos.hpp"
+#include "graph/hamiltonian.hpp"
+#include "graph/linear_embedding.hpp"
+
+namespace prodsort {
+
+std::string to_string(FactorFamily family) {
+  switch (family) {
+    case FactorFamily::kPath: return "path";
+    case FactorFamily::kCycle: return "cycle";
+    case FactorFamily::kComplete: return "complete";
+    case FactorFamily::kK2: return "k2";
+    case FactorFamily::kBinaryTree: return "binary-tree";
+    case FactorFamily::kStar: return "star";
+    case FactorFamily::kPetersen: return "petersen";
+    case FactorFamily::kDeBruijn: return "de-bruijn";
+    case FactorFamily::kShuffleExchange: return "shuffle-exchange";
+    case FactorFamily::kCustom: return "custom";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Relabels `g` along a Hamiltonian path if one is found, otherwise along
+// the Sekanina dilation-<=3 order.  Fills graph/hamiltonian/dilation.
+LabeledFactor relabel_sorted(Graph g, std::string name, FactorFamily family) {
+  LabeledFactor f;
+  f.name = std::move(name);
+  f.family = family;
+  if (auto ham = find_hamiltonian_path(g)) {
+    f.graph = g.relabeled(*ham);
+    f.hamiltonian = true;
+    f.dilation = 1;
+  } else {
+    const auto order = linear_embedding_order(g);
+    f.graph = g.relabeled(order);
+    f.hamiltonian = false;
+    f.dilation = order_dilation(g, order);
+  }
+  return f;
+}
+
+double log2d(double x) { return std::log2(x); }
+
+}  // namespace
+
+LabeledFactor labeled_path(NodeId n) {
+  LabeledFactor f;
+  f.graph = make_path(n);  // natural labels already lie on the path
+  f.name = "path-" + std::to_string(n);
+  f.family = FactorFamily::kPath;
+  f.hamiltonian = true;
+  f.dilation = 1;
+  // Section 5.1: Schnorr-Shamir sorts the N x N grid in 3N + o(N); a
+  // permutation on the N-node linear array takes at most N-1 steps.
+  f.s2_cost = 3.0 * n;
+  f.routing_cost = n - 1.0;
+  return f;
+}
+
+LabeledFactor labeled_cycle(NodeId n) {
+  LabeledFactor f;
+  f.graph = make_cycle(n);
+  f.name = "cycle-" + std::to_string(n);
+  f.family = FactorFamily::kCycle;
+  f.hamiltonian = true;
+  f.dilation = 1;
+  // Corollary proof: Kunde's torus sort, 2.5N + o(N); any permutation on
+  // the N-node cycle routes in at most N/2 steps.
+  f.s2_cost = 2.5 * n;
+  f.routing_cost = n / 2.0;
+  return f;
+}
+
+LabeledFactor labeled_complete(NodeId n) {
+  LabeledFactor f;
+  f.graph = make_complete(n);
+  f.name = "complete-" + std::to_string(n);
+  f.family = FactorFamily::kComplete;
+  f.hamiltonian = true;
+  f.dilation = 1;
+  // PG_2(K_N) contains the N x N grid (K_N contains the path), so
+  // Schnorr-Shamir applies; any permutation is one step on K_N.
+  f.s2_cost = 3.0 * n;
+  f.routing_cost = 1.0;
+  return f;
+}
+
+LabeledFactor labeled_k2() {
+  LabeledFactor f;
+  f.graph = make_k2();
+  f.name = "k2";
+  f.family = FactorFamily::kK2;
+  f.hamiltonian = true;
+  f.dilation = 1;
+  // Section 5.3: the 4-node 2-D hypercube sorts in snake order in three
+  // compare-exchange steps; 1-D routing is one step.
+  f.s2_cost = 3.0;
+  f.routing_cost = 1.0;
+  return f;
+}
+
+LabeledFactor labeled_binary_tree(int levels) {
+  LabeledFactor f =
+      relabel_sorted(make_complete_binary_tree(levels),
+                     "btree-" + std::to_string((1 << levels) - 1),
+                     FactorFamily::kBinaryTree);
+  const double n = f.size();
+  // Section 5.2 via the Corollary: the dilation-3/congestion-2 torus
+  // embedding gives slowdown <= 6 over Kunde's 2.5N sort and N/2 routing.
+  f.s2_cost = 15.0 * n;
+  f.routing_cost = 3.0 * n;
+  return f;
+}
+
+LabeledFactor labeled_star(NodeId n) {
+  LabeledFactor f = relabel_sorted(make_star(n), "star-" + std::to_string(n),
+                                   FactorFamily::kStar);
+  const double sz = f.size();
+  f.s2_cost = 15.0 * sz;  // generic torus-emulation bound (Corollary)
+  f.routing_cost = f.dilation * (sz - 1.0);
+  return f;
+}
+
+LabeledFactor labeled_petersen() {
+  LabeledFactor f =
+      relabel_sorted(make_petersen(), "petersen", FactorFamily::kPetersen);
+  if (!f.hamiltonian)
+    throw std::logic_error("Petersen graph must yield a Hamiltonian path");
+  // Section 5.4: PG_2 contains the 10x10 grid (Hamiltonian factor), so
+  // Schnorr-Shamir sorts 100 keys in constant time 3N = 30; routing along
+  // the Hamiltonian path costs at most N-1 = 9.
+  f.s2_cost = 30.0;
+  f.routing_cost = 9.0;
+  return f;
+}
+
+LabeledFactor labeled_de_bruijn(int d) {
+  LabeledFactor f = relabel_sorted(make_de_bruijn(d),
+                                   "debruijn-" + std::to_string(1 << d),
+                                   FactorFamily::kDeBruijn);
+  const double n = f.size();
+  const double lg = log2d(n);
+  // Section 5.5: the N^2-node de Bruijn graph embeds in PG_2 with dilation
+  // 2; Batcher's bitonic sort on it takes (log N^2)(log N^2 + 1)/2 =
+  // d(2d+1) compare steps with d = log N, so S2 = 2 d (2d+1).  Offline
+  // permutation routing on the de Bruijn graph takes O(log N) = 2 log N.
+  f.s2_cost = 2.0 * lg * (2.0 * lg + 1.0);
+  f.routing_cost = 2.0 * lg;
+  return f;
+}
+
+LabeledFactor labeled_shuffle_exchange(int d) {
+  LabeledFactor f = relabel_sorted(make_shuffle_exchange(d),
+                                   "shufflex-" + std::to_string(1 << d),
+                                   FactorFamily::kShuffleExchange);
+  const double n = f.size();
+  const double lg = log2d(n);
+  // Same as de Bruijn but with the dilation-4 embedding quoted in 5.5.
+  f.s2_cost = 4.0 * lg * (2.0 * lg + 1.0);
+  f.routing_cost = 2.0 * lg;
+  return f;
+}
+
+LabeledFactor labeled_complete_bipartite(NodeId m) {
+  LabeledFactor f = relabel_sorted(
+      make_complete_bipartite(m, m), "kbip-" + std::to_string(2 * m),
+      FactorFamily::kCustom);
+  if (!f.hamiltonian)
+    throw std::logic_error("K_{m,m} must yield a Hamiltonian path");
+  // Hamiltonian, so PG_2 contains the grid: Schnorr-Shamir applies;
+  // diameter 2 keeps routing at the sorting-based generic bound.
+  f.s2_cost = 3.0 * f.size();
+  f.routing_cost = f.size() - 1.0;
+  return f;
+}
+
+LabeledFactor labeled_wheel(NodeId n) {
+  LabeledFactor f = relabel_sorted(make_wheel(n), "wheel-" + std::to_string(n),
+                                   FactorFamily::kCustom);
+  if (!f.hamiltonian)
+    throw std::logic_error("wheels must yield a Hamiltonian path");
+  f.s2_cost = 3.0 * f.size();
+  f.routing_cost = f.size() - 1.0;
+  return f;
+}
+
+LabeledFactor labeled_hypercube(int d) {
+  LabeledFactor f = relabel_sorted(make_hypercube(d),
+                                   "qcube-" + std::to_string(1 << d),
+                                   FactorFamily::kCustom);
+  if (!f.hamiltonian)
+    throw std::logic_error("hypercubes must yield a Hamiltonian path");
+  const double lg = log2d(f.size());
+  // PG_2(Q_d) = Q_{2d}: Batcher sorts it in 2d(2d+1)/2 = d(2d+1) steps;
+  // permutation routing on Q_d takes O(d) offline.
+  f.s2_cost = lg * (2.0 * lg + 1.0);
+  f.routing_cost = lg;
+  return f;
+}
+
+LabeledFactor labeled_ccc(int d) {
+  LabeledFactor f = relabel_sorted(
+      make_cube_connected_cycles(d),
+      "ccc-" + std::to_string(d * (1 << d)), FactorFamily::kCustom);
+  const double n = f.size();
+  f.s2_cost = 15.0 * n;  // universal Corollary bound (conservative)
+  f.routing_cost = f.dilation * (n - 1.0);
+  return f;
+}
+
+LabeledFactor labeled_custom(Graph g, std::string name) {
+  if (!is_connected(g))
+    throw std::invalid_argument("factor graph must be connected");
+  LabeledFactor f =
+      relabel_sorted(std::move(g), std::move(name), FactorFamily::kCustom);
+  const double n = f.size();
+  f.s2_cost = 15.0 * n;  // universal Corollary bound
+  f.routing_cost = f.dilation * (n - 1.0);
+  return f;
+}
+
+std::vector<LabeledFactor> standard_factors() {
+  std::vector<LabeledFactor> out;
+  out.push_back(labeled_k2());
+  out.push_back(labeled_path(3));
+  out.push_back(labeled_path(4));
+  out.push_back(labeled_cycle(4));
+  out.push_back(labeled_cycle(5));
+  out.push_back(labeled_complete(3));
+  out.push_back(labeled_binary_tree(2));   // 3 nodes
+  out.push_back(labeled_binary_tree(3));   // 7 nodes
+  out.push_back(labeled_star(4));
+  out.push_back(labeled_petersen());
+  out.push_back(labeled_de_bruijn(2));     // 4 nodes
+  out.push_back(labeled_de_bruijn(3));     // 8 nodes
+  out.push_back(labeled_shuffle_exchange(3));
+  out.push_back(labeled_complete_bipartite(2));  // K_{2,2} = 4-cycle
+  out.push_back(labeled_wheel(5));
+  out.push_back(labeled_hypercube(2));
+  return out;
+}
+
+}  // namespace prodsort

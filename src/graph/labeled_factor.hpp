@@ -1,0 +1,111 @@
+#pragma once
+
+// LabeledFactor: a factor graph whose node ids define the ascending sorted
+// order (Section 2 of the paper), plus the cost-model metadata the
+// analysis needs.
+//
+// Labeling policy (exactly the paper's recommendation): if G has a
+// Hamiltonian path, label nodes along it, so consecutive labels are
+// adjacent and a compare-exchange between them is one communication step.
+// Otherwise label along a dilation-<=3 linear-array embedding (Sekanina);
+// compare-exchanges between consecutive labels then cost up to
+// 2 * dilation steps (send both keys along the <=3-hop path and back).
+//
+// R(N) (`routing_cost`) and S2(N) (`s2_cost`) are the per-family analytic
+// costs quoted in Section 5; they parameterize Lemma 3 / Theorem 1 and the
+// OracleS2 sorter.  See the constructors in labeled_factor.cpp for the
+// citation behind each constant.
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace prodsort {
+
+enum class FactorFamily {
+  kPath,             // grids (Section 5.1)
+  kCycle,            // tori (Corollary)
+  kComplete,         // K_N
+  kK2,               // hypercube (Section 5.3)
+  kBinaryTree,       // mesh-connected trees (Section 5.2)
+  kStar,             // generic non-Hamiltonian example
+  kPetersen,         // Petersen cube (Section 5.4)
+  kDeBruijn,         // products of de Bruijn graphs (Section 5.5)
+  kShuffleExchange,  // products of shuffle-exchange graphs (Section 5.5)
+  kCustom,
+};
+
+[[nodiscard]] std::string to_string(FactorFamily family);
+
+/// A factor graph relabeled into sorted order, with analytic costs.
+struct LabeledFactor {
+  Graph graph;  ///< node id == ascending sorted-order label
+  std::string name;
+  FactorFamily family = FactorFamily::kCustom;
+  bool hamiltonian = false;  ///< consecutive labels are adjacent
+  int dilation = 1;          ///< max distance between consecutive labels
+  double routing_cost = 0;   ///< R(N): one permutation routing within G
+  double s2_cost = 0;        ///< S2(N): one snake sort of PG_2 (oracle)
+
+  [[nodiscard]] NodeId size() const noexcept { return graph.num_nodes(); }
+};
+
+/// Linear array of n nodes; products are grids.  S2 = 3N (Schnorr-Shamir),
+/// R = N-1.
+[[nodiscard]] LabeledFactor labeled_path(NodeId n);
+
+/// Cycle of n nodes; products are tori.  S2 = 2.5N (Kunde), R = N/2.
+[[nodiscard]] LabeledFactor labeled_cycle(NodeId n);
+
+/// Complete graph K_n.  S2 = 3N via the grid subgraph, R = 1.
+[[nodiscard]] LabeledFactor labeled_complete(NodeId n);
+
+/// K_2; products are hypercubes.  S2 = 3, R = 1 (Section 5.3).
+[[nodiscard]] LabeledFactor labeled_k2();
+
+/// Complete binary tree with `levels` levels (N = 2^levels - 1); products
+/// are mesh-connected trees.  Costs via the Corollary's torus emulation
+/// with slowdown 6: S2 = 15N, R = 3N.
+[[nodiscard]] LabeledFactor labeled_binary_tree(int levels);
+
+/// Star K_{1,n-1}; non-Hamiltonian stress case.  Torus-emulation costs.
+[[nodiscard]] LabeledFactor labeled_star(NodeId n);
+
+/// Petersen graph; products are Petersen cubes.  S2 = 30 (10x10 grid
+/// subgraph + Schnorr-Shamir), R = 9 (routing along the Hamiltonian path).
+[[nodiscard]] LabeledFactor labeled_petersen();
+
+/// Binary de Bruijn graph with 2^d nodes.  S2 = 2*d*(2d+1) (Batcher on the
+/// N^2-node de Bruijn graph, dilation-2 embedding), R = 2d.
+[[nodiscard]] LabeledFactor labeled_de_bruijn(int d);
+
+/// Shuffle-exchange graph with 2^d nodes.  S2 = 4*d*(2d+1) (dilation-4
+/// embedding), R = 2d.
+[[nodiscard]] LabeledFactor labeled_shuffle_exchange(int d);
+
+/// Complete bipartite K_{m,m} (Hamiltonian).  Grid-subgraph costs.
+[[nodiscard]] LabeledFactor labeled_complete_bipartite(NodeId m);
+
+/// Wheel W_n (Hamiltonian).  Grid-subgraph costs.
+[[nodiscard]] LabeledFactor labeled_wheel(NodeId n);
+
+/// Hypercube Q_d as a factor (Hamiltonian via the binary Gray code).
+/// S2 via Batcher on the 2^(2d)-node hypercube: d(2d+1) steps; R = d.
+[[nodiscard]] LabeledFactor labeled_hypercube(int d);
+
+/// Cube-connected cycles CCC(d) as a factor (N = d*2^d).  Conservative
+/// Corollary costs (CCC hosts Batcher in O(log^2) per [28], but we only
+/// claim the universal torus-emulation bound here).
+[[nodiscard]] LabeledFactor labeled_ccc(int d);
+
+/// Wraps an arbitrary connected graph: Hamiltonian labeling if found,
+/// otherwise the Sekanina dilation-<=3 labeling; conservative generic
+/// costs (S2 = 15N torus emulation, R = dilation*(N-1)).
+[[nodiscard]] LabeledFactor labeled_custom(Graph g, std::string name);
+
+/// A representative set of small factors of every family, for tests and
+/// benches that sweep "all networks".
+[[nodiscard]] std::vector<LabeledFactor> standard_factors();
+
+}  // namespace prodsort

@@ -1,0 +1,90 @@
+#include "graph/linear_embedding.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+#include "graph/graph_algos.hpp"
+
+namespace prodsort {
+
+namespace {
+
+// Inductive Hamiltonian-cycle-in-T^3 construction.  Each tree edge is
+// consumed ("removed") exactly once across the whole recursion; the
+// component structure is tracked implicitly by the removed-edge set.
+class SekaninaBuilder {
+ public:
+  explicit SekaninaBuilder(const Graph& tree) : tree_(tree) {}
+
+  // Cyclic order of the component containing edge (u, v), with u
+  // immediately followed by v, and all cyclic-consecutive pairs within
+  // tree distance 3.
+  std::vector<NodeId> cycle(NodeId u, NodeId v) {
+    remove_edge(u, v);
+    std::vector<NodeId> part_u = path_ending_at(u);
+    const std::vector<NodeId> part_v = path_ending_at(v);
+    // part_u = [u' ... u], reversed part_v = [v ... v'].  Junction u->v is
+    // a tree edge; the cyclic wraparound v'->u' is within distance 3.
+    part_u.insert(part_u.end(), part_v.rbegin(), part_v.rend());
+    return part_u;
+  }
+
+ private:
+  // Path over the current component of u, ending at u and starting at a
+  // neighbor of u (or just [u] if u is now isolated).
+  std::vector<NodeId> path_ending_at(NodeId u) {
+    NodeId next = -1;
+    for (const NodeId w : tree_.neighbors(u)) {
+      if (!edge_removed(u, w)) {
+        next = w;
+        break;
+      }
+    }
+    if (next == -1) return {u};
+    std::vector<NodeId> cyc = cycle(u, next);
+    // Break the cycle at the (u, next) adjacency: rotate so the order
+    // reads next ... u.  The former wraparound pair becomes an interior
+    // junction, still within distance 3.
+    const auto it = std::find(cyc.begin(), cyc.end(), u);
+    std::rotate(cyc.begin(), it + 1, cyc.end());
+    return cyc;
+  }
+
+  static std::pair<NodeId, NodeId> key(NodeId a, NodeId b) {
+    return {std::min(a, b), std::max(a, b)};
+  }
+  bool edge_removed(NodeId a, NodeId b) const {
+    return removed_.contains(key(a, b));
+  }
+  void remove_edge(NodeId a, NodeId b) { removed_.insert(key(a, b)); }
+
+  const Graph& tree_;
+  std::set<std::pair<NodeId, NodeId>> removed_;
+};
+
+}  // namespace
+
+std::vector<NodeId> sekanina_cycle(const Graph& tree) {
+  if (tree.num_nodes() == 0) return {};
+  if (tree.num_nodes() == 1) return {0};
+  if (tree.num_edges() != static_cast<std::size_t>(tree.num_nodes()) - 1 ||
+      !is_connected(tree))
+    throw std::invalid_argument("sekanina_cycle requires a tree");
+  const auto [a, b] = tree.edges().front();
+  return SekaninaBuilder(tree).cycle(a, b);
+}
+
+std::vector<NodeId> linear_embedding_order(const Graph& g) {
+  return sekanina_cycle(spanning_tree(g));
+}
+
+int order_dilation(const Graph& g, std::span<const NodeId> order) {
+  int dilation = 0;
+  for (std::size_t i = 0; i + 1 < order.size(); ++i)
+    dilation = std::max(dilation, distance(g, order[i], order[i + 1]));
+  return dilation;
+}
+
+}  // namespace prodsort

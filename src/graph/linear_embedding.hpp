@@ -1,0 +1,33 @@
+#pragma once
+
+// Linear-array embedding for non-Hamiltonian factor graphs.
+//
+// Section 2 of the paper: if G has no Hamiltonian path, label its nodes in
+// the order they appear on a linear array embedded in G with dilation 3
+// (Sekanina's theorem: the cube of any connected graph is Hamiltonian).
+// We implement the classic inductive construction on a spanning tree: for
+// every tree T and tree edge (u, v), T^3 has a Hamiltonian cycle in which
+// u and v are consecutive.  Cutting the cycle yields a node ordering whose
+// consecutive nodes are within distance 3 in T, hence in G.
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace prodsort {
+
+/// Hamiltonian cycle of tree^3: a cyclic ordering of all nodes in which
+/// consecutive nodes (including the wraparound pair) are within tree
+/// distance 3.  `tree` must be a tree (connected, n-1 edges).
+[[nodiscard]] std::vector<NodeId> sekanina_cycle(const Graph& tree);
+
+/// Node ordering of a connected graph with consecutive distance <= 3 in
+/// `g` (computed on a BFS spanning tree).  This is the linear-array
+/// labeling used when no Hamiltonian path is available.
+[[nodiscard]] std::vector<NodeId> linear_embedding_order(const Graph& g);
+
+/// Max distance in `g` between consecutive elements of `order`
+/// (the dilation of the implied linear-array embedding).
+[[nodiscard]] int order_dilation(const Graph& g, std::span<const NodeId> order);
+
+}  // namespace prodsort

@@ -1,0 +1,39 @@
+#include "graph/lower_bounds.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace prodsort {
+
+int brute_force_bisection(const Graph& g) {
+  const int n = g.num_nodes();
+  if (n < 2 || n > 24)
+    throw std::invalid_argument("brute-force bisection needs 2 <= n <= 24");
+  const int half = n / 2;
+
+  // Enumerate subsets containing node 0 (halves are interchangeable) of
+  // size floor(n/2) or, for odd n, also ceil(n/2) — equivalent by
+  // complement, so floor(n/2) with node 0 on either side covers all.
+  int best = static_cast<int>(g.num_edges()) + 1;
+  for (std::uint32_t mask = 0; mask < (1u << (n - 1)); ++mask) {
+    const std::uint32_t side = (mask << 1) | 1u;  // node 0 always in
+    if (std::popcount(side) != half && std::popcount(side) != n - half)
+      continue;
+    int cut = 0;
+    for (const auto& [a, b] : g.edges())
+      if (((side >> a) & 1u) != ((side >> b) & 1u)) ++cut;
+    best = std::min(best, cut);
+  }
+  return best;
+}
+
+SortingLowerBounds sorting_lower_bounds(const ProductGraph& pg) {
+  SortingLowerBounds bounds;
+  bounds.diameter_bound = pg.diameter();
+  bounds.bisection_bound =
+      pg.radix() / (2.0 * brute_force_bisection(pg.factor().graph));
+  return bounds;
+}
+
+}  // namespace prodsort

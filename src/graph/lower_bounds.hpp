@@ -1,0 +1,36 @@
+#pragma once
+
+// Lower bounds used by the paper's optimality arguments (Sections 5.1,
+// 5.2): sorting on a network takes at least
+//   * diameter(PG_r) steps — a key may have to travel that far, and
+//   * N^r / (2 * bisection(PG_r)) steps — in the worst case half the
+//     keys must cross the bisection.
+// Cutting the product along one dimension shows bisection(PG_r) <=
+// bisection(G) * N^(r-1), so N / (2 * bisection(G)) is a valid time
+// lower bound; bisection(G) is computed exactly by brute force (factor
+// graphs are small).
+
+#include <cstdint>
+
+#include "product/product_graph.hpp"
+
+namespace prodsort {
+
+/// Exact minimum bisection width (edges cut by a balanced partition) by
+/// exhaustive search; n <= 24.
+[[nodiscard]] int brute_force_bisection(const Graph& g);
+
+struct SortingLowerBounds {
+  double diameter_bound = 0;   ///< r * diam(G)
+  double bisection_bound = 0;  ///< N / (2 * bisection(G))
+
+  [[nodiscard]] double best() const {
+    return diameter_bound > bisection_bound ? diameter_bound
+                                            : bisection_bound;
+  }
+};
+
+/// Both lower bounds for sorting N^r keys on PG_r.
+[[nodiscard]] SortingLowerBounds sorting_lower_bounds(const ProductGraph& pg);
+
+}  // namespace prodsort

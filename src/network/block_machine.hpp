@@ -1,0 +1,72 @@
+#pragma once
+
+// Block mode: each processor holds a sorted block of b keys instead of
+// one key, the standard regime when the key count exceeds the machine
+// size (the paper touches it when discussing Columnsort, whose home turf
+// is exactly keys >> processors).
+//
+// The classical block-sorting lemma (Knuth, TAOCP 5.3.4) says that any
+// oblivious schedule that sorts with compare-exchange also sorts blocks
+// when every compare-exchange is replaced by merge-split — the two
+// partners merge their 2b keys, the low side keeps the smaller half —
+// provided blocks start internally sorted.  The Section 4 algorithm is
+// such a schedule (given a block-capable S2 sorter), so the same driver
+// sorts b*N^r keys; see core/block_sort.hpp.
+//
+// Cost accounting: exchanging b keys over h hops pipelines to h + b - 1
+// step time; a merge-split phase therefore charges hop + b - 1 to
+// exec_steps and 2b comparisons per pair to the work counter.
+
+#include <span>
+#include <vector>
+
+#include "core/multiway_merge.hpp"  // Key
+#include "network/cost_model.hpp"
+#include "network/machine.hpp"  // CEPair
+#include "network/parallel_executor.hpp"
+#include "product/subgraph_view.hpp"
+
+namespace prodsort {
+
+class BlockMachine {
+ public:
+  /// `keys.size()` must equal block_size * pg.num_nodes(); node v's block
+  /// is keys[v*b, (v+1)*b).  Blocks need not arrive sorted — call
+  /// sort_local_blocks() before running a schedule.
+  BlockMachine(const ProductGraph& pg, std::vector<Key> keys, int block_size,
+               ParallelExecutor* executor = nullptr);
+
+  [[nodiscard]] const ProductGraph& graph() const noexcept { return *pg_; }
+  [[nodiscard]] int block_size() const noexcept { return block_size_; }
+  [[nodiscard]] std::span<const Key> block(PNode node) const;
+  [[nodiscard]] std::span<Key> mutable_block(PNode node);
+  [[nodiscard]] CostModel& cost() noexcept { return cost_; }
+  [[nodiscard]] const CostModel& cost() const noexcept { return cost_; }
+  [[nodiscard]] ParallelExecutor* executor() const noexcept { return executor_; }
+
+  /// Sorts every block in place (the free local preprocessing step; one
+  /// parallel phase of b log b local work, charged as such).
+  void sort_local_blocks();
+
+  /// One synchronous merge-split step over disjoint pairs: afterwards
+  /// block(low) holds the b smallest of the pair's 2b keys and
+  /// block(high) the b largest, both internally sorted.
+  void merge_split_step(std::span<const CEPair> pairs, int hop_distance = 1);
+
+  /// Keys of `view` concatenated along its snake order (b per node).
+  [[nodiscard]] std::vector<Key> read_snake(const ViewSpec& view) const;
+
+  /// True iff read_snake(view) ascends (or descends — block contents
+  /// stay ascending; descending refers to the block-to-block order).
+  [[nodiscard]] bool snake_sorted(const ViewSpec& view,
+                                  bool descending = false) const;
+
+ private:
+  const ProductGraph* pg_;
+  int block_size_;
+  std::vector<Key> keys_;
+  CostModel cost_;
+  ParallelExecutor* executor_;
+};
+
+}  // namespace prodsort

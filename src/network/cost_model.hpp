@@ -1,0 +1,53 @@
+#pragma once
+
+// Cost accounting for the simulated machine, in the paper's units.
+//
+// Two clocks are kept:
+//
+//  * formula_time — Lemma 3 / Theorem 1 accounting: every S2 phase adds
+//    S2(N) (the factor's s2_cost), every inter-block transposition phase
+//    adds R(N) (routing_cost).  This is what Theorem 1 predicts as
+//    (r-1)^2 S2(N) + (r-1)(r-2) R(N), and what the benches compare.
+//
+//  * exec_steps — synchronous primitive steps actually executed: one
+//    compare-exchange step over disjoint pairs costs its maximum
+//    factor-graph hop distance (1 for adjacent partners).  Oracle-mode S2
+//    sorters do not execute steps; they charge their analytic cost here
+//    as a documented proxy so both clocks stay comparable.
+//
+// Work counters (comparisons/exchanges) measure total work, not time.
+
+#include <cstdint>
+
+namespace prodsort {
+
+struct CostModel {
+  std::int64_t s2_phases = 0;       ///< S2-sort phases (Theorem 1: (r-1)^2)
+  std::int64_t routing_phases = 0;  ///< transposition phases ((r-1)(r-2))
+  double formula_time = 0;          ///< paper time: sum of phase weights
+
+  std::int64_t exec_steps = 0;      ///< executed synchronous step time
+  std::int64_t comparisons = 0;     ///< total pairwise comparisons (work)
+  std::int64_t exchanges = 0;       ///< total key swaps (work)
+
+  void charge_s2_phase(double weight) {
+    ++s2_phases;
+    formula_time += weight;
+  }
+  void charge_routing_phase(double weight) {
+    ++routing_phases;
+    formula_time += weight;
+  }
+
+  CostModel& operator+=(const CostModel& other) {
+    s2_phases += other.s2_phases;
+    routing_phases += other.routing_phases;
+    formula_time += other.formula_time;
+    exec_steps += other.exec_steps;
+    comparisons += other.comparisons;
+    exchanges += other.exchanges;
+    return *this;
+  }
+};
+
+}  // namespace prodsort

@@ -1,0 +1,71 @@
+#include "network/machine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+
+#include "product/snake_order.hpp"
+
+namespace prodsort {
+
+Machine::Machine(const ProductGraph& pg, std::vector<Key> keys,
+                 ParallelExecutor* executor)
+    : pg_(&pg), keys_(std::move(keys)), executor_(executor) {
+  if (static_cast<PNode>(keys_.size()) != pg.num_nodes())
+    throw std::invalid_argument("one key per processor required");
+}
+
+void Machine::compare_exchange_step(std::span<const CEPair> pairs,
+                                    int hop_distance) {
+  if (check_disjoint_) {
+    std::vector<char> touched(keys_.size(), 0);
+    for (const CEPair& p : pairs) {
+      if (p.low == p.high || touched[static_cast<std::size_t>(p.low)] ||
+          touched[static_cast<std::size_t>(p.high)])
+        throw std::logic_error("compare-exchange pairs not disjoint");
+      touched[static_cast<std::size_t>(p.low)] = 1;
+      touched[static_cast<std::size_t>(p.high)] = 1;
+    }
+  }
+
+  std::atomic<std::int64_t> swaps{0};
+  auto body = [&](std::int64_t begin, std::int64_t end) {
+    std::int64_t local_swaps = 0;
+    for (std::int64_t i = begin; i < end; ++i) {
+      const CEPair& p = pairs[static_cast<std::size_t>(i)];
+      Key& low = keys_[static_cast<std::size_t>(p.low)];
+      Key& high = keys_[static_cast<std::size_t>(p.high)];
+      if (low > high) {
+        std::swap(low, high);
+        ++local_swaps;
+      }
+    }
+    swaps.fetch_add(local_swaps, std::memory_order_relaxed);
+  };
+  if (executor_ != nullptr)
+    executor_->parallel_for(static_cast<std::int64_t>(pairs.size()), body);
+  else
+    body(0, static_cast<std::int64_t>(pairs.size()));
+
+  cost_.exec_steps += hop_distance;
+  cost_.comparisons += static_cast<std::int64_t>(pairs.size());
+  cost_.exchanges += swaps.load(std::memory_order_relaxed);
+}
+
+std::vector<Key> Machine::read_snake(const ViewSpec& view) const {
+  const PNode size = view_size(*pg_, view);
+  std::vector<Key> out(static_cast<std::size_t>(size));
+  for (PNode rank = 0; rank < size; ++rank)
+    out[static_cast<std::size_t>(rank)] =
+        key(view_node_at_snake_rank(*pg_, view, rank));
+  return out;
+}
+
+bool Machine::snake_sorted(const ViewSpec& view, bool descending) const {
+  const auto seq = read_snake(view);
+  if (descending)
+    return std::is_sorted(seq.rbegin(), seq.rend());
+  return std::is_sorted(seq.begin(), seq.end());
+}
+
+}  // namespace prodsort

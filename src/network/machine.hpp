@@ -1,0 +1,73 @@
+#pragma once
+
+// The simulated machine of the paper: an N^r-processor network with the
+// topology of PG_r, one key per processor, operated in synchronous
+// phases.  "During the sorting algorithm, each processor needs enough
+// memory to hold at most two values being compared" (Section 4) — the
+// simulator's only data-moving primitive is the compare-exchange step
+// over disjoint processor pairs, optionally routed across a few hops
+// inside one factor subgraph.
+//
+// Time accounting is described in cost_model.hpp.  Phases are applied in
+// parallel by an optional ParallelExecutor; because pairs within a phase
+// are disjoint, results are deterministic for any thread count.
+
+#include <span>
+#include <vector>
+
+#include "core/multiway_merge.hpp"  // Key
+#include "network/cost_model.hpp"
+#include "network/parallel_executor.hpp"
+#include "product/subgraph_view.hpp"
+
+namespace prodsort {
+
+/// One compare-exchange pair: after the step, key(low) <= key(high).
+struct CEPair {
+  PNode low;
+  PNode high;
+};
+
+class Machine {
+ public:
+  /// `keys.size()` must equal `pg.num_nodes()`.  The executor (optional)
+  /// is borrowed and must outlive the machine.
+  Machine(const ProductGraph& pg, std::vector<Key> keys,
+          ParallelExecutor* executor = nullptr);
+
+  [[nodiscard]] const ProductGraph& graph() const noexcept { return *pg_; }
+  [[nodiscard]] std::span<const Key> keys() const noexcept { return keys_; }
+  [[nodiscard]] std::span<Key> mutable_keys() noexcept { return keys_; }
+  [[nodiscard]] Key key(PNode node) const {
+    return keys_[static_cast<std::size_t>(node)];
+  }
+
+  [[nodiscard]] CostModel& cost() noexcept { return cost_; }
+  [[nodiscard]] const CostModel& cost() const noexcept { return cost_; }
+  [[nodiscard]] ParallelExecutor* executor() const noexcept { return executor_; }
+
+  /// One synchronous compare-exchange step.  `pairs` must be disjoint
+  /// (checked when `check_disjoint` is set); `hop_distance` is the
+  /// largest factor-graph distance between partners (exec time charge).
+  void compare_exchange_step(std::span<const CEPair> pairs, int hop_distance = 1);
+
+  /// Enables per-step disjointness validation (O(pairs) extra work).
+  void set_check_disjoint(bool on) noexcept { check_disjoint_ = on; }
+
+  /// Reads the keys out in snake order of `view` — the "result" of a sort
+  /// phase for verification.
+  [[nodiscard]] std::vector<Key> read_snake(const ViewSpec& view) const;
+
+  /// True iff the keys of `view` ascend (or descend) along its snake.
+  [[nodiscard]] bool snake_sorted(const ViewSpec& view,
+                                  bool descending = false) const;
+
+ private:
+  const ProductGraph* pg_;
+  std::vector<Key> keys_;
+  CostModel cost_;
+  ParallelExecutor* executor_;
+  bool check_disjoint_ = false;
+};
+
+}  // namespace prodsort

@@ -1,0 +1,125 @@
+#include "network/packet_sim.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "graph/graph_algos.hpp"
+
+namespace prodsort {
+
+namespace {
+
+// Generic engine: packets with fixed hop-by-hop paths, unit-capacity
+// directed links, farthest-to-go priority.
+class Engine {
+ public:
+  void add_packet(std::vector<std::int64_t> path) {
+    if (path.size() >= 2) paths_.push_back(std::move(path));
+  }
+
+  PacketStats run() {
+    PacketStats stats;
+    std::vector<std::size_t> progress(paths_.size(), 0);
+    std::int64_t in_flight = 0;
+    for (const auto& p : paths_) {
+      stats.total_hops += static_cast<std::int64_t>(p.size()) - 1;
+      ++in_flight;
+    }
+    std::map<std::pair<std::int64_t, std::int64_t>, int> link_load;
+
+    // Safety valve: total hops is a trivial upper bound on delivery time
+    // (one packet could move per step in the worst case).
+    const std::int64_t step_cap = stats.total_hops + 1;
+    while (in_flight > 0) {
+      if (stats.steps >= step_cap)
+        throw std::logic_error("packet simulation failed to converge");
+      // Contention resolution: packets request their next link; the one
+      // with the most hops remaining wins each link this step.
+      std::map<std::pair<std::int64_t, std::int64_t>, std::size_t> winner;
+      for (std::size_t i = 0; i < paths_.size(); ++i) {
+        if (progress[i] + 1 >= paths_[i].size()) continue;  // delivered
+        const std::pair<std::int64_t, std::int64_t> link{
+            paths_[i][progress[i]], paths_[i][progress[i] + 1]};
+        const auto it = winner.find(link);
+        auto remaining = [&](std::size_t p) {
+          return paths_[p].size() - progress[p];
+        };
+        if (it == winner.end() || remaining(i) > remaining(it->second))
+          winner.insert_or_assign(link, i);
+      }
+      for (const auto& [link, i] : winner) {
+        ++progress[i];
+        stats.max_link_load = std::max(stats.max_link_load, ++link_load[link]);
+        if (progress[i] + 1 == paths_[i].size()) --in_flight;
+      }
+      ++stats.steps;
+    }
+    return stats;
+  }
+
+ private:
+  std::vector<std::vector<std::int64_t>> paths_;
+};
+
+void check_permutation(std::int64_t n, auto dest) {
+  std::vector<bool> seen(static_cast<std::size_t>(n), false);
+  for (std::int64_t p = 0; p < n; ++p) {
+    const auto d = dest[static_cast<std::size_t>(p)];
+    if (d < 0 || d >= n || seen[static_cast<std::size_t>(d)])
+      throw std::invalid_argument("dest is not a permutation");
+    seen[static_cast<std::size_t>(d)] = true;
+  }
+}
+
+}  // namespace
+
+PacketStats simulate_permutation(const Graph& g, std::span<const NodeId> dest) {
+  if (static_cast<NodeId>(dest.size()) != g.num_nodes())
+    throw std::invalid_argument("dest size mismatch");
+  check_permutation(g.num_nodes(), dest);
+  Engine engine;
+  for (NodeId p = 0; p < g.num_nodes(); ++p) {
+    const NodeId target = dest[static_cast<std::size_t>(p)];
+    const auto path = shortest_path(g, p, target);
+    if (path.empty() && p != target)
+      throw std::invalid_argument("destination unreachable (disconnected graph)");
+    std::vector<std::int64_t> hops(path.begin(), path.end());
+    engine.add_packet(std::move(hops));
+  }
+  return engine.run();
+}
+
+PacketStats simulate_product_permutation(const ProductGraph& pg,
+                                         std::span<const PNode> dest) {
+  if (static_cast<PNode>(dest.size()) != pg.num_nodes())
+    throw std::invalid_argument("dest size mismatch");
+  check_permutation(pg.num_nodes(), dest);
+
+  Engine engine;
+  for (PNode p = 0; p < pg.num_nodes(); ++p) {
+    // Dimension-order route: correct each digit in turn along the factor
+    // graph's shortest path.
+    std::vector<std::int64_t> hops{p};
+    PNode at = p;
+    const PNode target = dest[static_cast<std::size_t>(p)];
+    for (int dim = 1; dim <= pg.dims(); ++dim) {
+      const NodeId from = pg.digit(at, dim);
+      const NodeId to = pg.digit(target, dim);
+      if (from == to) continue;
+      const auto factor_path = shortest_path(pg.factor().graph, from, to);
+      if (factor_path.empty())
+        throw std::invalid_argument(
+            "destination unreachable (disconnected factor graph)");
+      for (const NodeId step : factor_path) {
+        if (step == from) continue;
+        at = pg.with_digit(at, dim, step);
+        hops.push_back(at);
+      }
+    }
+    engine.add_packet(std::move(hops));
+  }
+  return engine.run();
+}
+
+}  // namespace prodsort

@@ -1,0 +1,37 @@
+#pragma once
+
+// Store-and-forward packet simulation: the executable ground truth for
+// the R(N) permutation-routing charges of the cost model.  Each node
+// starts with one packet; packets follow precomputed shortest paths
+// (BFS in a factor graph, dimension-order in a product); in each
+// synchronous step at most one packet traverses each directed link, with
+// farthest-to-go priority at contended links.  The simulation reports
+// the delivery time, which the benches compare against the analytic
+// R(N) values of Section 5.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "product/product_graph.hpp"
+
+namespace prodsort {
+
+struct PacketStats {
+  int steps = 0;               ///< synchronous steps until all delivered
+  std::int64_t total_hops = 0; ///< sum of path lengths (work)
+  int max_link_load = 0;       ///< packets that crossed the busiest link
+};
+
+/// Routes packet p (starting at node p) to dest[p] in a factor graph
+/// along BFS shortest paths.  `dest` must be a permutation.
+[[nodiscard]] PacketStats simulate_permutation(const Graph& g,
+                                               std::span<const NodeId> dest);
+
+/// Same on a product graph with dimension-order routing: each packet
+/// corrects dimension 1 first (along factor BFS paths), then dimension 2,
+/// and so on.  `dest` must be a permutation of the node set.
+[[nodiscard]] PacketStats simulate_product_permutation(
+    const ProductGraph& pg, std::span<const PNode> dest);
+
+}  // namespace prodsort

@@ -1,0 +1,113 @@
+#include "network/parallel_executor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace prodsort {
+
+namespace {
+
+// [begin, end) of chunk `index` out of `parts` over [0, count).
+std::pair<std::int64_t, std::int64_t> chunk(std::int64_t count, int parts,
+                                            int index) {
+  const std::int64_t base = count / parts;
+  const std::int64_t extra = count % parts;
+  const std::int64_t begin =
+      base * index + std::min<std::int64_t>(index, extra);
+  return {begin, begin + base + (index < extra ? 1 : 0)};
+}
+
+}  // namespace
+
+ParallelExecutor::ParallelExecutor(int threads) {
+  if (threads <= 0)
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  for (int i = 1; i < threads; ++i)
+    workers_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ParallelExecutor::~ParallelExecutor() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ParallelExecutor::parallel_for(
+    std::int64_t count,
+    const std::function<void(std::int64_t, std::int64_t)>& body) {
+  const int parts = num_threads();
+  if (count <= 0) return;
+  if (parts == 1 || count < 2 * parts) {
+    body(0, count);
+    return;
+  }
+  // Fork-join state is single-use: a nested or concurrent call would
+  // overwrite it and silently skip chunks.  Fail loudly instead.
+  if (active_.exchange(true, std::memory_order_acquire))
+    throw std::logic_error("ParallelExecutor::parallel_for is not reentrant");
+
+  {
+    std::lock_guard lock(mutex_);
+    body_ = &body;
+    count_ = count;
+    pending_ = parts - 1;
+    exception_ = nullptr;
+    ++generation_;
+  }
+  work_ready_.notify_all();
+
+  // Run the caller's chunk, but never unwind past the join: workers hold
+  // a pointer to `body`, so we must wait for them even on failure.
+  std::exception_ptr caller_exception;
+  try {
+    const auto [begin, end] = chunk(count, parts, 0);
+    body(begin, end);
+  } catch (...) {
+    caller_exception = std::current_exception();
+  }
+
+  std::unique_lock lock(mutex_);
+  work_done_.wait(lock, [this] { return pending_ == 0; });
+  body_ = nullptr;
+  const std::exception_ptr worker_exception = exception_;
+  exception_ = nullptr;
+  lock.unlock();
+  active_.store(false, std::memory_order_release);
+
+  if (caller_exception) std::rethrow_exception(caller_exception);
+  if (worker_exception) std::rethrow_exception(worker_exception);
+}
+
+void ParallelExecutor::worker_loop(int index) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(std::int64_t, std::int64_t)>* body = nullptr;
+    std::int64_t count = 0;
+    {
+      std::unique_lock lock(mutex_);
+      work_ready_.wait(
+          lock, [&] { return stopping_ || generation_ != seen; });
+      if (stopping_) return;
+      seen = generation_;
+      body = body_;
+      count = count_;
+    }
+    const auto [begin, end] = chunk(count, num_threads(), index);
+    try {
+      (*body)(begin, end);
+    } catch (...) {
+      std::lock_guard lock(mutex_);
+      if (!exception_) exception_ = std::current_exception();
+    }
+    {
+      std::lock_guard lock(mutex_);
+      --pending_;
+    }
+    work_done_.notify_one();
+  }
+}
+
+}  // namespace prodsort

@@ -1,0 +1,60 @@
+#pragma once
+
+// A small persistent thread pool with a fork-join parallel_for, used to
+// apply simulator phases concurrently.  Within one synchronous phase all
+// node updates touch disjoint state (disjoint compare-exchange pairs,
+// disjoint views), so parallel application is deterministic: results are
+// bit-identical for any thread count.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace prodsort {
+
+class ParallelExecutor {
+ public:
+  /// Spawns `threads` workers (default: hardware concurrency, min 1).
+  explicit ParallelExecutor(int threads = 0);
+  ~ParallelExecutor();
+
+  ParallelExecutor(const ParallelExecutor&) = delete;
+  ParallelExecutor& operator=(const ParallelExecutor&) = delete;
+
+  [[nodiscard]] int num_threads() const noexcept {
+    return static_cast<int>(workers_.size()) + 1;  // workers + caller
+  }
+
+  /// Runs body(begin, end) over a partition of [0, count); the calling
+  /// thread participates.  Blocks until every chunk completes.  `body`
+  /// must write only to chunk-disjoint state.
+  ///
+  /// NOT reentrant: `body` must not call parallel_for on this executor
+  /// (directly or through Machine phases) — nested calls throw
+  /// std::logic_error.  If `body` throws on any thread, the join still
+  /// completes and the first exception is rethrown to the caller.
+  void parallel_for(std::int64_t count,
+                    const std::function<void(std::int64_t, std::int64_t)>& body);
+
+ private:
+  void worker_loop(int index);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  const std::function<void(std::int64_t, std::int64_t)>* body_ = nullptr;
+  std::int64_t count_ = 0;
+  std::uint64_t generation_ = 0;
+  int pending_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr exception_;
+  std::atomic<bool> active_{false};
+};
+
+}  // namespace prodsort

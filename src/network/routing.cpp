@@ -1,0 +1,48 @@
+#include "network/routing.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace prodsort {
+
+RoutingResult route_permutation(const LabeledFactor& factor,
+                                std::span<const NodeId> dest) {
+  const NodeId n = factor.size();
+  if (static_cast<NodeId>(dest.size()) != n)
+    throw std::invalid_argument("destination vector size mismatch");
+  std::vector<bool> seen(static_cast<std::size_t>(n), false);
+  for (const NodeId d : dest) {
+    if (d < 0 || d >= n || seen[static_cast<std::size_t>(d)])
+      throw std::invalid_argument("dest is not a permutation");
+    seen[static_cast<std::size_t>(d)] = true;
+  }
+
+  // packet[v] = payload currently held at node v; its target is
+  // dest[payload].  Odd-even transposition sort by target along the
+  // label order (node ids are the linear-array labels).
+  RoutingResult result;
+  result.delivered.resize(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) result.delivered[static_cast<std::size_t>(v)] = v;
+  auto& packet = result.delivered;
+
+  auto target = [&](NodeId v) { return dest[static_cast<std::size_t>(packet[static_cast<std::size_t>(v)])]; };
+
+  int quiet = 0;
+  for (NodeId phase = 0; phase < n && quiet < 2; ++phase) {
+    bool any = false;
+    for (NodeId v = phase % 2; v + 1 < n; v += 2) {
+      if (target(v) > target(v + 1)) {
+        std::swap(packet[static_cast<std::size_t>(v)],
+                  packet[static_cast<std::size_t>(v + 1)]);
+        any = true;
+      }
+    }
+    result.steps += factor.dilation;  // each label-neighbor hop may dilate
+    // Two consecutive quiet phases (one of each parity) imply the packets
+    // are fully sorted by target; stop early.
+    quiet = any ? 0 : quiet + 1;
+  }
+  return result;
+}
+
+}  // namespace prodsort

@@ -1,0 +1,33 @@
+#pragma once
+
+// Permutation routing inside one factor graph G (Section 4: the
+// compare-exchange partners of the transposition steps may be
+// non-adjacent when G is not Hamiltonian-labeled, in which case the
+// exchange is performed by permutation routing within G).
+//
+// The executable router here is the classic sorting-based one: packets
+// are odd-even-transposition sorted by destination label along the
+// factor's linear-array labeling.  That delivers any permutation in N
+// transposition phases, each costing `dilation` hops, giving an
+// executable upper bound of N * dilation steps — within a constant of
+// the analytic R(N) the cost model charges, and exactly N-1-ish on
+// Hamiltonian-labeled factors.
+
+#include <vector>
+
+#include "graph/labeled_factor.hpp"
+
+namespace prodsort {
+
+struct RoutingResult {
+  std::vector<NodeId> delivered;  ///< delivered[node] = payload now at node
+  int steps = 0;                  ///< synchronous hop-steps consumed
+};
+
+/// Routes payload p initially at node p's position to node dest[p]:
+/// afterwards delivered[dest[p]] == p for every p.  `dest` must be a
+/// permutation of 0..N-1.
+[[nodiscard]] RoutingResult route_permutation(const LabeledFactor& factor,
+                                              std::span<const NodeId> dest);
+
+}  // namespace prodsort

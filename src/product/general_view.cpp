@@ -1,0 +1,100 @@
+#include "product/general_view.hpp"
+
+#include <stdexcept>
+
+namespace prodsort {
+
+GeneralView::GeneralView(const ProductGraph& pg, std::vector<int> fixed_dims,
+                         std::vector<NodeId> fixed_values)
+    : pg_(&pg) {
+  if (fixed_dims.size() != fixed_values.size())
+    throw std::invalid_argument("dims/values size mismatch");
+  std::vector<bool> fixed(static_cast<std::size_t>(pg.dims() + 1), false);
+  for (std::size_t i = 0; i < fixed_dims.size(); ++i) {
+    const int d = fixed_dims[i];
+    if (d < 1 || d > pg.dims() || fixed[static_cast<std::size_t>(d)])
+      throw std::invalid_argument("bad fixed dimension");
+    if (i > 0 && fixed_dims[i - 1] >= d)
+      throw std::invalid_argument("fixed dimensions must ascend");
+    fixed[static_cast<std::size_t>(d)] = true;
+    const NodeId v = fixed_values[i];
+    if (v < 0 || v >= pg.radix()) throw std::out_of_range("fixed value");
+    base_ += static_cast<PNode>(v) * pg.weight(d);
+  }
+  for (int d = 1; d <= pg.dims(); ++d) {
+    if (!fixed[static_cast<std::size_t>(d)]) {
+      free_dims_.push_back(d);
+      size_ *= pg.radix();
+    }
+  }
+  if (free_dims_.empty())
+    throw std::invalid_argument("view needs at least one free dimension");
+}
+
+PNode GeneralView::node(PNode local) const {
+  if (local < 0 || local >= size_) throw std::out_of_range("local index");
+  PNode out = base_;
+  for (const int d : free_dims_) {
+    out += (local % pg_->radix()) * pg_->weight(d);
+    local /= pg_->radix();
+  }
+  return out;
+}
+
+PNode GeneralView::local(PNode node) const {
+  PNode local = 0;
+  for (std::size_t j = free_dims_.size(); j-- > 0;)
+    local = local * pg_->radix() + pg_->digit(node, free_dims_[j]);
+  return local;
+}
+
+bool GeneralView::contains(PNode node) const {
+  PNode stripped = node;
+  for (const int d : free_dims_)
+    stripped -= static_cast<PNode>(pg_->digit(node, d)) * pg_->weight(d);
+  return stripped == base_;
+}
+
+PNode GeneralView::snake_rank(PNode node) const {
+  NodeId digits[62];
+  for (std::size_t j = 0; j < free_dims_.size(); ++j)
+    digits[j] = pg_->digit(node, free_dims_[j]);
+  return gray_rank(pg_->radix(),
+                   std::span<const NodeId>(digits, free_dims_.size()));
+}
+
+PNode GeneralView::node_at_snake_rank(PNode rank) const {
+  NodeId digits[62];
+  gray_tuple(pg_->radix(), rank,
+             std::span<NodeId>(digits, free_dims_.size()));
+  PNode out = base_;
+  for (std::size_t j = 0; j < free_dims_.size(); ++j)
+    out += static_cast<PNode>(digits[j]) * pg_->weight(free_dims_[j]);
+  return out;
+}
+
+std::vector<PNode> GeneralView::nodes() const {
+  std::vector<PNode> out(static_cast<std::size_t>(size_));
+  for (PNode local = 0; local < size_; ++local)
+    out[static_cast<std::size_t>(local)] = node(local);
+  return out;
+}
+
+std::vector<GeneralView> all_general_views(const ProductGraph& pg,
+                                           const std::vector<int>& fixed_dims) {
+  const PNode combos = pow_int(pg.radix(), static_cast<int>(fixed_dims.size()));
+  std::vector<GeneralView> out;
+  out.reserve(static_cast<std::size_t>(combos));
+  for (PNode c = 0; c < combos; ++c) {
+    std::vector<NodeId> values(fixed_dims.size());
+    PNode rest = c;
+    for (std::size_t i = 0; i < fixed_dims.size(); ++i) {
+      values[i] = static_cast<NodeId>(rest % pg.radix());
+      rest /= pg.radix();
+    }
+    out.emplace_back(pg, fixed_dims, values);
+  }
+  return out;
+}
+
+}  // namespace prodsort

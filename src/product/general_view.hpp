@@ -1,0 +1,58 @@
+#pragma once
+
+// General sub-product views [u_1,...,u_m]PG_k^{i_1,...,i_m} with an
+// ARBITRARY set of fixed dimensions (the paper's full notation).  The
+// sorting algorithm only needs contiguous free ranges (ViewSpec), whose
+// addressing is a single multiply; GeneralView covers the rest of the
+// notation for analysis, tests and examples.
+
+#include <vector>
+
+#include "product/product_graph.hpp"
+
+namespace prodsort {
+
+class GeneralView {
+ public:
+  /// Fixes `dims[i]` (1-based, strictly ascending) to `values[i]`; the
+  /// remaining dimensions are free, ordered ascending, and local
+  /// dimension j corresponds to the j-th smallest free dimension.
+  GeneralView(const ProductGraph& pg, std::vector<int> fixed_dims,
+              std::vector<NodeId> fixed_values);
+
+  [[nodiscard]] int dims() const noexcept {
+    return static_cast<int>(free_dims_.size());
+  }
+  [[nodiscard]] const std::vector<int>& free_dims() const noexcept {
+    return free_dims_;
+  }
+  [[nodiscard]] PNode size() const noexcept { return size_; }
+
+  /// Global node of local index (mixed-radix over the free dimensions).
+  [[nodiscard]] PNode node(PNode local) const;
+
+  /// Local index of a node that belongs to the view.
+  [[nodiscard]] PNode local(PNode node) const;
+
+  [[nodiscard]] bool contains(PNode node) const;
+
+  /// Snake rank within the view (Gray rank of the free digits).
+  [[nodiscard]] PNode snake_rank(PNode node) const;
+  [[nodiscard]] PNode node_at_snake_rank(PNode rank) const;
+
+  /// All nodes in local-index order.
+  [[nodiscard]] std::vector<PNode> nodes() const;
+
+ private:
+  const ProductGraph* pg_;
+  PNode base_ = 0;
+  std::vector<int> free_dims_;
+  PNode size_ = 1;
+};
+
+/// Every GeneralView with the given fixed dimensions (all value
+/// combinations), in lexicographic value order.
+[[nodiscard]] std::vector<GeneralView> all_general_views(
+    const ProductGraph& pg, const std::vector<int>& fixed_dims);
+
+}  // namespace prodsort

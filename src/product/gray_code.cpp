@@ -1,0 +1,92 @@
+#include "product/gray_code.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace prodsort {
+
+PNode pow_int(PNode base, int exp) {
+  PNode out = 1;
+  for (int i = 0; i < exp; ++i) out *= base;
+  return out;
+}
+
+PNode gray_rank(NodeId n, std::span<const NodeId> tuple) {
+  if (n == 2) {  // bit-parallel binary reflected Gray code
+    PNode gray = 0;
+    for (std::size_t i = 0; i < tuple.size(); ++i) {
+      if (tuple[i] < 0 || tuple[i] > 1)
+        throw std::out_of_range("tuple digit out of range");
+      gray |= static_cast<PNode>(tuple[i]) << i;
+    }
+    return brgc_inverse(gray);
+  }
+  // Process digits from the leftmost position down, tracking whether the
+  // remaining suffix is inside a reversed copy of Q_{i-1}.
+  PNode rank = 0;
+  PNode weight = pow_int(n, static_cast<int>(tuple.size()) - 1);
+  bool reversed = false;
+  for (std::size_t i = tuple.size(); i-- > 0;) {
+    const NodeId d = tuple[i];
+    if (d < 0 || d >= n) throw std::out_of_range("tuple digit out of range");
+    rank += (reversed ? n - 1 - d : d) * weight;
+    reversed ^= (d & 1) != 0;
+    weight /= n;
+  }
+  return rank;
+}
+
+void gray_tuple(NodeId n, PNode rank, std::span<NodeId> out) {
+  PNode weight = pow_int(n, static_cast<int>(out.size()) - 1);
+  if (rank < 0 || rank >= weight * n) throw std::out_of_range("rank out of range");
+  if (n == 2) {  // bit-parallel binary reflected Gray code
+    const PNode gray = brgc(rank);
+    for (std::size_t i = 0; i < out.size(); ++i)
+      out[i] = static_cast<NodeId>((gray >> i) & 1);
+    return;
+  }
+  bool reversed = false;
+  for (std::size_t i = out.size(); i-- > 0;) {
+    const auto q = static_cast<NodeId>(rank / weight);
+    rank %= weight;
+    const NodeId d = reversed ? n - 1 - q : q;
+    out[i] = d;
+    reversed ^= (d & 1) != 0;
+    weight /= n;
+  }
+}
+
+std::vector<std::vector<NodeId>> gray_sequence(NodeId n, int r) {
+  const PNode total = pow_int(n, r);
+  std::vector<std::vector<NodeId>> seq;
+  seq.reserve(static_cast<std::size_t>(total));
+  for (PNode rank = 0; rank < total; ++rank) {
+    std::vector<NodeId> tuple(static_cast<std::size_t>(r));
+    gray_tuple(n, rank, tuple);
+    seq.push_back(std::move(tuple));
+  }
+  return seq;
+}
+
+int hamming_distance(std::span<const NodeId> a, std::span<const NodeId> b) {
+  if (a.size() != b.size()) throw std::invalid_argument("tuple size mismatch");
+  int dist = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) dist += std::abs(a[i] - b[i]);
+  return dist;
+}
+
+PNode hamming_weight(std::span<const NodeId> tuple) {
+  PNode weight = 0;
+  for (const NodeId d : tuple) weight += d;
+  return weight;
+}
+
+PNode subsequence_position(NodeId n, NodeId u, PNode j) {
+  if (u < 0 || u >= n) throw std::out_of_range("symbol out of range");
+  // Even-indexed elements come from forward copies of Q_1 (offset u),
+  // odd-indexed from reversed copies (offset N-1-u).
+  if (j % 2 == 0) return j * n + u;
+  return j * n + (n - 1 - u);
+}
+
+}  // namespace prodsort

@@ -1,0 +1,64 @@
+#pragma once
+
+// N-ary Gray-code sequences Q_r (Definition 3) and the rank <-> tuple
+// bijections that realize the paper's snake order.
+//
+// Tuple convention throughout the library: tuple[i] is the symbol at
+// position i+1 of the paper's r-tuple x_r x_{r-1} ... x_1, i.e. tuple[0]
+// is the rightmost (dimension-1) symbol and tuple[r-1] the leftmost.
+//
+// Q_r is defined recursively: Q_1 = (0, 1, ..., N-1) and
+// Q_r = CON{ [u]Q_{r-1} : u = 0..N-1 } where [u]Q_{r-1} prefixes Q_{r-1}
+// (u even) or its reversal (u odd) with u.  Consecutive elements have unit
+// Hamming distance; the sequence of Hamming-weight parities alternates.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace prodsort {
+
+/// Linear index of a node of an N^r-node product graph.
+using PNode = std::int64_t;
+
+/// Integer power N^e (no overflow checking beyond 63-bit range).
+[[nodiscard]] PNode pow_int(PNode base, int exp);
+
+/// Binary reflected Gray code: Q_r for N = 2 in bit-parallel form.
+/// gray_tuple/gray_rank dispatch to these for N = 2.
+[[nodiscard]] constexpr PNode brgc(PNode rank) noexcept {
+  return rank ^ (rank >> 1);
+}
+[[nodiscard]] constexpr PNode brgc_inverse(PNode gray) noexcept {
+  PNode rank = gray;
+  for (int shift = 1; shift < 63; shift *= 2) rank ^= rank >> shift;
+  return rank;
+}
+
+/// Rank of `tuple` in Q_r (r = tuple.size()), i.e. its snake-order rank.
+[[nodiscard]] PNode gray_rank(NodeId n, std::span<const NodeId> tuple);
+
+/// Inverse of gray_rank: writes the tuple with the given rank into `out`
+/// (r = out.size()).
+void gray_tuple(NodeId n, PNode rank, std::span<NodeId> out);
+
+/// The full sequence Q_r as a list of tuples (for tests, examples, and
+/// figure reproduction; exponential in r, keep N^r small).
+[[nodiscard]] std::vector<std::vector<NodeId>> gray_sequence(NodeId n, int r);
+
+/// Hamming distance between equal-length tuples: sum of |a_i - b_i|
+/// (Section 2's definition, with numeric digit differences).
+[[nodiscard]] int hamming_distance(std::span<const NodeId> a,
+                                   std::span<const NodeId> b);
+
+/// Hamming weight: sum of digits.
+[[nodiscard]] PNode hamming_weight(std::span<const NodeId> tuple);
+
+/// Rank, within Q_r, of the j-th element of the subsequence [u]Q^1_{r-1}
+/// (elements whose rightmost symbol is u), per Section 2:
+/// positions u, 2N-u-1, 2N+u, 4N-u-1, 4N+u, ...
+[[nodiscard]] PNode subsequence_position(NodeId n, NodeId u, PNode j);
+
+}  // namespace prodsort

@@ -1,0 +1,78 @@
+#include "product/gray_sequences.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace prodsort {
+
+std::vector<std::vector<NodeId>> reversed_sequence(
+    std::vector<std::vector<NodeId>> seq) {
+  std::reverse(seq.begin(), seq.end());
+  return seq;
+}
+
+bool is_gray_sequence(NodeId n, const std::vector<std::vector<NodeId>>& seq) {
+  if (seq.empty()) return false;
+  const std::size_t r = seq.front().size();
+  const PNode expected = pow_int(n, static_cast<int>(r));
+  if (static_cast<PNode>(seq.size()) != expected) return false;
+  std::set<std::vector<NodeId>> seen;
+  for (const auto& tuple : seq) {
+    if (tuple.size() != r) return false;
+    for (const NodeId d : tuple)
+      if (d < 0 || d >= n) return false;
+    if (!seen.insert(tuple).second) return false;
+  }
+  for (std::size_t i = 0; i + 1 < seq.size(); ++i)
+    if (hamming_distance(seq[i], seq[i + 1]) != 1) return false;
+  return true;
+}
+
+std::vector<PNode> subsequence_ranks(NodeId n, int r, int pos, NodeId value) {
+  if (pos < 1 || pos > r) throw std::invalid_argument("position out of range");
+  if (value < 0 || value >= n) throw std::out_of_range("symbol out of range");
+  std::vector<PNode> ranks;
+  ranks.reserve(static_cast<std::size_t>(pow_int(n, r - 1)));
+  std::vector<NodeId> tuple(static_cast<std::size_t>(r));
+  for (PNode rank = 0; rank < pow_int(n, r); ++rank) {
+    gray_tuple(n, rank, tuple);
+    if (tuple[static_cast<std::size_t>(pos - 1)] == value) ranks.push_back(rank);
+  }
+  return ranks;
+}
+
+std::vector<std::vector<NodeId>> subsequence_tuples(NodeId n, int r, int pos,
+                                                    NodeId value) {
+  std::vector<std::vector<NodeId>> out;
+  std::vector<NodeId> tuple(static_cast<std::size_t>(r));
+  for (const PNode rank : subsequence_ranks(n, r, pos, value)) {
+    gray_tuple(n, rank, tuple);
+    std::vector<NodeId> projected;
+    projected.reserve(static_cast<std::size_t>(r) - 1);
+    for (int i = 0; i < r; ++i)
+      if (i != pos - 1) projected.push_back(tuple[static_cast<std::size_t>(i)]);
+    out.push_back(std::move(projected));
+  }
+  return out;
+}
+
+std::vector<GroupLabel> group_sequence(NodeId n, int r, int grouped) {
+  if (grouped < 1 || grouped >= r)
+    throw std::invalid_argument("must group 1..r-1 positions");
+  const int label_dims = r - grouped;
+  const PNode count = pow_int(n, label_dims);
+  std::vector<GroupLabel> out;
+  out.reserve(static_cast<std::size_t>(count));
+  std::vector<NodeId> digits(static_cast<std::size_t>(label_dims));
+  for (PNode rank = 0; rank < count; ++rank) {
+    gray_tuple(n, rank, digits);
+    GroupLabel label;
+    label.digits = digits;
+    label.reversed = (hamming_weight(digits) % 2) != 0;
+    out.push_back(std::move(label));
+  }
+  return out;
+}
+
+}  // namespace prodsort

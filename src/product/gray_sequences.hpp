@@ -1,0 +1,59 @@
+#pragma once
+
+// Explicit sequence-level helpers for the paper's Section 2 notation:
+// reversals R(Q), subsequences [u]Q^i at arbitrary symbol positions, and
+// the group sequences [*]Q^1 / [*,*]Q^{1,2} that order the G- and
+// PG_2-subgraphs of a product graph.
+//
+// These materialize whole sequences (exponential in r); they exist for
+// tests, examples and figure reproduction — the sorting algorithm itself
+// only ever uses the O(r) rank maps in gray_code.hpp.
+
+#include <vector>
+
+#include "product/gray_code.hpp"
+
+namespace prodsort {
+
+/// R(Q): the sequence reversed.
+[[nodiscard]] std::vector<std::vector<NodeId>> reversed_sequence(
+    std::vector<std::vector<NodeId>> seq);
+
+/// True iff `seq` contains every r-tuple over {0..n-1} exactly once with
+/// unit Hamming distance between consecutive elements (an N-ary Gray
+/// sequence, not necessarily the canonical Q_r).
+[[nodiscard]] bool is_gray_sequence(
+    NodeId n, const std::vector<std::vector<NodeId>>& seq);
+
+/// Ranks, within Q_r, of the elements whose symbol at position `pos`
+/// (1-based, 1 = rightmost) equals `value`, in Q_r order: the paper's
+/// subsequence [value]Q^{pos}_{r-1}.
+[[nodiscard]] std::vector<PNode> subsequence_ranks(NodeId n, int r, int pos,
+                                                   NodeId value);
+
+/// The same subsequence as tuples with position `pos` deleted (r-1
+/// symbols each).  For pos = 1 this is exactly Q_{r-1} (the identity the
+/// sorting algorithm's free Step 1 rests on); for every pos it is a
+/// valid Gray sequence of order r-1.
+[[nodiscard]] std::vector<std::vector<NodeId>> subsequence_tuples(NodeId n,
+                                                                  int r,
+                                                                  int pos,
+                                                                  NodeId value);
+
+/// One element of a group sequence [*,...]Q^{1..g}: the common digits at
+/// positions g+1..r, plus whether the group's members are traversed in
+/// reverse (odd Hamming weight) within the snake.
+struct GroupLabel {
+  std::vector<NodeId> digits;  ///< digits[i] = symbol at position g+1+i
+  bool reversed = false;       ///< R(Q_g) traversal (odd weight)
+};
+
+/// The group sequence obtained from Q_r by replacing the lowest
+/// `grouped` positions with "*": N^(r-grouped) labels in Gray order,
+/// consecutive labels at unit Hamming distance, weight parity = the
+/// traversal direction (Section 2's [*]Q^1 for grouped = 1 and
+/// [*,*]Q^{1,2} for grouped = 2).
+[[nodiscard]] std::vector<GroupLabel> group_sequence(NodeId n, int r,
+                                                     int grouped);
+
+}  // namespace prodsort

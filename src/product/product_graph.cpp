@@ -1,0 +1,80 @@
+#include "product/product_graph.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "graph/graph_algos.hpp"
+
+namespace prodsort {
+
+ProductGraph::ProductGraph(LabeledFactor factor, int r)
+    : factor_(std::move(factor)), r_(r) {
+  if (r < 1) throw std::invalid_argument("product needs r >= 1");
+  if (factor_.size() < 2) throw std::invalid_argument("factor needs >= 2 nodes");
+  weights_.resize(static_cast<std::size_t>(r));
+  PNode w = 1;
+  for (int i = 0; i < r; ++i) {
+    weights_[static_cast<std::size_t>(i)] = w;
+    if (w > (PNode{1} << 62) / factor_.size())
+      throw std::invalid_argument("product too large");
+    w *= factor_.size();
+  }
+  num_nodes_ = w;
+}
+
+std::vector<NodeId> ProductGraph::tuple_of(PNode node) const {
+  std::vector<NodeId> tuple(static_cast<std::size_t>(r_));
+  for (int i = 1; i <= r_; ++i)
+    tuple[static_cast<std::size_t>(i - 1)] = digit(node, i);
+  return tuple;
+}
+
+PNode ProductGraph::node_of(std::span<const NodeId> tuple) const {
+  if (static_cast<int>(tuple.size()) != r_)
+    throw std::invalid_argument("tuple arity mismatch");
+  PNode node = 0;
+  for (int i = 1; i <= r_; ++i) {
+    const NodeId d = tuple[static_cast<std::size_t>(i - 1)];
+    if (d < 0 || d >= radix()) throw std::out_of_range("digit out of range");
+    node += static_cast<PNode>(d) * weight(i);
+  }
+  return node;
+}
+
+bool ProductGraph::adjacent(PNode a, PNode b) const {
+  int differing_dim = 0;
+  for (int i = 1; i <= r_; ++i) {
+    if (digit(a, i) != digit(b, i)) {
+      if (differing_dim != 0) return false;  // differ in more than one place
+      differing_dim = i;
+    }
+  }
+  if (differing_dim == 0) return false;
+  return factor_.graph.has_edge(digit(a, differing_dim),
+                                digit(b, differing_dim));
+}
+
+std::vector<PNode> ProductGraph::neighbors(PNode node) const {
+  std::vector<PNode> out;
+  for (int i = 1; i <= r_; ++i) {
+    for (const NodeId w : factor_.graph.neighbors(digit(node, i)))
+      out.push_back(with_digit(node, i, w));
+  }
+  return out;
+}
+
+PNode ProductGraph::num_edges() const {
+  const PNode per_dim = num_nodes_ / radix();
+  const auto edges = static_cast<PNode>(factor_.graph.num_edges());
+  PNode result = 0;
+  if (__builtin_mul_overflow(per_dim, edges, &result) ||
+      __builtin_mul_overflow(result, static_cast<PNode>(r_), &result))
+    throw std::overflow_error("edge count exceeds 63 bits");
+  return result;
+}
+
+int ProductGraph::diameter() const {
+  return r_ * prodsort::diameter(factor_.graph);
+}
+
+}  // namespace prodsort

@@ -1,0 +1,73 @@
+#pragma once
+
+// The r-dimensional homogeneous product PG_r of a labeled factor graph
+// (Definition 1).  Nodes are linear indices over the N-ary digit tuple:
+// node = sum_i digit_i * N^(i-1), digit_i being the symbol at position i
+// (dimension i), i = 1..r.  Two nodes are adjacent iff they differ in
+// exactly one digit position i and the differing digits are adjacent in
+// the factor graph.
+//
+// PG_r for interesting sizes is huge (N^r nodes), so the class never
+// materializes adjacency lists; everything is computed from digit
+// arithmetic on demand.
+
+#include <vector>
+
+#include "graph/labeled_factor.hpp"
+#include "product/gray_code.hpp"
+
+namespace prodsort {
+
+class ProductGraph {
+ public:
+  /// Builds PG_r of `factor`.  r >= 1; N^r must fit in 62 bits.
+  ProductGraph(LabeledFactor factor, int r);
+
+  [[nodiscard]] const LabeledFactor& factor() const noexcept { return factor_; }
+  [[nodiscard]] NodeId radix() const noexcept { return factor_.size(); }
+  [[nodiscard]] int dims() const noexcept { return r_; }
+  [[nodiscard]] PNode num_nodes() const noexcept { return num_nodes_; }
+
+  /// N^(dim-1), the linear-index weight of dimension `dim` (1-based).
+  [[nodiscard]] PNode weight(int dim) const {
+    return weights_[static_cast<std::size_t>(dim - 1)];
+  }
+
+  /// Digit of `node` at dimension `dim` (1-based).
+  [[nodiscard]] NodeId digit(PNode node, int dim) const {
+    return static_cast<NodeId>((node / weight(dim)) % radix());
+  }
+
+  /// `node` with the digit at dimension `dim` replaced by `value`.
+  [[nodiscard]] PNode with_digit(PNode node, int dim, NodeId value) const {
+    return node + (static_cast<PNode>(value) - digit(node, dim)) * weight(dim);
+  }
+
+  /// The digit tuple of `node` (tuple[i] = dimension i+1).
+  [[nodiscard]] std::vector<NodeId> tuple_of(PNode node) const;
+
+  /// Linear index of a digit tuple.
+  [[nodiscard]] PNode node_of(std::span<const NodeId> tuple) const;
+
+  /// Adjacency per Definition 1.
+  [[nodiscard]] bool adjacent(PNode a, PNode b) const;
+
+  /// All neighbors of `node` (degree = sum of factor degrees of digits).
+  [[nodiscard]] std::vector<PNode> neighbors(PNode node) const;
+
+  /// Total edge count: r * N^(r-1) * |E(G)|.  Throws std::overflow_error
+  /// when the count exceeds PNode's range (possible for products whose
+  /// node count alone fits, e.g. K2 products with r >= 59).
+  [[nodiscard]] PNode num_edges() const;
+
+  /// Diameter: r * diameter(G) (products of shortest paths per dimension).
+  [[nodiscard]] int diameter() const;
+
+ private:
+  LabeledFactor factor_;
+  int r_;
+  PNode num_nodes_;
+  std::vector<PNode> weights_;
+};
+
+}  // namespace prodsort

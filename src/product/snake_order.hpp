@@ -1,0 +1,37 @@
+#pragma once
+
+// Snake order (Definition 2) for product graphs and their views.
+//
+// The snake order of PG_r coincides with the N-ary Gray-code sequence Q_r
+// over node labels (Section 2), so rank maps reduce to gray_rank /
+// gray_tuple on the digit tuple.  For a view, ranks are local: local
+// dimension j = global dimension lo+j-1, and the rank is the Gray rank of
+// the free-digit block.
+
+#include "product/gray_code.hpp"
+#include "product/subgraph_view.hpp"
+
+namespace prodsort {
+
+/// Snake rank of `node` within the whole graph.
+[[nodiscard]] PNode snake_rank(const ProductGraph& pg, PNode node);
+
+/// Node at snake rank `rank` of the whole graph.
+[[nodiscard]] PNode node_at_snake_rank(const ProductGraph& pg, PNode rank);
+
+/// Snake rank of `node` within view `v` (node must belong to the view).
+[[nodiscard]] PNode view_snake_rank(const ProductGraph& pg, const ViewSpec& v,
+                                    PNode node);
+
+/// Node of view `v` at local snake rank `rank`.
+[[nodiscard]] PNode view_node_at_snake_rank(const ProductGraph& pg,
+                                            const ViewSpec& v, PNode rank);
+
+/// Parity of the Hamming weight of the digits of `node` at dimensions
+/// dim_lo..dim_hi: false = even.  For a PG_2 block at view dims lo..lo+1,
+/// the parity of the remaining free digits (lo+2..hi) decides whether the
+/// block appears forward (even) or reversed (odd) in the enclosing snake.
+[[nodiscard]] bool weight_parity(const ProductGraph& pg, PNode node,
+                                 int dim_lo, int dim_hi);
+
+}  // namespace prodsort

@@ -1,0 +1,49 @@
+#include "product/subgraph_view.hpp"
+
+#include <stdexcept>
+
+namespace prodsort {
+
+ViewSpec full_view(const ProductGraph& pg) { return {1, pg.dims(), 0}; }
+
+PNode view_size(const ProductGraph& pg, const ViewSpec& v) {
+  return pow_int(pg.radix(), v.dims());
+}
+
+PNode view_node(const ProductGraph& pg, const ViewSpec& v, PNode local) {
+  return v.base + local * pg.weight(v.lo);
+}
+
+PNode view_local(const ProductGraph& pg, const ViewSpec& v, PNode node) {
+  return (node / pg.weight(v.lo)) % view_size(pg, v);
+}
+
+bool view_contains(const ProductGraph& pg, const ViewSpec& v, PNode node) {
+  return node - view_local(pg, v, node) * pg.weight(v.lo) == v.base;
+}
+
+ViewSpec fix_low(const ProductGraph& pg, const ViewSpec& v, NodeId value) {
+  if (v.dims() < 2) throw std::invalid_argument("cannot shrink 1-D view");
+  return {v.lo + 1, v.hi, v.base + static_cast<PNode>(value) * pg.weight(v.lo)};
+}
+
+ViewSpec fix_high(const ProductGraph& pg, const ViewSpec& v, NodeId value) {
+  if (v.dims() < 2) throw std::invalid_argument("cannot shrink 1-D view");
+  return {v.lo, v.hi - 1, v.base + static_cast<PNode>(value) * pg.weight(v.hi)};
+}
+
+std::vector<ViewSpec> all_views(const ProductGraph& pg, int lo, int hi) {
+  if (lo < 1 || hi > pg.dims() || lo > hi)
+    throw std::invalid_argument("bad free range");
+  const PNode low_combos = pg.weight(lo);  // digits below the free block
+  const PNode block = view_size(pg, {lo, hi, 0}) * low_combos;
+  const PNode high_combos = pg.num_nodes() / block;  // digits above it
+  std::vector<ViewSpec> out;
+  out.reserve(static_cast<std::size_t>(low_combos * high_combos));
+  for (PNode h = 0; h < high_combos; ++h)
+    for (PNode l = 0; l < low_combos; ++l)
+      out.push_back({lo, hi, h * block + l});
+  return out;
+}
+
+}  // namespace prodsort

@@ -1,0 +1,66 @@
+#pragma once
+
+// Views onto sub-products of PG_r.
+//
+// The paper's notation [u_1,...,u_m]PG_k^{i_1,...,i_m} denotes the PG_k
+// subgraph obtained by fixing the digits at dimensions i_1..i_m.  The
+// sorting algorithm only ever needs views whose free dimensions form a
+// contiguous range lo..hi (the recursion peels the lowest free dimension,
+// the driver peels from the top), which keeps the addressing a single
+// multiply: the free digits occupy one aligned block of the mixed-radix
+// index.
+//
+// A ViewSpec is the pair (free range, base node), where the base node
+// carries the fixed digits and has zeros in the free block.  Local node
+// index within a view = the free digit block read as a base-N number, so
+// local dimension j corresponds to global dimension lo+j-1.
+
+#include <vector>
+
+#include "product/product_graph.hpp"
+
+namespace prodsort {
+
+struct ViewSpec {
+  int lo = 1;     ///< lowest free dimension (1-based)
+  int hi = 1;     ///< highest free dimension (inclusive)
+  PNode base = 0; ///< node with fixed digits set and free digits zero
+
+  [[nodiscard]] int dims() const noexcept { return hi - lo + 1; }
+  friend bool operator==(const ViewSpec&, const ViewSpec&) = default;
+};
+
+/// The whole graph as a view.
+[[nodiscard]] ViewSpec full_view(const ProductGraph& pg);
+
+/// Number of nodes in the view: N^(hi-lo+1).
+[[nodiscard]] PNode view_size(const ProductGraph& pg, const ViewSpec& v);
+
+/// Global node for a local index (local digits block shifted to dim lo).
+[[nodiscard]] PNode view_node(const ProductGraph& pg, const ViewSpec& v,
+                              PNode local);
+
+/// Local index of a global node belonging to the view.
+[[nodiscard]] PNode view_local(const ProductGraph& pg, const ViewSpec& v,
+                               PNode node);
+
+/// True iff `node`'s fixed digits match the view's.
+[[nodiscard]] bool view_contains(const ProductGraph& pg, const ViewSpec& v,
+                                 PNode node);
+
+/// Sub-view obtained by fixing the lowest free dimension to `value`
+/// ([value]PG^{lo}): free range becomes lo+1..hi.
+[[nodiscard]] ViewSpec fix_low(const ProductGraph& pg, const ViewSpec& v,
+                               NodeId value);
+
+/// Sub-view obtained by fixing the highest free dimension to `value`
+/// ([value]PG^{hi}): free range becomes lo..hi-1.
+[[nodiscard]] ViewSpec fix_high(const ProductGraph& pg, const ViewSpec& v,
+                                NodeId value);
+
+/// All views with free range lo..hi (every combination of fixed digits),
+/// in ascending base order.
+[[nodiscard]] std::vector<ViewSpec> all_views(const ProductGraph& pg, int lo,
+                                              int hi);
+
+}  // namespace prodsort

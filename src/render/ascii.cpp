@@ -1,0 +1,61 @@
+#include "render/ascii.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace prodsort {
+
+namespace {
+
+std::string layout(const std::vector<std::vector<std::string>>& cells) {
+  std::size_t width = 0;
+  for (const auto& row : cells)
+    for (const auto& cell : row) width = std::max(width, cell.size());
+  std::ostringstream out;
+  for (const auto& row : cells) {
+    for (const auto& cell : row)
+      out << std::string(width - cell.size() + 1, ' ') << cell;
+    out << '\n';
+  }
+  return out.str();
+}
+
+template <typename CellFn>
+std::string render_grid(const ProductGraph& pg, const ViewSpec& view,
+                        CellFn&& cell) {
+  if (view.dims() != 2)
+    throw std::invalid_argument("render_view needs a two-dimensional view");
+  const NodeId n = pg.radix();
+  std::vector<std::vector<std::string>> cells(
+      static_cast<std::size_t>(n),
+      std::vector<std::string>(static_cast<std::size_t>(n)));
+  for (NodeId row = 0; row < n; ++row)
+    for (NodeId col = 0; col < n; ++col)
+      cells[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] =
+          cell(view.base + static_cast<PNode>(col) * pg.weight(view.lo) +
+               static_cast<PNode>(row) * pg.weight(view.hi));
+  return layout(cells);
+}
+
+}  // namespace
+
+std::string render_view(const Machine& machine, const ViewSpec& view) {
+  return render_grid(machine.graph(), view, [&](PNode node) {
+    return std::to_string(machine.key(node));
+  });
+}
+
+std::string render_view(const BlockMachine& machine, const ViewSpec& view) {
+  return render_grid(machine.graph(), view, [&](PNode node) {
+    std::string cell = "[";
+    const auto blk = machine.block(node);
+    for (std::size_t i = 0; i < blk.size(); ++i) {
+      if (i > 0) cell += ' ';
+      cell += std::to_string(blk[i]);
+    }
+    return cell + "]";
+  });
+}
+
+}  // namespace prodsort

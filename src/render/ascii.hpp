@@ -1,0 +1,25 @@
+#pragma once
+
+// Text rendering of machine state: 2-D views as aligned key matrices
+// (rows = the higher free dimension, columns = the lower), the format
+// the paper's Figs. 12-15 use and paper_walkthrough prints.
+
+#include <string>
+
+#include "network/block_machine.hpp"
+#include "network/machine.hpp"
+
+namespace prodsort {
+
+/// The keys of a two-dimensional view as an aligned text matrix; row r
+/// is the slice with the higher free digit == r, columns follow the
+/// lower free digit.
+[[nodiscard]] std::string render_view(const Machine& machine,
+                                      const ViewSpec& view);
+
+/// Block-machine variant: each cell prints the node's block as
+/// [k0 k1 ...].
+[[nodiscard]] std::string render_view(const BlockMachine& machine,
+                                      const ViewSpec& view);
+
+}  // namespace prodsort

@@ -1,0 +1,63 @@
+#include "render/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace prodsort {
+
+namespace {
+
+bool needs_quoting(const std::string& field) {
+  return field.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+void append_field(std::ostringstream& out, const std::string& field) {
+  if (!needs_quoting(field)) {
+    out << field;
+    return;
+  }
+  out << '"';
+  for (const char c : field) {
+    if (c == '"') out << '"';
+    out << c;
+  }
+  out << '"';
+}
+
+void append_row(std::ostringstream& out, const std::vector<std::string>& row) {
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out << ',';
+    append_field(out, row[i]);
+  }
+  out << '\n';
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  if (header_.empty()) throw std::invalid_argument("empty CSV header");
+}
+
+void CsvWriter::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size())
+    throw std::invalid_argument("CSV row arity mismatch");
+  rows_.push_back(std::move(row));
+}
+
+std::string CsvWriter::str() const {
+  std::ostringstream out;
+  append_row(out, header_);
+  for (const auto& row : rows_) append_row(out, row);
+  return out.str();
+}
+
+void CsvWriter::write(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) throw std::runtime_error("cannot open " + path);
+  file << str();
+  if (!file) throw std::runtime_error("write failed: " + path);
+}
+
+}  // namespace prodsort

@@ -1,0 +1,32 @@
+#pragma once
+
+// Minimal CSV writer for bench/table exports: RFC-4180-ish quoting, one
+// header row, value rows of matching arity.
+
+#include <string>
+#include <vector>
+
+namespace prodsort {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  /// Appends a row; its arity must match the header's.
+  void add_row(std::vector<std::string> row);
+
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+
+  /// The document as a string (header + rows, fields quoted when they
+  /// contain commas, quotes, or newlines).
+  [[nodiscard]] std::string str() const;
+
+  /// Writes to a file; throws std::runtime_error on failure.
+  void write(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace prodsort

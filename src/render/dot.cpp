@@ -1,0 +1,63 @@
+#include "render/dot.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "product/snake_order.hpp"
+
+namespace prodsort {
+
+namespace {
+
+std::string tuple_label(const ProductGraph& pg, PNode node) {
+  std::string label;
+  for (int i = pg.dims(); i >= 1; --i) {
+    label += std::to_string(pg.digit(node, i));
+    if (pg.radix() > 10 && i > 1) label += ".";
+  }
+  return label;
+}
+
+}  // namespace
+
+std::string to_dot(const Graph& g, const std::string& name,
+                   std::span<const NodeId> order) {
+  std::ostringstream out;
+  out << "graph \"" << name << "\" {\n";
+  out << "  node [shape=circle fontsize=10];\n";
+  for (NodeId v = 0; v < g.num_nodes(); ++v) out << "  " << v << ";\n";
+  for (const auto& [a, b] : g.edges())
+    out << "  " << a << " -- " << b << ";\n";
+  for (std::size_t i = 0; i + 1 < order.size(); ++i)
+    out << "  " << order[i] << " -- " << order[i + 1]
+        << " [color=red penwidth=2 constraint=false];\n";
+  out << "}\n";
+  return out.str();
+}
+
+std::string to_dot(const ProductGraph& pg, const std::string& name,
+                   const DotStyle& style) {
+  if (pg.num_nodes() > 4096)
+    throw std::invalid_argument("product too large to render");
+  std::ostringstream out;
+  out << "graph \"" << name << "\" {\n";
+  out << "  node [shape=circle fontsize=10];\n";
+  for (PNode v = 0; v < pg.num_nodes(); ++v) {
+    out << "  " << v;
+    if (style.tuple_labels) out << " [label=\"" << tuple_label(pg, v) << "\"]";
+    out << ";\n";
+  }
+  for (PNode v = 0; v < pg.num_nodes(); ++v)
+    for (const PNode w : pg.neighbors(v))
+      if (v < w) out << "  " << v << " -- " << w << ";\n";
+  if (style.highlight_snake) {
+    for (PNode rank = 0; rank + 1 < pg.num_nodes(); ++rank)
+      out << "  " << node_at_snake_rank(pg, rank) << " -- "
+          << node_at_snake_rank(pg, rank + 1)
+          << " [color=red penwidth=2 constraint=false];\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace prodsort

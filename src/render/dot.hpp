@@ -1,0 +1,32 @@
+#pragma once
+
+// Graphviz DOT rendering of factor and product graphs — regenerates the
+// paper's topology figures (Fig. 1 construction, Fig. 3 snake order,
+// Fig. 16 Petersen graph) as machine-readable artifacts.
+
+#include <string>
+
+#include "graph/graph.hpp"
+#include "product/product_graph.hpp"
+
+namespace prodsort {
+
+struct DotStyle {
+  /// Highlight the snake-order traversal (red, directed) on top of the
+  /// topology (Fig. 3 style).
+  bool highlight_snake = false;
+  /// Label product nodes with their digit tuples instead of ids.
+  bool tuple_labels = true;
+};
+
+/// DOT for a plain graph; `order`, if non-empty, is drawn as a red
+/// directed traversal on top (e.g. a Hamiltonian path or Sekanina cycle).
+[[nodiscard]] std::string to_dot(const Graph& g, const std::string& name,
+                                 std::span<const NodeId> order = {});
+
+/// DOT for a product graph (keep N^r small; throws above 4096 nodes).
+[[nodiscard]] std::string to_dot(const ProductGraph& pg,
+                                 const std::string& name,
+                                 const DotStyle& style = {});
+
+}  // namespace prodsort

@@ -1,0 +1,91 @@
+#include "sortnet/batcher.hpp"
+
+#include <stdexcept>
+
+namespace prodsort {
+
+namespace {
+
+bool is_power_of_two(int n) { return n > 0 && (n & (n - 1)) == 0; }
+
+// Batcher's odd-even merge of the two sorted halves of [lo, lo+n), where
+// elements within each half are `step` apart.  Classic recursion.
+void oem_merge(ComparatorNetwork& net, int lo, int n, int step) {
+  const int stride = step * 2;
+  if (stride < n) {
+    oem_merge(net, lo, n, stride);             // even subsequence
+    oem_merge(net, lo + step, n, stride);      // odd subsequence
+    for (int i = lo + step; i + step < lo + n; i += stride)
+      net.add(i, i + step);
+  } else {
+    net.add(lo, lo + step);
+  }
+}
+
+void oem_sort(ComparatorNetwork& net, int lo, int n) {
+  if (n <= 1) return;
+  const int half = n / 2;
+  oem_sort(net, lo, half);
+  oem_sort(net, lo + half, half);
+  oem_merge(net, lo, n, 1);
+}
+
+void bitonic_merge(ComparatorNetwork& net, int lo, int n, bool ascending) {
+  if (n <= 1) return;
+  const int half = n / 2;
+  for (int i = lo; i < lo + half; ++i) {
+    if (ascending)
+      net.add(i, i + half);
+    else
+      net.add(i + half, i);
+  }
+  bitonic_merge(net, lo, half, ascending);
+  bitonic_merge(net, lo + half, half, ascending);
+}
+
+void bitonic_sort(ComparatorNetwork& net, int lo, int n, bool ascending) {
+  if (n <= 1) return;
+  const int half = n / 2;
+  bitonic_sort(net, lo, half, true);
+  bitonic_sort(net, lo + half, half, false);
+  bitonic_merge(net, lo, n, ascending);
+}
+
+}  // namespace
+
+ComparatorNetwork odd_even_merge_sort_network(int n) {
+  if (!is_power_of_two(n)) throw std::invalid_argument("n must be 2^d");
+  ComparatorNetwork net(n);
+  oem_sort(net, 0, n);
+  return net;
+}
+
+ComparatorNetwork odd_even_merge_network(int n) {
+  if (!is_power_of_two(n) || n < 2)
+    throw std::invalid_argument("n must be 2^d, d >= 1");
+  ComparatorNetwork net(n);
+  oem_merge(net, 0, n, 1);
+  return net;
+}
+
+ComparatorNetwork bitonic_sort_network(int n) {
+  if (!is_power_of_two(n)) throw std::invalid_argument("n must be 2^d");
+  ComparatorNetwork net(n);
+  bitonic_sort(net, 0, n, true);
+  return net;
+}
+
+ComparatorNetwork odd_even_transposition_network(int n) {
+  if (n < 1) throw std::invalid_argument("n must be >= 1");
+  ComparatorNetwork net(n);
+  for (int phase = 0; phase < n; ++phase) {
+    std::vector<Comparator> layer;
+    for (int i = phase % 2; i + 1 < n; i += 2) layer.push_back({i, i + 1});
+    net.add_layer(std::move(layer));
+  }
+  return net;
+}
+
+int batcher_depth(int d) { return d * (d + 1) / 2; }
+
+}  // namespace prodsort

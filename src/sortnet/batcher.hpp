@@ -1,0 +1,29 @@
+#pragma once
+
+// Batcher's two classic constructions [2] plus the odd-even transposition
+// network.  Our multiway merge generalizes the odd-even merge (N = 2
+// recovers it, Section 5.3); these networks are the baselines.
+
+#include "sortnet/comparator_network.hpp"
+
+namespace prodsort {
+
+/// Batcher odd-even merge sorting network; `n` must be a power of two.
+/// Depth d(d+1)/2 for n = 2^d.
+[[nodiscard]] ComparatorNetwork odd_even_merge_sort_network(int n);
+
+/// Batcher odd-even merge of two sorted halves of length n/2 each.
+[[nodiscard]] ComparatorNetwork odd_even_merge_network(int n);
+
+/// Batcher bitonic sorting network; `n` must be a power of two.
+/// Depth d(d+1)/2 for n = 2^d.
+[[nodiscard]] ComparatorNetwork bitonic_sort_network(int n);
+
+/// Odd-even transposition network: n layers of alternating-parity
+/// neighbor comparators (the linear-array sorter).
+[[nodiscard]] ComparatorNetwork odd_even_transposition_network(int n);
+
+/// Expected depth of the Batcher networks for n = 2^d: d(d+1)/2.
+[[nodiscard]] int batcher_depth(int d);
+
+}  // namespace prodsort

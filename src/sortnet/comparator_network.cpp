@@ -1,0 +1,50 @@
+#include "sortnet/comparator_network.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace prodsort {
+
+ComparatorNetwork::ComparatorNetwork(int width) : width_(width) {
+  if (width < 1) throw std::invalid_argument("network needs >= 1 wire");
+  wire_depth_.assign(static_cast<std::size_t>(width), 0);
+}
+
+void ComparatorNetwork::add(int a, int b) {
+  if (a < 0 || b < 0 || a >= width_ || b >= width_ || a == b)
+    throw std::invalid_argument("bad comparator wires");
+  const int layer = std::max(wire_depth_[static_cast<std::size_t>(a)],
+                             wire_depth_[static_cast<std::size_t>(b)]);
+  if (layer == depth()) layers_.emplace_back();
+  layers_[static_cast<std::size_t>(layer)].push_back({a, b});
+  wire_depth_[static_cast<std::size_t>(a)] = layer + 1;
+  wire_depth_[static_cast<std::size_t>(b)] = layer + 1;
+  ++size_;
+}
+
+void ComparatorNetwork::add_layer(std::vector<Comparator> layer) {
+  for (const Comparator& c : layer) {
+    if (c.low < 0 || c.high < 0 || c.low >= width_ || c.high >= width_ ||
+        c.low == c.high)
+      throw std::invalid_argument("bad comparator wires");
+    const int d = depth() + 1;
+    wire_depth_[static_cast<std::size_t>(c.low)] = d;
+    wire_depth_[static_cast<std::size_t>(c.high)] = d;
+  }
+  size_ += layer.size();
+  layers_.push_back(std::move(layer));
+}
+
+void ComparatorNetwork::apply(std::span<Key> values) const {
+  if (static_cast<int>(values.size()) != width_)
+    throw std::invalid_argument("input width mismatch");
+  for (const auto& layer : layers_) {
+    for (const Comparator& c : layer) {
+      Key& low = values[static_cast<std::size_t>(c.low)];
+      Key& high = values[static_cast<std::size_t>(c.high)];
+      if (low > high) std::swap(low, high);
+    }
+  }
+}
+
+}  // namespace prodsort

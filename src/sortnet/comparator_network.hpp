@@ -1,0 +1,59 @@
+#pragma once
+
+// Comparator networks: the oblivious-sorting substrate behind the
+// Batcher constructions (the paper's ancestry, Section 1) and the
+// zero-one-principle testing machinery.
+//
+// A network is a sequence of layers; each layer is a set of wire-disjoint
+// comparators applied in parallel.  Depth = number of layers = parallel
+// time; size = number of comparators = work.
+
+#include <span>
+#include <vector>
+
+#include "core/multiway_merge.hpp"  // Key
+
+namespace prodsort {
+
+/// One comparator: after application, value(low) <= value(high).
+/// `low`/`high` are wire indices; a "descending" comparator simply has
+/// low > high positionally.
+struct Comparator {
+  int low = 0;
+  int high = 0;
+  friend bool operator==(const Comparator&, const Comparator&) = default;
+};
+
+class ComparatorNetwork {
+ public:
+  explicit ComparatorNetwork(int width);
+
+  [[nodiscard]] int width() const noexcept { return width_; }
+  [[nodiscard]] int depth() const noexcept {
+    return static_cast<int>(layers_.size());
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] const std::vector<std::vector<Comparator>>& layers()
+      const noexcept {
+    return layers_;
+  }
+
+  /// Appends a comparator, packing it greedily into the earliest layer
+  /// after the last layer that used either wire (ASAP scheduling, the
+  /// standard minimal-depth layering for a fixed comparator order).
+  void add(int a, int b);
+
+  /// Appends a whole layer (caller guarantees wire-disjointness).
+  void add_layer(std::vector<Comparator> layer);
+
+  /// Applies the network in place.
+  void apply(std::span<Key> values) const;
+
+ private:
+  int width_;
+  std::size_t size_ = 0;
+  std::vector<std::vector<Comparator>> layers_;
+  std::vector<int> wire_depth_;  // last layer index touching each wire, +1
+};
+
+}  // namespace prodsort

@@ -1,0 +1,180 @@
+#include "sortnet/multiway_network.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "sortnet/batcher.hpp"
+
+namespace prodsort {
+
+namespace {
+
+bool is_power_of_two(std::int64_t v) { return v > 0 && (v & (v - 1)) == 0; }
+
+// Accumulates comparators over logical wire lists; layering happens when
+// the final ComparatorNetwork is emitted.
+class Builder {
+ public:
+  explicit Builder(int n) : n_(n) {}
+
+  // Sorts `wires` ascending along the list order (reverse the list for a
+  // descending sort) with a base network: Batcher for power-of-two
+  // sizes, odd-even transposition otherwise.
+  void base_sort(const std::vector<int>& wires) {
+    const int size = static_cast<int>(wires.size());
+    const ComparatorNetwork base = is_power_of_two(size)
+                                       ? odd_even_merge_sort_network(size)
+                                       : odd_even_transposition_network(size);
+    for (const auto& layer : base.layers())
+      for (const Comparator& c : layer)
+        comps_.push_back({wires[static_cast<std::size_t>(c.low)],
+                          wires[static_cast<std::size_t>(c.high)]});
+  }
+
+  void comparator(int low, int high) { comps_.push_back({low, high}); }
+
+  // Section 3.1 at the wire level.  `wires` lists, in logical order, the
+  // physical wires of N sorted segments of m wires each; returns the
+  // physical wires in merged-ascending order.
+  std::vector<int> merge(const std::vector<int>& wires) {
+    const std::int64_t m = static_cast<std::int64_t>(wires.size()) / n_;
+    if (m == n_) {  // N^2 keys: the assumed base sorter (Section 3.2)
+      base_sort(wires);
+      return wires;
+    }
+
+    // Steps 1 + 2: column v's input order is the concatenation of the
+    // B_{u,v} (snake-column reads of each segment); merge recursively.
+    const std::int64_t rows = m / n_;
+    std::vector<std::vector<int>> columns(static_cast<std::size_t>(n_));
+    for (int v = 0; v < n_; ++v) {
+      auto& col = columns[static_cast<std::size_t>(v)];
+      col.reserve(static_cast<std::size_t>(m));
+      for (int u = 0; u < n_; ++u) {
+        for (std::int64_t i = 0; i < rows; ++i) {
+          const std::int64_t c = (i % 2 == 0) ? v : n_ - 1 - v;
+          col.push_back(
+              wires[static_cast<std::size_t>(u * m + i * n_ + c)]);
+        }
+      }
+      col = merge(col);
+    }
+
+    // Step 3: D[i*N + v] = C_v[i] — a pure relabeling.
+    std::vector<int> d(static_cast<std::size_t>(n_ * m));
+    for (int v = 0; v < n_; ++v)
+      for (std::int64_t i = 0; i < m; ++i)
+        d[static_cast<std::size_t>(i * n_ + v)] =
+            columns[static_cast<std::size_t>(v)][static_cast<std::size_t>(i)];
+
+    // Step 4: alternate-direction block sorts, two transposition steps,
+    // final ascending block sorts (equivalent to the paper's alternating
+    // final sorts concatenated in snake order).
+    const std::int64_t block = static_cast<std::int64_t>(n_) * n_;
+    const std::int64_t nblocks = (n_ * m) / block;
+    for (std::int64_t z = 0; z < nblocks; ++z) {
+      std::vector<int> blk(d.begin() + static_cast<std::ptrdiff_t>(z * block),
+                           d.begin() + static_cast<std::ptrdiff_t>((z + 1) * block));
+      if (z % 2 == 1) std::reverse(blk.begin(), blk.end());
+      base_sort(blk);
+    }
+    for (const std::int64_t parity : {std::int64_t{0}, std::int64_t{1}})
+      for (std::int64_t z = parity; z + 1 < nblocks; z += 2)
+        for (std::int64_t t = 0; t < block; ++t)
+          comparator(d[static_cast<std::size_t>(z * block + t)],
+                     d[static_cast<std::size_t>((z + 1) * block + t)]);
+    for (std::int64_t z = 0; z < nblocks; ++z) {
+      const std::vector<int> blk(
+          d.begin() + static_cast<std::ptrdiff_t>(z * block),
+          d.begin() + static_cast<std::ptrdiff_t>((z + 1) * block));
+      base_sort(blk);
+    }
+    return d;
+  }
+
+  // Emits the accumulated comparators, optionally renaming wire w to
+  // relabel[w], into a greedily layered ComparatorNetwork.
+  ComparatorNetwork emit(int width, const std::vector<int>* relabel) const {
+    ComparatorNetwork net(width);
+    for (const Comparator& c : comps_) {
+      const int low = relabel != nullptr
+                          ? (*relabel)[static_cast<std::size_t>(c.low)]
+                          : c.low;
+      const int high = relabel != nullptr
+                           ? (*relabel)[static_cast<std::size_t>(c.high)]
+                           : c.high;
+      net.add(low, high);
+    }
+    return net;
+  }
+
+ private:
+  int n_;
+  std::vector<Comparator> comps_;
+};
+
+void check_merge_shape(int n, std::int64_t m) {
+  if (n < 2) throw std::invalid_argument("need N >= 2");
+  std::int64_t v = m;
+  while (v > 1 && v % n == 0) v /= n;
+  if (v != 1 || m < n)
+    throw std::invalid_argument("segment length must be N^(k-1), k >= 2");
+}
+
+}  // namespace
+
+MergeNetwork multiway_merge_network(int n, int m) {
+  check_merge_shape(n, m);
+  Builder builder(n);
+  std::vector<int> wires(static_cast<std::size_t>(n) * m);
+  std::iota(wires.begin(), wires.end(), 0);
+  std::vector<int> out = builder.merge(wires);
+  return {builder.emit(n * m, nullptr), std::move(out)};
+}
+
+ComparatorNetwork multiway_sort_network(int n, int r) {
+  if (n < 2 || r < 2) throw std::invalid_argument("need N >= 2, r >= 2");
+  std::int64_t width = 1;
+  for (int i = 0; i < r; ++i) {
+    if (width > (1 << 24) / n)
+      throw std::invalid_argument("network too large");
+    width *= n;
+  }
+
+  Builder builder(n);
+  // `order[j]` = physical wire holding logical rank j.
+  std::vector<int> order(static_cast<std::size_t>(width));
+  std::iota(order.begin(), order.end(), 0);
+
+  // Initial N^2-block base sorts (Section 3.3).
+  const std::int64_t block = static_cast<std::int64_t>(n) * n;
+  for (std::int64_t off = 0; off < width; off += block)
+    builder.base_sort(std::vector<int>(
+        order.begin() + static_cast<std::ptrdiff_t>(off),
+        order.begin() + static_cast<std::ptrdiff_t>(off + block)));
+
+  // Merge levels k = 3..r.
+  for (int k = 3; k <= r; ++k) {
+    std::int64_t group = block;
+    for (int i = 0; i < k - 2; ++i) group *= n;
+    for (std::int64_t off = 0; off < width; off += group) {
+      const std::vector<int> in(
+          order.begin() + static_cast<std::ptrdiff_t>(off),
+          order.begin() + static_cast<std::ptrdiff_t>(off + group));
+      const std::vector<int> out = builder.merge(in);
+      std::copy(out.begin(), out.end(),
+                order.begin() + static_cast<std::ptrdiff_t>(off));
+    }
+  }
+
+  // Fold the output permutation into the wire names: rank j must end on
+  // wire j, so rename physical wire order[j] to j.
+  std::vector<int> relabel(static_cast<std::size_t>(width));
+  for (std::int64_t j = 0; j < width; ++j)
+    relabel[static_cast<std::size_t>(order[static_cast<std::size_t>(j)])] =
+        static_cast<int>(j);
+  return builder.emit(static_cast<int>(width), &relabel);
+}
+
+}  // namespace prodsort

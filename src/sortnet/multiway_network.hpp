@@ -1,0 +1,48 @@
+#pragma once
+
+// Comparator-network realization of the multiway merge (the Section 3.2
+// remark: "if we are interested in building a sorting network, we can
+// implement subnetworks..." ).  Wires play the role of snake positions;
+// Steps 1 and 3 are free here too — they are just relabelings of which
+// wires the recursion looks at — so the network consists solely of the
+// Step 2 base sorts and the Step 4 cleanup, generalizing Batcher's
+// odd-even merge network to arbitrary N.
+//
+// Two artifacts:
+//  * multiway_merge_network(N, m): merges N sorted segments of m wires
+//    each.  Because the interleave steps re-route logical positions, the
+//    merged output ascends along a *fixed, input-independent* wire order
+//    returned with the network (for N = 2 it is the natural order and
+//    the construction degenerates to Batcher's).
+//  * multiway_sort_network(N, r): a genuine sorting network on N^r wires
+//    (arbitrary input, ascending output on the natural wire order); the
+//    final wire relabeling folds the output permutation away, which is
+//    legitimate because sorting networks place no structure on inputs.
+//
+// Base case sorts (N^2 keys, Section 3.2) use Batcher's odd-even merge
+// network when N^2 is a power of two and the odd-even transposition
+// network otherwise.
+
+#include <utility>
+#include <vector>
+
+#include "sortnet/comparator_network.hpp"
+
+namespace prodsort {
+
+struct MergeNetwork {
+  ComparatorNetwork network;
+  /// The merged sequence ascends along this wire order: the j-th
+  /// smallest key ends on wire output_order[j].
+  std::vector<int> output_order;
+};
+
+/// Network merging N sorted segments (input: wires [u*m, (u+1)*m) each
+/// ascending); m must be a power of N, m >= N.
+[[nodiscard]] MergeNetwork multiway_merge_network(int n, int m);
+
+/// Sorting network on N^r wires built from the Section 3.3 driver:
+/// N^2-block base sorts followed by r-2 rounds of multiway merging.
+[[nodiscard]] ComparatorNetwork multiway_sort_network(int n, int r);
+
+}  // namespace prodsort

@@ -1,0 +1,32 @@
+#include "sortnet/zero_one.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace prodsort {
+
+std::int64_t count_zero_one_failures(
+    int width, const std::function<void(std::span<Key>)>& algorithm,
+    std::int64_t max_failures) {
+  if (width < 1 || width > 30) throw std::invalid_argument("width out of range");
+  std::int64_t failures = 0;
+  std::vector<Key> values(static_cast<std::size_t>(width));
+  for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << width); ++mask) {
+    for (int i = 0; i < width; ++i)
+      values[static_cast<std::size_t>(i)] =
+          static_cast<Key>((mask >> i) & 1u);
+    algorithm(values);
+    if (!std::is_sorted(values.begin(), values.end())) {
+      if (++failures >= max_failures) return failures;
+    }
+  }
+  return failures;
+}
+
+bool sorts_all_zero_one(const ComparatorNetwork& net) {
+  return count_zero_one_failures(
+             net.width(), [&](std::span<Key> v) { net.apply(v); }) == 0;
+}
+
+}  // namespace prodsort

@@ -1,0 +1,23 @@
+#pragma once
+
+// Knuth's zero-one principle [15], the paper's correctness tool: an
+// oblivious compare-exchange algorithm sorts every input iff it sorts
+// every 0-1 input.  These helpers enumerate all 2^n 0-1 inputs.
+
+#include <functional>
+
+#include "sortnet/comparator_network.hpp"
+
+namespace prodsort {
+
+/// True iff the network sorts all 2^width 0-1 inputs (keep width <= ~24).
+[[nodiscard]] bool sorts_all_zero_one(const ComparatorNetwork& net);
+
+/// Zero-one check for an arbitrary in-place algorithm of fixed width.
+/// Returns the number of failing inputs (0 = sorts everything); stops
+/// after `max_failures` failures.
+[[nodiscard]] std::int64_t count_zero_one_failures(
+    int width, const std::function<void(std::span<Key>)>& algorithm,
+    std::int64_t max_failures = 1);
+
+}  // namespace prodsort

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "baselines/batcher_sequence.hpp"
+#include "baselines/columnsort.hpp"
+#include "baselines/oet_sort.hpp"
+#include "baselines/shearsort.hpp"
+
+namespace prodsort {
+namespace {
+
+std::vector<Key> random_keys(std::int64_t count, unsigned seed) {
+  std::vector<Key> keys(static_cast<std::size_t>(count));
+  std::mt19937 rng(seed);
+  for (Key& k : keys) k = static_cast<Key>(rng() % 10007);
+  return keys;
+}
+
+// ----------------------------------------------------------- Columnsort
+
+TEST(ColumnsortTest, ShapeRule) {
+  EXPECT_TRUE(columnsort_shape_ok(8, 2));    // 8 >= 2(1)^2
+  EXPECT_TRUE(columnsort_shape_ok(9, 3));    // 9 >= 8
+  EXPECT_TRUE(columnsort_shape_ok(20, 4));   // 20 >= 18
+  EXPECT_FALSE(columnsort_shape_ok(16, 4));  // 16 < 18
+  EXPECT_FALSE(columnsort_shape_ok(10, 3));  // 10 % 3 != 0
+  EXPECT_TRUE(columnsort_shape_ok(5, 1));
+}
+
+TEST(ColumnsortTest, SortsRandomInputs) {
+  std::mt19937 rng(17);
+  const std::pair<std::int64_t, std::int64_t> shapes[] = {
+      {8, 2}, {9, 3}, {20, 4}, {32, 4}, {50, 5}, {200, 10}, {7, 1}};
+  for (const auto& [rows, cols] : shapes) {
+    ASSERT_TRUE(columnsort_shape_ok(rows, cols)) << rows << "x" << cols;
+    for (int trial = 0; trial < 10; ++trial) {
+      auto keys = random_keys(rows * cols, rng());
+      std::vector<Key> expected = keys;
+      std::sort(expected.begin(), expected.end());
+      const ColumnsortStats stats = columnsort(keys, rows, cols);
+      EXPECT_EQ(keys, expected) << rows << "x" << cols;
+      if (cols > 1) {
+        EXPECT_EQ(stats.column_sort_rounds, 4);
+      }
+    }
+  }
+}
+
+TEST(ColumnsortTest, ExhaustiveZeroOneOnSmallShape) {
+  const std::int64_t rows = 8, cols = 2;
+  for (std::uint32_t mask = 0; mask < (1u << 16); ++mask) {
+    std::vector<Key> keys(16);
+    for (int i = 0; i < 16; ++i)
+      keys[static_cast<std::size_t>(i)] = (mask >> i) & 1u;
+    std::vector<Key> expected = keys;
+    std::sort(expected.begin(), expected.end());
+    (void)columnsort(keys, rows, cols);
+    ASSERT_EQ(keys, expected) << "mask=" << mask;
+  }
+}
+
+TEST(ColumnsortTest, RejectsBadShapes) {
+  std::vector<Key> keys(16);
+  EXPECT_THROW((void)columnsort(keys, 16, 4), std::invalid_argument);
+  EXPECT_THROW((void)columnsort(keys, 8, 3), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ Shearsort
+
+TEST(ShearsortTest, SortsIntoSnakeOrder) {
+  std::mt19937 rng(19);
+  const std::pair<std::int64_t, std::int64_t> shapes[] = {
+      {2, 2}, {3, 3}, {4, 4}, {5, 7}, {8, 8}, {1, 9}, {9, 1}};
+  for (const auto& [rows, cols] : shapes) {
+    for (int trial = 0; trial < 10; ++trial) {
+      auto keys = random_keys(rows * cols, rng());
+      std::vector<Key> expected = keys;
+      std::sort(expected.begin(), expected.end());
+      (void)shearsort(keys, rows, cols);
+      EXPECT_EQ(snake_to_sequence(keys, rows, cols), expected)
+          << rows << "x" << cols;
+    }
+  }
+}
+
+TEST(ShearsortTest, ExhaustiveZeroOneOnFourByFour) {
+  for (std::uint32_t mask = 0; mask < (1u << 16); ++mask) {
+    std::vector<Key> keys(16);
+    for (int i = 0; i < 16; ++i)
+      keys[static_cast<std::size_t>(i)] = (mask >> i) & 1u;
+    std::vector<Key> expected = keys;
+    std::sort(expected.begin(), expected.end());
+    (void)shearsort(keys, 4, 4);
+    ASSERT_EQ(snake_to_sequence(keys, 4, 4), expected) << "mask=" << mask;
+  }
+}
+
+TEST(ShearsortTest, PassCounts) {
+  std::vector<Key> keys = random_keys(64, 23);
+  const ShearsortStats stats = shearsort(keys, 8, 8);
+  EXPECT_EQ(stats.row_passes, 5);    // ceil(log2 8) + 1 rounds + final
+  EXPECT_EQ(stats.column_passes, 4);
+}
+
+TEST(ShearsortTest, SnakeToSequenceReversesOddRows) {
+  const std::vector<Key> m = {1, 2, 3, 6, 5, 4};  // 2x3 snake
+  EXPECT_EQ(snake_to_sequence(m, 2, 3), (std::vector<Key>{1, 2, 3, 4, 5, 6}));
+}
+
+// ------------------------------------------------------------------ OET
+
+TEST(OetSortTest, SortsAndReportsPhases) {
+  std::mt19937 rng(29);
+  for (const int n : {1, 2, 7, 16, 33}) {
+    auto keys = random_keys(n, rng());
+    std::vector<Key> expected = keys;
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(odd_even_transposition_sort(keys), n);
+    EXPECT_EQ(keys, expected);
+  }
+}
+
+TEST(OetSortTest, WorstCaseReversal) {
+  std::vector<Key> keys(32);
+  for (std::size_t i = 0; i < keys.size(); ++i)
+    keys[i] = static_cast<Key>(keys.size() - i);
+  (void)odd_even_transposition_sort(keys);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+}
+
+// -------------------------------------------------------------- Batcher
+
+TEST(BatcherSequenceTest, SortsAndReportsDepth) {
+  std::mt19937 rng(31);
+  for (int d = 1; d <= 8; ++d) {
+    const int n = 1 << d;
+    auto keys = random_keys(n, rng());
+    std::vector<Key> expected = keys;
+    std::sort(expected.begin(), expected.end());
+    const BatcherRun run = batcher_sort(keys);
+    EXPECT_EQ(keys, expected);
+    EXPECT_EQ(run.depth, d * (d + 1) / 2);
+  }
+}
+
+TEST(BatcherSequenceTest, RejectsNonPowerOfTwo) {
+  std::vector<Key> keys(6);
+  EXPECT_THROW((void)batcher_sort(keys), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace prodsort

@@ -1,0 +1,255 @@
+#include "core/block_sort.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "product/snake_order.hpp"
+
+namespace prodsort {
+namespace {
+
+std::vector<Key> random_keys(std::int64_t count, unsigned seed) {
+  std::vector<Key> keys(static_cast<std::size_t>(count));
+  std::mt19937_64 rng(seed);
+  for (Key& k : keys) k = static_cast<Key>(rng() % 100003);
+  return keys;
+}
+
+// ------------------------------------------------------------- machine
+
+TEST(BlockMachineTest, Validation) {
+  const ProductGraph pg(labeled_path(3), 2);
+  EXPECT_THROW(BlockMachine(pg, std::vector<Key>(18), 0),
+               std::invalid_argument);
+  EXPECT_THROW(BlockMachine(pg, std::vector<Key>(17), 2),
+               std::invalid_argument);
+  EXPECT_NO_THROW(BlockMachine(pg, std::vector<Key>(18), 2));
+}
+
+TEST(BlockMachineTest, MergeSplitSemantics) {
+  const ProductGraph pg(labeled_path(3), 2);
+  std::vector<Key> keys(18, 0);
+  BlockMachine m(pg, std::move(keys), 2);
+  auto b0 = m.mutable_block(0);
+  b0[0] = 5;
+  b0[1] = 9;
+  auto b1 = m.mutable_block(1);
+  b1[0] = 1;
+  b1[1] = 7;
+  const CEPair pairs[] = {{0, 1}};
+  m.merge_split_step(pairs, 1);
+  EXPECT_EQ(m.block(0)[0], 1);
+  EXPECT_EQ(m.block(0)[1], 5);
+  EXPECT_EQ(m.block(1)[0], 7);
+  EXPECT_EQ(m.block(1)[1], 9);
+  EXPECT_EQ(m.cost().exec_steps, 1 + 2 - 1);  // hop + b - 1
+}
+
+TEST(BlockMachineTest, MergeSplitSkipsAlreadySplitPairs) {
+  const ProductGraph pg(labeled_path(3), 2);
+  BlockMachine m(pg, std::vector<Key>{1, 2, 3, 4, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+                                      0, 0, 0, 0, 0},
+                 2);
+  const CEPair pairs[] = {{0, 1}};
+  m.merge_split_step(pairs, 1);
+  EXPECT_EQ(m.cost().exchanges, 0);
+}
+
+TEST(BlockMachineTest, SortLocalBlocks) {
+  const ProductGraph pg(labeled_path(3), 2);
+  BlockMachine m(pg, random_keys(27, 61), 3);
+  m.sort_local_blocks();
+  for (PNode v = 0; v < 9; ++v) {
+    const auto blk = m.block(v);
+    EXPECT_TRUE(std::is_sorted(blk.begin(), blk.end()));
+  }
+}
+
+TEST(BlockMachineTest, SnakeSortedChecksBothDirections) {
+  const ProductGraph pg(labeled_path(3), 2);
+  // Blocks of 2: ascending runs along the snake.
+  std::vector<Key> keys(18);
+  for (std::size_t i = 0; i < 18; ++i) keys[i] = 0;  // rewritten below
+  BlockMachine m(pg, std::move(keys), 2);
+  for (PNode rank = 0; rank < 9; ++rank) {
+    auto blk = m.mutable_block(node_at_snake_rank(pg, rank));
+    blk[0] = 2 * rank;
+    blk[1] = 2 * rank + 1;
+  }
+  EXPECT_TRUE(m.snake_sorted(full_view(pg)));
+  EXPECT_FALSE(m.snake_sorted(full_view(pg), /*descending=*/true));
+  // Reverse the block-to-block order (blocks stay ascending).
+  for (PNode rank = 0; rank < 9; ++rank) {
+    auto blk = m.mutable_block(node_at_snake_rank(pg, rank));
+    blk[0] = 2 * (8 - rank);
+    blk[1] = 2 * (8 - rank) + 1;
+  }
+  EXPECT_TRUE(m.snake_sorted(full_view(pg), /*descending=*/true));
+  EXPECT_FALSE(m.snake_sorted(full_view(pg)));
+}
+
+// --------------------------------------------------------------- sorting
+
+struct BlockConfig {
+  std::size_t factor_index;
+  int r;
+  int block;
+};
+
+class BlockSortTest : public ::testing::TestWithParam<BlockConfig> {};
+
+TEST_P(BlockSortTest, SortsWithOracle) {
+  const auto& cfg = GetParam();
+  const LabeledFactor f = standard_factors()[cfg.factor_index];
+  const ProductGraph pg(f, cfg.r);
+  if (pg.num_nodes() * cfg.block > 100000) GTEST_SKIP() << "too large";
+  const auto keys = random_keys(pg.num_nodes() * cfg.block, 63);
+  std::vector<Key> expected = keys;
+  std::sort(expected.begin(), expected.end());
+
+  BlockMachine m(pg, keys, cfg.block);
+  BlockSortOptions options;
+  options.validate_levels = true;
+  const BlockSortReport report = sort_block_network(m, options);
+  EXPECT_EQ(m.read_snake(full_view(pg)), expected) << f.name;
+  EXPECT_EQ(report.cost.s2_phases, report.predicted.s2_phases);
+  EXPECT_EQ(report.cost.routing_phases, report.predicted.routing_phases);
+}
+
+TEST_P(BlockSortTest, SortsWithExecutableBlockShearsort) {
+  const auto& cfg = GetParam();
+  const LabeledFactor f = standard_factors()[cfg.factor_index];
+  const ProductGraph pg(f, cfg.r);
+  if (pg.num_nodes() > 600 || pg.num_nodes() * cfg.block > 8000)
+    GTEST_SKIP() << "executable run too large";
+  const auto keys = random_keys(pg.num_nodes() * cfg.block, 69);
+  std::vector<Key> expected = keys;
+  std::sort(expected.begin(), expected.end());
+
+  BlockMachine m(pg, keys, cfg.block);
+  const BlockShearsortS2 shear;
+  BlockSortOptions options;
+  options.s2 = &shear;
+  (void)sort_block_network(m, options);
+  EXPECT_EQ(m.read_snake(full_view(pg)), expected) << f.name;
+}
+
+TEST_P(BlockSortTest, SortsWithExecutableMergeSplitOET) {
+  const auto& cfg = GetParam();
+  const LabeledFactor f = standard_factors()[cfg.factor_index];
+  const ProductGraph pg(f, cfg.r);
+  if (pg.num_nodes() > 200 || pg.num_nodes() * cfg.block > 4000)
+    GTEST_SKIP() << "executable run too large";
+  const auto keys = random_keys(pg.num_nodes() * cfg.block, 67);
+  std::vector<Key> expected = keys;
+  std::sort(expected.begin(), expected.end());
+
+  BlockMachine m(pg, keys, cfg.block);
+  const BlockSnakeOETS2 oet;
+  BlockSortOptions options;
+  options.s2 = &oet;
+  (void)sort_block_network(m, options);
+  EXPECT_EQ(m.read_snake(full_view(pg)), expected) << f.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BlockSortTest,
+    ::testing::Values(BlockConfig{0, 3, 4},   // hypercube, 4 keys/PE
+                      BlockConfig{0, 5, 8}, BlockConfig{1, 2, 3},
+                      BlockConfig{1, 3, 5}, BlockConfig{2, 3, 2},
+                      BlockConfig{3, 2, 16}, BlockConfig{5, 3, 7},
+                      BlockConfig{7, 2, 4}, BlockConfig{9, 2, 10},
+                      BlockConfig{10, 3, 3}, BlockConfig{13, 2, 6}));
+
+TEST(BlockSortTest, TraceMatchesUnitModeSchedule) {
+  // The block driver must issue the identical phase sequence as the
+  // unit-key driver (kinds, levels, units); only the weights scale by b.
+  const LabeledFactor f = labeled_path(3);
+  const ProductGraph pg(f, 4);
+
+  std::vector<PhaseRecord> unit_trace;
+  {
+    Machine m(pg, random_keys(pg.num_nodes(), 91));
+    SortOptions options;
+    options.trace = &unit_trace;
+    (void)sort_product_network(m, options);
+  }
+
+  std::vector<PhaseRecord> block_trace;
+  {
+    BlockMachine m(pg, random_keys(pg.num_nodes() * 4, 91), 4);
+    BlockSortOptions options;
+    options.trace = &block_trace;
+    (void)sort_block_network(m, options);
+  }
+
+  ASSERT_EQ(unit_trace.size(), block_trace.size());
+  for (std::size_t i = 0; i < unit_trace.size(); ++i) {
+    EXPECT_EQ(unit_trace[i].kind, block_trace[i].kind) << i;
+    EXPECT_EQ(unit_trace[i].lo, block_trace[i].lo) << i;
+    EXPECT_EQ(unit_trace[i].hi, block_trace[i].hi) << i;
+    EXPECT_EQ(unit_trace[i].units, block_trace[i].units) << i;
+    EXPECT_DOUBLE_EQ(block_trace[i].weight, unit_trace[i].weight * 4) << i;
+  }
+}
+
+TEST(BlockSortTest, BlockSizeOneMatchesUnitKeyMachine) {
+  // b = 1 must reproduce the unit-key result exactly.
+  const ProductGraph pg(labeled_path(3), 3);
+  const auto keys = random_keys(27, 71);
+
+  BlockMachine blocks(pg, keys, 1);
+  (void)sort_block_network(blocks);
+
+  std::vector<Key> expected = keys;
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(blocks.read_snake(full_view(pg)), expected);
+}
+
+TEST(BlockSortTest, ZeroOneRandomSweep) {
+  const ProductGraph pg(labeled_path(3), 2);
+  std::mt19937 rng(73);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<Key> keys(9 * 4);
+    for (Key& k : keys) k = static_cast<Key>(rng() & 1u);
+    std::vector<Key> expected = keys;
+    std::sort(expected.begin(), expected.end());
+    BlockMachine m(pg, std::move(keys), 4);
+    (void)sort_block_network(m);
+    ASSERT_EQ(m.read_snake(full_view(pg)), expected);
+  }
+}
+
+TEST(BlockSortTest, LargeBlocksOnSmallMachine) {
+  // 64 processors x 256 keys each = 16384 keys.
+  const ProductGraph pg(labeled_path(4), 3);
+  const auto keys = random_keys(64 * 256, 79);
+  std::vector<Key> expected = keys;
+  std::sort(expected.begin(), expected.end());
+  ParallelExecutor exec(4);
+  BlockMachine m(pg, keys, 256, &exec);
+  const BlockSortReport report = sort_block_network(m);
+  EXPECT_EQ(m.read_snake(full_view(pg)), expected);
+  EXPECT_EQ(report.cost.s2_phases, 4);      // (3-1)^2
+  EXPECT_EQ(report.cost.routing_phases, 2); // (3-1)(3-2)
+}
+
+TEST(BlockSortTest, ParallelExecutorIsDeterministic) {
+  const ProductGraph pg(labeled_cycle(4), 3);
+  const auto keys = random_keys(64 * 8, 83);
+
+  BlockMachine serial(pg, keys, 8);
+  (void)sort_block_network(serial);
+
+  ParallelExecutor exec(4);
+  BlockMachine parallel(pg, keys, 8, &exec);
+  (void)sort_block_network(parallel);
+
+  EXPECT_EQ(serial.read_snake(full_view(pg)),
+            parallel.read_snake(full_view(pg)));
+}
+
+}  // namespace
+}  // namespace prodsort

@@ -1,0 +1,93 @@
+// Cube-connected cycles factor and the binary-reflected-Gray-code fast
+// path.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "core/product_sort.hpp"
+#include "graph/factor_graphs.hpp"
+#include "graph/graph_algos.hpp"
+#include "product/snake_order.hpp"
+
+namespace prodsort {
+namespace {
+
+TEST(CccTest, Structure) {
+  const Graph g = make_cube_connected_cycles(3);
+  EXPECT_EQ(g.num_nodes(), 24);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) EXPECT_EQ(g.degree(v), 3);
+  EXPECT_EQ(g.num_edges(), 36u);  // 3-regular: 24*3/2
+  EXPECT_TRUE(is_connected(g));
+  // Cycle edge within word 0 and cube edge across bit 0.
+  EXPECT_TRUE(g.has_edge(0, 1));      // (w=0,i=0)-(w=0,i=1)
+  EXPECT_TRUE(g.has_edge(0, 3));      // (w=0,i=0)-(w=1,i=0)
+  EXPECT_FALSE(g.has_edge(0, 4));     // (w=0,i=0)-(w=1,i=1): no such edge
+}
+
+TEST(CccTest, RejectsSmallOrders) {
+  EXPECT_THROW((void)make_cube_connected_cycles(2), std::invalid_argument);
+}
+
+TEST(CccTest, LabeledFactorIsUsable) {
+  const LabeledFactor f = labeled_ccc(3);
+  EXPECT_EQ(f.size(), 24);
+  EXPECT_LE(f.dilation, 3);
+  EXPECT_GT(f.s2_cost, 0.0);
+}
+
+TEST(CccTest, ProductOfCccSorts) {
+  const LabeledFactor f = labeled_ccc(3);
+  const ProductGraph pg(f, 2);  // 576 processors
+  std::vector<Key> keys(static_cast<std::size_t>(pg.num_nodes()));
+  std::mt19937 rng(3);
+  for (Key& k : keys) k = static_cast<Key>(rng() % 10000);
+  std::vector<Key> expected = keys;
+  std::sort(expected.begin(), expected.end());
+  Machine m(pg, std::move(keys));
+  const SortReport report = sort_product_network(m);
+  EXPECT_EQ(m.read_snake(full_view(pg)), expected);
+  EXPECT_EQ(report.cost.s2_phases, 1);
+}
+
+TEST(BrgcTest, KnownValues) {
+  EXPECT_EQ(brgc(0), 0);
+  EXPECT_EQ(brgc(1), 1);
+  EXPECT_EQ(brgc(2), 3);
+  EXPECT_EQ(brgc(3), 2);
+  EXPECT_EQ(brgc(4), 6);
+  EXPECT_EQ(brgc(7), 4);
+}
+
+TEST(BrgcTest, InverseRoundTrip) {
+  for (PNode i = 0; i < 4096; ++i) EXPECT_EQ(brgc_inverse(brgc(i)), i);
+  const PNode big = (PNode{1} << 50) + 12345;
+  EXPECT_EQ(brgc_inverse(brgc(big)), big);
+}
+
+TEST(BrgcTest, ConsecutiveCodesDifferInOneBit) {
+  for (PNode i = 0; i + 1 < 4096; ++i) {
+    const PNode diff = brgc(i) ^ brgc(i + 1);
+    EXPECT_EQ(diff & (diff - 1), 0);
+    EXPECT_NE(diff, 0);
+  }
+}
+
+TEST(BrgcTest, MatchesGrayTupleDispatch) {
+  // The N = 2 fast path must agree with the tuple maps bit for bit.
+  for (const int r : {1, 5, 12}) {
+    std::vector<NodeId> tuple(static_cast<std::size_t>(r));
+    for (PNode rank = 0; rank < pow_int(2, r); ++rank) {
+      gray_tuple(2, rank, tuple);
+      const PNode gray = brgc(rank);
+      for (int i = 0; i < r; ++i)
+        EXPECT_EQ(tuple[static_cast<std::size_t>(i)],
+                  static_cast<NodeId>((gray >> i) & 1));
+      EXPECT_EQ(gray_rank(2, tuple), rank);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace prodsort

@@ -1,0 +1,102 @@
+#include "core/complexity.hpp"
+
+#include <gtest/gtest.h>
+
+namespace prodsort {
+namespace {
+
+TEST(ComplexityTest, Lemma3ClosedForm) {
+  const LabeledFactor f = labeled_path(5);  // S2 = 15, R = 4
+  EXPECT_DOUBLE_EQ(lemma3_merge_time(f, 2), 15.0);  // M_2 = S2
+  EXPECT_DOUBLE_EQ(lemma3_merge_time(f, 3), 2 * (15 + 4) + 15.0);
+  EXPECT_DOUBLE_EQ(lemma3_merge_time(f, 4), 4 * (15 + 4) + 15.0);
+}
+
+TEST(ComplexityTest, Lemma3RecurrenceHolds) {
+  // M_k = M_{k-1} + 2(S2 + R).
+  const LabeledFactor f = labeled_cycle(6);
+  for (int k = 3; k < 10; ++k)
+    EXPECT_DOUBLE_EQ(lemma3_merge_time(f, k),
+                     lemma3_merge_time(f, k - 1) +
+                         2 * (f.s2_cost + f.routing_cost));
+}
+
+TEST(ComplexityTest, Theorem1IsTheSumOfMergeLevels) {
+  // S_r = S_2 + sum_{k=3..r} M_k.
+  const LabeledFactor f = labeled_petersen();
+  for (int r = 2; r <= 8; ++r) {
+    double total = f.s2_cost;
+    for (int k = 3; k <= r; ++k) total += lemma3_merge_time(f, k);
+    EXPECT_DOUBLE_EQ(theorem1(f, r).formula_time, total) << "r=" << r;
+  }
+}
+
+TEST(ComplexityTest, Theorem1PhaseCounts) {
+  for (int r = 2; r <= 10; ++r) {
+    std::int64_t s2 = 1;  // initial PG_2 sorts
+    std::int64_t routing = 0;
+    for (int k = 3; k <= r; ++k) {
+      s2 += lemma3_s2_phases(k);
+      routing += lemma3_routing_phases(k);
+    }
+    const auto p = theorem1(labeled_path(4), r);
+    EXPECT_EQ(p.s2_phases, s2) << "r=" << r;
+    EXPECT_EQ(p.routing_phases, routing) << "r=" << r;
+    EXPECT_EQ(p.s2_phases, static_cast<std::int64_t>(r - 1) * (r - 1));
+    EXPECT_EQ(p.routing_phases, static_cast<std::int64_t>(r - 1) * (r - 2));
+  }
+}
+
+TEST(ComplexityTest, HypercubeMatchesSection53) {
+  // 3(r-1)^2 + (r-1)(r-2), the paper's hypercube bound.
+  const LabeledFactor k2 = labeled_k2();
+  for (int r = 2; r <= 12; ++r)
+    EXPECT_DOUBLE_EQ(theorem1(k2, r).formula_time,
+                     3.0 * (r - 1) * (r - 1) + (r - 1) * (r - 2));
+}
+
+TEST(ComplexityTest, GridMatchesSection51Bound) {
+  // 3N(r-1)^2 + (N-1)(r-1)(r-2) <= 4(r-1)^2 N for r >= 2.
+  for (const NodeId n : {4, 8, 16, 64}) {
+    const LabeledFactor f = labeled_path(n);
+    for (int r = 2; r <= 6; ++r) {
+      const double t = theorem1(f, r).formula_time;
+      EXPECT_DOUBLE_EQ(t, 3.0 * n * (r - 1) * (r - 1) +
+                              (n - 1.0) * (r - 1) * (r - 2));
+      EXPECT_LE(t, 4.0 * (r - 1) * (r - 1) * n);
+    }
+  }
+}
+
+TEST(ComplexityTest, CorollaryBoundDominatesTorusTime) {
+  // The universal 18(r-1)^2 N bound must dominate the torus instance it
+  // is derived from (Kunde 2.5N sort + N/2 routing, slowdown 6).
+  for (const NodeId n : {4, 10, 100}) {
+    const LabeledFactor f = labeled_cycle(n);
+    for (int r = 2; r <= 8; ++r) {
+      EXPECT_LE(6.0 * theorem1(f, r).formula_time, corollary_bound(n, r) + 1e-9)
+          << "n=" << n << " r=" << r;
+    }
+  }
+}
+
+TEST(ComplexityTest, CorollaryBoundDominatesEveryStandardFactor) {
+  for (const LabeledFactor& f : standard_factors()) {
+    for (int r = 2; r <= 6; ++r)
+      EXPECT_LE(theorem1(f, r).formula_time,
+                corollary_bound(f.size(), r) + 1e-9)
+          << f.name << " r=" << r;
+  }
+}
+
+TEST(ComplexityTest, DeBruijnIsPolylogarithmic) {
+  // S2 grows as O(log^2 N): doubling d roughly quadruples S2, far below
+  // the grid's linear growth.
+  const LabeledFactor small = labeled_de_bruijn(3);   // N = 8
+  const LabeledFactor large = labeled_de_bruijn(6);   // N = 64
+  EXPECT_LT(large.s2_cost / small.s2_cost, 8.0);      // sub-linear in N
+  EXPECT_LT(large.s2_cost, labeled_path(64).s2_cost); // beats the grid
+}
+
+}  // namespace
+}  // namespace prodsort

@@ -1,0 +1,89 @@
+#include "graph/embedding.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/factor_graphs.hpp"
+#include "graph/labeled_factor.hpp"
+#include "product/product_graph.hpp"
+
+namespace prodsort {
+namespace {
+
+TEST(EmbeddingTest, IdentityEmbeddingIsPerfect) {
+  const Graph g = make_petersen();
+  std::vector<NodeId> identity(10);
+  std::iota(identity.begin(), identity.end(), 0);
+  const EmbeddingQuality q = evaluate_embedding(g, g, identity);
+  EXPECT_EQ(q.dilation, 1);
+  EXPECT_EQ(q.congestion, 1);
+}
+
+TEST(EmbeddingTest, PathIntoCycleIsPerfect) {
+  std::vector<NodeId> identity(8);
+  std::iota(identity.begin(), identity.end(), 0);
+  const EmbeddingQuality q =
+      evaluate_embedding(make_cycle(8), make_path(8), identity);
+  EXPECT_EQ(q.dilation, 1);
+  EXPECT_EQ(q.congestion, 1);
+}
+
+TEST(EmbeddingTest, CycleIntoPathNeedsTheWraparound) {
+  std::vector<NodeId> identity(8);
+  std::iota(identity.begin(), identity.end(), 0);
+  const EmbeddingQuality q =
+      evaluate_embedding(make_path(8), make_cycle(8), identity);
+  EXPECT_EQ(q.dilation, 7);  // the wrap edge stretches across the path
+  EXPECT_EQ(q.congestion, 2);
+}
+
+TEST(EmbeddingTest, RingEmbedsIntoEveryFactorWithDilation3) {
+  // The Corollary's enabling fact: every connected factor hosts a ring
+  // with dilation <= 3 (Sekanina), so PG_r emulates the torus.
+  for (const Graph& g :
+       {make_complete_binary_tree(4), make_star(9), make_petersen(),
+        make_shuffle_exchange(4), make_grid2d(3, 5)}) {
+    const auto order = ring_embedding(g);
+    const NodeId n = g.num_nodes();
+    Graph ring = make_cycle(n);
+    const EmbeddingQuality q = evaluate_embedding(g, ring, order);
+    EXPECT_LE(q.dilation, 3);
+    // Congestion along BFS paths stays small (the theorem promises an
+    // embedding with congestion 2; BFS tie-breaking may add a little).
+    EXPECT_LE(q.congestion, 6);
+  }
+}
+
+TEST(EmbeddingTest, GridIntoTorusIsSubgraph) {
+  // Products: the N x N grid is a subgraph of the N x N torus.
+  const ProductGraph grid(labeled_path(4), 2);
+  const ProductGraph torus(labeled_cycle(4), 2);
+  // Materialize both as Graphs over identical node ids.
+  Graph host(static_cast<NodeId>(torus.num_nodes()));
+  for (PNode v = 0; v < torus.num_nodes(); ++v)
+    for (const PNode w : torus.neighbors(v))
+      if (v < w) host.add_edge(static_cast<NodeId>(v), static_cast<NodeId>(w));
+  Graph guest(static_cast<NodeId>(grid.num_nodes()));
+  for (PNode v = 0; v < grid.num_nodes(); ++v)
+    for (const PNode w : grid.neighbors(v))
+      if (v < w) guest.add_edge(static_cast<NodeId>(v), static_cast<NodeId>(w));
+  std::vector<NodeId> identity(static_cast<std::size_t>(grid.num_nodes()));
+  std::iota(identity.begin(), identity.end(), 0);
+  const EmbeddingQuality q = evaluate_embedding(host, guest, identity);
+  EXPECT_EQ(q.dilation, 1);
+}
+
+TEST(EmbeddingTest, Validation) {
+  const Graph host = make_path(4);
+  const Graph guest = make_path(3);
+  const NodeId too_short[] = {0, 1};
+  EXPECT_THROW((void)evaluate_embedding(host, guest, too_short),
+               std::invalid_argument);
+  const NodeId out_of_range[] = {0, 1, 9};
+  EXPECT_THROW((void)evaluate_embedding(host, guest, out_of_range),
+               std::out_of_range);
+}
+
+}  // namespace
+}  // namespace prodsort

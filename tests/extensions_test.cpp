@@ -1,0 +1,181 @@
+// Tests for the extension modules: the extra factor families, the
+// randomized samplesort baseline, and the network-level bitonic
+// baseline on the simulated hypercube.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "baselines/bitonic_network.hpp"
+#include "baselines/samplesort.hpp"
+#include "core/product_sort.hpp"
+#include "graph/factor_graphs.hpp"
+#include "graph/graph_algos.hpp"
+#include "product/snake_order.hpp"
+#include "sortnet/batcher.hpp"
+
+namespace prodsort {
+namespace {
+
+// ---------------------------------------------------- new factor families
+
+TEST(NewFactorsTest, CompleteBipartiteStructure) {
+  const Graph g = make_complete_bipartite(3, 4);
+  EXPECT_EQ(g.num_nodes(), 7);
+  EXPECT_EQ(g.num_edges(), 12u);
+  EXPECT_TRUE(is_bipartite(g));
+  EXPECT_FALSE(g.has_edge(0, 1));  // same side
+  EXPECT_TRUE(g.has_edge(0, 3));
+  EXPECT_EQ(diameter(g), 2);
+}
+
+TEST(NewFactorsTest, WheelStructure) {
+  const Graph g = make_wheel(6);
+  EXPECT_EQ(g.num_edges(), 10u);  // 5 spokes + 5 rim
+  EXPECT_EQ(g.degree(0), 5);
+  for (NodeId v = 1; v < 6; ++v) EXPECT_EQ(g.degree(v), 3);
+  EXPECT_EQ(diameter(g), 2);
+}
+
+TEST(NewFactorsTest, HypercubeFactorStructure) {
+  const Graph g = make_hypercube(4);
+  EXPECT_EQ(g.num_nodes(), 16);
+  EXPECT_EQ(g.num_edges(), 32u);
+  for (NodeId v = 0; v < 16; ++v) EXPECT_EQ(g.degree(v), 4);
+  EXPECT_EQ(diameter(g), 4);
+  EXPECT_TRUE(is_bipartite(g));
+}
+
+TEST(NewFactorsTest, LabeledVariantsAreHamiltonian) {
+  for (const LabeledFactor& f : {labeled_complete_bipartite(3),
+                                 labeled_wheel(7), labeled_hypercube(3)}) {
+    EXPECT_TRUE(f.hamiltonian) << f.name;
+    for (NodeId v = 0; v + 1 < f.size(); ++v)
+      EXPECT_TRUE(f.graph.has_edge(v, v + 1)) << f.name;
+  }
+}
+
+TEST(NewFactorsTest, ProductsOfNewFactorsSort) {
+  std::mt19937 rng(51);
+  for (const LabeledFactor& f : {labeled_complete_bipartite(3),
+                                 labeled_wheel(6), labeled_hypercube(3)}) {
+    const ProductGraph pg(f, 2);
+    std::vector<Key> keys(static_cast<std::size_t>(pg.num_nodes()));
+    for (Key& k : keys) k = static_cast<Key>(rng() % 1000);
+    std::vector<Key> expected = keys;
+    std::sort(expected.begin(), expected.end());
+    Machine m(pg, std::move(keys));
+    (void)sort_product_network(m);
+    EXPECT_EQ(m.read_snake(full_view(pg)), expected) << f.name;
+  }
+}
+
+TEST(NewFactorsTest, ProductOfHypercubesIsAHypercube) {
+  // PG_2(Q_3) must be isomorphic to Q_6: 64 nodes, 6-regular, diameter 6.
+  const ProductGraph pg(labeled_hypercube(3), 2);
+  EXPECT_EQ(pg.num_nodes(), 64);
+  EXPECT_EQ(pg.num_edges(), 192);  // 64*6/2
+  EXPECT_EQ(pg.diameter(), 6);
+}
+
+// ------------------------------------------------------------ samplesort
+
+TEST(SamplesortTest, SortsRandomInputs) {
+  std::mt19937 rng(53);
+  for (const int buckets : {1, 2, 8, 32}) {
+    for (const std::int64_t n : {10, 1000, 4096}) {
+      std::vector<Key> keys(static_cast<std::size_t>(n));
+      for (Key& k : keys) k = static_cast<Key>(rng() % 5000);
+      std::vector<Key> expected = keys;
+      std::sort(expected.begin(), expected.end());
+      const SamplesortStats stats = samplesort(keys, buckets, rng());
+      EXPECT_EQ(keys, expected) << "buckets=" << buckets << " n=" << n;
+      EXPECT_GE(stats.largest_bucket, stats.smallest_bucket);
+    }
+  }
+}
+
+TEST(SamplesortTest, HandlesDuplicateHeavyInput) {
+  std::vector<Key> keys(5000, 7);
+  keys[10] = 3;
+  keys[4000] = 9;
+  (void)samplesort(keys, 16, 1);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+}
+
+TEST(SamplesortTest, OversamplingBalancesBuckets) {
+  std::vector<Key> keys(1 << 16);
+  std::mt19937 rng(55);
+  for (Key& k : keys) k = static_cast<Key>(rng());
+  const SamplesortStats stats = samplesort(keys, 16, 2, /*oversampling=*/64);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  const std::int64_t ideal = static_cast<std::int64_t>(keys.size()) / 16;
+  EXPECT_LE(stats.largest_bucket, 2 * ideal);  // high-probability balance
+}
+
+TEST(SamplesortTest, Validation) {
+  std::vector<Key> keys(10);
+  EXPECT_THROW((void)samplesort(keys, 0, 1), std::invalid_argument);
+  EXPECT_THROW((void)samplesort(keys, 2, 1, 0), std::invalid_argument);
+}
+
+// -------------------------------------------------- bitonic on hypercube
+
+TEST(BitonicNetworkTest, SortsOnSimulatedHypercube) {
+  std::mt19937 rng(57);
+  for (const int r : {2, 4, 6, 9}) {
+    const ProductGraph pg(labeled_k2(), r);
+    std::vector<Key> keys(static_cast<std::size_t>(pg.num_nodes()));
+    for (Key& k : keys) k = static_cast<Key>(rng() % 1000);
+    std::vector<Key> expected = keys;
+    std::sort(expected.begin(), expected.end());
+    Machine m(pg, std::move(keys));
+    const int depth = bitonic_sort_on_hypercube(m);
+    EXPECT_EQ(depth, r * (r + 1) / 2);
+    EXPECT_EQ(m.cost().exec_steps, depth);  // every phase is one hop
+    EXPECT_TRUE(std::equal(expected.begin(), expected.end(),
+                           m.keys().begin()));
+  }
+}
+
+TEST(BitonicNetworkTest, EveryPhaseUsesOnlyHypercubeEdges) {
+  // Reconstruct the phases and check each comparator joins adjacent
+  // nodes of the product (the Section 5.3 mapping property).
+  const ProductGraph pg(labeled_k2(), 5);
+  const ComparatorNetwork net = bitonic_sort_network(32);
+  for (const auto& layer : net.layers())
+    for (const Comparator& c : layer)
+      EXPECT_TRUE(pg.adjacent(c.low, c.high)) << c.low << "," << c.high;
+}
+
+TEST(BitonicNetworkTest, RejectsNonHypercubeMachines) {
+  const ProductGraph pg(labeled_path(3), 2);
+  Machine m(pg, std::vector<Key>(9, 0));
+  EXPECT_THROW((void)bitonic_sort_on_hypercube(m), std::invalid_argument);
+}
+
+TEST(BitonicNetworkTest, StepComparisonWithGeneralizedAlgorithm) {
+  // Same machine model, same keys: Batcher's specialized network vs the
+  // generalized algorithm in executable terms (oracle exec proxy = 3 per
+  // S2, 1 per routed phase on the hypercube).
+  const int r = 8;
+  const ProductGraph pg(labeled_k2(), r);
+  std::vector<Key> keys(static_cast<std::size_t>(pg.num_nodes()));
+  std::mt19937 rng(59);
+  for (Key& k : keys) k = static_cast<Key>(rng());
+
+  Machine batcher(pg, keys);
+  (void)bitonic_sort_on_hypercube(batcher);
+
+  Machine ours(pg, keys);
+  (void)sort_product_network(ours);
+
+  // Both O(r^2); the generalized algorithm pays a constant factor < 10.
+  EXPECT_LT(ours.cost().exec_steps,
+            10 * batcher.cost().exec_steps);
+  EXPECT_GE(ours.cost().exec_steps, batcher.cost().exec_steps);
+}
+
+}  // namespace
+}  // namespace prodsort

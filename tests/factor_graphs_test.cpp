@@ -1,0 +1,158 @@
+#include "graph/factor_graphs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_algos.hpp"
+
+namespace prodsort {
+namespace {
+
+TEST(PathTest, Structure) {
+  const Graph g = make_path(5);
+  EXPECT_EQ(g.num_nodes(), 5);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.degree(4), 1);
+  EXPECT_EQ(g.degree(2), 2);
+  EXPECT_TRUE(g.has_edge(2, 3));
+  EXPECT_FALSE(g.has_edge(0, 4));
+  EXPECT_EQ(diameter(g), 4);
+}
+
+TEST(PathTest, SingleNode) {
+  const Graph g = make_path(1);
+  EXPECT_EQ(g.num_nodes(), 1);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(CycleTest, Structure) {
+  const Graph g = make_cycle(6);
+  EXPECT_EQ(g.num_nodes(), 6);
+  EXPECT_EQ(g.num_edges(), 6u);
+  for (NodeId v = 0; v < 6; ++v) EXPECT_EQ(g.degree(v), 2);
+  EXPECT_TRUE(g.has_edge(5, 0));
+  EXPECT_EQ(diameter(g), 3);
+}
+
+TEST(CycleTest, RejectsTooSmall) {
+  EXPECT_THROW((void)make_cycle(2), std::invalid_argument);
+}
+
+TEST(CompleteTest, Structure) {
+  const Graph g = make_complete(5);
+  EXPECT_EQ(g.num_edges(), 10u);
+  for (NodeId v = 0; v < 5; ++v) EXPECT_EQ(g.degree(v), 4);
+  EXPECT_EQ(diameter(g), 1);
+}
+
+TEST(K2Test, IsSingleEdge) {
+  const Graph g = make_k2();
+  EXPECT_EQ(g.num_nodes(), 2);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+}
+
+TEST(BinaryTreeTest, Structure) {
+  const Graph g = make_complete_binary_tree(3);  // 7 nodes
+  EXPECT_EQ(g.num_nodes(), 7);
+  EXPECT_EQ(g.num_edges(), 6u);
+  EXPECT_EQ(g.degree(0), 2);   // root
+  EXPECT_EQ(g.degree(1), 3);   // internal
+  EXPECT_EQ(g.degree(3), 1);   // leaf
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_TRUE(g.has_edge(1, 3));
+  EXPECT_TRUE(g.has_edge(2, 6));
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(diameter(g), 4);  // leaf to leaf through the root
+}
+
+TEST(BinaryTreeTest, OneLevelIsSingleNode) {
+  const Graph g = make_complete_binary_tree(1);
+  EXPECT_EQ(g.num_nodes(), 1);
+}
+
+TEST(StarTest, Structure) {
+  const Graph g = make_star(6);
+  EXPECT_EQ(g.num_edges(), 5u);
+  EXPECT_EQ(g.degree(0), 5);
+  for (NodeId v = 1; v < 6; ++v) EXPECT_EQ(g.degree(v), 1);
+  EXPECT_EQ(diameter(g), 2);
+}
+
+TEST(PetersenTest, MatchesFig16) {
+  const Graph g = make_petersen();
+  EXPECT_EQ(g.num_nodes(), 10);
+  EXPECT_EQ(g.num_edges(), 15u);
+  for (NodeId v = 0; v < 10; ++v) EXPECT_EQ(g.degree(v), 3);  // 3-regular
+  EXPECT_EQ(diameter(g), 2);
+  // Outer cycle, spokes, inner pentagram.
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(4, 0));
+  EXPECT_TRUE(g.has_edge(0, 5));
+  EXPECT_TRUE(g.has_edge(5, 7));
+  EXPECT_TRUE(g.has_edge(9, 6));
+  EXPECT_FALSE(g.has_edge(5, 6));  // inner nodes skip by two
+}
+
+TEST(PetersenTest, GirthFive) {
+  const Graph g = make_petersen();
+  // No triangles and no 4-cycles: for every edge (a,b) the neighborhoods
+  // of a and b intersect only in {a,b}-free ways.
+  for (const auto& [a, b] : g.edges()) {
+    for (const NodeId na : g.neighbors(a)) {
+      if (na == b) continue;
+      EXPECT_FALSE(g.has_edge(na, b)) << "triangle at " << a << "," << b;
+      for (const NodeId nb : g.neighbors(b)) {
+        if (nb == a || nb == na) continue;
+        EXPECT_FALSE(g.has_edge(na, nb))
+            << "4-cycle at " << a << "," << b << "," << na << "," << nb;
+      }
+    }
+  }
+}
+
+TEST(DeBruijnTest, Structure) {
+  const Graph g = make_de_bruijn(3);  // 8 nodes
+  EXPECT_EQ(g.num_nodes(), 8);
+  // Every edge follows the shift rule v = (2u + b) mod 8 in one direction.
+  for (const auto& [a, b] : g.edges()) {
+    const bool ab = ((2 * a) & 7) == b || ((2 * a + 1) & 7) == b;
+    const bool ba = ((2 * b) & 7) == a || ((2 * b + 1) & 7) == a;
+    EXPECT_TRUE(ab || ba) << a << "-" << b;
+  }
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_LE(g.max_degree(), 4);
+}
+
+TEST(DeBruijnTest, NoSelfLoopsAfterCollapse) {
+  // Node 0 maps to 0, node 2^d-1 maps to itself: loops must be dropped.
+  for (int d = 1; d <= 5; ++d) {
+    const Graph g = make_de_bruijn(d);
+    for (NodeId v = 0; v < g.num_nodes(); ++v)
+      EXPECT_FALSE(g.has_edge(v, v));
+  }
+}
+
+TEST(ShuffleExchangeTest, Structure) {
+  const Graph g = make_shuffle_exchange(3);
+  EXPECT_EQ(g.num_nodes(), 8);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_TRUE(g.has_edge(0, 1));  // exchange edge
+  EXPECT_TRUE(g.has_edge(1, 2));  // shuffle: rot_left(001) = 010
+  EXPECT_TRUE(g.has_edge(3, 6));  // rot_left(011) = 110
+  EXPECT_LE(g.max_degree(), 3);
+}
+
+TEST(Grid2DTest, Structure) {
+  const Graph g = make_grid2d(3, 4);
+  EXPECT_EQ(g.num_nodes(), 12);
+  EXPECT_EQ(g.num_edges(), 3u * 3 + 2 * 4);  // rows*(cols-1) + (rows-1)*cols
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(0, 4));
+  EXPECT_FALSE(g.has_edge(3, 4));  // row wrap must not exist
+  EXPECT_EQ(diameter(g), 5);
+}
+
+}  // namespace
+}  // namespace prodsort

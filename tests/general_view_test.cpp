@@ -1,0 +1,134 @@
+#include "product/general_view.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "product/snake_order.hpp"
+
+namespace prodsort {
+namespace {
+
+ProductGraph grid34() { return ProductGraph(labeled_path(3), 4); }
+
+TEST(GeneralViewTest, Validation) {
+  const ProductGraph pg = grid34();
+  EXPECT_THROW(GeneralView(pg, {1, 1}, {0, 0}), std::invalid_argument);
+  EXPECT_THROW(GeneralView(pg, {2, 1}, {0, 0}), std::invalid_argument);
+  EXPECT_THROW(GeneralView(pg, {0}, {0}), std::invalid_argument);
+  EXPECT_THROW(GeneralView(pg, {5}, {0}), std::invalid_argument);
+  EXPECT_THROW(GeneralView(pg, {1}, {3}), std::out_of_range);
+  EXPECT_THROW(GeneralView(pg, {1, 2, 3, 4}, {0, 0, 0, 0}),
+               std::invalid_argument);  // no free dims left
+  EXPECT_THROW(GeneralView(pg, {1}, {0, 1}), std::invalid_argument);
+}
+
+TEST(GeneralViewTest, NonContiguousFixedDims) {
+  // [u,v]PG_2^{4,2}: fix dims 4 and 2, free dims {1, 3}.
+  const ProductGraph pg = grid34();
+  const GeneralView view(pg, {2, 4}, {1, 2});
+  EXPECT_EQ(view.dims(), 2);
+  EXPECT_EQ(view.size(), 9);
+  EXPECT_EQ(view.free_dims(), (std::vector<int>{1, 3}));
+  std::set<PNode> seen;
+  for (PNode local = 0; local < view.size(); ++local) {
+    const PNode node = view.node(local);
+    EXPECT_EQ(pg.digit(node, 2), 1);
+    EXPECT_EQ(pg.digit(node, 4), 2);
+    EXPECT_EQ(view.local(node), local);
+    EXPECT_TRUE(view.contains(node));
+    EXPECT_TRUE(seen.insert(node).second);
+  }
+  EXPECT_FALSE(view.contains(0));
+}
+
+TEST(GeneralViewTest, LocalIndexIsMixedRadixOverFreeDims) {
+  const ProductGraph pg = grid34();
+  const GeneralView view(pg, {2, 4}, {0, 0});
+  // local = x1 + 3 * x3.
+  const PNode node = pg.node_of(std::vector<NodeId>{2, 0, 1, 0});
+  EXPECT_EQ(view.local(node), 2 + 3 * 1);
+}
+
+TEST(GeneralViewTest, SnakeRankBijection) {
+  const ProductGraph pg = grid34();
+  for (const GeneralView& view : all_general_views(pg, {1, 3})) {
+    std::set<PNode> nodes;
+    for (PNode rank = 0; rank < view.size(); ++rank) {
+      const PNode node = view.node_at_snake_rank(rank);
+      EXPECT_EQ(view.snake_rank(node), rank);
+      EXPECT_TRUE(view.contains(node));
+      EXPECT_TRUE(nodes.insert(node).second);
+    }
+  }
+}
+
+TEST(GeneralViewTest, AgreesWithContiguousViewSpec) {
+  // A contiguous free range must address identically in both systems.
+  const ProductGraph pg = grid34();
+  const ViewSpec spec = fix_high(pg, fix_high(pg, full_view(pg), 2), 1);
+  const GeneralView general(pg, {3, 4}, {1, 2});
+  ASSERT_EQ(view_size(pg, spec), general.size());
+  for (PNode local = 0; local < general.size(); ++local)
+    EXPECT_EQ(view_node(pg, spec, local), general.node(local));
+  for (PNode rank = 0; rank < general.size(); ++rank)
+    EXPECT_EQ(view_node_at_snake_rank(pg, spec, rank),
+              general.node_at_snake_rank(rank));
+}
+
+TEST(GeneralViewTest, InducedSubgraphIsIsomorphicProduct) {
+  // Definition 1's closure property: fixing dimensions of PG_r leaves a
+  // graph isomorphic to PG_k under the local-index map.
+  const ProductGraph pg = grid34();
+  const ProductGraph pg2(labeled_path(3), 2);  // the expected PG_2
+  const GeneralView view(pg, {1, 3}, {2, 1});
+  for (PNode a = 0; a < view.size(); ++a) {
+    for (PNode b = 0; b < view.size(); ++b) {
+      EXPECT_EQ(pg.adjacent(view.node(a), view.node(b)), pg2.adjacent(a, b))
+          << a << "," << b;
+    }
+  }
+}
+
+TEST(GeneralViewTest, AllGeneralViewsPartitionTheGraph) {
+  const ProductGraph pg = grid34();
+  const auto views = all_general_views(pg, {2, 3});
+  EXPECT_EQ(views.size(), 9u);
+  std::vector<int> covered(static_cast<std::size_t>(pg.num_nodes()), 0);
+  for (const GeneralView& v : views)
+    for (const PNode node : v.nodes())
+      ++covered[static_cast<std::size_t>(node)];
+  for (const int c : covered) EXPECT_EQ(c, 1);
+}
+
+TEST(GeneralViewTest, SubsequencePropertyAtBoundaryDimensions) {
+  // The paper's key slice identities: [v]PG^1 visited in its own snake
+  // order ascends through the parent snake (Step 1 is free), and
+  // [v]PG^r occupies a contiguous chunk traversed forward for even v,
+  // backward for odd v (Definition 2).  Middle dimensions enjoy neither
+  // (the slice interleaves non-monotonically), which is exactly why the
+  // algorithm recurses on the lowest free dimension.
+  const ProductGraph pg(labeled_path(3), 3);
+  for (NodeId v = 0; v < 3; ++v) {
+    const GeneralView low(pg, {1}, {v});
+    std::vector<PNode> parent_ranks;
+    for (PNode rank = 0; rank < low.size(); ++rank)
+      parent_ranks.push_back(snake_rank(pg, low.node_at_snake_rank(rank)));
+    EXPECT_TRUE(std::is_sorted(parent_ranks.begin(), parent_ranks.end()))
+        << "v=" << v;
+
+    const GeneralView top(pg, {3}, {v});
+    parent_ranks.clear();
+    for (PNode rank = 0; rank < top.size(); ++rank)
+      parent_ranks.push_back(snake_rank(pg, top.node_at_snake_rank(rank)));
+    if (v % 2 == 0) {
+      EXPECT_TRUE(std::is_sorted(parent_ranks.begin(), parent_ranks.end()));
+    } else {
+      EXPECT_TRUE(std::is_sorted(parent_ranks.rbegin(), parent_ranks.rend()));
+    }
+    EXPECT_EQ(parent_ranks.front(), v % 2 == 0 ? 9 * v : 9 * v + 8);
+  }
+}
+
+}  // namespace
+}  // namespace prodsort

@@ -1,0 +1,111 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace prodsort {
+namespace {
+
+TEST(GraphTest, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.num_nodes(), 0);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(GraphTest, ConstructionAllocatesNodes) {
+  Graph g(5);
+  EXPECT_EQ(g.num_nodes(), 5);
+  EXPECT_EQ(g.num_edges(), 0u);
+  for (NodeId v = 0; v < 5; ++v) EXPECT_EQ(g.degree(v), 0);
+}
+
+TEST(GraphTest, NegativeNodeCountThrows) {
+  EXPECT_THROW(Graph(-1), std::invalid_argument);
+}
+
+TEST(GraphTest, AddEdgeCreatesSymmetricAdjacency) {
+  Graph g(3);
+  g.add_edge(0, 2);
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_TRUE(g.has_edge(2, 0));
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.degree(2), 1);
+  EXPECT_EQ(g.degree(1), 0);
+}
+
+TEST(GraphTest, SelfLoopRejected) {
+  Graph g(3);
+  EXPECT_THROW(g.add_edge(1, 1), std::invalid_argument);
+}
+
+TEST(GraphTest, DuplicateEdgeRejected) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  EXPECT_THROW(g.add_edge(0, 1), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(1, 0), std::invalid_argument);
+}
+
+TEST(GraphTest, OutOfRangeRejected) {
+  Graph g(3);
+  EXPECT_THROW(g.add_edge(0, 3), std::out_of_range);
+  EXPECT_THROW(g.add_edge(-1, 0), std::out_of_range);
+  EXPECT_THROW((void)g.neighbors(3), std::out_of_range);
+}
+
+TEST(GraphTest, EdgesAreStoredNormalized) {
+  Graph g(4);
+  g.add_edge(3, 1);
+  g.add_edge(0, 2);
+  ASSERT_EQ(g.edges().size(), 2u);
+  EXPECT_EQ(g.edges()[0], (std::pair<NodeId, NodeId>{1, 3}));
+  EXPECT_EQ(g.edges()[1], (std::pair<NodeId, NodeId>{0, 2}));
+}
+
+TEST(GraphTest, MinMaxDegree) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(0, 3);
+  EXPECT_EQ(g.max_degree(), 3);
+  EXPECT_EQ(g.min_degree(), 1);
+}
+
+TEST(GraphTest, RelabeledPreservesStructure) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  // New node i is old node perm[i]: reverse the path.
+  const NodeId perm[] = {3, 2, 1, 0};
+  const Graph h = g.relabeled(perm);
+  EXPECT_EQ(h.num_edges(), 3u);
+  EXPECT_TRUE(h.has_edge(0, 1));  // old (3,2)
+  EXPECT_TRUE(h.has_edge(1, 2));
+  EXPECT_TRUE(h.has_edge(2, 3));
+}
+
+TEST(GraphTest, RelabeledRejectsNonPermutation) {
+  Graph g(3);
+  const NodeId dup[] = {0, 0, 1};
+  EXPECT_THROW((void)g.relabeled(dup), std::invalid_argument);
+  const NodeId small[] = {0, 1};
+  EXPECT_THROW((void)g.relabeled(small), std::invalid_argument);
+}
+
+TEST(GraphTest, NeighborsSpanReflectsInsertionOrder) {
+  Graph g(4);
+  g.add_edge(1, 3);
+  g.add_edge(1, 0);
+  g.add_edge(1, 2);
+  const auto nbrs = g.neighbors(1);
+  ASSERT_EQ(nbrs.size(), 3u);
+  EXPECT_EQ(nbrs[0], 3);
+  EXPECT_EQ(nbrs[1], 0);
+  EXPECT_EQ(nbrs[2], 2);
+}
+
+}  // namespace
+}  // namespace prodsort

@@ -1,0 +1,139 @@
+#include "product/gray_code.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace prodsort {
+namespace {
+
+TEST(PowIntTest, Basics) {
+  EXPECT_EQ(pow_int(3, 0), 1);
+  EXPECT_EQ(pow_int(3, 4), 81);
+  EXPECT_EQ(pow_int(2, 20), 1 << 20);
+  EXPECT_EQ(pow_int(10, 3), 1000);
+}
+
+TEST(HammingTest, DistanceAndWeight) {
+  const NodeId a[] = {0, 2, 1};
+  const NodeId b[] = {1, 2, 3};
+  EXPECT_EQ(hamming_distance(a, b), 3);  // |0-1| + |2-2| + |1-3|
+  EXPECT_EQ(hamming_weight(a), 3);
+  EXPECT_EQ(hamming_weight(b), 6);
+  const NodeId c[] = {0, 0};
+  EXPECT_THROW((void)hamming_distance(a, c), std::invalid_argument);
+}
+
+TEST(GrayCodeTest, MatchesPaperExampleForNEquals3) {
+  // Section 2 example: Q_2 = {00, 01, 02, 12, 11, 10, 20, 21, 22}
+  // (leftmost symbol = dimension 2; our tuples store dim 1 at index 0).
+  const std::vector<std::vector<NodeId>> expected = {
+      {0, 0}, {1, 0}, {2, 0}, {2, 1}, {1, 1}, {0, 1}, {0, 2}, {1, 2}, {2, 2}};
+  EXPECT_EQ(gray_sequence(3, 2), expected);
+}
+
+TEST(GrayCodeTest, FirstAndLastElements) {
+  // Q_r starts at 00..0; with N odd it ends at (N-1)(N-1)..(N-1)-ish
+  // depending on parity, but rank 0 is always the zero tuple.
+  for (NodeId n : {2, 3, 4, 5}) {
+    for (int r : {1, 2, 3}) {
+      std::vector<NodeId> tuple(static_cast<std::size_t>(r));
+      gray_tuple(n, 0, tuple);
+      for (const NodeId d : tuple) EXPECT_EQ(d, 0);
+    }
+  }
+}
+
+class GrayCodeParamTest
+    : public ::testing::TestWithParam<std::pair<NodeId, int>> {};
+
+TEST_P(GrayCodeParamTest, RankTupleBijection) {
+  const auto [n, r] = GetParam();
+  const PNode total = pow_int(n, r);
+  std::set<std::vector<NodeId>> seen;
+  std::vector<NodeId> tuple(static_cast<std::size_t>(r));
+  for (PNode rank = 0; rank < total; ++rank) {
+    gray_tuple(n, rank, tuple);
+    EXPECT_TRUE(seen.insert(tuple).second) << "duplicate tuple at " << rank;
+    EXPECT_EQ(gray_rank(n, tuple), rank);
+  }
+  EXPECT_EQ(static_cast<PNode>(seen.size()), total);
+}
+
+TEST_P(GrayCodeParamTest, ConsecutiveElementsHaveUnitHammingDistance) {
+  const auto [n, r] = GetParam();
+  const auto seq = gray_sequence(n, r);
+  for (std::size_t i = 0; i + 1 < seq.size(); ++i)
+    EXPECT_EQ(hamming_distance(seq[i], seq[i + 1]), 1) << "at rank " << i;
+}
+
+TEST_P(GrayCodeParamTest, WeightParityAlternates) {
+  const auto [n, r] = GetParam();
+  const auto seq = gray_sequence(n, r);
+  for (std::size_t i = 0; i + 1 < seq.size(); ++i)
+    EXPECT_NE(hamming_weight(seq[i]) % 2, hamming_weight(seq[i + 1]) % 2);
+}
+
+TEST_P(GrayCodeParamTest, RecursivePrefixStructure) {
+  // Q_r = CON{[u]Q_{r-1}}: block u has leftmost digit u, and is Q_{r-1}
+  // forward (u even) or reversed (u odd).
+  const auto [n, r] = GetParam();
+  if (r < 2) return;
+  const auto seq = gray_sequence(n, r);
+  const auto sub = gray_sequence(n, r - 1);
+  const PNode block = pow_int(n, r - 1);
+  for (NodeId u = 0; u < n; ++u) {
+    for (PNode j = 0; j < block; ++j) {
+      const auto& elem = seq[static_cast<std::size_t>(u * block + j)];
+      EXPECT_EQ(elem[static_cast<std::size_t>(r - 1)], u);
+      const PNode sub_rank = (u % 2 == 0) ? j : block - 1 - j;
+      const auto& expect = sub[static_cast<std::size_t>(sub_rank)];
+      for (int i = 0; i < r - 1; ++i)
+        EXPECT_EQ(elem[static_cast<std::size_t>(i)],
+                  expect[static_cast<std::size_t>(i)]);
+    }
+  }
+}
+
+TEST_P(GrayCodeParamTest, SubsequencePositionLaw) {
+  // Section 2: the elements with rightmost symbol u sit at ranks
+  // u, 2N-u-1, 2N+u, 4N-u-1, ... — and in that order they themselves form
+  // the Gray sequence of order r-1 (the Step-1-is-free identity).
+  const auto [n, r] = GetParam();
+  if (r < 2) return;
+  const auto seq = gray_sequence(n, r);
+  const auto sub = gray_sequence(n, r - 1);
+  for (NodeId u = 0; u < n; ++u) {
+    for (PNode j = 0; j < pow_int(n, r - 1); ++j) {
+      const PNode pos = subsequence_position(n, u, j);
+      const auto& elem = seq[static_cast<std::size_t>(pos)];
+      EXPECT_EQ(elem[0], u) << "u=" << u << " j=" << j;
+      // Digits 2..r of the j-th member equal the (r-1)-order Gray tuple j.
+      const auto& expect = sub[static_cast<std::size_t>(j)];
+      for (int i = 1; i < r; ++i)
+        EXPECT_EQ(elem[static_cast<std::size_t>(i)],
+                  expect[static_cast<std::size_t>(i - 1)])
+            << "u=" << u << " j=" << j << " digit " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GrayCodeParamTest,
+    ::testing::Values(std::pair<NodeId, int>{2, 1}, std::pair<NodeId, int>{2, 4},
+                      std::pair<NodeId, int>{2, 8}, std::pair<NodeId, int>{3, 1},
+                      std::pair<NodeId, int>{3, 3}, std::pair<NodeId, int>{3, 5},
+                      std::pair<NodeId, int>{4, 3}, std::pair<NodeId, int>{5, 3},
+                      std::pair<NodeId, int>{7, 2}, std::pair<NodeId, int>{10, 2}));
+
+TEST(GrayCodeTest, RangeChecks) {
+  std::vector<NodeId> tuple(3);
+  EXPECT_THROW(gray_tuple(3, -1, tuple), std::out_of_range);
+  EXPECT_THROW(gray_tuple(3, 27, tuple), std::out_of_range);
+  const NodeId bad[] = {0, 3, 0};
+  EXPECT_THROW((void)gray_rank(3, bad), std::out_of_range);
+  EXPECT_THROW((void)subsequence_position(3, 3, 0), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace prodsort

@@ -1,0 +1,155 @@
+#include "product/gray_sequences.hpp"
+
+#include <gtest/gtest.h>
+
+namespace prodsort {
+namespace {
+
+TEST(GraySequencesTest, ReversedSequence) {
+  auto seq = gray_sequence(3, 1);
+  const auto rev = reversed_sequence(seq);
+  EXPECT_EQ(rev.front(), (std::vector<NodeId>{2}));
+  EXPECT_EQ(rev.back(), (std::vector<NodeId>{0}));
+}
+
+TEST(GraySequencesTest, IsGraySequenceAcceptsCanonical) {
+  for (const auto& [n, r] : std::vector<std::pair<NodeId, int>>{
+           {2, 5}, {3, 3}, {4, 3}, {5, 2}}) {
+    EXPECT_TRUE(is_gray_sequence(n, gray_sequence(n, r))) << n << "," << r;
+    EXPECT_TRUE(is_gray_sequence(n, reversed_sequence(gray_sequence(n, r))));
+  }
+}
+
+TEST(GraySequencesTest, IsGraySequenceRejectsBadInputs) {
+  EXPECT_FALSE(is_gray_sequence(3, {}));
+  // Missing elements.
+  auto seq = gray_sequence(3, 2);
+  seq.pop_back();
+  EXPECT_FALSE(is_gray_sequence(3, seq));
+  // Duplicate elements.
+  seq = gray_sequence(3, 2);
+  seq.back() = seq.front();
+  EXPECT_FALSE(is_gray_sequence(3, seq));
+  // Jump of Hamming distance 2 (lexicographic order has them).
+  std::vector<std::vector<NodeId>> lex;
+  for (NodeId a = 0; a < 3; ++a)
+    for (NodeId b = 0; b < 3; ++b) lex.push_back({b, a});
+  EXPECT_FALSE(is_gray_sequence(3, lex));
+}
+
+class SubsequenceParamTest
+    : public ::testing::TestWithParam<std::pair<NodeId, int>> {};
+
+TEST_P(SubsequenceParamTest, EverySubsequenceSplitsEvenly) {
+  const auto [n, r] = GetParam();
+  for (int pos = 1; pos <= r; ++pos) {
+    PNode covered = 0;
+    for (NodeId u = 0; u < n; ++u) {
+      const auto ranks = subsequence_ranks(n, r, pos, u);
+      EXPECT_EQ(static_cast<PNode>(ranks.size()), pow_int(n, r - 1));
+      EXPECT_TRUE(std::is_sorted(ranks.begin(), ranks.end()));
+      covered += static_cast<PNode>(ranks.size());
+    }
+    EXPECT_EQ(covered, pow_int(n, r));
+  }
+}
+
+TEST_P(SubsequenceParamTest, Position1ProjectionIsExactlyQSubR) {
+  // The Step-1-is-free identity: [u]Q^1 projected equals Q_{r-1}.
+  const auto [n, r] = GetParam();
+  if (r < 2) return;
+  const auto expected = gray_sequence(n, r - 1);
+  for (NodeId u = 0; u < n; ++u)
+    EXPECT_EQ(subsequence_tuples(n, r, 1, u), expected) << "u=" << u;
+}
+
+TEST_P(SubsequenceParamTest, EveryProjectionIsAGraySequence) {
+  // At any position the projected subsequence is still snake-like
+  // (unit Hamming distance, full coverage), the property Section 2's
+  // generalized notation rests on.
+  const auto [n, r] = GetParam();
+  if (r < 2) return;
+  for (int pos = 1; pos <= r; ++pos)
+    for (NodeId u = 0; u < n; ++u)
+      EXPECT_TRUE(is_gray_sequence(n, subsequence_tuples(n, r, pos, u)))
+          << "pos=" << pos << " u=" << u;
+}
+
+TEST_P(SubsequenceParamTest, TopPositionAlternatesDirection)
+{
+  // [u]Q^r is Q_{r-1} for even u and R(Q_{r-1}) for odd u (Definition 3).
+  const auto [n, r] = GetParam();
+  if (r < 2) return;
+  const auto forward = gray_sequence(n, r - 1);
+  const auto backward = reversed_sequence(forward);
+  for (NodeId u = 0; u < n; ++u)
+    EXPECT_EQ(subsequence_tuples(n, r, r, u), u % 2 == 0 ? forward : backward)
+        << "u=" << u;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SubsequenceParamTest,
+                         ::testing::Values(std::pair<NodeId, int>{2, 2},
+                                           std::pair<NodeId, int>{2, 4},
+                                           std::pair<NodeId, int>{3, 2},
+                                           std::pair<NodeId, int>{3, 3},
+                                           std::pair<NodeId, int>{4, 3},
+                                           std::pair<NodeId, int>{5, 2}));
+
+TEST(GroupSequenceTest, MatchesPaperExample) {
+  // Section 2: [*]Q_2^1 for N = 3 is 00*, 01*, 02*, 12*, 11*, 10*, 20*,
+  // 21*, 22* with directions {f, r, f, r, f, r, f, r, f}.
+  const auto groups = group_sequence(3, 3, 1);
+  ASSERT_EQ(groups.size(), 9u);
+  // digits[0] = position 2, digits[1] = position 3.
+  const std::vector<std::vector<NodeId>> expected = {
+      {0, 0}, {1, 0}, {2, 0}, {2, 1}, {1, 1}, {0, 1}, {0, 2}, {1, 2}, {2, 2}};
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    EXPECT_EQ(groups[i].digits, expected[i]) << i;
+    EXPECT_EQ(groups[i].reversed, i % 2 == 1) << i;
+  }
+}
+
+TEST(GroupSequenceTest, LabelsFormGraySequenceWithAlternatingParity) {
+  for (const auto& [n, r, g] : std::vector<std::tuple<NodeId, int, int>>{
+           {2, 5, 1}, {2, 5, 2}, {3, 4, 1}, {3, 4, 2}, {4, 3, 2}}) {
+    const auto groups = group_sequence(n, r, g);
+    EXPECT_EQ(static_cast<PNode>(groups.size()), pow_int(n, r - g));
+    for (std::size_t i = 0; i + 1 < groups.size(); ++i) {
+      EXPECT_EQ(hamming_distance(groups[i].digits, groups[i + 1].digits), 1);
+      EXPECT_NE(groups[i].reversed, groups[i + 1].reversed);
+    }
+    EXPECT_FALSE(groups.front().reversed);  // all-zero label, even weight
+  }
+}
+
+TEST(GroupSequenceTest, GroupsAreAlignedChunksOfQr) {
+  // Chunk j of N^g consecutive Q_r elements carries group label j and is
+  // traversed forward/reversed per the label's weight parity.
+  const NodeId n = 3;
+  const int r = 3, g = 1;
+  const auto seq = gray_sequence(n, r);
+  const auto groups = group_sequence(n, r, g);
+  const PNode chunk = pow_int(n, g);
+  for (std::size_t j = 0; j < groups.size(); ++j) {
+    for (PNode t = 0; t < chunk; ++t) {
+      const auto& elem = seq[j * static_cast<std::size_t>(chunk) +
+                             static_cast<std::size_t>(t)];
+      // High digits match the label.
+      for (int i = g; i < r; ++i)
+        EXPECT_EQ(elem[static_cast<std::size_t>(i)],
+                  groups[j].digits[static_cast<std::size_t>(i - g)]);
+      // Low digit runs forward or backward per the direction flag.
+      EXPECT_EQ(elem[0], groups[j].reversed ? n - 1 - t : t);
+    }
+  }
+}
+
+TEST(GroupSequenceTest, Validation) {
+  EXPECT_THROW((void)group_sequence(3, 3, 0), std::invalid_argument);
+  EXPECT_THROW((void)group_sequence(3, 3, 3), std::invalid_argument);
+  EXPECT_THROW((void)subsequence_ranks(3, 3, 0, 0), std::invalid_argument);
+  EXPECT_THROW((void)subsequence_ranks(3, 3, 1, 3), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace prodsort

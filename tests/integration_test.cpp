@@ -1,0 +1,144 @@
+// End-to-end scenarios: the full pipeline (factor -> product -> machine ->
+// sort) on the paper's flagship networks, cross-checked between the
+// network implementation, the sequence-level algorithm, the executable
+// sorters, and std::sort, with cost predictions verified.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "core/product_sort.hpp"
+#include "core/s2/shearsort_s2.hpp"
+#include "core/s2/snake_oet_s2.hpp"
+#include "core/sequence_sort.hpp"
+#include "product/snake_order.hpp"
+
+namespace prodsort {
+namespace {
+
+std::vector<Key> random_keys(PNode count, unsigned seed) {
+  std::vector<Key> keys(static_cast<std::size_t>(count));
+  std::mt19937_64 rng(seed);
+  for (Key& k : keys) k = static_cast<Key>(rng() % 1000003);
+  return keys;
+}
+
+struct Scenario {
+  const char* label;
+  LabeledFactor factor;
+  int r;
+};
+
+std::vector<Scenario> scenarios() {
+  std::vector<Scenario> out;
+  out.push_back({"grid 4^3 (Section 5.1)", labeled_path(4), 3});
+  out.push_back({"torus 4^3 (Corollary)", labeled_cycle(4), 3});
+  out.push_back({"MCT 7^2 (Section 5.2)", labeled_binary_tree(3), 2});
+  out.push_back({"hypercube 2^7 (Section 5.3)", labeled_k2(), 7});
+  out.push_back({"Petersen cube 10^2 (Section 5.4)", labeled_petersen(), 2});
+  out.push_back({"de Bruijn product 8^2 (Section 5.5)", labeled_de_bruijn(3), 2});
+  out.push_back({"shuffle-exchange product 8^2", labeled_shuffle_exchange(3), 2});
+  return out;
+}
+
+TEST(IntegrationTest, FullPipelineOnFlagshipNetworks) {
+  ParallelExecutor exec(4);
+  for (const Scenario& s : scenarios()) {
+    const ProductGraph pg(s.factor, s.r);
+    const auto keys = random_keys(pg.num_nodes(), 101);
+    std::vector<Key> expected = keys;
+    std::sort(expected.begin(), expected.end());
+
+    Machine m(pg, keys, &exec);
+    const SortReport report = sort_product_network(m);
+
+    EXPECT_EQ(m.read_snake(full_view(pg)), expected) << s.label;
+    EXPECT_EQ(report.cost.s2_phases, report.predicted.s2_phases) << s.label;
+    EXPECT_EQ(report.cost.routing_phases, report.predicted.routing_phases)
+        << s.label;
+    EXPECT_DOUBLE_EQ(report.cost.formula_time, report.predicted.formula_time)
+        << s.label;
+  }
+}
+
+TEST(IntegrationTest, ExecutableSortersAgreeWithOracle) {
+  const ShearsortS2 shear;
+  const SnakeOETS2 oet;
+  for (const Scenario& s : scenarios()) {
+    const ProductGraph pg(s.factor, s.r);
+    if (pg.num_nodes() > 700) continue;  // executable runs are slower
+    const auto keys = random_keys(pg.num_nodes(), 103);
+
+    Machine oracle_run(pg, keys);
+    (void)sort_product_network(oracle_run);
+
+    for (const S2Sorter* sorter : {static_cast<const S2Sorter*>(&shear),
+                                   static_cast<const S2Sorter*>(&oet)}) {
+      Machine exec_run(pg, keys);
+      SortOptions options;
+      options.s2 = sorter;
+      (void)sort_product_network(exec_run, options);
+      EXPECT_TRUE(std::equal(oracle_run.keys().begin(),
+                             oracle_run.keys().end(), exec_run.keys().begin()))
+          << s.label << " / " << sorter->name();
+    }
+  }
+}
+
+TEST(IntegrationTest, NetworkMatchesSequenceAlgorithmEverywhere) {
+  for (const Scenario& s : scenarios()) {
+    const ProductGraph pg(s.factor, s.r);
+    const auto keys = random_keys(pg.num_nodes(), 107);
+
+    Machine m(pg, keys);
+    (void)sort_product_network(m);
+
+    std::vector<Key> seq(static_cast<std::size_t>(pg.num_nodes()));
+    for (PNode rank = 0; rank < pg.num_nodes(); ++rank)
+      seq[static_cast<std::size_t>(rank)] =
+          keys[static_cast<std::size_t>(node_at_snake_rank(pg, rank))];
+    (void)multiway_merge_sort(seq, pg.radix());
+
+    EXPECT_EQ(m.read_snake(full_view(pg)), seq) << s.label;
+  }
+}
+
+TEST(IntegrationTest, HypercubeCostMatchesBatcherOrder) {
+  // Section 5.3: O(r^2) with our constants 3(r-1)^2 + (r-1)(r-2).
+  for (const int r : {3, 5, 8, 10}) {
+    const ProductGraph pg(labeled_k2(), r);
+    Machine m(pg, random_keys(pg.num_nodes(), 109));
+    const SortReport report = sort_product_network(m);
+    EXPECT_DOUBLE_EQ(report.cost.formula_time,
+                     3.0 * (r - 1) * (r - 1) + (r - 1) * (r - 2));
+  }
+}
+
+TEST(IntegrationTest, StableAcrossRepeatedRuns) {
+  // Sorting an already-sorted machine is a no-op on the keys.
+  const ProductGraph pg(labeled_path(3), 3);
+  Machine m(pg, random_keys(pg.num_nodes(), 113));
+  (void)sort_product_network(m);
+  const std::vector<Key> once(m.keys().begin(), m.keys().end());
+  (void)sort_product_network(m);
+  EXPECT_TRUE(std::equal(once.begin(), once.end(), m.keys().begin()));
+}
+
+TEST(IntegrationTest, LargeGridWithParallelExecutor) {
+  // 4^6 = 4096 processors, oracle sorter, 4 worker threads.
+  const ProductGraph pg(labeled_path(4), 6);
+  const auto keys = random_keys(pg.num_nodes(), 127);
+  std::vector<Key> expected = keys;
+  std::sort(expected.begin(), expected.end());
+
+  ParallelExecutor exec(4);
+  Machine m(pg, keys, &exec);
+  const SortReport report = sort_product_network(m);
+  EXPECT_EQ(m.read_snake(full_view(pg)), expected);
+  EXPECT_EQ(report.cost.s2_phases, 25);      // (6-1)^2
+  EXPECT_EQ(report.cost.routing_phases, 20); // (6-1)(6-2)
+}
+
+}  // namespace
+}  // namespace prodsort

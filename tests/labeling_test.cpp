@@ -1,0 +1,254 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "graph/factor_graphs.hpp"
+#include "graph/graph_algos.hpp"
+#include "graph/hamiltonian.hpp"
+#include "graph/labeled_factor.hpp"
+#include "graph/linear_embedding.hpp"
+
+namespace prodsort {
+namespace {
+
+// ---------------------------------------------------------------- BFS etc.
+
+TEST(GraphAlgosTest, BfsDistancesOnPath) {
+  const Graph g = make_path(5);
+  const auto dist = bfs_distances(g, 0);
+  for (NodeId v = 0; v < 5; ++v) EXPECT_EQ(dist[static_cast<std::size_t>(v)], v);
+}
+
+TEST(GraphAlgosTest, DisconnectedDetection) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  EXPECT_FALSE(is_connected(g));
+  EXPECT_THROW((void)diameter(g), std::invalid_argument);
+  EXPECT_EQ(distance(g, 0, 3), -1);
+}
+
+TEST(GraphAlgosTest, SpanningTreeProperties) {
+  const Graph g = make_petersen();
+  const Graph tree = spanning_tree(g);
+  EXPECT_EQ(tree.num_nodes(), g.num_nodes());
+  EXPECT_EQ(tree.num_edges(), static_cast<std::size_t>(g.num_nodes()) - 1);
+  EXPECT_TRUE(is_connected(tree));
+  for (const auto& [a, b] : tree.edges()) EXPECT_TRUE(g.has_edge(a, b));
+}
+
+TEST(GraphAlgosTest, BipartiteClassification) {
+  EXPECT_TRUE(is_bipartite(make_path(6)));
+  EXPECT_TRUE(is_bipartite(make_cycle(6)));
+  EXPECT_FALSE(is_bipartite(make_cycle(5)));
+  EXPECT_TRUE(is_bipartite(make_complete_binary_tree(3)));
+  EXPECT_FALSE(is_bipartite(make_petersen()));  // contains odd cycles
+  EXPECT_TRUE(is_bipartite(make_grid2d(4, 5)));
+}
+
+TEST(GraphAlgosTest, ShortestPathEndpointsAndAdjacency) {
+  const Graph g = make_petersen();
+  const auto path = shortest_path(g, 0, 7);
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(path.front(), 0);
+  EXPECT_EQ(path.back(), 7);
+  EXPECT_EQ(static_cast<int>(path.size()) - 1, distance(g, 0, 7));
+  for (std::size_t i = 0; i + 1 < path.size(); ++i)
+    EXPECT_TRUE(g.has_edge(path[i], path[i + 1]));
+}
+
+// -------------------------------------------------------------- Hamiltonian
+
+TEST(HamiltonianTest, FindsPathOnObviousGraphs) {
+  for (const Graph& g : {make_path(7), make_cycle(8), make_complete(6),
+                         make_grid2d(3, 3), make_de_bruijn(4)}) {
+    const auto path = find_hamiltonian_path(g);
+    ASSERT_TRUE(path.has_value());
+    EXPECT_TRUE(is_hamiltonian_path(g, *path));
+  }
+}
+
+TEST(HamiltonianTest, PetersenHasHamiltonianPath) {
+  const Graph g = make_petersen();
+  const auto path = find_hamiltonian_path(g);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_TRUE(is_hamiltonian_path(g, *path));
+}
+
+TEST(HamiltonianTest, StarHasNone) {
+  EXPECT_FALSE(find_hamiltonian_path(make_star(5)).has_value());
+}
+
+TEST(HamiltonianTest, CompleteBinaryTreeHasNone) {
+  EXPECT_FALSE(find_hamiltonian_path(make_complete_binary_tree(3)).has_value());
+}
+
+TEST(HamiltonianTest, FindsCyclesWhereTheyExist) {
+  for (const Graph& g : {make_cycle(7), make_complete(5), make_grid2d(4, 4),
+                         make_hypercube(4), make_cube_connected_cycles(3)}) {
+    const auto cycle = find_hamiltonian_cycle(g);
+    ASSERT_TRUE(cycle.has_value());
+    EXPECT_TRUE(is_hamiltonian_cycle(g, *cycle));
+  }
+}
+
+TEST(HamiltonianTest, PetersenIsHypohamiltonian) {
+  // The classic fact: a Hamiltonian path exists but no Hamiltonian
+  // cycle.  The 10-node search space is exhausted well within budget,
+  // so nullopt here is a proof, not a timeout.
+  const Graph g = make_petersen();
+  EXPECT_TRUE(find_hamiltonian_path(g).has_value());
+  EXPECT_FALSE(find_hamiltonian_cycle(g).has_value());
+}
+
+TEST(HamiltonianTest, TreesAndStarsHaveNoCycles) {
+  EXPECT_FALSE(find_hamiltonian_cycle(make_complete_binary_tree(3)).has_value());
+  EXPECT_FALSE(find_hamiltonian_cycle(make_star(5)).has_value());
+  EXPECT_FALSE(find_hamiltonian_cycle(make_path(2)).has_value());
+}
+
+TEST(HamiltonianTest, OddGridsHaveNoHamiltonianCycle) {
+  // Bipartite graphs with odd node counts cannot have Hamiltonian
+  // cycles (a cycle alternates sides).
+  EXPECT_FALSE(find_hamiltonian_cycle(make_grid2d(3, 3)).has_value());
+  EXPECT_TRUE(find_hamiltonian_path(make_grid2d(3, 3)).has_value());
+}
+
+TEST(HamiltonianTest, CycleValidator) {
+  const Graph g = make_cycle(5);
+  const NodeId good[] = {0, 1, 2, 3, 4};
+  EXPECT_TRUE(is_hamiltonian_cycle(g, good));
+  const NodeId path_only[] = {2, 1, 0, 4, 3};  // 3-2 adjacent: also a cycle
+  EXPECT_TRUE(is_hamiltonian_cycle(g, path_only));
+  const Graph p = make_path(4);
+  const NodeId open_ends[] = {0, 1, 2, 3};
+  EXPECT_FALSE(is_hamiltonian_cycle(p, open_ends));
+}
+
+TEST(HamiltonianTest, ValidatorRejectsBadSequences) {
+  const Graph g = make_path(4);
+  const NodeId not_a_perm[] = {0, 1, 1, 2};
+  EXPECT_FALSE(is_hamiltonian_path(g, not_a_perm));
+  const NodeId non_adjacent[] = {0, 2, 1, 3};
+  EXPECT_FALSE(is_hamiltonian_path(g, non_adjacent));
+  const NodeId good[] = {3, 2, 1, 0};
+  EXPECT_TRUE(is_hamiltonian_path(g, good));
+}
+
+// ------------------------------------------------------------- Sekanina T^3
+
+void expect_cycle_dilation_3(const Graph& tree, std::span<const NodeId> cyc) {
+  ASSERT_EQ(static_cast<NodeId>(cyc.size()), tree.num_nodes());
+  std::vector<bool> seen(cyc.size(), false);
+  for (const NodeId v : cyc) {
+    ASSERT_FALSE(seen[static_cast<std::size_t>(v)]);
+    seen[static_cast<std::size_t>(v)] = true;
+  }
+  for (std::size_t i = 0; i < cyc.size(); ++i) {
+    const NodeId a = cyc[i];
+    const NodeId b = cyc[(i + 1) % cyc.size()];
+    EXPECT_LE(distance(tree, a, b), 3) << "pair " << a << "," << b;
+  }
+}
+
+TEST(SekaninaTest, CompleteBinaryTrees) {
+  for (int levels = 1; levels <= 5; ++levels) {
+    const Graph tree = make_complete_binary_tree(levels);
+    expect_cycle_dilation_3(tree, sekanina_cycle(tree));
+  }
+}
+
+TEST(SekaninaTest, StarsAndPaths) {
+  expect_cycle_dilation_3(make_star(9), sekanina_cycle(make_star(9)));
+  expect_cycle_dilation_3(make_path(9), sekanina_cycle(make_path(9)));
+}
+
+TEST(SekaninaTest, RandomTrees) {
+  std::mt19937 rng(42);
+  for (int trial = 0; trial < 50; ++trial) {
+    const NodeId n = 2 + static_cast<NodeId>(rng() % 40);
+    Graph tree(n);
+    for (NodeId v = 1; v < n; ++v)
+      tree.add_edge(v, static_cast<NodeId>(rng() % static_cast<unsigned>(v)));
+    expect_cycle_dilation_3(tree, sekanina_cycle(tree));
+  }
+}
+
+TEST(SekaninaTest, RejectsNonTree) {
+  EXPECT_THROW((void)sekanina_cycle(make_cycle(4)), std::invalid_argument);
+}
+
+TEST(LinearEmbeddingTest, DilationAtMostThreeOnAnyConnectedGraph) {
+  for (const Graph& g :
+       {make_star(8), make_complete_binary_tree(4), make_petersen(),
+        make_shuffle_exchange(4), make_grid2d(4, 4)}) {
+    const auto order = linear_embedding_order(g);
+    EXPECT_EQ(static_cast<NodeId>(order.size()), g.num_nodes());
+    EXPECT_LE(order_dilation(g, order), 3);
+  }
+}
+
+// ------------------------------------------------------------ LabeledFactor
+
+TEST(LabeledFactorTest, HamiltonianFamiliesHaveAdjacentConsecutiveLabels) {
+  for (const LabeledFactor& f :
+       {labeled_path(6), labeled_cycle(7), labeled_complete(5), labeled_k2(),
+        labeled_petersen(), labeled_de_bruijn(3)}) {
+    EXPECT_TRUE(f.hamiltonian) << f.name;
+    EXPECT_EQ(f.dilation, 1) << f.name;
+    for (NodeId v = 0; v + 1 < f.size(); ++v)
+      EXPECT_TRUE(f.graph.has_edge(v, v + 1)) << f.name << " at " << v;
+  }
+}
+
+TEST(LabeledFactorTest, NonHamiltonianFamiliesUseDilation3Labels) {
+  for (const LabeledFactor& f : {labeled_binary_tree(3), labeled_star(6)}) {
+    EXPECT_FALSE(f.hamiltonian) << f.name;
+    EXPECT_GE(f.dilation, 2) << f.name;
+    EXPECT_LE(f.dilation, 3) << f.name;
+    for (NodeId v = 0; v + 1 < f.size(); ++v)
+      EXPECT_LE(distance(f.graph, v, v + 1), f.dilation) << f.name;
+  }
+}
+
+TEST(LabeledFactorTest, CostsMatchSection5) {
+  EXPECT_DOUBLE_EQ(labeled_path(8).s2_cost, 24.0);     // 3N
+  EXPECT_DOUBLE_EQ(labeled_path(8).routing_cost, 7.0); // N-1
+  EXPECT_DOUBLE_EQ(labeled_cycle(8).s2_cost, 20.0);    // 2.5N
+  EXPECT_DOUBLE_EQ(labeled_cycle(8).routing_cost, 4.0);// N/2
+  EXPECT_DOUBLE_EQ(labeled_k2().s2_cost, 3.0);
+  EXPECT_DOUBLE_EQ(labeled_k2().routing_cost, 1.0);
+  EXPECT_DOUBLE_EQ(labeled_petersen().s2_cost, 30.0);
+  EXPECT_DOUBLE_EQ(labeled_petersen().routing_cost, 9.0);
+}
+
+TEST(LabeledFactorTest, StandardFactorsAreWellFormed) {
+  for (const LabeledFactor& f : standard_factors()) {
+    EXPECT_TRUE(is_connected(f.graph)) << f.name;
+    EXPECT_GT(f.s2_cost, 0.0) << f.name;
+    EXPECT_GT(f.routing_cost, 0.0) << f.name;
+    EXPECT_GE(f.dilation, 1) << f.name;
+    EXPECT_FALSE(f.name.empty());
+  }
+}
+
+TEST(LabeledFactorTest, CustomWrapsArbitraryGraphs) {
+  Graph g(5);  // a "broom": path + star
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(2, 4);
+  const LabeledFactor f = labeled_custom(std::move(g), "broom");
+  EXPECT_EQ(f.family, FactorFamily::kCustom);
+  EXPECT_LE(f.dilation, 3);
+}
+
+TEST(LabeledFactorTest, CustomRejectsDisconnected) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  EXPECT_THROW((void)labeled_custom(std::move(g), "broken"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace prodsort

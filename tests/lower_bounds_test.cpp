@@ -1,0 +1,77 @@
+#include "graph/lower_bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/complexity.hpp"
+#include "graph/factor_graphs.hpp"
+
+namespace prodsort {
+namespace {
+
+TEST(BisectionTest, KnownValues) {
+  EXPECT_EQ(brute_force_bisection(make_path(6)), 1);
+  EXPECT_EQ(brute_force_bisection(make_path(7)), 1);
+  EXPECT_EQ(brute_force_bisection(make_cycle(8)), 2);
+  EXPECT_EQ(brute_force_bisection(make_k2()), 1);
+  EXPECT_EQ(brute_force_bisection(make_complete(6)), 9);  // (n/2)^2
+  EXPECT_EQ(brute_force_bisection(make_complete_binary_tree(3)), 1);
+  EXPECT_EQ(brute_force_bisection(make_star(7)), 3);      // min(|A\{hub}|...)
+  EXPECT_EQ(brute_force_bisection(make_grid2d(4, 4)), 4);
+  EXPECT_EQ(brute_force_bisection(make_hypercube(3)), 4); // 2^(d-1)
+}
+
+TEST(BisectionTest, PetersenIsHighlyConnected) {
+  // The Petersen graph's bisection width is known to be 5? It is at
+  // least its edge connectivity 3; brute force gives the exact value.
+  const int b = brute_force_bisection(make_petersen());
+  EXPECT_GE(b, 3);
+  EXPECT_LE(b, 7);
+}
+
+TEST(BisectionTest, RangeValidation) {
+  EXPECT_THROW((void)brute_force_bisection(Graph(1)), std::invalid_argument);
+  EXPECT_THROW((void)brute_force_bisection(make_path(25)),
+               std::invalid_argument);
+}
+
+TEST(LowerBoundsTest, GridMatchesSection51Argument) {
+  // Grid: diameter bound r(N-1); bisection bound N/2.
+  const ProductGraph pg(labeled_path(8), 3);
+  const SortingLowerBounds lb = sorting_lower_bounds(pg);
+  EXPECT_DOUBLE_EQ(lb.diameter_bound, 21.0);
+  EXPECT_DOUBLE_EQ(lb.bisection_bound, 4.0);
+  EXPECT_DOUBLE_EQ(lb.best(), 21.0);
+}
+
+TEST(LowerBoundsTest, McTreeBisectionGivesLinearBound) {
+  // Section 5.2: the MCT running time O(N) at fixed r is optimal because
+  // of the O(N) bisection bound; here bisection(G) = 1 gives N/2.
+  const ProductGraph pg(labeled_binary_tree(3), 2);
+  const SortingLowerBounds lb = sorting_lower_bounds(pg);
+  EXPECT_DOUBLE_EQ(lb.bisection_bound, 3.5);  // N/2 with N = 7
+}
+
+TEST(LowerBoundsTest, AlgorithmNeverBeatsTheLowerBounds) {
+  for (const LabeledFactor& f : standard_factors()) {
+    if (f.size() > 24) continue;
+    for (int r = 2; r <= 4; ++r) {
+      const ProductGraph pg(f, r);
+      const SortingLowerBounds lb = sorting_lower_bounds(pg);
+      EXPECT_GE(theorem1(f, r).formula_time, lb.best() * 0.999)
+          << f.name << " r=" << r;
+    }
+  }
+}
+
+TEST(LowerBoundsTest, GridAlgorithmIsWithinConstantOfOptimal) {
+  // Section 5.1's optimality: at fixed r the ratio time/bound is O(1).
+  for (const NodeId n : {4, 8, 16}) {
+    const ProductGraph pg(labeled_path(n), 2);
+    const SortingLowerBounds lb = sorting_lower_bounds(pg);
+    const double ratio = theorem1(labeled_path(n), 2).formula_time / lb.best();
+    EXPECT_LE(ratio, 7.0) << "N=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace prodsort

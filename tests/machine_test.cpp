@@ -1,0 +1,147 @@
+#include "network/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+
+#include "product/snake_order.hpp"
+
+namespace prodsort {
+namespace {
+
+Machine make_machine(const ProductGraph& pg, unsigned seed = 1) {
+  std::vector<Key> keys(static_cast<std::size_t>(pg.num_nodes()));
+  std::mt19937 rng(seed);
+  for (Key& k : keys) k = static_cast<Key>(rng() % 1000);
+  return Machine(pg, std::move(keys));
+}
+
+TEST(MachineTest, RejectsWrongKeyCount) {
+  const ProductGraph pg(labeled_path(3), 2);
+  EXPECT_THROW(Machine(pg, std::vector<Key>(8)), std::invalid_argument);
+}
+
+TEST(MachineTest, CompareExchangeOrdersPairs) {
+  const ProductGraph pg(labeled_path(3), 2);
+  Machine m(pg, {5, 1, 4, 2, 8, 0, 7, 3, 6});
+  const CEPair pairs[] = {{0, 1}, {2, 3}, {4, 5}};
+  m.compare_exchange_step(pairs);
+  EXPECT_EQ(m.key(0), 1);
+  EXPECT_EQ(m.key(1), 5);
+  EXPECT_EQ(m.key(2), 2);
+  EXPECT_EQ(m.key(3), 4);
+  EXPECT_EQ(m.key(4), 0);
+  EXPECT_EQ(m.key(5), 8);
+  EXPECT_EQ(m.key(6), 7);  // untouched
+}
+
+TEST(MachineTest, CompareExchangeRespectsDirection) {
+  const ProductGraph pg(labeled_path(3), 2);
+  Machine m(pg, {1, 5, 0, 0, 0, 0, 0, 0, 0});
+  const CEPair pairs[] = {{1, 0}};  // min must land on node 1
+  m.compare_exchange_step(pairs);
+  EXPECT_EQ(m.key(1), 1);
+  EXPECT_EQ(m.key(0), 5);
+}
+
+TEST(MachineTest, CostAccounting) {
+  const ProductGraph pg(labeled_path(3), 2);
+  Machine m(pg, {5, 1, 4, 2, 8, 0, 7, 3, 6});
+  const CEPair pairs[] = {{0, 1}, {2, 3}, {6, 7}};  // keys (5,1),(4,2),(7,3)
+  m.compare_exchange_step(pairs, 3);
+  EXPECT_EQ(m.cost().exec_steps, 3);
+  EXPECT_EQ(m.cost().comparisons, 3);
+  EXPECT_EQ(m.cost().exchanges, 3);
+  m.compare_exchange_step(pairs, 1);  // now all ordered: no swaps
+  EXPECT_EQ(m.cost().exec_steps, 4);
+  EXPECT_EQ(m.cost().comparisons, 6);
+  EXPECT_EQ(m.cost().exchanges, 3);
+}
+
+TEST(MachineTest, DisjointnessValidation) {
+  const ProductGraph pg(labeled_path(3), 2);
+  Machine m = make_machine(pg);
+  m.set_check_disjoint(true);
+  const CEPair overlapping[] = {{0, 1}, {1, 2}};
+  EXPECT_THROW(m.compare_exchange_step(overlapping), std::logic_error);
+  const CEPair degenerate[] = {{3, 3}};
+  EXPECT_THROW(m.compare_exchange_step(degenerate), std::logic_error);
+  const CEPair fine[] = {{0, 1}, {2, 3}};
+  EXPECT_NO_THROW(m.compare_exchange_step(fine));
+}
+
+TEST(MachineTest, ReadSnakeFollowsSnakeOrder) {
+  const ProductGraph pg(labeled_path(3), 2);
+  // Place key = snake rank on every node.
+  std::vector<Key> keys(9);
+  for (PNode rank = 0; rank < 9; ++rank)
+    keys[static_cast<std::size_t>(node_at_snake_rank(pg, rank))] = rank;
+  const Machine m(pg, std::move(keys));
+  const auto seq = m.read_snake(full_view(pg));
+  for (PNode i = 0; i < 9; ++i) EXPECT_EQ(seq[static_cast<std::size_t>(i)], i);
+  EXPECT_TRUE(m.snake_sorted(full_view(pg)));
+  EXPECT_FALSE(m.snake_sorted(full_view(pg), /*descending=*/true));
+}
+
+TEST(MachineTest, SnakeSortedOnViews) {
+  const ProductGraph pg(labeled_path(3), 3);
+  std::vector<Key> keys(27, 0);
+  Machine m(pg, std::move(keys));
+  EXPECT_TRUE(m.snake_sorted(full_view(pg)));           // constant keys
+  for (const ViewSpec& v : all_views(pg, 1, 2))
+    EXPECT_TRUE(m.snake_sorted(v));
+}
+
+TEST(MachineTest, CostModelAccumulation) {
+  CostModel a;
+  a.charge_s2_phase(10.0);
+  a.charge_routing_phase(3.0);
+  a.exec_steps = 5;
+  a.comparisons = 7;
+  CostModel b;
+  b.charge_s2_phase(2.0);
+  b.exchanges = 4;
+  a += b;
+  EXPECT_EQ(a.s2_phases, 2);
+  EXPECT_EQ(a.routing_phases, 1);
+  EXPECT_DOUBLE_EQ(a.formula_time, 15.0);
+  EXPECT_EQ(a.exec_steps, 5);
+  EXPECT_EQ(a.comparisons, 7);
+  EXPECT_EQ(a.exchanges, 4);
+}
+
+TEST(MachineTest, ParallelExecutionIsDeterministic) {
+  const ProductGraph pg(labeled_path(4), 3);  // 64 nodes
+  std::vector<Key> keys(64);
+  std::mt19937 rng(3);
+  for (Key& k : keys) k = static_cast<Key>(rng());
+
+  // Build a few disjoint random pair phases.
+  std::vector<std::vector<CEPair>> phases;
+  for (int p = 0; p < 10; ++p) {
+    std::vector<PNode> nodes(64);
+    std::iota(nodes.begin(), nodes.end(), 0);
+    std::shuffle(nodes.begin(), nodes.end(), rng);
+    std::vector<CEPair> pairs;
+    for (std::size_t i = 0; i + 1 < nodes.size(); i += 2)
+      pairs.push_back({nodes[i], nodes[i + 1]});
+    phases.push_back(std::move(pairs));
+  }
+
+  Machine serial(pg, keys);
+  for (const auto& pairs : phases) serial.compare_exchange_step(pairs);
+
+  for (int threads : {2, 4, 8}) {
+    ParallelExecutor exec(threads);
+    Machine parallel(pg, keys, &exec);
+    for (const auto& pairs : phases) parallel.compare_exchange_step(pairs);
+    EXPECT_TRUE(std::equal(serial.keys().begin(), serial.keys().end(),
+                           parallel.keys().begin()));
+    EXPECT_EQ(serial.cost().exchanges, parallel.cost().exchanges);
+  }
+}
+
+}  // namespace
+}  // namespace prodsort

@@ -1,0 +1,156 @@
+// Tests for the Figs. 6-11 stage expansion: each stage must satisfy the
+// exact structural law the corresponding figure illustrates.
+
+#include "core/merge_stages.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "product/gray_code.hpp"
+
+namespace prodsort {
+namespace {
+
+std::vector<std::vector<Key>> random_inputs(std::int64_t n, std::int64_t m,
+                                            unsigned seed) {
+  std::vector<std::vector<Key>> inputs(static_cast<std::size_t>(n));
+  std::mt19937 rng(seed);
+  for (auto& seq : inputs) {
+    seq.resize(static_cast<std::size_t>(m));
+    for (Key& k : seq) k = static_cast<Key>(rng() % 1000);
+    std::sort(seq.begin(), seq.end());
+  }
+  return inputs;
+}
+
+TEST(MergeStagesTest, RejectsDegenerateShapes) {
+  EXPECT_THROW((void)expand_merge_stages({{1, 2}, {3, 4}}),
+               std::invalid_argument);  // k = 2: no stages to show
+  EXPECT_THROW((void)expand_merge_stages({{1}}), std::invalid_argument);
+}
+
+TEST(MergeStagesTest, RejectsNonPowerLengths) {
+  // Regression: m >= N^2 alone is not enough — m = 5 with N = 2 used to
+  // read past the merged columns at the interleave step.
+  EXPECT_THROW((void)expand_merge_stages({{1, 2, 3, 4, 5}, {1, 2, 3, 4, 5}}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)expand_merge_stages({{1, 2, 3, 4, 5, 6}, {1, 2, 3, 4, 5, 6}}),
+      std::invalid_argument);
+}
+
+TEST(MergeStagesTest, RejectsRaggedInputs) {
+  EXPECT_THROW((void)expand_merge_stages({{1, 2, 3, 4}, {1, 2}}),
+               std::invalid_argument);
+}
+
+TEST(MergeStagesTest, Fig8SubsequencesFollowTheSnakeColumns) {
+  // B_{u,v} = (a_{u,v}, a_{u,2N-v-1}, a_{u,2N+v}, ...), Section 3.1.
+  const auto inputs = random_inputs(3, 9, 1);
+  const MergeStages s = expand_merge_stages(inputs);
+  for (std::int64_t u = 0; u < 3; ++u) {
+    for (std::int64_t v = 0; v < 3; ++v) {
+      const auto& b = s.b[static_cast<std::size_t>(u)][static_cast<std::size_t>(v)];
+      ASSERT_EQ(b.size(), 3u);
+      for (std::int64_t j = 0; j < 3; ++j)
+        EXPECT_EQ(b[static_cast<std::size_t>(j)],
+                  inputs[static_cast<std::size_t>(u)][static_cast<std::size_t>(
+                      subsequence_position(3, static_cast<NodeId>(v), j))]);
+      EXPECT_TRUE(std::is_sorted(b.begin(), b.end()));
+    }
+  }
+}
+
+TEST(MergeStagesTest, PaperExampleSplit) {
+  // Section 3.1's example: A_u = {1..9} -> B = {1,6,7}, {2,5,8}, {3,4,9}.
+  const std::vector<std::vector<Key>> inputs(
+      3, std::vector<Key>{1, 2, 3, 4, 5, 6, 7, 8, 9});
+  const MergeStages s = expand_merge_stages(inputs);
+  EXPECT_EQ(s.b[0][0], (std::vector<Key>{1, 6, 7}));
+  EXPECT_EQ(s.b[0][1], (std::vector<Key>{2, 5, 8}));
+  EXPECT_EQ(s.b[0][2], (std::vector<Key>{3, 4, 9}));
+}
+
+TEST(MergeStagesTest, Fig9ColumnsAreSortedAndConserveKeys) {
+  const auto inputs = random_inputs(3, 27, 2);
+  const MergeStages s = expand_merge_stages(inputs);
+  for (std::int64_t v = 0; v < 3; ++v) {
+    const auto& c = s.columns[static_cast<std::size_t>(v)];
+    EXPECT_EQ(c.size(), 27u);
+    EXPECT_TRUE(std::is_sorted(c.begin(), c.end()));
+    // C_v is the merge of B_{*,v}.
+    std::vector<Key> expected;
+    for (std::int64_t u = 0; u < 3; ++u) {
+      const auto& b = s.b[static_cast<std::size_t>(u)][static_cast<std::size_t>(v)];
+      expected.insert(expected.end(), b.begin(), b.end());
+    }
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(c, expected);
+  }
+}
+
+TEST(MergeStagesTest, Fig10InterleaveLaw) {
+  const auto inputs = random_inputs(4, 16, 3);
+  const MergeStages s = expand_merge_stages(inputs);
+  for (std::int64_t v = 0; v < 4; ++v)
+    for (std::int64_t i = 0; i < 16; ++i)
+      EXPECT_EQ(s.interleaved[static_cast<std::size_t>(i * 4 + v)],
+                s.columns[static_cast<std::size_t>(v)][static_cast<std::size_t>(i)]);
+}
+
+TEST(MergeStagesTest, Lemma1DirtySpanWitness) {
+  for (unsigned seed = 0; seed < 50; ++seed) {
+    const auto inputs = random_inputs(3, 9, seed);
+    const MergeStages s = expand_merge_stages(inputs);
+    EXPECT_EQ(s.dirty_span, dirty_span(s.interleaved));
+    // For 0-1 inputs the bound is N^2; for random keys the *window* can
+    // be wider, so just sanity-check the witness is recorded.
+    EXPECT_GE(s.dirty_span, 0);
+  }
+}
+
+TEST(MergeStagesTest, Fig11BlocksAlternateDirections) {
+  const auto inputs = random_inputs(3, 27, 5);
+  const MergeStages s = expand_merge_stages(inputs);
+  for (std::size_t z = 0; z < s.blocks_sorted.size(); ++z) {
+    const auto& f = s.blocks_sorted[z];
+    const auto& i = s.final_blocks[z];
+    if (z % 2 == 0) {
+      EXPECT_TRUE(std::is_sorted(f.begin(), f.end()));
+      EXPECT_TRUE(std::is_sorted(i.begin(), i.end()));
+    } else {
+      EXPECT_TRUE(std::is_sorted(f.rbegin(), f.rend()));
+      EXPECT_TRUE(std::is_sorted(i.rbegin(), i.rend()));
+    }
+  }
+}
+
+TEST(MergeStagesTest, TranspositionsFormElementwiseMinMax) {
+  const auto inputs = random_inputs(3, 9, 6);
+  const MergeStages s = expand_merge_stages(inputs);
+  // Keys conserved block-pair-wise by the min/max steps.
+  std::vector<Key> before;
+  std::vector<Key> after;
+  for (const auto& blk : s.blocks_sorted)
+    before.insert(before.end(), blk.begin(), blk.end());
+  for (const auto& blk : s.after_transpositions)
+    after.insert(after.end(), blk.begin(), blk.end());
+  std::sort(before.begin(), before.end());
+  std::sort(after.begin(), after.end());
+  EXPECT_EQ(before, after);
+}
+
+TEST(MergeStagesTest, ResultMatchesMultiwayMerge) {
+  for (const auto& [n, m] : std::vector<std::pair<std::int64_t, std::int64_t>>{
+           {2, 4}, {2, 16}, {3, 9}, {4, 16}, {5, 25}}) {
+    const auto inputs = random_inputs(n, m, static_cast<unsigned>(n * m));
+    const MergeStages s = expand_merge_stages(inputs);
+    EXPECT_EQ(s.result, multiway_merge(inputs)) << n << "," << m;
+    EXPECT_TRUE(std::is_sorted(s.result.begin(), s.result.end()));
+  }
+}
+
+}  // namespace
+}  // namespace prodsort

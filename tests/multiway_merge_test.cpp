@@ -1,0 +1,199 @@
+#include "core/multiway_merge.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+#include "product/gray_code.hpp"
+
+namespace prodsort {
+namespace {
+
+std::vector<std::vector<Key>> random_sorted_inputs(std::int64_t n,
+                                                   std::int64_t m,
+                                                   std::mt19937& rng,
+                                                   int key_range = 1000) {
+  std::vector<std::vector<Key>> inputs(static_cast<std::size_t>(n));
+  std::uniform_int_distribution<Key> dist(0, key_range);
+  for (auto& seq : inputs) {
+    seq.resize(static_cast<std::size_t>(m));
+    for (Key& k : seq) k = dist(rng);
+    std::sort(seq.begin(), seq.end());
+  }
+  return inputs;
+}
+
+std::vector<Key> flatten_sorted(const std::vector<std::vector<Key>>& inputs) {
+  std::vector<Key> all;
+  for (const auto& seq : inputs) all.insert(all.end(), seq.begin(), seq.end());
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+TEST(MultiwayMergeTest, PaperStep1Example) {
+  // Section 3.1 example: A_u = {1..9}, N = 3 ->
+  // B_{u,0} = {1,6,7}, B_{u,1} = {2,5,8}, B_{u,2} = {3,4,9}.
+  // Exercised indirectly: merging three copies of {1..9} must interleave
+  // them; the Step-1 split is internal, so we verify the merge result.
+  const std::vector<std::vector<Key>> inputs = {
+      {1, 2, 3, 4, 5, 6, 7, 8, 9},
+      {1, 2, 3, 4, 5, 6, 7, 8, 9},
+      {1, 2, 3, 4, 5, 6, 7, 8, 9}};
+  const auto out = multiway_merge(inputs);
+  EXPECT_EQ(out, flatten_sorted(inputs));
+}
+
+TEST(MultiwayMergeTest, PaperRunningExampleFig12) {
+  // The exact sequences of Fig. 12 (N = 3, 27 keys).
+  const std::vector<std::vector<Key>> inputs = {
+      {0, 4, 4, 5, 5, 7, 8, 8, 9},
+      {1, 4, 5, 5, 5, 6, 7, 7, 8},
+      {0, 0, 1, 1, 1, 2, 3, 4, 9}};
+  const auto out = multiway_merge(inputs);
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+  EXPECT_EQ(out, flatten_sorted(inputs));
+}
+
+TEST(MultiwayMergeTest, RejectsBadInput) {
+  EXPECT_THROW((void)multiway_merge({{1, 2}}), std::invalid_argument);
+  EXPECT_THROW((void)multiway_merge({{1, 2, 3}, {1, 2, 3}}),
+               std::invalid_argument);  // length 3 not power of 2
+  EXPECT_THROW((void)multiway_merge({{1, 2}, {1, 2, 3}}),
+               std::invalid_argument);  // ragged
+  EXPECT_THROW((void)multiway_merge({{2, 1}, {1, 2}}),
+               std::invalid_argument);  // unsorted
+  EXPECT_THROW((void)multiway_merge({{1}, {2}}),
+               std::invalid_argument);  // m < N
+}
+
+class MultiwayMergeParamTest
+    : public ::testing::TestWithParam<std::pair<int, int>> {};  // (N, k)
+
+TEST_P(MultiwayMergeParamTest, MergesRandomInputs) {
+  const auto [n, k] = GetParam();
+  const std::int64_t m = pow_int(n, k - 1);
+  std::mt19937 rng(static_cast<unsigned>(n * 100 + k));
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto inputs = random_sorted_inputs(n, m, rng);
+    MergeStats stats;
+    const auto out = multiway_merge(inputs, &stats);
+    EXPECT_EQ(out, flatten_sorted(inputs));
+    EXPECT_GE(stats.merges, 1);
+  }
+}
+
+TEST_P(MultiwayMergeParamTest, MergesDuplicateHeavyInputs) {
+  const auto [n, k] = GetParam();
+  const std::int64_t m = pow_int(n, k - 1);
+  std::mt19937 rng(static_cast<unsigned>(n * 1000 + k));
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto inputs = random_sorted_inputs(n, m, rng, 2);  // keys in {0,1,2}
+    const auto out = multiway_merge(inputs);
+    EXPECT_EQ(out, flatten_sorted(inputs));
+  }
+}
+
+TEST_P(MultiwayMergeParamTest, ExhaustiveZeroOne) {
+  // Every 0-1 input = a choice of zero-count per sorted sequence, so
+  // (m+1)^N cases cover the merge exhaustively (zero-one principle).
+  const auto [n, k] = GetParam();
+  const std::int64_t m = pow_int(n, k - 1);
+  const double cases = std::pow(static_cast<double>(m + 1), n);
+  if (cases > 250000) GTEST_SKIP() << "too many zero-one cases";
+  std::vector<std::int64_t> zeros(static_cast<std::size_t>(n), 0);
+  for (;;) {
+    std::vector<std::vector<Key>> inputs(static_cast<std::size_t>(n));
+    for (std::int64_t u = 0; u < n; ++u) {
+      auto& seq = inputs[static_cast<std::size_t>(u)];
+      seq.assign(static_cast<std::size_t>(m), 1);
+      std::fill_n(seq.begin(), zeros[static_cast<std::size_t>(u)], 0);
+    }
+    MergeStats stats;
+    const auto out = multiway_merge(inputs, &stats);
+    ASSERT_TRUE(std::is_sorted(out.begin(), out.end()))
+        << "zeros profile failed";
+    ASSERT_LE(stats.max_dirty_span, static_cast<std::int64_t>(n) * n)
+        << "Lemma 1 violated";
+    // Next zero-count profile.
+    std::int64_t i = 0;
+    while (i < n && zeros[static_cast<std::size_t>(i)] == m) {
+      zeros[static_cast<std::size_t>(i)] = 0;
+      ++i;
+    }
+    if (i == n) break;
+    ++zeros[static_cast<std::size_t>(i)];
+  }
+}
+
+TEST_P(MultiwayMergeParamTest, DirtyWindowBoundOnRandomZeroOneInputs) {
+  // Lemma 1 as observed: for 0-1 inputs the dirty window after Step 3
+  // never exceeds N^2 (random zero-count profiles, complementing the
+  // exhaustive sweep on the smaller configurations).
+  const auto [n, k] = GetParam();
+  const std::int64_t m = pow_int(n, k - 1);
+  std::mt19937 rng(static_cast<unsigned>(n * 7 + k));
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<std::vector<Key>> inputs(static_cast<std::size_t>(n));
+    for (auto& seq : inputs) {
+      seq.assign(static_cast<std::size_t>(m), 1);
+      std::fill_n(seq.begin(), rng() % static_cast<unsigned>(m + 1), 0);
+    }
+    MergeStats stats;
+    const auto out = multiway_merge(inputs, &stats);
+    EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+    EXPECT_LE(stats.max_dirty_span, static_cast<std::int64_t>(n) * n);
+  }
+}
+
+TEST_P(MultiwayMergeParamTest, DisplacementBoundOnRandomInputs) {
+  // Section 4, Step 3 remark: after interleaving, every key is within
+  // N^2 of its final position — for arbitrary keys.
+  const auto [n, k] = GetParam();
+  const std::int64_t m = pow_int(n, k - 1);
+  std::mt19937 rng(static_cast<unsigned>(n * 13 + k));
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto inputs = random_sorted_inputs(n, m, rng);
+    MergeStats stats;
+    (void)multiway_merge(inputs, &stats);
+    EXPECT_LE(stats.max_displacement, static_cast<std::int64_t>(n) * n);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MultiwayMergeParamTest,
+    ::testing::Values(std::pair<int, int>{2, 2}, std::pair<int, int>{2, 3},
+                      std::pair<int, int>{2, 5}, std::pair<int, int>{3, 2},
+                      std::pair<int, int>{3, 3}, std::pair<int, int>{3, 4},
+                      std::pair<int, int>{4, 3}, std::pair<int, int>{5, 3},
+                      std::pair<int, int>{7, 2}));
+
+TEST(MultiwayMergeTest, StatsCountBaseSorts) {
+  // Merging N sequences of N keys is one direct sort.
+  MergeStats stats;
+  (void)multiway_merge({{0, 1}, {2, 3}}, &stats);
+  EXPECT_EQ(stats.merges, 1);
+  EXPECT_EQ(stats.base_sorts, 1);
+  EXPECT_EQ(stats.transpositions, 0);
+}
+
+TEST(MultiwayMergeTest, StatsCountRecursion) {
+  // N = 2, m = 4: one top merge + two column merges (base sorts).
+  MergeStats stats;
+  (void)multiway_merge({{0, 1, 2, 3}, {4, 5, 6, 7}}, &stats);
+  EXPECT_EQ(stats.merges, 3);
+  EXPECT_EQ(stats.base_sorts, 2);
+  EXPECT_EQ(stats.transpositions, 2);  // only the top level cleans
+}
+
+TEST(DirtySpanTest, Basics) {
+  EXPECT_EQ(dirty_span({1, 2, 3}), 0);
+  EXPECT_EQ(dirty_span({2, 1, 3}), 2);
+  EXPECT_EQ(dirty_span({3, 2, 1}), 3);
+  EXPECT_EQ(dirty_span({1, 3, 2, 4}), 2);
+  EXPECT_EQ(dirty_span({}), 0);
+}
+
+}  // namespace
+}  // namespace prodsort

@@ -1,0 +1,164 @@
+#include "sortnet/multiway_network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+
+#include "sortnet/batcher.hpp"
+#include "sortnet/zero_one.hpp"
+
+namespace prodsort {
+namespace {
+
+// ------------------------------------------------------- merge networks
+
+void expect_merges(int n, int m) {
+  const MergeNetwork mn = multiway_merge_network(n, m);
+  ASSERT_EQ(mn.network.width(), n * m);
+  ASSERT_EQ(static_cast<int>(mn.output_order.size()), n * m);
+
+  // Exhaustive 0-1: all zero-count profiles of the N sorted segments.
+  std::vector<int> zeros(static_cast<std::size_t>(n), 0);
+  for (;;) {
+    std::vector<Key> v(static_cast<std::size_t>(n) * m, 1);
+    for (int u = 0; u < n; ++u)
+      std::fill_n(v.begin() + static_cast<std::ptrdiff_t>(u * m),
+                  zeros[static_cast<std::size_t>(u)], 0);
+    mn.network.apply(v);
+    for (std::size_t j = 0; j + 1 < mn.output_order.size(); ++j)
+      ASSERT_LE(v[static_cast<std::size_t>(mn.output_order[j])],
+                v[static_cast<std::size_t>(mn.output_order[j + 1])])
+          << "N=" << n << " m=" << m;
+    int i = 0;
+    while (i < n && zeros[static_cast<std::size_t>(i)] == m) {
+      zeros[static_cast<std::size_t>(i)] = 0;
+      ++i;
+    }
+    if (i == n) break;
+    ++zeros[static_cast<std::size_t>(i)];
+  }
+}
+
+TEST(MultiwayMergeNetworkTest, MergesAllZeroOneProfiles) {
+  expect_merges(2, 2);
+  expect_merges(2, 4);
+  expect_merges(2, 8);
+  expect_merges(3, 3);
+  expect_merges(3, 9);
+  expect_merges(4, 4);
+  expect_merges(4, 16);
+  expect_merges(5, 5);
+}
+
+TEST(MultiwayMergeNetworkTest, MergesRandomKeys) {
+  std::mt19937 rng(3);
+  for (const auto& [n, m] : std::vector<std::pair<int, int>>{
+           {2, 16}, {3, 27}, {4, 16}, {5, 25}}) {
+    const MergeNetwork mn = multiway_merge_network(n, m);
+    for (int trial = 0; trial < 20; ++trial) {
+      std::vector<Key> v(static_cast<std::size_t>(n) * m);
+      for (Key& k : v) k = static_cast<Key>(rng() % 1000);
+      for (int u = 0; u < n; ++u)
+        std::sort(v.begin() + static_cast<std::ptrdiff_t>(u * m),
+                  v.begin() + static_cast<std::ptrdiff_t>((u + 1) * m));
+      std::vector<Key> expected = v;
+      std::sort(expected.begin(), expected.end());
+      mn.network.apply(v);
+      for (std::size_t j = 0; j < mn.output_order.size(); ++j)
+        ASSERT_EQ(v[static_cast<std::size_t>(mn.output_order[j])],
+                  expected[j]);
+    }
+  }
+}
+
+TEST(MultiwayMergeNetworkTest, OutputOrderIsAPermutation) {
+  const MergeNetwork mn = multiway_merge_network(3, 9);
+  std::vector<int> sorted = mn.output_order;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<int> expected(sorted.size());
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(sorted, expected);
+}
+
+TEST(MultiwayMergeNetworkTest, RejectsBadShapes) {
+  EXPECT_THROW((void)multiway_merge_network(1, 2), std::invalid_argument);
+  EXPECT_THROW((void)multiway_merge_network(2, 3), std::invalid_argument);
+  EXPECT_THROW((void)multiway_merge_network(3, 1), std::invalid_argument);
+  EXPECT_THROW((void)multiway_merge_network(3, 6), std::invalid_argument);
+}
+
+// ------------------------------------------------------ sorting networks
+
+class MultiwaySortNetworkTest
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(MultiwaySortNetworkTest, SortsAllZeroOneInputs) {
+  const auto [n, r] = GetParam();
+  const ComparatorNetwork net = multiway_sort_network(n, r);
+  if (net.width() <= 20) {
+    EXPECT_TRUE(sorts_all_zero_one(net)) << "N=" << n << " r=" << r;
+  } else {
+    std::mt19937 rng(static_cast<unsigned>(n * r));
+    for (int trial = 0; trial < 300; ++trial) {
+      std::vector<Key> v(static_cast<std::size_t>(net.width()));
+      for (Key& k : v) k = static_cast<Key>(rng() & 1u);
+      net.apply(v);
+      ASSERT_TRUE(std::is_sorted(v.begin(), v.end()));
+    }
+  }
+}
+
+TEST_P(MultiwaySortNetworkTest, SortsRandomKeys) {
+  const auto [n, r] = GetParam();
+  const ComparatorNetwork net = multiway_sort_network(n, r);
+  std::mt19937 rng(static_cast<unsigned>(n + r));
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<Key> v(static_cast<std::size_t>(net.width()));
+    for (Key& k : v) k = static_cast<Key>(rng() % 500);
+    std::vector<Key> expected = v;
+    std::sort(expected.begin(), expected.end());
+    net.apply(v);
+    ASSERT_EQ(v, expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MultiwaySortNetworkTest,
+    ::testing::Values(std::pair<int, int>{2, 2}, std::pair<int, int>{2, 3},
+                      std::pair<int, int>{2, 4}, std::pair<int, int>{2, 5},
+                      std::pair<int, int>{3, 2}, std::pair<int, int>{3, 3},
+                      std::pair<int, int>{3, 4}, std::pair<int, int>{4, 2},
+                      std::pair<int, int>{4, 3}, std::pair<int, int>{5, 2},
+                      std::pair<int, int>{5, 3}, std::pair<int, int>{6, 2}));
+
+TEST(MultiwaySortNetworkTest, BinaryCaseComparesToBatcher) {
+  // For N = 2 the construction generalizes Batcher's; same asymptotic
+  // depth order O(log^2), within a constant.
+  for (int r = 2; r <= 8; ++r) {
+    const ComparatorNetwork ours = multiway_sort_network(2, r);
+    const ComparatorNetwork batcher = odd_even_merge_sort_network(1 << r);
+    EXPECT_LE(ours.depth(), 8 * batcher.depth()) << "r=" << r;
+    EXPECT_GE(ours.depth(), batcher.depth()) << "r=" << r;
+  }
+}
+
+TEST(MultiwaySortNetworkTest, DepthGrowsQuadraticallyInDimensions) {
+  // Theorem 1 analog: depth = Theta(r^2) at fixed N.
+  const int d3 = multiway_sort_network(3, 3).depth();
+  const int d5 = multiway_sort_network(3, 5).depth();
+  const int d7 = multiway_sort_network(3, 7).depth();
+  // Ratios ~ (r-1)^2: (5-1)^2/(3-1)^2 = 4, (7-1)^2/(3-1)^2 = 9.
+  EXPECT_NEAR(static_cast<double>(d5) / d3, 4.0, 1.6);
+  EXPECT_NEAR(static_cast<double>(d7) / d3, 9.0, 3.5);
+}
+
+TEST(MultiwaySortNetworkTest, RejectsBadArguments) {
+  EXPECT_THROW((void)multiway_sort_network(1, 3), std::invalid_argument);
+  EXPECT_THROW((void)multiway_sort_network(3, 1), std::invalid_argument);
+  EXPECT_THROW((void)multiway_sort_network(2, 30), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace prodsort

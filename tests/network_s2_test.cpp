@@ -1,0 +1,115 @@
+#include "core/s2/network_s2.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "core/product_sort.hpp"
+#include "product/snake_order.hpp"
+#include "sortnet/batcher.hpp"
+#include "sortnet/multiway_network.hpp"
+
+namespace prodsort {
+namespace {
+
+std::vector<Key> random_keys(PNode count, unsigned seed) {
+  std::vector<Key> keys(static_cast<std::size_t>(count));
+  std::mt19937 rng(seed);
+  for (Key& k : keys) k = static_cast<Key>(rng() % 997);
+  return keys;
+}
+
+TEST(NetworkS2Test, BatcherNetworkSortsTwoDimensionalProducts) {
+  // The Section 5.5 mode: Batcher executed over the snake of PG_2.
+  for (const LabeledFactor& f :
+       {labeled_k2(), labeled_path(4), labeled_de_bruijn(3),
+        labeled_shuffle_exchange(3)}) {
+    const ProductGraph pg(f, 2);
+    const NetworkS2 s2(
+        odd_even_merge_sort_network(static_cast<int>(pg.num_nodes())));
+    Machine m(pg, random_keys(pg.num_nodes(), 3));
+    std::vector<Key> expected(m.keys().begin(), m.keys().end());
+    std::sort(expected.begin(), expected.end());
+    s2.sort_view(m, full_view(pg));
+    EXPECT_EQ(m.read_snake(full_view(pg)), expected) << f.name;
+  }
+}
+
+TEST(NetworkS2Test, WorksAsTheS2InsideTheFullSort) {
+  const LabeledFactor f = labeled_de_bruijn(2);  // N = 4
+  const ProductGraph pg(f, 3);
+  const NetworkS2 s2(odd_even_merge_sort_network(16));
+  const auto keys = random_keys(pg.num_nodes(), 5);
+  std::vector<Key> expected = keys;
+  std::sort(expected.begin(), expected.end());
+
+  Machine m(pg, keys);
+  SortOptions options;
+  options.s2 = &s2;
+  options.validate_levels = true;
+  const SortReport report = sort_product_network(m, options);
+  EXPECT_EQ(m.read_snake(full_view(pg)), expected);
+  EXPECT_EQ(report.cost.s2_phases, 4);
+}
+
+TEST(NetworkS2Test, MultiwayNetworkAsS2ClosesTheLoop) {
+  // The generalized construction feeding itself: multiway_sort_network
+  // as the PG_2 sorter of the network algorithm.
+  const LabeledFactor f = labeled_path(3);
+  const ProductGraph pg(f, 3);
+  const NetworkS2 s2(multiway_sort_network(3, 2));
+  const auto keys = random_keys(pg.num_nodes(), 7);
+  std::vector<Key> expected = keys;
+  std::sort(expected.begin(), expected.end());
+  Machine m(pg, keys);
+  SortOptions options;
+  options.s2 = &s2;
+  (void)sort_product_network(m, options);
+  EXPECT_EQ(m.read_snake(full_view(pg)), expected);
+}
+
+TEST(NetworkS2Test, DescendingViews) {
+  const ProductGraph pg(labeled_path(3), 2);
+  const NetworkS2 s2(odd_even_transposition_network(9));
+  Machine m(pg, random_keys(pg.num_nodes(), 9));
+  std::vector<Key> expected(m.keys().begin(), m.keys().end());
+  std::sort(expected.begin(), expected.end(), std::greater<Key>{});
+  s2.sort_view(m, full_view(pg), /*descending=*/true);
+  EXPECT_EQ(m.read_snake(full_view(pg)), expected);
+}
+
+TEST(NetworkS2Test, PhaseCostReflectsEmulationDistance) {
+  // On K2 (PG_2 = 4-cycle, diameter 2), Batcher's 3 layers cost at most
+  // 3 * 2; on a Hamiltonian path factor partners can sit farther apart.
+  const double k2_cost = NetworkS2(odd_even_merge_sort_network(4))
+                             .phase_cost(labeled_k2());
+  EXPECT_GE(k2_cost, 3.0);
+  EXPECT_LE(k2_cost, 6.0);
+  const double grid_cost = NetworkS2(odd_even_merge_sort_network(16))
+                               .phase_cost(labeled_path(4));
+  EXPECT_GT(grid_cost, 0.0);
+  EXPECT_LE(grid_cost, 10.0 * 6.0);  // depth 10, diameter 6
+}
+
+TEST(NetworkS2Test, RejectsWidthMismatch) {
+  const ProductGraph pg(labeled_path(3), 2);
+  const NetworkS2 s2(odd_even_merge_sort_network(8));  // width 8 != 9
+  Machine m(pg, std::vector<Key>(9, 0));
+  EXPECT_THROW(s2.sort_view(m, full_view(pg)), std::invalid_argument);
+  EXPECT_THROW((void)s2.phase_cost(labeled_path(3)), std::invalid_argument);
+}
+
+TEST(NetworkS2Test, UpperDimensionViews) {
+  // Views with free dims {2,3}: the partner-distance computation must
+  // use the view's own dimensions.
+  const ProductGraph pg(labeled_path(3), 3);
+  const NetworkS2 s2(multiway_sort_network(3, 2));
+  Machine m(pg, random_keys(pg.num_nodes(), 11));
+  const auto views = all_views(pg, 2, 3);
+  s2.sort_views(m, views, std::vector<bool>(views.size(), false));
+  for (const ViewSpec& v : views) EXPECT_TRUE(m.snake_sorted(v));
+}
+
+}  // namespace
+}  // namespace prodsort

@@ -1,0 +1,115 @@
+#include "network/parallel_executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace prodsort {
+namespace {
+
+TEST(ParallelExecutorTest, ThreadCountDefaultsToHardware) {
+  const ParallelExecutor exec;
+  EXPECT_GE(exec.num_threads(), 1);
+}
+
+TEST(ParallelExecutorTest, ExplicitThreadCount) {
+  const ParallelExecutor exec(3);
+  EXPECT_EQ(exec.num_threads(), 3);
+}
+
+TEST(ParallelExecutorTest, CoversRangeExactlyOnce) {
+  for (const int threads : {1, 2, 4, 7}) {
+    ParallelExecutor exec(threads);
+    for (const std::int64_t count : {0, 1, 5, 100, 10001}) {
+      std::vector<std::atomic<int>> hits(static_cast<std::size_t>(count));
+      exec.parallel_for(count, [&](std::int64_t begin, std::int64_t end) {
+        for (std::int64_t i = begin; i < end; ++i)
+          hits[static_cast<std::size_t>(i)].fetch_add(1);
+      });
+      for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+    }
+  }
+}
+
+TEST(ParallelExecutorTest, ReusableAcrossManyCalls) {
+  ParallelExecutor exec(4);
+  std::atomic<std::int64_t> total{0};
+  for (int call = 0; call < 200; ++call) {
+    exec.parallel_for(1000, [&](std::int64_t begin, std::int64_t end) {
+      total.fetch_add(end - begin, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), 200 * 1000);
+}
+
+TEST(ParallelExecutorTest, ComputesCorrectSum) {
+  ParallelExecutor exec(8);
+  const std::int64_t n = 1 << 20;
+  std::vector<std::int64_t> partial(static_cast<std::size_t>(n), 0);
+  exec.parallel_for(n, [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t i = begin; i < end; ++i)
+      partial[static_cast<std::size_t>(i)] = i;
+  });
+  const std::int64_t sum =
+      std::accumulate(partial.begin(), partial.end(), std::int64_t{0});
+  EXPECT_EQ(sum, n * (n - 1) / 2);
+}
+
+TEST(ParallelExecutorTest, BodyExceptionsJoinAndPropagate) {
+  // A throw on any thread must still join all workers and reach the
+  // caller; the executor must stay usable afterwards.
+  ParallelExecutor exec(4);
+  for (int trial = 0; trial < 5; ++trial) {
+    EXPECT_THROW(
+        exec.parallel_for(1000,
+                          [&](std::int64_t begin, std::int64_t) {
+                            if (begin == 0) throw std::runtime_error("boom");
+                          }),
+        std::runtime_error);
+    // Still functional.
+    std::atomic<std::int64_t> total{0};
+    exec.parallel_for(1000, [&](std::int64_t b, std::int64_t e) {
+      total.fetch_add(e - b, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(total.load(), 1000);
+  }
+}
+
+TEST(ParallelExecutorTest, WorkerExceptionPropagates) {
+  ParallelExecutor exec(4);
+  EXPECT_THROW(exec.parallel_for(1000,
+                                 [&](std::int64_t begin, std::int64_t) {
+                                   if (begin != 0)  // a worker's chunk
+                                     throw std::runtime_error("worker boom");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ParallelExecutorTest, NestedCallsThrowInsteadOfCorrupting) {
+  ParallelExecutor exec(4);
+  std::atomic<bool> nested_threw{false};
+  exec.parallel_for(1000, [&](std::int64_t, std::int64_t) {
+    try {
+      exec.parallel_for(1000, [](std::int64_t, std::int64_t) {});
+    } catch (const std::logic_error&) {
+      nested_threw.store(true);
+    }
+  });
+  EXPECT_TRUE(nested_threw.load());
+}
+
+TEST(ParallelExecutorTest, SmallCountsRunInline) {
+  // Fewer items than 2x threads: the body must still see the whole range.
+  ParallelExecutor exec(8);
+  std::vector<int> hits(3, 0);
+  exec.parallel_for(3, [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t i = begin; i < end; ++i)
+      ++hits[static_cast<std::size_t>(i)];
+  });
+  EXPECT_EQ(hits, (std::vector<int>{1, 1, 1}));
+}
+
+}  // namespace
+}  // namespace prodsort

@@ -1,0 +1,231 @@
+#include "product/product_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/graph_algos.hpp"
+#include "graph/labeled_factor.hpp"
+#include "product/subgraph_view.hpp"
+
+namespace prodsort {
+namespace {
+
+// Materializes the product graph as an explicit Graph (small cases only).
+Graph materialize(const ProductGraph& pg) {
+  Graph g(static_cast<NodeId>(pg.num_nodes()));
+  for (PNode a = 0; a < pg.num_nodes(); ++a)
+    for (const PNode b : pg.neighbors(a))
+      if (a < b) g.add_edge(static_cast<NodeId>(a), static_cast<NodeId>(b));
+  return g;
+}
+
+TEST(ProductGraphTest, SizesAndWeights) {
+  const ProductGraph pg(labeled_path(3), 3);
+  EXPECT_EQ(pg.radix(), 3);
+  EXPECT_EQ(pg.dims(), 3);
+  EXPECT_EQ(pg.num_nodes(), 27);
+  EXPECT_EQ(pg.weight(1), 1);
+  EXPECT_EQ(pg.weight(2), 3);
+  EXPECT_EQ(pg.weight(3), 9);
+}
+
+TEST(ProductGraphTest, DigitArithmetic) {
+  const ProductGraph pg(labeled_path(4), 3);
+  const PNode node = pg.node_of(std::vector<NodeId>{2, 0, 3});  // dims 1,2,3
+  EXPECT_EQ(node, 2 + 0 * 4 + 3 * 16);
+  EXPECT_EQ(pg.digit(node, 1), 2);
+  EXPECT_EQ(pg.digit(node, 2), 0);
+  EXPECT_EQ(pg.digit(node, 3), 3);
+  EXPECT_EQ(pg.with_digit(node, 2, 1), node + 4);
+  EXPECT_EQ(pg.tuple_of(node), (std::vector<NodeId>{2, 0, 3}));
+}
+
+TEST(ProductGraphTest, AdjacencyFollowsDefinition1) {
+  // Two nodes adjacent iff they differ in exactly one position and the
+  // differing symbols are adjacent in G.
+  const ProductGraph pg(labeled_path(3), 2);
+  EXPECT_TRUE(pg.adjacent(pg.node_of(std::vector<NodeId>{0, 1}),
+                          pg.node_of(std::vector<NodeId>{1, 1})));
+  EXPECT_FALSE(pg.adjacent(pg.node_of(std::vector<NodeId>{0, 1}),
+                           pg.node_of(std::vector<NodeId>{2, 1})));  // 0-2 not in path
+  EXPECT_FALSE(pg.adjacent(pg.node_of(std::vector<NodeId>{0, 0}),
+                           pg.node_of(std::vector<NodeId>{1, 1})));  // two positions
+  EXPECT_FALSE(pg.adjacent(5, 5));
+}
+
+TEST(ProductGraphTest, NeighborsMatchAdjacentPredicate) {
+  const ProductGraph pg(labeled_cycle(4), 2);
+  for (PNode a = 0; a < pg.num_nodes(); ++a) {
+    const auto nbrs = pg.neighbors(a);
+    const std::set<PNode> nbr_set(nbrs.begin(), nbrs.end());
+    EXPECT_EQ(nbrs.size(), nbr_set.size());  // no duplicates
+    for (PNode b = 0; b < pg.num_nodes(); ++b)
+      EXPECT_EQ(pg.adjacent(a, b), nbr_set.contains(b)) << a << "," << b;
+  }
+}
+
+TEST(ProductGraphTest, EdgeCountFormula) {
+  // |E(PG_r)| = r * N^(r-1) * |E(G)| — checked against materialization.
+  for (const LabeledFactor& f :
+       {labeled_path(3), labeled_cycle(4), labeled_k2(), labeled_star(4)}) {
+    for (int r = 1; r <= 3; ++r) {
+      const ProductGraph pg(f, r);
+      if (pg.num_nodes() > 512) continue;
+      const Graph g = materialize(pg);
+      EXPECT_EQ(static_cast<PNode>(g.num_edges()), pg.num_edges())
+          << f.name << " r=" << r;
+    }
+  }
+}
+
+TEST(ProductGraphTest, HypercubeEmergesFromK2) {
+  const ProductGraph pg(labeled_k2(), 4);
+  EXPECT_EQ(pg.num_nodes(), 16);
+  EXPECT_EQ(pg.num_edges(), 32);  // r 2^(r-1) = 4*8
+  const Graph g = materialize(pg);
+  EXPECT_EQ(diameter(g), 4);
+  for (NodeId v = 0; v < 16; ++v) EXPECT_EQ(g.degree(v), 4);
+  // Hypercube adjacency = single-bit difference.
+  for (const auto& [a, b] : g.edges()) {
+    const unsigned diff = static_cast<unsigned>(a) ^ static_cast<unsigned>(b);
+    EXPECT_EQ(diff & (diff - 1), 0u);
+  }
+}
+
+TEST(ProductGraphTest, GridEmergesFromPaths) {
+  const ProductGraph pg(labeled_path(4), 2);
+  const Graph g = materialize(pg);
+  EXPECT_EQ(g.num_edges(), 24u);  // 2 * 4 * 3
+  EXPECT_EQ(diameter(g), 6);      // r * diameter(G)
+  EXPECT_EQ(pg.diameter(), 6);
+}
+
+TEST(ProductGraphTest, TorusFromCycles) {
+  const ProductGraph pg(labeled_cycle(4), 2);
+  const Graph g = materialize(pg);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) EXPECT_EQ(g.degree(v), 4);
+  EXPECT_EQ(diameter(g), 4);
+}
+
+TEST(ProductGraphTest, DiameterIsDimensionSum) {
+  for (const LabeledFactor& f : {labeled_path(3), labeled_petersen()}) {
+    const ProductGraph pg(f, 2);
+    if (pg.num_nodes() <= 256) {
+      const Graph g = materialize(pg);
+      EXPECT_EQ(diameter(g), pg.diameter()) << f.name;
+    }
+  }
+}
+
+TEST(ProductGraphTest, RejectsBadArguments) {
+  EXPECT_THROW(ProductGraph(labeled_path(3), 0), std::invalid_argument);
+  const ProductGraph pg(labeled_path(3), 2);
+  EXPECT_THROW((void)pg.node_of(std::vector<NodeId>{1, 1, 1}),
+               std::invalid_argument);
+  EXPECT_THROW((void)pg.node_of(std::vector<NodeId>{3, 0}), std::out_of_range);
+}
+
+TEST(ProductGraphTest, RejectsOverflowingProduct) {
+  EXPECT_THROW(ProductGraph(labeled_path(10), 20), std::invalid_argument);
+}
+
+TEST(ProductGraphTest, EdgeCountOverflowIsDiagnosed) {
+  // K2 with r = 62 is a constructible product (2^62 nodes) whose edge
+  // count 62 * 2^61 exceeds 63 bits: num_edges must throw, not return
+  // a wrapped value.
+  const ProductGraph huge(labeled_k2(), 62);
+  EXPECT_EQ(huge.num_nodes(), PNode{1} << 62);
+  EXPECT_THROW((void)huge.num_edges(), std::overflow_error);
+  // Comfortably-sized products still report exact counts.
+  EXPECT_EQ(ProductGraph(labeled_k2(), 20).num_edges(), 20ll << 19);
+}
+
+// ----------------------------------------------------------------- views
+
+TEST(ViewTest, FullViewCoversEverything) {
+  const ProductGraph pg(labeled_path(3), 3);
+  const ViewSpec v = full_view(pg);
+  EXPECT_EQ(view_size(pg, v), 27);
+  EXPECT_EQ(view_node(pg, v, 13), 13);
+  EXPECT_EQ(view_local(pg, v, 13), 13);
+  EXPECT_TRUE(view_contains(pg, v, 26));
+}
+
+TEST(ViewTest, FixHighMatchesPaperNotation) {
+  // [u]PG_2^3 of PG_3: nodes whose dimension-3 digit is u.
+  const ProductGraph pg(labeled_path(3), 3);
+  const ViewSpec v = fix_high(pg, full_view(pg), 2);
+  EXPECT_EQ(v.lo, 1);
+  EXPECT_EQ(v.hi, 2);
+  EXPECT_EQ(view_size(pg, v), 9);
+  for (PNode local = 0; local < 9; ++local) {
+    const PNode node = view_node(pg, v, local);
+    EXPECT_EQ(pg.digit(node, 3), 2);
+    EXPECT_EQ(view_local(pg, v, node), local);
+    EXPECT_TRUE(view_contains(pg, v, node));
+  }
+}
+
+TEST(ViewTest, FixLowMatchesPaperNotation) {
+  // [u]PG_2^1 of PG_3 (Fig. 2): nodes whose dimension-1 digit is u.
+  const ProductGraph pg(labeled_path(3), 3);
+  const ViewSpec v = fix_low(pg, full_view(pg), 1);
+  EXPECT_EQ(v.lo, 2);
+  EXPECT_EQ(v.hi, 3);
+  for (PNode local = 0; local < 9; ++local) {
+    const PNode node = view_node(pg, v, local);
+    EXPECT_EQ(pg.digit(node, 1), 1);
+    EXPECT_EQ(pg.digit(node, 2), static_cast<NodeId>(local % 3));
+    EXPECT_EQ(pg.digit(node, 3), static_cast<NodeId>(local / 3));
+  }
+}
+
+TEST(ViewTest, AllViewsPartitionTheGraph) {
+  const ProductGraph pg(labeled_path(3), 4);
+  for (int lo = 1; lo <= 3; ++lo) {
+    for (int hi = lo + 1; hi <= 4; ++hi) {
+      const auto views = all_views(pg, lo, hi);
+      const PNode per_view = view_size(pg, views.front());
+      EXPECT_EQ(static_cast<PNode>(views.size()) * per_view, pg.num_nodes());
+      std::vector<bool> covered(static_cast<std::size_t>(pg.num_nodes()), false);
+      for (const ViewSpec& v : views) {
+        for (PNode local = 0; local < per_view; ++local) {
+          const PNode node = view_node(pg, v, local);
+          EXPECT_FALSE(covered[static_cast<std::size_t>(node)]);
+          covered[static_cast<std::size_t>(node)] = true;
+        }
+      }
+      EXPECT_TRUE(std::all_of(covered.begin(), covered.end(),
+                              [](bool b) { return b; }));
+    }
+  }
+}
+
+TEST(ViewTest, NestedFixing) {
+  // [u,v]PG^{k,1}: fix the top and bottom dimensions.
+  const ProductGraph pg(labeled_path(3), 4);
+  ViewSpec v = full_view(pg);
+  v = fix_high(pg, v, 2);  // dim 4 = 2
+  v = fix_low(pg, v, 1);   // dim 1 = 1
+  EXPECT_EQ(v.lo, 2);
+  EXPECT_EQ(v.hi, 3);
+  for (PNode local = 0; local < view_size(pg, v); ++local) {
+    const PNode node = view_node(pg, v, local);
+    EXPECT_EQ(pg.digit(node, 4), 2);
+    EXPECT_EQ(pg.digit(node, 1), 1);
+  }
+}
+
+TEST(ViewTest, ShrinkingOneDimensionalViewThrows) {
+  const ProductGraph pg(labeled_path(3), 2);
+  const ViewSpec one{1, 1, 0};
+  EXPECT_THROW((void)fix_low(pg, one, 0), std::invalid_argument);
+  EXPECT_THROW((void)fix_high(pg, one, 0), std::invalid_argument);
+  EXPECT_THROW((void)all_views(pg, 0, 1), std::invalid_argument);
+  EXPECT_THROW((void)all_views(pg, 1, 3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace prodsort

@@ -1,0 +1,250 @@
+#include "core/product_sort.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "core/s2/oracle_s2.hpp"
+#include "core/s2/shearsort_s2.hpp"
+#include "core/sequence_sort.hpp"
+#include "product/snake_order.hpp"
+
+namespace prodsort {
+namespace {
+
+std::vector<Key> random_keys(PNode count, unsigned seed, Key range = 10000) {
+  std::vector<Key> keys(static_cast<std::size_t>(count));
+  std::mt19937 rng(seed);
+  for (Key& k : keys) k = static_cast<Key>(rng() % static_cast<unsigned>(range));
+  return keys;
+}
+
+void expect_sorted_machine(Machine& m, const std::vector<Key>& original,
+                           const std::string& label) {
+  std::vector<Key> expected = original;
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(m.read_snake(full_view(m.graph())), expected) << label;
+}
+
+struct Config {
+  std::size_t factor_index;
+  int r;
+};
+
+class ProductSortTest : public ::testing::TestWithParam<Config> {
+ protected:
+  LabeledFactor factor() const {
+    return standard_factors()[GetParam().factor_index];
+  }
+};
+
+TEST_P(ProductSortTest, SortsRandomKeysWithOracle) {
+  const LabeledFactor f = factor();
+  const ProductGraph pg(f, GetParam().r);
+  if (pg.num_nodes() > 200000) GTEST_SKIP() << "product too large";
+  const auto keys = random_keys(pg.num_nodes(), 21);
+  Machine m(pg, keys);
+  SortOptions options;
+  options.validate_levels = true;
+  const SortReport report = sort_product_network(m, options);
+  expect_sorted_machine(m, keys, f.name);
+  EXPECT_EQ(report.cost.s2_phases, report.predicted.s2_phases) << f.name;
+  EXPECT_EQ(report.cost.routing_phases, report.predicted.routing_phases)
+      << f.name;
+  EXPECT_DOUBLE_EQ(report.cost.formula_time, report.predicted.formula_time)
+      << f.name;
+}
+
+TEST_P(ProductSortTest, SortsWithExecutableShearsort) {
+  const LabeledFactor f = factor();
+  const ProductGraph pg(f, GetParam().r);
+  if (pg.num_nodes() > 5000) GTEST_SKIP() << "executable run too large";
+  const auto keys = random_keys(pg.num_nodes(), 22);
+  Machine m(pg, keys);
+  const ShearsortS2 shear;
+  SortOptions options;
+  options.s2 = &shear;
+  (void)sort_product_network(m, options);
+  expect_sorted_machine(m, keys, f.name + "/shearsort");
+  EXPECT_GT(m.cost().comparisons, 0);
+}
+
+TEST_P(ProductSortTest, AgreesWithSequenceLevelAlgorithm) {
+  const LabeledFactor f = factor();
+  const ProductGraph pg(f, GetParam().r);
+  if (pg.num_nodes() > 200000) GTEST_SKIP() << "product too large";
+  const auto keys = random_keys(pg.num_nodes(), 23);
+
+  Machine m(pg, keys);
+  (void)sort_product_network(m);
+
+  // Sequence level: gather the initial keys in snake order, run the
+  // Section 3.3 algorithm, compare.
+  std::vector<Key> seq(static_cast<std::size_t>(pg.num_nodes()));
+  for (PNode rank = 0; rank < pg.num_nodes(); ++rank)
+    seq[static_cast<std::size_t>(rank)] =
+        keys[static_cast<std::size_t>(node_at_snake_rank(pg, rank))];
+  (void)multiway_merge_sort(seq, pg.radix());
+
+  EXPECT_EQ(m.read_snake(full_view(pg)), seq) << f.name;
+}
+
+TEST_P(ProductSortTest, SortsAdversarialPatterns) {
+  const LabeledFactor f = factor();
+  const ProductGraph pg(f, GetParam().r);
+  if (pg.num_nodes() > 200000) GTEST_SKIP() << "product too large";
+  const PNode total = pg.num_nodes();
+
+  std::vector<std::vector<Key>> patterns;
+  std::vector<Key> rev(static_cast<std::size_t>(total));
+  for (PNode i = 0; i < total; ++i)
+    rev[static_cast<std::size_t>(i)] = total - i;
+  patterns.push_back(std::move(rev));
+  patterns.emplace_back(static_cast<std::size_t>(total), Key{7});  // constant
+  std::vector<Key> binary(static_cast<std::size_t>(total));
+  for (PNode i = 0; i < total; ++i)
+    binary[static_cast<std::size_t>(i)] = i % 2;
+  patterns.push_back(std::move(binary));
+
+  for (const auto& keys : patterns) {
+    Machine m(pg, keys);
+    (void)sort_product_network(m);
+    expect_sorted_machine(m, keys, f.name);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFactors, ProductSortTest,
+    ::testing::Values(Config{0, 2}, Config{0, 3}, Config{0, 4}, Config{0, 6},
+                      Config{1, 2}, Config{1, 3}, Config{1, 4}, Config{2, 3},
+                      Config{3, 2}, Config{3, 3}, Config{4, 3}, Config{5, 2},
+                      Config{5, 3}, Config{6, 2}, Config{6, 4}, Config{7, 2},
+                      Config{7, 3}, Config{8, 2}, Config{8, 3}, Config{9, 2},
+                      Config{9, 3}, Config{10, 2}, Config{10, 3}, Config{11, 2},
+                      Config{12, 2}, Config{12, 3}, Config{13, 2},
+                      Config{13, 3}, Config{14, 2}, Config{14, 3},
+                      Config{15, 2}, Config{15, 3}));
+
+TEST(ProductSortTest, ExhaustiveZeroOneOnSmallHypercubes) {
+  // K2 products: r = 3 and r = 4 (8 and 16 keys) — every 0-1 input.
+  for (const int r : {3, 4}) {
+    const ProductGraph pg(labeled_k2(), r);
+    const PNode total = pg.num_nodes();
+    for (std::uint32_t mask = 0; mask < (1u << total); ++mask) {
+      std::vector<Key> keys(static_cast<std::size_t>(total));
+      for (PNode i = 0; i < total; ++i)
+        keys[static_cast<std::size_t>(i)] = (mask >> i) & 1u;
+      Machine m(pg, std::move(keys));
+      (void)sort_product_network(m);
+      ASSERT_TRUE(m.snake_sorted(full_view(pg))) << "r=" << r << " mask=" << mask;
+    }
+  }
+}
+
+TEST(ProductSortTest, ExhaustiveZeroOneExecutableHypercube) {
+  // The executable (shearsort) path exhausted over all 2^16 0-1 inputs
+  // on the 4-dimensional hypercube — the oracle-mode sweep above cannot
+  // vouch for the compare-exchange schedules, this one can.
+  const ProductGraph pg(labeled_k2(), 4);
+  const ShearsortS2 shear;
+  SortOptions options;
+  options.s2 = &shear;
+  for (std::uint32_t mask = 0; mask < (1u << 16); ++mask) {
+    std::vector<Key> keys(16);
+    for (int i = 0; i < 16; ++i)
+      keys[static_cast<std::size_t>(i)] = (mask >> i) & 1u;
+    Machine m(pg, std::move(keys));
+    (void)sort_product_network(m, options);
+    ASSERT_TRUE(m.snake_sorted(full_view(pg))) << "mask=" << mask;
+  }
+}
+
+TEST(ProductSortTest, ExhaustiveZeroOneOnNineNodeGrid) {
+  const ProductGraph pg(labeled_path(3), 2);
+  for (std::uint32_t mask = 0; mask < (1u << 9); ++mask) {
+    std::vector<Key> keys(9);
+    for (int i = 0; i < 9; ++i)
+      keys[static_cast<std::size_t>(i)] = (mask >> i) & 1u;
+    Machine m(pg, std::move(keys));
+    (void)sort_product_network(m);
+    ASSERT_TRUE(m.snake_sorted(full_view(pg))) << "mask=" << mask;
+  }
+}
+
+TEST(ProductSortTest, RandomZeroOneOnThreeCubed) {
+  const ProductGraph pg(labeled_path(3), 3);
+  std::mt19937 rng(31);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<Key> keys(27);
+    for (Key& k : keys) k = static_cast<Key>(rng() & 1u);
+    Machine m(pg, std::move(keys));
+    (void)sort_product_network(m);
+    ASSERT_TRUE(m.snake_sorted(full_view(pg)));
+  }
+}
+
+TEST(ProductSortTest, MergeLevelPhaseCountsMatchLemma3) {
+  // Prepare a machine whose fix_high children are already snake-sorted,
+  // then run a single merge level and count phases.
+  const LabeledFactor f = labeled_path(3);
+  for (const int k : {2, 3, 4}) {
+    const ProductGraph pg(f, k);
+    std::vector<Key> keys(static_cast<std::size_t>(pg.num_nodes()));
+    std::mt19937 rng(static_cast<unsigned>(k));
+    for (Key& x : keys) x = static_cast<Key>(rng() % 100);
+    Machine m(pg, std::move(keys));
+    // Snake-sort each [u]PG^{k} child in place (setup, not counted).
+    for (NodeId u = 0; u < pg.radix(); ++u) {
+      const ViewSpec child = fix_high(pg, full_view(pg), u);
+      auto seq = m.read_snake(child);
+      std::sort(seq.begin(), seq.end());
+      for (PNode rank = 0; rank < view_size(pg, child); ++rank)
+        m.mutable_keys()[static_cast<std::size_t>(
+            view_node_at_snake_rank(pg, child, rank))] =
+            seq[static_cast<std::size_t>(rank)];
+    }
+    const CostModel before = m.cost();
+    const OracleS2 oracle;
+    merge_level(m, 1, k, oracle);
+    EXPECT_TRUE(m.snake_sorted(full_view(pg))) << "k=" << k;
+    EXPECT_EQ(m.cost().s2_phases - before.s2_phases, lemma3_s2_phases(k));
+    EXPECT_EQ(m.cost().routing_phases - before.routing_phases,
+              lemma3_routing_phases(k));
+    EXPECT_DOUBLE_EQ(m.cost().formula_time - before.formula_time,
+                     lemma3_merge_time(f, k));
+  }
+}
+
+TEST(ProductSortTest, RejectsOneDimensionalNetworks) {
+  const ProductGraph pg(labeled_path(3), 1);
+  Machine m(pg, std::vector<Key>{2, 1, 0});
+  EXPECT_THROW((void)sort_product_network(m), std::invalid_argument);
+}
+
+TEST(ProductSortTest, MergeLevelValidatesArguments) {
+  const ProductGraph pg(labeled_path(3), 3);
+  Machine m(pg, std::vector<Key>(27, 0));
+  const OracleS2 oracle;
+  EXPECT_THROW(merge_level(m, 2, 2, oracle), std::invalid_argument);
+  EXPECT_THROW(merge_level(m, 0, 2, oracle), std::invalid_argument);
+  EXPECT_THROW(merge_level(m, 1, 4, oracle), std::invalid_argument);
+}
+
+TEST(ProductSortTest, ParallelExecutorProducesIdenticalResults) {
+  const ProductGraph pg(labeled_path(4), 3);
+  const auto keys = random_keys(pg.num_nodes(), 41);
+
+  Machine serial(pg, keys);
+  (void)sort_product_network(serial);
+
+  ParallelExecutor exec(4);
+  Machine parallel(pg, keys, &exec);
+  (void)sort_product_network(parallel);
+
+  EXPECT_TRUE(std::equal(serial.keys().begin(), serial.keys().end(),
+                         parallel.keys().begin()));
+}
+
+}  // namespace
+}  // namespace prodsort

@@ -1,0 +1,305 @@
+// Cross-cutting property sweeps: differential testing of every sorter
+// combination against std::sort and against each other, invariants that
+// must hold across the whole configuration space, and failure-injection
+// checks that the validation machinery actually catches corruption.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <random>
+
+#include "core/block_sort.hpp"
+#include "core/product_sort.hpp"
+#include "core/s2/oracle_s2.hpp"
+#include "core/s2/shearsort_s2.hpp"
+#include "core/s2/snake_oet_s2.hpp"
+#include "core/sequence_sort.hpp"
+#include "product/snake_order.hpp"
+
+namespace prodsort {
+namespace {
+
+std::vector<Key> pattern_keys(PNode total, int pattern, std::mt19937_64& rng) {
+  std::vector<Key> keys(static_cast<std::size_t>(total));
+  switch (pattern) {
+    case 0:  // uniform random
+      for (Key& k : keys) k = static_cast<Key>(rng() % 1000003);
+      break;
+    case 1:  // reverse sorted
+      for (PNode i = 0; i < total; ++i)
+        keys[static_cast<std::size_t>(i)] = total - i;
+      break;
+    case 2:  // few distinct values
+      for (Key& k : keys) k = static_cast<Key>(rng() % 3);
+      break;
+    case 3:  // organ pipe
+      for (PNode i = 0; i < total; ++i)
+        keys[static_cast<std::size_t>(i)] = std::min(i, total - 1 - i);
+      break;
+    case 4:  // already sorted
+      for (PNode i = 0; i < total; ++i)
+        keys[static_cast<std::size_t>(i)] = i;
+      break;
+    case 5:  // extremes: min/max of the key domain interleaved
+      for (PNode i = 0; i < total; ++i)
+        keys[static_cast<std::size_t>(i)] =
+            (i % 2 == 0) ? std::numeric_limits<Key>::min()
+                         : std::numeric_limits<Key>::max();
+      break;
+    default:  // random with negatives
+      for (Key& k : keys)
+        k = static_cast<Key>(rng() % 2001) - 1000;
+      break;
+  }
+  return keys;
+}
+
+struct SweepConfig {
+  std::size_t factor_index;
+  int r;
+};
+
+class DifferentialSweepTest : public ::testing::TestWithParam<SweepConfig> {};
+
+TEST_P(DifferentialSweepTest, EverySorterEveryPatternAgreesWithStdSort) {
+  const LabeledFactor f = standard_factors()[GetParam().factor_index];
+  const ProductGraph pg(f, GetParam().r);
+  if (pg.num_nodes() > 1500) GTEST_SKIP() << "sweep capped for time";
+  std::mt19937_64 rng(f.size() * 100u + static_cast<unsigned>(GetParam().r));
+
+  const OracleS2 oracle;
+  const ShearsortS2 shear;
+  const SnakeOETS2 oet;
+  const S2Sorter* sorters[] = {&oracle, &shear, &oet};
+
+  for (int pattern = 0; pattern < 7; ++pattern) {
+    const auto keys = pattern_keys(pg.num_nodes(), pattern, rng);
+    std::vector<Key> expected = keys;
+    std::sort(expected.begin(), expected.end());
+    for (const S2Sorter* s2 : sorters) {
+      Machine m(pg, keys);
+      SortOptions options;
+      options.s2 = s2;
+      (void)sort_product_network(m, options);
+      ASSERT_EQ(m.read_snake(full_view(pg)), expected)
+          << f.name << " r=" << GetParam().r << " pattern=" << pattern
+          << " sorter=" << s2->name();
+    }
+  }
+}
+
+TEST_P(DifferentialSweepTest, BlockModeAgreesWithUnitMode) {
+  const LabeledFactor f = standard_factors()[GetParam().factor_index];
+  const ProductGraph pg(f, GetParam().r);
+  if (pg.num_nodes() > 1500) GTEST_SKIP() << "sweep capped for time";
+  std::mt19937_64 rng(f.size() * 7u + static_cast<unsigned>(GetParam().r));
+
+  for (const int b : {2, 5}) {
+    const auto keys = pattern_keys(pg.num_nodes() * b, 0, rng);
+    std::vector<Key> expected = keys;
+    std::sort(expected.begin(), expected.end());
+    BlockMachine m(pg, keys, b);
+    (void)sort_block_network(m);
+    ASSERT_EQ(m.read_snake(full_view(pg)), expected)
+        << f.name << " b=" << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFactors, DifferentialSweepTest,
+    ::testing::Values(SweepConfig{0, 4}, SweepConfig{1, 3}, SweepConfig{2, 3},
+                      SweepConfig{3, 2}, SweepConfig{4, 2}, SweepConfig{5, 3},
+                      SweepConfig{6, 3}, SweepConfig{7, 2}, SweepConfig{8, 2},
+                      SweepConfig{9, 2}, SweepConfig{10, 3},
+                      SweepConfig{11, 2}, SweepConfig{12, 2},
+                      SweepConfig{13, 3}, SweepConfig{14, 2},
+                      SweepConfig{15, 2}));
+
+TEST(DifferentialSweepTest, RandomConnectedCustomFactorsSort) {
+  // The paper's universality claim at its strongest: ANY connected graph
+  // works as a factor.  Random trees plus random extra edges, wrapped by
+  // labeled_custom, sorted on PG_2 and PG_3.
+  std::mt19937 rng(2024);
+  for (int trial = 0; trial < 15; ++trial) {
+    const NodeId n = 3 + static_cast<NodeId>(rng() % 8);
+    Graph g(n);
+    for (NodeId v = 1; v < n; ++v)
+      g.add_edge(v, static_cast<NodeId>(rng() % static_cast<unsigned>(v)));
+    for (int extra = static_cast<int>(rng() % 4); extra > 0; --extra) {
+      const NodeId a = static_cast<NodeId>(rng() % static_cast<unsigned>(n));
+      const NodeId b = static_cast<NodeId>(rng() % static_cast<unsigned>(n));
+      if (a != b && !g.has_edge(a, b)) g.add_edge(a, b);
+    }
+    const LabeledFactor f =
+        labeled_custom(std::move(g), "random-" + std::to_string(trial));
+    for (const int r : {2, 3}) {
+      const ProductGraph pg(f, r);
+      if (pg.num_nodes() > 2000) continue;
+      std::vector<Key> keys(static_cast<std::size_t>(pg.num_nodes()));
+      for (Key& k : keys) k = static_cast<Key>(rng() % 1000);
+      std::vector<Key> expected = keys;
+      std::sort(expected.begin(), expected.end());
+      Machine m(pg, std::move(keys));
+      (void)sort_product_network(m);
+      ASSERT_EQ(m.read_snake(full_view(pg)), expected)
+          << f.name << " r=" << r;
+    }
+  }
+}
+
+// ---------------------------------------------------- failure injection
+
+TEST(FailureInjectionTest, ValidateLevelsCatchesABrokenS2Sorter) {
+  // An S2 "sorter" that deliberately leaves one view unsorted must trip
+  // the per-level validation.
+  class BrokenS2 final : public S2Sorter {
+   public:
+    [[nodiscard]] std::string name() const override { return "broken"; }
+    void sort_views(Machine& machine, std::span<const ViewSpec> views,
+                    const std::vector<bool>& descending) const override {
+      good_.sort_views(machine, views, descending);
+      // Corrupt the first view's first two snake positions.
+      const ProductGraph& pg = machine.graph();
+      const PNode a = view_node_at_snake_rank(pg, views[0], 0);
+      const PNode b = view_node_at_snake_rank(pg, views[0], 1);
+      std::swap(machine.mutable_keys()[static_cast<std::size_t>(a)],
+                machine.mutable_keys()[static_cast<std::size_t>(b)]);
+      machine.mutable_keys()[static_cast<std::size_t>(a)] += 1000;
+    }
+
+   private:
+    OracleS2 good_;
+  };
+
+  const ProductGraph pg(labeled_path(3), 3);
+  std::vector<Key> keys(27);
+  std::mt19937 rng(5);
+  for (Key& k : keys) k = static_cast<Key>(rng() % 100);
+  Machine m(pg, std::move(keys));
+  const BrokenS2 broken;
+  SortOptions options;
+  options.s2 = &broken;
+  options.validate_levels = true;
+  EXPECT_THROW((void)sort_product_network(m, options), std::logic_error);
+}
+
+TEST(FailureInjectionTest, SkippingATranspositionBreaksSorting) {
+  // Run the schedule by hand but omit the transposition phases: the
+  // dirty window must survive on some input, proving the phases are
+  // load-bearing (not just charged).
+  const ProductGraph pg(labeled_path(3), 3);
+  const OracleS2 oracle;
+  bool any_failure = false;
+  std::mt19937 rng(7);
+  for (int trial = 0; trial < 200 && !any_failure; ++trial) {
+    std::vector<Key> keys(27);
+    for (Key& k : keys) k = static_cast<Key>(rng() & 1u);
+    Machine m(pg, std::move(keys));
+    // Initial PG_2 sorts.
+    const auto views12 = all_views(pg, 1, 2);
+    oracle.sort_views(m, views12, std::vector<bool>(views12.size(), false));
+    // Merge level 3, but with Step 4's transpositions dropped.
+    const auto views23 = all_views(pg, 2, 3);
+    oracle.sort_views(m, views23, std::vector<bool>(views23.size(), false));
+    const auto blocks = all_views(pg, 1, 2);
+    const auto dirs = block_directions(pg, blocks, 1, 3);
+    oracle.sort_views(m, blocks, dirs);
+    oracle.sort_views(m, blocks, dirs);
+    if (!m.snake_sorted(full_view(pg))) any_failure = true;
+  }
+  EXPECT_TRUE(any_failure)
+      << "dropping the transposition steps never failed - suspicious";
+}
+
+TEST(FailureInjectionTest, WrongBlockDirectionsBreakSorting) {
+  // Sorting Step 4's blocks all-ascending (ignoring group parity) must
+  // fail on some input: the alternation is essential for the cleanup.
+  const ProductGraph pg(labeled_path(3), 3);
+  const OracleS2 oracle;
+  bool any_failure = false;
+  std::mt19937 rng(9);
+  for (int trial = 0; trial < 200 && !any_failure; ++trial) {
+    std::vector<Key> keys(27);
+    for (Key& k : keys) k = static_cast<Key>(rng() & 1u);
+    Machine m(pg, std::move(keys));
+    const auto views12 = all_views(pg, 1, 2);
+    oracle.sort_views(m, views12, std::vector<bool>(views12.size(), false));
+    const auto views23 = all_views(pg, 2, 3);
+    oracle.sort_views(m, views23, std::vector<bool>(views23.size(), false));
+    const auto blocks = all_views(pg, 1, 2);
+    const std::vector<bool> wrong(blocks.size(), false);  // no alternation
+    oracle.sort_views(m, blocks, wrong);
+    m.compare_exchange_step(transposition_pairs(pg, 1, 3, 0), 1);
+    m.compare_exchange_step(transposition_pairs(pg, 1, 3, 1), 1);
+    oracle.sort_views(m, blocks, wrong);
+    if (!m.snake_sorted(full_view(pg))) any_failure = true;
+  }
+  EXPECT_TRUE(any_failure)
+      << "ignoring block directions never failed - suspicious";
+}
+
+// -------------------------------------------------------- invariants
+
+TEST(InvariantTest, SortIsIdempotentEverywhere) {
+  std::mt19937_64 rng(11);
+  for (const SweepConfig& cfg :
+       {SweepConfig{1, 3}, SweepConfig{9, 2}, SweepConfig{11, 2}}) {
+    const LabeledFactor f = standard_factors()[cfg.factor_index];
+    const ProductGraph pg(f, cfg.r);
+    auto keys = pattern_keys(pg.num_nodes(), 0, rng);
+    Machine m(pg, std::move(keys));
+    (void)sort_product_network(m);
+    const std::vector<Key> once(m.keys().begin(), m.keys().end());
+    (void)sort_product_network(m);
+    EXPECT_TRUE(std::equal(once.begin(), once.end(), m.keys().begin()))
+        << f.name;
+  }
+}
+
+TEST(InvariantTest, CostModelIsInputIndependent) {
+  // The algorithm is oblivious: phase counts and formula time must not
+  // depend on the data.
+  const ProductGraph pg(labeled_petersen(), 2);
+  std::mt19937_64 rng(13);
+  CostModel reference;
+  for (int pattern = 0; pattern < 5; ++pattern) {
+    Machine m(pg, pattern_keys(pg.num_nodes(), pattern, rng));
+    const SortReport report = sort_product_network(m);
+    if (pattern == 0) {
+      reference = report.cost;
+    } else {
+      EXPECT_EQ(report.cost.s2_phases, reference.s2_phases);
+      EXPECT_EQ(report.cost.routing_phases, reference.routing_phases);
+      EXPECT_DOUBLE_EQ(report.cost.formula_time, reference.formula_time);
+      EXPECT_EQ(report.cost.exec_steps, reference.exec_steps);
+    }
+  }
+}
+
+TEST(InvariantTest, MultisetPreservedUnderEverySorter) {
+  const ProductGraph pg(labeled_de_bruijn(3), 2);
+  std::mt19937_64 rng(17);
+  const auto keys = pattern_keys(pg.num_nodes(), 2, rng);
+  std::vector<Key> expected = keys;
+  std::sort(expected.begin(), expected.end());
+
+  const OracleS2 oracle;
+  const ShearsortS2 shear;
+  const SnakeOETS2 oet;
+  for (const S2Sorter* s2 :
+       {static_cast<const S2Sorter*>(&oracle),
+        static_cast<const S2Sorter*>(&shear),
+        static_cast<const S2Sorter*>(&oet)}) {
+    Machine m(pg, keys);
+    SortOptions options;
+    options.s2 = s2;
+    (void)sort_product_network(m, options);
+    std::vector<Key> got(m.keys().begin(), m.keys().end());
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, expected) << s2->name();
+  }
+}
+
+}  // namespace
+}  // namespace prodsort

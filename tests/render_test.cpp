@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "graph/factor_graphs.hpp"
+#include "graph/hamiltonian.hpp"
+#include "render/ascii.hpp"
+#include "render/csv.hpp"
+#include "render/dot.hpp"
+
+namespace prodsort {
+namespace {
+
+int count_occurrences(const std::string& haystack, const std::string& needle) {
+  int count = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size()))
+    ++count;
+  return count;
+}
+
+TEST(DotTest, PlainGraphContainsEveryEdge) {
+  const Graph g = make_petersen();
+  const std::string dot = to_dot(g, "petersen");
+  EXPECT_NE(dot.find("graph \"petersen\""), std::string::npos);
+  EXPECT_EQ(count_occurrences(dot, " -- "), 15);
+  EXPECT_NE(dot.find("0 -- 1;"), std::string::npos);
+}
+
+TEST(DotTest, HighlightedOrderAddsRedEdges) {
+  const Graph g = make_cycle(6);
+  const auto path = find_hamiltonian_path(g);
+  ASSERT_TRUE(path.has_value());
+  const std::string dot = to_dot(g, "c6", *path);
+  EXPECT_EQ(count_occurrences(dot, "color=red"), 5);  // path of 6 nodes
+}
+
+TEST(DotTest, ProductGraphTupleLabels) {
+  const ProductGraph pg(labeled_path(3), 2);
+  const std::string dot = to_dot(pg, "grid3x3");
+  EXPECT_NE(dot.find("label=\"00\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"22\""), std::string::npos);
+  EXPECT_EQ(count_occurrences(dot, " -- "), 12);  // 2 * 3 * 2 edges
+}
+
+TEST(DotTest, SnakeHighlightCoversAllRanks) {
+  const ProductGraph pg(labeled_path(3), 2);
+  DotStyle style;
+  style.highlight_snake = true;
+  const std::string dot = to_dot(pg, "snake", style);
+  EXPECT_EQ(count_occurrences(dot, "color=red"), 8);  // 9 ranks, 8 steps
+}
+
+TEST(DotTest, RejectsHugeProducts) {
+  const ProductGraph pg(labeled_path(10), 4);
+  EXPECT_THROW((void)to_dot(pg, "huge"), std::invalid_argument);
+}
+
+TEST(CsvTest, BasicDocument) {
+  CsvWriter csv({"a", "b"});
+  csv.add_row({"1", "2"});
+  csv.add_row({"3", "4"});
+  EXPECT_EQ(csv.num_rows(), 2u);
+  EXPECT_EQ(csv.str(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(CsvTest, QuotingRules) {
+  CsvWriter csv({"text"});
+  csv.add_row({"plain"});
+  csv.add_row({"with,comma"});
+  csv.add_row({"with\"quote"});
+  csv.add_row({"with\nnewline"});
+  EXPECT_EQ(csv.str(),
+            "text\nplain\n\"with,comma\"\n\"with\"\"quote\"\n"
+            "\"with\nnewline\"\n");
+}
+
+TEST(CsvTest, ArityValidation) {
+  CsvWriter csv({"a", "b"});
+  EXPECT_THROW(csv.add_row({"1"}), std::invalid_argument);
+  EXPECT_THROW(CsvWriter({}), std::invalid_argument);
+}
+
+TEST(CsvTest, WritesToFile) {
+  const std::string path = "/tmp/prodsort_csv_test.csv";
+  CsvWriter csv({"x"});
+  csv.add_row({"42"});
+  csv.write(path);
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "x\n42\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, WriteFailureThrows) {
+  CsvWriter csv({"x"});
+  EXPECT_THROW(csv.write("/nonexistent-dir/file.csv"), std::runtime_error);
+}
+
+TEST(AsciiTest, RendersUnitKeyView) {
+  const ProductGraph pg(labeled_path(3), 2);
+  std::vector<Key> keys(9);
+  for (PNode v = 0; v < 9; ++v) keys[static_cast<std::size_t>(v)] = v;
+  const Machine m(pg, std::move(keys));
+  // Rows follow dimension 2, columns dimension 1: row r = keys 3r..3r+2.
+  EXPECT_EQ(render_view(m, full_view(pg)),
+            " 0 1 2\n 3 4 5\n 6 7 8\n");
+}
+
+TEST(AsciiTest, AlignsWideKeys) {
+  const ProductGraph pg(labeled_path(3), 2);
+  std::vector<Key> keys(9, 5);
+  keys[4] = 1234;
+  const Machine m(pg, std::move(keys));
+  const std::string text = render_view(m, full_view(pg));
+  EXPECT_NE(text.find("1234"), std::string::npos);
+  EXPECT_NE(text.find("    5"), std::string::npos);  // padded to width 4
+}
+
+TEST(AsciiTest, RendersBlockView) {
+  const ProductGraph pg(labeled_path(3), 2);
+  std::vector<Key> keys(18);
+  for (std::size_t i = 0; i < keys.size(); ++i)
+    keys[i] = static_cast<Key>(i);
+  const BlockMachine m(pg, std::move(keys), 2);
+  const std::string text = render_view(m, full_view(pg));
+  EXPECT_NE(text.find("[0 1]"), std::string::npos);
+  EXPECT_NE(text.find("[16 17]"), std::string::npos);
+}
+
+TEST(AsciiTest, RejectsNonTwoDimensionalViews) {
+  const ProductGraph pg(labeled_path(3), 3);
+  const Machine m(pg, std::vector<Key>(27, 0));
+  EXPECT_THROW((void)render_view(m, full_view(pg)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace prodsort

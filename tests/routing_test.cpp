@@ -1,0 +1,72 @@
+#include "network/routing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+
+namespace prodsort {
+namespace {
+
+void expect_delivers(const LabeledFactor& f, std::span<const NodeId> dest) {
+  const RoutingResult result = route_permutation(f, dest);
+  for (NodeId p = 0; p < f.size(); ++p)
+    EXPECT_EQ(result.delivered[static_cast<std::size_t>(
+                  dest[static_cast<std::size_t>(p)])],
+              p)
+        << f.name;
+  EXPECT_LE(result.steps, (f.size() + 1) * f.dilation) << f.name;
+}
+
+TEST(RoutingTest, IdentityPermutation) {
+  const LabeledFactor f = labeled_path(6);
+  std::vector<NodeId> dest(6);
+  std::iota(dest.begin(), dest.end(), 0);
+  const RoutingResult result = route_permutation(f, dest);
+  for (NodeId v = 0; v < 6; ++v)
+    EXPECT_EQ(result.delivered[static_cast<std::size_t>(v)], v);
+}
+
+TEST(RoutingTest, ReversalOnEveryStandardFactor) {
+  for (const LabeledFactor& f : standard_factors()) {
+    std::vector<NodeId> dest(static_cast<std::size_t>(f.size()));
+    for (NodeId v = 0; v < f.size(); ++v)
+      dest[static_cast<std::size_t>(v)] = f.size() - 1 - v;
+    expect_delivers(f, dest);
+  }
+}
+
+TEST(RoutingTest, RandomPermutationsOnEveryStandardFactor) {
+  std::mt19937 rng(11);
+  for (const LabeledFactor& f : standard_factors()) {
+    for (int trial = 0; trial < 10; ++trial) {
+      std::vector<NodeId> dest(static_cast<std::size_t>(f.size()));
+      std::iota(dest.begin(), dest.end(), 0);
+      std::shuffle(dest.begin(), dest.end(), rng);
+      expect_delivers(f, dest);
+    }
+  }
+}
+
+TEST(RoutingTest, RejectsNonPermutations) {
+  const LabeledFactor f = labeled_path(4);
+  const NodeId dup[] = {0, 0, 1, 2};
+  EXPECT_THROW((void)route_permutation(f, dup), std::invalid_argument);
+  const NodeId range[] = {0, 1, 2, 4};
+  EXPECT_THROW((void)route_permutation(f, range), std::invalid_argument);
+  const NodeId short_vec[] = {0, 1, 2};
+  EXPECT_THROW((void)route_permutation(f, short_vec), std::invalid_argument);
+}
+
+TEST(RoutingTest, AdjacentSwapIsCheap) {
+  const LabeledFactor f = labeled_path(8);
+  std::vector<NodeId> dest(8);
+  std::iota(dest.begin(), dest.end(), 0);
+  std::swap(dest[2], dest[3]);
+  const RoutingResult result = route_permutation(f, dest);
+  EXPECT_LE(result.steps, 3 * f.dilation);  // swap + quiet confirmation
+}
+
+}  // namespace
+}  // namespace prodsort

@@ -1,0 +1,141 @@
+#include "core/sequence_sort.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+
+#include "product/gray_code.hpp"
+#include "sortnet/zero_one.hpp"
+
+namespace prodsort {
+namespace {
+
+TEST(PowerArityTest, RecognizesPowers) {
+  int r = 0;
+  EXPECT_TRUE(power_arity(8, 2, r));
+  EXPECT_EQ(r, 3);
+  EXPECT_TRUE(power_arity(27, 3, r));
+  EXPECT_EQ(r, 3);
+  EXPECT_TRUE(power_arity(3, 3, r));
+  EXPECT_EQ(r, 1);
+  EXPECT_FALSE(power_arity(12, 3, r));
+  EXPECT_FALSE(power_arity(1, 3, r));
+  EXPECT_FALSE(power_arity(8, 1, r));
+}
+
+TEST(SequenceSortTest, RejectsNonPowerSizes) {
+  std::vector<Key> keys(10);
+  EXPECT_THROW((void)multiway_merge_sort(keys, 3), std::invalid_argument);
+}
+
+TEST(SequenceSortTest, DegenerateSingleDimension) {
+  std::vector<Key> keys = {3, 1, 2};
+  (void)multiway_merge_sort(keys, 3);
+  EXPECT_EQ(keys, (std::vector<Key>{1, 2, 3}));
+}
+
+class SequenceSortParamTest
+    : public ::testing::TestWithParam<std::pair<int, int>> {};  // (N, r)
+
+TEST_P(SequenceSortParamTest, SortsRandomInputs) {
+  const auto [n, r] = GetParam();
+  const std::int64_t total = pow_int(n, r);
+  std::mt19937 rng(static_cast<unsigned>(n * 31 + r));
+  std::uniform_int_distribution<Key> dist(-1000, 1000);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<Key> keys(static_cast<std::size_t>(total));
+    for (Key& k : keys) k = dist(rng);
+    std::vector<Key> expected = keys;
+    std::sort(expected.begin(), expected.end());
+    (void)multiway_merge_sort(keys, static_cast<NodeId>(n));
+    EXPECT_EQ(keys, expected);
+  }
+}
+
+TEST_P(SequenceSortParamTest, SortsAdversarialPatterns) {
+  const auto [n, r] = GetParam();
+  const std::int64_t total = pow_int(n, r);
+  std::vector<std::vector<Key>> patterns;
+
+  std::vector<Key> asc(static_cast<std::size_t>(total));
+  std::iota(asc.begin(), asc.end(), 0);
+  patterns.push_back(asc);
+
+  std::vector<Key> desc = asc;
+  std::reverse(desc.begin(), desc.end());
+  patterns.push_back(desc);
+
+  std::vector<Key> organ(static_cast<std::size_t>(total));  // organ pipe
+  for (std::int64_t i = 0; i < total; ++i)
+    organ[static_cast<std::size_t>(i)] = std::min(i, total - 1 - i);
+  patterns.push_back(organ);
+
+  patterns.emplace_back(static_cast<std::size_t>(total), Key{42});  // constant
+
+  std::vector<Key> sawtooth(static_cast<std::size_t>(total));
+  for (std::int64_t i = 0; i < total; ++i)
+    sawtooth[static_cast<std::size_t>(i)] = i % 5;
+  patterns.push_back(sawtooth);
+
+  for (auto& keys : patterns) {
+    std::vector<Key> expected = keys;
+    std::sort(expected.begin(), expected.end());
+    (void)multiway_merge_sort(keys, static_cast<NodeId>(n));
+    EXPECT_EQ(keys, expected);
+  }
+}
+
+TEST_P(SequenceSortParamTest, ZeroOnePrinciple) {
+  const auto [n, r] = GetParam();
+  const std::int64_t total = pow_int(n, r);
+  if (total > 20) {
+    // Too many 0-1 inputs to enumerate: random-sample them instead.
+    std::mt19937 rng(static_cast<unsigned>(n + r));
+    for (int trial = 0; trial < 200; ++trial) {
+      std::vector<Key> keys(static_cast<std::size_t>(total));
+      for (Key& k : keys) k = static_cast<Key>(rng() & 1u);
+      std::vector<Key> expected = keys;
+      std::sort(expected.begin(), expected.end());
+      (void)multiway_merge_sort(keys, static_cast<NodeId>(n));
+      ASSERT_EQ(keys, expected);
+    }
+    return;
+  }
+  const auto failures = count_zero_one_failures(
+      static_cast<int>(total),
+      [n = n](std::span<Key> v) {
+        std::vector<Key> keys(v.begin(), v.end());
+        (void)multiway_merge_sort(keys, static_cast<NodeId>(n));
+        std::copy(keys.begin(), keys.end(), v.begin());
+      });
+  EXPECT_EQ(failures, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SequenceSortParamTest,
+    ::testing::Values(std::pair<int, int>{2, 2}, std::pair<int, int>{2, 3},
+                      std::pair<int, int>{2, 4}, std::pair<int, int>{2, 6},
+                      std::pair<int, int>{3, 2}, std::pair<int, int>{3, 3},
+                      std::pair<int, int>{3, 4}, std::pair<int, int>{4, 3},
+                      std::pair<int, int>{5, 2}, std::pair<int, int>{5, 3},
+                      std::pair<int, int>{10, 2}));
+
+TEST(SequenceSortTest, StatsAccumulateAcrossLevels) {
+  // N = 2, r = 4: 4 initial base sorts, then merges at k = 3 (two of
+  // them) and k = 4 (one).
+  std::vector<Key> keys(16);
+  std::mt19937 rng(7);
+  for (Key& k : keys) k = static_cast<Key>(rng() % 100);
+  const MergeStats stats = multiway_merge_sort(keys, 2);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  // Merge-invocation recurrence M(2)=1, M(m)=1+2M(m/2):
+  // level k=3 has two groups of M(4)=3, level k=4 one group of M(8)=7.
+  EXPECT_EQ(stats.merges, 2 * 3 + 7);
+  // Base sorts: 4 initial + 2*B(4) + B(8) with B(2)=1, B(m)=2B(m/2).
+  EXPECT_EQ(stats.base_sorts, 4 + 2 * 2 + 4);
+}
+
+}  // namespace
+}  // namespace prodsort

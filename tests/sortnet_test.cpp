@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "sortnet/batcher.hpp"
+#include "sortnet/comparator_network.hpp"
+#include "sortnet/zero_one.hpp"
+
+namespace prodsort {
+namespace {
+
+TEST(ComparatorNetworkTest, GreedyLayering) {
+  ComparatorNetwork net(4);
+  net.add(0, 1);
+  net.add(2, 3);  // parallel with the first
+  EXPECT_EQ(net.depth(), 1);
+  net.add(1, 2);  // conflicts with both
+  EXPECT_EQ(net.depth(), 2);
+  net.add(0, 3);  // wire 3 was used in layer 2? no: wires 0(1), 3(1) -> layer 2
+  EXPECT_EQ(net.depth(), 2);
+  EXPECT_EQ(net.size(), 4u);
+}
+
+TEST(ComparatorNetworkTest, ApplyOrdersPairs) {
+  ComparatorNetwork net(3);
+  net.add(0, 2);
+  net.add(0, 1);
+  net.add(1, 2);
+  std::vector<Key> v = {3, 2, 1};
+  net.apply(v);
+  EXPECT_EQ(v, (std::vector<Key>{1, 2, 3}));
+}
+
+TEST(ComparatorNetworkTest, DescendingComparator) {
+  ComparatorNetwork net(2);
+  net.add(1, 0);  // min to wire 1
+  std::vector<Key> v = {1, 2};
+  net.apply(v);
+  EXPECT_EQ(v, (std::vector<Key>{2, 1}));
+}
+
+TEST(ComparatorNetworkTest, Validation) {
+  ComparatorNetwork net(3);
+  EXPECT_THROW(net.add(0, 0), std::invalid_argument);
+  EXPECT_THROW(net.add(0, 3), std::invalid_argument);
+  EXPECT_THROW(ComparatorNetwork(0), std::invalid_argument);
+  std::vector<Key> wrong(2);
+  EXPECT_THROW(net.apply(wrong), std::invalid_argument);
+}
+
+TEST(BatcherTest, OddEvenMergeSortSortsAllZeroOneInputs) {
+  for (const int n : {2, 4, 8, 16}) {
+    EXPECT_TRUE(sorts_all_zero_one(odd_even_merge_sort_network(n))) << n;
+  }
+}
+
+TEST(BatcherTest, BitonicSortSortsAllZeroOneInputs) {
+  for (const int n : {2, 4, 8, 16}) {
+    EXPECT_TRUE(sorts_all_zero_one(bitonic_sort_network(n))) << n;
+  }
+}
+
+TEST(BatcherTest, TranspositionNetworkSortsAllZeroOneInputs) {
+  for (const int n : {1, 2, 3, 5, 8, 13}) {
+    EXPECT_TRUE(sorts_all_zero_one(odd_even_transposition_network(n))) << n;
+  }
+}
+
+TEST(BatcherTest, DepthMatchesClosedForm) {
+  for (int d = 1; d <= 6; ++d) {
+    const int n = 1 << d;
+    EXPECT_EQ(odd_even_merge_sort_network(n).depth(), batcher_depth(d)) << n;
+    EXPECT_EQ(bitonic_sort_network(n).depth(), batcher_depth(d)) << n;
+  }
+}
+
+TEST(BatcherTest, KnownComparatorCounts) {
+  // Odd-even merge sort sizes: 1, 5, 19, 63 for n = 2, 4, 8, 16.
+  EXPECT_EQ(odd_even_merge_sort_network(2).size(), 1u);
+  EXPECT_EQ(odd_even_merge_sort_network(4).size(), 5u);
+  EXPECT_EQ(odd_even_merge_sort_network(8).size(), 19u);
+  EXPECT_EQ(odd_even_merge_sort_network(16).size(), 63u);
+  // Bitonic sort size: (n/2) * depth.
+  for (int d = 1; d <= 5; ++d) {
+    const int n = 1 << d;
+    EXPECT_EQ(bitonic_sort_network(n).size(),
+              static_cast<std::size_t>(n / 2 * batcher_depth(d)));
+  }
+}
+
+TEST(BatcherTest, MergeNetworkMergesSortedHalves) {
+  // All 0-1 inputs whose halves are sorted.
+  for (const int n : {4, 8, 16}) {
+    const ComparatorNetwork net = odd_even_merge_network(n);
+    const int half = n / 2;
+    for (int z0 = 0; z0 <= half; ++z0) {
+      for (int z1 = 0; z1 <= half; ++z1) {
+        std::vector<Key> v(static_cast<std::size_t>(n), 1);
+        std::fill_n(v.begin(), z0, 0);
+        std::fill_n(v.begin() + half, z1, 0);
+        net.apply(v);
+        EXPECT_TRUE(std::is_sorted(v.begin(), v.end()))
+            << "n=" << n << " z0=" << z0 << " z1=" << z1;
+      }
+    }
+  }
+}
+
+TEST(BatcherTest, RandomKeysSortCorrectly) {
+  std::mt19937 rng(5);
+  for (const int n : {8, 32, 128}) {
+    const ComparatorNetwork oem = odd_even_merge_sort_network(n);
+    const ComparatorNetwork bit = bitonic_sort_network(n);
+    for (int trial = 0; trial < 20; ++trial) {
+      std::vector<Key> v(static_cast<std::size_t>(n));
+      for (Key& k : v) k = static_cast<Key>(rng() % 1000);
+      std::vector<Key> expected = v;
+      std::sort(expected.begin(), expected.end());
+      std::vector<Key> a = v;
+      oem.apply(a);
+      EXPECT_EQ(a, expected);
+      std::vector<Key> b = v;
+      bit.apply(b);
+      EXPECT_EQ(b, expected);
+    }
+  }
+}
+
+TEST(BatcherTest, RejectsNonPowersOfTwo) {
+  EXPECT_THROW((void)odd_even_merge_sort_network(6), std::invalid_argument);
+  EXPECT_THROW((void)bitonic_sort_network(0), std::invalid_argument);
+  EXPECT_THROW((void)odd_even_merge_network(1), std::invalid_argument);
+}
+
+TEST(ZeroOneTest, CountsFailures) {
+  // A deliberately broken "sorter" that does nothing.
+  const auto identity = [](std::span<Key>) {};
+  EXPECT_GT(count_zero_one_failures(4, identity, 100), 0);
+  // std::sort has none.
+  const auto real = [](std::span<Key> v) { std::sort(v.begin(), v.end()); };
+  EXPECT_EQ(count_zero_one_failures(10, real), 0);
+  EXPECT_THROW((void)count_zero_one_failures(31, real), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace prodsort

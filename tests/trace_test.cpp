@@ -1,0 +1,99 @@
+// The phase-schedule trace: the driver's timeline must be exactly the
+// Lemma 3 / Theorem 1 schedule, level by level.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/product_sort.hpp"
+#include "product/snake_order.hpp"
+
+namespace prodsort {
+namespace {
+
+std::vector<PhaseRecord> trace_sort(const LabeledFactor& f, int r) {
+  const ProductGraph pg(f, r);
+  std::vector<Key> keys(static_cast<std::size_t>(pg.num_nodes()));
+  std::mt19937 rng(1);
+  for (Key& k : keys) k = static_cast<Key>(rng() % 100);
+  Machine m(pg, std::move(keys));
+  std::vector<PhaseRecord> trace;
+  SortOptions options;
+  options.trace = &trace;
+  (void)sort_product_network(m, options);
+  return trace;
+}
+
+TEST(TraceTest, PhaseCountsMatchTheorem1) {
+  for (const int r : {2, 3, 4, 5}) {
+    const auto trace = trace_sort(labeled_path(3), r);
+    std::int64_t s2 = 0, routing = 0;
+    for (const PhaseRecord& p : trace) {
+      if (p.kind == PhaseRecord::Kind::kS2Sort) ++s2;
+      else ++routing;
+    }
+    EXPECT_EQ(s2, static_cast<std::int64_t>(r - 1) * (r - 1)) << r;
+    EXPECT_EQ(routing, static_cast<std::int64_t>(r - 1) * (r - 2)) << r;
+    EXPECT_EQ(trace.size(), static_cast<std::size_t>(s2 + routing));
+  }
+}
+
+TEST(TraceTest, ScheduleShapeForThreeDimensions) {
+  // r = 3: initial S2(1,2); merge(1,3) = S2(2,3) [step 2 base],
+  // S2(1,2-blocks), T, T, S2(1,2-blocks).
+  const auto trace = trace_sort(labeled_path(3), 3);
+  ASSERT_EQ(trace.size(), 6u);
+  using K = PhaseRecord::Kind;
+  EXPECT_EQ(trace[0].kind, K::kS2Sort);
+  EXPECT_EQ(trace[0].lo, 1);
+  EXPECT_EQ(trace[0].hi, 2);
+  EXPECT_EQ(trace[1].kind, K::kS2Sort);  // step-2 base case on dims {2,3}
+  EXPECT_EQ(trace[1].lo, 2);
+  EXPECT_EQ(trace[1].hi, 3);
+  EXPECT_EQ(trace[2].kind, K::kS2Sort);  // step-4 first block sorts
+  EXPECT_EQ(trace[2].lo, 1);
+  EXPECT_EQ(trace[2].hi, 3);
+  EXPECT_EQ(trace[3].kind, K::kTransposition);
+  EXPECT_EQ(trace[4].kind, K::kTransposition);
+  EXPECT_EQ(trace[5].kind, K::kS2Sort);  // step-4 final block sorts
+}
+
+TEST(TraceTest, WeightsMatchTheFactorCosts) {
+  const LabeledFactor f = labeled_cycle(5);  // S2 = 12.5, R = 2.5
+  const auto trace = trace_sort(f, 4);
+  double total = 0;
+  for (const PhaseRecord& p : trace) {
+    if (p.kind == PhaseRecord::Kind::kS2Sort)
+      EXPECT_DOUBLE_EQ(p.weight, 12.5);
+    else
+      EXPECT_DOUBLE_EQ(p.weight, 2.5);
+    total += p.weight;
+  }
+  EXPECT_DOUBLE_EQ(total, theorem1(f, 4).formula_time);
+}
+
+TEST(TraceTest, UnitsCoverTheMachine) {
+  // Every S2 phase's views partition the node set: units * N^2 = N^r.
+  const auto trace = trace_sort(labeled_path(4), 4);
+  for (const PhaseRecord& p : trace) {
+    if (p.kind == PhaseRecord::Kind::kS2Sort)
+      EXPECT_EQ(p.units * 16, 256u);
+    else
+      // Transpositions pair (nblocks-1)/2-ish blocks of N^2 nodes across
+      // all views; units is the pair count, bounded by half the machine.
+      EXPECT_LE(p.units, 128u);
+  }
+}
+
+TEST(TraceTest, LevelsAppearInAscendingOrder) {
+  const auto trace = trace_sort(labeled_path(3), 5);
+  int max_hi = 0;
+  for (const PhaseRecord& p : trace) {
+    EXPECT_GE(p.hi, max_hi - 0);  // hi never regresses below prior levels
+    max_hi = std::max(max_hi, p.hi);
+  }
+  EXPECT_EQ(max_hi, 5);
+}
+
+}  // namespace
+}  // namespace prodsort

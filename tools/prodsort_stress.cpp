@@ -1,0 +1,126 @@
+// prodsort_stress — randomized differential stress harness.
+//
+//   prodsort_stress [--trials T] [--seed S] [--max-nodes M]
+//
+// Each trial draws a random factor family, dimension count, S2 sorter,
+// block size, thread count, and input pattern; runs the network sort;
+// and checks the result against std::sort.  Exits nonzero on the first
+// mismatch with a reproduction line.  Intended for long soak runs; the
+// default 200 trials take a few seconds.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <random>
+
+#include "core/block_sort.hpp"
+#include "core/product_sort.hpp"
+#include "core/s2/oracle_s2.hpp"
+#include "core/s2/shearsort_s2.hpp"
+#include "core/s2/snake_oet_s2.hpp"
+#include "product/snake_order.hpp"
+
+using namespace prodsort;
+
+namespace {
+
+std::vector<Key> make_input(PNode total, int pattern, std::mt19937_64& rng) {
+  std::vector<Key> keys(static_cast<std::size_t>(total));
+  switch (pattern) {
+    case 0: for (Key& k : keys) k = static_cast<Key>(rng()); break;
+    case 1: for (Key& k : keys) k = static_cast<Key>(rng() & 1u); break;
+    case 2: for (Key& k : keys) k = static_cast<Key>(rng() % 4); break;
+    case 3: {
+      PNode i = 0;
+      for (Key& k : keys) k = total - (i++);
+      break;
+    }
+    default: {
+      PNode i = 0;
+      for (Key& k : keys) k = (i++) % 7;
+      break;
+    }
+  }
+  return keys;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long trials = 200;
+  unsigned seed = 12345;
+  PNode max_nodes = 20000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trials") == 0 && i + 1 < argc)
+      trials = std::atol(argv[++i]);
+    else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc)
+      seed = static_cast<unsigned>(std::atol(argv[++i]));
+    else if (std::strcmp(argv[i], "--max-nodes") == 0 && i + 1 < argc)
+      max_nodes = std::atol(argv[++i]);
+    else {
+      std::fprintf(stderr, "usage: %s [--trials T] [--seed S] [--max-nodes M]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  const auto factors = standard_factors();
+  const OracleS2 oracle;
+  const ShearsortS2 shear;
+  const SnakeOETS2 oet;
+  const S2Sorter* sorters[] = {&oracle, &shear, &oet};
+  std::mt19937_64 rng(seed);
+
+  long executed = 0;
+  for (long trial = 0; trial < trials; ++trial) {
+    const auto& factor = factors[rng() % factors.size()];
+    const int r = 2 + static_cast<int>(rng() % 4);
+    if (pow_int(factor.size(), r) > max_nodes) continue;
+    const ProductGraph pg(factor, r);
+    const int pattern = static_cast<int>(rng() % 5);
+    const int threads = 1 + static_cast<int>(rng() % 4);
+    const int block = (rng() % 3 == 0) ? 1 + static_cast<int>(rng() % 8) : 1;
+    const std::size_t sorter = rng() % 3;
+    // Executable sorters are slow on big machines; keep them small.
+    if (sorter != 0 && pg.num_nodes() > 2000) continue;
+    if (block > 1 && pg.num_nodes() * block > 50000) continue;
+
+    const auto keys = make_input(pg.num_nodes() * block, pattern, rng);
+    std::vector<Key> expected = keys;
+    std::sort(expected.begin(), expected.end());
+
+    ParallelExecutor exec(threads);
+    std::vector<Key> got;
+    if (block == 1) {
+      Machine m(pg, keys, &exec);
+      SortOptions options;
+      options.s2 = sorters[sorter];
+      (void)sort_product_network(m, options);
+      got = m.read_snake(full_view(pg));
+    } else {
+      static const BlockOracleS2 block_oracle;
+      static const BlockShearsortS2 block_shear;
+      static const BlockSnakeOETS2 block_oet;
+      const BlockS2Sorter* block_sorters[] = {&block_oracle, &block_shear,
+                                              &block_oet};
+      BlockMachine m(pg, keys, block, &exec);
+      BlockSortOptions options;
+      options.s2 = block_sorters[pg.num_nodes() <= 700 ? rng() % 3 : 0];
+      (void)sort_block_network(m, options);
+      got = m.read_snake(full_view(pg));
+    }
+    ++executed;
+
+    if (got != expected) {
+      std::printf("MISMATCH: factor=%s r=%d pattern=%d threads=%d block=%d"
+                  " sorter=%zu seed=%u trial=%ld\n",
+                  factor.name.c_str(), r, pattern, threads, block, sorter,
+                  seed, trial);
+      return 1;
+    }
+  }
+  std::printf("stress: %ld/%ld trials executed, all sorted correctly\n",
+              executed, trials);
+  return 0;
+}
