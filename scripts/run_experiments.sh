@@ -4,8 +4,25 @@
 # where a bench supports it.
 #
 #   ./scripts/run_experiments.sh [build-dir] [results-dir]
+#   ./scripts/run_experiments.sh --sanitize
+#
+# --sanitize instead configures and builds the asan-ubsan and tsan
+# presets (see CMakePresets.json) and runs the `faults`-labeled test
+# subset under each — the fault-injection/recovery paths exercised with
+# memory and data-race checking.
 
 set -eu
+
+if [ "${1:-}" = "--sanitize" ]; then
+  status=0
+  for preset in asan-ubsan tsan; do
+    echo "== sanitizer preset: $preset"
+    cmake --preset "$preset"
+    cmake --build --preset "$preset" -j "$(nproc)"
+    ctest --preset "$preset" -j "$(nproc)" || status=1
+  done
+  exit $status
+fi
 
 BUILD_DIR=${1:-build}
 RESULTS_DIR=${2:-results}

@@ -1,0 +1,32 @@
+#pragma once
+
+// Deterministic mixing primitives shared by the fault-injection and
+// self-verification layers.  Every fault decision and every checksum is
+// a pure function of explicit integer operands run through splitmix64,
+// so outcomes are independent of call order, thread count, and platform
+// — the property both subsystems' determinism guarantees rest on.
+
+#include <cstdint>
+
+namespace prodsort {
+
+/// splitmix64 finalizer: a high-quality 64-bit mix (Steele et al.).
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Mixes an operand into a running hash state.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t state,
+                                            std::uint64_t operand) noexcept {
+  return mix64(state ^ mix64(operand));
+}
+
+/// Uniform double in [0, 1) from a hash value (53 mantissa bits).
+[[nodiscard]] constexpr double hash_to_unit(std::uint64_t h) noexcept {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace prodsort

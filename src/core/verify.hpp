@@ -1,0 +1,87 @@
+#pragma once
+
+// Self-verifying sorts: a cheap certificate that a sort phase actually
+// sorted, plus bounded detect-and-resort recovery when it did not.
+//
+// After a sort, certify_snake() reads the view's snake sequence and
+// computes (a) the sortedness verdict with the dirty window — the
+// smallest contiguous rank interval containing every out-of-place key,
+// the same witness Lemma 1 bounds for the merge's Step 3 output — and
+// (b) an order-independent multiset checksum of the keys.  Comparing the
+// checksum against the pre-sort input distinguishes the two failure
+// classes a faulty fabric produces:
+//
+//  * order corruption (lost compare-exchange messages): the multiset is
+//    intact, only positions are wrong.  verify_and_recover() re-runs the
+//    Lemma 1 dirty-window cleanup — odd-even transposition passes over
+//    the dirty window's snake ranks, executed through the machine's own
+//    compare-exchange primitive (so recovery is itself charged to the
+//    cost model, and itself subject to any attached faults) — for a
+//    bounded number of rounds instead of failing outright;
+//
+//  * data corruption (bit-flipped keys): the multiset changed; no amount
+//    of re-sorting restores the lost value, so the outcome is reported
+//    as kDataLoss for the caller to escalate (e.g. re-ingest the input).
+//
+// The checksum is a commutative combine of splitmix64-mixed keys
+// (core/hashing.hpp): order-independent by construction, and any single
+// bit flip changes it with overwhelming probability.
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "network/machine.hpp"
+
+namespace prodsort {
+
+/// Order-independent multiset checksum: equal multisets give equal
+/// checksums regardless of order; differing multisets collide with
+/// probability ~2^-64.
+[[nodiscard]] std::uint64_t multiset_checksum(std::span<const Key> keys);
+
+struct SortCertificate {
+  bool sorted = false;
+  PNode first_violation = -1;  ///< snake rank of first inversion (-1 if none)
+  PNode dirty_lo = 0;          ///< dirty window [dirty_lo, dirty_hi] in
+  PNode dirty_hi = -1;         ///< snake ranks (empty when sorted)
+  std::uint64_t checksum = 0;  ///< multiset checksum of the view's keys
+};
+
+/// Certifies the snake order of `view`: O(n log n) over the view size.
+[[nodiscard]] SortCertificate certify_snake(const Machine& machine,
+                                            const ViewSpec& view);
+
+enum class RecoveryOutcome {
+  kClean,       ///< already sorted, nothing to do
+  kRecovered,   ///< order corruption repaired within the round budget
+  kDataLoss,    ///< multiset changed: keys were corrupted, not just moved
+  kUnrecovered, ///< still unsorted after max_rounds cleanup rounds
+};
+
+[[nodiscard]] std::string to_string(RecoveryOutcome outcome);
+
+struct RecoveryOptions {
+  /// Pre-sort multiset_checksum of the input; 0 skips the multiset check
+  /// (0 is also a possible checksum, so callers wanting the check should
+  /// always pass the real value).
+  std::uint64_t expected_checksum = 0;
+  int max_rounds = 4;  ///< bounded detect-and-resort rounds
+};
+
+struct RecoveryReport {
+  RecoveryOutcome outcome = RecoveryOutcome::kClean;
+  int rounds = 0;                   ///< cleanup rounds executed
+  std::int64_t recovery_steps = 0;  ///< exec_steps charged to recovery
+  SortCertificate before;           ///< certificate on entry
+  SortCertificate after;            ///< certificate on exit
+};
+
+/// Certifies `view` and, if it is unsorted but the multiset is intact,
+/// runs the bounded dirty-window cleanup until sorted or `max_rounds` is
+/// exhausted.  Recovery exec time is charged to the machine's CostModel
+/// (both exec_steps and the recovery_steps counter).
+RecoveryReport verify_and_recover(Machine& machine, const ViewSpec& view,
+                                  const RecoveryOptions& options = {});
+
+}  // namespace prodsort

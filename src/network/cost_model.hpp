@@ -30,6 +30,13 @@ struct CostModel {
   std::int64_t comparisons = 0;     ///< total pairwise comparisons (work)
   std::int64_t exchanges = 0;       ///< total key swaps (work)
 
+  // Fault accounting (all zero unless a FaultModel is attached; see
+  // network/fault_model.hpp and docs/FAULTS.md).
+  std::int64_t retries = 0;         ///< lost messages that must be redone
+  std::int64_t reroutes = 0;        ///< paths redirected around failed links
+  std::int64_t degraded_phases = 0; ///< phases that hit a fault or straggler
+  std::int64_t recovery_steps = 0;  ///< exec_steps spent in verify-and-recover
+
   void charge_s2_phase(double weight) {
     ++s2_phases;
     formula_time += weight;
@@ -46,6 +53,10 @@ struct CostModel {
     exec_steps += other.exec_steps;
     comparisons += other.comparisons;
     exchanges += other.exchanges;
+    retries += other.retries;
+    reroutes += other.reroutes;
+    degraded_phases += other.degraded_phases;
+    recovery_steps += other.recovery_steps;
     return *this;
   }
 };

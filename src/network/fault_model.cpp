@@ -1,0 +1,153 @@
+#include "network/fault_model.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <stdexcept>
+#include <utility>
+
+#include "core/hashing.hpp"
+#include "graph/graph_algos.hpp"
+
+namespace prodsort {
+
+namespace {
+
+// Stream tags keep the decision families statistically independent even
+// when their event ids coincide.
+enum Stream : std::uint64_t {
+  kPacketDrop = 0x70616b64,   // "pakd"
+  kCeDrop = 0x63656472,       // "cedr"
+  kKeyCorrupt = 0x6b657963,   // "keyc"
+  kCorruptBit = 0x62697463,   // "bitc"
+  kLinkOrder = 0x6c6e6b6f,    // "lnko"
+  kStragglerOrder = 0x73747261,  // "stra"
+};
+
+std::uint64_t decision(std::uint64_t seed, Stream stream, std::uint64_t a,
+                       std::uint64_t b, std::uint64_t c = 0) {
+  std::uint64_t h = mix64(seed, static_cast<std::uint64_t>(stream));
+  h = mix64(h, a);
+  h = mix64(h, b);
+  return mix64(h, c);
+}
+
+bool coin(double rate, std::uint64_t h) {
+  return rate > 0 && hash_to_unit(h) < rate;
+}
+
+}  // namespace
+
+FaultModel::FaultModel(const FaultConfig& config) : config_(config) {
+  if (config_.straggler_factor < 1)
+    throw std::invalid_argument("straggler_factor must be >= 1");
+  if (config_.failed_links < 0 || config_.stragglers < 0 ||
+      config_.max_retries < 1 || config_.max_backoff < 0)
+    throw std::invalid_argument("negative fault-config parameter");
+}
+
+void FaultModel::fail_links(const Graph& g) {
+  failed_.clear();
+  if (config_.failed_links == 0) return;
+  if (!is_connected(g))
+    throw std::invalid_argument("fail_links requires a connected graph");
+
+  // Consider edges in seed-hashed order; keep an edge failed only if the
+  // surviving graph stays connected (the failure set never isolates a
+  // node, so every destination remains reachable by re-routing).
+  std::vector<std::size_t> order(g.edges().size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return decision(config_.seed, kLinkOrder, a, 0) <
+           decision(config_.seed, kLinkOrder, b, 0);
+  });
+
+  for (const std::size_t e : order) {
+    if (static_cast<int>(failed_.size()) >= config_.failed_links) break;
+    const auto candidate = g.edges()[e];
+    Graph pruned(g.num_nodes());
+    for (const auto& [a, b] : g.edges()) {
+      if (std::pair{a, b} == candidate) continue;
+      bool already_failed = false;
+      for (const auto& f : failed_)
+        if (f == std::pair{a, b}) already_failed = true;
+      if (!already_failed) pruned.add_edge(a, b);
+    }
+    if (is_connected(pruned)) failed_.push_back(candidate);
+  }
+}
+
+bool FaultModel::link_failed(NodeId a, NodeId b) const noexcept {
+  if (a > b) std::swap(a, b);
+  for (const auto& f : failed_)
+    if (f.first == a && f.second == b) return true;
+  return false;
+}
+
+void FaultModel::select_stragglers(PNode num_nodes) {
+  straggler_.assign(static_cast<std::size_t>(num_nodes), 0);
+  straggler_nodes_.clear();
+  const int want = std::min<PNode>(config_.stragglers, num_nodes);
+  if (want == 0) return;
+  std::vector<PNode> order(static_cast<std::size_t>(num_nodes));
+  std::iota(order.begin(), order.end(), PNode{0});
+  std::sort(order.begin(), order.end(), [&](PNode a, PNode b) {
+    const auto ha = decision(config_.seed, kStragglerOrder,
+                             static_cast<std::uint64_t>(a), 0);
+    const auto hb = decision(config_.seed, kStragglerOrder,
+                             static_cast<std::uint64_t>(b), 0);
+    return ha != hb ? ha < hb : a < b;
+  });
+  for (int i = 0; i < want; ++i) {
+    straggler_[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])] = 1;
+    straggler_nodes_.push_back(order[static_cast<std::size_t>(i)]);
+  }
+  std::sort(straggler_nodes_.begin(), straggler_nodes_.end());
+}
+
+bool FaultModel::drop_packet(std::int64_t packet, std::int64_t hop,
+                             int attempt) const noexcept {
+  return coin(config_.packet_drop_rate,
+              decision(config_.seed, kPacketDrop,
+                       static_cast<std::uint64_t>(packet),
+                       static_cast<std::uint64_t>(hop),
+                       static_cast<std::uint64_t>(attempt)));
+}
+
+bool FaultModel::drop_compare_exchange(std::int64_t step,
+                                       std::int64_t pair) const noexcept {
+  return coin(config_.ce_drop_rate,
+              decision(config_.seed, kCeDrop, static_cast<std::uint64_t>(step),
+                       static_cast<std::uint64_t>(pair)));
+}
+
+bool FaultModel::corrupt_key(std::int64_t step,
+                             std::int64_t pair) const noexcept {
+  return coin(config_.key_corrupt_rate,
+              decision(config_.seed, kKeyCorrupt,
+                       static_cast<std::uint64_t>(step),
+                       static_cast<std::uint64_t>(pair)));
+}
+
+Key FaultModel::corrupted_value(std::int64_t step, std::int64_t pair,
+                                Key key) const noexcept {
+  const std::uint64_t h =
+      decision(config_.seed, kCorruptBit, static_cast<std::uint64_t>(step),
+               static_cast<std::uint64_t>(pair));
+  // Flip one low-ish bit: the corrupted key stays in Key's range but the
+  // multiset checksum changes with certainty.
+  return key ^ (Key{1} << (h % 48));
+}
+
+std::string FaultModel::schedule_string() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "seed=%llu,drop=%g,ce=%g,corrupt=%g,links=%d,stragglers=%dx%d",
+                static_cast<unsigned long long>(config_.seed),
+                config_.packet_drop_rate, config_.ce_drop_rate,
+                config_.key_corrupt_rate, config_.failed_links,
+                config_.stragglers, config_.straggler_factor);
+  return buf;
+}
+
+}  // namespace prodsort

@@ -1,0 +1,128 @@
+#pragma once
+
+// Deterministic, seed-driven fault injection for the network layer.
+//
+// The machine model of Section 4 assumes a perfect synchronous fabric;
+// this subsystem perturbs it on a reproducible schedule so the sorting
+// and routing procedures can be exercised — and hardened — against the
+// failures real networks exhibit:
+//
+//  * permanent link failures — `failed_links` non-cut factor-graph edges
+//    are disabled; the packet simulator re-routes around them (BFS on the
+//    pruned graph) and reports the resulting path dilation;
+//  * transient packet drops — each link transmission is lost with
+//    probability `packet_drop_rate`; the simulator retries with bounded
+//    backoff;
+//  * compare-exchange message loss — each compare-exchange pair is
+//    silently skipped with probability `ce_drop_rate` (the multiset of
+//    keys is preserved, only the order is perturbed, so the
+//    self-verification layer of core/verify.hpp can recover);
+//  * key corruption — a stored key is bit-flipped with probability
+//    `key_corrupt_rate` (multiset-breaking: detectable via the checksum
+//    certificate, not recoverable by re-sorting);
+//  * stragglers — `stragglers` processors run `straggler_factor`x slower;
+//    every synchronous phase touching one is charged the slowdown in
+//    CostModel::exec_steps.
+//
+// Determinism: every decision is a pure splitmix64 hash of (seed, stream
+// tag, event ids) — see core/hashing.hpp — so a schedule replays
+// bit-identically for any thread count, call order, or platform.
+// Attaching a FaultModel with all rates zero and no failed links or
+// stragglers is behaviorally identical to attaching none.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/multiway_merge.hpp"  // Key
+#include "graph/graph.hpp"
+#include "product/gray_code.hpp"  // PNode
+
+namespace prodsort {
+
+struct FaultConfig {
+  std::uint64_t seed = 1;       ///< root of every decision stream
+  double packet_drop_rate = 0;  ///< transient per-transmission loss prob
+  double ce_drop_rate = 0;      ///< per-pair compare-exchange loss prob
+  double key_corrupt_rate = 0;  ///< per-pair stored-key bit-flip prob
+  int failed_links = 0;         ///< permanent non-cut link failures
+  int stragglers = 0;           ///< slow processors
+  int straggler_factor = 1;     ///< their slowdown multiplier (>= 1)
+  int max_retries = 12;         ///< per-hop retransmission budget
+  int max_backoff = 8;          ///< retry backoff cap, in steps
+};
+
+/// Injection tallies (what the model actually did, not what it cost —
+/// cost lives in CostModel / PacketStats).
+struct FaultCounters {
+  std::int64_t packet_drops = 0;    ///< transmissions lost in packet_sim
+  std::int64_t ce_drops = 0;        ///< compare-exchanges lost
+  std::int64_t key_corruptions = 0; ///< keys bit-flipped
+  std::int64_t straggler_phases = 0;///< phases slowed by a straggler
+};
+
+class FaultModel {
+ public:
+  explicit FaultModel(const FaultConfig& config = {});
+
+  [[nodiscard]] const FaultConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const FaultCounters& counters() const noexcept {
+    return counters_;
+  }
+  [[nodiscard]] FaultCounters& counters() noexcept { return counters_; }
+
+  /// Deterministically disables `config().failed_links` edges of `g`,
+  /// considering edges in seed-hashed order and skipping any whose
+  /// removal (on top of the already-failed set) would disconnect the
+  /// graph — so the surviving network always stays connected.  Replaces
+  /// any previously failed set.
+  void fail_links(const Graph& g);
+  [[nodiscard]] bool link_failed(NodeId a, NodeId b) const noexcept;
+  [[nodiscard]] const std::vector<std::pair<NodeId, NodeId>>& failed_edges()
+      const noexcept {
+    return failed_;
+  }
+
+  /// Deterministically marks `config().stragglers` of `num_nodes`
+  /// processors as stragglers.  Replaces any previous selection.
+  void select_stragglers(PNode num_nodes);
+  [[nodiscard]] bool is_straggler(PNode node) const noexcept {
+    return node >= 0 && static_cast<std::size_t>(node) < straggler_.size() &&
+           straggler_[static_cast<std::size_t>(node)] != 0;
+  }
+  [[nodiscard]] const std::vector<PNode>& straggler_nodes() const noexcept {
+    return straggler_nodes_;
+  }
+
+  // Pure decision streams (const, thread-safe, call-order independent).
+  [[nodiscard]] bool drop_packet(std::int64_t packet, std::int64_t hop,
+                                 int attempt) const noexcept;
+  [[nodiscard]] bool drop_compare_exchange(std::int64_t step,
+                                           std::int64_t pair) const noexcept;
+  [[nodiscard]] bool corrupt_key(std::int64_t step,
+                                 std::int64_t pair) const noexcept;
+  /// The corrupted replacement for `key` (a deterministic bit flip).
+  [[nodiscard]] Key corrupted_value(std::int64_t step, std::int64_t pair,
+                                    Key key) const noexcept;
+
+  /// True iff any compute-side fault (drops, corruption, stragglers) is
+  /// configured; the Machine fast-path stays fault-free otherwise.
+  [[nodiscard]] bool perturbs_compute() const noexcept {
+    return config_.ce_drop_rate > 0 || config_.key_corrupt_rate > 0 ||
+           config_.stragglers > 0;
+  }
+
+  /// Machine-readable schedule summary for repro lines, e.g.
+  /// "seed=5,drop=0.001,ce=0.001,corrupt=0,links=1,stragglers=1x4".
+  [[nodiscard]] std::string schedule_string() const;
+
+ private:
+  FaultConfig config_;
+  FaultCounters counters_;
+  std::vector<std::pair<NodeId, NodeId>> failed_;
+  std::vector<char> straggler_;       ///< per-node flag
+  std::vector<PNode> straggler_nodes_;
+};
+
+}  // namespace prodsort

@@ -28,6 +28,11 @@ void Machine::compare_exchange_step(std::span<const CEPair> pairs,
     }
   }
 
+  if (faults_ != nullptr && faults_->perturbs_compute()) {
+    faulty_compare_exchange_step(pairs, hop_distance);
+    return;
+  }
+
   std::atomic<std::int64_t> swaps{0};
   auto body = [&](std::int64_t begin, std::int64_t end) {
     std::int64_t local_swaps = 0;
@@ -50,6 +55,68 @@ void Machine::compare_exchange_step(std::span<const CEPair> pairs,
   cost_.exec_steps += hop_distance;
   cost_.comparisons += static_cast<std::int64_t>(pairs.size());
   cost_.exchanges += swaps.load(std::memory_order_relaxed);
+}
+
+void Machine::faulty_compare_exchange_step(std::span<const CEPair> pairs,
+                                           int hop_distance) {
+  FaultModel& fm = *faults_;
+  const std::int64_t step = fault_step_++;
+
+  // Per-pair fault decisions are pure hashes of (step, pair index) and
+  // every pair touches disjoint keys, so the parallel path stays
+  // deterministic for any thread count.
+  std::atomic<std::int64_t> swaps{0}, drops{0}, corruptions{0};
+  auto body = [&](std::int64_t begin, std::int64_t end) {
+    std::int64_t local_swaps = 0, local_drops = 0, local_corruptions = 0;
+    for (std::int64_t i = begin; i < end; ++i) {
+      if (fm.drop_compare_exchange(step, i)) {  // message lost: no exchange
+        ++local_drops;
+        continue;
+      }
+      const CEPair& p = pairs[static_cast<std::size_t>(i)];
+      Key& low = keys_[static_cast<std::size_t>(p.low)];
+      Key& high = keys_[static_cast<std::size_t>(p.high)];
+      if (low > high) {
+        std::swap(low, high);
+        ++local_swaps;
+      }
+      if (fm.corrupt_key(step, i)) {
+        low = fm.corrupted_value(step, i, low);
+        ++local_corruptions;
+      }
+    }
+    swaps.fetch_add(local_swaps, std::memory_order_relaxed);
+    drops.fetch_add(local_drops, std::memory_order_relaxed);
+    corruptions.fetch_add(local_corruptions, std::memory_order_relaxed);
+  };
+  if (executor_ != nullptr)
+    executor_->parallel_for(static_cast<std::int64_t>(pairs.size()), body);
+  else
+    body(0, static_cast<std::int64_t>(pairs.size()));
+
+  // Straggler slowdown: the phase is synchronous, so one slow processor
+  // stretches the whole step.
+  int slow = 1;
+  if (fm.config().stragglers > 0) {
+    for (const CEPair& p : pairs) {
+      if (fm.is_straggler(p.low) || fm.is_straggler(p.high)) {
+        slow = fm.config().straggler_factor;
+        break;
+      }
+    }
+  }
+
+  const std::int64_t dropped = drops.load(std::memory_order_relaxed);
+  const std::int64_t corrupted = corruptions.load(std::memory_order_relaxed);
+  cost_.exec_steps += static_cast<std::int64_t>(hop_distance) * slow;
+  cost_.comparisons += static_cast<std::int64_t>(pairs.size()) - dropped;
+  cost_.exchanges += swaps.load(std::memory_order_relaxed);
+  cost_.retries += dropped;
+  if (dropped > 0 || corrupted > 0 || slow > 1) ++cost_.degraded_phases;
+
+  fm.counters().ce_drops += dropped;
+  fm.counters().key_corruptions += corrupted;
+  if (slow > 1) ++fm.counters().straggler_phases;
 }
 
 std::vector<Key> Machine::read_snake(const ViewSpec& view) const {

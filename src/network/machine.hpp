@@ -17,6 +17,7 @@
 
 #include "core/multiway_merge.hpp"  // Key
 #include "network/cost_model.hpp"
+#include "network/fault_model.hpp"
 #include "network/parallel_executor.hpp"
 #include "product/subgraph_view.hpp"
 
@@ -54,6 +55,18 @@ class Machine {
   /// Enables per-step disjointness validation (O(pairs) extra work).
   void set_check_disjoint(bool on) noexcept { check_disjoint_ = on; }
 
+  /// Attaches a fault model (borrowed; must outlive the machine, pass
+  /// nullptr to detach).  While attached, compare-exchange steps are
+  /// subject to its compute-side faults: dropped pairs (counted as
+  /// CostModel::retries), key corruption, and straggler slowdown (the
+  /// step's exec charge is multiplied by straggler_factor when any pair
+  /// touches a straggler).  With no model attached — or a model with all
+  /// compute rates zero — results are bit-identical to the fault-free
+  /// machine.  If the model selects stragglers, call
+  /// `select_stragglers(graph().num_nodes())` on it first.
+  void set_fault_model(FaultModel* faults) noexcept { faults_ = faults; }
+  [[nodiscard]] FaultModel* fault_model() const noexcept { return faults_; }
+
   /// Reads the keys out in snake order of `view` — the "result" of a sort
   /// phase for verification.
   [[nodiscard]] std::vector<Key> read_snake(const ViewSpec& view) const;
@@ -63,10 +76,15 @@ class Machine {
                                   bool descending = false) const;
 
  private:
+  void faulty_compare_exchange_step(std::span<const CEPair> pairs,
+                                    int hop_distance);
+
   const ProductGraph* pg_;
   std::vector<Key> keys_;
   CostModel cost_;
   ParallelExecutor* executor_;
+  FaultModel* faults_ = nullptr;
+  std::int64_t fault_step_ = 0;  ///< event-id stream for fault decisions
   bool check_disjoint_ = false;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 #include <stdexcept>
+#include <string>
 
 #include "graph/graph_algos.hpp"
 
@@ -11,9 +12,13 @@ namespace prodsort {
 namespace {
 
 // Generic engine: packets with fixed hop-by-hop paths, unit-capacity
-// directed links, farthest-to-go priority.
+// directed links, farthest-to-go priority.  With a fault model, every
+// transmission may be lost (transient drop); the sender then backs off
+// for a bounded, attempt-doubling number of steps and retries.
 class Engine {
  public:
+  explicit Engine(FaultModel* faults) : faults_(faults) {}
+
   void add_packet(std::vector<std::int64_t> path) {
     if (path.size() >= 2) paths_.push_back(std::move(path));
   }
@@ -21,6 +26,8 @@ class Engine {
   PacketStats run() {
     PacketStats stats;
     std::vector<std::size_t> progress(paths_.size(), 0);
+    std::vector<int> attempts(paths_.size(), 0);
+    std::vector<std::int64_t> blocked_until(paths_.size(), 0);
     std::int64_t in_flight = 0;
     for (const auto& p : paths_) {
       stats.total_hops += static_cast<std::int64_t>(p.size()) - 1;
@@ -29,8 +36,13 @@ class Engine {
     std::map<std::pair<std::int64_t, std::int64_t>, int> link_load;
 
     // Safety valve: total hops is a trivial upper bound on delivery time
-    // (one packet could move per step in the worst case).
-    const std::int64_t step_cap = stats.total_hops + 1;
+    // (one packet could move per step in the worst case); under faults
+    // every hop may additionally burn its full retry/backoff budget.
+    std::int64_t step_cap = stats.total_hops + 1;
+    if (faults_ != nullptr)
+      step_cap = (step_cap + 64) * (faults_->config().max_retries *
+                                        (faults_->config().max_backoff + 1) +
+                                    2);
     while (in_flight > 0) {
       if (stats.steps >= step_cap)
         throw std::logic_error("packet simulation failed to converge");
@@ -39,6 +51,7 @@ class Engine {
       std::map<std::pair<std::int64_t, std::int64_t>, std::size_t> winner;
       for (std::size_t i = 0; i < paths_.size(); ++i) {
         if (progress[i] + 1 >= paths_[i].size()) continue;  // delivered
+        if (blocked_until[i] > stats.steps) continue;       // backing off
         const std::pair<std::int64_t, std::int64_t> link{
             paths_[i][progress[i]], paths_[i][progress[i] + 1]};
         const auto it = winner.find(link);
@@ -49,8 +62,26 @@ class Engine {
           winner.insert_or_assign(link, i);
       }
       for (const auto& [link, i] : winner) {
-        ++progress[i];
         stats.max_link_load = std::max(stats.max_link_load, ++link_load[link]);
+        if (faults_ != nullptr &&
+            faults_->drop_packet(static_cast<std::int64_t>(i),
+                                 static_cast<std::int64_t>(progress[i]),
+                                 attempts[i])) {
+          // Transmission lost: retry after a bounded, doubling backoff.
+          ++stats.retries;
+          ++faults_->counters().packet_drops;
+          if (++attempts[i] > faults_->config().max_retries)
+            throw std::runtime_error(
+                "packet " + std::to_string(i) + " exhausted its " +
+                std::to_string(faults_->config().max_retries) +
+                "-retry budget at hop " + std::to_string(progress[i]));
+          const int backoff = std::min(faults_->config().max_backoff,
+                                       (1 << std::min(attempts[i], 6)) - 1);
+          blocked_until[i] = stats.steps + 1 + backoff;
+          continue;
+        }
+        ++progress[i];
+        attempts[i] = 0;
         if (progress[i] + 1 == paths_[i].size()) --in_flight;
       }
       ++stats.steps;
@@ -60,66 +91,134 @@ class Engine {
 
  private:
   std::vector<std::vector<std::int64_t>> paths_;
+  FaultModel* faults_;
 };
 
 void check_permutation(std::int64_t n, auto dest) {
-  std::vector<bool> seen(static_cast<std::size_t>(n), false);
+  std::vector<std::int64_t> owner(static_cast<std::size_t>(n), -1);
   for (std::int64_t p = 0; p < n; ++p) {
     const auto d = dest[static_cast<std::size_t>(p)];
-    if (d < 0 || d >= n || seen[static_cast<std::size_t>(d)])
-      throw std::invalid_argument("dest is not a permutation");
-    seen[static_cast<std::size_t>(d)] = true;
+    if (d < 0 || d >= n)
+      throw std::invalid_argument(
+          "dest is not a permutation: dest[" + std::to_string(p) + "] = " +
+          std::to_string(d) + " is outside [0, " + std::to_string(n) + ")");
+    std::int64_t& o = owner[static_cast<std::size_t>(d)];
+    if (o >= 0)
+      throw std::invalid_argument(
+          "dest is not a permutation: dest[" + std::to_string(p) + "] = " +
+          std::to_string(d) + " duplicates dest[" + std::to_string(o) + "]");
+    o = p;
   }
+}
+
+// The surviving graph after permanent link failures (lazily selecting
+// them on first use).  Returns nullptr when no links are failed, meaning
+// "route on the original graph".
+const Graph* prune_failed_links(const Graph& g, FaultModel* faults,
+                                Graph& storage) {
+  if (faults == nullptr || faults->config().failed_links == 0) return nullptr;
+  if (faults->failed_edges().empty()) faults->fail_links(g);
+  storage = Graph(g.num_nodes());
+  for (const auto& [a, b] : g.edges())
+    if (!faults->link_failed(a, b)) storage.add_edge(a, b);
+  return &storage;
 }
 
 }  // namespace
 
-PacketStats simulate_permutation(const Graph& g, std::span<const NodeId> dest) {
+PacketStats simulate_permutation(const Graph& g, std::span<const NodeId> dest,
+                                 FaultModel* faults) {
   if (static_cast<NodeId>(dest.size()) != g.num_nodes())
     throw std::invalid_argument("dest size mismatch");
   check_permutation(g.num_nodes(), dest);
-  Engine engine;
+
+  Graph pruned_storage;
+  const Graph* pruned = prune_failed_links(g, faults, pruned_storage);
+
+  Engine engine(faults);
+  std::int64_t reroutes = 0;
+  double dilation = 1.0;
   for (NodeId p = 0; p < g.num_nodes(); ++p) {
     const NodeId target = dest[static_cast<std::size_t>(p)];
-    const auto path = shortest_path(g, p, target);
+    const auto path = shortest_path(pruned != nullptr ? *pruned : g, p, target);
     if (path.empty() && p != target)
       throw std::invalid_argument("destination unreachable (disconnected graph)");
+    if (pruned != nullptr && path.size() >= 2) {
+      // Degradation accounting: did the fault-free shortest path use a
+      // now-failed link, and how much longer is the detour?
+      const auto orig = shortest_path(g, p, target);
+      bool hit_failed = false;
+      for (std::size_t h = 0; h + 1 < orig.size(); ++h)
+        if (faults->link_failed(orig[h], orig[h + 1])) hit_failed = true;
+      if (hit_failed) ++reroutes;
+      if (orig.size() >= 2)
+        dilation = std::max(dilation, static_cast<double>(path.size() - 1) /
+                                          static_cast<double>(orig.size() - 1));
+    }
     std::vector<std::int64_t> hops(path.begin(), path.end());
     engine.add_packet(std::move(hops));
   }
-  return engine.run();
+  PacketStats stats = engine.run();
+  stats.reroutes = reroutes;
+  stats.dilation = dilation;
+  return stats;
 }
 
 PacketStats simulate_product_permutation(const ProductGraph& pg,
-                                         std::span<const PNode> dest) {
+                                         std::span<const PNode> dest,
+                                         FaultModel* faults) {
   if (static_cast<PNode>(dest.size()) != pg.num_nodes())
     throw std::invalid_argument("dest size mismatch");
   check_permutation(pg.num_nodes(), dest);
 
-  Engine engine;
+  const Graph& factor = pg.factor().graph;
+  Graph pruned_storage;
+  const Graph* pruned = prune_failed_links(factor, faults, pruned_storage);
+
+  Engine engine(faults);
+  std::int64_t reroutes = 0;
+  double dilation = 1.0;
   for (PNode p = 0; p < pg.num_nodes(); ++p) {
     // Dimension-order route: correct each digit in turn along the factor
     // graph's shortest path.
     std::vector<std::int64_t> hops{p};
     PNode at = p;
     const PNode target = dest[static_cast<std::size_t>(p)];
+    std::int64_t fault_free_len = 0;
+    bool hit_failed = false;
     for (int dim = 1; dim <= pg.dims(); ++dim) {
       const NodeId from = pg.digit(at, dim);
       const NodeId to = pg.digit(target, dim);
       if (from == to) continue;
-      const auto factor_path = shortest_path(pg.factor().graph, from, to);
+      const auto factor_path =
+          shortest_path(pruned != nullptr ? *pruned : factor, from, to);
       if (factor_path.empty())
         throw std::invalid_argument(
             "destination unreachable (disconnected factor graph)");
+      if (pruned != nullptr) {
+        const auto orig = shortest_path(factor, from, to);
+        fault_free_len += static_cast<std::int64_t>(orig.size()) - 1;
+        for (std::size_t h = 0; h + 1 < orig.size(); ++h)
+          if (faults->link_failed(orig[h], orig[h + 1])) hit_failed = true;
+      }
       for (const NodeId step : factor_path) {
         if (step == from) continue;
         at = pg.with_digit(at, dim, step);
         hops.push_back(at);
       }
     }
+    if (pruned != nullptr && hops.size() >= 2) {
+      if (hit_failed) ++reroutes;
+      if (fault_free_len > 0)
+        dilation = std::max(dilation, static_cast<double>(hops.size() - 1) /
+                                          static_cast<double>(fault_free_len));
+    }
     engine.add_packet(std::move(hops));
   }
-  return engine.run();
+  PacketStats stats = engine.run();
+  stats.reroutes = reroutes;
+  stats.dilation = dilation;
+  return stats;
 }
 
 }  // namespace prodsort

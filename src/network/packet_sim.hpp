@@ -8,11 +8,23 @@
 // farthest-to-go priority at contended links.  The simulation reports
 // the delivery time, which the benches compare against the analytic
 // R(N) values of Section 5.
+//
+// With a FaultModel attached the fabric degrades gracefully instead of
+// staying perfect:
+//  * permanently failed links (FaultModel::fail_links, always non-cut)
+//    are routed around — paths are recomputed by BFS on the pruned
+//    graph, and the stats report how many packets were rerouted and the
+//    worst path dilation that cost;
+//  * transient drops (packet_drop_rate) lose individual transmissions;
+//    the sender retries with bounded exponential backoff (per-hop
+//    attempt budget max_retries, backoff capped at max_backoff steps).
+// Passing nullptr (the default) is the exact fault-free simulation.
 
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "network/fault_model.hpp"
 #include "product/product_graph.hpp"
 
 namespace prodsort {
@@ -21,17 +33,26 @@ struct PacketStats {
   int steps = 0;               ///< synchronous steps until all delivered
   std::int64_t total_hops = 0; ///< sum of path lengths (work)
   int max_link_load = 0;       ///< packets that crossed the busiest link
+  std::int64_t retries = 0;    ///< transmissions lost and retransmitted
+  std::int64_t reroutes = 0;   ///< packets re-pathed around failed links
+  double dilation = 1.0;       ///< worst actual/fault-free path-length ratio
 };
 
 /// Routes packet p (starting at node p) to dest[p] in a factor graph
-/// along BFS shortest paths.  `dest` must be a permutation.
+/// along BFS shortest paths.  `dest` must be a permutation (violations
+/// throw std::invalid_argument naming the offending index).  Exceeding
+/// the per-hop retry budget under faults throws std::runtime_error.
 [[nodiscard]] PacketStats simulate_permutation(const Graph& g,
-                                               std::span<const NodeId> dest);
+                                               std::span<const NodeId> dest,
+                                               FaultModel* faults = nullptr);
 
 /// Same on a product graph with dimension-order routing: each packet
 /// corrects dimension 1 first (along factor BFS paths), then dimension 2,
-/// and so on.  `dest` must be a permutation of the node set.
+/// and so on.  `dest` must be a permutation of the node set.  Failed
+/// links are interpreted in the factor graph (a failed factor edge fails
+/// the corresponding link in every dimension and position).
 [[nodiscard]] PacketStats simulate_product_permutation(
-    const ProductGraph& pg, std::span<const PNode> dest);
+    const ProductGraph& pg, std::span<const PNode> dest,
+    FaultModel* faults = nullptr);
 
 }  // namespace prodsort

@@ -1,20 +1,32 @@
 #include "network/routing.hpp"
 
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 namespace prodsort {
 
 RoutingResult route_permutation(const LabeledFactor& factor,
-                                std::span<const NodeId> dest) {
+                                std::span<const NodeId> dest,
+                                FaultModel* faults) {
   const NodeId n = factor.size();
   if (static_cast<NodeId>(dest.size()) != n)
-    throw std::invalid_argument("destination vector size mismatch");
-  std::vector<bool> seen(static_cast<std::size_t>(n), false);
-  for (const NodeId d : dest) {
-    if (d < 0 || d >= n || seen[static_cast<std::size_t>(d)])
-      throw std::invalid_argument("dest is not a permutation");
-    seen[static_cast<std::size_t>(d)] = true;
+    throw std::invalid_argument(
+        "destination vector size mismatch: got " +
+        std::to_string(dest.size()) + ", expected " + std::to_string(n));
+  std::vector<NodeId> owner(static_cast<std::size_t>(n), -1);
+  for (NodeId p = 0; p < n; ++p) {
+    const NodeId d = dest[static_cast<std::size_t>(p)];
+    if (d < 0 || d >= n)
+      throw std::invalid_argument(
+          "dest is not a permutation: dest[" + std::to_string(p) + "] = " +
+          std::to_string(d) + " is outside [0, " + std::to_string(n) + ")");
+    NodeId& o = owner[static_cast<std::size_t>(d)];
+    if (o >= 0)
+      throw std::invalid_argument(
+          "dest is not a permutation: dest[" + std::to_string(p) + "] = " +
+          std::to_string(d) + " duplicates dest[" + std::to_string(o) + "]");
+    o = p;
   }
 
   // packet[v] = payload currently held at node v; its target is
@@ -27,11 +39,25 @@ RoutingResult route_permutation(const LabeledFactor& factor,
 
   auto target = [&](NodeId v) { return dest[static_cast<std::size_t>(packet[static_cast<std::size_t>(v)])]; };
 
+  // Under faults an exchange may be lost and retried on a later phase, so
+  // the fault-free N-phase budget is widened; the quiet-phase exit still
+  // fires as soon as the permutation is actually delivered.
+  const NodeId max_phases =
+      faults != nullptr ? 4 * n + 8 : n;
   int quiet = 0;
-  for (NodeId phase = 0; phase < n && quiet < 2; ++phase) {
+  NodeId phase = 0;
+  for (; phase < max_phases && quiet < 2; ++phase) {
     bool any = false;
     for (NodeId v = phase % 2; v + 1 < n; v += 2) {
       if (target(v) > target(v + 1)) {
+        if (faults != nullptr && faults->drop_compare_exchange(phase, v)) {
+          // Exchange message lost: the pair stays put this phase and the
+          // inversion is retried by a later phase.
+          ++result.retries;
+          ++faults->counters().ce_drops;
+          any = true;  // work remains: the phase was not quiet
+          continue;
+        }
         std::swap(packet[static_cast<std::size_t>(v)],
                   packet[static_cast<std::size_t>(v + 1)]);
         any = true;
@@ -42,6 +68,11 @@ RoutingResult route_permutation(const LabeledFactor& factor,
     // are fully sorted by target; stop early.
     quiet = any ? 0 : quiet + 1;
   }
+  // Fault-free OET is guaranteed sorted after n phases even when the
+  // quiet-exit never fired; only the widened fault budget can be overrun.
+  if (faults != nullptr && quiet < 2 && phase == max_phases)
+    throw std::runtime_error(
+        "route_permutation failed to converge within the fault phase budget");
   return result;
 }
 

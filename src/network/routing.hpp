@@ -16,18 +16,28 @@
 #include <vector>
 
 #include "graph/labeled_factor.hpp"
+#include "network/fault_model.hpp"
 
 namespace prodsort {
 
 struct RoutingResult {
   std::vector<NodeId> delivered;  ///< delivered[node] = payload now at node
   int steps = 0;                  ///< synchronous hop-steps consumed
+  std::int64_t retries = 0;       ///< exchanges lost to faults and redone
 };
 
 /// Routes payload p initially at node p's position to node dest[p]:
 /// afterwards delivered[dest[p]] == p for every p.  `dest` must be a
-/// permutation of 0..N-1.
+/// permutation of 0..N-1 (violations throw std::invalid_argument naming
+/// the offending index).
+///
+/// With a FaultModel attached, each comparator exchange may be lost with
+/// ce_drop_rate; lost exchanges are retried on later phases (counted in
+/// `retries`), and the phase budget grows from N to 4N+8 — exceeding it
+/// throws std::runtime_error.  Passing nullptr is the exact fault-free
+/// routing.
 [[nodiscard]] RoutingResult route_permutation(const LabeledFactor& factor,
-                                              std::span<const NodeId> dest);
+                                              std::span<const NodeId> dest,
+                                              FaultModel* faults = nullptr);
 
 }  // namespace prodsort

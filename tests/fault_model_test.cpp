@@ -1,0 +1,298 @@
+#include "network/fault_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+
+#include "core/product_sort.hpp"
+#include "core/s2/snake_oet_s2.hpp"
+#include "graph/graph_algos.hpp"
+#include "network/packet_sim.hpp"
+#include "network/routing.hpp"
+#include "product/snake_order.hpp"
+
+namespace prodsort {
+namespace {
+
+std::vector<Key> random_keys(PNode count, unsigned seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<Key> keys(static_cast<std::size_t>(count));
+  for (Key& k : keys) k = static_cast<Key>(rng() % 100000);
+  return keys;
+}
+
+TEST(FaultModelTest, DecisionStreamsAreDeterministic) {
+  FaultConfig config;
+  config.seed = 42;
+  config.packet_drop_rate = 0.25;
+  config.ce_drop_rate = 0.25;
+  config.key_corrupt_rate = 0.25;
+  const FaultModel a(config);
+  const FaultModel b(config);
+  int hits = 0;
+  for (std::int64_t step = 0; step < 200; ++step) {
+    EXPECT_EQ(a.drop_packet(step, step % 7, 0), b.drop_packet(step, step % 7, 0));
+    EXPECT_EQ(a.drop_compare_exchange(step, 3), b.drop_compare_exchange(step, 3));
+    EXPECT_EQ(a.corrupt_key(step, 3), b.corrupt_key(step, 3));
+    hits += a.drop_compare_exchange(step, 3);
+  }
+  // ~25% rate: statistically certain to hit at least once in 200 draws.
+  EXPECT_GT(hits, 0);
+  EXPECT_LT(hits, 200);
+
+  config.seed = 43;
+  const FaultModel c(config);
+  int diffs = 0;
+  for (std::int64_t step = 0; step < 200; ++step)
+    diffs += a.drop_compare_exchange(step, 3) != c.drop_compare_exchange(step, 3);
+  EXPECT_GT(diffs, 0);  // different seeds, different schedule
+}
+
+TEST(FaultModelTest, ZeroRatesNeverFire) {
+  const FaultModel fm{FaultConfig{}};
+  for (std::int64_t i = 0; i < 100; ++i) {
+    EXPECT_FALSE(fm.drop_packet(i, 0, 0));
+    EXPECT_FALSE(fm.drop_compare_exchange(i, i));
+    EXPECT_FALSE(fm.corrupt_key(i, i));
+  }
+  EXPECT_FALSE(fm.perturbs_compute());
+}
+
+TEST(FaultModelTest, FailedLinksAreNonCutAndDeterministic) {
+  for (const LabeledFactor& f : {labeled_petersen(), labeled_complete(6)}) {
+    FaultConfig config;
+    config.seed = 7;
+    config.failed_links = 2;
+    FaultModel fm(config);
+    fm.fail_links(f.graph);
+    EXPECT_EQ(fm.failed_edges().size(), 2u) << f.name;
+
+    Graph pruned(f.graph.num_nodes());
+    for (const auto& [a, b] : f.graph.edges())
+      if (!fm.link_failed(a, b)) pruned.add_edge(a, b);
+    EXPECT_TRUE(is_connected(pruned)) << f.name;
+
+    FaultModel fm2(config);
+    fm2.fail_links(f.graph);
+    EXPECT_EQ(fm.failed_edges(), fm2.failed_edges()) << f.name;
+  }
+}
+
+TEST(FaultModelTest, FailedLinkBudgetIsCappedByConnectivity) {
+  // A cycle survives exactly one link failure: the second removal would
+  // cut the ring, so the model must stop at one no matter the request.
+  FaultConfig config;
+  config.seed = 7;
+  config.failed_links = 2;
+  FaultModel fm(config);
+  fm.fail_links(labeled_cycle(8).graph);
+  EXPECT_EQ(fm.failed_edges().size(), 1u);
+}
+
+TEST(FaultModelTest, TreeHasNoNonCutLinks) {
+  // Every edge of a tree is a cut edge: none can be failed safely.
+  FaultConfig config;
+  config.failed_links = 3;
+  FaultModel fm(config);
+  fm.fail_links(labeled_binary_tree(3).graph);
+  EXPECT_TRUE(fm.failed_edges().empty());
+}
+
+TEST(FaultModelTest, StragglerSelectionIsExactAndDeterministic) {
+  FaultConfig config;
+  config.seed = 11;
+  config.stragglers = 3;
+  config.straggler_factor = 4;
+  FaultModel fm(config);
+  fm.select_stragglers(100);
+  EXPECT_EQ(fm.straggler_nodes().size(), 3u);
+  int count = 0;
+  for (PNode v = 0; v < 100; ++v) count += fm.is_straggler(v);
+  EXPECT_EQ(count, 3);
+
+  FaultModel fm2(config);
+  fm2.select_stragglers(100);
+  EXPECT_EQ(fm.straggler_nodes(), fm2.straggler_nodes());
+}
+
+TEST(FaultModelTest, AttachedModelWithZeroRatesIsBitIdentical) {
+  const ProductGraph pg(labeled_path(4), 3);
+  const auto keys = random_keys(pg.num_nodes(), 5);
+  const SnakeOETS2 oet;
+  SortOptions options;
+  options.s2 = &oet;
+
+  Machine plain(pg, keys);
+  (void)sort_product_network(plain, options);
+
+  Machine faulty(pg, keys);
+  FaultModel fm{FaultConfig{}};
+  faulty.set_fault_model(&fm);
+  (void)sort_product_network(faulty, options);
+
+  EXPECT_TRUE(std::equal(plain.keys().begin(), plain.keys().end(),
+                         faulty.keys().begin()));
+  EXPECT_EQ(plain.cost().exec_steps, faulty.cost().exec_steps);
+  EXPECT_EQ(plain.cost().comparisons, faulty.cost().comparisons);
+  EXPECT_EQ(plain.cost().exchanges, faulty.cost().exchanges);
+  EXPECT_EQ(faulty.cost().retries, 0);
+  EXPECT_EQ(faulty.cost().degraded_phases, 0);
+}
+
+TEST(FaultModelTest, CeDropsAreCountedAndThreadCountInvariant) {
+  const ProductGraph pg(labeled_path(4), 3);
+  const auto keys = random_keys(pg.num_nodes(), 9);
+  const SnakeOETS2 oet;
+  SortOptions options;
+  options.s2 = &oet;
+
+  FaultConfig config;
+  config.seed = 3;
+  config.ce_drop_rate = 0.01;
+
+  std::vector<Key> first_result;
+  for (const int threads : {1, 4}) {
+    ParallelExecutor exec(threads);
+    Machine m(pg, keys, &exec);
+    FaultModel fm(config);
+    m.set_fault_model(&fm);
+    (void)sort_product_network(m, options);
+    EXPECT_GT(fm.counters().ce_drops, 0);
+    EXPECT_EQ(m.cost().retries, fm.counters().ce_drops);
+    EXPECT_GT(m.cost().degraded_phases, 0);
+    const auto got = m.read_snake(full_view(pg));
+    if (first_result.empty())
+      first_result = got;
+    else
+      EXPECT_EQ(first_result, got);  // same faults for any thread count
+  }
+}
+
+TEST(FaultModelTest, StragglerSlowdownChargesExecSteps) {
+  const ProductGraph pg(labeled_path(4), 2);
+  const auto keys = random_keys(pg.num_nodes(), 13);
+  const SnakeOETS2 oet;
+  SortOptions options;
+  options.s2 = &oet;
+
+  Machine plain(pg, keys);
+  (void)sort_product_network(plain, options);
+
+  FaultConfig config;
+  config.stragglers = 1;
+  config.straggler_factor = 4;
+  FaultModel fm(config);
+  fm.select_stragglers(pg.num_nodes());
+  Machine slow(pg, keys);
+  slow.set_fault_model(&fm);
+  (void)sort_product_network(slow, options);
+
+  // Straggler never perturbs results, only time.
+  EXPECT_TRUE(std::equal(plain.keys().begin(), plain.keys().end(),
+                         slow.keys().begin()));
+  EXPECT_GT(slow.cost().exec_steps, plain.cost().exec_steps);
+  EXPECT_LE(slow.cost().exec_steps, 4 * plain.cost().exec_steps);
+  EXPECT_GT(fm.counters().straggler_phases, 0);
+  EXPECT_EQ(slow.cost().degraded_phases, fm.counters().straggler_phases);
+}
+
+TEST(FaultModelTest, PacketSimRetriesDroppedTransmissions) {
+  const LabeledFactor f = labeled_cycle(8);
+  std::vector<NodeId> dest(8);
+  for (NodeId v = 0; v < 8; ++v) dest[static_cast<std::size_t>(v)] = 7 - v;
+
+  const PacketStats clean = simulate_permutation(f.graph, dest);
+
+  FaultConfig config;
+  config.seed = 21;
+  config.packet_drop_rate = 0.2;
+  FaultModel fm(config);
+  const PacketStats faulty = simulate_permutation(f.graph, dest, &fm);
+  EXPECT_GT(faulty.retries, 0);
+  EXPECT_EQ(fm.counters().packet_drops, faulty.retries);
+  EXPECT_GE(faulty.steps, clean.steps);  // drops only ever slow delivery
+  EXPECT_EQ(faulty.total_hops, clean.total_hops);  // same paths, no reroute
+}
+
+TEST(FaultModelTest, PacketSimReroutesAroundFailedLinks) {
+  // Rotation on a cycle: every packet's fault-free path is its direct
+  // edge, so the packet whose edge failed must detour the long way.
+  const LabeledFactor f = labeled_cycle(10);
+  std::vector<NodeId> dest(10);
+  for (NodeId v = 0; v < 10; ++v)
+    dest[static_cast<std::size_t>(v)] = (v + 1) % 10;
+
+  FaultConfig config;
+  config.seed = 2;
+  config.failed_links = 1;
+  FaultModel fm(config);
+  const PacketStats stats = simulate_permutation(f.graph, dest, &fm);
+  EXPECT_EQ(fm.failed_edges().size(), 1u);
+  EXPECT_EQ(stats.reroutes, 1);
+  EXPECT_DOUBLE_EQ(stats.dilation, 9.0);  // 1-hop edge becomes the 9-hop arc
+  EXPECT_GT(stats.steps, 0);  // still delivers everything
+}
+
+TEST(FaultModelTest, ProductPacketSimSurvivesFailedFactorLink) {
+  const ProductGraph pg(labeled_cycle(6), 2);
+  std::vector<PNode> dest(static_cast<std::size_t>(pg.num_nodes()));
+  std::iota(dest.begin(), dest.end(), 0);
+  std::mt19937 rng(37);
+  std::shuffle(dest.begin(), dest.end(), rng);
+
+  FaultConfig config;
+  config.seed = 4;
+  config.failed_links = 1;
+  config.packet_drop_rate = 0.01;
+  FaultModel fm(config);
+  const PacketStats stats = simulate_product_permutation(pg, dest, &fm);
+  EXPECT_GT(stats.steps, 0);
+  EXPECT_GE(stats.dilation, 1.0);
+}
+
+TEST(FaultModelTest, RoutePermutationRetriesLostExchanges) {
+  const LabeledFactor f = labeled_path(16);
+  std::vector<NodeId> dest(16);
+  for (NodeId v = 0; v < 16; ++v) dest[static_cast<std::size_t>(v)] = 15 - v;
+
+  FaultConfig config;
+  config.seed = 17;
+  config.ce_drop_rate = 0.1;
+  FaultModel fm(config);
+  const RoutingResult result = route_permutation(f, dest, &fm);
+  for (NodeId p = 0; p < 16; ++p)
+    EXPECT_EQ(result.delivered[static_cast<std::size_t>(
+                  dest[static_cast<std::size_t>(p)])],
+              p);
+  EXPECT_GT(result.retries, 0);
+  EXPECT_GT(result.steps, (f.size() + 1) * f.dilation);  // paid extra phases
+}
+
+TEST(FaultModelTest, ScheduleStringIsMachineReadable) {
+  FaultConfig config;
+  config.seed = 5;
+  config.packet_drop_rate = 1e-3;
+  config.failed_links = 1;
+  config.stragglers = 1;
+  config.straggler_factor = 4;
+  const FaultModel fm(config);
+  const std::string s = fm.schedule_string();
+  EXPECT_NE(s.find("seed=5"), std::string::npos);
+  EXPECT_NE(s.find("drop=0.001"), std::string::npos);
+  EXPECT_NE(s.find("links=1"), std::string::npos);
+  EXPECT_NE(s.find("stragglers=1x4"), std::string::npos);
+}
+
+TEST(FaultModelTest, RejectsInvalidConfig) {
+  FaultConfig bad;
+  bad.straggler_factor = 0;
+  EXPECT_THROW(FaultModel{bad}, std::invalid_argument);
+  FaultConfig negative;
+  negative.failed_links = -1;
+  EXPECT_THROW(FaultModel{negative}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace prodsort

@@ -129,5 +129,26 @@ TEST(PacketSimTest, RejectsNonPermutations) {
                std::invalid_argument);
 }
 
+TEST(PacketSimTest, ValidationNamesTheOffendingIndex) {
+  const Graph g = make_path(4);
+  try {
+    const NodeId dup[] = {0, 2, 2, 1};
+    (void)simulate_permutation(g, dup);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("dest[2] = 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("dest[1]"), std::string::npos) << what;
+  }
+  try {
+    const NodeId range[] = {0, 1, 2, 7};
+    (void)simulate_permutation(g, range);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("dest[3] = 7"), std::string::npos)
+        << e.what();
+  }
+}
+
 }  // namespace
 }  // namespace prodsort

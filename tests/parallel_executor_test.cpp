@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 namespace prodsort {
@@ -89,6 +90,84 @@ TEST(ParallelExecutorTest, WorkerExceptionPropagates) {
 
 TEST(ParallelExecutorTest, NestedCallsThrowInsteadOfCorrupting) {
   ParallelExecutor exec(4);
+  std::atomic<bool> nested_threw{false};
+  exec.parallel_for(1000, [&](std::int64_t, std::int64_t) {
+    try {
+      exec.parallel_for(1000, [](std::int64_t, std::int64_t) {});
+    } catch (const std::logic_error&) {
+      nested_threw.store(true);
+    }
+  });
+  EXPECT_TRUE(nested_threw.load());
+}
+
+TEST(ParallelExecutorTest, PreservesThrownExceptionType) {
+  struct WorkerFault : std::runtime_error {
+    using std::runtime_error::runtime_error;
+  };
+  ParallelExecutor exec(4);
+  try {
+    exec.parallel_for(1000, [&](std::int64_t begin, std::int64_t) {
+      if (begin == 0) throw WorkerFault("typed boom");
+    });
+    FAIL() << "expected WorkerFault";
+  } catch (const WorkerFault& e) {
+    EXPECT_STREQ(e.what(), "typed boom");
+  }
+}
+
+TEST(ParallelExecutorTest, EveryChunkThrowingStillJoinsAndPropagatesOne) {
+  ParallelExecutor exec(4);
+  std::atomic<int> bodies{0};
+  EXPECT_THROW(exec.parallel_for(1000,
+                                 [&](std::int64_t, std::int64_t) {
+                                   bodies.fetch_add(1);
+                                   throw std::runtime_error("all boom");
+                                 }),
+               std::runtime_error);
+  EXPECT_EQ(bodies.load(), 4);  // every chunk ran to its throw
+  // Exactly one exception escaped; the pool is intact and reusable.
+  std::atomic<std::int64_t> total{0};
+  exec.parallel_for(500, [&](std::int64_t b, std::int64_t e) {
+    total.fetch_add(e - b, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(total.load(), 500);
+}
+
+TEST(ParallelExecutorTest, ReusableAfterNestedCallThrew) {
+  // A nested parallel_for throws std::logic_error inside the body; after
+  // the outer call completes the executor must accept new work (the
+  // not-reentrant latch must have been released).
+  ParallelExecutor exec(4);
+  std::atomic<int> nested_throws{0};
+  for (int round = 0; round < 3; ++round) {
+    exec.parallel_for(1000, [&](std::int64_t, std::int64_t) {
+      try {
+        exec.parallel_for(10, [](std::int64_t, std::int64_t) {});
+      } catch (const std::logic_error&) {
+        nested_throws.fetch_add(1);
+      }
+    });
+  }
+  EXPECT_GE(nested_throws.load(), 3);
+  std::atomic<std::int64_t> total{0};
+  exec.parallel_for(100, [&](std::int64_t b, std::int64_t e) {
+    total.fetch_add(e - b, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(total.load(), 100);
+}
+
+TEST(ParallelExecutorTest, ThrowingBodyThenNestedAttemptStillGuards) {
+  // The reentrancy guard must stay correct across a throwing call: a
+  // fresh nested attempt after recovery still throws std::logic_error
+  // (not silently corrupting the fork-join state).
+  ParallelExecutor exec(4);
+  EXPECT_THROW(exec.parallel_for(1000,
+                                 [&](std::int64_t begin, std::int64_t) {
+                                   if (begin == 0)
+                                     throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
   std::atomic<bool> nested_threw{false};
   exec.parallel_for(1000, [&](std::int64_t, std::int64_t) {
     try {

@@ -59,6 +59,43 @@ TEST(RoutingTest, RejectsNonPermutations) {
   EXPECT_THROW((void)route_permutation(f, short_vec), std::invalid_argument);
 }
 
+TEST(RoutingTest, ValidationNamesTheOffendingIndex) {
+  const LabeledFactor f = labeled_path(4);
+  try {
+    const NodeId dup[] = {3, 1, 3, 2};
+    (void)route_permutation(f, dup);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("dest[2] = 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("dest[0]"), std::string::npos) << what;  // first holder
+  }
+  try {
+    const NodeId range[] = {0, 1, 2, -1};
+    (void)route_permutation(f, range);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("dest[3] = -1"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(RoutingTest, InputStateIsUntouchedOnRejection) {
+  // Bad input must throw before any packet moves: the routing result is
+  // never partially built from a corrupt destination map.
+  const LabeledFactor f = labeled_path(5);
+  const NodeId bad[] = {0, 1, 2, 3, 5};
+  for (int attempt = 0; attempt < 2; ++attempt)
+    EXPECT_THROW((void)route_permutation(f, bad), std::invalid_argument);
+  // The same factor still routes a valid permutation afterwards.
+  const NodeId good[] = {4, 3, 2, 1, 0};
+  const RoutingResult result = route_permutation(f, good);
+  for (NodeId p = 0; p < 5; ++p)
+    EXPECT_EQ(result.delivered[static_cast<std::size_t>(
+                  good[static_cast<std::size_t>(p)])],
+              p);
+}
+
 TEST(RoutingTest, AdjacentSwapIsCheap) {
   const LabeledFactor f = labeled_path(8);
   std::vector<NodeId> dest(8);

@@ -1,0 +1,169 @@
+#include "core/verify.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "core/product_sort.hpp"
+#include "core/s2/snake_oet_s2.hpp"
+#include "product/snake_order.hpp"
+
+namespace prodsort {
+namespace {
+
+std::vector<Key> random_keys(PNode count, unsigned seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<Key> keys(static_cast<std::size_t>(count));
+  for (Key& k : keys) k = static_cast<Key>(rng() % 100000);
+  return keys;
+}
+
+TEST(VerifyTest, ChecksumIsOrderIndependent) {
+  std::vector<Key> keys = {5, 1, 4, 1, 9, 2, 6};
+  const std::uint64_t original = multiset_checksum(keys);
+  std::mt19937 rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::shuffle(keys.begin(), keys.end(), rng);
+    EXPECT_EQ(multiset_checksum(keys), original);
+  }
+}
+
+TEST(VerifyTest, ChecksumDetectsValueAndMultiplicityChanges) {
+  const std::vector<Key> keys = {5, 1, 4, 1, 9};
+  const std::uint64_t original = multiset_checksum(keys);
+  std::vector<Key> flipped = keys;
+  flipped[2] ^= 1;  // single bit flip
+  EXPECT_NE(multiset_checksum(flipped), original);
+  std::vector<Key> duplicated = {5, 1, 4, 4, 9};  // same sum of two 4s vs 1+...
+  EXPECT_NE(multiset_checksum(duplicated), original);
+  const std::vector<Key> shorter = {5, 1, 4, 1};
+  EXPECT_NE(multiset_checksum(shorter), original);
+}
+
+TEST(VerifyTest, CertifiesSortedMachine) {
+  const ProductGraph pg(labeled_path(4), 3);
+  const auto keys = random_keys(pg.num_nodes(), 1);
+  Machine m(pg, keys);
+  (void)sort_product_network(m);
+  const SortCertificate cert = certify_snake(m, full_view(pg));
+  EXPECT_TRUE(cert.sorted);
+  EXPECT_EQ(cert.first_violation, -1);
+  EXPECT_EQ(cert.checksum, multiset_checksum(keys));  // multiset preserved
+}
+
+TEST(VerifyTest, CertificateLocatesDirtyWindow) {
+  const ProductGraph pg(labeled_path(4), 2);
+  std::vector<Key> keys(static_cast<std::size_t>(pg.num_nodes()));
+  for (PNode rank = 0; rank < pg.num_nodes(); ++rank)
+    keys[static_cast<std::size_t>(node_at_snake_rank(pg, rank))] =
+        static_cast<Key>(rank);
+  // Swap the keys at snake ranks 5 and 9: dirty window [5, 9].
+  std::swap(keys[static_cast<std::size_t>(node_at_snake_rank(pg, 5))],
+            keys[static_cast<std::size_t>(node_at_snake_rank(pg, 9))]);
+  const Machine m(pg, keys);
+  const SortCertificate cert = certify_snake(m, full_view(pg));
+  EXPECT_FALSE(cert.sorted);
+  EXPECT_EQ(cert.dirty_lo, 5);
+  EXPECT_EQ(cert.dirty_hi, 9);
+  EXPECT_EQ(cert.first_violation, 5);
+}
+
+TEST(VerifyTest, CleanMachineNeedsNoRecovery) {
+  const ProductGraph pg(labeled_path(4), 2);
+  const auto keys = random_keys(pg.num_nodes(), 2);
+  Machine m(pg, keys);
+  (void)sort_product_network(m);
+  const RecoveryReport report = verify_and_recover(
+      m, full_view(pg), {.expected_checksum = multiset_checksum(keys)});
+  EXPECT_EQ(report.outcome, RecoveryOutcome::kClean);
+  EXPECT_EQ(report.rounds, 0);
+  EXPECT_EQ(report.recovery_steps, 0);
+  EXPECT_EQ(m.cost().recovery_steps, 0);
+}
+
+TEST(VerifyTest, RecoversFromOrderCorruption) {
+  const ProductGraph pg(labeled_path(4), 3);
+  const auto input = random_keys(pg.num_nodes(), 7);
+  Machine m(pg, input);
+  (void)sort_product_network(m);
+
+  // Perturb the sorted machine: swap keys at a handful of distant ranks,
+  // simulating lost compare-exchange messages.
+  auto keys = m.mutable_keys();
+  for (const auto [a, b] : {std::pair<PNode, PNode>{3, 17},
+                            std::pair<PNode, PNode>{20, 41}}) {
+    std::swap(keys[static_cast<std::size_t>(node_at_snake_rank(pg, a))],
+              keys[static_cast<std::size_t>(node_at_snake_rank(pg, b))]);
+  }
+  ASSERT_FALSE(m.snake_sorted(full_view(pg)));
+
+  const RecoveryReport report = verify_and_recover(
+      m, full_view(pg), {.expected_checksum = multiset_checksum(input)});
+  EXPECT_EQ(report.outcome, RecoveryOutcome::kRecovered);
+  EXPECT_GE(report.rounds, 1);
+  EXPECT_GT(report.recovery_steps, 0);
+  EXPECT_EQ(m.cost().recovery_steps, report.recovery_steps);
+  EXPECT_TRUE(m.snake_sorted(full_view(pg)));
+  EXPECT_TRUE(report.after.sorted);
+
+  std::vector<Key> expected = input;
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(m.read_snake(full_view(pg)), expected);
+}
+
+TEST(VerifyTest, DetectsDataLossFromKeyCorruption) {
+  const ProductGraph pg(labeled_path(4), 2);
+  const auto input = random_keys(pg.num_nodes(), 8);
+  Machine m(pg, input);
+  (void)sort_product_network(m);
+  m.mutable_keys()[5] ^= Key{1} << 20;  // bit flip: multiset changed
+
+  const RecoveryReport report = verify_and_recover(
+      m, full_view(pg), {.expected_checksum = multiset_checksum(input)});
+  EXPECT_EQ(report.outcome, RecoveryOutcome::kDataLoss);
+  EXPECT_EQ(report.rounds, 0);  // no point re-sorting lost data
+}
+
+TEST(VerifyTest, EndToEndRecoveryUnderInjectedFaults) {
+  // The acceptance scenario in miniature: executable sorter, lost
+  // compare-exchange messages at 1e-2, one straggler — sort, verify,
+  // recover, and demand a perfectly sorted result.
+  const ProductGraph pg(labeled_path(4), 3);
+  const SnakeOETS2 oet;
+  SortOptions options;
+  options.s2 = &oet;
+  for (unsigned seed = 1; seed <= 8; ++seed) {
+    const auto input = random_keys(pg.num_nodes(), 100 + seed);
+    FaultConfig config;
+    config.seed = seed;
+    config.ce_drop_rate = 1e-2;
+    config.stragglers = 1;
+    config.straggler_factor = 4;
+    FaultModel fm(config);
+    fm.select_stragglers(pg.num_nodes());
+    Machine m(pg, input);
+    m.set_fault_model(&fm);
+    (void)sort_product_network(m, options);
+
+    const RecoveryReport report = verify_and_recover(
+        m, full_view(pg), {.expected_checksum = multiset_checksum(input)});
+    EXPECT_TRUE(report.outcome == RecoveryOutcome::kClean ||
+                report.outcome == RecoveryOutcome::kRecovered)
+        << "seed " << seed << ": " << to_string(report.outcome);
+
+    std::vector<Key> expected = input;
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(m.read_snake(full_view(pg)), expected) << "seed " << seed;
+  }
+}
+
+TEST(VerifyTest, OutcomeNamesAreStable) {
+  EXPECT_EQ(to_string(RecoveryOutcome::kClean), "clean");
+  EXPECT_EQ(to_string(RecoveryOutcome::kRecovered), "recovered");
+  EXPECT_EQ(to_string(RecoveryOutcome::kDataLoss), "data-loss");
+  EXPECT_EQ(to_string(RecoveryOutcome::kUnrecovered), "unrecovered");
+}
+
+}  // namespace
+}  // namespace prodsort

@@ -1,17 +1,27 @@
 // prodsort_stress — randomized differential stress harness.
 //
 //   prodsort_stress [--trials T] [--seed S] [--max-nodes M]
+//                   [--faults RATE] [--fault-seed F]
 //
 // Each trial draws a random factor family, dimension count, S2 sorter,
 // block size, thread count, and input pattern; runs the network sort;
 // and checks the result against std::sort.  Exits nonzero on the first
 // mismatch with a reproduction line.  Intended for long soak runs; the
 // default 200 trials take a few seconds.
+//
+// --faults RATE switches to the fault-tolerance soak: every trial runs
+// an executable sorter under an attached FaultModel (compare-exchange
+// message loss at RATE, one permanently failed non-cut link, one 4x
+// straggler), recovers via verify_and_recover, and additionally soaks
+// the packet simulator's retry/reroute path (transient drops at RATE)
+// on the same factor.  A failing trial prints one machine-readable
+// FAULT-REPRO line (seed/family/r/sorter/fault schedule) and exits 1.
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <numeric>
 #include <random>
 
 #include "core/block_sort.hpp"
@@ -19,6 +29,8 @@
 #include "core/s2/oracle_s2.hpp"
 #include "core/s2/shearsort_s2.hpp"
 #include "core/s2/snake_oet_s2.hpp"
+#include "core/verify.hpp"
+#include "network/packet_sim.hpp"
 #include "product/snake_order.hpp"
 
 using namespace prodsort;
@@ -45,11 +57,107 @@ std::vector<Key> make_input(PNode total, int pattern, std::mt19937_64& rng) {
   return keys;
 }
 
+// The fault-tolerance soak: sort under injected faults, self-verify,
+// recover, and cross-check the packet layer.  Returns 0 on success.
+int run_fault_soak(long trials, unsigned seed, unsigned fault_seed,
+                   double rate, PNode max_nodes) {
+  const auto factors = standard_factors();
+  const ShearsortS2 shear;
+  const SnakeOETS2 oet;
+  const S2Sorter* sorters[] = {&shear, &oet};
+  const char* sorter_names[] = {"shearsort", "snake-oet"};
+  std::mt19937_64 rng(seed);
+
+  const PNode cap = std::min<PNode>(max_nodes, 2000);  // executable sorters
+  long executed = 0, recovered = 0;
+  std::int64_t total_retries = 0, total_reroutes = 0, total_recovery = 0;
+  for (long trial = 0; trial < trials; ++trial) {
+    const auto& factor = factors[rng() % factors.size()];
+    // Largest r >= 2 that fits the executable-sorter budget; factors too
+    // big even for r = 2 are skipped (none in standard_factors today).
+    int r = 2;
+    while (r < 6 && pow_int(factor.size(), r + 1) <= cap) ++r;
+    if (pow_int(factor.size(), r) > cap) continue;
+    const ProductGraph pg(factor, r);
+    const int pattern = static_cast<int>(rng() % 5);
+    const int threads = 1 + static_cast<int>(rng() % 4);
+    const std::size_t sorter = rng() % 2;
+
+    FaultConfig config;
+    config.seed = fault_seed + static_cast<std::uint64_t>(trial) * 0x9e37;
+    config.ce_drop_rate = rate;
+    config.packet_drop_rate = rate;
+    config.failed_links = 1;
+    config.stragglers = 1;
+    config.straggler_factor = 4;
+    FaultModel fm(config);
+    fm.select_stragglers(pg.num_nodes());
+
+    const auto keys = make_input(pg.num_nodes(), pattern, rng);
+    std::vector<Key> expected = keys;
+    std::sort(expected.begin(), expected.end());
+    const std::uint64_t input_checksum = multiset_checksum(keys);
+
+    ParallelExecutor exec(threads);
+    Machine m(pg, keys, &exec);
+    m.set_fault_model(&fm);
+    SortOptions options;
+    options.s2 = sorters[sorter];
+    (void)sort_product_network(m, options);
+
+    const RecoveryReport report = verify_and_recover(
+        m, full_view(pg), {.expected_checksum = input_checksum});
+    const auto got = m.read_snake(full_view(pg));
+    ++executed;
+    recovered += report.outcome == RecoveryOutcome::kRecovered;
+    total_retries += m.cost().retries;
+    total_recovery += report.recovery_steps;
+
+    bool packet_ok = true;
+    std::int64_t packet_retries = 0;
+    try {
+      // Packet-layer soak on the same factor: a random permutation must
+      // deliver across the failed link and the lossy fabric.
+      std::vector<NodeId> dest(static_cast<std::size_t>(factor.size()));
+      std::iota(dest.begin(), dest.end(), 0);
+      std::shuffle(dest.begin(), dest.end(), rng);
+      const PacketStats stats = simulate_permutation(factor.graph, dest, &fm);
+      packet_retries = stats.retries;
+      total_reroutes += stats.reroutes;
+    } catch (const std::exception&) {
+      packet_ok = false;
+    }
+    total_retries += packet_retries;
+
+    if (got != expected || !packet_ok) {
+      std::printf(
+          "FAULT-REPRO seed=%u fault-seed=%u family=%s r=%d pattern=%d"
+          " threads=%d sorter=%s faults=%g schedule=%s trial=%ld"
+          " outcome=%s packet=%s\n",
+          seed, fault_seed, factor.name.c_str(), r, pattern, threads,
+          sorter_names[sorter], rate, fm.schedule_string().c_str(), trial,
+          to_string(report.outcome).c_str(), packet_ok ? "ok" : "FAILED");
+      return 1;
+    }
+  }
+  std::printf(
+      "fault soak: %ld/%ld trials executed, all sorted correctly"
+      " (%ld needed recovery; retries=%lld reroutes=%lld"
+      " recovery_steps=%lld)\n",
+      executed, trials, recovered,
+      static_cast<long long>(total_retries),
+      static_cast<long long>(total_reroutes),
+      static_cast<long long>(total_recovery));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   long trials = 200;
   unsigned seed = 12345;
+  unsigned fault_seed = 1;
+  double fault_rate = -1;
   PNode max_nodes = 20000;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trials") == 0 && i + 1 < argc)
@@ -58,12 +166,21 @@ int main(int argc, char** argv) {
       seed = static_cast<unsigned>(std::atol(argv[++i]));
     else if (std::strcmp(argv[i], "--max-nodes") == 0 && i + 1 < argc)
       max_nodes = std::atol(argv[++i]);
+    else if (std::strcmp(argv[i], "--faults") == 0 && i + 1 < argc)
+      fault_rate = std::atof(argv[++i]);
+    else if (std::strcmp(argv[i], "--fault-seed") == 0 && i + 1 < argc)
+      fault_seed = static_cast<unsigned>(std::atol(argv[++i]));
     else {
-      std::fprintf(stderr, "usage: %s [--trials T] [--seed S] [--max-nodes M]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--trials T] [--seed S] [--max-nodes M]"
+                   " [--faults RATE] [--fault-seed F]\n",
                    argv[0]);
       return 2;
     }
   }
+
+  if (fault_rate >= 0)
+    return run_fault_soak(trials, seed, fault_seed, fault_rate, max_nodes);
 
   const auto factors = standard_factors();
   const OracleS2 oracle;
