@@ -1,0 +1,37 @@
+#pragma once
+
+// Cost-honesty auditing for the packet simulator, the executable ground
+// truth behind the R(N) routing charges.  A store-and-forward delivery
+// can never beat the shortest-path lower bounds, so a PacketStats report
+// claiming fewer synchronous steps than the farthest packet's BFS
+// distance — or less total work than the summed distances — exposes a
+// simulator (or cost-model) bug that silently undercharges routing.
+
+#include <span>
+#include <string>
+
+#include "network/packet_sim.hpp"
+
+namespace prodsort {
+
+struct PacketAuditReport {
+  bool ok = true;
+  int steps_lower_bound = 0;  ///< max shortest-path distance of any packet
+  std::int64_t hops_lower_bound = 0;  ///< sum of shortest-path distances
+  std::string message;  ///< first failed check, empty when ok
+};
+
+/// Audits `stats` (as returned by simulate_permutation for `dest` on
+/// `g`) against the fault-free shortest-path lower bounds.  `dest` must
+/// be the permutation that produced the stats.
+[[nodiscard]] PacketAuditReport audit_permutation_stats(
+    const Graph& g, std::span<const NodeId> dest, const PacketStats& stats);
+
+/// Same for simulate_product_permutation: per-packet lower bound is the
+/// sum over dimensions of factor-graph distances between source and
+/// destination digits (dimension-order routing cannot do better).
+[[nodiscard]] PacketAuditReport audit_product_permutation_stats(
+    const ProductGraph& pg, std::span<const PNode> dest,
+    const PacketStats& stats);
+
+}  // namespace prodsort

@@ -1,0 +1,154 @@
+#pragma once
+
+// StepAuditor: per-phase invariant auditing for the synchronous machine.
+//
+// The paper's cost claims (Section 4.1, Theorem 1) hold only if every
+// simulated phase obeys disciplines the simulator otherwise trusts by
+// convention.  The auditor attaches to Machine / BlockMachine through
+// the PhaseObserver seam and verifies, per synchronous phase:
+//
+//  (a) pair disjointness — no processor appears in two pairs and no
+//      pair is degenerate; parallel application is deterministic only
+//      under this premise (supersedes Machine::set_check_disjoint);
+//  (b) locality / cost honesty — both endpoints of every CEPair differ
+//      in exactly one product dimension, and the charged hop_distance
+//      is >= the true factor-graph distance between the differing
+//      digits.  Catches "teleporting" comparisons that silently
+//      undercharge CostModel::exec_steps;
+//  (c) memory discipline — "each processor needs enough memory to hold
+//      at most two values being compared" (Section 4): no processor may
+//      be resident in more than one exchange per phase (at most its own
+//      value plus one partner value, blocks counting as one value);
+//  (d) lockstep race detection — with check_lockstep set, each audited
+//      phase is re-run single-threaded from a pre-phase snapshot, both
+//      key arrays are hashed, and any divergence (a lost or torn update
+//      under ParallelExecutor) is flagged with the phase id and a
+//      write-set overlap report.
+//
+// A violation is recorded (up to max_recorded) and, with
+// throw_on_violation set, raised as std::logic_error before the phase
+// mutates any key (lockstep divergence, detected after the fact, is
+// raised after).  See docs/ANALYSIS.md for usage and report format.
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "network/phase_observer.hpp"
+#include "product/product_graph.hpp"
+
+namespace prodsort {
+
+enum class ViolationKind {
+  kDegeneratePair,     ///< low == high: a processor compared with itself
+  kOverlappingPair,    ///< a processor appears in more than one pair
+  kWrongDimension,     ///< endpoints differ in != 1 product dimension
+  kUnderchargedHop,    ///< charged hop < factor-graph partner distance
+  kMemoryDiscipline,   ///< a processor would hold > 2 values in a phase
+  kLockstepDivergence, ///< parallel result != serial replay of the phase
+};
+
+[[nodiscard]] std::string to_string(ViolationKind kind);
+
+struct Violation {
+  ViolationKind kind = ViolationKind::kDegeneratePair;
+  std::int64_t phase = 0;       ///< auditor phase id (0-based)
+  std::int64_t pair_index = -1; ///< offending pair, -1 if phase-level
+  PNode node = -1;              ///< offending processor, -1 if none
+  int expected = 0;             ///< invariant bound (true distance, ...)
+  int observed = 0;             ///< observed value (charged hop, ...)
+  std::string message;          ///< one-line human-readable report
+};
+
+struct AuditorConfig {
+  bool check_disjoint = true;
+  bool check_locality = true;
+  /// Section 4 discipline: partners differ in exactly one dimension.
+  /// NetworkS2 legitimately routes comparator partners across both view
+  /// dimensions charging their exact product distance; set this to audit
+  /// such runs — cross-dimension pairs are then allowed but the charged
+  /// hop must cover the full product distance (sum of per-dimension
+  /// factor distances), keeping the cost-honesty half of the check.
+  bool allow_cross_dimension = false;
+  bool check_memory = true;
+  /// Expensive (snapshot + serial replay per phase); off by default.
+  bool check_lockstep = false;
+  /// Raise std::logic_error on the first violation.  When false the
+  /// auditor only records, for sweep tools and negative tests.
+  bool throw_on_violation = true;
+  std::size_t max_recorded = 64;  ///< violations kept in memory
+};
+
+struct AuditorStats {
+  std::int64_t phases = 0;            ///< phases audited
+  std::int64_t pairs = 0;             ///< pairs audited
+  std::int64_t lockstep_replays = 0;  ///< phases replayed serially
+  std::int64_t faulty_phases = 0;     ///< phases with replay skipped
+  /// Max values any processor held in one phase (own + partners; the
+  /// Section-4 discipline bounds this by 2).
+  int max_resident_values = 1;
+};
+
+class StepAuditor final : public PhaseObserver {
+ public:
+  /// The graph must be the one the audited machine runs on (factor
+  /// distances are precomputed from it) and must outlive the auditor.
+  explicit StepAuditor(const ProductGraph& pg, AuditorConfig config = {});
+
+  void before_phase(std::span<const Key> keys, std::span<const CEPair> pairs,
+                    int hop_distance, int block_size, bool faulty) override;
+  void after_phase(std::span<const Key> keys) override;
+
+  [[nodiscard]] const AuditorConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] const AuditorStats& stats() const noexcept { return stats_; }
+
+  /// Recorded violations (the first `max_recorded`); `violation_count`
+  /// keeps counting past the recording cap.
+  [[nodiscard]] std::span<const Violation> violations() const noexcept {
+    return violations_;
+  }
+  [[nodiscard]] std::int64_t violation_count() const noexcept {
+    return violation_count_;
+  }
+  [[nodiscard]] bool clean() const noexcept { return violation_count_ == 0; }
+
+  /// Forgets recorded violations and statistics (config is kept).
+  void reset();
+
+  /// Order-independent hash of a key array (mix64 chain over positions).
+  [[nodiscard]] static std::uint64_t hash_keys(std::span<const Key> keys);
+
+  /// The lockstep core, exposed for tests: serially replays `pairs`
+  /// (compare-exchange for block_size 1, merge-split otherwise) on a
+  /// copy of `before` and compares hashes with `after`.  Returns the
+  /// divergence violation — including the write-set overlap report —
+  /// or nullopt when the parallel result matches the serial replay.
+  [[nodiscard]] std::optional<Violation> lockstep_compare(
+      std::span<const Key> before, std::span<const CEPair> pairs,
+      int block_size, std::span<const Key> after) const;
+
+ private:
+  void check_pairs(std::span<const CEPair> pairs, int hop_distance);
+  void report(Violation violation);
+
+  const ProductGraph* pg_;
+  AuditorConfig config_;
+  AuditorStats stats_;
+  std::vector<Violation> violations_;
+  std::int64_t violation_count_ = 0;
+
+  std::vector<int> factor_distance_;  ///< N x N all-pairs matrix
+  std::vector<std::int64_t> touch_stamp_;  ///< phase id per node
+  std::vector<int> touch_count_;           ///< pair memberships per node
+
+  // Pending lockstep replay for the phase between before/after calls.
+  std::vector<Key> snapshot_;
+  std::span<const CEPair> pending_pairs_;
+  int pending_block_size_ = 1;
+  bool replay_pending_ = false;
+};
+
+}  // namespace prodsort

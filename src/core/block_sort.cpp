@@ -34,6 +34,9 @@ void BlockOracleS2::sort_views(BlockMachine& machine,
                               ? size - 1 - rank
                               : rank;
         const auto src = buffer.begin() + static_cast<std::ptrdiff_t>(run * b);
+        // AUDITOR-EXEMPT(oracle): modeled sorter, not a simulated data
+        // path — the phase's cost is charged analytically below, so this
+        // scatter legitimately bypasses merge_split_step.
         auto dst = machine.mutable_block(view_node_at_snake_rank(pg, v, rank));
         std::copy(src, src + b, dst.begin());
       }

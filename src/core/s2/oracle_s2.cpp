@@ -24,6 +24,9 @@ void OracleS2::sort_views(Machine& machine, std::span<const ViewSpec> views,
         std::sort(buffer.begin(), buffer.end(), std::greater<Key>{});
       else
         std::sort(buffer.begin(), buffer.end());
+      // AUDITOR-EXEMPT(oracle): modeled sorter, not a simulated data
+      // path — the analytic exec-steps proxy below is the charge, so
+      // this scatter legitimately bypasses compare_exchange_step.
       for (PNode rank = 0; rank < size; ++rank)
         machine.mutable_keys()[static_cast<std::size_t>(
             view_node_at_snake_rank(pg, v, rank))] =

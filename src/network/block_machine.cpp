@@ -49,6 +49,10 @@ void BlockMachine::sort_local_blocks() {
 
 void BlockMachine::merge_split_step(std::span<const CEPair> pairs,
                                     int hop_distance) {
+  if (observer_ != nullptr)
+    observer_->before_phase(keys_, pairs, hop_distance, block_size_,
+                            /*faulty=*/false);
+
   std::atomic<std::int64_t> moved{0};
   auto body = [&](std::int64_t begin, std::int64_t end) {
     std::int64_t local_moved = 0;
@@ -78,6 +82,8 @@ void BlockMachine::merge_split_step(std::span<const CEPair> pairs,
   cost_.comparisons +=
       static_cast<std::int64_t>(pairs.size()) * 2 * block_size_;
   cost_.exchanges += moved.load(std::memory_order_relaxed);
+
+  if (observer_ != nullptr) observer_->after_phase(keys_);
 }
 
 std::vector<Key> BlockMachine::read_snake(const ViewSpec& view) const {

@@ -53,6 +53,12 @@ class BlockMachine {
   /// block(high) the b largest, both internally sorted.
   void merge_split_step(std::span<const CEPair> pairs, int hop_distance = 1);
 
+  /// Attaches a phase observer (borrowed; pass nullptr to detach); it is
+  /// invoked around every merge-split step with this machine's block
+  /// size.  See network/phase_observer.hpp.
+  void set_observer(PhaseObserver* observer) noexcept { observer_ = observer; }
+  [[nodiscard]] PhaseObserver* observer() const noexcept { return observer_; }
+
   /// Keys of `view` concatenated along its snake order (b per node).
   [[nodiscard]] std::vector<Key> read_snake(const ViewSpec& view) const;
 
@@ -67,6 +73,7 @@ class BlockMachine {
   std::vector<Key> keys_;
   CostModel cost_;
   ParallelExecutor* executor_;
+  PhaseObserver* observer_ = nullptr;
 };
 
 }  // namespace prodsort

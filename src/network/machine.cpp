@@ -17,7 +17,13 @@ Machine::Machine(const ProductGraph& pg, std::vector<Key> keys,
 
 void Machine::compare_exchange_step(std::span<const CEPair> pairs,
                                     int hop_distance) {
-  if (check_disjoint_) {
+  const bool faulty = faults_ != nullptr && faults_->perturbs_compute();
+  if (observer_ != nullptr) {
+    // The observer owns phase validation while attached (it subsumes the
+    // plain disjointness sweep below with per-invariant reporting).
+    observer_->before_phase(keys_, pairs, hop_distance, /*block_size=*/1,
+                            faulty);
+  } else if (check_disjoint_) {
     std::vector<char> touched(keys_.size(), 0);
     for (const CEPair& p : pairs) {
       if (p.low == p.high || touched[static_cast<std::size_t>(p.low)] ||
@@ -28,8 +34,9 @@ void Machine::compare_exchange_step(std::span<const CEPair> pairs,
     }
   }
 
-  if (faults_ != nullptr && faults_->perturbs_compute()) {
+  if (faulty) {
     faulty_compare_exchange_step(pairs, hop_distance);
+    if (observer_ != nullptr) observer_->after_phase(keys_);
     return;
   }
 
@@ -55,6 +62,8 @@ void Machine::compare_exchange_step(std::span<const CEPair> pairs,
   cost_.exec_steps += hop_distance;
   cost_.comparisons += static_cast<std::int64_t>(pairs.size());
   cost_.exchanges += swaps.load(std::memory_order_relaxed);
+
+  if (observer_ != nullptr) observer_->after_phase(keys_);
 }
 
 void Machine::faulty_compare_exchange_step(std::span<const CEPair> pairs,

@@ -19,15 +19,10 @@
 #include "network/cost_model.hpp"
 #include "network/fault_model.hpp"
 #include "network/parallel_executor.hpp"
+#include "network/phase_observer.hpp"  // CEPair, PhaseObserver
 #include "product/subgraph_view.hpp"
 
 namespace prodsort {
-
-/// One compare-exchange pair: after the step, key(low) <= key(high).
-struct CEPair {
-  PNode low;
-  PNode high;
-};
 
 class Machine {
  public:
@@ -52,8 +47,19 @@ class Machine {
   /// largest factor-graph distance between partners (exec time charge).
   void compare_exchange_step(std::span<const CEPair> pairs, int hop_distance = 1);
 
-  /// Enables per-step disjointness validation (O(pairs) extra work).
+  /// Per-step disjointness validation: O(pairs) extra work and one
+  /// zeroed byte per processor, roughly doubling the per-phase overhead
+  /// of small steps.  On by default in Debug builds (NDEBUG undefined);
+  /// Release builds keep it opt-in so the hot path stays a plain sweep.
+  /// An attached PhaseObserver supersedes this flag — the observer owns
+  /// disjointness checking while attached (see analysis/step_auditor.hpp).
   void set_check_disjoint(bool on) noexcept { check_disjoint_ = on; }
+
+  /// Attaches a phase observer (borrowed; must outlive the machine, pass
+  /// nullptr to detach).  While attached it is invoked around every
+  /// compare-exchange step and supersedes `set_check_disjoint`.
+  void set_observer(PhaseObserver* observer) noexcept { observer_ = observer; }
+  [[nodiscard]] PhaseObserver* observer() const noexcept { return observer_; }
 
   /// Attaches a fault model (borrowed; must outlive the machine, pass
   /// nullptr to detach).  While attached, compare-exchange steps are
@@ -84,8 +90,13 @@ class Machine {
   CostModel cost_;
   ParallelExecutor* executor_;
   FaultModel* faults_ = nullptr;
+  PhaseObserver* observer_ = nullptr;
   std::int64_t fault_step_ = 0;  ///< event-id stream for fault decisions
+#ifdef NDEBUG
   bool check_disjoint_ = false;
+#else
+  bool check_disjoint_ = true;  ///< Debug default; see set_check_disjoint
+#endif
 };
 
 }  // namespace prodsort

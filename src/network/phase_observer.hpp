@@ -1,0 +1,45 @@
+#pragma once
+
+// The observation seam of the synchronous machine: every data-moving
+// phase (compare-exchange on Machine, merge-split on BlockMachine) is
+// bracketed by before/after callbacks on an attached PhaseObserver.
+// The analysis layer's StepAuditor (src/analysis/step_auditor.hpp)
+// implements this interface to verify the Section-4 phase disciplines
+// the paper's cost claims rest on; the network layer itself stays free
+// of any analysis dependency.
+
+#include <span>
+
+#include "core/multiway_merge.hpp"  // Key
+#include "product/gray_code.hpp"    // PNode
+
+namespace prodsort {
+
+/// One compare-exchange pair: after the step, key(low) <= key(high).
+/// (In block mode the pair is a merge-split: block(low) keeps the b
+/// smallest of the 2b keys.)
+struct CEPair {
+  PNode low;
+  PNode high;
+};
+
+class PhaseObserver {
+ public:
+  virtual ~PhaseObserver() = default;
+
+  /// Called immediately before a synchronous phase applies `pairs`.
+  /// `keys` is the machine's complete key array (`block_size` keys per
+  /// node, 1 for the unit-key Machine) and `hop_distance` the step's
+  /// charged factor-graph hop bound.  `faulty` is true when an attached
+  /// FaultModel may perturb this phase (observers cannot replay fault
+  /// decisions and should skip replay-based checks).  The `pairs` span
+  /// remains valid until the matching after_phase call.
+  virtual void before_phase(std::span<const Key> keys,
+                            std::span<const CEPair> pairs, int hop_distance,
+                            int block_size, bool faulty) = 0;
+
+  /// Called after the phase's writes are complete, with the same array.
+  virtual void after_phase(std::span<const Key> keys) = 0;
+};
+
+}  // namespace prodsort

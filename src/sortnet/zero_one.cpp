@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "core/hashing.hpp"
+
 namespace prodsort {
 
 std::int64_t count_zero_one_failures(
@@ -27,6 +29,47 @@ std::int64_t count_zero_one_failures(
 bool sorts_all_zero_one(const ComparatorNetwork& net) {
   return count_zero_one_failures(
              net.width(), [&](std::span<Key> v) { net.apply(v); }) == 0;
+}
+
+ZeroOneCertificate certify_zero_one(
+    int width, const std::function<void(std::span<Key>)>& algorithm,
+    std::int64_t budget, std::uint64_t seed) {
+  if (width < 1) throw std::invalid_argument("width out of range");
+  if (budget < 1) throw std::invalid_argument("budget must be positive");
+
+  ZeroOneCertificate cert;
+  cert.exhaustive = width < 63 && (std::int64_t{1} << width) <= budget;
+  const std::int64_t inputs =
+      cert.exhaustive ? std::int64_t{1} << width : budget;
+
+  std::vector<Key> input(static_cast<std::size_t>(width));
+  std::vector<Key> values(static_cast<std::size_t>(width));
+  for (std::int64_t trial = 0; trial < inputs; ++trial) {
+    if (cert.exhaustive) {
+      for (int i = 0; i < width; ++i)
+        input[static_cast<std::size_t>(i)] =
+            static_cast<Key>((static_cast<std::uint64_t>(trial) >> i) & 1u);
+    } else {
+      // One splitmix64 word per 64 bits of input, keyed by (seed, trial).
+      const std::uint64_t trial_seed =
+          mix64(seed, static_cast<std::uint64_t>(trial));
+      for (int i = 0; i < width; ++i) {
+        const std::uint64_t word =
+            mix64(trial_seed, static_cast<std::uint64_t>(i / 64));
+        input[static_cast<std::size_t>(i)] =
+            static_cast<Key>((word >> (i % 64)) & 1u);
+      }
+    }
+    values = input;
+    algorithm(values);
+    ++cert.inputs_tested;
+    if (!std::is_sorted(values.begin(), values.end())) {
+      ++cert.failures;
+      cert.witness = input;
+      return cert;
+    }
+  }
+  return cert;
 }
 
 }  // namespace prodsort

@@ -20,4 +20,24 @@ namespace prodsort {
     int width, const std::function<void(std::span<Key>)>& algorithm,
     std::int64_t max_failures = 1);
 
+/// Outcome of a 0-1 certification run (the audit layer's format: the
+/// witness makes a rejection independently checkable).
+struct ZeroOneCertificate {
+  std::int64_t inputs_tested = 0;
+  std::int64_t failures = 0;
+  bool exhaustive = false;    ///< all 2^width inputs were enumerated
+  std::vector<Key> witness;   ///< first failing 0-1 input; empty if none
+  [[nodiscard]] bool certified() const noexcept { return failures == 0; }
+};
+
+/// Certifies an oblivious in-place algorithm of fixed width by the 0-1
+/// principle.  Exhaustive (all 2^width inputs) when 2^width <= budget;
+/// otherwise `budget` seeded-random 0-1 inputs drawn from a splitmix64
+/// stream — a statistical smoke screen, not a proof, flagged by
+/// `exhaustive == false`.  Stops at the first failure and returns the
+/// offending input as the witness.
+[[nodiscard]] ZeroOneCertificate certify_zero_one(
+    int width, const std::function<void(std::span<Key>)>& algorithm,
+    std::int64_t budget = std::int64_t{1} << 20, std::uint64_t seed = 1);
+
 }  // namespace prodsort

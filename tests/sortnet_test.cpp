@@ -143,5 +143,58 @@ TEST(ZeroOneTest, CountsFailures) {
   EXPECT_THROW((void)count_zero_one_failures(31, real), std::invalid_argument);
 }
 
+TEST(ZeroOneTest, CertifyExhaustiveSmallWidths) {
+  const ComparatorNetwork net = odd_even_merge_sort_network(8);
+  const auto cert =
+      certify_zero_one(8, [&](std::span<Key> v) { net.apply(v); });
+  EXPECT_TRUE(cert.certified());
+  EXPECT_TRUE(cert.exhaustive);
+  EXPECT_EQ(cert.inputs_tested, 256);
+  EXPECT_TRUE(cert.witness.empty());
+}
+
+TEST(ZeroOneTest, CertifySamplesBeyondBudget) {
+  const auto real = [](std::span<Key> v) { std::sort(v.begin(), v.end()); };
+  const auto cert = certify_zero_one(40, real, /*budget=*/500, /*seed=*/9);
+  EXPECT_TRUE(cert.certified());
+  EXPECT_FALSE(cert.exhaustive);
+  EXPECT_EQ(cert.inputs_tested, 500);
+}
+
+// The certification must have teeth: delete one comparator from a
+// correct Batcher network and (a) certification must reject it, and
+// (b) the returned witness must actually fail through the pruned
+// network — a genuine counterexample, not just a flag.
+TEST(ZeroOneTest, PrunedBatcherIsRejectedWithFailingWitness) {
+  const ComparatorNetwork full = odd_even_merge_sort_network(8);
+  ComparatorNetwork pruned(full.width());
+  bool dropped = false;
+  for (const auto& layer : full.layers())
+    for (const Comparator& c : layer) {
+      if (!dropped) {  // delete the first comparator
+        dropped = true;
+        continue;
+      }
+      pruned.add(c.low, c.high);
+    }
+  ASSERT_TRUE(dropped);
+  ASSERT_EQ(pruned.size(), full.size() - 1);
+
+  const auto cert =
+      certify_zero_one(8, [&](std::span<Key> v) { pruned.apply(v); });
+  EXPECT_FALSE(cert.certified());
+  EXPECT_GT(cert.failures, 0);
+  ASSERT_EQ(cert.witness.size(), 8u);
+
+  std::vector<Key> replay = cert.witness;
+  pruned.apply(replay);
+  EXPECT_FALSE(std::is_sorted(replay.begin(), replay.end()))
+      << "witness does not actually fail";
+  // The same witness sails through the intact network.
+  std::vector<Key> intact = cert.witness;
+  full.apply(intact);
+  EXPECT_TRUE(std::is_sorted(intact.begin(), intact.end()));
+}
+
 }  // namespace
 }  // namespace prodsort

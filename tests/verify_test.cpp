@@ -91,8 +91,8 @@ TEST(VerifyTest, RecoversFromOrderCorruption) {
   // Perturb the sorted machine: swap keys at a handful of distant ranks,
   // simulating lost compare-exchange messages.
   auto keys = m.mutable_keys();
-  for (const auto [a, b] : {std::pair<PNode, PNode>{3, 17},
-                            std::pair<PNode, PNode>{20, 41}}) {
+  for (const auto& [a, b] : {std::pair<PNode, PNode>{3, 17},
+                             std::pair<PNode, PNode>{20, 41}}) {
     std::swap(keys[static_cast<std::size_t>(node_at_snake_rank(pg, a))],
               keys[static_cast<std::size_t>(node_at_snake_rank(pg, b))]);
   }
