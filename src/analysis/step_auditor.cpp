@@ -159,7 +159,8 @@ void StepAuditor::before_phase(std::span<const Key> keys,
   if (faulty) ++stats_.faulty_phases;
 
   // Lockstep replay cannot reproduce fault-model decisions; skip it for
-  // perturbed phases (counted in stats_.faulty_phases).
+  // perturbed phases and account the lost coverage in replay_skipped.
+  if (config_.check_lockstep && faulty) ++stats_.replay_skipped;
   replay_pending_ = config_.check_lockstep && !faulty;
   if (replay_pending_) {
     snapshot_.assign(keys.begin(), keys.end());

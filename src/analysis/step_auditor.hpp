@@ -84,7 +84,13 @@ struct AuditorStats {
   std::int64_t phases = 0;            ///< phases audited
   std::int64_t pairs = 0;             ///< pairs audited
   std::int64_t lockstep_replays = 0;  ///< phases replayed serially
-  std::int64_t faulty_phases = 0;     ///< phases with replay skipped
+  std::int64_t faulty_phases = 0;     ///< phases a FaultModel may perturb
+  /// Phases whose lockstep replay was skipped because the phase was
+  /// fault-perturbed (replay cannot reproduce fault decisions).  Only
+  /// counted while check_lockstep is on — this is lost audit coverage,
+  /// and chaos runs must report it rather than silently under-audit
+  /// (the AUDIT lines of tools/prodsort_audit carry it).
+  std::int64_t replay_skipped = 0;
   /// Max values any processor held in one phase (own + partners; the
   /// Section-4 discipline bounds this by 2).
   int max_resident_values = 1;
@@ -95,6 +101,10 @@ class StepAuditor final : public PhaseObserver {
   /// The graph must be the one the audited machine runs on (factor
   /// distances are precomputed from it) and must outlive the auditor.
   explicit StepAuditor(const ProductGraph& pg, AuditorConfig config = {});
+
+  /// The auditor owns per-phase pair validation while attached (the
+  /// machine skips its plain disjointness sweep).
+  [[nodiscard]] bool supersedes_validation() const override { return true; }
 
   void before_phase(std::span<const Key> keys, std::span<const CEPair> pairs,
                     int hop_distance, int block_size, bool faulty) override;

@@ -42,12 +42,11 @@ std::uint64_t multiset_checksum(std::span<const Key> keys) {
   return mix64(mix64(sum, xr), static_cast<std::uint64_t>(keys.size()));
 }
 
-SortCertificate certify_snake(const Machine& machine, const ViewSpec& view) {
+SortCertificate certify_sequence(std::span<const Key> seq) {
   SortCertificate cert;
-  const std::vector<Key> seq = machine.read_snake(view);
   cert.checksum = multiset_checksum(seq);
 
-  std::vector<Key> sorted = seq;
+  std::vector<Key> sorted(seq.begin(), seq.end());
   std::sort(sorted.begin(), sorted.end());
   PNode lo = -1;
   PNode hi = -1;
@@ -68,6 +67,23 @@ SortCertificate certify_snake(const Machine& machine, const ViewSpec& view) {
     }
   }
   return cert;
+}
+
+SortCertificate certify_snake(const Machine& machine, const ViewSpec& view) {
+  return certify_sequence(machine.read_snake(view));
+}
+
+std::vector<Key> read_degraded_snake(const Machine& machine,
+                                     const DegradedView& view) {
+  std::vector<Key> out;
+  out.reserve(static_cast<std::size_t>(view.live_size()));
+  for (const PNode node : view.live_nodes()) out.push_back(machine.key(node));
+  return out;
+}
+
+SortCertificate certify_degraded(const Machine& machine,
+                                 const DegradedView& view) {
+  return certify_sequence(read_degraded_snake(machine, view));
 }
 
 std::string to_string(RecoveryOutcome outcome) {

@@ -30,8 +30,10 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "network/machine.hpp"
+#include "product/degraded_view.hpp"
 
 namespace prodsort {
 
@@ -48,9 +50,24 @@ struct SortCertificate {
   std::uint64_t checksum = 0;  ///< multiset checksum of the view's keys
 };
 
+/// Certifies an explicit sequence (the core of certify_snake, exposed
+/// for degraded-topology and host-side sequences).
+[[nodiscard]] SortCertificate certify_sequence(std::span<const Key> seq);
+
 /// Certifies the snake order of `view`: O(n log n) over the view size.
 [[nodiscard]] SortCertificate certify_snake(const Machine& machine,
                                             const ViewSpec& view);
+
+/// Keys of the surviving nodes along the degraded snake (the read-out
+/// of a remap-and-restart sort; orphan keys are NOT included — the
+/// RecoveryController merges those host-side).
+[[nodiscard]] std::vector<Key> read_degraded_snake(const Machine& machine,
+                                                   const DegradedView& view);
+
+/// Certificate over the degraded snake sequence: proves a
+/// degraded-topology sort left the survivors in order.
+[[nodiscard]] SortCertificate certify_degraded(const Machine& machine,
+                                               const DegradedView& view);
 
 enum class RecoveryOutcome {
   kClean,       ///< already sorted, nothing to do

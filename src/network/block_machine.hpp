@@ -40,6 +40,10 @@ class BlockMachine {
   [[nodiscard]] int block_size() const noexcept { return block_size_; }
   [[nodiscard]] std::span<const Key> block(PNode node) const;
   [[nodiscard]] std::span<Key> mutable_block(PNode node);
+  /// The complete key array (block_size keys per node, node-major) — the
+  /// unit the CheckpointManager snapshots and restores.
+  [[nodiscard]] std::span<const Key> keys() const noexcept { return keys_; }
+  [[nodiscard]] std::span<Key> mutable_keys() noexcept { return keys_; }
   [[nodiscard]] CostModel& cost() noexcept { return cost_; }
   [[nodiscard]] const CostModel& cost() const noexcept { return cost_; }
   [[nodiscard]] ParallelExecutor* executor() const noexcept { return executor_; }

@@ -37,6 +37,31 @@ struct CostModel {
   std::int64_t degraded_phases = 0; ///< phases that hit a fault or straggler
   std::int64_t recovery_steps = 0;  ///< exec_steps spent in verify-and-recover
 
+  // Fail-stop crash / checkpoint accounting (network/checkpoint.hpp and
+  // network/recovery.hpp): the machine-readable recovery report.
+  std::int64_t crashes = 0;          ///< fail-stop crash events fired
+  std::int64_t reexec_phases = 0;    ///< phases re-executed from partner copy
+  std::int64_t checkpoints = 0;      ///< snake-order snapshots taken
+  std::int64_t checkpoint_steps = 0; ///< exec_steps spent checkpointing
+  std::int64_t rollbacks = 0;        ///< checkpoint restores (incl. remaps)
+  std::int64_t remap_sorts = 0;      ///< degraded-topology restart sorts
+
+  /// Zeroes every fault/recovery counter (the paper-model clocks and the
+  /// work counters are untouched).  Call between trials that reuse a
+  /// machine so recovery reports never leak across runs.
+  void reset_fault_counters() {
+    retries = 0;
+    reroutes = 0;
+    degraded_phases = 0;
+    recovery_steps = 0;
+    crashes = 0;
+    reexec_phases = 0;
+    checkpoints = 0;
+    checkpoint_steps = 0;
+    rollbacks = 0;
+    remap_sorts = 0;
+  }
+
   void charge_s2_phase(double weight) {
     ++s2_phases;
     formula_time += weight;
@@ -57,6 +82,12 @@ struct CostModel {
     reroutes += other.reroutes;
     degraded_phases += other.degraded_phases;
     recovery_steps += other.recovery_steps;
+    crashes += other.crashes;
+    reexec_phases += other.reexec_phases;
+    checkpoints += other.checkpoints;
+    checkpoint_steps += other.checkpoint_steps;
+    rollbacks += other.rollbacks;
+    remap_sorts += other.remap_sorts;
     return *this;
   }
 };

@@ -22,6 +22,7 @@ enum Stream : std::uint64_t {
   kCorruptBit = 0x62697463,   // "bitc"
   kLinkOrder = 0x6c6e6b6f,    // "lnko"
   kStragglerOrder = 0x73747261,  // "stra"
+  kCrashGarbage = 0x63726173,    // "cras"
 };
 
 std::uint64_t decision(std::uint64_t seed, Stream stream, std::uint64_t a,
@@ -38,12 +39,24 @@ bool coin(double rate, std::uint64_t h) {
 
 }  // namespace
 
+CrashInterrupt::CrashInterrupt(PNode node, std::int64_t phase, bool permanent)
+    : std::runtime_error("fail-stop crash: node " + std::to_string(node) +
+                         " at phase " + std::to_string(phase) +
+                         (permanent ? " (permanent)" : " (restartable)")),
+      node_(node),
+      phase_(phase),
+      permanent_(permanent) {}
+
 FaultModel::FaultModel(const FaultConfig& config) : config_(config) {
   if (config_.straggler_factor < 1)
     throw std::invalid_argument("straggler_factor must be >= 1");
   if (config_.failed_links < 0 || config_.stragglers < 0 ||
       config_.max_retries < 1 || config_.max_backoff < 0)
     throw std::invalid_argument("negative fault-config parameter");
+  for (const CrashEvent& c : config_.crash_schedule)
+    if (c.node < 0 || c.phase < 0)
+      throw std::invalid_argument("crash event with negative node or phase");
+  crash_fired_.assign(config_.crash_schedule.size(), 0);
 }
 
 void FaultModel::fail_links(const Graph& g) {
@@ -139,6 +152,53 @@ Key FaultModel::corrupted_value(std::int64_t step, std::int64_t pair,
   return key ^ (Key{1} << (h % 48));
 }
 
+bool FaultModel::crash_due(std::int64_t phase) const noexcept {
+  for (std::size_t i = 0; i < config_.crash_schedule.size(); ++i)
+    if (crash_fired_[i] == 0 && config_.crash_schedule[i].phase == phase)
+      return true;
+  return false;
+}
+
+std::optional<CrashEvent> FaultModel::take_crash(std::int64_t phase) {
+  for (std::size_t i = 0; i < config_.crash_schedule.size(); ++i) {
+    if (crash_fired_[i] != 0) continue;
+    if (config_.crash_schedule[i].phase != phase) continue;
+    crash_fired_[i] = 1;
+    ++counters_.crashes;
+    return config_.crash_schedule[i];
+  }
+  return std::nullopt;
+}
+
+void FaultModel::kill(PNode node) {
+  const auto it = std::lower_bound(dead_nodes_.begin(), dead_nodes_.end(), node);
+  if (it == dead_nodes_.end() || *it != node) dead_nodes_.insert(it, node);
+}
+
+void FaultModel::restart(PNode node) {
+  const auto it = std::lower_bound(dead_nodes_.begin(), dead_nodes_.end(), node);
+  if (it != dead_nodes_.end() && *it == node) dead_nodes_.erase(it);
+}
+
+bool FaultModel::is_dead(PNode node) const noexcept {
+  return std::binary_search(dead_nodes_.begin(), dead_nodes_.end(), node);
+}
+
+Key FaultModel::crash_garbage(PNode node, std::int64_t phase) const noexcept {
+  // Decayed memory: a value the input multiset almost surely never held,
+  // so any recovery path that "uses" the dead key fails verification.
+  return static_cast<Key>(
+      decision(config_.seed, kCrashGarbage, static_cast<std::uint64_t>(node),
+               static_cast<std::uint64_t>(phase)) >>
+      1);
+}
+
+void FaultModel::reset() {
+  counters_ = FaultCounters{};
+  std::fill(crash_fired_.begin(), crash_fired_.end(), 0);
+  dead_nodes_.clear();
+}
+
 std::string FaultModel::schedule_string() const {
   char buf[160];
   std::snprintf(buf, sizeof buf,
@@ -147,7 +207,74 @@ std::string FaultModel::schedule_string() const {
                 config_.packet_drop_rate, config_.ce_drop_rate,
                 config_.key_corrupt_rate, config_.failed_links,
                 config_.stragglers, config_.straggler_factor);
-  return buf;
+  std::string out = buf;
+  if (!config_.crash_schedule.empty()) {
+    out += ",crashes=";
+    for (std::size_t i = 0; i < config_.crash_schedule.size(); ++i) {
+      const CrashEvent& c = config_.crash_schedule[i];
+      if (i != 0) out += '+';
+      out += std::to_string(c.node) + "@" + std::to_string(c.phase);
+      if (c.permanent) out += 'P';
+    }
+  }
+  return out;
+}
+
+FaultConfig FaultModel::parse_schedule_string(const std::string& schedule) {
+  FaultConfig config;
+  std::size_t pos = 0;
+  while (pos < schedule.size()) {
+    const std::size_t comma = schedule.find(',', pos);
+    const std::string field = schedule.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    pos = comma == std::string::npos ? schedule.size() : comma + 1;
+
+    const std::size_t eq = field.find('=');
+    if (eq == std::string::npos)
+      throw std::invalid_argument("schedule field without '=': " + field);
+    const std::string key = field.substr(0, eq);
+    const std::string value = field.substr(eq + 1);
+
+    if (key == "seed") {
+      config.seed = std::stoull(value);
+    } else if (key == "drop") {
+      config.packet_drop_rate = std::stod(value);
+    } else if (key == "ce") {
+      config.ce_drop_rate = std::stod(value);
+    } else if (key == "corrupt") {
+      config.key_corrupt_rate = std::stod(value);
+    } else if (key == "links") {
+      config.failed_links = std::stoi(value);
+    } else if (key == "stragglers") {
+      const std::size_t x = value.find('x');
+      if (x == std::string::npos)
+        throw std::invalid_argument("stragglers field needs CxF: " + value);
+      config.stragglers = std::stoi(value.substr(0, x));
+      config.straggler_factor = std::stoi(value.substr(x + 1));
+    } else if (key == "crashes") {
+      std::size_t at = 0;
+      while (at < value.size()) {
+        const std::size_t plus = value.find('+', at);
+        std::string entry = value.substr(
+            at, plus == std::string::npos ? std::string::npos : plus - at);
+        at = plus == std::string::npos ? value.size() : plus + 1;
+        CrashEvent c;
+        if (!entry.empty() && entry.back() == 'P') {
+          c.permanent = true;
+          entry.pop_back();
+        }
+        const std::size_t sep = entry.find('@');
+        if (sep == std::string::npos)
+          throw std::invalid_argument("crash entry needs node@phase: " + entry);
+        c.node = std::stoll(entry.substr(0, sep));
+        c.phase = std::stoll(entry.substr(sep + 1));
+        config.crash_schedule.push_back(c);
+      }
+    } else {
+      throw std::invalid_argument("unknown schedule field: " + key);
+    }
+  }
+  return config;
 }
 
 }  // namespace prodsort

@@ -22,7 +22,15 @@
 //    certificate, not recoverable by re-sorting);
 //  * stragglers — `stragglers` processors run `straggler_factor`x slower;
 //    every synchronous phase touching one is charged the slowdown in
-//    CostModel::exec_steps.
+//    CostModel::exec_steps;
+//  * fail-stop node crashes — `crash_schedule` kills a named processor at
+//    a named synchronous phase index, discarding its in-memory key (the
+//    one fault class that breaks the multiset itself).  A crash is either
+//    restartable (the processor reboots empty) or permanent (the node is
+//    gone for good and the surviving machine must sort on the degraded
+//    topology).  Recovery — partner re-execution, checkpoint rollback,
+//    degraded-snake remap — lives in network/checkpoint.hpp and
+//    network/recovery.hpp; see docs/FAULTS.md for the escalation ladder.
 //
 // Determinism: every decision is a pure splitmix64 hash of (seed, stream
 // tag, event ids) — see core/hashing.hpp — so a schedule replays
@@ -31,6 +39,8 @@
 // stragglers is behaviorally identical to attaching none.
 
 #include <cstdint>
+#include <optional>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
@@ -40,6 +50,17 @@
 #include "product/gray_code.hpp"  // PNode
 
 namespace prodsort {
+
+/// One scheduled fail-stop crash: processor `node` dies at the start of
+/// synchronous phase `phase` (the machine's fault-step counter) and its
+/// in-memory key is discarded.  Restartable crashes reboot the node
+/// empty; permanent ones remove it from the topology for good.
+struct CrashEvent {
+  PNode node = 0;
+  std::int64_t phase = 0;
+  bool permanent = false;
+  friend bool operator==(const CrashEvent&, const CrashEvent&) = default;
+};
 
 struct FaultConfig {
   std::uint64_t seed = 1;       ///< root of every decision stream
@@ -51,6 +72,9 @@ struct FaultConfig {
   int straggler_factor = 1;     ///< their slowdown multiplier (>= 1)
   int max_retries = 12;         ///< per-hop retransmission budget
   int max_backoff = 8;          ///< retry backoff cap, in steps
+  std::vector<CrashEvent> crash_schedule;  ///< fail-stop node crashes
+
+  friend bool operator==(const FaultConfig&, const FaultConfig&) = default;
 };
 
 /// Injection tallies (what the model actually did, not what it cost —
@@ -60,6 +84,24 @@ struct FaultCounters {
   std::int64_t ce_drops = 0;        ///< compare-exchanges lost
   std::int64_t key_corruptions = 0; ///< keys bit-flipped
   std::int64_t straggler_phases = 0;///< phases slowed by a straggler
+  std::int64_t crashes = 0;         ///< fail-stop crash events fired
+};
+
+/// Thrown by the machine when a fired crash cannot be absorbed in-phase
+/// (the lost key has no live copy in the fabric): the caller must
+/// escalate — roll back to a checkpoint or remap to the degraded
+/// topology (network/recovery.hpp drives that ladder).
+class CrashInterrupt : public std::runtime_error {
+ public:
+  CrashInterrupt(PNode node, std::int64_t phase, bool permanent);
+  [[nodiscard]] PNode node() const noexcept { return node_; }
+  [[nodiscard]] std::int64_t phase() const noexcept { return phase_; }
+  [[nodiscard]] bool permanent() const noexcept { return permanent_; }
+
+ private:
+  PNode node_;
+  std::int64_t phase_;
+  bool permanent_;
 };
 
 class FaultModel {
@@ -113,9 +155,58 @@ class FaultModel {
            config_.stragglers > 0;
   }
 
+  // --- fail-stop crashes -------------------------------------------------
+
+  [[nodiscard]] bool has_crashes() const noexcept {
+    return !config_.crash_schedule.empty();
+  }
+
+  /// True iff a not-yet-fired crash is scheduled for `phase` (a const
+  /// peek — the machine uses it to flag the phase as perturbed before
+  /// firing anything).
+  [[nodiscard]] bool crash_due(std::int64_t phase) const noexcept;
+
+  /// The next not-yet-fired crash scheduled for `phase`, marking it
+  /// fired; nullopt when none is due.  The machine calls this once per
+  /// synchronous phase (looping while events remain for that phase).
+  [[nodiscard]] std::optional<CrashEvent> take_crash(std::int64_t phase);
+
+  /// Marks `node` dead (fail-stop: its key is gone).  Idempotent.
+  void kill(PNode node);
+  /// Reboots a restartable node: alive again, memory empty.
+  void restart(PNode node);
+  [[nodiscard]] bool is_dead(PNode node) const noexcept;
+  [[nodiscard]] bool has_dead_nodes() const noexcept {
+    return !dead_nodes_.empty();
+  }
+  /// Currently dead processors, ascending.
+  [[nodiscard]] const std::vector<PNode>& dead_nodes() const noexcept {
+    return dead_nodes_;
+  }
+
+  /// The deterministic garbage value a crashed node's memory decays to —
+  /// derived from (seed, node, phase) so tests can prove recovery never
+  /// reads the lost key.
+  [[nodiscard]] Key crash_garbage(PNode node, std::int64_t phase) const noexcept;
+
+  /// Re-arms the model for a fresh trial: zeroes the counters, un-fires
+  /// every crash event, and revives all dead nodes.  The deterministic
+  /// selections (failed links, stragglers) are kept — they are pure
+  /// functions of the config and would re-derive identically.
+  void reset();
+
   /// Machine-readable schedule summary for repro lines, e.g.
-  /// "seed=5,drop=0.001,ce=0.001,corrupt=0,links=1,stragglers=1x4".
+  /// "seed=5,drop=0.001,ce=0.001,corrupt=0,links=1,stragglers=1x4,
+  /// crashes=3@17+40@200P" (P marks a permanent crash).  Round-trips
+  /// through parse_schedule_string.
   [[nodiscard]] std::string schedule_string() const;
+
+  /// Inverse of schedule_string: rebuilds the FaultConfig from a
+  /// schedule summary, so a FAULT-REPRO line can be replayed verbatim
+  /// (prodsort_stress --repro).  Unknown fields throw
+  /// std::invalid_argument naming the offender.
+  [[nodiscard]] static FaultConfig parse_schedule_string(
+      const std::string& schedule);
 
  private:
   FaultConfig config_;
@@ -123,6 +214,8 @@ class FaultModel {
   std::vector<std::pair<NodeId, NodeId>> failed_;
   std::vector<char> straggler_;       ///< per-node flag
   std::vector<PNode> straggler_nodes_;
+  std::vector<char> crash_fired_;     ///< per-schedule-entry fired flag
+  std::vector<PNode> dead_nodes_;     ///< currently dead, ascending
 };
 
 }  // namespace prodsort

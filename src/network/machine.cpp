@@ -17,13 +17,22 @@ Machine::Machine(const ProductGraph& pg, std::vector<Key> keys,
 
 void Machine::compare_exchange_step(std::span<const CEPair> pairs,
                                     int hop_distance) {
-  const bool faulty = faults_ != nullptr && faults_->perturbs_compute();
+  // One phase of the fault clock per synchronous step (counting alone
+  // never perturbs results, so an attached all-zero model stays
+  // bit-identical to none).
+  const std::int64_t step = faults_ != nullptr ? fault_step_++ : 0;
+  const bool crash_due = faults_ != nullptr && faults_->crash_due(step);
+  const bool faulty =
+      faults_ != nullptr && (faults_->perturbs_compute() || crash_due ||
+                             faults_->has_dead_nodes());
   if (observer_ != nullptr) {
-    // The observer owns phase validation while attached (it subsumes the
-    // plain disjointness sweep below with per-invariant reporting).
     observer_->before_phase(keys_, pairs, hop_distance, /*block_size=*/1,
                             faulty);
-  } else if (check_disjoint_) {
+  }
+  // A validating observer (the StepAuditor) subsumes the plain sweep
+  // with per-invariant reporting; passive observers do not.
+  if (check_disjoint_ &&
+      (observer_ == nullptr || !observer_->supersedes_validation())) {
     std::vector<char> touched(keys_.size(), 0);
     for (const CEPair& p : pairs) {
       if (p.low == p.high || touched[static_cast<std::size_t>(p.low)] ||
@@ -34,8 +43,24 @@ void Machine::compare_exchange_step(std::span<const CEPair> pairs,
     }
   }
 
-  if (faulty) {
-    faulty_compare_exchange_step(pairs, hop_distance);
+  if (faults_ != nullptr && faults_->has_dead_nodes()) {
+    for (const CEPair& p : pairs)
+      if (faults_->is_dead(p.low) || faults_->is_dead(p.high))
+        throw std::logic_error(
+            "compare-exchange pair touches a dead processor (degraded "
+            "schedules must pair live nodes only)");
+  }
+
+  if (crash_due && fire_crashes(pairs, step)) {
+    // Partner re-execution: the phase runs twice, once lost to the
+    // crash and once from the partner's buffered copy.
+    cost_.exec_steps += hop_distance;
+    ++cost_.reexec_phases;
+    ++cost_.degraded_phases;
+  }
+
+  if (faults_ != nullptr && faults_->perturbs_compute()) {
+    faulty_compare_exchange_step(pairs, hop_distance, step);
     if (observer_ != nullptr) observer_->after_phase(keys_);
     return;
   }
@@ -66,10 +91,45 @@ void Machine::compare_exchange_step(std::span<const CEPair> pairs,
   if (observer_ != nullptr) observer_->after_phase(keys_);
 }
 
-void Machine::faulty_compare_exchange_step(std::span<const CEPair> pairs,
-                                           int hop_distance) {
+bool Machine::fire_crashes(std::span<const CEPair> pairs, std::int64_t step) {
   FaultModel& fm = *faults_;
-  const std::int64_t step = fault_step_++;
+  bool reexec = false;
+  while (const std::optional<CrashEvent> crash = fm.take_crash(step)) {
+    const PNode v = crash->node;
+    if (v < 0 || static_cast<std::size_t>(v) >= keys_.size())
+      throw std::logic_error("crash event names a node outside the machine");
+    if (fm.is_dead(v)) continue;  // already dead: fail-stop is idempotent
+    ++cost_.crashes;
+
+    bool paired = false;
+    for (const CEPair& p : pairs)
+      if (p.low == v || p.high == v) {
+        paired = true;
+        break;
+      }
+
+    if (!crash->permanent && paired) {
+      // The node died mid-exchange: its partner holds both values of the
+      // pair (the Section-4 two-value memory), so the rebooted node gets
+      // its key back and the phase re-executes.  The caller charges the
+      // repeated phase.
+      reexec = true;
+      continue;
+    }
+
+    // No live copy exists in the fabric (idle node, or the node is gone
+    // for good): the key decays and the caller must escalate.
+    keys_[static_cast<std::size_t>(v)] = fm.crash_garbage(v, step);
+    fm.kill(v);
+    throw CrashInterrupt(v, step, crash->permanent);
+  }
+  return reexec;
+}
+
+void Machine::faulty_compare_exchange_step(std::span<const CEPair> pairs,
+                                           int hop_distance,
+                                           std::int64_t step) {
+  FaultModel& fm = *faults_;
 
   // Per-pair fault decisions are pure hashes of (step, pair index) and
   // every pair touches disjoint keys, so the parallel path stays

@@ -51,8 +51,9 @@ class Machine {
   /// zeroed byte per processor, roughly doubling the per-phase overhead
   /// of small steps.  On by default in Debug builds (NDEBUG undefined);
   /// Release builds keep it opt-in so the hot path stays a plain sweep.
-  /// An attached PhaseObserver supersedes this flag — the observer owns
-  /// disjointness checking while attached (see analysis/step_auditor.hpp).
+  /// An attached *validating* observer (supersedes_validation() true,
+  /// e.g. the StepAuditor) supersedes this flag; passive observers like
+  /// the CheckpointManager leave it in force.
   void set_check_disjoint(bool on) noexcept { check_disjoint_ = on; }
 
   /// Attaches a phase observer (borrowed; must outlive the machine, pass
@@ -70,8 +71,27 @@ class Machine {
   /// compute rates zero — results are bit-identical to the fault-free
   /// machine.  If the model selects stragglers, call
   /// `select_stragglers(graph().num_nodes())` on it first.
+  ///
+  /// Fail-stop crashes (FaultConfig::crash_schedule) fire at the start
+  /// of the scheduled phase (this machine's fault-step counter): the
+  /// node's key decays to crash_garbage.  If the crashed node is paired
+  /// in that very phase and the crash is restartable, its partner still
+  /// holds both values of the exchange (the Section-4 two-value memory),
+  /// so the machine restores the key and re-executes the phase in place
+  /// (charged as an extra phase; CostModel::reexec_phases).  Otherwise
+  /// the key has no live copy and the machine throws CrashInterrupt for
+  /// the caller to escalate (checkpoint rollback / degraded remap — see
+  /// network/recovery.hpp).  While any node is dead, issuing a pair that
+  /// touches it is a std::logic_error: degraded schedules must pair live
+  /// nodes only (product/degraded_view.hpp).
   void set_fault_model(FaultModel* faults) noexcept { faults_ = faults; }
   [[nodiscard]] FaultModel* fault_model() const noexcept { return faults_; }
+
+  /// Synchronous phases executed so far under an attached fault model —
+  /// the phase clock crash events are keyed on.
+  [[nodiscard]] std::int64_t fault_phase() const noexcept {
+    return fault_step_;
+  }
 
   /// Reads the keys out in snake order of `view` — the "result" of a sort
   /// phase for verification.
@@ -83,7 +103,11 @@ class Machine {
 
  private:
   void faulty_compare_exchange_step(std::span<const CEPair> pairs,
-                                    int hop_distance);
+                                    int hop_distance, std::int64_t step);
+  /// Fires due crash events for `step`; returns true when the phase must
+  /// be re-executed (partner recovery), throws CrashInterrupt when the
+  /// lost key has no live copy.
+  bool fire_crashes(std::span<const CEPair> pairs, std::int64_t step);
 
   const ProductGraph* pg_;
   std::vector<Key> keys_;

@@ -27,6 +27,14 @@ class PhaseObserver {
  public:
   virtual ~PhaseObserver() = default;
 
+  /// True when this observer performs its own per-phase pair validation
+  /// (the StepAuditor does), letting the machine skip its plain
+  /// disjointness sweep.  Passive observers — e.g. the
+  /// CheckpointManager, which only snapshots — return false so attaching
+  /// them never silently disables the Debug-default disjointness check;
+  /// chaining observers forward to the chained one.
+  [[nodiscard]] virtual bool supersedes_validation() const { return false; }
+
   /// Called immediately before a synchronous phase applies `pairs`.
   /// `keys` is the machine's complete key array (`block_size` keys per
   /// node, 1 for the unit-key Machine) and `hop_distance` the step's

@@ -1,0 +1,193 @@
+#include "network/recovery.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "core/verify.hpp"
+
+namespace prodsort {
+
+std::string to_string(RecoveryPath path) {
+  switch (path) {
+    case RecoveryPath::kNone: return "none";
+    case RecoveryPath::kReexecOnly: return "reexec-only";
+    case RecoveryPath::kRollback: return "rollback";
+    case RecoveryPath::kDegradedRemap: return "degraded-remap";
+    case RecoveryPath::kFailed: return "failed";
+  }
+  return "?";
+}
+
+std::vector<CEPair> degraded_oet_pairs(const DegradedView& view, int parity,
+                                       int* hop) {
+  const PNode n = view.live_size();
+  std::vector<CEPair> pairs;
+  pairs.reserve(static_cast<std::size_t>(n / 2 + 1));
+  int max_hop = 1;
+  for (PNode rank = parity; rank + 1 < n; rank += 2) {
+    pairs.push_back({view.node_at_rank(rank), view.node_at_rank(rank + 1)});
+    max_hop = std::max(max_hop, view.hop_to_next(rank));
+  }
+  if (hop != nullptr) *hop = max_hop;
+  return pairs;
+}
+
+void sort_degraded_snake(Machine& machine, const DegradedView& view) {
+  const PNode n = view.live_size();
+  if (n <= 1) return;
+  // Full odd-even transposition sorts any input in n passes; the early
+  // exit after two quiescent passes is what makes rollback from a
+  // partially-sorted checkpoint measurably cheaper than from scratch.
+  int quiet = 0;
+  for (PNode pass = 0; pass < n + 2 && quiet < 2; ++pass) {
+    int hop = 1;
+    const std::vector<CEPair> pairs =
+        degraded_oet_pairs(view, static_cast<int>(pass % 2), &hop);
+    if (pairs.empty()) {
+      ++quiet;
+      continue;
+    }
+    const std::int64_t before = machine.cost().exchanges;
+    machine.compare_exchange_step(pairs, hop);
+    quiet = machine.cost().exchanges == before ? quiet + 1 : 0;
+  }
+}
+
+RecoveryController::RecoveryController(Machine& machine, RecoveryPolicy policy)
+    : machine_(&machine), policy_(policy) {
+  if (policy_.max_rollbacks < 0 || policy_.max_remaps < 0)
+    throw std::invalid_argument("recovery budgets must be >= 0");
+}
+
+CrashRecoveryReport RecoveryController::run(const SortOptions& options) {
+  Machine& m = *machine_;
+  FaultModel* fm = m.fault_model();
+  CrashRecoveryReport report;
+
+  const std::uint64_t checksum = policy_.expected_checksum != 0
+                                     ? policy_.expected_checksum
+                                     : multiset_checksum(m.keys());
+  const std::int64_t crashes_before = m.cost().crashes;
+
+  CheckpointManager manager(
+      {.interval = policy_.checkpoint_interval, .snapshot_on_attach = true});
+  manager.attach(m);
+
+  // Rung 2: rollback-and-resume on restartable crashes the machine
+  // could not absorb in-phase.
+  bool remap_needed = false;
+  while (true) {
+    try {
+      sort_product_network(m, options);
+      break;
+    } catch (const CrashInterrupt& crash) {
+      manager.note_crash(crash.node());
+      if (!crash.permanent() && report.rollbacks < policy_.max_rollbacks) {
+        fm->restart(crash.node());
+        CheckpointManager::RestoreResult restored = manager.restore();
+        report.lost_entries.insert(report.lost_entries.end(),
+                                   restored.lost.begin(), restored.lost.end());
+        ++report.rollbacks;
+        ++m.cost().rollbacks;
+        report.path = RecoveryPath::kRollback;
+        continue;
+      }
+      remap_needed = true;  // permanent loss, or rollback budget spent
+      break;
+    }
+  }
+
+  // Rung 3: remap-and-restart on the surviving topology.  Further
+  // crashes during the degraded sort loop back here with the victim
+  // added to the dead set (restartable or not: once degraded, a flaky
+  // node stays excluded for the rest of the run).
+  std::vector<std::pair<PNode, Key>> orphans;
+  if (remap_needed) {
+    report.path = RecoveryPath::kFailed;  // until a degraded sort lands
+    while (report.remaps < policy_.max_remaps) {
+      ++report.remaps;
+      ++m.cost().remap_sorts;
+      CheckpointManager::RestoreResult restored = manager.restore();
+      ++m.cost().rollbacks;
+      orphans = std::move(restored.orphans);
+      report.lost_entries.insert(report.lost_entries.end(),
+                                 restored.lost.begin(), restored.lost.end());
+      try {
+        const DegradedView degraded(m.graph(), full_view(m.graph()),
+                                    fm->dead_nodes());
+        sort_degraded_snake(m, degraded);
+        report.path = RecoveryPath::kDegradedRemap;
+        break;
+      } catch (const CrashInterrupt& crash) {
+        manager.note_crash(crash.node());
+        continue;
+      } catch (const std::runtime_error&) {
+        break;  // dead set disconnects the live snake: unrecoverable
+      }
+    }
+  }
+
+  manager.detach();
+
+  if (fm != nullptr) {
+    report.dead = fm->dead_nodes();
+    report.crashes = m.cost().crashes - crashes_before;
+  }
+  if (report.crashes > 0 && report.path == RecoveryPath::kNone)
+    report.path = RecoveryPath::kReexecOnly;
+
+  std::sort(report.lost_entries.begin(), report.lost_entries.end());
+  report.lost_entries.erase(
+      std::unique(report.lost_entries.begin(), report.lost_entries.end()),
+      report.lost_entries.end());
+
+  // Read-out and verification.  Crash recovery composes with the PR-1
+  // fault classes: dropped compare-exchange messages can leave order
+  // corruption that is no crash's fault, so an unsorted read-out gets
+  // one bounded cleanup pass (dirty-window OET on the full snake,
+  // another degraded OET round on the survivor snake) before the
+  // verdict.  A crash firing during cleanup is out of budget by
+  // construction here, so it just fails the run.
+  if (report.dead.empty()) {
+    report.output = m.read_snake(full_view(m.graph()));
+    report.sorted = std::is_sorted(report.output.begin(), report.output.end());
+    if (!report.sorted) {
+      try {
+        (void)verify_and_recover(m, full_view(m.graph()),
+                                 {.expected_checksum = checksum});
+        report.output = m.read_snake(full_view(m.graph()));
+        report.sorted =
+            std::is_sorted(report.output.begin(), report.output.end());
+      } catch (const CrashInterrupt&) {
+        report.path = RecoveryPath::kFailed;
+      }
+    }
+  } else if (report.path == RecoveryPath::kDegradedRemap) {
+    const DegradedView degraded(m.graph(), full_view(m.graph()), report.dead);
+    std::vector<Key> live = read_degraded_snake(m, degraded);
+    report.sorted = std::is_sorted(live.begin(), live.end());
+    if (!report.sorted) {
+      try {
+        sort_degraded_snake(m, degraded);
+        live = read_degraded_snake(m, degraded);
+        report.sorted = std::is_sorted(live.begin(), live.end());
+      } catch (const CrashInterrupt&) {
+        report.path = RecoveryPath::kFailed;
+      }
+    }
+    std::vector<Key> orphan_keys;
+    orphan_keys.reserve(orphans.size());
+    for (const auto& [node, key] : orphans) orphan_keys.push_back(key);
+    std::sort(orphan_keys.begin(), orphan_keys.end());
+    report.output.resize(live.size() + orphan_keys.size());
+    std::merge(live.begin(), live.end(), orphan_keys.begin(),
+               orphan_keys.end(), report.output.begin());
+  }
+
+  report.data_loss = !report.lost_entries.empty() ||
+                     multiset_checksum(report.output) != checksum;
+  return report;
+}
+
+}  // namespace prodsort

@@ -1,0 +1,106 @@
+#pragma once
+
+// RecoveryController: the deterministic escalation ladder for fail-stop
+// node crashes (docs/FAULTS.md).
+//
+// Rung 1 — re-execute the faulted phase.  Handled inside the Machine:
+//   a restartable node that dies mid-exchange is re-seeded from its
+//   partner's buffered pair (the Section-4 two-value memory) and the
+//   phase runs again; no interrupt reaches the controller.
+// Rung 2 — rollback to the last checkpoint and resume.  A restartable
+//   crash with no live copy (the node was idle that phase) raises
+//   CrashInterrupt; the controller reboots the node, restores the
+//   CheckpointManager snapshot, and re-runs the sort.  Compare-exchange
+//   networks sort from any starting state, so re-running the oblivious
+//   schedule on the partially-sorted restored state is exactly "resume":
+//   every already-ordered prefix costs only comparisons, not exchanges.
+// Rung 3 — remap-and-restart on the degraded topology.  A permanent
+//   crash (or an exhausted rollback budget) removes the node for good:
+//   the snapshot is restored, dead nodes' entries are recovered from
+//   their shadows as host-side orphans, and odd-even transposition over
+//   the degraded snake (product/degraded_view.hpp) sorts the survivors;
+//   orphans are merged back into the output at read-out.
+//
+// Every rung is budgeted; the run's path, budget spend, and data-loss
+// verdict come back in a CrashRecoveryReport, and the machine's
+// CostModel carries the machine-readable counters (crashes,
+// reexec_phases, checkpoints, rollbacks, remap_sorts).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/product_sort.hpp"
+#include "network/checkpoint.hpp"
+#include "network/machine.hpp"
+#include "product/degraded_view.hpp"
+
+namespace prodsort {
+
+struct RecoveryPolicy {
+  int checkpoint_interval = 8;  ///< phases between snapshots
+  int max_rollbacks = 4;        ///< rung-2 budget (restartable crashes)
+  int max_remaps = 3;           ///< rung-3 budget (degraded restarts)
+  /// Pre-sort multiset checksum for the data-loss verdict; 0 means
+  /// "compute it from the machine's keys when run() starts".
+  std::uint64_t expected_checksum = 0;
+};
+
+enum class RecoveryPath {
+  kNone,          ///< no crash fired
+  kReexecOnly,    ///< rung 1 absorbed every crash in-phase
+  kRollback,      ///< rung 2: checkpoint rollback(s), full topology kept
+  kDegradedRemap, ///< rung 3: sorted on the surviving topology
+  kFailed,        ///< budgets exhausted or live topology disconnected
+};
+
+[[nodiscard]] std::string to_string(RecoveryPath path);
+
+struct CrashRecoveryReport {
+  RecoveryPath path = RecoveryPath::kNone;
+  bool sorted = false;     ///< final sequence (incl. orphans) verified sorted
+  bool data_loss = false;  ///< keys unrecoverable or checksum mismatch
+  int rollbacks = 0;       ///< rung-2 restores performed
+  int remaps = 0;          ///< rung-3 degraded restarts performed
+  std::int64_t crashes = 0;           ///< crash events fired during the run
+  std::vector<PNode> dead;            ///< nodes dead at exit, ascending
+  std::vector<PNode> lost_entries;    ///< checkpoint entries lost for good
+  /// The run's result: the full-topology snake when no node died, else
+  /// the degraded snake with recovered orphan keys merged in.
+  std::vector<Key> output;
+};
+
+/// Compare-exchange pairs of one odd-even transposition phase over the
+/// degraded snake (ranks 2i+parity, 2i+parity+1); `hop` receives the
+/// step's charge, the largest routed distance among the pairs.
+[[nodiscard]] std::vector<CEPair> degraded_oet_pairs(const DegradedView& view,
+                                                     int parity, int* hop);
+
+/// Sorts the live keys along the degraded snake by odd-even
+/// transposition through the machine's own compare-exchange primitive
+/// (so the sort is charged to the cost model and subject to attached
+/// faults — including further crashes, which propagate as
+/// CrashInterrupt).  Early-exits after two quiescent passes.
+void sort_degraded_snake(Machine& machine, const DegradedView& view);
+
+class RecoveryController {
+ public:
+  /// The machine must have a FaultModel attached if crashes are to be
+  /// injected (a model-less machine just sorts).  Both are borrowed.
+  explicit RecoveryController(Machine& machine, RecoveryPolicy policy = {});
+
+  /// Runs the sort under the escalation ladder and verifies the result.
+  /// CostModel fault counters are NOT reset here — call
+  /// machine.cost().reset_fault_counters() between trials.
+  CrashRecoveryReport run(const SortOptions& options = {});
+
+  [[nodiscard]] const RecoveryPolicy& policy() const noexcept {
+    return policy_;
+  }
+
+ private:
+  Machine* machine_;
+  RecoveryPolicy policy_;
+};
+
+}  // namespace prodsort

@@ -1,0 +1,84 @@
+#pragma once
+
+// Degraded-topology view: the snake order of a product-graph view with
+// fail-stop-dead nodes removed.
+//
+// After a permanent crash the machine must sort on the surviving
+// N^r - f processors.  The degraded snake is the original snake order
+// (Definition 2) restricted to live nodes: live rank k is the k-th live
+// node along the Gray-code sequence.  Consecutive live ranks are no
+// longer guaranteed adjacent — the hole punched by a dead node forces a
+// detour — so each consecutive pair carries a routed hop distance: the
+// BFS shortest-path length inside the view avoiding every dead node.
+// That distance is >= the true product distance, so charging it keeps
+// the StepAuditor's cost-honesty check satisfied (the pairs may differ
+// in more than one dimension, though: audit degraded schedules with
+// allow_cross_dimension).
+//
+// Odd-even transposition over the degraded snake sorts the live keys
+// (0-1 principle on a linear order), which is how network/recovery.hpp
+// restarts a sort after remap.  Construction throws when the dead set
+// disconnects consecutive live ranks — no routed schedule exists and
+// the caller must report the run unrecoverable.
+
+#include <span>
+#include <vector>
+
+#include "product/snake_order.hpp"
+#include "product/subgraph_view.hpp"
+
+namespace prodsort {
+
+class DegradedView {
+ public:
+  /// Restricts `view` of `pg` to the nodes not listed in `dead_nodes`
+  /// (entries outside the view are ignored; duplicates are fine).
+  /// Throws std::runtime_error when some consecutive pair of live snake
+  /// ranks has no connecting path through live view nodes, and
+  /// std::invalid_argument when no live node remains.
+  DegradedView(const ProductGraph& pg, const ViewSpec& view,
+               std::span<const PNode> dead_nodes);
+
+  [[nodiscard]] const ProductGraph& graph() const noexcept { return *pg_; }
+  [[nodiscard]] const ViewSpec& view() const noexcept { return view_; }
+
+  [[nodiscard]] PNode full_size() const noexcept { return full_size_; }
+  [[nodiscard]] PNode live_size() const noexcept {
+    return static_cast<PNode>(live_.size());
+  }
+  [[nodiscard]] PNode dead_count() const noexcept {
+    return full_size_ - live_size();
+  }
+
+  /// Live nodes in degraded snake order (global node ids).
+  [[nodiscard]] std::span<const PNode> live_nodes() const noexcept {
+    return live_;
+  }
+  [[nodiscard]] PNode node_at_rank(PNode rank) const {
+    return live_[static_cast<std::size_t>(rank)];
+  }
+  /// Degraded snake rank of a global node; -1 when dead or outside the
+  /// view.
+  [[nodiscard]] PNode rank_of(PNode node) const;
+  [[nodiscard]] bool is_live(PNode node) const { return rank_of(node) >= 0; }
+
+  /// Routed hop distance between live ranks `rank` and `rank + 1` (BFS
+  /// inside the view avoiding dead nodes).
+  [[nodiscard]] int hop_to_next(PNode rank) const {
+    return hop_[static_cast<std::size_t>(rank)];
+  }
+  /// Largest hop_to_next over the whole degraded snake (1 when no node
+  /// is dead and the factor labeling is Hamiltonian).
+  [[nodiscard]] int max_hop() const noexcept { return max_hop_; }
+
+ private:
+  const ProductGraph* pg_;
+  ViewSpec view_;
+  PNode full_size_;
+  std::vector<PNode> live_;      ///< global node at each degraded rank
+  std::vector<PNode> rank_;      ///< degraded rank per view-local index, -1 dead
+  std::vector<int> hop_;         ///< routed distance rank -> rank+1
+  int max_hop_ = 1;
+};
+
+}  // namespace prodsort

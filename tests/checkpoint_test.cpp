@@ -1,0 +1,225 @@
+#include "network/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+#include "core/product_sort.hpp"
+#include "core/s2/snake_oet_s2.hpp"
+#include "network/fault_model.hpp"
+#include "product/snake_order.hpp"
+
+namespace prodsort {
+namespace {
+
+std::vector<Key> random_keys(PNode count, unsigned seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<Key> keys(static_cast<std::size_t>(count));
+  for (Key& k : keys) k = static_cast<Key>(rng() % 100000);
+  return keys;
+}
+
+/// Passive observer that just counts callbacks — stands in for an
+/// auditor already installed when the CheckpointManager chains in.
+class CountingObserver final : public PhaseObserver {
+ public:
+  void before_phase(std::span<const Key>, std::span<const CEPair>, int, int,
+                    bool) override {
+    ++before;
+  }
+  void after_phase(std::span<const Key>) override { ++after; }
+  int before = 0;
+  int after = 0;
+};
+
+TEST(CheckpointTest, AttachSnapshotsAndChargesOneDilationPhase) {
+  const ProductGraph pg(labeled_path(3), 2);
+  Machine m(pg, random_keys(pg.num_nodes(), 1));
+  CheckpointManager manager({.interval = 4, .snapshot_on_attach = true});
+  manager.attach(m);
+  EXPECT_TRUE(manager.has_checkpoint());
+  EXPECT_EQ(manager.generation(), 1);
+  EXPECT_EQ(m.cost().checkpoints, 1);
+  EXPECT_EQ(m.cost().checkpoint_steps, pg.factor().dilation);
+  EXPECT_EQ(m.cost().exec_steps, pg.factor().dilation);
+  manager.detach();
+  EXPECT_EQ(m.observer(), nullptr);
+}
+
+TEST(CheckpointTest, PeriodicSnapshotsFollowTheInterval) {
+  const ProductGraph pg(labeled_path(3), 2);
+  Machine m(pg, random_keys(pg.num_nodes(), 2));
+  CheckpointManager manager({.interval = 2, .snapshot_on_attach = true});
+  manager.attach(m);
+  const SnakeOETS2 oet;
+  SortOptions options;
+  options.s2 = &oet;
+  (void)sort_product_network(m, options);
+  // Baseline snapshot plus one per two synchronous phases.
+  EXPECT_GT(manager.generation(), 1);
+  EXPECT_EQ(m.cost().checkpoints, manager.generation());
+  manager.detach();
+
+  // interval = 0 disables periodic snapshots entirely.
+  Machine m2(pg, random_keys(pg.num_nodes(), 2));
+  CheckpointManager manual({.interval = 0, .snapshot_on_attach = false});
+  manual.attach(m2);
+  (void)sort_product_network(m2, options);
+  EXPECT_EQ(manual.generation(), 0);
+  EXPECT_FALSE(manual.has_checkpoint());
+  EXPECT_THROW(manual.restore(), std::logic_error);
+}
+
+TEST(CheckpointTest, ChainsThePreviouslyInstalledObserver) {
+  const ProductGraph pg(labeled_path(3), 2);
+  Machine m(pg, random_keys(pg.num_nodes(), 3));
+  CountingObserver counter;
+  m.set_observer(&counter);
+  {
+    CheckpointManager manager({.interval = 8, .snapshot_on_attach = true});
+    manager.attach(m);
+    EXPECT_FALSE(manager.supersedes_validation());
+    const SnakeOETS2 oet;
+    SortOptions options;
+    options.s2 = &oet;
+    (void)sort_product_network(m, options);
+    EXPECT_GT(counter.before, 0);  // chained callbacks kept firing
+    EXPECT_EQ(counter.before, counter.after);
+  }  // destructor detaches
+  EXPECT_EQ(m.observer(), &counter);
+}
+
+TEST(CheckpointTest, DoubleAttachThrows) {
+  const ProductGraph pg(labeled_path(2), 2);
+  Machine a(pg, random_keys(pg.num_nodes(), 4));
+  Machine b(pg, random_keys(pg.num_nodes(), 5));
+  CheckpointManager manager;
+  manager.attach(a);
+  EXPECT_THROW(manager.attach(b), std::logic_error);
+  EXPECT_THROW(CheckpointManager({.interval = -1}), std::invalid_argument);
+}
+
+TEST(CheckpointTest, ShadowHolderIsASnakeNeighbor) {
+  const ProductGraph pg(labeled_path(3), 2);
+  Machine m(pg, random_keys(pg.num_nodes(), 6));
+  CheckpointManager manager;
+  manager.attach(m);
+  for (PNode v = 0; v < pg.num_nodes(); ++v) {
+    const PNode holder = manager.shadow_holder(v);
+    EXPECT_NE(holder, v);
+    const PNode rank = snake_rank(pg, v);
+    const PNode expected_rank =
+        rank + 1 < pg.num_nodes() ? rank + 1 : rank - 1;
+    EXPECT_EQ(snake_rank(pg, holder), expected_rank);
+    // Snake-consecutive nodes are Gray-code neighbors: one product edge.
+    const std::vector<PNode> nbrs = pg.neighbors(v);
+    EXPECT_NE(std::find(nbrs.begin(), nbrs.end(), holder), nbrs.end());
+  }
+}
+
+TEST(CheckpointTest, RestoreRewindsTheMachineToTheSnapshot) {
+  const ProductGraph pg(labeled_path(3), 2);
+  const auto keys = random_keys(pg.num_nodes(), 7);
+  Machine m(pg, keys);
+  CheckpointManager manager({.interval = 0, .snapshot_on_attach = true});
+  manager.attach(m);
+
+  const SnakeOETS2 oet;
+  SortOptions options;
+  options.s2 = &oet;
+  (void)sort_product_network(m, options);  // scrambles away from `keys`
+  ASSERT_FALSE(std::equal(keys.begin(), keys.end(), m.keys().begin()));
+
+  const CheckpointManager::RestoreResult result = manager.restore();
+  EXPECT_TRUE(result.from_shadow.empty());
+  EXPECT_TRUE(result.orphans.empty());
+  EXPECT_TRUE(result.lost.empty());
+  EXPECT_TRUE(std::equal(keys.begin(), keys.end(), m.keys().begin()));
+  EXPECT_GT(m.cost().recovery_steps, 0);
+}
+
+TEST(CheckpointTest, CrashedPrimaryRestoresFromItsShadow) {
+  const ProductGraph pg(labeled_path(3), 2);
+  const auto keys = random_keys(pg.num_nodes(), 8);
+  Machine m(pg, keys);
+  CheckpointManager manager({.interval = 0, .snapshot_on_attach = true});
+  manager.attach(m);
+
+  const PNode victim = node_at_snake_rank(pg, 3);
+  manager.note_crash(victim);
+  const auto result = manager.restore();
+  ASSERT_EQ(result.from_shadow.size(), 1u);
+  EXPECT_EQ(result.from_shadow.front(), victim);
+  EXPECT_TRUE(result.lost.empty());
+  EXPECT_TRUE(std::equal(keys.begin(), keys.end(), m.keys().begin()));
+
+  EXPECT_THROW(manager.note_crash(-1), std::invalid_argument);
+  EXPECT_THROW(manager.note_crash(pg.num_nodes()), std::invalid_argument);
+}
+
+TEST(CheckpointTest, PrimaryAndShadowBothWipedIsLost) {
+  const ProductGraph pg(labeled_path(3), 2);
+  const auto keys = random_keys(pg.num_nodes(), 9);
+  Machine m(pg, keys);
+  CheckpointManager manager({.interval = 0, .snapshot_on_attach = true});
+  manager.attach(m);
+
+  const PNode victim = node_at_snake_rank(pg, 3);
+  manager.note_crash(victim);
+  manager.note_crash(manager.shadow_holder(victim));
+  const auto result = manager.restore();
+  ASSERT_EQ(result.lost.size(), 1u);
+  EXPECT_EQ(result.lost.front(), victim);
+
+  // A fresh snapshot clears the wiped marks: nothing is lost anymore.
+  manager.snapshot_now();
+  EXPECT_TRUE(manager.restore().lost.empty());
+}
+
+TEST(CheckpointTest, DeadNodeEntriesComeBackAsOrphans) {
+  const ProductGraph pg(labeled_path(3), 2);
+  const auto keys = random_keys(pg.num_nodes(), 10);
+  Machine m(pg, keys);
+  FaultModel fm{FaultConfig{}};
+  m.set_fault_model(&fm);
+  CheckpointManager manager({.interval = 0, .snapshot_on_attach = true});
+  manager.attach(m);
+
+  const PNode victim = node_at_snake_rank(pg, 5);
+  fm.kill(victim);
+  const auto result = manager.restore();
+  ASSERT_EQ(result.orphans.size(), 1u);
+  EXPECT_EQ(result.orphans.front().first, victim);
+  EXPECT_EQ(result.orphans.front().second,
+            keys[static_cast<std::size_t>(victim)]);
+  EXPECT_TRUE(result.lost.empty());
+
+  // No snapshot may be taken while a node is dead.
+  EXPECT_THROW(manager.snapshot_now(), std::logic_error);
+  fm.restart(victim);
+  EXPECT_NO_THROW(manager.snapshot_now());
+}
+
+TEST(CheckpointTest, BlockMachineRoundTrips) {
+  const ProductGraph pg(labeled_path(2), 2);
+  const int block = 4;
+  const auto keys = random_keys(pg.num_nodes() * block, 11);
+  BlockMachine m(pg, keys, block);
+  CheckpointManager manager({.interval = 0, .snapshot_on_attach = true});
+  manager.attach(m);
+  EXPECT_EQ(m.cost().checkpoints, 1);
+
+  // AUDITOR-EXEMPT(test scrambles the array to prove restore rewinds it).
+  std::span<Key> live = m.mutable_keys();
+  std::reverse(live.begin(), live.end());
+  ASSERT_FALSE(std::equal(keys.begin(), keys.end(), m.keys().begin()));
+  (void)manager.restore();
+  EXPECT_TRUE(std::equal(keys.begin(), keys.end(), m.keys().begin()));
+  EXPECT_GT(m.cost().recovery_steps, 0);
+}
+
+}  // namespace
+}  // namespace prodsort

@@ -1,0 +1,115 @@
+#include "product/degraded_view.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/labeled_factor.hpp"
+#include "product/product_graph.hpp"
+#include "product/snake_order.hpp"
+
+namespace prodsort {
+namespace {
+
+TEST(DegradedViewTest, EmptyDeadSetIsTheSnakeOrder) {
+  const ProductGraph pg(labeled_path(3), 2);
+  const DegradedView dv(pg, full_view(pg), {});
+  EXPECT_EQ(dv.full_size(), pg.num_nodes());
+  EXPECT_EQ(dv.live_size(), pg.num_nodes());
+  EXPECT_EQ(dv.dead_count(), 0);
+  for (PNode rank = 0; rank < dv.live_size(); ++rank) {
+    EXPECT_EQ(dv.node_at_rank(rank), node_at_snake_rank(pg, rank));
+    EXPECT_EQ(dv.rank_of(dv.node_at_rank(rank)), rank);
+    if (rank + 1 < dv.live_size()) {
+      EXPECT_EQ(dv.hop_to_next(rank), 1);
+    }
+  }
+  // A Hamiltonian factor labeling makes every snake step one hop.
+  EXPECT_EQ(dv.max_hop(), 1);
+}
+
+TEST(DegradedViewTest, DeadNodePunchesAHoleWithRoutedDetour) {
+  const ProductGraph pg(labeled_path(3), 2);
+  // Kill the node at snake rank 4 (an interior rank of the 9-node snake).
+  const PNode dead = node_at_snake_rank(pg, 4);
+  const std::vector<PNode> dead_set = {dead};
+  const DegradedView dv(pg, full_view(pg), dead_set);
+
+  EXPECT_EQ(dv.live_size(), pg.num_nodes() - 1);
+  EXPECT_EQ(dv.dead_count(), 1);
+  EXPECT_FALSE(dv.is_live(dead));
+  EXPECT_EQ(dv.rank_of(dead), -1);
+
+  // The live snake is the original order with the hole skipped ...
+  PNode rank = 0;
+  for (PNode r = 0; r < pg.num_nodes(); ++r) {
+    const PNode node = node_at_snake_rank(pg, r);
+    if (node == dead) continue;
+    EXPECT_EQ(dv.node_at_rank(rank), node);
+    ++rank;
+  }
+  // ... and the pair straddling the hole pays a routed detour.
+  EXPECT_GE(dv.hop_to_next(3), 2);
+  int worst = 1;
+  for (PNode r = 0; r + 1 < dv.live_size(); ++r)
+    worst = std::max(worst, dv.hop_to_next(r));
+  EXPECT_EQ(dv.max_hop(), worst);
+  EXPECT_GE(dv.max_hop(), 2);
+}
+
+TEST(DegradedViewTest, DuplicatesAndOutOfViewDeadEntriesAreIgnored) {
+  const ProductGraph pg(labeled_path(3), 2);
+  const PNode dead = node_at_snake_rank(pg, 2);
+  const std::vector<PNode> dead_set = {dead, dead, dead};
+  const DegradedView dv(pg, full_view(pg), dead_set);
+  EXPECT_EQ(dv.dead_count(), 1);
+
+  // A sub-view only counts dead nodes it actually contains.
+  const ViewSpec row = fix_high(pg, full_view(pg), 0);
+  std::vector<PNode> outside;
+  for (PNode v = 0; v < pg.num_nodes(); ++v)
+    if (!view_contains(pg, row, v)) outside.push_back(v);
+  ASSERT_FALSE(outside.empty());
+  const DegradedView dv_row(pg, row, outside);
+  EXPECT_EQ(dv_row.live_size(), view_size(pg, row));
+  EXPECT_EQ(dv_row.dead_count(), 0);
+}
+
+TEST(DegradedViewTest, DisconnectedLiveSnakeThrows) {
+  // A path factor at r=1: killing the middle node severs the two ends.
+  const ProductGraph pg(labeled_path(3), 1);
+  const std::vector<PNode> dead_set = {1};
+  EXPECT_THROW(DegradedView(pg, full_view(pg), dead_set), std::runtime_error);
+}
+
+TEST(DegradedViewTest, CycleSurvivesTheHoleAPathCannot) {
+  // The same hole on a cycle factor routes the long way around.
+  const ProductGraph pg(labeled_cycle(5), 1);
+  const std::vector<PNode> dead_set = {1};
+  const DegradedView dv(pg, full_view(pg), dead_set);
+  EXPECT_EQ(dv.live_size(), 4);
+  EXPECT_GE(dv.max_hop(), 2);
+}
+
+TEST(DegradedViewTest, AllNodesDeadThrows) {
+  const ProductGraph pg(labeled_path(2), 1);
+  const std::vector<PNode> dead_set = {0, 1};
+  EXPECT_THROW(DegradedView(pg, full_view(pg), dead_set),
+               std::invalid_argument);
+}
+
+TEST(DegradedViewTest, HopChargesAtLeastTheProductDistance) {
+  // BFS inside the punctured view can only lengthen paths, never
+  // shorten them below the clean product distance of 1 per snake step.
+  const ProductGraph pg(labeled_path(4), 2);
+  const std::vector<PNode> dead_set = {node_at_snake_rank(pg, 5),
+                                       node_at_snake_rank(pg, 9)};
+  const DegradedView dv(pg, full_view(pg), dead_set);
+  for (PNode rank = 0; rank + 1 < dv.live_size(); ++rank)
+    EXPECT_GE(dv.hop_to_next(rank), 1);
+}
+
+}  // namespace
+}  // namespace prodsort

@@ -285,6 +285,76 @@ TEST(FaultModelTest, ScheduleStringIsMachineReadable) {
   EXPECT_NE(s.find("stragglers=1x4"), std::string::npos);
 }
 
+TEST(FaultModelTest, ScheduleStringRoundTripsThroughParse) {
+  FaultConfig config;
+  config.seed = 99;
+  config.packet_drop_rate = 1e-3;
+  config.ce_drop_rate = 2e-3;
+  config.failed_links = 2;
+  config.stragglers = 1;
+  config.straggler_factor = 4;
+  config.crash_schedule.push_back({.node = 3, .phase = 17, .permanent = false});
+  config.crash_schedule.push_back({.node = 40, .phase = 200, .permanent = true});
+  const FaultModel fm(config);
+  EXPECT_EQ(FaultModel::parse_schedule_string(fm.schedule_string()), config);
+
+  // No crashes: the field is omitted entirely and still round-trips.
+  FaultConfig plain;
+  plain.seed = 7;
+  const FaultModel fm2(plain);
+  EXPECT_EQ(FaultModel::parse_schedule_string(fm2.schedule_string()), plain);
+}
+
+TEST(FaultModelTest, ParseRejectsMalformedSchedules) {
+  EXPECT_THROW(FaultModel::parse_schedule_string("bogus=1"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultModel::parse_schedule_string("seed=notanumber"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultModel::parse_schedule_string("seed=1,crashes=xyz"),
+               std::invalid_argument);
+}
+
+TEST(FaultModelTest, CrashEventsFireOnceAndResetRearms) {
+  FaultConfig config;
+  config.seed = 3;
+  config.crash_schedule.push_back({.node = 2, .phase = 5, .permanent = false});
+  config.crash_schedule.push_back({.node = 4, .phase = 5, .permanent = true});
+  FaultModel fm(config);
+  EXPECT_TRUE(fm.has_crashes());
+  EXPECT_FALSE(fm.crash_due(4));
+  EXPECT_TRUE(fm.crash_due(5));
+
+  const auto first = fm.take_crash(5);
+  const auto second = fm.take_crash(5);
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  EXPECT_FALSE(fm.take_crash(5).has_value());  // each event fires once
+  EXPECT_FALSE(fm.crash_due(5));
+  EXPECT_EQ(fm.counters().crashes, 2);
+
+  fm.kill(first->node);
+  fm.kill(second->node);
+  fm.kill(second->node);  // idempotent
+  EXPECT_TRUE(fm.has_dead_nodes());
+  EXPECT_TRUE(fm.is_dead(2));
+  EXPECT_TRUE(fm.is_dead(4));
+  EXPECT_EQ(fm.dead_nodes(), (std::vector<PNode>{2, 4}));
+
+  fm.restart(2);
+  EXPECT_FALSE(fm.is_dead(2));
+  EXPECT_EQ(fm.dead_nodes(), (std::vector<PNode>{4}));
+
+  // The garbage a crashed memory decays to is deterministic and differs
+  // across (node, phase) — recovery provably never reads the lost key.
+  EXPECT_EQ(fm.crash_garbage(2, 5), fm.crash_garbage(2, 5));
+  EXPECT_NE(fm.crash_garbage(2, 5), fm.crash_garbage(4, 5));
+
+  fm.reset();  // re-arms every event, revives every node
+  EXPECT_FALSE(fm.has_dead_nodes());
+  EXPECT_TRUE(fm.crash_due(5));
+  EXPECT_EQ(fm.counters().crashes, 0);
+}
+
 TEST(FaultModelTest, RejectsInvalidConfig) {
   FaultConfig bad;
   bad.straggler_factor = 0;

@@ -294,6 +294,36 @@ TEST(StepAuditorTest, SkipsLockstepReplayOnFaultyPhases) {
   EXPECT_TRUE(auditor.clean());
 }
 
+TEST(StepAuditorTest, CountsReplaySkipsAsLostCoverage) {
+  const ProductGraph pg = grid3();
+  AuditorConfig config;
+  config.check_lockstep = true;
+  StepAuditor auditor(pg, config);
+  FaultConfig fc;
+  fc.ce_drop_rate = 1.0;  // every phase perturbed
+  FaultModel faults(fc);
+  Machine m(pg, iota_keys(pg.num_nodes()));
+  m.set_fault_model(&faults);
+  m.set_observer(&auditor);
+  const CEPair pairs[] = {{0, 1}, {2, 5}};
+  m.compare_exchange_step(pairs);
+  m.compare_exchange_step(pairs);
+  // Each skipped replay is lost audit coverage, counted so chaos runs
+  // report the blind spot instead of silently under-auditing.
+  EXPECT_EQ(auditor.stats().faulty_phases, 2);
+  EXPECT_EQ(auditor.stats().replay_skipped, 2);
+
+  // Without check_lockstep there is no replay to lose: the counter must
+  // stay zero even though the phases are still flagged faulty.
+  StepAuditor watcher(pg, AuditorConfig{});
+  Machine m2(pg, iota_keys(pg.num_nodes()));
+  m2.set_fault_model(&faults);
+  m2.set_observer(&watcher);
+  m2.compare_exchange_step(pairs);
+  EXPECT_EQ(watcher.stats().faulty_phases, 1);
+  EXPECT_EQ(watcher.stats().replay_skipped, 0);
+}
+
 TEST(StepAuditorTest, ResetForgetsViolationsAndStats) {
   const ProductGraph pg = grid3();
   AuditorConfig config;

@@ -152,12 +152,14 @@ void audit_machine(const Options& opt, Tally& tally) {
         print_violations(tally, "machine", auditor);
         std::printf(
             "AUDIT section=machine factor=%s N=%d r=%d sorter=%s phases=%lld"
-            " pairs=%lld lockstep=%lld max_resident=%d sorted=%d exact=%d"
-            " violations=%lld\n",
+            " pairs=%lld lockstep=%lld faulty=%lld replay_skipped=%lld"
+            " max_resident=%d sorted=%d exact=%d violations=%lld\n",
             factor.name.c_str(), static_cast<int>(factor.size()), r,
             entry.name, static_cast<long long>(auditor.stats().phases),
             static_cast<long long>(auditor.stats().pairs),
             static_cast<long long>(auditor.stats().lockstep_replays),
+            static_cast<long long>(auditor.stats().faulty_phases),
+            static_cast<long long>(auditor.stats().replay_skipped),
             auditor.stats().max_resident_values, sorted ? 1 : 0,
             exact ? 1 : 0, static_cast<long long>(auditor.violation_count()));
       }
@@ -183,11 +185,13 @@ void audit_machine(const Options& opt, Tally& tally) {
     print_violations(tally, "machine", auditor);
     std::printf(
         "AUDIT section=machine factor=k2 N=2 r=%d sorter=bitonic-baseline"
-        " phases=%lld pairs=%lld lockstep=%lld max_resident=%d depth=%d"
-        " sorted=%d violations=%lld\n",
+        " phases=%lld pairs=%lld lockstep=%lld faulty=%lld replay_skipped=%lld"
+        " max_resident=%d depth=%d sorted=%d violations=%lld\n",
         r, static_cast<long long>(auditor.stats().phases),
         static_cast<long long>(auditor.stats().pairs),
         static_cast<long long>(auditor.stats().lockstep_replays),
+        static_cast<long long>(auditor.stats().faulty_phases),
+        static_cast<long long>(auditor.stats().replay_skipped),
         auditor.stats().max_resident_values, depth, sorted ? 1 : 0,
         static_cast<long long>(auditor.violation_count()));
   }
@@ -241,12 +245,15 @@ void audit_block(const Options& opt, Tally& tally) {
         print_violations(tally, "block", auditor);
         std::printf(
             "AUDIT section=block factor=%s N=%d r=%d b=%d sorter=%s"
-            " phases=%lld pairs=%lld lockstep=%lld max_resident=%d sorted=%d"
+            " phases=%lld pairs=%lld lockstep=%lld faulty=%lld"
+            " replay_skipped=%lld max_resident=%d sorted=%d"
             " exact=%d violations=%lld\n",
             factor.name.c_str(), static_cast<int>(factor.size()), r, block,
             entry.name, static_cast<long long>(auditor.stats().phases),
             static_cast<long long>(auditor.stats().pairs),
             static_cast<long long>(auditor.stats().lockstep_replays),
+            static_cast<long long>(auditor.stats().faulty_phases),
+            static_cast<long long>(auditor.stats().replay_skipped),
             auditor.stats().max_resident_values, sorted ? 1 : 0, exact ? 1 : 0,
             static_cast<long long>(auditor.violation_count()));
       }

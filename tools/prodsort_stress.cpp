@@ -2,6 +2,8 @@
 //
 //   prodsort_stress [--trials T] [--seed S] [--max-nodes M]
 //                   [--faults RATE] [--fault-seed F]
+//   prodsort_stress --chaos [--trials T] [--seed S] [--faults RATE]
+//   prodsort_stress --repro FAULT-REPRO mode=chaos ...
 //
 // Each trial draws a random factor family, dimension count, S2 sorter,
 // block size, thread count, and input pattern; runs the network sort;
@@ -16,6 +18,18 @@
 // the packet simulator's retry/reroute path (transient drops at RATE)
 // on the same factor.  A failing trial prints one machine-readable
 // FAULT-REPRO line (seed/family/r/sorter/fault schedule) and exits 1.
+//
+// --chaos combines every fault class with fail-stop node crashes: each
+// trial hashes a crash schedule (1-3 crashes, restartable and
+// permanent, at seed-hashed phases inside the probed sort length) on
+// top of message loss and a straggler, runs the sort under the
+// RecoveryController's escalation ladder, and demands a coherent
+// outcome — either the exact sorted multiset, or (when both copies of
+// a checkpoint entry crashed) a sorted output missing exactly the
+// reported lost entries.  Trial derivation is trial-local (pure hashes
+// of seed and trial index), so any failing trial replays standalone
+// from its FAULT-REPRO line via --repro, which accepts the line
+// verbatim (quoted or shell-split) and re-runs just that trial.
 
 #include <algorithm>
 #include <cstdio>
@@ -23,14 +37,17 @@
 #include <cstring>
 #include <numeric>
 #include <random>
+#include <string>
 
 #include "core/block_sort.hpp"
+#include "core/hashing.hpp"
 #include "core/product_sort.hpp"
 #include "core/s2/oracle_s2.hpp"
 #include "core/s2/shearsort_s2.hpp"
 #include "core/s2/snake_oet_s2.hpp"
 #include "core/verify.hpp"
 #include "network/packet_sim.hpp"
+#include "network/recovery.hpp"
 #include "product/snake_order.hpp"
 
 using namespace prodsort;
@@ -151,6 +168,230 @@ int run_fault_soak(long trials, unsigned seed, unsigned fault_seed,
   return 0;
 }
 
+// ----------------------------------------------------------- chaos soak
+
+const char* const kChaosSorterNames[] = {"shearsort", "snake-oet"};
+
+struct ChaosTrialSpec {
+  const LabeledFactor* factor = nullptr;
+  int r = 2;
+  int pattern = 0;
+  int threads = 1;
+  int interval = 8;        ///< checkpoint interval (phases)
+  std::size_t sorter = 0;  ///< index into kChaosSorterNames
+  FaultConfig config;
+  unsigned seed = 0;  ///< with `trial`, derives the input keys
+  long trial = 0;
+};
+
+// Trial-local input derivation: a pure function of (seed, trial,
+// pattern), independent of every other trial, so --repro regenerates
+// the exact keys from the FAULT-REPRO line alone.
+std::vector<Key> chaos_input(const ChaosTrialSpec& spec, PNode total) {
+  std::mt19937_64 rng(
+      mix64(mix64(spec.seed), static_cast<std::uint64_t>(spec.trial)));
+  return make_input(total, spec.pattern, rng);
+}
+
+struct ChaosTotals {
+  long rollbacks = 0;
+  long remaps = 0;
+  long degraded_runs = 0;
+  long data_loss_runs = 0;
+  std::int64_t crashes = 0;
+};
+
+// Fault-free probe run that counts the sort's synchronous phases, so
+// hashed crash phases always land inside the schedule.  An attached
+// all-zero model only ticks the phase clock — results are
+// bit-identical to no model.
+std::int64_t chaos_probe_phases(const ProductGraph& pg,
+                                const ChaosTrialSpec& spec,
+                                const S2Sorter& sorter) {
+  FaultConfig tick;  // all rates zero: the model only ticks the clock
+  FaultModel clock(tick);
+  Machine machine(pg, chaos_input(spec, pg.num_nodes()));
+  machine.set_fault_model(&clock);
+  SortOptions options;
+  options.s2 = &sorter;
+  (void)sort_product_network(machine, options);
+  return machine.fault_phase();
+}
+
+// Runs one chaos trial end to end.  Returns 0 on a coherent outcome;
+// otherwise prints the replayable FAULT-REPRO line and returns 1.
+int run_chaos_trial(const ChaosTrialSpec& spec, ChaosTotals* totals) {
+  const ShearsortS2 shear;
+  const SnakeOETS2 oet;
+  const S2Sorter* sorters[] = {&shear, &oet};
+
+  const ProductGraph pg(*spec.factor, spec.r);
+  const std::vector<Key> keys = chaos_input(spec, pg.num_nodes());
+  std::vector<Key> expected = keys;
+  std::sort(expected.begin(), expected.end());
+
+  FaultModel fm(spec.config);
+  if (spec.config.stragglers > 0) fm.select_stragglers(pg.num_nodes());
+  ParallelExecutor exec(spec.threads);
+  Machine machine(pg, keys, &exec);
+  machine.set_fault_model(&fm);
+
+  SortOptions options;
+  options.s2 = sorters[spec.sorter];
+  RecoveryController controller(machine,
+                                {.checkpoint_interval = spec.interval});
+  const CrashRecoveryReport report = controller.run(options);
+
+  if (totals != nullptr) {
+    totals->rollbacks += report.rollbacks;
+    totals->remaps += report.remaps;
+    totals->crashes += report.crashes;
+    totals->degraded_runs += report.path == RecoveryPath::kDegradedRemap;
+    totals->data_loss_runs += report.data_loss;
+  }
+
+  const char* reason = nullptr;
+  if (!report.data_loss) {
+    if (!report.sorted)
+      reason = "unsorted";
+    else if (report.output != expected)
+      reason = "output-mismatch";
+  } else {
+    // Both copies of a checkpoint entry crashed: a legitimate chaos
+    // outcome, but it must be reported coherently — sorted output with
+    // exactly the lost entries' keys missing, nothing else.
+    const bool coherent =
+        report.sorted && !report.lost_entries.empty() &&
+        report.output.size() + report.lost_entries.size() ==
+            expected.size() &&
+        std::includes(expected.begin(), expected.end(),
+                      report.output.begin(), report.output.end());
+    if (!coherent) reason = "incoherent-data-loss";
+  }
+  if (reason == nullptr) return 0;
+
+  std::printf(
+      "FAULT-REPRO mode=chaos seed=%u trial=%ld family=%s r=%d pattern=%d"
+      " threads=%d sorter=%s interval=%d schedule=%s path=%s reason=%s\n",
+      spec.seed, spec.trial, spec.factor->name.c_str(), spec.r, spec.pattern,
+      spec.threads, kChaosSorterNames[spec.sorter], spec.interval,
+      fm.schedule_string().c_str(), to_string(report.path).c_str(), reason);
+  return 1;
+}
+
+int run_chaos_soak(long trials, unsigned seed, double rate, PNode max_nodes) {
+  const auto factors = standard_factors();
+  const ShearsortS2 shear;
+  const SnakeOETS2 oet;
+  const S2Sorter* sorters[] = {&shear, &oet};
+  const PNode cap = std::min<PNode>(max_nodes, 1200);
+
+  long executed = 0;
+  ChaosTotals totals;
+  for (long trial = 0; trial < trials; ++trial) {
+    const std::uint64_t h =
+        mix64(mix64(seed) ^ 0x6368616f73ULL, static_cast<std::uint64_t>(trial));
+    ChaosTrialSpec spec;
+    spec.seed = seed;
+    spec.trial = trial;
+    spec.factor = &factors[h % factors.size()];
+    int r = 2;
+    while (r < 5 && pow_int(spec.factor->size(), r + 1) <= cap) ++r;
+    if (pow_int(spec.factor->size(), r) > cap) continue;
+    spec.r = r;
+    spec.pattern = static_cast<int>(mix64(h, 1) % 5);
+    spec.threads = 1 + static_cast<int>(mix64(h, 2) % 4);
+    spec.sorter = static_cast<std::size_t>(mix64(h, 3) % 2);
+    spec.interval = 2 + static_cast<int>(mix64(h, 4) % 12);
+
+    const ProductGraph pg(*spec.factor, spec.r);
+    const std::int64_t phases =
+        chaos_probe_phases(pg, spec, *sorters[spec.sorter]);
+
+    FaultConfig config;
+    config.seed = mix64(h, 5);
+    config.ce_drop_rate = rate;
+    config.stragglers = 1;
+    config.straggler_factor = 4;
+    const int crashes = 1 + static_cast<int>(mix64(h, 6) % 3);
+    for (int i = 0; i < crashes; ++i) {
+      CrashEvent event;
+      event.phase = static_cast<std::int64_t>(
+          mix64(h, 16 + static_cast<std::uint64_t>(i)) %
+          static_cast<std::uint64_t>(phases));
+      event.node = static_cast<PNode>(
+          mix64(h, 32 + static_cast<std::uint64_t>(i)) %
+          static_cast<std::uint64_t>(pg.num_nodes()));
+      event.permanent = (mix64(h, 48 + static_cast<std::uint64_t>(i)) & 1) != 0;
+      config.crash_schedule.push_back(event);
+    }
+    spec.config = config;
+
+    if (run_chaos_trial(spec, &totals) != 0) return 1;
+    ++executed;
+  }
+  std::printf(
+      "chaos soak: %ld/%ld trials executed, all outcomes coherent"
+      " (crashes=%lld rollbacks=%ld remaps=%ld degraded_runs=%ld"
+      " data_loss_runs=%ld)\n",
+      executed, trials, static_cast<long long>(totals.crashes),
+      totals.rollbacks, totals.remaps, totals.degraded_runs,
+      totals.data_loss_runs);
+  return 0;
+}
+
+// ---------------------------------------------------------------- repro
+
+// Replays one chaos trial from its FAULT-REPRO line (tokens are
+// key=value; unknown tokens — path, reason — are ignored).
+int run_repro(const std::string& line) {
+  auto get = [&line](const char* key) -> std::string {
+    const std::string needle = std::string(key) + "=";
+    std::size_t pos = 0;
+    while (pos < line.size()) {
+      const std::size_t end = line.find(' ', pos);
+      const std::string token =
+          line.substr(pos, end == std::string::npos ? std::string::npos
+                                                    : end - pos);
+      pos = end == std::string::npos ? line.size() : end + 1;
+      if (token.rfind(needle, 0) == 0) return token.substr(needle.size());
+    }
+    return {};
+  };
+
+  if (get("mode") != "chaos") {
+    std::fprintf(stderr,
+                 "--repro replays mode=chaos FAULT-REPRO lines only\n");
+    return 2;
+  }
+
+  const auto factors = standard_factors();
+  ChaosTrialSpec spec;
+  spec.seed = static_cast<unsigned>(std::stoul(get("seed")));
+  spec.trial = std::stol(get("trial"));
+  const std::string family = get("family");
+  for (const LabeledFactor& factor : factors)
+    if (factor.name == family) spec.factor = &factor;
+  if (spec.factor == nullptr) {
+    std::fprintf(stderr, "--repro: unknown factor family '%s'\n",
+                 family.c_str());
+    return 2;
+  }
+  spec.r = std::stoi(get("r"));
+  spec.pattern = std::stoi(get("pattern"));
+  spec.threads = std::stoi(get("threads"));
+  spec.interval = std::stoi(get("interval"));
+  const std::string sorter = get("sorter");
+  spec.sorter = sorter == kChaosSorterNames[1] ? 1 : 0;
+  spec.config = FaultModel::parse_schedule_string(get("schedule"));
+
+  const int status = run_chaos_trial(spec, nullptr);
+  std::printf("repro: %s\n", status == 0
+                                 ? "trial passed (failure did not reproduce)"
+                                 : "failure reproduced");
+  return status;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -159,6 +400,8 @@ int main(int argc, char** argv) {
   unsigned fault_seed = 1;
   double fault_rate = -1;
   PNode max_nodes = 20000;
+  bool chaos = false;
+  std::string repro_line;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trials") == 0 && i + 1 < argc)
       trials = std::atol(argv[++i]);
@@ -170,15 +413,40 @@ int main(int argc, char** argv) {
       fault_rate = std::atof(argv[++i]);
     else if (std::strcmp(argv[i], "--fault-seed") == 0 && i + 1 < argc)
       fault_seed = static_cast<unsigned>(std::atol(argv[++i]));
-    else {
+    else if (std::strcmp(argv[i], "--chaos") == 0)
+      chaos = true;
+    else if (std::strcmp(argv[i], "--repro") == 0) {
+      // Everything after --repro is the FAULT-REPRO line, quoted or
+      // shell-split: rejoin it either way.
+      for (++i; i < argc; ++i) {
+        if (!repro_line.empty()) repro_line += ' ';
+        repro_line += argv[i];
+      }
+      if (repro_line.empty()) {
+        std::fprintf(stderr, "--repro needs a FAULT-REPRO line\n");
+        return 2;
+      }
+    } else {
       std::fprintf(stderr,
                    "usage: %s [--trials T] [--seed S] [--max-nodes M]"
-                   " [--faults RATE] [--fault-seed F]\n",
+                   " [--faults RATE] [--fault-seed F] [--chaos]"
+                   " [--repro FAULT-REPRO-line]\n",
                    argv[0]);
       return 2;
     }
   }
 
+  if (!repro_line.empty()) {
+    try {
+      return run_repro(repro_line);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "--repro: malformed line: %s\n", e.what());
+      return 2;
+    }
+  }
+  if (chaos)
+    return run_chaos_soak(trials, seed, fault_rate >= 0 ? fault_rate : 0.001,
+                          max_nodes);
   if (fault_rate >= 0)
     return run_fault_soak(trials, seed, fault_seed, fault_rate, max_nodes);
 
