@@ -72,42 +72,31 @@ std::int64_t probe_phases(const ProductGraph& pg, const SortOptions& options) {
 void write_recovery_json(const std::vector<RecoveryCell>& cells,
                          const char* family, int r, PNode nodes, int trials,
                          std::int64_t base_steps) {
-  const char* dir = std::getenv("PRODSORT_CSV_DIR");
-  const std::string path =
-      std::string(dir != nullptr ? dir : ".") + "/BENCH_fault_recovery.json";
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    std::printf("[could not write %s]\n", path.c_str());
-    return;
+  using bench::JsonValue;
+  JsonValue curves = JsonValue::array();
+  for (const RecoveryCell& c : cells) {
+    curves.push(JsonValue::object()
+                    .set("interval", c.interval)
+                    .set("sorted", c.sorted)
+                    .set("data_loss", c.data_loss)
+                    .set("crashes", c.crashes)
+                    .set("checkpoints", c.checkpoints)
+                    .set("checkpoint_steps", c.checkpoint_steps)
+                    .set("recovery_steps", c.recovery_steps)
+                    .set("rollbacks", c.rollbacks)
+                    .set("remaps", c.remaps)
+                    .set("overhead", c.overhead / c.trials));
   }
-  std::fprintf(f,
-               "{\n"
-               "  \"bench\": \"fault_recovery\",\n"
-               "  \"topology\": {\"factor\": \"%s\", \"r\": %d, "
-               "\"nodes\": %lld},\n"
-               "  \"trials_per_interval\": %d,\n"
-               "  \"baseline_exec_steps\": %lld,\n"
-               "  \"curves\": [\n",
-               family, r, static_cast<long long>(nodes), trials,
-               static_cast<long long>(base_steps));
-  for (std::size_t i = 0; i < cells.size(); ++i) {
-    const RecoveryCell& c = cells[i];
-    std::fprintf(
-        f,
-        "    {\"interval\": %d, \"sorted\": %d, \"data_loss\": %d, "
-        "\"crashes\": %lld, \"checkpoints\": %lld, "
-        "\"checkpoint_steps\": %lld, \"recovery_steps\": %lld, "
-        "\"rollbacks\": %lld, \"remaps\": %lld, \"overhead\": %.4f}%s\n",
-        c.interval, c.sorted, c.data_loss, static_cast<long long>(c.crashes),
-        static_cast<long long>(c.checkpoints),
-        static_cast<long long>(c.checkpoint_steps),
-        static_cast<long long>(c.recovery_steps),
-        static_cast<long long>(c.rollbacks), static_cast<long long>(c.remaps),
-        c.overhead / c.trials, i + 1 < cells.size() ? "," : "");
-  }
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
-  std::printf("[json exported to %s]\n", path.c_str());
+  JsonValue root = JsonValue::object()
+                       .set("bench", "fault_recovery")
+                       .set("topology", JsonValue::object()
+                                            .set("factor", family)
+                                            .set("r", r)
+                                            .set("nodes", std::int64_t{nodes}))
+                       .set("trials_per_interval", trials)
+                       .set("baseline_exec_steps", base_steps)
+                       .set("curves", std::move(curves));
+  bench::export_json("BENCH_fault_recovery", root);
 }
 
 }  // namespace

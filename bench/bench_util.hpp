@@ -1,15 +1,20 @@
 #pragma once
 
 // Shared helpers for the experiment benches: fixed-seed key generation,
-// simple fixed-width table printing, and wall-clock timing.  Every bench
-// prints a paper-vs-measured table for one experiment of DESIGN.md's
-// per-experiment index.
+// simple fixed-width table printing, wall-clock timing, and JSON export.
+// Every bench prints a paper-vs-measured table for one experiment of
+// DESIGN.md's per-experiment index; benches with machine-readable
+// artifacts (BENCH_*.json) build a JsonValue tree and hand it to
+// export_json instead of fprintf-ing braces by hand.
 
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <random>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/multiway_merge.hpp"
@@ -91,5 +96,126 @@ inline std::string fmt(double v) {
 
 inline std::string fmt(std::int64_t v) { return std::to_string(v); }
 inline std::string fmt(int v) { return std::to_string(v); }
+
+/// A small build-and-dump JSON tree for the BENCH_*.json artifacts.
+/// Objects keep insertion order so exported files diff stably; numbers
+/// are int64 (printed exactly) or double (printed with %.4f, matching
+/// the historical hand-written exports).
+class JsonValue {
+ public:
+  JsonValue() : kind_(Kind::kNull) {}
+  JsonValue(const char* s) : kind_(Kind::kString), string_(s) {}
+  JsonValue(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}
+  JsonValue(bool b) : kind_(Kind::kBool), int_(b ? 1 : 0) {}
+  JsonValue(int v) : kind_(Kind::kInt), int_(v) {}
+  JsonValue(std::int64_t v) : kind_(Kind::kInt), int_(v) {}
+  JsonValue(std::uint64_t v)
+      : kind_(Kind::kInt), int_(static_cast<std::int64_t>(v)) {}
+  JsonValue(double v) : kind_(Kind::kDouble), double_(v) {}
+
+  static JsonValue object() {
+    JsonValue v;
+    v.kind_ = Kind::kObject;
+    return v;
+  }
+  static JsonValue array() {
+    JsonValue v;
+    v.kind_ = Kind::kArray;
+    return v;
+  }
+
+  /// Adds (or appends) a key to an object.  Returns *this for chaining.
+  JsonValue& set(std::string key, JsonValue value) {
+    members_.emplace_back(std::move(key), std::move(value));
+    return *this;
+  }
+
+  /// Appends an element to an array.
+  JsonValue& push(JsonValue value) {
+    elements_.push_back(std::move(value));
+    return *this;
+  }
+
+  void dump(std::FILE* f, int indent = 0) const {
+    switch (kind_) {
+      case Kind::kNull:
+        std::fprintf(f, "null");
+        break;
+      case Kind::kBool:
+        std::fprintf(f, "%s", int_ != 0 ? "true" : "false");
+        break;
+      case Kind::kInt:
+        std::fprintf(f, "%lld", static_cast<long long>(int_));
+        break;
+      case Kind::kDouble:
+        std::fprintf(f, "%.4f", double_);
+        break;
+      case Kind::kString:
+        std::fprintf(f, "\"%s\"", escaped(string_).c_str());
+        break;
+      case Kind::kObject: {
+        std::fprintf(f, "{");
+        for (std::size_t i = 0; i < members_.size(); ++i) {
+          std::fprintf(f, "%s\n%*s\"%s\": ", i ? "," : "", indent + 2, "",
+                       escaped(members_[i].first).c_str());
+          members_[i].second.dump(f, indent + 2);
+        }
+        if (!members_.empty()) std::fprintf(f, "\n%*s", indent, "");
+        std::fprintf(f, "}");
+        break;
+      }
+      case Kind::kArray: {
+        std::fprintf(f, "[");
+        for (std::size_t i = 0; i < elements_.size(); ++i) {
+          std::fprintf(f, "%s\n%*s", i ? "," : "", indent + 2, "");
+          elements_[i].dump(f, indent + 2);
+        }
+        if (!elements_.empty()) std::fprintf(f, "\n%*s", indent, "");
+        std::fprintf(f, "]");
+        break;
+      }
+    }
+  }
+
+ private:
+  enum class Kind { kNull, kBool, kInt, kDouble, kString, kObject, kArray };
+
+  static std::string escaped(const std::string& s) {
+    std::string out;
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (c == '\n') {
+        out += "\\n";
+        continue;
+      }
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  Kind kind_;
+  std::string string_;
+  std::int64_t int_ = 0;
+  double double_ = 0;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+  std::vector<JsonValue> elements_;
+};
+
+/// Writes `root` as <PRODSORT_CSV_DIR or .>/<name>.json and announces
+/// the path — the shared tail of every BENCH_*.json export.
+inline void export_json(const std::string& name, const JsonValue& root) {
+  const char* dir = std::getenv("PRODSORT_CSV_DIR");
+  const std::string path =
+      std::string(dir != nullptr ? dir : ".") + "/" + name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::printf("[could not write %s]\n", path.c_str());
+    return;
+  }
+  root.dump(f);
+  std::fprintf(f, "\n");
+  std::fclose(f);
+  std::printf("[json exported to %s]\n", path.c_str());
+}
 
 }  // namespace prodsort::bench

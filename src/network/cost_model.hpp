@@ -46,6 +46,11 @@ struct CostModel {
   std::int64_t rollbacks = 0;        ///< checkpoint restores (incl. remaps)
   std::int64_t remap_sorts = 0;      ///< degraded-topology restart sorts
 
+  // Sort-service accounting (src/service/ and docs/SERVICE.md): how a
+  // backend pool member spent its life serving multi-tenant jobs.
+  std::int64_t service_attempts = 0; ///< sort attempts dispatched here
+  std::int64_t service_retries = 0;  ///< attempts beyond each job's first
+
   /// Zeroes every fault/recovery counter (the paper-model clocks and the
   /// work counters are untouched).  Call between trials that reuse a
   /// machine so recovery reports never leak across runs.
@@ -60,6 +65,8 @@ struct CostModel {
     checkpoint_steps = 0;
     rollbacks = 0;
     remap_sorts = 0;
+    service_attempts = 0;
+    service_retries = 0;
   }
 
   void charge_s2_phase(double weight) {
@@ -88,6 +95,8 @@ struct CostModel {
     checkpoint_steps += other.checkpoint_steps;
     rollbacks += other.rollbacks;
     remap_sorts += other.remap_sorts;
+    service_attempts += other.service_attempts;
+    service_retries += other.service_retries;
     return *this;
   }
 };

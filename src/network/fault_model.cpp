@@ -37,6 +37,60 @@ bool coin(double rate, std::uint64_t h) {
   return rate > 0 && hash_to_unit(h) < rate;
 }
 
+// Numeric parsing for parse_schedule_string.  std::stod/std::stoi throw
+// bare std::invalid_argument / std::out_of_range with no context; a
+// truncated or hand-edited FAULT-REPRO line must instead fail with a
+// message naming the field and the offending token, and trailing junk
+// ("0.1x", "3seven") must be rejected rather than silently ignored.
+
+[[noreturn]] void bad_token(const char* field, const std::string& value) {
+  throw std::invalid_argument("malformed schedule field '" +
+                              std::string(field) + "': bad token '" + value +
+                              "'");
+}
+
+double parse_rate(const char* field, const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(value, &used);
+    if (used != value.size()) bad_token(field, value);
+    return v;
+  } catch (const std::invalid_argument&) {
+    bad_token(field, value);
+  } catch (const std::out_of_range&) {
+    bad_token(field, value);
+  }
+}
+
+long long parse_count(const char* field, const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const long long v = std::stoll(value, &used);
+    if (used != value.size()) bad_token(field, value);
+    return v;
+  } catch (const std::invalid_argument&) {
+    bad_token(field, value);
+  } catch (const std::out_of_range&) {
+    bad_token(field, value);
+  }
+}
+
+std::uint64_t parse_seed(const char* field, const std::string& value) {
+  try {
+    // std::stoull accepts a leading '-' and wraps modulo 2^64; a
+    // negative seed token is junk, not a huge seed.
+    if (!value.empty() && value.front() == '-') bad_token(field, value);
+    std::size_t used = 0;
+    const unsigned long long v = std::stoull(value, &used);
+    if (used != value.size()) bad_token(field, value);
+    return v;
+  } catch (const std::invalid_argument&) {
+    bad_token(field, value);
+  } catch (const std::out_of_range&) {
+    bad_token(field, value);
+  }
+}
+
 }  // namespace
 
 CrashInterrupt::CrashInterrupt(PNode node, std::int64_t phase, bool permanent)
@@ -236,22 +290,27 @@ FaultConfig FaultModel::parse_schedule_string(const std::string& schedule) {
     const std::string value = field.substr(eq + 1);
 
     if (key == "seed") {
-      config.seed = std::stoull(value);
+      config.seed = parse_seed("seed", value);
     } else if (key == "drop") {
-      config.packet_drop_rate = std::stod(value);
+      config.packet_drop_rate = parse_rate("drop", value);
     } else if (key == "ce") {
-      config.ce_drop_rate = std::stod(value);
+      config.ce_drop_rate = parse_rate("ce", value);
     } else if (key == "corrupt") {
-      config.key_corrupt_rate = std::stod(value);
+      config.key_corrupt_rate = parse_rate("corrupt", value);
     } else if (key == "links") {
-      config.failed_links = std::stoi(value);
+      config.failed_links =
+          static_cast<int>(parse_count("links", value));
     } else if (key == "stragglers") {
       const std::size_t x = value.find('x');
-      if (x == std::string::npos)
-        throw std::invalid_argument("stragglers field needs CxF: " + value);
-      config.stragglers = std::stoi(value.substr(0, x));
-      config.straggler_factor = std::stoi(value.substr(x + 1));
+      if (x == std::string::npos) bad_token("stragglers", value);
+      config.stragglers =
+          static_cast<int>(parse_count("stragglers", value.substr(0, x)));
+      config.straggler_factor =
+          static_cast<int>(parse_count("stragglers", value.substr(x + 1)));
     } else if (key == "crashes") {
+      // An empty list or a dangling '+' separator is a truncated
+      // schedule, not a shorter one.
+      if (value.empty() || value.back() == '+') bad_token("crashes", value);
       std::size_t at = 0;
       while (at < value.size()) {
         const std::size_t plus = value.find('+', at);
@@ -264,10 +323,9 @@ FaultConfig FaultModel::parse_schedule_string(const std::string& schedule) {
           entry.pop_back();
         }
         const std::size_t sep = entry.find('@');
-        if (sep == std::string::npos)
-          throw std::invalid_argument("crash entry needs node@phase: " + entry);
-        c.node = std::stoll(entry.substr(0, sep));
-        c.phase = std::stoll(entry.substr(sep + 1));
+        if (sep == std::string::npos) bad_token("crashes", entry);
+        c.node = static_cast<PNode>(parse_count("crashes", entry.substr(0, sep)));
+        c.phase = parse_count("crashes", entry.substr(sep + 1));
         config.crash_schedule.push_back(c);
       }
     } else {

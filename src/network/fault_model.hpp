@@ -203,8 +203,10 @@ class FaultModel {
 
   /// Inverse of schedule_string: rebuilds the FaultConfig from a
   /// schedule summary, so a FAULT-REPRO line can be replayed verbatim
-  /// (prodsort_stress --repro).  Unknown fields throw
-  /// std::invalid_argument naming the offender.
+  /// (prodsort_stress --repro).  Unknown fields and malformed or
+  /// truncated numeric tokens throw std::invalid_argument naming the
+  /// field and the offending token — a corrupted repro line never
+  /// surfaces as a bare std::stod/std::stoi exception.
   [[nodiscard]] static FaultConfig parse_schedule_string(
       const std::string& schedule);
 

@@ -93,6 +93,15 @@ class Machine {
     return fault_step_;
   }
 
+  /// Re-arms the fault clock for a fresh trial on the same machine, so
+  /// a crash schedule keyed on phase indices fires again from phase 0.
+  /// Pair with FaultModel::reset() (which un-fires the events) and, if
+  /// cumulative counters must restart, cost().reset_fault_counters() —
+  /// the service retry path relies on this trio to keep back-to-back
+  /// sorts on one machine from double-counting or silently skipping
+  /// scheduled faults.
+  void reset_fault_clock() noexcept { fault_step_ = 0; }
+
   /// Reads the keys out in snake order of `view` — the "result" of a sort
   /// phase for verification.
   [[nodiscard]] std::vector<Key> read_snake(const ViewSpec& view) const;

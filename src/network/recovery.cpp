@@ -68,7 +68,9 @@ CrashRecoveryReport RecoveryController::run(const SortOptions& options) {
   const std::uint64_t checksum = policy_.expected_checksum != 0
                                      ? policy_.expected_checksum
                                      : multiset_checksum(m.keys());
-  const std::int64_t crashes_before = m.cost().crashes;
+  // Baselines for the report's per-run deltas: the machine's counters
+  // are cumulative across runs, the report's must not be.
+  const CostModel before = m.cost();
 
   CheckpointManager manager(
       {.interval = policy_.checkpoint_interval, .snapshot_on_attach = true});
@@ -132,7 +134,7 @@ CrashRecoveryReport RecoveryController::run(const SortOptions& options) {
 
   if (fm != nullptr) {
     report.dead = fm->dead_nodes();
-    report.crashes = m.cost().crashes - crashes_before;
+    report.crashes = m.cost().crashes - before.crashes;
   }
   if (report.crashes > 0 && report.path == RecoveryPath::kNone)
     report.path = RecoveryPath::kReexecOnly;
@@ -187,6 +189,12 @@ CrashRecoveryReport RecoveryController::run(const SortOptions& options) {
 
   report.data_loss = !report.lost_entries.empty() ||
                      multiset_checksum(report.output) != checksum;
+
+  // Per-run deltas, taken last so cleanup passes above are included.
+  report.checkpoints = m.cost().checkpoints - before.checkpoints;
+  report.checkpoint_steps = m.cost().checkpoint_steps - before.checkpoint_steps;
+  report.recovery_steps = m.cost().recovery_steps - before.recovery_steps;
+  report.reexec_phases = m.cost().reexec_phases - before.reexec_phases;
   return report;
 }
 

@@ -63,6 +63,15 @@ struct CrashRecoveryReport {
   int rollbacks = 0;       ///< rung-2 restores performed
   int remaps = 0;          ///< rung-3 degraded restarts performed
   std::int64_t crashes = 0;           ///< crash events fired during the run
+  // Per-run cost deltas, diffed against the machine's CostModel at
+  // entry: back-to-back runs on one machine (the sort service's retry
+  // path) never double-count a previous run's work even when the caller
+  // skips reset_fault_counters() between them.  The machine's own
+  // counters stay cumulative.
+  std::int64_t checkpoints = 0;       ///< snapshots taken during this run
+  std::int64_t checkpoint_steps = 0;  ///< exec_steps spent on them
+  std::int64_t recovery_steps = 0;    ///< exec_steps spent restoring/cleanup
+  std::int64_t reexec_phases = 0;     ///< rung-1 partner re-executions
   std::vector<PNode> dead;            ///< nodes dead at exit, ascending
   std::vector<PNode> lost_entries;    ///< checkpoint entries lost for good
   /// The run's result: the full-topology snake when no node died, else
@@ -90,8 +99,13 @@ class RecoveryController {
   explicit RecoveryController(Machine& machine, RecoveryPolicy policy = {});
 
   /// Runs the sort under the escalation ladder and verifies the result.
-  /// CostModel fault counters are NOT reset here — call
-  /// machine.cost().reset_fault_counters() between trials.
+  /// CostModel fault counters are NOT reset here — the report's
+  /// crash/checkpoint counters are per-run deltas, so they stay correct
+  /// across back-to-back runs on one machine; call
+  /// machine.cost().reset_fault_counters() only when the cumulative
+  /// machine counters themselves must restart (fresh trial), and pair
+  /// it with FaultModel::reset() + Machine::reset_fault_clock() so the
+  /// crash schedule re-arms on a fresh phase clock.
   CrashRecoveryReport run(const SortOptions& options = {});
 
   [[nodiscard]] const RecoveryPolicy& policy() const noexcept {

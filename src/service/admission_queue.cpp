@@ -1,0 +1,85 @@
+#include "service/admission_queue.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace prodsort {
+
+AdmissionQueue::AdmissionQueue(QueueConfig config) : config_(config) {
+  if (config_.capacity == 0)
+    throw std::invalid_argument("admission queue capacity must be >= 1");
+}
+
+std::optional<JobSpec> AdmissionQueue::offer(const JobSpec& job) {
+  if (entries_.size() < config_.capacity) {
+    entries_.push_back(job);
+    high_water_ = std::max(high_water_, entries_.size());
+    return std::nullopt;
+  }
+
+  switch (config_.policy) {
+    case ShedPolicy::kDropTail:
+      return job;  // full queue rejects the arrival
+
+    case ShedPolicy::kEdf: {
+      // Evict the loosest-deadline entry if the arrival is tighter
+      // (ties keep the incumbent: the arrival is rejected).
+      auto victim = entries_.begin();
+      for (auto it = entries_.begin(); it != entries_.end(); ++it)
+        if (it->deadline >= victim->deadline) victim = it;
+      if (victim->deadline <= job.deadline) return job;
+      const JobSpec evicted = *victim;
+      entries_.erase(victim);
+      entries_.push_back(job);
+      return evicted;
+    }
+
+    case ShedPolicy::kPriority: {
+      // Evict the lowest-priority entry the arrival outranks (largest
+      // tier number; ties evict the most recent admission).
+      auto victim = entries_.begin();
+      for (auto it = entries_.begin(); it != entries_.end(); ++it)
+        if (it->priority >= victim->priority) victim = it;
+      if (victim->priority <= job.priority) return job;
+      const JobSpec evicted = *victim;
+      entries_.erase(victim);
+      entries_.push_back(job);
+      return evicted;
+    }
+  }
+  return job;
+}
+
+std::optional<JobSpec> AdmissionQueue::pop(std::int64_t now,
+                                           std::vector<JobSpec>* expired) {
+  if (config_.policy == ShedPolicy::kEdf && expired != nullptr) {
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      if (it->deadline <= now) {
+        expired->push_back(*it);
+        it = entries_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (entries_.empty()) return std::nullopt;
+
+  auto pick = entries_.begin();
+  switch (config_.policy) {
+    case ShedPolicy::kDropTail:
+      break;  // FIFO head
+    case ShedPolicy::kEdf:
+      for (auto it = entries_.begin(); it != entries_.end(); ++it)
+        if (it->deadline < pick->deadline) pick = it;
+      break;
+    case ShedPolicy::kPriority:
+      for (auto it = entries_.begin(); it != entries_.end(); ++it)
+        if (it->priority < pick->priority) pick = it;
+      break;
+  }
+  const JobSpec job = *pick;
+  entries_.erase(pick);
+  return job;
+}
+
+}  // namespace prodsort

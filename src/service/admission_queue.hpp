@@ -1,0 +1,56 @@
+#pragma once
+
+// Bounded admission queue of the sort service, with pluggable shedding
+// (service_types.hpp, docs/SERVICE.md).
+//
+// The queue holds admitted-but-undispatched jobs only; its capacity is
+// the service's back-pressure bound — the overload soak asserts the
+// high-water mark never exceeds it.  Shedding decisions are pure
+// functions of the queue contents and the offered job, so the whole
+// admission history is deterministic.
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "service/service_types.hpp"
+
+namespace prodsort {
+
+struct QueueConfig {
+  ShedPolicy policy = ShedPolicy::kDropTail;
+  std::size_t capacity = 16;  ///< max jobs waiting (in-service excluded)
+};
+
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(QueueConfig config);
+
+  /// Offers `job`.  Returns nullopt when it was admitted without
+  /// evicting anyone; otherwise the job that was shed — the incoming
+  /// job itself (drop-tail, or an EDF/priority arrival that does not
+  /// outrank anything queued), or an evicted queue entry (the incoming
+  /// job is then admitted in its place).
+  std::optional<JobSpec> offer(const JobSpec& job);
+
+  /// Pops the next job to dispatch at virtual time `now` per policy.
+  /// The EDF policy first sheds every queued entry whose deadline has
+  /// already passed into *expired (deadline-miss shedding); drop-tail
+  /// and priority dispatch stale entries anyway — that is precisely the
+  /// behavior the overload bench compares.
+  std::optional<JobSpec> pop(std::int64_t now, std::vector<JobSpec>* expired);
+
+  [[nodiscard]] const QueueConfig& config() const noexcept { return config_; }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+  /// Largest size ever reached — must stay <= capacity.
+  [[nodiscard]] std::size_t high_water() const noexcept { return high_water_; }
+
+ private:
+  QueueConfig config_;
+  std::deque<JobSpec> entries_;  ///< admission order (FIFO backbone)
+  std::size_t high_water_ = 0;
+};
+
+}  // namespace prodsort

@@ -1,0 +1,74 @@
+#include "service/backend.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+#include "core/verify.hpp"
+#include "product/subgraph_view.hpp"
+
+namespace prodsort {
+
+SortBackend::SortBackend(const ProductGraph& pg, int id,
+                         const BackendConfig& config, const S2Sorter* s2,
+                         ParallelExecutor* executor,
+                         const BreakerConfig& breaker)
+    : pg_(&pg),
+      id_(id),
+      config_(config),
+      s2_(s2),
+      executor_(executor),
+      breaker_(breaker) {
+  if (!config_.fault_schedule.empty()) {
+    faults_ = std::make_unique<FaultModel>(
+        FaultModel::parse_schedule_string(config_.fault_schedule));
+  }
+}
+
+AttemptResult SortBackend::run_attempt(const JobSpec& job, int attempt,
+                                       std::int64_t now) {
+  AttemptResult result;
+  const PNode n = pg_->num_nodes();
+  std::vector<Key> keys = service_job_keys(n, job);
+  const std::uint64_t checksum = multiset_checksum(keys);
+
+  Machine machine(*pg_, std::move(keys), executor_);
+  result.faulted =
+      faults_ != nullptr &&
+      (config_.fault_until < 0 || now < config_.fault_until);
+  if (result.faulted) {
+    // Re-arm the persistent schedule for this attempt; the machine is
+    // fresh, so its fault clock already starts at phase 0.
+    faults_->reset();
+    if (faults_->config().stragglers > 0) faults_->select_stragglers(n);
+    machine.set_fault_model(faults_.get());
+  }
+
+  RecoveryPolicy policy = config_.recovery;
+  policy.expected_checksum = checksum;
+  SortOptions options;
+  options.s2 = s2_;
+  try {
+    RecoveryController controller(machine, policy);
+    const CrashRecoveryReport report = controller.run(options);
+    result.path = report.path;
+    result.degraded = report.path == RecoveryPath::kDegradedRemap;
+    result.success = report.sorted && !report.data_loss &&
+                     report.output.size() == static_cast<std::size_t>(n) &&
+                     multiset_checksum(report.output) == checksum;
+  } catch (const std::exception&) {
+    result.success = false;  // unmodeled dead-end: charge and fail
+    result.path = RecoveryPath::kFailed;
+  }
+  result.steps = std::max<std::int64_t>(1, machine.cost().exec_steps);
+  result.crashes = machine.cost().crashes;
+
+  totals_ += machine.cost();
+  ++totals_.service_attempts;
+  if (attempt > 1) ++totals_.service_retries;
+  ++attempts_;
+  if (!result.success) ++failures_;
+  return result;
+}
+
+}  // namespace prodsort

@@ -1,0 +1,92 @@
+#pragma once
+
+// One product-network backend of the sort service: a topology, an
+// optional fault schedule, and the crash-recovery ladder, serving one
+// job attempt at a time (docs/SERVICE.md).
+//
+// Every attempt gets a *fresh* Machine seeded from the job's pure-hash
+// input, and the backend's persistent FaultModel is re-armed
+// (FaultModel::reset) before each faulted attempt — the fresh machine
+// restarts the fault clock, so a scheduled crash at phase p fires for
+// every attempt dispatched while the fault window is active.  Attempt
+// costs are therefore attempt-local by construction; the backend
+// accumulates them into a lifetime CostModel for the health report.
+//
+// An attempt *succeeds* only when the escalation ladder hands back a
+// verified result: snake (or degraded-snake + orphans) sorted, no data
+// loss, and the output multiset checksum equal to the job input's —
+// the end-to-end no-silent-corruption check.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/product_sort.hpp"
+#include "network/fault_model.hpp"
+#include "network/machine.hpp"
+#include "network/recovery.hpp"
+#include "service/circuit_breaker.hpp"
+#include "service/service_types.hpp"
+
+namespace prodsort {
+
+struct BackendConfig {
+  /// Fault schedule in FaultModel::parse_schedule_string format; empty
+  /// means a fault-free backend.
+  std::string fault_schedule;
+  /// Virtual time at which the fault clears: the model is attached only
+  /// to attempts dispatched before this instant.  -1 = faulted forever.
+  std::int64_t fault_until = -1;
+  /// Escalation-ladder budgets applied to every attempt.
+  RecoveryPolicy recovery;
+};
+
+struct AttemptResult {
+  bool success = false;   ///< verified sorted + multiset checksum intact
+  bool degraded = false;  ///< served on the degraded topology (rung 3)
+  bool faulted = false;   ///< the fault model was attached this attempt
+  std::int64_t steps = 0;   ///< virtual service duration (exec_steps, >= 1)
+  std::int64_t crashes = 0; ///< crash events fired during the attempt
+  RecoveryPath path = RecoveryPath::kNone;
+};
+
+class SortBackend {
+ public:
+  /// `pg` and `s2` are borrowed and must outlive the backend; the
+  /// executor (optional) is shared across the pool.  Throws
+  /// std::invalid_argument on a malformed fault schedule string.
+  SortBackend(const ProductGraph& pg, int id, const BackendConfig& config,
+              const S2Sorter* s2, ParallelExecutor* executor,
+              const BreakerConfig& breaker);
+
+  /// Runs one sort attempt for `job` dispatched at virtual time `now`.
+  /// Never throws: unmodeled escalation dead-ends count as a failed
+  /// attempt at whatever virtual cost the machine consumed.
+  AttemptResult run_attempt(const JobSpec& job, int attempt, std::int64_t now);
+
+  [[nodiscard]] int id() const noexcept { return id_; }
+  [[nodiscard]] const BackendConfig& config() const noexcept { return config_; }
+  [[nodiscard]] bool has_faults() const noexcept { return faults_ != nullptr; }
+  [[nodiscard]] CircuitBreaker& breaker() noexcept { return breaker_; }
+  [[nodiscard]] const CircuitBreaker& breaker() const noexcept {
+    return breaker_;
+  }
+  /// Lifetime cost across every attempt served here.
+  [[nodiscard]] const CostModel& totals() const noexcept { return totals_; }
+  [[nodiscard]] std::int64_t attempts() const noexcept { return attempts_; }
+  [[nodiscard]] std::int64_t failures() const noexcept { return failures_; }
+
+ private:
+  const ProductGraph* pg_;
+  int id_;
+  BackendConfig config_;
+  const S2Sorter* s2_;
+  ParallelExecutor* executor_;
+  std::unique_ptr<FaultModel> faults_;  ///< null = fault-free backend
+  CircuitBreaker breaker_;
+  CostModel totals_;
+  std::int64_t attempts_ = 0;
+  std::int64_t failures_ = 0;
+};
+
+}  // namespace prodsort

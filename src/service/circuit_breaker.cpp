@@ -1,0 +1,71 @@
+#include "service/circuit_breaker.hpp"
+
+#include <stdexcept>
+
+namespace prodsort {
+
+std::string to_string(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half-open";
+  }
+  return "?";
+}
+
+CircuitBreaker::CircuitBreaker(BreakerConfig config) : config_(config) {
+  if (config_.failure_threshold < 1)
+    throw std::invalid_argument("breaker failure threshold must be >= 1");
+  if (config_.cooldown < 1)
+    throw std::invalid_argument("breaker cooldown must be >= 1");
+}
+
+bool CircuitBreaker::allows(std::int64_t now) {
+  switch (state_) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen:
+      if (now < open_until_) return false;
+      state_ = BreakerState::kHalfOpen;
+      probe_in_flight_ = false;
+      ++transitions_;
+      return true;
+    case BreakerState::kHalfOpen:
+      return !probe_in_flight_;
+  }
+  return false;
+}
+
+void CircuitBreaker::on_dispatch() {
+  if (state_ == BreakerState::kHalfOpen) probe_in_flight_ = true;
+}
+
+void CircuitBreaker::record_success() {
+  consecutive_failures_ = 0;
+  if (state_ == BreakerState::kHalfOpen) {
+    state_ = BreakerState::kClosed;
+    probe_in_flight_ = false;
+    ++transitions_;
+  }
+}
+
+void CircuitBreaker::record_failure(std::int64_t now) {
+  ++consecutive_failures_;
+  if (state_ == BreakerState::kHalfOpen) {
+    trip(now);  // the probe failed: reopen immediately
+  } else if (state_ == BreakerState::kClosed &&
+             consecutive_failures_ >= config_.failure_threshold) {
+    trip(now);
+  }
+}
+
+void CircuitBreaker::trip(std::int64_t now) {
+  state_ = BreakerState::kOpen;
+  probe_in_flight_ = false;
+  consecutive_failures_ = 0;
+  open_until_ = now + config_.cooldown;
+  ++transitions_;
+  ++times_opened_;
+}
+
+}  // namespace prodsort

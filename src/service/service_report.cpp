@@ -1,0 +1,119 @@
+#include "service/service_report.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/hashing.hpp"
+
+namespace prodsort {
+
+namespace {
+
+std::int64_t nearest_rank(const std::vector<std::int64_t>& sorted,
+                          int percentile) {
+  if (sorted.empty()) return 0;
+  const std::size_t n = sorted.size();
+  // Nearest-rank: ceil(p/100 * n), 1-based.
+  std::size_t rank = (static_cast<std::size_t>(percentile) * n + 99) / 100;
+  rank = std::clamp<std::size_t>(rank, 1, n);
+  return sorted[rank - 1];
+}
+
+std::uint64_t mix_i64(std::uint64_t h, std::int64_t v) {
+  return mix64(h, static_cast<std::uint64_t>(v));
+}
+
+}  // namespace
+
+LatencyStats latency_stats(std::vector<std::int64_t> latencies) {
+  LatencyStats stats;
+  stats.count = static_cast<std::int64_t>(latencies.size());
+  if (latencies.empty()) return stats;
+  std::sort(latencies.begin(), latencies.end());
+  stats.p50 = nearest_rank(latencies, 50);
+  stats.p95 = nearest_rank(latencies, 95);
+  stats.p99 = nearest_rank(latencies, 99);
+  stats.max = latencies.back();
+  return stats;
+}
+
+bool ServiceReport::conserved() const {
+  const std::int64_t terminal = completed_on_time + completed_late +
+                                shed_queue_full + shed_deadline + failed;
+  if (terminal != offered) return false;
+  if (static_cast<std::int64_t>(jobs.size()) != offered) return false;
+  for (const JobRecord& job : jobs) {
+    if (job.outcome == JobOutcome::kPending) return false;
+    const bool completed = job.outcome == JobOutcome::kOnTime ||
+                           job.outcome == JobOutcome::kLate;
+    if (completed && !job.verified) return false;
+  }
+  return true;
+}
+
+std::uint64_t ServiceReport::hash() const {
+  std::uint64_t h = mix64(seed);
+  h = mix_i64(h, offered);
+  h = mix_i64(h, completed_on_time);
+  h = mix_i64(h, completed_late);
+  h = mix_i64(h, shed_queue_full);
+  h = mix_i64(h, shed_deadline);
+  h = mix_i64(h, failed);
+  h = mix_i64(h, retries);
+  h = mix_i64(h, fallback_jobs);
+  h = mix_i64(h, degraded_jobs);
+  h = mix_i64(h, verified_jobs);
+  h = mix_i64(h, breaker_transitions);
+  h = mix_i64(h, queue_high_water);
+  h = mix_i64(h, horizon);
+  h = mix_i64(h, latency.p50);
+  h = mix_i64(h, latency.p95);
+  h = mix_i64(h, latency.p99);
+  h = mix_i64(h, latency.max);
+  h = mix_i64(h, latency.count);
+  for (const JobRecord& job : jobs) {
+    h = mix_i64(h, job.spec.id);
+    h = mix_i64(h, static_cast<std::int64_t>(job.outcome));
+    h = mix_i64(h, job.attempts);
+    h = mix_i64(h, job.backend);
+    h = mix_i64(h, job.fallback ? 1 : 0);
+    h = mix_i64(h, job.degraded ? 1 : 0);
+    h = mix_i64(h, job.verified ? 1 : 0);
+    h = mix_i64(h, job.completion);
+    h = mix_i64(h, job.latency);
+    h = mix64(h, job.checksum);
+  }
+  for (const BackendHealth& b : backends) {
+    h = mix_i64(h, b.id);
+    h = mix_i64(h, b.faulted ? 1 : 0);
+    h = mix_i64(h, b.attempts);
+    h = mix_i64(h, b.failures);
+    h = mix_i64(h, b.busy_steps);
+    h = mix_i64(h, b.crashes);
+    h = mix_i64(h, b.times_opened);
+    h = mix_i64(h, static_cast<std::int64_t>(b.breaker));
+  }
+  return h;
+}
+
+std::string ServiceReport::summary() const {
+  std::ostringstream out;
+  out << "offered=" << offered << " on-time=" << completed_on_time
+      << " late=" << completed_late << " shed-queue=" << shed_queue_full
+      << " shed-deadline=" << shed_deadline << " failed=" << failed
+      << " retries=" << retries << " fallback=" << fallback_jobs
+      << " degraded=" << degraded_jobs << " verified=" << verified_jobs
+      << "\nlatency p50=" << latency.p50 << " p95=" << latency.p95
+      << " p99=" << latency.p99 << " max=" << latency.max
+      << " goodput=" << goodput << "/kstep horizon=" << horizon
+      << " queue-high-water=" << queue_high_water << "\nbackends:";
+  for (const BackendHealth& b : backends) {
+    out << " [" << b.id << (b.faulted ? "*" : "") << " "
+        << to_string(b.breaker) << " att=" << b.attempts
+        << " fail=" << b.failures << " trips=" << b.times_opened << "]";
+  }
+  out << "\nconserved=" << (conserved() ? "yes" : "NO") << " hash=" << hash();
+  return out.str();
+}
+
+}  // namespace prodsort

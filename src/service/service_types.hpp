@@ -1,0 +1,87 @@
+#pragma once
+
+// Shared vocabulary of the deadline-aware sort service (src/service/,
+// docs/SERVICE.md): jobs, terminal outcomes, and shedding policies.
+//
+// The service runs entirely in *virtual time* — the CostModel
+// exec_steps of the simulated machines — so a whole multi-tenant
+// schedule (arrivals, queueing, retries, breaker trips) is a pure
+// function of its seed and replays bit-identically for any executor
+// thread count.  Every job's input is likewise a pure hash of its spec
+// (service_job_keys), which is what lets a SERVICE-REPRO line rebuild
+// the exact offered traffic with no stored state.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/multiway_merge.hpp"  // Key
+#include "product/gray_code.hpp"    // PNode
+
+namespace prodsort {
+
+/// What the bounded admission queue does under pressure:
+///  * kDropTail  — FIFO service; a full queue rejects the arrival.
+///  * kEdf       — earliest-deadline-first service; a full queue evicts
+///                 the latest-deadline entry if the arrival is tighter,
+///                 and dispatch sheds entries whose deadline already
+///                 passed instead of wasting capacity on them.
+///  * kPriority  — three tiers (0 high, 1 normal, 2 low), FIFO within a
+///                 tier; a full queue evicts the lowest-priority entry
+///                 if the arrival outranks it.
+enum class ShedPolicy { kDropTail, kEdf, kPriority };
+
+/// Terminal state of a job.  Every offered job ends in exactly one of
+/// the non-pending states — the service's conservation invariant (no
+/// silent loss) is checked by ServiceReport::conserved().
+enum class JobOutcome {
+  kPending,        ///< not yet resolved (never appears in a final report)
+  kOnTime,         ///< verified sorted output, completion <= deadline
+  kLate,           ///< verified sorted output, completion > deadline
+  kShedQueueFull,  ///< rejected or evicted: admission queue at capacity
+  kShedDeadline,   ///< dropped unserved: deadline passed while queued
+  kFailed,         ///< retry budget exhausted without a verified output
+};
+
+struct JobSpec {
+  std::int64_t id = 0;
+  std::int64_t arrival = 0;    ///< virtual arrival time
+  std::int64_t deadline = 0;   ///< absolute virtual-time deadline
+  int priority = 1;            ///< 0 high, 1 normal, 2 low
+  int pattern = 0;             ///< input shape, see service_job_keys
+  std::uint64_t key_seed = 0;  ///< derives the job's keys
+
+  friend bool operator==(const JobSpec&, const JobSpec&) = default;
+};
+
+/// The serving backend recorded for a fallback (host samplesort) run.
+inline constexpr int kFallbackBackend = -2;
+
+struct JobRecord {
+  JobSpec spec;
+  JobOutcome outcome = JobOutcome::kPending;
+  int attempts = 0;     ///< sort attempts dispatched (0 if never served)
+  int backend = -1;     ///< last serving backend id; kFallbackBackend = host
+  bool fallback = false;   ///< served by the samplesort fallback
+  bool degraded = false;   ///< served via a degraded-topology remap
+  bool verified = false;   ///< output certified sorted, checksum intact
+  std::int64_t completion = -1;  ///< virtual completion time (-1 unserved)
+  std::int64_t latency = -1;     ///< completion - arrival
+  std::uint64_t checksum = 0;    ///< input multiset checksum (end-to-end id)
+};
+
+[[nodiscard]] std::string to_string(ShedPolicy policy);
+[[nodiscard]] std::string to_string(JobOutcome outcome);
+
+/// Inverse of to_string(ShedPolicy) for CLI flags and repro lines;
+/// throws std::invalid_argument naming the unknown token.
+[[nodiscard]] ShedPolicy parse_shed_policy(const std::string& name);
+
+/// The job's input keys: a pure splitmix64 function of (key_seed,
+/// pattern, count), independent of every other job.  Patterns mirror
+/// the stress harness: 0 uniform, 1 binary, 2 few-distinct, 3 reversed,
+/// 4 small-period.
+[[nodiscard]] std::vector<Key> service_job_keys(PNode count,
+                                                const JobSpec& spec);
+
+}  // namespace prodsort

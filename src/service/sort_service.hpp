@@ -1,0 +1,90 @@
+#pragma once
+
+// SortService: the deadline-aware, multi-tenant front door over a pool
+// of simulated product-network machines (docs/SERVICE.md).
+//
+// The whole service is a deterministic discrete-event simulation on the
+// CostModel virtual clock: open-loop arrivals (seed-hashed exponential
+// inter-arrival gaps), a bounded admission queue with pluggable
+// shedding, per-job deadlines, a bounded retry budget with exponential
+// backoff, a per-backend circuit breaker, and a host-samplesort
+// fallback engaged only when every product-network backend's breaker is
+// open.  Every event is ordered by (time, kind, sequence), every random
+// decision is a pure splitmix64 hash of the seed, and backends execute
+// one attempt at a time to completion — so a run is a pure function of
+// (config, backend configs) and replays bit-identically for any
+// executor thread count.
+//
+// Conservation: each offered job reaches exactly one terminal
+// JobOutcome, and each completed job's output is certified sorted with
+// the input multiset checksum intact (ServiceReport::conserved()).
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/s2/s2_sorter.hpp"
+#include "service/admission_queue.hpp"
+#include "service/backend.hpp"
+#include "service/service_report.hpp"
+
+namespace prodsort {
+
+/// Host samplesort used when the whole backend pool is breaker-open.
+/// Its virtual-time charge is an analytic n·log2(n)/speed proxy, not a
+/// measured simulation — see the cost-honesty caveat in docs/SERVICE.md.
+struct FallbackConfig {
+  bool enabled = true;
+  double speed = 8.0;  ///< keys·log-keys sorted per virtual step
+  int buckets = 16;
+};
+
+struct ServiceConfig {
+  std::uint64_t seed = 1;
+  std::int64_t jobs = 100;     ///< offered arrivals before shutdown
+  double load = 1.0;           ///< offered load / pool service capacity
+  double deadline_slack = 6.0; ///< deadline = arrival + slack·mean·jitter
+  int retry_budget = 2;        ///< re-dispatches after a failed attempt
+  std::int64_t backoff_base = 8;    ///< first retry delay (virtual steps)
+  std::int64_t backoff_cap = 256;   ///< delay ceiling
+  QueueConfig queue;
+  BreakerConfig breaker;
+  FallbackConfig fallback;
+};
+
+class SortService {
+ public:
+  /// One SortBackend per entry of `backends`, all on the same topology.
+  /// `pg` and `s2` are borrowed; `s2` must be an executable sorter (the
+  /// analytic OracleS2 moves no keys, so faults and exec_steps would
+  /// never apply).  Throws std::invalid_argument on an empty pool, a
+  /// malformed fault schedule, or a non-positive load.
+  SortService(const ProductGraph& pg, ServiceConfig config,
+              std::vector<BackendConfig> backends, const S2Sorter* s2,
+              ParallelExecutor* executor = nullptr);
+
+  /// Runs the whole schedule to quiescence and returns the report.
+  [[nodiscard]] ServiceReport run();
+
+  /// Fault-free service time of one job (exec_steps), probed once at
+  /// construction; the arrival process and deadlines are scaled by it.
+  [[nodiscard]] std::int64_t mean_service_steps() const noexcept {
+    return mean_steps_;
+  }
+
+  [[nodiscard]] const ServiceConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  struct Event;
+
+  const ProductGraph* pg_;
+  ServiceConfig config_;
+  const S2Sorter* s2_;
+  ParallelExecutor* executor_;
+  std::vector<std::unique_ptr<SortBackend>> backends_;
+  std::int64_t mean_steps_ = 1;
+};
+
+}  // namespace prodsort

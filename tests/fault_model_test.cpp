@@ -314,6 +314,42 @@ TEST(FaultModelTest, ParseRejectsMalformedSchedules) {
                std::invalid_argument);
 }
 
+// A corrupted or hand-truncated FAULT-REPRO line must fail as a named
+// std::invalid_argument from the parser — never escape as the bare
+// std::stod/std::stoi exception of an unguarded conversion.
+TEST(FaultModelTest, ParseRejectsTruncatedAndJunkTokens) {
+  const char* malformed[] = {
+      "seed=abc",           // non-numeric
+      "drop=",              // empty value
+      "ce=0.0.1",           // trailing junk after a valid prefix
+      "links=3seven",       // trailing junk on an integer
+      "links=3x",           // straggler syntax on the wrong field
+      "stragglers=1y4",     // bad CxF separator
+      "stragglers=x4",      // missing count
+      "crashes=3@",         // truncated node@phase
+      "crashes=@5",         // missing node
+      "crashes=3@17+",      // truncated schedule list
+      "ce=1e999",           // out of range must surface the same way
+      "seed=-1",            // negative seed cannot parse as uint64
+  };
+  for (const char* schedule : malformed) {
+    try {
+      (void)FaultModel::parse_schedule_string(schedule);
+      FAIL() << "accepted malformed schedule: " << schedule;
+    } catch (const std::invalid_argument& e) {
+      // The message names the field and echoes the offending token.
+      EXPECT_NE(std::string(e.what()).find("malformed schedule field"),
+                std::string::npos)
+          << schedule << " -> " << e.what();
+    }
+  }
+
+  // Guarded parsing must not reject the documented format.
+  EXPECT_NO_THROW(FaultModel::parse_schedule_string(
+      "seed=5,drop=0.001,ce=0.001,corrupt=0,links=1,stragglers=1x4,"
+      "crashes=3@17+40@200P"));
+}
+
 TEST(FaultModelTest, CrashEventsFireOnceAndResetRearms) {
   FaultConfig config;
   config.seed = 3;

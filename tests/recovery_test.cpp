@@ -275,5 +275,56 @@ TEST(RecoveryTest, IdenticalSeededTrialsReportIdenticalCounters) {
   }
 }
 
+// Satellite regression: the sort service retries jobs on the SAME
+// machine back to back without resetting its cumulative cost counters.
+// The report's crash/checkpoint numbers are per-run deltas, so a second
+// recovered sort must report its own run — not the running total — while
+// the machine's counters keep accumulating underneath.
+TEST(RecoveryTest, BackToBackRunsOnOneMachineReportPerRunDeltas) {
+  const ProductGraph pg(labeled_path(3), 2);
+  FaultConfig config;
+  config.seed = 23;
+  config.crash_schedule.push_back({.node = 4, .phase = 3, .permanent = false});
+  FaultModel fm(config);
+  const SnakeOETS2 oet;
+
+  Machine m(pg, random_keys(pg.num_nodes(), 23));
+  m.set_fault_model(&fm);
+  RecoveryController controller(m, {.checkpoint_interval = 2});
+
+  const CrashRecoveryReport first = controller.run(oet_options(oet));
+  ASSERT_TRUE(first.sorted);
+  ASSERT_FALSE(first.data_loss);
+  EXPECT_EQ(first.crashes, 1);
+  EXPECT_GT(first.checkpoints, 0);
+
+  // Re-arm the schedule and the phase clock only; the machine's
+  // cumulative CostModel is deliberately NOT reset.
+  fm.reset();
+  m.reset_fault_clock();
+  const CrashRecoveryReport second = controller.run(oet_options(oet));
+  ASSERT_TRUE(second.sorted);
+  ASSERT_FALSE(second.data_loss);
+
+  // The compare-exchange schedule is oblivious, so the second run fires
+  // the same crash at the same phase and must report identical per-run
+  // deltas — double-counting would report the cumulative totals here.
+  EXPECT_EQ(second.crashes, first.crashes);
+  EXPECT_EQ(second.rollbacks, first.rollbacks);
+  EXPECT_EQ(second.remaps, first.remaps);
+  EXPECT_EQ(second.checkpoints, first.checkpoints);
+  EXPECT_EQ(second.reexec_phases, first.reexec_phases);
+
+  // The machine's own counters stay cumulative across the two runs.
+  EXPECT_EQ(m.cost().crashes, first.crashes + second.crashes);
+  EXPECT_EQ(m.cost().checkpoints, first.checkpoints + second.checkpoints);
+  EXPECT_EQ(m.cost().checkpoint_steps,
+            first.checkpoint_steps + second.checkpoint_steps);
+  EXPECT_EQ(m.cost().recovery_steps,
+            first.recovery_steps + second.recovery_steps);
+  EXPECT_EQ(m.cost().reexec_phases,
+            first.reexec_phases + second.reexec_phases);
+}
+
 }  // namespace
 }  // namespace prodsort

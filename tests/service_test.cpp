@@ -1,0 +1,369 @@
+#include "service/sort_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/s2/snake_oet_s2.hpp"
+#include "core/verify.hpp"
+#include "service/admission_queue.hpp"
+#include "service/circuit_breaker.hpp"
+#include "service/service_types.hpp"
+
+namespace prodsort {
+namespace {
+
+JobSpec make_job(std::int64_t id, std::int64_t deadline, int priority = 1) {
+  JobSpec job;
+  job.id = id;
+  job.deadline = deadline;
+  job.priority = priority;
+  return job;
+}
+
+// --- shared vocabulary ---------------------------------------------------
+
+TEST(ServiceTypesTest, NamesAreStableAndParseRoundTrips) {
+  EXPECT_EQ(to_string(ShedPolicy::kDropTail), "drop-tail");
+  EXPECT_EQ(to_string(ShedPolicy::kEdf), "edf");
+  EXPECT_EQ(to_string(ShedPolicy::kPriority), "priority");
+  for (const ShedPolicy p :
+       {ShedPolicy::kDropTail, ShedPolicy::kEdf, ShedPolicy::kPriority})
+    EXPECT_EQ(parse_shed_policy(to_string(p)), p);
+  EXPECT_THROW((void)parse_shed_policy("lifo"), std::invalid_argument);
+
+  EXPECT_EQ(to_string(JobOutcome::kOnTime), "on-time");
+  EXPECT_EQ(to_string(JobOutcome::kShedQueueFull), "shed-queue-full");
+  EXPECT_EQ(to_string(JobOutcome::kShedDeadline), "shed-deadline");
+}
+
+TEST(ServiceTypesTest, JobKeysArePureAndPatterned) {
+  JobSpec a;
+  a.key_seed = 42;
+  a.pattern = 0;
+  EXPECT_EQ(service_job_keys(64, a), service_job_keys(64, a));
+
+  JobSpec b = a;
+  b.key_seed = 43;
+  EXPECT_NE(service_job_keys(64, a), service_job_keys(64, b));
+
+  JobSpec binary = a;
+  binary.pattern = 1;
+  for (const Key k : service_job_keys(64, binary)) EXPECT_LE(k, 1);
+
+  JobSpec reversed = a;
+  reversed.pattern = 3;
+  const auto keys = service_job_keys(8, reversed);
+  EXPECT_TRUE(std::is_sorted(keys.rbegin(), keys.rend()));
+}
+
+// --- admission queue -----------------------------------------------------
+
+TEST(AdmissionQueueTest, DropTailRejectsArrivalsWhenFull) {
+  AdmissionQueue q({ShedPolicy::kDropTail, 2});
+  EXPECT_FALSE(q.offer(make_job(0, 100)).has_value());
+  EXPECT_FALSE(q.offer(make_job(1, 50)).has_value());
+  const auto shed = q.offer(make_job(2, 10));  // tighter, but drop-tail
+  ASSERT_TRUE(shed.has_value());
+  EXPECT_EQ(shed->id, 2);
+  // FIFO service order, regardless of deadline.
+  EXPECT_EQ(q.pop(0, nullptr)->id, 0);
+  EXPECT_EQ(q.pop(0, nullptr)->id, 1);
+  EXPECT_EQ(q.high_water(), 2u);
+}
+
+TEST(AdmissionQueueTest, EdfEvictsLoosestAndShedsExpired) {
+  AdmissionQueue q({ShedPolicy::kEdf, 2});
+  EXPECT_FALSE(q.offer(make_job(0, 100)).has_value());
+  EXPECT_FALSE(q.offer(make_job(1, 50)).has_value());
+  // Tighter arrival evicts the loosest deadline (job 0).
+  const auto shed = q.offer(make_job(2, 10));
+  ASSERT_TRUE(shed.has_value());
+  EXPECT_EQ(shed->id, 0);
+  // A looser arrival is itself rejected.
+  const auto rejected = q.offer(make_job(3, 200));
+  ASSERT_TRUE(rejected.has_value());
+  EXPECT_EQ(rejected->id, 3);
+  // At dispatch time 60, job 2 (deadline 10) and job 1 (deadline 50)
+  // are both expired: shed unserved rather than dispatched late.
+  std::vector<JobSpec> expired;
+  EXPECT_FALSE(q.pop(60, &expired).has_value());
+  EXPECT_EQ(expired.size(), 2u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(AdmissionQueueTest, EdfServesEarliestDeadlineFirst) {
+  AdmissionQueue q({ShedPolicy::kEdf, 4});
+  (void)q.offer(make_job(0, 300));
+  (void)q.offer(make_job(1, 100));
+  (void)q.offer(make_job(2, 200));
+  std::vector<JobSpec> expired;
+  EXPECT_EQ(q.pop(0, &expired)->id, 1);
+  EXPECT_EQ(q.pop(0, &expired)->id, 2);
+  EXPECT_EQ(q.pop(0, &expired)->id, 0);
+  EXPECT_TRUE(expired.empty());
+}
+
+TEST(AdmissionQueueTest, PriorityEvictsOutrankedAndServesTiers) {
+  AdmissionQueue q({ShedPolicy::kPriority, 2});
+  EXPECT_FALSE(q.offer(make_job(0, 100, 2)).has_value());  // low
+  EXPECT_FALSE(q.offer(make_job(1, 100, 1)).has_value());  // normal
+  // High-priority arrival evicts the low-priority entry.
+  const auto shed = q.offer(make_job(2, 100, 0));
+  ASSERT_TRUE(shed.has_value());
+  EXPECT_EQ(shed->id, 0);
+  // An equal-priority arrival does not outrank anyone: rejected.
+  const auto rejected = q.offer(make_job(3, 100, 1));
+  ASSERT_TRUE(rejected.has_value());
+  EXPECT_EQ(rejected->id, 3);
+  // Highest tier first.
+  EXPECT_EQ(q.pop(0, nullptr)->id, 2);
+  EXPECT_EQ(q.pop(0, nullptr)->id, 1);
+}
+
+TEST(AdmissionQueueTest, RejectsZeroCapacity) {
+  EXPECT_THROW(AdmissionQueue({ShedPolicy::kDropTail, 0}),
+               std::invalid_argument);
+}
+
+// --- circuit breaker -----------------------------------------------------
+
+TEST(CircuitBreakerTest, TripsAfterConsecutiveFailuresAndProbes) {
+  CircuitBreaker b({.failure_threshold = 3, .cooldown = 100});
+  EXPECT_TRUE(b.allows(0));
+  b.record_failure(0);
+  b.record_failure(1);
+  EXPECT_EQ(b.state(), BreakerState::kClosed);
+  b.record_success();  // success clears the streak
+  b.record_failure(2);
+  b.record_failure(3);
+  EXPECT_EQ(b.state(), BreakerState::kClosed);
+  b.record_failure(4);  // third consecutive: trip
+  EXPECT_EQ(b.state(), BreakerState::kOpen);
+  EXPECT_EQ(b.open_until(), 104);
+  EXPECT_EQ(b.times_opened(), 1);
+
+  EXPECT_FALSE(b.allows(50));  // cooling down
+  EXPECT_TRUE(b.allows(104));  // cooldown elapsed: half-open probe
+  EXPECT_EQ(b.state(), BreakerState::kHalfOpen);
+  b.on_dispatch();
+  EXPECT_FALSE(b.allows(104));  // one probe at a time
+
+  b.record_failure(110);  // probe failed: reopen immediately
+  EXPECT_EQ(b.state(), BreakerState::kOpen);
+  EXPECT_EQ(b.open_until(), 210);
+  EXPECT_EQ(b.times_opened(), 2);
+
+  EXPECT_TRUE(b.allows(210));
+  b.on_dispatch();
+  b.record_success();  // probe succeeded: close
+  EXPECT_EQ(b.state(), BreakerState::kClosed);
+  EXPECT_TRUE(b.allows(211));
+}
+
+TEST(CircuitBreakerTest, RejectsInvalidConfig) {
+  EXPECT_THROW(CircuitBreaker({.failure_threshold = 0}),
+               std::invalid_argument);
+  EXPECT_THROW(CircuitBreaker({.failure_threshold = 1, .cooldown = 0}),
+               std::invalid_argument);
+}
+
+// --- whole-service scenarios --------------------------------------------
+
+ServiceConfig small_config(std::int64_t jobs, double load) {
+  ServiceConfig config;
+  config.seed = 7;
+  config.jobs = jobs;
+  config.load = load;
+  config.queue = {ShedPolicy::kEdf, 8};
+  config.breaker = {.failure_threshold = 2, .cooldown = 256};
+  return config;
+}
+
+TEST(SortServiceTest, FaultFreePoolCompletesEveryJobVerified) {
+  const ProductGraph pg(labeled_path(3), 2);
+  const SnakeOETS2 oet;
+  SortService service(pg, small_config(20, 0.5),
+                      std::vector<BackendConfig>(2), &oet);
+  const ServiceReport report = service.run();
+  EXPECT_TRUE(report.conserved());
+  EXPECT_EQ(report.completed_on_time + report.completed_late, 20);
+  EXPECT_EQ(report.verified_jobs, 20);
+  EXPECT_EQ(report.failed, 0);
+  EXPECT_EQ(report.retries, 0);
+  EXPECT_EQ(report.breaker_transitions, 0);
+  EXPECT_GT(report.latency.p50, 0);
+  for (const JobRecord& job : report.jobs) {
+    EXPECT_TRUE(job.verified);
+    EXPECT_GE(job.backend, 0);
+    EXPECT_EQ(job.attempts, 1);
+  }
+}
+
+// Satellite requirement: the ServiceReport is a pure function of the
+// seed — bit-identical (hash-equal) for any executor thread count.
+TEST(SortServiceTest, ReportHashIsThreadCountInvariant) {
+  const ProductGraph pg(labeled_path(3), 2);
+  const SnakeOETS2 oet;
+  ServiceConfig config = small_config(12, 1.5);
+
+  std::vector<BackendConfig> backends(2);
+  backends[1].fault_schedule = "seed=5,ce=0.002,crashes=4@7";
+
+  std::vector<std::uint64_t> hashes;
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  for (const int threads : {1, 4, std::max(1, hw)}) {
+    ParallelExecutor executor(threads);
+    SortService service(pg, config, backends, &oet, &executor);
+    const ServiceReport report = service.run();
+    EXPECT_TRUE(report.conserved());
+    hashes.push_back(report.hash());
+  }
+  EXPECT_EQ(hashes[0], hashes[1]);
+  EXPECT_EQ(hashes[0], hashes[2]);
+}
+
+// Acceptance criterion: a backend with a permanently failing schedule
+// trips its breaker within K consecutive failures; traffic reroutes to
+// the healthy backend with zero verification failures.
+TEST(SortServiceTest, BreakerTripsWithinThresholdAndReroutes) {
+  const ProductGraph pg(labeled_path(3), 2);
+  const SnakeOETS2 oet;
+  ServiceConfig config = small_config(15, 0.75);
+  config.retry_budget = 3;
+
+  std::vector<BackendConfig> backends(2);
+  // A permanent crash with no remap budget fails every attempt.
+  backends[0].fault_schedule = "seed=9,crashes=4@3P";
+  backends[0].recovery.max_remaps = 0;
+
+  SortService service(pg, config, backends, &oet);
+  const ServiceReport report = service.run();
+  EXPECT_TRUE(report.conserved());
+
+  const BackendHealth& sick = report.backends[0];
+  const BackendHealth& healthy = report.backends[1];
+  EXPECT_GE(sick.times_opened, 1);
+  EXPECT_EQ(sick.failures, sick.attempts);  // it never once succeeded
+  // Between trips the breaker admits at most K consecutive failures.
+  EXPECT_LE(sick.attempts,
+            (sick.times_opened + 1) *
+                static_cast<std::int64_t>(config.breaker.failure_threshold));
+  EXPECT_EQ(healthy.failures, 0);
+  // Every completion is verified; reroutes show up as retries.
+  EXPECT_EQ(report.verified_jobs,
+            report.completed_on_time + report.completed_late);
+  EXPECT_GT(report.retries, 0);
+  for (const JobRecord& job : report.jobs) {
+    if (job.outcome == JobOutcome::kOnTime ||
+        job.outcome == JobOutcome::kLate) {
+      EXPECT_TRUE(job.verified);
+      EXPECT_EQ(job.backend, 1);  // served by the healthy backend
+    }
+  }
+}
+
+// Acceptance criterion: once the fault clears (fault_until), the
+// half-open probe succeeds and the breaker closes again.
+TEST(SortServiceTest, HalfOpenProbeClosesAfterFaultClears) {
+  const ProductGraph pg(labeled_path(3), 2);
+  const SnakeOETS2 oet;
+  ServiceConfig config = small_config(30, 1.0);
+  config.retry_budget = 4;
+  config.breaker = {.failure_threshold = 2, .cooldown = 64};
+
+  // Probe the fault-free service time to place the fault window.
+  const std::int64_t mean =
+      SortService(pg, small_config(0, 1.0), std::vector<BackendConfig>(1),
+                  &oet)
+          .mean_service_steps();
+
+  std::vector<BackendConfig> backends(2);
+  backends[0].fault_schedule = "seed=9,crashes=4@3P";
+  backends[0].recovery.max_remaps = 0;
+  backends[0].fault_until = 6 * mean;  // heals mid-run
+
+  SortService service(pg, config, backends, &oet);
+  const ServiceReport report = service.run();
+  EXPECT_TRUE(report.conserved());
+
+  const BackendHealth& healed = report.backends[0];
+  EXPECT_GE(healed.times_opened, 1);           // it did trip while sick
+  EXPECT_EQ(healed.breaker, BreakerState::kClosed);  // and closed after
+  EXPECT_GT(healed.attempts, healed.failures);  // served jobs once healed
+}
+
+// Acceptance criterion: with every product-network backend breaker-open,
+// the service degrades to the host samplesort fallback instead of
+// stalling, and fallback outputs are verified like any other.
+TEST(SortServiceTest, AllBackendsOpenDegradesToSamplesortFallback) {
+  const ProductGraph pg(labeled_path(3), 2);
+  const SnakeOETS2 oet;
+  ServiceConfig config = small_config(12, 1.0);
+  config.retry_budget = 6;
+  config.breaker = {.failure_threshold = 1, .cooldown = 4096};
+
+  std::vector<BackendConfig> backends(2);
+  for (BackendConfig& b : backends) {
+    b.fault_schedule = "seed=9,crashes=4@3P";
+    b.recovery.max_remaps = 0;
+  }
+
+  SortService service(pg, config, backends, &oet);
+  const ServiceReport report = service.run();
+  EXPECT_TRUE(report.conserved());
+  EXPECT_GT(report.fallback_jobs, 0);
+  EXPECT_EQ(report.verified_jobs,
+            report.completed_on_time + report.completed_late);
+  bool saw_fallback = false;
+  for (const JobRecord& job : report.jobs)
+    if (job.fallback) {
+      saw_fallback = true;
+      EXPECT_EQ(job.backend, kFallbackBackend);
+      EXPECT_TRUE(job.verified);
+    }
+  EXPECT_TRUE(saw_fallback);
+}
+
+// Overload behavior: at 2x capacity the queue bound holds, nothing is
+// silently lost, and EDF's deadline-miss shedding beats drop-tail on
+// the on-time completion count for the same offered traffic.
+TEST(SortServiceTest, OverloadShedsWithoutLossAndEdfBeatsDropTail) {
+  const ProductGraph pg(labeled_path(3), 2);
+  const SnakeOETS2 oet;
+
+  std::int64_t on_time_by_policy[2] = {0, 0};
+  int i = 0;
+  for (const ShedPolicy policy : {ShedPolicy::kDropTail, ShedPolicy::kEdf}) {
+    ServiceConfig config = small_config(40, 2.0);
+    config.deadline_slack = 3.0;
+    config.queue = {policy, 6};
+    SortService service(pg, config, std::vector<BackendConfig>(2), &oet);
+    const ServiceReport report = service.run();
+    EXPECT_TRUE(report.conserved());
+    EXPECT_LE(report.queue_high_water, 6);
+    EXPECT_GT(report.shed_queue_full + report.shed_deadline, 0);
+    on_time_by_policy[i++] = report.completed_on_time;
+  }
+  EXPECT_GT(on_time_by_policy[1], on_time_by_policy[0]);
+}
+
+TEST(SortServiceTest, RejectsInvalidConfig) {
+  const ProductGraph pg(labeled_path(2), 2);
+  const SnakeOETS2 oet;
+  EXPECT_THROW(SortService(pg, small_config(1, 1.0), {}, &oet),
+               std::invalid_argument);
+  EXPECT_THROW(SortService(pg, small_config(1, 0.0),
+                           std::vector<BackendConfig>(1), &oet),
+               std::invalid_argument);
+  std::vector<BackendConfig> bad(1);
+  bad[0].fault_schedule = "seed=abc";
+  EXPECT_THROW(SortService(pg, small_config(1, 1.0), bad, &oet),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace prodsort

@@ -1,0 +1,282 @@
+// prodsort_serve — deterministic sort-service driver (docs/SERVICE.md).
+//
+//   prodsort_serve [--jobs J] [--seed S] [--load L]
+//                  [--policy drop-tail|edf|priority] [--backends B]
+//                  [--faulty F] [--queue-cap C] [--retry R]
+//                  [--size N] [--dims r] [--threads T]
+//   prodsort_serve --soak [same flags]
+//   prodsort_serve --repro SERVICE-REPRO ...
+//
+// Drives a SortService over a pool of simulated product-network
+// backends with open-loop, seed-hashed arrivals at `--load` times the
+// pool's fault-free capacity.  `--faulty F` gives the first F backends
+// derived fault schedules: odd ones recoverable (message loss plus a
+// restartable crash), even ones fail-stop (a permanent crash with no
+// remap budget) that heals mid-run — exercising retries, breaker
+// trips, half-open probes, and the samplesort fallback.
+//
+// Every run prints one machine-readable SERVICE-REPRO line carrying
+// the full configuration and the report hash; --repro accepts that
+// line verbatim (quoted or shell-split), re-runs the schedule, and
+// exits nonzero unless the hash matches bit-identically.
+//
+// --soak is the overload gate CI runs under sanitizers: it asserts the
+// service invariants — conservation (every offered job reaches exactly
+// one terminal outcome), the queue bound, and verification of every
+// completed job — and exits 1 with the repro line on any violation.
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/hashing.hpp"
+#include "core/s2/snake_oet_s2.hpp"
+#include "service/sort_service.hpp"
+
+using namespace prodsort;
+
+namespace {
+
+struct ServeArgs {
+  std::uint64_t seed = 7;
+  std::int64_t jobs = 40;
+  double load = 1.0;
+  std::string policy = "edf";
+  int backends = 3;
+  int faulty = 0;
+  std::size_t queue_cap = 8;
+  int retry = 2;
+  int size = 4;  ///< cycle-factor size
+  int dims = 2;
+  int threads = 1;
+  bool soak = false;
+};
+
+/// Derived per-backend fault schedules: odd faulty backends are
+/// recoverable, even ones fail outright until the fault heals at
+/// `heal` (virtual time).  Pure function of the seed, so a repro line
+/// regenerates the exact pool.
+std::vector<BackendConfig> build_backends(const ServeArgs& args,
+                                          std::int64_t mean, PNode nodes) {
+  std::vector<BackendConfig> configs(static_cast<std::size_t>(args.backends));
+  const std::int64_t makespan = static_cast<std::int64_t>(
+      static_cast<double>(args.jobs) * static_cast<double>(mean) /
+      (args.load * static_cast<double>(args.backends)));
+  const std::int64_t heal = std::max<std::int64_t>(mean, makespan * 2 / 5);
+  for (int i = 0; i < args.faulty && i < args.backends; ++i) {
+    BackendConfig& b = configs[static_cast<std::size_t>(i)];
+    const std::uint64_t h = mix64(args.seed, static_cast<std::uint64_t>(i));
+    const auto node = static_cast<long long>(
+        h % static_cast<std::uint64_t>(nodes));
+    const auto phase = static_cast<long long>(3 + mix64(h) % 8);
+    char schedule[128];
+    if (i % 2 == 0) {
+      // Fail-stop: permanent crash, no remap budget — every attempt
+      // fails until the fault window closes.
+      std::snprintf(schedule, sizeof schedule, "seed=%" PRIu64
+                    ",crashes=%lld@%lldP",
+                    h, node, phase);
+      b.recovery.max_remaps = 0;
+      b.fault_until = heal;
+    } else {
+      // Recoverable: light message loss plus a restartable crash the
+      // escalation ladder absorbs; stays faulted for the whole run.
+      std::snprintf(schedule, sizeof schedule,
+                    "seed=%" PRIu64 ",ce=0.002,crashes=%lld@%lld", h, node,
+                    phase);
+    }
+    b.fault_schedule = schedule;
+  }
+  return configs;
+}
+
+ServiceReport run_service(const ServeArgs& args, std::int64_t* mean_out) {
+  const LabeledFactor factor = labeled_cycle(args.size);
+  const ProductGraph pg(factor, args.dims);
+  const SnakeOETS2 oet;
+
+  ServiceConfig config;
+  config.seed = args.seed;
+  config.jobs = args.jobs;
+  config.load = args.load;
+  config.retry_budget = args.retry;
+  config.queue = {parse_shed_policy(args.policy), args.queue_cap};
+
+  // Fault-free probe for the mean service time (scales the fault-heal
+  // instant and the breaker cooldown).
+  ServiceConfig probe = config;
+  probe.jobs = 0;
+  const std::int64_t mean =
+      SortService(pg, probe, std::vector<BackendConfig>(1), &oet)
+          .mean_service_steps();
+  if (mean_out != nullptr) *mean_out = mean;
+  config.breaker = {.failure_threshold = 2, .cooldown = 2 * mean};
+
+  ParallelExecutor executor(args.threads);
+  SortService service(pg, config,
+                      build_backends(args, mean, pg.num_nodes()), &oet,
+                      &executor);
+  return service.run();
+}
+
+void print_repro(const ServeArgs& args, const ServiceReport& report) {
+  std::printf("SERVICE-REPRO seed=%" PRIu64
+              " jobs=%lld load=%g policy=%s backends=%d faulty=%d"
+              " queue=%zu retry=%d size=%d dims=%d threads=%d"
+              " hash=%" PRIu64 "\n",
+              args.seed, static_cast<long long>(args.jobs), args.load,
+              args.policy.c_str(), args.backends, args.faulty,
+              args.queue_cap, args.retry, args.size, args.dims, args.threads,
+              report.hash());
+}
+
+/// Soak gate: the invariants CI asserts under sanitizers at overload.
+int check_invariants(const ServeArgs& args, const ServiceReport& report) {
+  int violations = 0;
+  if (!report.conserved()) {
+    std::printf("VIOLATION: conservation — offered=%lld but terminal"
+                " outcomes do not add up (silent loss)\n",
+                static_cast<long long>(report.offered));
+    ++violations;
+  }
+  if (report.queue_high_water > static_cast<std::int64_t>(args.queue_cap)) {
+    std::printf("VIOLATION: queue bound — high water %lld > capacity %zu\n",
+                static_cast<long long>(report.queue_high_water),
+                args.queue_cap);
+    ++violations;
+  }
+  if (report.verified_jobs !=
+      report.completed_on_time + report.completed_late) {
+    std::printf("VIOLATION: verification — %lld completions but %lld"
+                " verified\n",
+                static_cast<long long>(report.completed_on_time +
+                                       report.completed_late),
+                static_cast<long long>(report.verified_jobs));
+    ++violations;
+  }
+  return violations;
+}
+
+int run_repro(const std::string& line) {
+  auto get = [&line](const char* key) -> std::string {
+    const std::string needle = std::string(key) + "=";
+    std::size_t pos = 0;
+    while (pos < line.size()) {
+      const std::size_t end = line.find(' ', pos);
+      const std::string token = line.substr(
+          pos, end == std::string::npos ? std::string::npos : end - pos);
+      pos = end == std::string::npos ? line.size() : end + 1;
+      if (token.rfind(needle, 0) == 0) return token.substr(needle.size());
+    }
+    return {};
+  };
+
+  ServeArgs args;
+  args.seed = std::stoull(get("seed"));
+  args.jobs = std::stoll(get("jobs"));
+  args.load = std::stod(get("load"));
+  args.policy = get("policy");
+  args.backends = std::stoi(get("backends"));
+  args.faulty = std::stoi(get("faulty"));
+  args.queue_cap = static_cast<std::size_t>(std::stoul(get("queue")));
+  args.retry = std::stoi(get("retry"));
+  args.size = std::stoi(get("size"));
+  args.dims = std::stoi(get("dims"));
+  args.threads = std::stoi(get("threads"));
+  const std::uint64_t expected = std::stoull(get("hash"));
+
+  const ServiceReport report = run_service(args, nullptr);
+  if (report.hash() == expected) {
+    std::printf("repro: schedule replayed bit-identically (hash=%" PRIu64
+                ")\n",
+                expected);
+    return 0;
+  }
+  std::printf("repro: MISMATCH — expected hash=%" PRIu64 " got %" PRIu64
+              "\n",
+              expected, report.hash());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ServeArgs args;
+  std::string repro_line;
+  for (int i = 1; i < argc; ++i) {
+    const auto has_value = [&](const char* flag) {
+      return std::strcmp(argv[i], flag) == 0 && i + 1 < argc;
+    };
+    if (has_value("--jobs")) args.jobs = std::atoll(argv[++i]);
+    else if (has_value("--seed"))
+      args.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    else if (has_value("--load")) args.load = std::atof(argv[++i]);
+    else if (has_value("--policy")) args.policy = argv[++i];
+    else if (has_value("--backends")) args.backends = std::atoi(argv[++i]);
+    else if (has_value("--faulty")) args.faulty = std::atoi(argv[++i]);
+    else if (has_value("--queue-cap"))
+      args.queue_cap = static_cast<std::size_t>(std::atol(argv[++i]));
+    else if (has_value("--retry")) args.retry = std::atoi(argv[++i]);
+    else if (has_value("--size")) args.size = std::atoi(argv[++i]);
+    else if (has_value("--dims")) args.dims = std::atoi(argv[++i]);
+    else if (has_value("--threads")) args.threads = std::atoi(argv[++i]);
+    else if (std::strcmp(argv[i], "--soak") == 0) {
+      // Overload defaults: 2x capacity, half the pool faulted.
+      args.soak = true;
+      args.load = 2.0;
+      if (args.faulty == 0) args.faulty = std::max(1, args.backends / 2);
+    } else if (std::strcmp(argv[i], "--repro") == 0) {
+      for (++i; i < argc; ++i) {
+        if (!repro_line.empty()) repro_line += ' ';
+        repro_line += argv[i];
+      }
+      if (repro_line.empty()) {
+        std::fprintf(stderr, "--repro needs a SERVICE-REPRO line\n");
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--jobs J] [--seed S] [--load L]"
+                   " [--policy drop-tail|edf|priority] [--backends B]"
+                   " [--faulty F] [--queue-cap C] [--retry R] [--size N]"
+                   " [--dims r] [--threads T] [--soak]"
+                   " [--repro SERVICE-REPRO-line]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  if (!repro_line.empty()) {
+    try {
+      return run_repro(repro_line);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "--repro: malformed line: %s\n", e.what());
+      return 2;
+    }
+  }
+
+  try {
+    std::int64_t mean = 0;
+    const ServiceReport report = run_service(args, &mean);
+    std::printf("sort service: %d backends (%d faulted), mean service"
+                " %lld steps, load %.2fx, policy %s\n\n%s\n\n",
+                args.backends, args.faulty, static_cast<long long>(mean),
+                args.load, args.policy.c_str(), report.summary().c_str());
+    print_repro(args, report);
+    if (args.soak) {
+      const int violations = check_invariants(args, report);
+      if (violations != 0) {
+        std::printf("soak: %d invariant violation(s)\n", violations);
+        return 1;
+      }
+      std::printf("soak: all invariants held at %.2fx load\n", args.load);
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "prodsort_serve: %s\n", e.what());
+    return 2;
+  }
+}
