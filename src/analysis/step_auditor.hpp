@@ -91,6 +91,13 @@ struct AuditorStats {
   /// and chaos runs must report it rather than silently under-audit
   /// (the AUDIT lines of tools/prodsort_audit carry it).
   std::int64_t replay_skipped = 0;
+  /// Phases executed under TMR voting (Machine::set_tmr).  The auditor
+  /// never sees the per-replica pair evaluations — only the voted
+  /// result — so TMR phases are a counted blind spot: pair-level
+  /// invariants (a)-(c) still run on the voted phase, but replica
+  /// divergence is invisible here.  Audit tools report this alongside
+  /// replay_skipped so coverage loss is never silent.
+  std::int64_t tmr_phases = 0;
   /// Max values any processor held in one phase (own + partners; the
   /// Section-4 discipline bounds this by 2).
   int max_resident_values = 1;
@@ -109,6 +116,7 @@ class StepAuditor final : public PhaseObserver {
   void before_phase(std::span<const Key> keys, std::span<const CEPair> pairs,
                     int hop_distance, int block_size, bool faulty) override;
   void after_phase(std::span<const Key> keys) override;
+  void on_tmr_phase() override { ++stats_.tmr_phases; }
 
   [[nodiscard]] const AuditorConfig& config() const noexcept {
     return config_;

@@ -1,0 +1,187 @@
+#include "core/certifier.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <vector>
+
+#include "core/hashing.hpp"
+#include "core/verify.hpp"
+#include "product/snake_order.hpp"
+
+namespace prodsort {
+
+MultisetFingerprint fingerprint_sequence(std::span<const Key> keys,
+                                         ParallelExecutor* executor) {
+  // The same commutative combine as multiset_checksum: per-key splitmix
+  // hashes folded with wrapping-sum and xor, both order-independent, so
+  // chunked parallel accumulation commits identical results for any
+  // thread count.
+  std::atomic<std::uint64_t> sum{0};
+  std::atomic<std::uint64_t> xr{0};
+  auto body = [&](std::int64_t begin, std::int64_t end) {
+    std::uint64_t s = 0;
+    std::uint64_t x = 0;
+    for (std::int64_t i = begin; i < end; ++i) {
+      const std::uint64_t h =
+          mix64(static_cast<std::uint64_t>(keys[static_cast<std::size_t>(i)]));
+      s += h;
+      x ^= h;
+    }
+    sum.fetch_add(s, std::memory_order_relaxed);
+    xr.fetch_xor(x, std::memory_order_relaxed);
+  };
+  if (executor != nullptr)
+    executor->parallel_for(static_cast<std::int64_t>(keys.size()), body);
+  else
+    body(0, static_cast<std::int64_t>(keys.size()));
+
+  MultisetFingerprint fp;
+  fp.count = static_cast<std::uint64_t>(keys.size());
+  fp.checksum = mix64(mix64(sum.load(std::memory_order_relaxed),
+                            xr.load(std::memory_order_relaxed)),
+                      fp.count);
+  return fp;
+}
+
+std::string to_string(CertVerdict verdict) {
+  switch (verdict) {
+    case CertVerdict::kPass: return "pass";
+    case CertVerdict::kWrongOrder: return "wrong-order";
+    case CertVerdict::kKeysCorrupted: return "keys-corrupted";
+  }
+  return "?";
+}
+
+std::string to_string(RepairOutcome outcome) {
+  switch (outcome) {
+    case RepairOutcome::kCertified: return "certified";
+    case RepairOutcome::kRepaired: return "repaired";
+    case RepairOutcome::kKeysCorrupted: return "keys-corrupted";
+    case RepairOutcome::kBudgetExhausted: return "budget-exhausted";
+  }
+  return "?";
+}
+
+Certifier::Certifier(std::span<const Key> input, ParallelExecutor* executor)
+    : expected_(fingerprint_sequence(input, executor)), executor_(executor) {}
+
+Certifier::Certifier(MultisetFingerprint expected, ParallelExecutor* executor)
+    : expected_(expected), executor_(executor) {}
+
+EndToEndCertificate Certifier::certify(std::span<const Key> seq) const {
+  EndToEndCertificate cert;
+  cert.expected = expected_;
+  cert.observed = fingerprint_sequence(seq, executor_);
+
+  // Parallel adjacency scan: sorted iff no adjacent pair inverts.  The
+  // first-violation rank is an atomic-min so any chunking reports the
+  // same witness.
+  std::atomic<std::int64_t> violations{0};
+  std::atomic<std::int64_t> first{static_cast<std::int64_t>(seq.size())};
+  auto body = [&](std::int64_t begin, std::int64_t end) {
+    std::int64_t local = 0;
+    std::int64_t local_first = static_cast<std::int64_t>(seq.size());
+    for (std::int64_t i = begin; i < end; ++i) {
+      if (i + 1 >= static_cast<std::int64_t>(seq.size())) break;
+      if (seq[static_cast<std::size_t>(i)] >
+          seq[static_cast<std::size_t>(i + 1)]) {
+        ++local;
+        if (i < local_first) local_first = i;
+      }
+    }
+    violations.fetch_add(local, std::memory_order_relaxed);
+    std::int64_t seen = first.load(std::memory_order_relaxed);
+    while (local_first < seen &&
+           !first.compare_exchange_weak(seen, local_first,
+                                        std::memory_order_relaxed))
+      ;
+  };
+  if (executor_ != nullptr)
+    executor_->parallel_for(static_cast<std::int64_t>(seq.size()), body);
+  else
+    body(0, static_cast<std::int64_t>(seq.size()));
+
+  cert.adjacency_violations = violations.load(std::memory_order_relaxed);
+  cert.sorted = cert.adjacency_violations == 0;
+  if (!cert.sorted) {
+    cert.first_violation =
+        static_cast<PNode>(first.load(std::memory_order_relaxed));
+    // The Lemma 1 dirty window — smallest rank interval disagreeing
+    // with its own sorted copy — guides repair; computed only on the
+    // failure path (it needs an O(n log n) reference sort).
+    std::vector<Key> sorted(seq.begin(), seq.end());
+    std::sort(sorted.begin(), sorted.end());
+    PNode lo = -1;
+    PNode hi = -1;
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+      if (seq[i] != sorted[i]) {
+        if (lo < 0) lo = static_cast<PNode>(i);
+        hi = static_cast<PNode>(i);
+      }
+    }
+    cert.dirty_lo = lo;
+    cert.dirty_hi = hi;
+  }
+
+  if (cert.observed != cert.expected)
+    cert.verdict = CertVerdict::kKeysCorrupted;
+  else if (!cert.sorted)
+    cert.verdict = CertVerdict::kWrongOrder;
+  else
+    cert.verdict = CertVerdict::kPass;
+  return cert;
+}
+
+EndToEndCertificate Certifier::certify(const Machine& machine,
+                                       const ViewSpec& view) const {
+  return certify(machine.read_snake(view));
+}
+
+RepairReport certify_and_repair(Machine& machine, const ViewSpec& view,
+                                const Certifier& certifier,
+                                const RepairOptions& options) {
+  RepairReport report;
+  report.before = certifier.certify(machine, view);
+  report.after = report.before;
+  if (report.before.verdict == CertVerdict::kKeysCorrupted) {
+    report.outcome = RepairOutcome::kKeysCorrupted;
+    return report;
+  }
+  if (report.before.pass()) {
+    report.outcome = RepairOutcome::kCertified;
+    return report;
+  }
+
+  const PNode size = view_size(machine.graph(), view);
+  const std::int64_t steps_before = machine.cost().exec_steps;
+  EndToEndCertificate cert = report.before;
+  int parity = 0;
+  while (cert.verdict == CertVerdict::kWrongOrder &&
+         report.passes < options.max_passes) {
+    // Alternating-parity OET over the dirty window +-1 rank: the window
+    // holds every misplaced key (its complement agrees with the sorted
+    // reference), so sorting the window sorts the machine — the Lemma 1
+    // dirty-area argument.  Each pass re-certifies; faults striking
+    // mid-repair move the window (or corrupt keys) and are seen here.
+    const PNode lo = std::max<PNode>(0, cert.dirty_lo - 1);
+    const PNode hi = std::min<PNode>(size - 1, cert.dirty_hi + 1);
+    oet_window_pass(machine, view, lo, hi, parity);
+    parity ^= 1;
+    ++report.passes;
+    ++machine.cost().repair_passes;
+    cert = certifier.certify(machine, view);
+  }
+
+  report.after = cert;
+  report.repair_steps = machine.cost().exec_steps - steps_before;
+  machine.cost().recovery_steps += report.repair_steps;
+  if (cert.pass())
+    report.outcome = RepairOutcome::kRepaired;
+  else if (cert.verdict == CertVerdict::kKeysCorrupted)
+    report.outcome = RepairOutcome::kKeysCorrupted;
+  else
+    report.outcome = RepairOutcome::kBudgetExhausted;
+  return report;
+}
+
+}  // namespace prodsort

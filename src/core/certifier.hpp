@@ -1,0 +1,147 @@
+#pragma once
+
+// End-to-end sort certificates against *silent* faults.
+//
+// Every detector built so far is loud: a dropped packet retries, a
+// crashed node throws, an overloaded backend times out.  A silently
+// faulty comparator (FaultConfig::comparator_schedule) defeats them
+// all — it emits the wrong min/max and nothing else changes — so the
+// sort returns, on time and without complaint, with wrong output.  The
+// paper's building blocks supply the cheap antidote this layer
+// implements:
+//
+//  * an order-invariant multiset fingerprint (core/hashing.hpp, the
+//    same commutative combine as multiset_checksum) taken over the
+//    input before sorting and over the snake read-out after — any
+//    lost, duplicated, or corrupted key changes it almost surely;
+//  * a parallel snake-adjacency scan — by the 0-1 principle a sequence
+//    is sorted iff no adjacent pair inverts, so sortedness is O(n)
+//    verifiable, embarrassingly parallel, and needs no reference copy.
+//
+// Together they split every wrong output into the two classes that
+// matter for recovery: kWrongOrder (right keys, wrong permutation —
+// repairable in place by more compare-exchange passes) versus
+// kKeysCorrupted (the multiset itself changed — only re-ingesting the
+// input can help).  certify_and_repair() closes the loop on the first
+// class: bounded alternating-parity odd-even transposition passes over
+// the certified dirty window (the Lemma 1 witness), re-certifying
+// after each pass, executed through the machine's own primitives so
+// repair is honestly charged and itself subject to the attached
+// faults.  See docs/FAULTS.md, "Silent faults".
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "core/multiway_merge.hpp"  // Key
+#include "network/machine.hpp"
+
+namespace prodsort {
+
+/// Order-invariant summary of a key multiset.  The checksum equals
+/// multiset_checksum() of the same keys (a pinned equivalence — see
+/// certifier_test) but is computed with a parallel commutative combine.
+struct MultisetFingerprint {
+  std::uint64_t checksum = 0;
+  std::uint64_t count = 0;
+  friend bool operator==(const MultisetFingerprint&,
+                         const MultisetFingerprint&) = default;
+};
+
+/// Fingerprints `keys`; uses `executor` for the combine when non-null.
+[[nodiscard]] MultisetFingerprint fingerprint_sequence(
+    std::span<const Key> keys, ParallelExecutor* executor = nullptr);
+
+enum class CertVerdict {
+  kPass,           ///< sorted permutation of the expected multiset
+  kWrongOrder,     ///< right keys, wrong permutation: repairable in place
+  kKeysCorrupted,  ///< multiset changed: re-sorting can never fix it
+};
+
+[[nodiscard]] std::string to_string(CertVerdict verdict);
+
+struct EndToEndCertificate {
+  CertVerdict verdict = CertVerdict::kPass;
+  bool sorted = false;
+  std::int64_t adjacency_violations = 0;  ///< inverted adjacent pairs
+  PNode first_violation = -1;  ///< rank of first inversion (-1 if none)
+  PNode dirty_lo = 0;   ///< smallest window whose contents differ from
+  PNode dirty_hi = -1;  ///< their own sorted copy (empty when sorted)
+  MultisetFingerprint expected;
+  MultisetFingerprint observed;
+
+  [[nodiscard]] bool pass() const noexcept {
+    return verdict == CertVerdict::kPass;
+  }
+};
+
+/// Issues end-to-end certificates against the fingerprint of the
+/// *input* (taken at construction, before any faulty phase can run).
+class Certifier {
+ public:
+  /// Fingerprints `input` as the expected multiset.
+  explicit Certifier(std::span<const Key> input,
+                     ParallelExecutor* executor = nullptr);
+  /// Re-certify against a fingerprint recorded earlier (e.g. a service
+  /// job's admission-time checksum).
+  explicit Certifier(MultisetFingerprint expected,
+                     ParallelExecutor* executor = nullptr);
+
+  [[nodiscard]] const MultisetFingerprint& expected() const noexcept {
+    return expected_;
+  }
+
+  /// Certifies an explicit sequence.  O(n) when the sequence passes;
+  /// the dirty window (a sorted-copy diff) is computed only on a
+  /// wrong-order failure.
+  [[nodiscard]] EndToEndCertificate certify(std::span<const Key> seq) const;
+
+  /// Certifies the snake read-out of `view`.
+  [[nodiscard]] EndToEndCertificate certify(const Machine& machine,
+                                            const ViewSpec& view) const;
+
+ private:
+  MultisetFingerprint expected_;
+  ParallelExecutor* executor_;
+};
+
+enum class RepairOutcome {
+  kCertified,       ///< passed on entry, no repair needed
+  kRepaired,        ///< wrong order repaired; exit certificate passes
+  kKeysCorrupted,   ///< fingerprint mismatch: repair cannot help
+  kBudgetExhausted, ///< still failing after max_passes repair passes
+};
+
+[[nodiscard]] std::string to_string(RepairOutcome outcome);
+
+struct RepairOptions {
+  /// Odd-even transposition passes the repair loop may spend.  A dirty
+  /// window of width w needs at most w passes when repair itself runs
+  /// fault-free (0-1 principle), so any budget >= the view size is
+  /// "repair or prove the faults are still live"; the default covers
+  /// the k-fault windows the stress soak produces (see docs/FAULTS.md,
+  /// pass-budget guidance, and the bound test in silent_fault_test).
+  int max_passes = 32;
+};
+
+struct RepairReport {
+  RepairOutcome outcome = RepairOutcome::kCertified;
+  int passes = 0;                 ///< OET passes executed
+  std::int64_t repair_steps = 0;  ///< exec_steps charged to repair
+  EndToEndCertificate before;     ///< certificate on entry
+  EndToEndCertificate after;      ///< certificate on exit
+};
+
+/// Certifies `view` and, while the verdict is kWrongOrder, runs
+/// alternating-parity OET passes over the certified dirty window (+-1
+/// rank, the Lemma 1 cleanup) through the machine's own primitives,
+/// re-certifying after each pass, until the certificate passes or the
+/// pass budget is exhausted.  Charged to exec_steps, recovery_steps,
+/// and CostModel::repair_passes; subject to the attached faults (a
+/// still-active comparator fault can corrupt keys mid-repair, which
+/// the re-certification reports as kKeysCorrupted).
+RepairReport certify_and_repair(Machine& machine, const ViewSpec& view,
+                                const Certifier& certifier,
+                                const RepairOptions& options = {});
+
+}  // namespace prodsort

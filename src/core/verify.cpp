@@ -8,26 +8,25 @@
 
 namespace prodsort {
 
-namespace {
-
-// One odd-even transposition pass (single parity) over the snake ranks
-// [lo, hi] of `view`, through the machine's compare-exchange primitive.
-// Returns the exchanges performed (from the cost-model delta), so the
-// cleanup loop can detect quiescence.
-std::int64_t oet_pass(Machine& machine, const ViewSpec& view, PNode lo,
-                      PNode hi, int parity) {
+std::int64_t oet_window_pass(Machine& machine, const ViewSpec& view, PNode lo,
+                             PNode hi, int parity) {
   const ProductGraph& pg = machine.graph();
   std::vector<CEPair> pairs;
   pairs.reserve(static_cast<std::size_t>((hi - lo) / 2 + 1));
-  for (PNode rank = lo + parity; rank + 1 <= hi; rank += 2)
+  // Parity is absolute snake-rank parity, not window-relative: repair
+  // loops recompute [lo, hi] from the drifting dirty window each pass,
+  // and anchoring the pairing at `lo + parity` would let a shifting
+  // window land the same absolute alignment twice in a row — turning
+  // every other alternating pass into a no-op and breaking the
+  // width-passes-to-clean bound certify_and_repair budgets against.
+  const PNode start = lo + (static_cast<int>(lo & 1) == parity ? 0 : 1);
+  for (PNode rank = start; rank + 1 <= hi; rank += 2)
     pairs.push_back({view_node_at_snake_rank(pg, view, rank),
                      view_node_at_snake_rank(pg, view, rank + 1)});
   const std::int64_t before = machine.cost().exchanges;
   machine.compare_exchange_step(pairs, pg.factor().dilation);
   return machine.cost().exchanges - before;
 }
-
-}  // namespace
 
 std::uint64_t multiset_checksum(std::span<const Key> keys) {
   // Commutative combine (sum + xor of mixed keys) finalized together
@@ -129,7 +128,7 @@ RecoveryReport verify_and_recover(Machine& machine, const ViewSpec& view,
     int quiet = 0;
     for (PNode pass = 0; pass < width + 2 && quiet < 2; ++pass) {
       const std::int64_t exchanged =
-          oet_pass(machine, view, lo, hi, static_cast<int>(pass % 2));
+          oet_window_pass(machine, view, lo, hi, static_cast<int>(pass % 2));
       quiet = exchanged == 0 ? quiet + 1 : 0;
     }
     cert = certify_snake(machine, view);

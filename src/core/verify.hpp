@@ -50,6 +50,16 @@ struct SortCertificate {
   std::uint64_t checksum = 0;  ///< multiset checksum of the view's keys
 };
 
+/// One odd-even transposition pass (single parity: 0 pairs even ranks
+/// with their right neighbor, 1 pairs odd ranks) over the snake ranks
+/// [lo, hi] of `view`, executed through the machine's compare-exchange
+/// primitive — charged to the cost model and subject to any attached
+/// faults.  Returns the exchanges performed, so cleanup loops can
+/// detect quiescence.  Shared by verify_and_recover and the
+/// certificate repair loop (core/certifier.hpp).
+std::int64_t oet_window_pass(Machine& machine, const ViewSpec& view, PNode lo,
+                             PNode hi, int parity);
+
 /// Certifies an explicit sequence (the core of certify_snake, exposed
 /// for degraded-topology and host-side sequences).
 [[nodiscard]] SortCertificate certify_sequence(std::span<const Key> seq);

@@ -72,6 +72,9 @@ class CheckpointManager final : public PhaseObserver {
   [[nodiscard]] bool supersedes_validation() const override {
     return next_ != nullptr && next_->supersedes_validation();
   }
+  void on_tmr_phase() override {
+    if (next_ != nullptr) next_->on_tmr_phase();
+  }
   void before_phase(std::span<const Key> keys, std::span<const CEPair> pairs,
                     int hop_distance, int block_size, bool faulty) override;
   void after_phase(std::span<const Key> keys) override;

@@ -46,6 +46,13 @@ struct CostModel {
   std::int64_t rollbacks = 0;        ///< checkpoint restores (incl. remaps)
   std::int64_t remap_sorts = 0;      ///< degraded-topology restart sorts
 
+  // Silent-fault defenses (core/certifier.hpp, Machine TMR mode;
+  // docs/FAULTS.md "Silent faults"): redundancy and repair are charged
+  // honestly, never hidden.
+  std::int64_t tmr_phases = 0;    ///< phases executed triple-redundant
+  std::int64_t tmr_masked = 0;    ///< pair outcomes fixed by majority vote
+  std::int64_t repair_passes = 0; ///< certify-and-repair OET passes run
+
   // Sort-service accounting (src/service/ and docs/SERVICE.md): how a
   // backend pool member spent its life serving multi-tenant jobs.
   std::int64_t service_attempts = 0; ///< sort attempts dispatched here
@@ -65,6 +72,9 @@ struct CostModel {
     checkpoint_steps = 0;
     rollbacks = 0;
     remap_sorts = 0;
+    tmr_phases = 0;
+    tmr_masked = 0;
+    repair_passes = 0;
     service_attempts = 0;
     service_retries = 0;
   }
@@ -95,6 +105,9 @@ struct CostModel {
     checkpoint_steps += other.checkpoint_steps;
     rollbacks += other.rollbacks;
     remap_sorts += other.remap_sorts;
+    tmr_phases += other.tmr_phases;
+    tmr_masked += other.tmr_masked;
+    repair_passes += other.repair_passes;
     service_attempts += other.service_attempts;
     service_retries += other.service_retries;
     return *this;

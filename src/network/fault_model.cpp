@@ -23,7 +23,18 @@ enum Stream : std::uint64_t {
   kLinkOrder = 0x6c6e6b6f,    // "lnko"
   kStragglerOrder = 0x73747261,  // "stra"
   kCrashGarbage = 0x63726173,    // "cras"
+  kComparatorGarbage = 0x636d7067,  // "cmpg"
+  kTmrReplica = 0x746d7272,         // "tmrr"
 };
+
+char comparator_kind_char(ComparatorFaultKind kind) {
+  switch (kind) {
+    case ComparatorFaultKind::kStuckPassThrough: return 'S';
+    case ComparatorFaultKind::kInverted: return 'I';
+    case ComparatorFaultKind::kArbitrary: return 'A';
+  }
+  return '?';
+}
 
 std::uint64_t decision(std::uint64_t seed, Stream stream, std::uint64_t a,
                        std::uint64_t b, std::uint64_t c = 0) {
@@ -110,6 +121,14 @@ FaultModel::FaultModel(const FaultConfig& config) : config_(config) {
   for (const CrashEvent& c : config_.crash_schedule)
     if (c.node < 0 || c.phase < 0)
       throw std::invalid_argument("crash event with negative node or phase");
+  for (const ComparatorFault& f : config_.comparator_schedule) {
+    if (f.node < 0 || f.from_phase < 0)
+      throw std::invalid_argument(
+          "comparator fault with negative node or phase");
+    if (f.until_phase != -1 && f.until_phase <= f.from_phase)
+      throw std::invalid_argument(
+          "comparator fault with empty phase window");
+  }
   crash_fired_.assign(config_.crash_schedule.size(), 0);
 }
 
@@ -206,6 +225,35 @@ Key FaultModel::corrupted_value(std::int64_t step, std::int64_t pair,
   return key ^ (Key{1} << (h % 48));
 }
 
+std::optional<ComparatorFaultKind> FaultModel::comparator_fault(
+    PNode node, std::int64_t phase) const noexcept {
+  for (const ComparatorFault& f : config_.comparator_schedule) {
+    if (f.node != node) continue;
+    if (phase < f.from_phase) continue;
+    if (f.until_phase != -1 && phase >= f.until_phase) continue;
+    return f.kind;
+  }
+  return std::nullopt;
+}
+
+Key FaultModel::comparator_garbage(PNode node, std::int64_t phase,
+                                   std::int64_t pair) const noexcept {
+  // Like crash_garbage: a value the input multiset almost surely never
+  // held, so the fingerprint certificate flags the output with certainty.
+  return static_cast<Key>(
+      decision(config_.seed, kComparatorGarbage,
+               static_cast<std::uint64_t>(node),
+               static_cast<std::uint64_t>(phase),
+               static_cast<std::uint64_t>(pair)) >>
+      1);
+}
+
+int FaultModel::faulty_replica(PNode node) const noexcept {
+  return static_cast<int>(
+      decision(config_.seed, kTmrReplica, static_cast<std::uint64_t>(node), 0) %
+      3);
+}
+
 bool FaultModel::crash_due(std::int64_t phase) const noexcept {
   for (std::size_t i = 0; i < config_.crash_schedule.size(); ++i)
     if (crash_fired_[i] == 0 && config_.crash_schedule[i].phase == phase)
@@ -271,6 +319,16 @@ std::string FaultModel::schedule_string() const {
       if (c.permanent) out += 'P';
     }
   }
+  if (!config_.comparator_schedule.empty()) {
+    out += ",comparators=";
+    for (std::size_t i = 0; i < config_.comparator_schedule.size(); ++i) {
+      const ComparatorFault& f = config_.comparator_schedule[i];
+      if (i != 0) out += '+';
+      out += std::to_string(f.node) + "@" + std::to_string(f.from_phase);
+      if (f.until_phase != -1) out += "~" + std::to_string(f.until_phase);
+      out += comparator_kind_char(f.kind);
+    }
+  }
   return out;
 }
 
@@ -326,7 +384,47 @@ FaultConfig FaultModel::parse_schedule_string(const std::string& schedule) {
         if (sep == std::string::npos) bad_token("crashes", entry);
         c.node = static_cast<PNode>(parse_count("crashes", entry.substr(0, sep)));
         c.phase = parse_count("crashes", entry.substr(sep + 1));
+        if (c.node < 0 || c.phase < 0) bad_token("crashes", entry);
         config.crash_schedule.push_back(c);
+      }
+    } else if (key == "comparators") {
+      if (value.empty() || value.back() == '+')
+        bad_token("comparators", value);
+      std::size_t at = 0;
+      while (at < value.size()) {
+        const std::size_t plus = value.find('+', at);
+        std::string entry = value.substr(
+            at, plus == std::string::npos ? std::string::npos : plus - at);
+        at = plus == std::string::npos ? value.size() : plus + 1;
+        ComparatorFault f;
+        if (entry.empty()) bad_token("comparators", entry);
+        switch (entry.back()) {
+          case 'S': f.kind = ComparatorFaultKind::kStuckPassThrough; break;
+          case 'I': f.kind = ComparatorFaultKind::kInverted; break;
+          case 'A': f.kind = ComparatorFaultKind::kArbitrary; break;
+          default: bad_token("comparators", entry);
+        }
+        entry.pop_back();
+        const std::size_t sep = entry.find('@');
+        if (sep == std::string::npos) bad_token("comparators", entry);
+        f.node = static_cast<PNode>(
+            parse_count("comparators", entry.substr(0, sep)));
+        std::string window = entry.substr(sep + 1);
+        const std::size_t tilde = window.find('~');
+        if (tilde == std::string::npos) {
+          f.from_phase = parse_count("comparators", window);
+        } else {
+          f.from_phase =
+              parse_count("comparators", window.substr(0, tilde));
+          f.until_phase =
+              parse_count("comparators", window.substr(tilde + 1));
+        }
+        // Same semantic checks as the FaultModel constructor: a parsed
+        // line must construct, so reject it here with the field name.
+        if (f.node < 0 || f.from_phase < 0 ||
+            (f.until_phase != -1 && f.until_phase <= f.from_phase))
+          bad_token("comparators", entry);
+        config.comparator_schedule.push_back(f);
       }
     } else {
       throw std::invalid_argument("unknown schedule field: " + key);

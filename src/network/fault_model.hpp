@@ -23,6 +23,15 @@
 //  * stragglers — `stragglers` processors run `straggler_factor`x slower;
 //    every synchronous phase touching one is charged the slowdown in
 //    CostModel::exec_steps;
+//  * silent comparator faults — `comparator_schedule` breaks a named
+//    processor's comparator over a phase window of the fault clock:
+//    stuck-pass-through (the exchange never happens), inverted (min and
+//    max swap places), or arbitrary-output (the faulty node's output
+//    register takes a deterministic garbage value).  Nothing loud
+//    happens — no drop, no crash — which is exactly what defeats the
+//    loud-fault detectors; the end-to-end certificate layer in
+//    core/certifier.hpp exists to catch these (see docs/FAULTS.md,
+//    "Silent faults").
 //  * fail-stop node crashes — `crash_schedule` kills a named processor at
 //    a named synchronous phase index, discarding its in-memory key (the
 //    one fault class that breaks the multiset itself).  A crash is either
@@ -62,6 +71,30 @@ struct CrashEvent {
   friend bool operator==(const CrashEvent&, const CrashEvent&) = default;
 };
 
+/// How a silently-broken comparator misbehaves.  The first two are
+/// multiset-preserving (keys end up misplaced, never destroyed, so
+/// re-sorting repairs them); arbitrary output damages the multiset
+/// itself and can only be detected, not repaired in place.
+enum class ComparatorFaultKind : std::uint8_t {
+  kStuckPassThrough,  ///< the exchange silently never happens
+  kInverted,          ///< min and max come out swapped
+  kArbitrary,         ///< the faulty node's output is garbage
+};
+
+/// One silently-faulty comparator: the comparator at processor `node`
+/// misbehaves for every synchronous phase in `[from_phase, until_phase)`
+/// of the fault clock (`until_phase == -1` means forever).  Any
+/// compare-exchange pair with `node` as an endpoint is affected while
+/// the fault is active.
+struct ComparatorFault {
+  PNode node = 0;
+  std::int64_t from_phase = 0;
+  std::int64_t until_phase = -1;  ///< exclusive; -1 = permanent
+  ComparatorFaultKind kind = ComparatorFaultKind::kStuckPassThrough;
+  friend bool operator==(const ComparatorFault&,
+                         const ComparatorFault&) = default;
+};
+
 struct FaultConfig {
   std::uint64_t seed = 1;       ///< root of every decision stream
   double packet_drop_rate = 0;  ///< transient per-transmission loss prob
@@ -73,6 +106,7 @@ struct FaultConfig {
   int max_retries = 12;         ///< per-hop retransmission budget
   int max_backoff = 8;          ///< retry backoff cap, in steps
   std::vector<CrashEvent> crash_schedule;  ///< fail-stop node crashes
+  std::vector<ComparatorFault> comparator_schedule;  ///< silent comparator faults
 
   friend bool operator==(const FaultConfig&, const FaultConfig&) = default;
 };
@@ -85,6 +119,7 @@ struct FaultCounters {
   std::int64_t key_corruptions = 0; ///< keys bit-flipped
   std::int64_t straggler_phases = 0;///< phases slowed by a straggler
   std::int64_t crashes = 0;         ///< fail-stop crash events fired
+  std::int64_t comparator_faults = 0;  ///< silently-wrong compare-exchanges
 };
 
 /// Thrown by the machine when a fired crash cannot be absorbed in-phase
@@ -148,12 +183,38 @@ class FaultModel {
   [[nodiscard]] Key corrupted_value(std::int64_t step, std::int64_t pair,
                                     Key key) const noexcept;
 
-  /// True iff any compute-side fault (drops, corruption, stragglers) is
-  /// configured; the Machine fast-path stays fault-free otherwise.
+  /// True iff any compute-side fault (drops, corruption, stragglers,
+  /// silent comparator faults) is configured; the Machine fast-path
+  /// stays fault-free otherwise.
   [[nodiscard]] bool perturbs_compute() const noexcept {
     return config_.ce_drop_rate > 0 || config_.key_corrupt_rate > 0 ||
-           config_.stragglers > 0;
+           config_.stragglers > 0 || !config_.comparator_schedule.empty();
   }
+
+  // --- silent comparator faults -------------------------------------------
+
+  [[nodiscard]] bool has_comparator_faults() const noexcept {
+    return !config_.comparator_schedule.empty();
+  }
+
+  /// The active comparator fault at `node` during fault-clock `phase`,
+  /// or nullopt.  When several schedule entries cover the same (node,
+  /// phase), the earliest schedule entry wins (deterministic).
+  [[nodiscard]] std::optional<ComparatorFaultKind> comparator_fault(
+      PNode node, std::int64_t phase) const noexcept;
+
+  /// The deterministic garbage an arbitrary-output comparator emits —
+  /// derived from (seed, node, phase, pair) so the value is stable
+  /// across thread counts and almost surely outside the input multiset.
+  [[nodiscard]] Key comparator_garbage(PNode node, std::int64_t phase,
+                                       std::int64_t pair) const noexcept;
+
+  /// Which of the three TMR replicas a faulty comparator at `node`
+  /// occupies (0..2, seed-hashed per node).  TMR is *spatial*
+  /// redundancy: one physical fault corrupts one replica, so majority
+  /// voting masks any single faulty comparator per pair; two faulty
+  /// endpoints on distinct replicas can still outvote the healthy one.
+  [[nodiscard]] int faulty_replica(PNode node) const noexcept;
 
   // --- fail-stop crashes -------------------------------------------------
 
@@ -197,8 +258,11 @@ class FaultModel {
 
   /// Machine-readable schedule summary for repro lines, e.g.
   /// "seed=5,drop=0.001,ce=0.001,corrupt=0,links=1,stragglers=1x4,
-  /// crashes=3@17+40@200P" (P marks a permanent crash).  Round-trips
-  /// through parse_schedule_string.
+  /// crashes=3@17+40@200P,comparators=5@2~9I+7@0A" (P marks a permanent
+  /// crash; comparator entries are node@from[~until]kind with kind S =
+  /// stuck-pass-through, I = inverted, A = arbitrary output, and no
+  /// ~until meaning permanent).  Round-trips through
+  /// parse_schedule_string.
   [[nodiscard]] std::string schedule_string() const;
 
   /// Inverse of schedule_string: rebuilds the FaultConfig from a

@@ -26,6 +26,7 @@ void Machine::compare_exchange_step(std::span<const CEPair> pairs,
       faults_ != nullptr && (faults_->perturbs_compute() || crash_due ||
                              faults_->has_dead_nodes());
   if (observer_ != nullptr) {
+    if (tmr_) observer_->on_tmr_phase();
     observer_->before_phase(keys_, pairs, hop_distance, /*block_size=*/1,
                             faulty);
   }
@@ -57,6 +58,12 @@ void Machine::compare_exchange_step(std::span<const CEPair> pairs,
     cost_.exec_steps += hop_distance;
     ++cost_.reexec_phases;
     ++cost_.degraded_phases;
+  }
+
+  if (tmr_) {
+    tmr_compare_exchange_step(pairs, hop_distance, step);
+    if (observer_ != nullptr) observer_->after_phase(keys_);
+    return;
   }
 
   if (faults_ != nullptr && faults_->perturbs_compute()) {
@@ -134,17 +141,54 @@ void Machine::faulty_compare_exchange_step(std::span<const CEPair> pairs,
   // Per-pair fault decisions are pure hashes of (step, pair index) and
   // every pair touches disjoint keys, so the parallel path stays
   // deterministic for any thread count.
-  std::atomic<std::int64_t> swaps{0}, drops{0}, corruptions{0};
+  std::atomic<std::int64_t> swaps{0}, drops{0}, corruptions{0}, comp_faults{0};
   auto body = [&](std::int64_t begin, std::int64_t end) {
     std::int64_t local_swaps = 0, local_drops = 0, local_corruptions = 0;
+    std::int64_t local_comp = 0;
     for (std::int64_t i = begin; i < end; ++i) {
+      const CEPair& p = pairs[static_cast<std::size_t>(i)];
+      Key& low = keys_[static_cast<std::size_t>(p.low)];
+      Key& high = keys_[static_cast<std::size_t>(p.high)];
+
+      // A silently-broken comparator at either endpoint hijacks the
+      // exchange (lower node wins when both are faulty).  Nothing loud
+      // happens: no drop, no throw — only the certificate layer can
+      // tell (core/certifier.hpp).
+      if (fm.has_comparator_faults()) {
+        std::optional<ComparatorFaultKind> cf = fm.comparator_fault(p.low, step);
+        PNode cf_node = p.low;
+        if (!cf) {
+          cf = fm.comparator_fault(p.high, step);
+          cf_node = p.high;
+        }
+        if (cf) {
+          ++local_comp;
+          switch (*cf) {
+            case ComparatorFaultKind::kStuckPassThrough:
+              break;  // the exchange silently never happens
+            case ComparatorFaultKind::kInverted:
+              if (low < high) {
+                std::swap(low, high);  // max and min come out swapped
+                ++local_swaps;
+              }
+              break;
+            case ComparatorFaultKind::kArbitrary:
+              if (low > high) {
+                std::swap(low, high);
+                ++local_swaps;
+              }
+              (cf_node == p.low ? low : high) =
+                  fm.comparator_garbage(cf_node, step, i);
+              break;
+          }
+          continue;
+        }
+      }
+
       if (fm.drop_compare_exchange(step, i)) {  // message lost: no exchange
         ++local_drops;
         continue;
       }
-      const CEPair& p = pairs[static_cast<std::size_t>(i)];
-      Key& low = keys_[static_cast<std::size_t>(p.low)];
-      Key& high = keys_[static_cast<std::size_t>(p.high)];
       if (low > high) {
         std::swap(low, high);
         ++local_swaps;
@@ -157,6 +201,7 @@ void Machine::faulty_compare_exchange_step(std::span<const CEPair> pairs,
     swaps.fetch_add(local_swaps, std::memory_order_relaxed);
     drops.fetch_add(local_drops, std::memory_order_relaxed);
     corruptions.fetch_add(local_corruptions, std::memory_order_relaxed);
+    comp_faults.fetch_add(local_comp, std::memory_order_relaxed);
   };
   if (executor_ != nullptr)
     executor_->parallel_for(static_cast<std::int64_t>(pairs.size()), body);
@@ -185,7 +230,135 @@ void Machine::faulty_compare_exchange_step(std::span<const CEPair> pairs,
 
   fm.counters().ce_drops += dropped;
   fm.counters().key_corruptions += corrupted;
+  // Ground truth for tests and soaks only: a comparator fault is
+  // deliberately absent from degraded_phases — silence is the point.
+  fm.counters().comparator_faults +=
+      comp_faults.load(std::memory_order_relaxed);
   if (slow > 1) ++fm.counters().straggler_phases;
+}
+
+void Machine::tmr_compare_exchange_step(std::span<const CEPair> pairs,
+                                        int hop_distance, std::int64_t step) {
+  FaultModel* fm = faults_;
+  const bool perturbed = fm != nullptr && fm->perturbs_compute();
+
+  // Each pair is evaluated by three comparator replicas; the majority
+  // (low, high) outcome is committed.  Replica r of pair i consumes the
+  // per-message decision streams under event id i*3+r, and a
+  // silently-faulty comparator at a node corrupts only that node's
+  // seed-hashed replica — all pure hashes, so any thread count commits
+  // identical outcomes.
+  std::atomic<std::int64_t> swaps{0}, drops{0}, corruptions{0}, comp_faults{0},
+      masked{0};
+  auto body = [&](std::int64_t begin, std::int64_t end) {
+    std::int64_t local_swaps = 0, local_drops = 0, local_corruptions = 0;
+    std::int64_t local_comp = 0, local_masked = 0;
+    for (std::int64_t i = begin; i < end; ++i) {
+      const CEPair& p = pairs[static_cast<std::size_t>(i)];
+      const Key in_low = keys_[static_cast<std::size_t>(p.low)];
+      const Key in_high = keys_[static_cast<std::size_t>(p.high)];
+      Key out_low[3];
+      Key out_high[3];
+      bool replica_perturbed[3] = {false, false, false};
+
+      for (int r = 0; r < 3; ++r) {
+        Key lo = in_low;
+        Key hi = in_high;
+        const std::int64_t ev = i * 3 + r;
+        std::optional<ComparatorFaultKind> cf;
+        PNode cf_node = -1;
+        if (perturbed && fm->has_comparator_faults()) {
+          if (fm->faulty_replica(p.low) == r) {
+            cf = fm->comparator_fault(p.low, step);
+            cf_node = p.low;
+          }
+          if (!cf && fm->faulty_replica(p.high) == r) {
+            cf = fm->comparator_fault(p.high, step);
+            cf_node = p.high;
+          }
+        }
+        if (cf) {
+          ++local_comp;
+          replica_perturbed[r] = true;
+          switch (*cf) {
+            case ComparatorFaultKind::kStuckPassThrough:
+              break;
+            case ComparatorFaultKind::kInverted:
+              if (lo < hi) std::swap(lo, hi);
+              break;
+            case ComparatorFaultKind::kArbitrary:
+              if (lo > hi) std::swap(lo, hi);
+              (cf_node == p.low ? lo : hi) =
+                  fm->comparator_garbage(cf_node, step, i);
+              break;
+          }
+        } else if (perturbed && fm->drop_compare_exchange(step, ev)) {
+          ++local_drops;
+          replica_perturbed[r] = true;  // message lost: outputs = inputs
+        } else {
+          if (lo > hi) std::swap(lo, hi);
+          if (perturbed && fm->corrupt_key(step, ev)) {
+            lo = fm->corrupted_value(step, ev, lo);
+            ++local_corruptions;
+            replica_perturbed[r] = true;
+          }
+        }
+        out_low[r] = lo;
+        out_high[r] = hi;
+      }
+
+      const auto agree = [&](int a, int b) {
+        return out_low[a] == out_low[b] && out_high[a] == out_high[b];
+      };
+      // Majority vote; a three-way disagreement falls back to replica 0.
+      const int win = (agree(0, 1) || agree(0, 2)) ? 0 : (agree(1, 2) ? 1 : 0);
+      for (int r = 0; r < 3; ++r)
+        if (replica_perturbed[r] && !agree(r, win)) ++local_masked;
+
+      keys_[static_cast<std::size_t>(p.low)] = out_low[win];
+      keys_[static_cast<std::size_t>(p.high)] = out_high[win];
+      if (out_low[win] != in_low || out_high[win] != in_high) ++local_swaps;
+    }
+    swaps.fetch_add(local_swaps, std::memory_order_relaxed);
+    drops.fetch_add(local_drops, std::memory_order_relaxed);
+    corruptions.fetch_add(local_corruptions, std::memory_order_relaxed);
+    comp_faults.fetch_add(local_comp, std::memory_order_relaxed);
+    masked.fetch_add(local_masked, std::memory_order_relaxed);
+  };
+  if (executor_ != nullptr)
+    executor_->parallel_for(static_cast<std::int64_t>(pairs.size()), body);
+  else
+    body(0, static_cast<std::int64_t>(pairs.size()));
+
+  int slow = 1;
+  if (fm != nullptr && fm->config().stragglers > 0) {
+    for (const CEPair& p : pairs) {
+      if (fm->is_straggler(p.low) || fm->is_straggler(p.high)) {
+        slow = fm->config().straggler_factor;
+        break;
+      }
+    }
+  }
+
+  // Honest redundancy charge: three replica evaluations per pair and
+  // one extra synchronous step for the vote.
+  cost_.exec_steps += static_cast<std::int64_t>(hop_distance) * slow + 1;
+  cost_.comparisons += 3 * static_cast<std::int64_t>(pairs.size());
+  cost_.exchanges += swaps.load(std::memory_order_relaxed);
+  ++cost_.tmr_phases;
+  cost_.tmr_masked += masked.load(std::memory_order_relaxed);
+  if (slow > 1) ++cost_.degraded_phases;
+
+  if (fm != nullptr) {
+    // Replica-level drops/corruptions are absorbed by the vote, never
+    // redone, so they land in the model's tallies but not in retries.
+    fm->counters().ce_drops += drops.load(std::memory_order_relaxed);
+    fm->counters().key_corruptions +=
+        corruptions.load(std::memory_order_relaxed);
+    fm->counters().comparator_faults +=
+        comp_faults.load(std::memory_order_relaxed);
+    if (slow > 1) ++fm->counters().straggler_phases;
+  }
 }
 
 std::vector<Key> Machine::read_snake(const ViewSpec& view) const {

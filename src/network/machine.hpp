@@ -87,6 +87,19 @@ class Machine {
   void set_fault_model(FaultModel* faults) noexcept { faults_ = faults; }
   [[nodiscard]] FaultModel* fault_model() const noexcept { return faults_; }
 
+  /// Triple-modular-redundancy mode: every compare-exchange pair is
+  /// evaluated by three comparator replicas and the majority outcome is
+  /// committed.  The redundancy is *spatial* — a silently-faulty
+  /// comparator (FaultConfig::comparator_schedule) occupies one
+  /// seed-hashed replica (FaultModel::faulty_replica), so voting masks
+  /// any single faulty comparator per pair; per-message faults (CE
+  /// drops, corruption) are decided per replica and masked the same
+  /// way.  Honestly charged: 3x comparisons plus one extra exec step
+  /// per phase for the vote (CostModel::tmr_phases / tmr_masked).
+  /// Without faults the voted outcome is bit-identical to plain mode.
+  void set_tmr(bool on) noexcept { tmr_ = on; }
+  [[nodiscard]] bool tmr() const noexcept { return tmr_; }
+
   /// Synchronous phases executed so far under an attached fault model —
   /// the phase clock crash events are keyed on.
   [[nodiscard]] std::int64_t fault_phase() const noexcept {
@@ -113,6 +126,8 @@ class Machine {
  private:
   void faulty_compare_exchange_step(std::span<const CEPair> pairs,
                                     int hop_distance, std::int64_t step);
+  void tmr_compare_exchange_step(std::span<const CEPair> pairs,
+                                 int hop_distance, std::int64_t step);
   /// Fires due crash events for `step`; returns true when the phase must
   /// be re-executed (partner recovery), throws CrashInterrupt when the
   /// lost key has no live copy.
@@ -125,6 +140,7 @@ class Machine {
   FaultModel* faults_ = nullptr;
   PhaseObserver* observer_ = nullptr;
   std::int64_t fault_step_ = 0;  ///< event-id stream for fault decisions
+  bool tmr_ = false;             ///< triple-redundant voting; see set_tmr
 #ifdef NDEBUG
   bool check_disjoint_ = false;
 #else

@@ -35,6 +35,14 @@ class PhaseObserver {
   /// chaining observers forward to the chained one.
   [[nodiscard]] virtual bool supersedes_validation() const { return false; }
 
+  /// Called (immediately before before_phase) when the upcoming phase
+  /// will execute under triple-modular-redundant voting.  Voted outcomes
+  /// can differ from what single-replica replay would predict once a
+  /// comparator fault is being masked, so auditing observers treat TMR
+  /// phases as a counted blind spot (AuditorStats::tmr_phases); chaining
+  /// observers forward.  Default: ignore.
+  virtual void on_tmr_phase() {}
+
   /// Called immediately before a synchronous phase applies `pairs`.
   /// `keys` is the machine's complete key array (`block_size` keys per
   /// node, 1 for the unit-key Machine) and `hop_distance` the step's

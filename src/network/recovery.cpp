@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/certifier.hpp"
 #include "core/verify.hpp"
 
 namespace prodsort {
@@ -14,6 +15,7 @@ std::string to_string(RecoveryPath path) {
     case RecoveryPath::kReexecOnly: return "reexec-only";
     case RecoveryPath::kRollback: return "rollback";
     case RecoveryPath::kDegradedRemap: return "degraded-remap";
+    case RecoveryPath::kCertifiedRepair: return "certified-repair";
     case RecoveryPath::kFailed: return "failed";
   }
   return "?";
@@ -144,32 +146,43 @@ CrashRecoveryReport RecoveryController::run(const SortOptions& options) {
       std::unique(report.lost_entries.begin(), report.lost_entries.end()),
       report.lost_entries.end());
 
-  // Read-out and verification.  Crash recovery composes with the PR-1
-  // fault classes: dropped compare-exchange messages can leave order
-  // corruption that is no crash's fault, so an unsorted read-out gets
-  // one bounded cleanup pass (dirty-window OET on the full snake,
-  // another degraded OET round on the survivor snake) before the
-  // verdict.  A crash firing during cleanup is out of budget by
-  // construction here, so it just fails the run.
+  // Read-out and certification (rung 4).  Crashes are loud; silent
+  // comparator faults and lost compare-exchange messages are not, so
+  // the full-topology read-out always gets an end-to-end certificate.
+  // A wrong-order verdict (right keys, wrong permutation) runs the
+  // bounded dirty-window repair loop; keys-corrupted is unrepairable
+  // and falls through to the data-loss verdict.  A crash firing during
+  // repair is out of budget by construction here, so it fails the run.
   if (report.dead.empty()) {
-    report.output = m.read_snake(full_view(m.graph()));
-    report.sorted = std::is_sorted(report.output.begin(), report.output.end());
-    if (!report.sorted) {
+    const Certifier certifier(
+        MultisetFingerprint{checksum,
+                            static_cast<std::uint64_t>(m.keys().size())},
+        m.executor());
+    EndToEndCertificate cert = certifier.certify(m, full_view(m.graph()));
+    report.cert_failed = !cert.pass();
+    if (cert.verdict == CertVerdict::kWrongOrder) {
+      const int budget =
+          policy_.repair_passes > 0
+              ? policy_.repair_passes
+              : static_cast<int>(m.graph().num_nodes()) + 4;
       try {
-        (void)verify_and_recover(m, full_view(m.graph()),
-                                 {.expected_checksum = checksum});
-        report.output = m.read_snake(full_view(m.graph()));
-        report.sorted =
-            std::is_sorted(report.output.begin(), report.output.end());
+        const RepairReport repair = certify_and_repair(
+            m, full_view(m.graph()), certifier, {.max_passes = budget});
+        report.repair_passes = repair.passes;
+        cert = repair.after;
       } catch (const CrashInterrupt&) {
         report.path = RecoveryPath::kFailed;
+        cert = certifier.certify(m, full_view(m.graph()));
       }
     }
+    report.output = m.read_snake(full_view(m.graph()));
+    report.sorted = cert.sorted;
   } else if (report.path == RecoveryPath::kDegradedRemap) {
     const DegradedView degraded(m.graph(), full_view(m.graph()), report.dead);
     std::vector<Key> live = read_degraded_snake(m, degraded);
     report.sorted = std::is_sorted(live.begin(), live.end());
     if (!report.sorted) {
+      report.cert_failed = true;  // survivor read-out failed first check
       try {
         sort_degraded_snake(m, degraded);
         live = read_degraded_snake(m, degraded);
@@ -189,6 +202,13 @@ CrashRecoveryReport RecoveryController::run(const SortOptions& options) {
 
   report.data_loss = !report.lost_entries.empty() ||
                      multiset_checksum(report.output) != checksum;
+  report.certified = report.sorted && !report.data_loss;
+  // A run no crash rung touched but the certificate caught: the silent
+  // path.  Repaired = rung 4 alone recovered it; unrepairable = failed
+  // loudly (never a silent wrong answer).
+  if (report.path == RecoveryPath::kNone && report.cert_failed)
+    report.path = report.certified ? RecoveryPath::kCertifiedRepair
+                                   : RecoveryPath::kFailed;
 
   // Per-run deltas, taken last so cleanup passes above are included.
   report.checkpoints = m.cost().checkpoints - before.checkpoints;

@@ -20,6 +20,14 @@
 //   their shadows as host-side orphans, and odd-even transposition over
 //   the degraded snake (product/degraded_view.hpp) sorts the survivors;
 //   orphans are merged back into the output at read-out.
+// Rung 4 — certify and repair the read-out.  Crashes are loud; a
+//   silently faulty comparator (or a lost compare-exchange message) is
+//   not, so every full-topology run ends with an end-to-end certificate
+//   (core/certifier.hpp: multiset fingerprint + adjacency scan).  A
+//   wrong-order verdict triggers the bounded dirty-window repair loop;
+//   a keys-corrupted verdict is unrepairable data loss and the caller
+//   must re-ingest the input (the sort service treats both as a failed
+//   attempt for retry/circuit-breaker purposes).
 //
 // Every rung is budgeted; the run's path, budget spend, and data-loss
 // verdict come back in a CrashRecoveryReport, and the machine's
@@ -44,6 +52,10 @@ struct RecoveryPolicy {
   /// Pre-sort multiset checksum for the data-loss verdict; 0 means
   /// "compute it from the machine's keys when run() starts".
   std::uint64_t expected_checksum = 0;
+  /// Rung-4 repair budget: odd-even transposition passes
+  /// certify_and_repair may spend on a wrong-order certificate; 0 means
+  /// auto (machine size + 4, enough to sort any window fault-free).
+  int repair_passes = 0;
 };
 
 enum class RecoveryPath {
@@ -51,6 +63,7 @@ enum class RecoveryPath {
   kReexecOnly,    ///< rung 1 absorbed every crash in-phase
   kRollback,      ///< rung 2: checkpoint rollback(s), full topology kept
   kDegradedRemap, ///< rung 3: sorted on the surviving topology
+  kCertifiedRepair, ///< rung 4 alone: silent corruption caught and repaired
   kFailed,        ///< budgets exhausted or live topology disconnected
 };
 
@@ -60,8 +73,11 @@ struct CrashRecoveryReport {
   RecoveryPath path = RecoveryPath::kNone;
   bool sorted = false;     ///< final sequence (incl. orphans) verified sorted
   bool data_loss = false;  ///< keys unrecoverable or checksum mismatch
+  bool certified = false;  ///< exit certificate passed (sorted, no loss)
+  bool cert_failed = false; ///< first read-out certificate failed (SDC seen)
   int rollbacks = 0;       ///< rung-2 restores performed
   int remaps = 0;          ///< rung-3 degraded restarts performed
+  int repair_passes = 0;   ///< rung-4 OET repair passes executed
   std::int64_t crashes = 0;           ///< crash events fired during the run
   // Per-run cost deltas, diffed against the machine's CostModel at
   // entry: back-to-back runs on one machine (the sort service's retry

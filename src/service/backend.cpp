@@ -33,6 +33,7 @@ AttemptResult SortBackend::run_attempt(const JobSpec& job, int attempt,
   const std::uint64_t checksum = multiset_checksum(keys);
 
   Machine machine(*pg_, std::move(keys), executor_);
+  machine.set_tmr(config_.tmr);
   result.faulted =
       faults_ != nullptr &&
       (config_.fault_until < 0 || now < config_.fault_until);
@@ -53,7 +54,9 @@ AttemptResult SortBackend::run_attempt(const JobSpec& job, int attempt,
     const CrashRecoveryReport report = controller.run(options);
     result.path = report.path;
     result.degraded = report.path == RecoveryPath::kDegradedRemap;
-    result.success = report.sorted && !report.data_loss &&
+    result.sdc_detected = report.cert_failed;
+    result.repair_passes = report.repair_passes;
+    result.success = report.certified &&
                      report.output.size() == static_cast<std::size_t>(n) &&
                      multiset_checksum(report.output) == checksum;
   } catch (const std::exception&) {
@@ -68,6 +71,7 @@ AttemptResult SortBackend::run_attempt(const JobSpec& job, int attempt,
   if (attempt > 1) ++totals_.service_retries;
   ++attempts_;
   if (!result.success) ++failures_;
+  if (result.sdc_detected) ++sdc_detected_;
   return result;
 }
 

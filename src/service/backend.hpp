@@ -39,14 +39,25 @@ struct BackendConfig {
   std::int64_t fault_until = -1;
   /// Escalation-ladder budgets applied to every attempt.
   RecoveryPolicy recovery;
+  /// Run every attempt under triple-modular-redundant voting
+  /// (Machine::set_tmr): masks single silent comparator faults at 3x
+  /// comparison cost, instead of detect-and-repair after the fact.
+  bool tmr = false;
 };
 
 struct AttemptResult {
   bool success = false;   ///< verified sorted + multiset checksum intact
   bool degraded = false;  ///< served on the degraded topology (rung 3)
   bool faulted = false;   ///< the fault model was attached this attempt
+  /// The end-to-end certificate failed at first read-out — silent data
+  /// corruption detected.  The attempt may still succeed if the repair
+  /// rung restored a certified result; an uncertified exit is a failed
+  /// attempt (retry/circuit-breaker fodder), never a silent wrong
+  /// answer.
+  bool sdc_detected = false;
   std::int64_t steps = 0;   ///< virtual service duration (exec_steps, >= 1)
   std::int64_t crashes = 0; ///< crash events fired during the attempt
+  std::int64_t repair_passes = 0;  ///< rung-4 OET passes this attempt
   RecoveryPath path = RecoveryPath::kNone;
 };
 
@@ -75,6 +86,10 @@ class SortBackend {
   [[nodiscard]] const CostModel& totals() const noexcept { return totals_; }
   [[nodiscard]] std::int64_t attempts() const noexcept { return attempts_; }
   [[nodiscard]] std::int64_t failures() const noexcept { return failures_; }
+  /// Attempts whose first read-out certificate failed (SDC caught).
+  [[nodiscard]] std::int64_t sdc_detected() const noexcept {
+    return sdc_detected_;
+  }
 
  private:
   const ProductGraph* pg_;
@@ -87,6 +102,7 @@ class SortBackend {
   CostModel totals_;
   std::int64_t attempts_ = 0;
   std::int64_t failures_ = 0;
+  std::int64_t sdc_detected_ = 0;
 };
 
 }  // namespace prodsort

@@ -63,6 +63,8 @@ std::uint64_t ServiceReport::hash() const {
   h = mix_i64(h, fallback_jobs);
   h = mix_i64(h, degraded_jobs);
   h = mix_i64(h, verified_jobs);
+  h = mix_i64(h, sdc_detected);
+  h = mix_i64(h, sdc_failures);
   h = mix_i64(h, breaker_transitions);
   h = mix_i64(h, queue_high_water);
   h = mix_i64(h, horizon);
@@ -86,8 +88,10 @@ std::uint64_t ServiceReport::hash() const {
   for (const BackendHealth& b : backends) {
     h = mix_i64(h, b.id);
     h = mix_i64(h, b.faulted ? 1 : 0);
+    h = mix_i64(h, b.tmr ? 1 : 0);
     h = mix_i64(h, b.attempts);
     h = mix_i64(h, b.failures);
+    h = mix_i64(h, b.sdc_detected);
     h = mix_i64(h, b.busy_steps);
     h = mix_i64(h, b.crashes);
     h = mix_i64(h, b.times_opened);
@@ -103,6 +107,7 @@ std::string ServiceReport::summary() const {
       << " shed-deadline=" << shed_deadline << " failed=" << failed
       << " retries=" << retries << " fallback=" << fallback_jobs
       << " degraded=" << degraded_jobs << " verified=" << verified_jobs
+      << " sdc=" << sdc_detected << "/" << sdc_failures
       << "\nlatency p50=" << latency.p50 << " p95=" << latency.p95
       << " p99=" << latency.p99 << " max=" << latency.max
       << " goodput=" << goodput << "/kstep horizon=" << horizon
@@ -110,7 +115,8 @@ std::string ServiceReport::summary() const {
   for (const BackendHealth& b : backends) {
     out << " [" << b.id << (b.faulted ? "*" : "") << " "
         << to_string(b.breaker) << " att=" << b.attempts
-        << " fail=" << b.failures << " trips=" << b.times_opened << "]";
+        << " fail=" << b.failures << " sdc=" << b.sdc_detected
+        << " trips=" << b.times_opened << "]";
   }
   out << "\nconserved=" << (conserved() ? "yes" : "NO") << " hash=" << hash();
   return out.str();

@@ -272,6 +272,15 @@ ServiceReport SortService::run() {
         const InFlight done = *slot;
         slot.reset();
 
+        // Silent-corruption accounting: a failed end-to-end certificate
+        // is a backend failure like any other — it feeds the breaker
+        // and the retry budget below — but it is also counted on its
+        // own so soaks can gate on "every SDC was caught, none served".
+        if (done.result.sdc_detected) {
+          ++report.sdc_detected;
+          if (!done.result.success) ++report.sdc_failures;
+        }
+
         if (e.backend != kFallbackBackend) {
           CircuitBreaker& breaker =
               backends_[static_cast<std::size_t>(e.backend)]->breaker();
@@ -320,8 +329,10 @@ ServiceReport SortService::run() {
     BackendHealth health;
     health.id = b->id();
     health.faulted = b->has_faults();
+    health.tmr = b->config().tmr;
     health.attempts = b->attempts();
     health.failures = b->failures();
+    health.sdc_detected = b->sdc_detected();
     health.busy_steps = b->totals().exec_steps;
     health.crashes = b->totals().crashes;
     health.times_opened = b->breaker().times_opened();

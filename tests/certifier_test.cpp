@@ -1,0 +1,229 @@
+// Mutation tests for the end-to-end sort certificate.
+//
+// A certificate that only catches obvious corruption is worse than
+// none — it licenses skipping the full check.  These tests feed the
+// Certifier the adversarial almost-sorted arrays a silent comparator
+// fault actually produces: a single swapped adjacent pair, a
+// duplicated key standing in for a lost one (sorted order intact —
+// only the fingerprint can object), and off-by-one damage at every
+// snake boundary.  They also pin the equivalence the repair ladder
+// depends on: fingerprint_sequence() computes exactly
+// multiset_checksum(), serially and in parallel.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+#include <vector>
+
+#include "core/certifier.hpp"
+#include "core/s2/shearsort_s2.hpp"
+#include "core/verify.hpp"
+#include "graph/labeled_factor.hpp"
+#include "network/parallel_executor.hpp"
+#include "product/snake_order.hpp"
+#include "product/subgraph_view.hpp"
+
+namespace prodsort {
+namespace {
+
+std::vector<Key> iota_keys(int n) {
+  std::vector<Key> keys(static_cast<std::size_t>(n));
+  std::iota(keys.begin(), keys.end(), Key{0});
+  return keys;
+}
+
+TEST(Certifier, FingerprintEqualsMultisetChecksum) {
+  std::mt19937_64 rng(11);
+  ParallelExecutor exec(4);
+  for (const int n : {0, 1, 2, 17, 256, 4097}) {
+    std::vector<Key> keys(static_cast<std::size_t>(n));
+    for (Key& k : keys) k = static_cast<Key>(rng() % 97);
+    const MultisetFingerprint serial = fingerprint_sequence(keys);
+    const MultisetFingerprint parallel = fingerprint_sequence(keys, &exec);
+    EXPECT_EQ(serial, parallel);
+    EXPECT_EQ(serial.checksum, multiset_checksum(keys));
+    EXPECT_EQ(serial.count, static_cast<std::uint64_t>(n));
+  }
+}
+
+TEST(Certifier, PassesSortedPermutations) {
+  const std::vector<Key> input = {5, 1, 4, 1, 5, 9, 2, 6};
+  const Certifier certifier(input);
+  std::vector<Key> sorted = input;
+  std::sort(sorted.begin(), sorted.end());
+  const EndToEndCertificate cert = certifier.certify(sorted);
+  EXPECT_TRUE(cert.pass());
+  EXPECT_TRUE(cert.sorted);
+  EXPECT_EQ(cert.adjacency_violations, 0);
+  EXPECT_EQ(cert.expected, cert.observed);
+}
+
+TEST(Certifier, PassesEmptyAndSingleton) {
+  const std::vector<Key> empty;
+  EXPECT_TRUE(Certifier(empty).certify(empty).pass());
+  const std::vector<Key> one = {42};
+  EXPECT_TRUE(Certifier(one).certify(one).pass());
+}
+
+// Every single swapped adjacent pair of distinct keys must be caught
+// as wrong order, with the dirty window covering the swap.
+TEST(Certifier, RejectsEverySwappedAdjacentPair) {
+  const int n = 64;
+  const std::vector<Key> sorted = iota_keys(n);
+  const Certifier certifier(sorted);
+  for (int i = 0; i + 1 < n; ++i) {
+    std::vector<Key> seq = sorted;
+    std::swap(seq[static_cast<std::size_t>(i)],
+              seq[static_cast<std::size_t>(i) + 1]);
+    const EndToEndCertificate cert = certifier.certify(seq);
+    ASSERT_EQ(cert.verdict, CertVerdict::kWrongOrder) << "swap at " << i;
+    EXPECT_FALSE(cert.sorted);
+    EXPECT_EQ(cert.first_violation, i);
+    EXPECT_LE(cert.dirty_lo, i);
+    EXPECT_GE(cert.dirty_hi, i + 1);
+  }
+}
+
+// A duplicated key replacing a lost one keeps the sequence sorted —
+// the adversarial case only the multiset fingerprint can reject.
+TEST(Certifier, RejectsDuplicatedKeyReplacingLostOne) {
+  const int n = 64;
+  const std::vector<Key> sorted = iota_keys(n);
+  const Certifier certifier(sorted);
+  for (int i = 0; i + 1 < n; ++i) {
+    std::vector<Key> seq = sorted;
+    seq[static_cast<std::size_t>(i)] = seq[static_cast<std::size_t>(i) + 1];
+    const EndToEndCertificate cert = certifier.certify(seq);
+    ASSERT_EQ(cert.verdict, CertVerdict::kKeysCorrupted) << "dup at " << i;
+    EXPECT_TRUE(cert.sorted);  // order is fine; the *keys* are wrong
+    EXPECT_NE(cert.observed.checksum, cert.expected.checksum);
+  }
+}
+
+// Fingerprint mismatch outranks wrong order: when keys are corrupted
+// AND misordered, the verdict must steer recovery away from futile
+// in-place repair.
+TEST(Certifier, KeysCorruptedOutranksWrongOrder) {
+  const std::vector<Key> input = iota_keys(16);
+  const Certifier certifier(input);
+  std::vector<Key> seq = input;
+  seq[3] = 999;  // corrupt a key...
+  std::swap(seq[8], seq[9]);  // ...and break the order elsewhere
+  EXPECT_EQ(certifier.certify(seq).verdict, CertVerdict::kKeysCorrupted);
+}
+
+// Off-by-one damage at every snake boundary of a product machine, both
+// flavors: a boundary-crossing swap (wrong order) and a +-1 key edit
+// (corrupted multiset) — the ranks where shearsort/snake-OET hand off
+// between rows and historical off-by-one bugs like to live.
+TEST(Certifier, RejectsOffByOneAtEverySnakeBoundary) {
+  const ProductGraph pg(labeled_path(4), 2);  // 16 nodes, rows of 4
+  const PNode n = pg.num_nodes();
+  const std::vector<Key> sorted = iota_keys(static_cast<int>(n));
+  const Certifier certifier(sorted);
+  const ViewSpec view = full_view(pg);
+
+  for (PNode boundary = 4; boundary < n; boundary += 4) {
+    // Boundary-crossing swap: last key of one row / first of the next.
+    std::vector<Key> keys(static_cast<std::size_t>(n));
+    for (PNode rank = 0; rank < n; ++rank)
+      keys[static_cast<std::size_t>(node_at_snake_rank(pg, rank))] =
+          sorted[static_cast<std::size_t>(rank)];
+    std::swap(keys[static_cast<std::size_t>(node_at_snake_rank(
+                  pg, boundary - 1))],
+              keys[static_cast<std::size_t>(node_at_snake_rank(pg, boundary))]);
+    Machine machine(pg, keys);
+    const EndToEndCertificate cert = certifier.certify(machine, view);
+    ASSERT_EQ(cert.verdict, CertVerdict::kWrongOrder)
+        << "boundary " << boundary;
+    EXPECT_EQ(cert.first_violation, boundary - 1);
+
+    // Off-by-one key edit at the boundary: still sorted (non-strict),
+    // but the multiset lost one key and duplicated another.
+    std::vector<Key> edited = sorted;
+    edited[static_cast<std::size_t>(boundary)] -= 1;
+    const EndToEndCertificate edit_cert = certifier.certify(edited);
+    ASSERT_EQ(edit_cert.verdict, CertVerdict::kKeysCorrupted)
+        << "boundary " << boundary;
+  }
+}
+
+TEST(CertifyAndRepair, PassesOnEntryWithoutSpendingPasses) {
+  const ProductGraph pg(labeled_path(4), 2);
+  const PNode n = pg.num_nodes();
+  std::vector<Key> keys(static_cast<std::size_t>(n));
+  for (PNode rank = 0; rank < n; ++rank)
+    keys[static_cast<std::size_t>(node_at_snake_rank(pg, rank))] =
+        static_cast<Key>(rank);
+  Machine machine(pg, keys);
+  const Certifier certifier(keys);
+  const RepairReport report =
+      certify_and_repair(machine, full_view(pg), certifier);
+  EXPECT_EQ(report.outcome, RepairOutcome::kCertified);
+  EXPECT_EQ(report.passes, 0);
+  EXPECT_EQ(machine.cost().repair_passes, 0);
+}
+
+TEST(CertifyAndRepair, RepairsShuffledWindowWithinBudget) {
+  const ProductGraph pg(labeled_path(4), 2);
+  const PNode n = pg.num_nodes();
+  std::vector<Key> snake = iota_keys(static_cast<int>(n));
+  std::reverse(snake.begin() + 5, snake.begin() + 10);  // dirty window [5,9]
+  std::vector<Key> keys(static_cast<std::size_t>(n));
+  for (PNode rank = 0; rank < n; ++rank)
+    keys[static_cast<std::size_t>(node_at_snake_rank(pg, rank))] =
+        snake[static_cast<std::size_t>(rank)];
+  Machine machine(pg, keys);
+  const Certifier certifier(snake);
+
+  const RepairReport report =
+      certify_and_repair(machine, full_view(pg), certifier);
+  EXPECT_EQ(report.outcome, RepairOutcome::kRepaired);
+  EXPECT_EQ(report.before.verdict, CertVerdict::kWrongOrder);
+  EXPECT_TRUE(report.after.pass());
+  // A dirty window of width w sorts in at most w alternating passes.
+  EXPECT_GT(report.passes, 0);
+  EXPECT_LE(report.passes, 7);
+  EXPECT_GT(report.repair_steps, 0);
+  EXPECT_EQ(machine.cost().repair_passes, report.passes);
+  EXPECT_EQ(machine.read_snake(full_view(pg)), iota_keys(static_cast<int>(n)));
+}
+
+TEST(CertifyAndRepair, RefusesCorruptedKeys) {
+  const ProductGraph pg(labeled_path(4), 2);
+  const PNode n = pg.num_nodes();
+  std::vector<Key> keys(static_cast<std::size_t>(n), Key{7});  // all equal
+  Machine machine(pg, keys);
+  std::vector<Key> other = keys;
+  other[0] = 8;  // expected multiset differs from the machine's
+  const Certifier certifier(other);
+  const RepairReport report =
+      certify_and_repair(machine, full_view(pg), certifier);
+  EXPECT_EQ(report.outcome, RepairOutcome::kKeysCorrupted);
+  EXPECT_EQ(report.passes, 0);
+}
+
+TEST(CertifyAndRepair, ReportsBudgetExhaustion) {
+  const ProductGraph pg(labeled_path(4), 2);
+  const PNode n = pg.num_nodes();
+  std::vector<Key> snake = iota_keys(static_cast<int>(n));
+  std::reverse(snake.begin(), snake.end());  // maximally dirty
+  std::vector<Key> keys(static_cast<std::size_t>(n));
+  for (PNode rank = 0; rank < n; ++rank)
+    keys[static_cast<std::size_t>(node_at_snake_rank(pg, rank))] =
+        snake[static_cast<std::size_t>(rank)];
+  Machine machine(pg, keys);
+  const Certifier certifier(snake);
+  RepairOptions options;
+  options.max_passes = 1;
+  const RepairReport report =
+      certify_and_repair(machine, full_view(pg), certifier, options);
+  EXPECT_EQ(report.outcome, RepairOutcome::kBudgetExhausted);
+  EXPECT_EQ(report.passes, 1);
+  EXPECT_FALSE(report.after.pass());
+}
+
+}  // namespace
+}  // namespace prodsort

@@ -1,0 +1,81 @@
+// Unit coverage for the shared REPRO-line parser (tools/repro_line.hpp)
+// that prodsort_stress and prodsort_serve both replay through.
+
+#include "repro_line.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace prodsort {
+namespace {
+
+TEST(ReproLine, GetReturnsTokenValues) {
+  const ReproLine repro(
+      "SDC-REPRO mode=sdc seed=7 trial=12 family=path-3 r=2 "
+      "schedule=seed=5,ce=0.002 reason=silent-escape");
+  EXPECT_EQ(repro.get("mode"), "sdc");
+  EXPECT_EQ(repro.get("seed"), "7");
+  EXPECT_EQ(repro.get("family"), "path-3");
+  // The value may itself contain '=' (embedded schedule strings).
+  EXPECT_EQ(repro.get("schedule"), "seed=5,ce=0.002");
+  EXPECT_EQ(repro.get("reason"), "silent-escape");
+}
+
+TEST(ReproLine, AbsentKeyIsEmptyAndHasDisambiguates) {
+  const ReproLine repro("A-REPRO seed=7 empty= x=1");
+  EXPECT_EQ(repro.get("missing"), "");
+  EXPECT_FALSE(repro.has("missing"));
+  EXPECT_EQ(repro.get("empty"), "");
+  EXPECT_TRUE(repro.has("empty"));
+}
+
+TEST(ReproLine, FirstOccurrenceWins) {
+  const ReproLine repro("seed=1 seed=2");
+  EXPECT_EQ(repro.get("seed"), "1");
+}
+
+TEST(ReproLine, KeyMatchIsExactNotPrefixOrSuffix) {
+  // "r=" must not match inside "retry=3" or "tmr=1", and "retry=" must
+  // not match the shorter token "r=2".
+  const ReproLine repro("retry=3 tmr=1 r=2");
+  EXPECT_EQ(repro.get("r"), "2");
+  EXPECT_EQ(repro.get("retry"), "3");
+  EXPECT_EQ(repro.get("tmr"), "1");
+  EXPECT_FALSE(ReproLine("retry=3").has("r"));
+}
+
+TEST(ReproLine, RequireThrowsNamingTheMissingKey) {
+  const ReproLine repro("seed=7");
+  EXPECT_EQ(repro.require("seed"), "7");
+  try {
+    (void)repro.require("trial");
+    FAIL() << "require() accepted a missing key";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("'trial='"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ReproLine, RejoinArgsUndoesShellSplitting) {
+  char arg0[] = "prodsort_stress";
+  char arg1[] = "--repro";
+  char arg2[] = "SDC-REPRO";
+  char arg3[] = "seed=7";
+  char arg4[] = "trial=3";
+  char* argv[] = {arg0, arg1, arg2, arg3, arg4};
+  EXPECT_EQ(ReproLine::rejoin_args(5, argv, 2), "SDC-REPRO seed=7 trial=3");
+  EXPECT_EQ(ReproLine::rejoin_args(5, argv, 5), "");
+}
+
+TEST(ReproLine, ToleratesRepeatedSpacesAndJunkTokens) {
+  const ReproLine repro("  seed=7   junk garbage==x  trial=3 ");
+  EXPECT_EQ(repro.get("seed"), "7");
+  EXPECT_EQ(repro.get("trial"), "3");
+  EXPECT_EQ(repro.get("garbage"), "=x");
+  EXPECT_FALSE(repro.has("junk"));
+}
+
+}  // namespace
+}  // namespace prodsort

@@ -1,0 +1,157 @@
+// Fuzz coverage for the FaultModel schedule-string round trip.
+//
+// FAULT-REPRO / SDC-REPRO lines embed schedule_string() verbatim and
+// --repro replays them through parse_schedule_string(), so the pair
+// must be a lossless inverse on every valid config — including the
+// comparator-fault entries — and must reject arbitrary junk with a
+// typed exception instead of crashing or mis-parsing.  Rates are drawn
+// from a grid of short decimal literals because schedule_string prints
+// %g (6 significant digits): every grid value survives the
+// print-then-parse trip bit-identically, which is exactly the property
+// the repro lines rely on (they only ever carry values that were
+// printed by schedule_string in the first place).
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <stdexcept>
+#include <string>
+
+#include "network/fault_model.hpp"
+
+namespace prodsort {
+namespace {
+
+FaultConfig random_config(std::mt19937_64& rng) {
+  static const double kRates[] = {0, 0, 0.5, 0.25, 0.125, 0.001, 1e-05, 0.75};
+  const auto rate = [&rng] {
+    return kRates[rng() % (sizeof kRates / sizeof kRates[0])];
+  };
+  FaultConfig config;
+  config.seed = rng();
+  config.packet_drop_rate = rate();
+  config.ce_drop_rate = rate();
+  config.key_corrupt_rate = rate();
+  config.failed_links = static_cast<int>(rng() % 4);
+  config.stragglers = static_cast<int>(rng() % 4);
+  config.straggler_factor = 1 + static_cast<int>(rng() % 8);
+  const std::size_t crashes = rng() % 5;
+  for (std::size_t i = 0; i < crashes; ++i) {
+    CrashEvent event;
+    event.node = static_cast<PNode>(rng() % 1000);
+    event.phase = static_cast<std::int64_t>(rng() % 10000);
+    event.permanent = (rng() & 1) != 0;
+    config.crash_schedule.push_back(event);
+  }
+  const std::size_t faults = rng() % 5;
+  for (std::size_t i = 0; i < faults; ++i) {
+    ComparatorFault fault;
+    fault.node = static_cast<PNode>(rng() % 1000);
+    fault.from_phase = static_cast<std::int64_t>(rng() % 10000);
+    fault.until_phase = (rng() & 3) == 0
+                            ? -1
+                            : fault.from_phase + 1 +
+                                  static_cast<std::int64_t>(rng() % 500);
+    switch (rng() % 3) {
+      case 0: fault.kind = ComparatorFaultKind::kStuckPassThrough; break;
+      case 1: fault.kind = ComparatorFaultKind::kInverted; break;
+      default: fault.kind = ComparatorFaultKind::kArbitrary; break;
+    }
+    config.comparator_schedule.push_back(fault);
+  }
+  return config;
+}
+
+TEST(ScheduleFuzz, RoundTripsRandomValidSchedules) {
+  std::mt19937_64 rng(20260805);
+  for (int iter = 0; iter < 500; ++iter) {
+    const FaultConfig config = random_config(rng);
+    const FaultModel model(config);
+    const std::string schedule = model.schedule_string();
+    const FaultConfig parsed = FaultModel::parse_schedule_string(schedule);
+    ASSERT_EQ(parsed, config) << "schedule: " << schedule;
+    // And the string itself is a fixed point of the round trip.
+    ASSERT_EQ(FaultModel(parsed).schedule_string(), schedule);
+  }
+}
+
+TEST(ScheduleFuzz, ComparatorEntriesRoundTripAllKinds) {
+  FaultConfig config;
+  config.seed = 5;
+  config.comparator_schedule = {
+      {.node = 5, .from_phase = 2, .until_phase = 9,
+       .kind = ComparatorFaultKind::kInverted},
+      {.node = 7, .from_phase = 0, .until_phase = -1,
+       .kind = ComparatorFaultKind::kArbitrary},
+      {.node = 0, .from_phase = 11, .until_phase = 12,
+       .kind = ComparatorFaultKind::kStuckPassThrough},
+  };
+  const std::string schedule = FaultModel(config).schedule_string();
+  EXPECT_NE(schedule.find("comparators=5@2~9I+7@0A+0@11~12S"),
+            std::string::npos)
+      << schedule;
+  EXPECT_EQ(FaultModel::parse_schedule_string(schedule), config);
+}
+
+TEST(ScheduleFuzz, RejectsMalformedComparatorEntries) {
+  const char* const malformed[] = {
+      "seed=1,comparators=",          // empty list
+      "seed=1,comparators=5",         // no @phase
+      "seed=1,comparators=5@",        // dangling @
+      "seed=1,comparators=5@2",       // missing kind char
+      "seed=1,comparators=5@2X",      // unknown kind
+      "seed=1,comparators=5@2~1I",    // empty window (until <= from)
+      "seed=1,comparators=5@2~2I",    // empty window (until == from)
+      "seed=1,comparators=-5@2I",     // negative node
+      "seed=1,comparators=5@-2I",     // negative phase
+      "seed=1,comparators=5@2I+",     // dangling +
+      "seed=1,comparators=5@2~I",     // empty until token
+      "seed=1,comparators=5@twoI",    // non-numeric phase
+  };
+  for (const char* schedule : malformed)
+    EXPECT_THROW((void)FaultModel::parse_schedule_string(schedule),
+                 std::invalid_argument)
+        << schedule;
+}
+
+// Random junk must produce std::invalid_argument (or parse, if it
+// happens to be valid) — never crash, hang, or leak any other
+// exception type out of the parser.
+TEST(ScheduleFuzz, JunkNeverCrashes) {
+  std::mt19937_64 rng(97);
+  const std::string charset = "0123456789seedropcruptlinkstagx.,=@~+-SIAPZ ";
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string junk(rng() % 64, '\0');
+    for (char& c : junk) c = charset[rng() % charset.size()];
+    try {
+      (void)FaultModel::parse_schedule_string(junk);
+    } catch (const std::invalid_argument&) {
+      // expected for most inputs
+    }
+  }
+}
+
+// Single-character mutations of a valid schedule — the way a repro
+// line actually gets corrupted (truncated paste, flipped char) — are
+// either still parseable or rejected with the typed error.
+TEST(ScheduleFuzz, MutatedValidSchedulesNeverCrash) {
+  std::mt19937_64 rng(31);
+  for (int iter = 0; iter < 500; ++iter) {
+    const FaultModel model(random_config(rng));
+    std::string schedule = model.schedule_string();
+    const std::size_t pos = rng() % schedule.size();
+    switch (rng() % 3) {
+      case 0: schedule[pos] = static_cast<char>('!' + rng() % 90); break;
+      case 1: schedule.erase(pos, 1); break;
+      default: schedule = schedule.substr(0, pos); break;
+    }
+    try {
+      (void)FaultModel::parse_schedule_string(schedule);
+    } catch (const std::invalid_argument&) {
+      // expected when the mutation broke a token
+    }
+  }
+}
+
+}  // namespace
+}  // namespace prodsort

@@ -137,31 +137,45 @@ void audit_machine(const Options& opt, Tally& tally) {
         config.allow_cross_dimension = entry.cross_dimension;
         StepAuditor auditor(pg, config);
 
-        Machine machine(pg, random_keys(pg.num_nodes(), rng), &exec);
-        machine.set_observer(&auditor);
-        SortOptions options;
-        options.s2 = &sorter;
-        const SortReport report = sort_product_network(machine, options);
+        // Audit each shape both plain and under TMR voting: fault-free
+        // TMR must be bit-identical in outcome and keep the phase-count
+        // predictions, while every phase lands in the auditor's
+        // tmr_phases blind-spot counter (replica evaluations are voted
+        // away before the observer sees the pairs).
+        for (const bool tmr : {false, true}) {
+          if (tmr && pg.num_nodes() > entry.cap / 2) continue;
+          auditor.reset();
+          Machine machine(pg, random_keys(pg.num_nodes(), rng), &exec);
+          machine.set_tmr(tmr);
+          machine.set_observer(&auditor);
+          SortOptions options;
+          options.s2 = &sorter;
+          const SortReport report = sort_product_network(machine, options);
 
-        const bool sorted = machine.snake_sorted(full_view(pg));
-        const bool exact =
-            report.cost.s2_phases == report.predicted.s2_phases &&
-            report.cost.routing_phases == report.predicted.routing_phases;
-        ++tally.combos;
-        if (!sorted || !exact) tally.fail();
-        print_violations(tally, "machine", auditor);
-        std::printf(
-            "AUDIT section=machine factor=%s N=%d r=%d sorter=%s phases=%lld"
-            " pairs=%lld lockstep=%lld faulty=%lld replay_skipped=%lld"
-            " max_resident=%d sorted=%d exact=%d violations=%lld\n",
-            factor.name.c_str(), static_cast<int>(factor.size()), r,
-            entry.name, static_cast<long long>(auditor.stats().phases),
-            static_cast<long long>(auditor.stats().pairs),
-            static_cast<long long>(auditor.stats().lockstep_replays),
-            static_cast<long long>(auditor.stats().faulty_phases),
-            static_cast<long long>(auditor.stats().replay_skipped),
-            auditor.stats().max_resident_values, sorted ? 1 : 0,
-            exact ? 1 : 0, static_cast<long long>(auditor.violation_count()));
+          const bool sorted = machine.snake_sorted(full_view(pg));
+          const bool exact =
+              report.cost.s2_phases == report.predicted.s2_phases &&
+              report.cost.routing_phases == report.predicted.routing_phases;
+          const bool blind_spot_counted =
+              auditor.stats().tmr_phases == (tmr ? auditor.stats().phases : 0);
+          ++tally.combos;
+          if (!sorted || !exact || !blind_spot_counted) tally.fail();
+          print_violations(tally, "machine", auditor);
+          std::printf(
+              "AUDIT section=machine factor=%s N=%d r=%d sorter=%s phases=%lld"
+              " pairs=%lld lockstep=%lld faulty=%lld replay_skipped=%lld"
+              " tmr=%lld max_resident=%d sorted=%d exact=%d violations=%lld\n",
+              factor.name.c_str(), static_cast<int>(factor.size()), r,
+              entry.name, static_cast<long long>(auditor.stats().phases),
+              static_cast<long long>(auditor.stats().pairs),
+              static_cast<long long>(auditor.stats().lockstep_replays),
+              static_cast<long long>(auditor.stats().faulty_phases),
+              static_cast<long long>(auditor.stats().replay_skipped),
+              static_cast<long long>(auditor.stats().tmr_phases),
+              auditor.stats().max_resident_values, sorted ? 1 : 0,
+              exact ? 1 : 0,
+              static_cast<long long>(auditor.violation_count()));
+        }
       }
     }
   }
@@ -186,12 +200,13 @@ void audit_machine(const Options& opt, Tally& tally) {
     std::printf(
         "AUDIT section=machine factor=k2 N=2 r=%d sorter=bitonic-baseline"
         " phases=%lld pairs=%lld lockstep=%lld faulty=%lld replay_skipped=%lld"
-        " max_resident=%d depth=%d sorted=%d violations=%lld\n",
+        " tmr=%lld max_resident=%d depth=%d sorted=%d violations=%lld\n",
         r, static_cast<long long>(auditor.stats().phases),
         static_cast<long long>(auditor.stats().pairs),
         static_cast<long long>(auditor.stats().lockstep_replays),
         static_cast<long long>(auditor.stats().faulty_phases),
         static_cast<long long>(auditor.stats().replay_skipped),
+        static_cast<long long>(auditor.stats().tmr_phases),
         auditor.stats().max_resident_values, depth, sorted ? 1 : 0,
         static_cast<long long>(auditor.violation_count()));
   }

@@ -2,7 +2,7 @@
 //
 //   prodsort_serve [--jobs J] [--seed S] [--load L]
 //                  [--policy drop-tail|edf|priority] [--backends B]
-//                  [--faulty F] [--queue-cap C] [--retry R]
+//                  [--faulty F] [--tmr K] [--queue-cap C] [--retry R]
 //                  [--size N] [--dims r] [--threads T]
 //   prodsort_serve --soak [same flags]
 //   prodsort_serve --repro SERVICE-REPRO ...
@@ -13,7 +13,12 @@
 // derived fault schedules: odd ones recoverable (message loss plus a
 // restartable crash), even ones fail-stop (a permanent crash with no
 // remap budget) that heals mid-run — exercising retries, breaker
-// trips, half-open probes, and the samplesort fallback.
+// trips, half-open probes, and the samplesort fallback.  Recoverable
+// backends additionally carry one transient silently-inverted
+// comparator, so their attempts exercise the end-to-end certificate
+// and the in-place repair rung (the report's sdc counters).  `--tmr K`
+// puts the first K backends under triple-modular-redundant voting,
+// which masks those comparator faults at 3x comparison cost.
 //
 // Every run prints one machine-readable SERVICE-REPRO line carrying
 // the full configuration and the report hash; --repro accepts that
@@ -34,6 +39,7 @@
 
 #include "core/hashing.hpp"
 #include "core/s2/snake_oet_s2.hpp"
+#include "repro_line.hpp"
 #include "service/sort_service.hpp"
 
 using namespace prodsort;
@@ -47,6 +53,7 @@ struct ServeArgs {
   std::string policy = "edf";
   int backends = 3;
   int faulty = 0;
+  int tmr = 0;  ///< first K backends vote triple-modular-redundantly
   std::size_t queue_cap = 8;
   int retry = 2;
   int size = 4;  ///< cycle-factor size
@@ -82,14 +89,22 @@ std::vector<BackendConfig> build_backends(const ServeArgs& args,
       b.recovery.max_remaps = 0;
       b.fault_until = heal;
     } else {
-      // Recoverable: light message loss plus a restartable crash the
-      // escalation ladder absorbs; stays faulted for the whole run.
+      // Recoverable: light message loss, a restartable crash the
+      // escalation ladder absorbs, and a transient silently-inverted
+      // comparator (phases [2,6), closed well before the repair rung
+      // runs) that only the end-to-end certificate can catch; stays
+      // faulted for the whole run.
+      const auto sdc_node = static_cast<long long>(
+          mix64(h, 2) % static_cast<std::uint64_t>(nodes));
       std::snprintf(schedule, sizeof schedule,
-                    "seed=%" PRIu64 ",ce=0.002,crashes=%lld@%lld", h, node,
-                    phase);
+                    "seed=%" PRIu64
+                    ",ce=0.002,crashes=%lld@%lld,comparators=%lld@2~6I",
+                    h, node, phase, sdc_node);
     }
     b.fault_schedule = schedule;
   }
+  for (int i = 0; i < args.tmr && i < args.backends; ++i)
+    configs[static_cast<std::size_t>(i)].tmr = true;
   return configs;
 }
 
@@ -124,11 +139,11 @@ ServiceReport run_service(const ServeArgs& args, std::int64_t* mean_out) {
 
 void print_repro(const ServeArgs& args, const ServiceReport& report) {
   std::printf("SERVICE-REPRO seed=%" PRIu64
-              " jobs=%lld load=%g policy=%s backends=%d faulty=%d"
+              " jobs=%lld load=%g policy=%s backends=%d faulty=%d tmr=%d"
               " queue=%zu retry=%d size=%d dims=%d threads=%d"
               " hash=%" PRIu64 "\n",
               args.seed, static_cast<long long>(args.jobs), args.load,
-              args.policy.c_str(), args.backends, args.faulty,
+              args.policy.c_str(), args.backends, args.faulty, args.tmr,
               args.queue_cap, args.retry, args.size, args.dims, args.threads,
               report.hash());
 }
@@ -161,32 +176,22 @@ int check_invariants(const ServeArgs& args, const ServiceReport& report) {
 }
 
 int run_repro(const std::string& line) {
-  auto get = [&line](const char* key) -> std::string {
-    const std::string needle = std::string(key) + "=";
-    std::size_t pos = 0;
-    while (pos < line.size()) {
-      const std::size_t end = line.find(' ', pos);
-      const std::string token = line.substr(
-          pos, end == std::string::npos ? std::string::npos : end - pos);
-      pos = end == std::string::npos ? line.size() : end + 1;
-      if (token.rfind(needle, 0) == 0) return token.substr(needle.size());
-    }
-    return {};
-  };
-
+  const ReproLine repro(line);
   ServeArgs args;
-  args.seed = std::stoull(get("seed"));
-  args.jobs = std::stoll(get("jobs"));
-  args.load = std::stod(get("load"));
-  args.policy = get("policy");
-  args.backends = std::stoi(get("backends"));
-  args.faulty = std::stoi(get("faulty"));
-  args.queue_cap = static_cast<std::size_t>(std::stoul(get("queue")));
-  args.retry = std::stoi(get("retry"));
-  args.size = std::stoi(get("size"));
-  args.dims = std::stoi(get("dims"));
-  args.threads = std::stoi(get("threads"));
-  const std::uint64_t expected = std::stoull(get("hash"));
+  args.seed = std::stoull(repro.require("seed"));
+  args.jobs = std::stoll(repro.require("jobs"));
+  args.load = std::stod(repro.require("load"));
+  args.policy = repro.require("policy");
+  args.backends = std::stoi(repro.require("backends"));
+  args.faulty = std::stoi(repro.require("faulty"));
+  // Absent on pre-TMR repro lines; default off.
+  args.tmr = repro.has("tmr") ? std::stoi(repro.get("tmr")) : 0;
+  args.queue_cap = static_cast<std::size_t>(std::stoul(repro.require("queue")));
+  args.retry = std::stoi(repro.require("retry"));
+  args.size = std::stoi(repro.require("size"));
+  args.dims = std::stoi(repro.require("dims"));
+  args.threads = std::stoi(repro.require("threads"));
+  const std::uint64_t expected = std::stoull(repro.require("hash"));
 
   const ServiceReport report = run_service(args, nullptr);
   if (report.hash() == expected) {
@@ -217,6 +222,7 @@ int main(int argc, char** argv) {
     else if (has_value("--policy")) args.policy = argv[++i];
     else if (has_value("--backends")) args.backends = std::atoi(argv[++i]);
     else if (has_value("--faulty")) args.faulty = std::atoi(argv[++i]);
+    else if (has_value("--tmr")) args.tmr = std::atoi(argv[++i]);
     else if (has_value("--queue-cap"))
       args.queue_cap = static_cast<std::size_t>(std::atol(argv[++i]));
     else if (has_value("--retry")) args.retry = std::atoi(argv[++i]);
@@ -229,10 +235,8 @@ int main(int argc, char** argv) {
       args.load = 2.0;
       if (args.faulty == 0) args.faulty = std::max(1, args.backends / 2);
     } else if (std::strcmp(argv[i], "--repro") == 0) {
-      for (++i; i < argc; ++i) {
-        if (!repro_line.empty()) repro_line += ' ';
-        repro_line += argv[i];
-      }
+      repro_line = ReproLine::rejoin_args(argc, argv, i + 1);
+      i = argc;
       if (repro_line.empty()) {
         std::fprintf(stderr, "--repro needs a SERVICE-REPRO line\n");
         return 2;
@@ -241,8 +245,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: %s [--jobs J] [--seed S] [--load L]"
                    " [--policy drop-tail|edf|priority] [--backends B]"
-                   " [--faulty F] [--queue-cap C] [--retry R] [--size N]"
-                   " [--dims r] [--threads T] [--soak]"
+                   " [--faulty F] [--tmr K] [--queue-cap C] [--retry R]"
+                   " [--size N] [--dims r] [--threads T] [--soak]"
                    " [--repro SERVICE-REPRO-line]\n",
                    argv[0]);
       return 2;

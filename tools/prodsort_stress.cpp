@@ -3,7 +3,9 @@
 //   prodsort_stress [--trials T] [--seed S] [--max-nodes M]
 //                   [--faults RATE] [--fault-seed F]
 //   prodsort_stress --chaos [--trials T] [--seed S] [--faults RATE]
+//   prodsort_stress --sdc [--trials T] [--seed S] [--min-repair-rate R]
 //   prodsort_stress --repro FAULT-REPRO mode=chaos ...
+//   prodsort_stress --repro SDC-REPRO mode=sdc ...
 //
 // Each trial draws a random factor family, dimension count, S2 sorter,
 // block size, thread count, and input pattern; runs the network sort;
@@ -30,6 +32,18 @@
 // of seed and trial index), so any failing trial replays standalone
 // from its FAULT-REPRO line via --repro, which accepts the line
 // verbatim (quoted or shell-split) and re-runs just that trial.
+//
+// --sdc is the silent-data-corruption soak: each trial schedules 1-4
+// seed-hashed silently faulty comparators (stuck / inverted /
+// arbitrary-output, windows probed to land inside the sort), sorts,
+// and walks the detect-and-correct ladder — end-to-end certificate,
+// bounded OET repair over the dirty window, TMR re-run, fault-free
+// quarantine re-sort.  The soak fails the trial (one SDC-REPRO line,
+// exit 1) on a silent escape (corrupted output the certificate
+// passed) or an unrecovered exit; --min-repair-rate R additionally
+// gates on the fraction of trials certify-and-repair resolved within
+// the pass budget (pass on entry, or repaired in place) without
+// escalating to the TMR / quarantine rungs.
 
 #include <algorithm>
 #include <cstdio>
@@ -40,6 +54,7 @@
 #include <string>
 
 #include "core/block_sort.hpp"
+#include "core/certifier.hpp"
 #include "core/hashing.hpp"
 #include "core/product_sort.hpp"
 #include "core/s2/oracle_s2.hpp"
@@ -49,6 +64,7 @@
 #include "network/packet_sim.hpp"
 #include "network/recovery.hpp"
 #include "product/snake_order.hpp"
+#include "repro_line.hpp"
 
 using namespace prodsort;
 
@@ -340,36 +356,240 @@ int run_chaos_soak(long trials, unsigned seed, double rate, PNode max_nodes) {
   return 0;
 }
 
+// ------------------------------------------------------------- sdc soak
+
+struct SdcTotals {
+  long executed = 0;
+  long fired_trials = 0;  ///< trials where >= 1 comparator fault fired
+  long corrupted = 0;     ///< initial read-out differed from std::sort
+  long detected = 0;      ///< initial certificate failed (SDC caught)
+  long benign = 0;        ///< faults fired, output still certified-correct
+  long repaired = 0;      ///< restored by bounded OET repair (rung 4)
+  long tmr_masked = 0;    ///< restored by a TMR re-run
+  long quarantined = 0;   ///< needed the fault-free re-sort
+  long repair_passes = 0;
+  int max_repair_passes = 0;
+};
+
+// One SDC trial: sort under silently faulty comparators, then walk the
+// detect-and-correct ladder.  Every exit is cross-checked against
+// std::sort — a certificate that passes on a wrong output (silent
+// escape or fingerprint collision) fails the trial.  Returns 0 on a
+// coherent outcome; otherwise prints the replayable SDC-REPRO line.
+int run_sdc_trial(const ChaosTrialSpec& spec, SdcTotals* totals) {
+  const ShearsortS2 shear;
+  const SnakeOETS2 oet;
+  const S2Sorter* sorters[] = {&shear, &oet};
+
+  const ProductGraph pg(*spec.factor, spec.r);
+  const std::vector<Key> keys = chaos_input(spec, pg.num_nodes());
+  std::vector<Key> expected = keys;
+  std::sort(expected.begin(), expected.end());
+  const ViewSpec view = full_view(pg);
+
+  ParallelExecutor exec(spec.threads);
+  const Certifier certifier(keys, &exec);
+
+  FaultModel fm(spec.config);
+  Machine machine(pg, keys, &exec);
+  machine.set_fault_model(&fm);
+  SortOptions options;
+  options.s2 = sorters[spec.sorter];
+  (void)sort_product_network(machine, options);
+
+  const EndToEndCertificate cert = certifier.certify(machine, view);
+  std::vector<Key> got = machine.read_snake(view);
+  const bool corrupted = got != expected;
+  const bool fired = fm.counters().comparator_faults > 0;
+  if (totals != nullptr) {
+    ++totals->executed;
+    totals->fired_trials += fired;
+    totals->corrupted += corrupted;
+    totals->detected += !cert.pass();
+    totals->benign += fired && cert.pass() && !corrupted;
+  }
+
+  const char* rung = "none";
+  const char* reason = nullptr;
+  if (cert.pass()) {
+    // The one unforgivable outcome: wrong output, passing certificate.
+    if (corrupted) reason = "silent-escape";
+  } else {
+    // Rung 4: bounded alternating-parity OET repair over the dirty
+    // window, in place, still under the attached fault model.
+    RepairOptions repair_options;
+    repair_options.max_passes = static_cast<int>(pg.num_nodes()) + 4;
+    const RepairReport repair =
+        certify_and_repair(machine, view, certifier, repair_options);
+    if (repair.outcome == RepairOutcome::kRepaired) {
+      rung = "repair";
+      got = machine.read_snake(view);
+      if (totals != nullptr) {
+        ++totals->repaired;
+        totals->repair_passes += repair.passes;
+        totals->max_repair_passes =
+            std::max(totals->max_repair_passes, repair.passes);
+      }
+      if (got != expected) reason = "fingerprint-collision";
+    } else {
+      // Rung 5: TMR re-run — spatial redundancy outvotes any single
+      // faulty comparator per pair, including multiset-corrupting ones
+      // repair cannot touch.
+      FaultModel tmr_fm(spec.config);
+      Machine tmr_machine(pg, keys, &exec);
+      tmr_machine.set_tmr(true);
+      tmr_machine.set_fault_model(&tmr_fm);
+      (void)sort_product_network(tmr_machine, options);
+      if (certifier.certify(tmr_machine, view).pass()) {
+        rung = "tmr";
+        got = tmr_machine.read_snake(view);
+        if (totals != nullptr) ++totals->tmr_masked;
+        if (got != expected) reason = "fingerprint-collision";
+      } else {
+        // Rung 6: quarantine — re-sort the retained input fault-free.
+        rung = "quarantine";
+        Machine clean(pg, keys, &exec);
+        (void)sort_product_network(clean, options);
+        if (certifier.certify(clean, view).pass()) {
+          got = clean.read_snake(view);
+          if (totals != nullptr) ++totals->quarantined;
+          if (got != expected) reason = "fingerprint-collision";
+        } else {
+          reason = "unrecovered";
+        }
+      }
+    }
+  }
+  if (reason == nullptr) return 0;
+
+  std::printf(
+      "SDC-REPRO mode=sdc seed=%u trial=%ld family=%s r=%d pattern=%d"
+      " threads=%d sorter=%s schedule=%s rung=%s reason=%s\n",
+      spec.seed, spec.trial, spec.factor->name.c_str(), spec.r, spec.pattern,
+      spec.threads, kChaosSorterNames[spec.sorter],
+      fm.schedule_string().c_str(), rung, reason);
+  return 1;
+}
+
+int run_sdc_soak(long trials, unsigned seed, PNode max_nodes,
+                 double min_repair_rate) {
+  const auto factors = standard_factors();
+  const ShearsortS2 shear;
+  const SnakeOETS2 oet;
+  const S2Sorter* sorters[] = {&shear, &oet};
+  const PNode cap = std::min<PNode>(max_nodes, 1000);
+
+  SdcTotals totals;
+  for (long trial = 0; trial < trials; ++trial) {
+    const std::uint64_t h =
+        mix64(mix64(seed) ^ 0x736463ULL, static_cast<std::uint64_t>(trial));
+    ChaosTrialSpec spec;
+    spec.seed = seed;
+    spec.trial = trial;
+    spec.factor = &factors[h % factors.size()];
+    int r = 2;
+    while (r < 5 && pow_int(spec.factor->size(), r + 1) <= cap) ++r;
+    if (pow_int(spec.factor->size(), r) > cap) continue;
+    spec.r = r;
+    spec.pattern = static_cast<int>(mix64(h, 1) % 5);
+    spec.threads = 1 + static_cast<int>(mix64(h, 2) % 4);
+    spec.sorter = static_cast<std::size_t>(mix64(h, 3) % 2);
+
+    const ProductGraph pg(*spec.factor, spec.r);
+    const std::int64_t phases =
+        chaos_probe_phases(pg, spec, *sorters[spec.sorter]);
+
+    // 1-4 silently faulty comparators: nodes, windows, and kinds all
+    // seed-hashed.  The baseline mix is transient stuck/inverted faults
+    // whose windows close inside the probed sort length — multiset-
+    // preserving disorder that rung-4 repair fixes in place once the
+    // window has passed.  A rare per-trial escalation tail (1 in 128
+    // each) swaps in an arbitrary-output fault (corrupts the key
+    // multiset; repair cannot help) or makes a fault permanent (stays
+    // live through the repair passes and keeps re-dirtying them), so
+    // the TMR and quarantine rungs are exercised while the soak stays
+    // inside the certify-and-repair >= 95% acceptance gate.
+    FaultConfig config;
+    config.seed = mix64(h, 5);
+    const int faults = 1 + static_cast<int>(mix64(h, 6) % 4);
+    const std::uint64_t tail = mix64(h, 7) % 128;
+    for (int i = 0; i < faults; ++i) {
+      const auto fi = static_cast<std::uint64_t>(i);
+      ComparatorFault fault;
+      fault.node = static_cast<PNode>(
+          mix64(h, 64 + fi) % static_cast<std::uint64_t>(pg.num_nodes()));
+      fault.from_phase = static_cast<std::int64_t>(
+          mix64(h, 80 + fi) % static_cast<std::uint64_t>(phases));
+      fault.until_phase =
+          fault.from_phase + 1 +
+          static_cast<std::int64_t>(
+              mix64(h, 96 + fi) %
+              static_cast<std::uint64_t>(phases - fault.from_phase));
+      fault.kind = (mix64(h, 112 + fi) & 1) != 0
+                       ? ComparatorFaultKind::kInverted
+                       : ComparatorFaultKind::kStuckPassThrough;
+      if (i == 0 && tail == 0) fault.kind = ComparatorFaultKind::kArbitrary;
+      if (i == 0 && tail == 1) fault.until_phase = -1;
+      config.comparator_schedule.push_back(fault);
+    }
+    spec.config = config;
+
+    if (run_sdc_trial(spec, &totals) != 0) return 1;
+  }
+
+  // The acceptance rate: trials certify-and-repair resolved within the
+  // pass budget (certificate passed on entry, or wrong order repaired
+  // in place) over all executed trials; the remainder escalated to the
+  // TMR / quarantine rungs — and, this line having been reached, every
+  // one of those also ended with a verified sorted snake.
+  const long escalated = totals.tmr_masked + totals.quarantined;
+  const double rate =
+      totals.executed == 0
+          ? 1.0
+          : static_cast<double>(totals.executed - escalated) /
+                static_cast<double>(totals.executed);
+  std::printf(
+      "sdc soak: %ld/%ld trials executed, zero silent escapes"
+      " (fired=%ld corrupted=%ld detected=%ld benign=%ld | repaired=%ld"
+      " tmr=%ld quarantined=%ld | repair passes mean=%.1f max=%d |"
+      " certify-and-repair rate=%.3f)\n",
+      totals.executed, trials, totals.fired_trials, totals.corrupted,
+      totals.detected, totals.benign, totals.repaired, totals.tmr_masked,
+      totals.quarantined,
+      totals.repaired > 0 ? static_cast<double>(totals.repair_passes) /
+                                static_cast<double>(totals.repaired)
+                          : 0.0,
+      totals.max_repair_passes, rate);
+  if (rate < min_repair_rate) {
+    std::printf(
+        "sdc soak: certify-and-repair rate %.3f below --min-repair-rate"
+        " %.3f\n",
+        rate, min_repair_rate);
+    return 1;
+  }
+  return 0;
+}
+
 // ---------------------------------------------------------------- repro
 
-// Replays one chaos trial from its FAULT-REPRO line (tokens are
-// key=value; unknown tokens — path, reason — are ignored).
+// Replays one chaos or SDC trial from its FAULT-REPRO / SDC-REPRO
+// line.  Diagnostic tokens (path, rung, reason) are ignored; replay
+// consumes only the trial-derivation fields.
 int run_repro(const std::string& line) {
-  auto get = [&line](const char* key) -> std::string {
-    const std::string needle = std::string(key) + "=";
-    std::size_t pos = 0;
-    while (pos < line.size()) {
-      const std::size_t end = line.find(' ', pos);
-      const std::string token =
-          line.substr(pos, end == std::string::npos ? std::string::npos
-                                                    : end - pos);
-      pos = end == std::string::npos ? line.size() : end + 1;
-      if (token.rfind(needle, 0) == 0) return token.substr(needle.size());
-    }
-    return {};
-  };
-
-  if (get("mode") != "chaos") {
+  const ReproLine repro(line);
+  const std::string mode = repro.get("mode");
+  if (mode != "chaos" && mode != "sdc") {
     std::fprintf(stderr,
-                 "--repro replays mode=chaos FAULT-REPRO lines only\n");
+                 "--repro replays mode=chaos FAULT-REPRO and mode=sdc"
+                 " SDC-REPRO lines only\n");
     return 2;
   }
 
   const auto factors = standard_factors();
   ChaosTrialSpec spec;
-  spec.seed = static_cast<unsigned>(std::stoul(get("seed")));
-  spec.trial = std::stol(get("trial"));
-  const std::string family = get("family");
+  spec.seed = static_cast<unsigned>(std::stoul(repro.require("seed")));
+  spec.trial = std::stol(repro.require("trial"));
+  const std::string family = repro.require("family");
   for (const LabeledFactor& factor : factors)
     if (factor.name == family) spec.factor = &factor;
   if (spec.factor == nullptr) {
@@ -377,15 +597,19 @@ int run_repro(const std::string& line) {
                  family.c_str());
     return 2;
   }
-  spec.r = std::stoi(get("r"));
-  spec.pattern = std::stoi(get("pattern"));
-  spec.threads = std::stoi(get("threads"));
-  spec.interval = std::stoi(get("interval"));
-  const std::string sorter = get("sorter");
-  spec.sorter = sorter == kChaosSorterNames[1] ? 1 : 0;
-  spec.config = FaultModel::parse_schedule_string(get("schedule"));
+  spec.r = std::stoi(repro.require("r"));
+  spec.pattern = std::stoi(repro.require("pattern"));
+  spec.threads = std::stoi(repro.require("threads"));
+  spec.sorter = repro.require("sorter") == kChaosSorterNames[1] ? 1 : 0;
+  spec.config = FaultModel::parse_schedule_string(repro.require("schedule"));
 
-  const int status = run_chaos_trial(spec, nullptr);
+  int status;
+  if (mode == "chaos") {
+    spec.interval = std::stoi(repro.require("interval"));
+    status = run_chaos_trial(spec, nullptr);
+  } else {
+    status = run_sdc_trial(spec, nullptr);
+  }
   std::printf("repro: %s\n", status == 0
                                  ? "trial passed (failure did not reproduce)"
                                  : "failure reproduced");
@@ -401,6 +625,8 @@ int main(int argc, char** argv) {
   double fault_rate = -1;
   PNode max_nodes = 20000;
   bool chaos = false;
+  bool sdc = false;
+  double min_repair_rate = 0;
   std::string repro_line;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trials") == 0 && i + 1 < argc)
@@ -415,22 +641,25 @@ int main(int argc, char** argv) {
       fault_seed = static_cast<unsigned>(std::atol(argv[++i]));
     else if (std::strcmp(argv[i], "--chaos") == 0)
       chaos = true;
+    else if (std::strcmp(argv[i], "--sdc") == 0)
+      sdc = true;
+    else if (std::strcmp(argv[i], "--min-repair-rate") == 0 && i + 1 < argc)
+      min_repair_rate = std::atof(argv[++i]);
     else if (std::strcmp(argv[i], "--repro") == 0) {
-      // Everything after --repro is the FAULT-REPRO line, quoted or
+      // Everything after --repro is the repro line, quoted or
       // shell-split: rejoin it either way.
-      for (++i; i < argc; ++i) {
-        if (!repro_line.empty()) repro_line += ' ';
-        repro_line += argv[i];
-      }
+      repro_line = ReproLine::rejoin_args(argc, argv, i + 1);
+      i = argc;
       if (repro_line.empty()) {
-        std::fprintf(stderr, "--repro needs a FAULT-REPRO line\n");
+        std::fprintf(stderr,
+                     "--repro needs a FAULT-REPRO or SDC-REPRO line\n");
         return 2;
       }
     } else {
       std::fprintf(stderr,
                    "usage: %s [--trials T] [--seed S] [--max-nodes M]"
-                   " [--faults RATE] [--fault-seed F] [--chaos]"
-                   " [--repro FAULT-REPRO-line]\n",
+                   " [--faults RATE] [--fault-seed F] [--chaos] [--sdc]"
+                   " [--min-repair-rate R] [--repro REPRO-line]\n",
                    argv[0]);
       return 2;
     }
@@ -444,6 +673,7 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  if (sdc) return run_sdc_soak(trials, seed, max_nodes, min_repair_rate);
   if (chaos)
     return run_chaos_soak(trials, seed, fault_rate >= 0 ? fault_rate : 0.001,
                           max_nodes);

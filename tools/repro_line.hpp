@@ -1,0 +1,90 @@
+#pragma once
+
+// ReproLine — shared parser for the machine-readable reproduction
+// lines the tools print (FAULT-REPRO, SDC-REPRO, SERVICE-REPRO).
+//
+// A repro line is a sequence of space-separated `key=value` tokens;
+// values never contain spaces (FaultModel::schedule_string and friends
+// guarantee this).  The same line must round-trip through a shell —
+// `--repro` accepts it either as one quoted argument or shell-split
+// into many — so rejoin_args() glues an argv tail back together with
+// single spaces before parsing.
+//
+// Lookup is linear per call: repro lines are a few hundred bytes and
+// parsed once per process, so an index would be noise.  Unknown tokens
+// are ignored by design (lines carry diagnostic fields like `reason=`
+// that replay does not consume), and the first occurrence of a key
+// wins, matching the historical per-tool parsers this header replaces.
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace prodsort {
+
+class ReproLine {
+ public:
+  explicit ReproLine(std::string line) : line_(std::move(line)) {}
+
+  [[nodiscard]] const std::string& line() const noexcept { return line_; }
+
+  /// Value of the first `key=value` token, or "" when the key is
+  /// absent (an empty value and an absent key are indistinguishable —
+  /// use has() to tell them apart).
+  [[nodiscard]] std::string get(std::string_view key) const {
+    std::string value;
+    (void)find(key, &value);
+    return value;
+  }
+
+  /// True iff a `key=` token is present (even with an empty value).
+  [[nodiscard]] bool has(std::string_view key) const {
+    return find(key, nullptr);
+  }
+
+  /// Like get(), but throws std::invalid_argument naming the missing
+  /// key — for fields replay cannot proceed without.
+  [[nodiscard]] std::string require(std::string_view key) const {
+    std::string value;
+    if (!find(key, &value))
+      throw std::invalid_argument("repro line is missing required token '" +
+                                  std::string(key) + "='");
+    return value;
+  }
+
+  /// Rejoins argv[first..argc) into one space-separated line, undoing
+  /// the shell's word splitting when the user pasted the repro line
+  /// unquoted after --repro.
+  [[nodiscard]] static std::string rejoin_args(int argc, char** argv,
+                                               int first) {
+    std::string line;
+    for (int i = first; i < argc; ++i) {
+      if (!line.empty()) line += ' ';
+      line += argv[i];
+    }
+    return line;
+  }
+
+ private:
+  bool find(std::string_view key, std::string* value) const {
+    const std::string needle = std::string(key) + "=";
+    std::size_t pos = 0;
+    while (pos < line_.size()) {
+      const std::size_t end = line_.find(' ', pos);
+      const std::size_t len =
+          (end == std::string::npos ? line_.size() : end) - pos;
+      if (len >= needle.size() &&
+          line_.compare(pos, needle.size(), needle) == 0) {
+        if (value != nullptr)
+          *value = line_.substr(pos + needle.size(), len - needle.size());
+        return true;
+      }
+      pos = end == std::string::npos ? line_.size() : end + 1;
+    }
+    return false;
+  }
+
+  std::string line_;
+};
+
+}  // namespace prodsort
