@@ -1,0 +1,60 @@
+#include "core/adaptive_cert.hpp"
+
+#include <algorithm>
+
+#include "core/hashing.hpp"
+
+namespace prodsort {
+
+AdaptiveCertController::AdaptiveCertController(const AdaptiveCertConfig& config)
+    : config_(config), escalated_(CertLevel::kSpot) {}
+
+CertLevel AdaptiveCertController::pick_level(double risk) const noexcept {
+  for (int level = 0; level < 2; ++level) {
+    const double escape = risk * (1.0 - config_.coverage[level]);
+    if (escape <= config_.sdc_budget) return static_cast<CertLevel>(level);
+  }
+  return CertLevel::kFull;
+}
+
+CertLevel AdaptiveCertController::current_level(double risk) const noexcept {
+  return std::max(pick_level(risk), escalated_);
+}
+
+CertPlan AdaptiveCertController::plan(std::uint64_t job_index,
+                                      double risk) const {
+  const CertLevel level = current_level(risk);
+  const auto idx = static_cast<int>(level);
+  CertPlan plan;
+  plan.level = level;
+  plan.coverage = config_.coverage[idx];
+  const int every = std::max(1, config_.fingerprint_every[idx]);
+  plan.fingerprint = job_index % static_cast<std::uint64_t>(every) == 0;
+  plan.sample_seed = mix64(config_.seed, job_index);
+  return plan;
+}
+
+void AdaptiveCertController::record(bool failed) {
+  if (failed) {
+    escalated_ = CertLevel::kFull;
+    clean_streak_ = 0;
+    ++escalations_;
+    return;
+  }
+  ++clean_streak_;
+  if (clean_streak_ >= config_.decay_streak &&
+      escalated_ > CertLevel::kSpot) {
+    escalated_ = static_cast<CertLevel>(static_cast<int>(escalated_) - 1);
+    clean_streak_ = 0;
+  }
+}
+
+std::uint64_t AdaptiveCertController::state_hash() const noexcept {
+  std::uint64_t h = mix64(config_.seed, 0x61646163);  // "adac"
+  h = mix64(h, static_cast<std::uint64_t>(escalated_));
+  h = mix64(h, static_cast<std::uint64_t>(clean_streak_));
+  h = mix64(h, static_cast<std::uint64_t>(escalations_));
+  return h;
+}
+
+}  // namespace prodsort

@@ -1,0 +1,89 @@
+#pragma once
+
+// Adaptive certification: the risk dial (docs/FAULTS.md, "Adaptive
+// certification").
+//
+// Full certification is a flat tax — every attempt pays a whole-fabric
+// adjacency scan plus a fingerprint even when the pool has been clean
+// for hours.  This controller scales the certification level to
+// *measured* risk instead:
+//
+//  * given an estimated per-attempt silent-error probability `risk`
+//    (the suspect ledger's per-backend estimate, service layer) and an
+//    operator-set silent-error budget, pick_level() chooses the
+//    cheapest CertLevel whose escape probability
+//    risk * (1 - coverage(level)) stays within the budget — full
+//    certification has zero escape probability by construction and is
+//    always admissible;
+//  * on the first detected failure the dial escalates straight to
+//    kFull (escalation is never gradual — one confirmed silent fault
+//    invalidates the clean-streak evidence entirely);
+//  * after `decay_streak` consecutive clean certifications the dial
+//    decays one level toward the budget floor, so a healed pool earns
+//    its discount back gradually.
+//
+// Every decision is a pure function of (config, recorded history), so
+// a repro line carrying the config and the job index replays the exact
+// plan sequence; state_hash() summarizes the mutable state for the
+// bit-identical-replay check.
+
+#include <cstdint>
+
+#include "core/certifier.hpp"
+
+namespace prodsort {
+
+struct AdaptiveCertConfig {
+  std::uint64_t seed = 1;     ///< root of the per-job sample-seed stream
+  double sdc_budget = 0.001;  ///< tolerated per-attempt escape probability
+  int decay_streak = 8;       ///< clean certs per one-level decay
+  /// Per-level plan parameters, indexed by CertLevel.
+  double coverage[3] = {0.125, 0.5, 1.0};
+  /// Fingerprint every k-th certification at this level (1 = always).
+  int fingerprint_every[3] = {8, 2, 1};
+};
+
+class AdaptiveCertController {
+ public:
+  explicit AdaptiveCertController(const AdaptiveCertConfig& config = {});
+
+  [[nodiscard]] const AdaptiveCertConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// The cheapest level whose escape probability at `risk` meets the
+  /// budget: risk * (1 - coverage(level)) <= sdc_budget.  kFull always
+  /// qualifies (full coverage plus fingerprint has no silent escape).
+  [[nodiscard]] CertLevel pick_level(double risk) const noexcept;
+
+  /// Level the next certification will run at, after clamping the
+  /// budget floor for `risk` against the escalation state.
+  [[nodiscard]] CertLevel current_level(double risk) const noexcept;
+
+  /// The concrete plan for job `job_index` at `risk`: level from
+  /// current_level(), fingerprint every k-th job of that level, sample
+  /// seed mix64-derived from (config.seed, job_index) so every job
+  /// scans an independent deterministic sample.
+  [[nodiscard]] CertPlan plan(std::uint64_t job_index, double risk) const;
+
+  /// Records a certification outcome: a failure escalates to kFull and
+  /// zeroes the clean streak; a clean result extends the streak and,
+  /// every decay_streak cleans, decays the escalation one level.
+  void record(bool failed);
+
+  [[nodiscard]] int clean_streak() const noexcept { return clean_streak_; }
+  [[nodiscard]] std::int64_t escalations() const noexcept {
+    return escalations_;
+  }
+
+  /// Order-sensitive digest of the mutable state, for repro lines.
+  [[nodiscard]] std::uint64_t state_hash() const noexcept;
+
+ private:
+  AdaptiveCertConfig config_;
+  CertLevel escalated_;  ///< escalation state (kSpot = no escalation)
+  int clean_streak_ = 0;
+  std::int64_t escalations_ = 0;
+};
+
+}  // namespace prodsort

@@ -32,8 +32,10 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "core/multiway_merge.hpp"  // Key
+#include "network/block_machine.hpp"
 #include "network/machine.hpp"
 
 namespace prodsort {
@@ -60,6 +62,61 @@ enum class CertVerdict {
 
 [[nodiscard]] std::string to_string(CertVerdict verdict);
 
+// --- graduated certification levels (the risk dial; docs/FAULTS.md) ------
+//
+// Full certification scans every adjacent pair and fingerprints every
+// read-out.  The sampled levels trade detection probability for virtual
+// time: a seeded deterministic subset of the adjacency pairs is scanned
+// (a single misplaced adjacent pair escapes with probability exactly
+// 1 - coverage, the analytic bound the mutation tests pin), and the
+// fingerprint is taken only every k-th certification.  Samples are
+// *nested*: for one sample seed, the pairs scanned at lower coverage
+// are a prefix of those scanned at higher coverage, so detection
+// probability is monotone in coverage trial by trial, not just in
+// expectation.
+
+enum class CertLevel : int {
+  kSpot = 0,     ///< low-coverage scan, fingerprint every k-th job
+  kSampled = 1,  ///< half-coverage scan, frequent fingerprints
+  kFull = 2,     ///< every pair scanned, fingerprint always
+};
+
+[[nodiscard]] std::string to_string(CertLevel level);
+/// Inverse of to_string; throws std::invalid_argument on junk.
+[[nodiscard]] CertLevel parse_cert_level(const std::string& name);
+
+/// One certification's execution plan: which fraction of the adjacency
+/// pairs to scan, whether to take the multiset fingerprint this time,
+/// and the seed of the deterministic pair sample.
+struct CertPlan {
+  CertLevel level = CertLevel::kFull;
+  double coverage = 1.0;     ///< fraction of adjacent pairs scanned (0, 1]
+  bool fingerprint = true;   ///< take the multiset fingerprint this time
+  std::uint64_t sample_seed = 1;
+};
+
+/// The adjacency-pair indices a sampled certification at `seed` scans:
+/// the first `scanned` entries of a seeded uniform permutation of
+/// [0, pairs).  Nested by construction — a larger `scanned` extends the
+/// same prefix.  Exposed for the mutation tests and the bench.
+[[nodiscard]] std::vector<std::int64_t> sampled_pair_indices(
+    std::int64_t pairs, std::int64_t scanned, std::uint64_t seed);
+
+/// Pairs scanned at `coverage` over a sequence of `n` keys:
+/// ceil(coverage * (n-1)), clamped to [1, n-1] (0 when n < 2).
+[[nodiscard]] std::int64_t scanned_pairs_for(std::int64_t n, double coverage);
+
+/// Virtual-time charge of one certification: the scanned pairs stream
+/// through kCertLanes parallel verification lanes (ceil(scanned/lanes)
+/// steps), and a fingerprint adds one hashing step plus a combine tree
+/// of depth ceil(log2 n).  Strictly monotone in the scanned-pair count
+/// at the coverage grid the levels use, so sampled certification is
+/// strictly cheaper than full on the virtual clock.
+inline constexpr std::int64_t kCertLanes = 8;
+[[nodiscard]] std::int64_t certificate_steps(std::int64_t n,
+                                             std::int64_t scanned,
+                                             bool fingerprint);
+
 struct EndToEndCertificate {
   CertVerdict verdict = CertVerdict::kPass;
   bool sorted = false;
@@ -69,6 +126,11 @@ struct EndToEndCertificate {
   PNode dirty_hi = -1;  ///< their own sorted copy (empty when sorted)
   MultisetFingerprint expected;
   MultisetFingerprint observed;
+  CertLevel level = CertLevel::kFull;  ///< level this certificate ran at
+  std::int64_t scanned_pairs = 0;      ///< adjacency pairs actually scanned
+  /// False when the plan skipped the fingerprint (observed == expected
+  /// then holds trivially, not as evidence).
+  bool fingerprint_checked = true;
 
   [[nodiscard]] bool pass() const noexcept {
     return verdict == CertVerdict::kPass;
@@ -100,10 +162,33 @@ class Certifier {
   [[nodiscard]] EndToEndCertificate certify(const Machine& machine,
                                             const ViewSpec& view) const;
 
+  /// Certifies `seq` at `plan`: only the plan's seeded pair sample is
+  /// scanned, and the fingerprint is taken only when the plan says so.
+  /// A full-level plan is bit-identical to certify().  A sampled pass
+  /// is *evidence*, not proof — an inversion outside the sample escapes
+  /// (probability at most 1 - coverage for a single misplaced pair);
+  /// the dirty window on a failure is still the exact sorted-copy diff,
+  /// so escalation and repair work from the true window.
+  [[nodiscard]] EndToEndCertificate certify_sampled(
+      std::span<const Key> seq, const CertPlan& plan) const;
+
  private:
   MultisetFingerprint expected_;
   ParallelExecutor* executor_;
 };
+
+/// Certifies the snake read-out of `view` at `plan` and prices the
+/// certificate into the machine's side ledger (certificate_steps into
+/// CostModel::cert_steps, one CostModel::certificates tick).  The
+/// charge is kept off exec_steps so sort/service timing is unchanged by
+/// certification level — cert_steps is the overhead axis the adaptive
+/// dial and bench_adaptive_cert compare levels on.  The legacy
+/// Certifier::certify stays free for host-side checks; every in-fabric
+/// certification the recovery ladder runs goes through here.
+[[nodiscard]] EndToEndCertificate certify_charged(Machine& machine,
+                                                  const ViewSpec& view,
+                                                  const Certifier& certifier,
+                                                  const CertPlan& plan);
 
 enum class RepairOutcome {
   kCertified,       ///< passed on entry, no repair needed
@@ -143,5 +228,29 @@ struct RepairReport {
 RepairReport certify_and_repair(Machine& machine, const ViewSpec& view,
                                 const Certifier& certifier,
                                 const RepairOptions& options = {});
+
+struct BlockRepairReport {
+  RepairOutcome outcome = RepairOutcome::kCertified;
+  int passes = 0;                 ///< merge-split repair passes executed
+  std::int64_t repair_steps = 0;  ///< exec_steps charged to repair
+  EndToEndCertificate before;     ///< key-granular certificate on entry
+  EndToEndCertificate after;      ///< key-granular certificate on exit
+  PNode dirty_blocks_lo = 0;   ///< block-granular dirty window ([lo, hi],
+  PNode dirty_blocks_hi = -1;  ///< empty when the entry certificate passed)
+};
+
+/// Block variant of certify_and_repair: certifies the key-granular
+/// snake read-out (b keys per node), converts the dirty key window to
+/// the covering block window +-1 block (the agglomerated Lemma 1
+/// argument — a misplaced key can sit at most one merge-split partner
+/// away from its sorted block once the fault window closes), and runs
+/// alternating-parity merge-split passes over that block window until
+/// the certificate passes or the budget runs out.  Charged through the
+/// BlockMachine's own primitives, so repair is subject to any still
+/// attached block-mode comparator faults.
+BlockRepairReport block_certify_and_repair(BlockMachine& machine,
+                                           const ViewSpec& view,
+                                           const Certifier& certifier,
+                                           const RepairOptions& options = {});
 
 }  // namespace prodsort

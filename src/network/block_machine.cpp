@@ -49,18 +49,95 @@ void BlockMachine::sort_local_blocks() {
 
 void BlockMachine::merge_split_step(std::span<const CEPair> pairs,
                                     int hop_distance) {
+  // One fault-clock phase per synchronous merge-split step, mirroring
+  // Machine: counting alone never perturbs results.
+  const std::int64_t step = faults_ != nullptr ? fault_step_++ : 0;
+  const bool perturbed = faults_ != nullptr && faults_->has_comparator_faults();
   if (observer_ != nullptr)
     observer_->before_phase(keys_, pairs, hop_distance, block_size_,
-                            /*faulty=*/false);
+                            perturbed);
 
   std::atomic<std::int64_t> moved{0};
+  std::atomic<std::int64_t> comp_faults{0};
   auto body = [&](std::int64_t begin, std::int64_t end) {
     std::int64_t local_moved = 0;
+    std::int64_t local_comp = 0;
     std::vector<Key> merged(2 * static_cast<std::size_t>(block_size_));
     for (std::int64_t i = begin; i < end; ++i) {
       const CEPair& p = pairs[static_cast<std::size_t>(i)];
       auto low = mutable_block(p.low);
       auto high = mutable_block(p.high);
+
+      // A silently-broken comparator at either endpoint hijacks the
+      // whole merge-split (lower node wins when both are faulty), the
+      // block analogue of the single-key fault semantics.
+      if (perturbed) {
+        std::optional<ComparatorFaultKind> cf =
+            faults_->comparator_fault(p.low, step);
+        PNode cf_node = p.low;
+        if (!cf) {
+          cf = faults_->comparator_fault(p.high, step);
+          cf_node = p.high;
+        }
+        if (cf) {
+          ++local_comp;
+          switch (*cf) {
+            case ComparatorFaultKind::kStuckPassThrough:
+              break;  // the merge-split silently never happens
+            case ComparatorFaultKind::kInverted: {
+              // The split comes out backwards: the low side keeps the
+              // *larger* half.  Both blocks stay internally ascending,
+              // so downstream merge-splits keep well-formed inputs —
+              // only the block-to-block order is wrong (multiset
+              // preserved, hence repairable).
+              if (low.front() >= high.back()) break;  // already inverted
+              std::merge(low.begin(), low.end(), high.begin(), high.end(),
+                         merged.begin());
+              std::copy(merged.begin() +
+                            static_cast<std::ptrdiff_t>(block_size_),
+                        merged.end(), low.begin());
+              std::copy(merged.begin(),
+                        merged.begin() +
+                            static_cast<std::ptrdiff_t>(block_size_),
+                        high.begin());
+              ++local_moved;
+              break;
+            }
+            case ComparatorFaultKind::kArbitrary: {
+              // Correct merge-split, then a burst of the faulty node's
+              // keys decays to deterministic garbage.  The node's local
+              // sort logic still works — only its comparator link is
+              // broken — so its block is re-sorted in place, keeping
+              // the internal-sortedness invariant merge-split needs.
+              if (low.back() > high.front()) {
+                std::merge(low.begin(), low.end(), high.begin(), high.end(),
+                           merged.begin());
+                std::copy(merged.begin(),
+                          merged.begin() +
+                              static_cast<std::ptrdiff_t>(block_size_),
+                          low.begin());
+                std::copy(merged.begin() +
+                              static_cast<std::ptrdiff_t>(block_size_),
+                          merged.end(), high.begin());
+                ++local_moved;
+              }
+              auto victim = cf_node == p.low ? low : high;
+              const int burst =
+                  std::min(faults_->comparator_burst(cf_node, step),
+                           block_size_);
+              for (int j = 0; j < burst; ++j)
+                victim[static_cast<std::size_t>(j)] =
+                    faults_->comparator_garbage(
+                        cf_node, step,
+                        i * static_cast<std::int64_t>(block_size_) + j);
+              std::sort(victim.begin(), victim.end());
+              break;
+            }
+          }
+          continue;
+        }
+      }
+
       if (low.back() <= high.front()) continue;  // already split correctly
       std::merge(low.begin(), low.end(), high.begin(), high.end(),
                  merged.begin());
@@ -72,6 +149,7 @@ void BlockMachine::merge_split_step(std::span<const CEPair> pairs,
       ++local_moved;
     }
     moved.fetch_add(local_moved, std::memory_order_relaxed);
+    comp_faults.fetch_add(local_comp, std::memory_order_relaxed);
   };
   if (executor_ != nullptr)
     executor_->parallel_for(static_cast<std::int64_t>(pairs.size()), body);
@@ -82,6 +160,9 @@ void BlockMachine::merge_split_step(std::span<const CEPair> pairs,
   cost_.comparisons +=
       static_cast<std::int64_t>(pairs.size()) * 2 * block_size_;
   cost_.exchanges += moved.load(std::memory_order_relaxed);
+  if (faults_ != nullptr)
+    faults_->counters().comparator_faults +=
+        comp_faults.load(std::memory_order_relaxed);
 
   if (observer_ != nullptr) observer_->after_phase(keys_);
 }

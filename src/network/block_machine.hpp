@@ -17,11 +17,21 @@
 // step time; a merge-split phase therefore charges hop + b - 1 to
 // exec_steps and 2b comparisons per pair to the work counter.
 
+// Silent comparator faults extend to block mode: a faulty merge-split
+// corrupts whole blocks at once (stuck = the merge-split silently never
+// happens; inverted = the low side keeps the *larger* half; arbitrary =
+// a burst of the faulty node's keys is replaced by deterministic
+// garbage).  Attach a FaultModel with set_fault_model(); only its
+// comparator schedule applies here — message loss, key corruption, and
+// crashes remain single-key-mode faults.  The fault clock ticks once
+// per merge_split_step, exactly like Machine's.
+
 #include <span>
 #include <vector>
 
 #include "core/multiway_merge.hpp"  // Key
 #include "network/cost_model.hpp"
+#include "network/fault_model.hpp"
 #include "network/machine.hpp"  // CEPair
 #include "network/parallel_executor.hpp"
 #include "product/subgraph_view.hpp"
@@ -63,6 +73,19 @@ class BlockMachine {
   void set_observer(PhaseObserver* observer) noexcept { observer_ = observer; }
   [[nodiscard]] PhaseObserver* observer() const noexcept { return observer_; }
 
+  /// Attaches a fault model (borrowed; nullptr detaches).  Only the
+  /// comparator schedule perturbs block mode; an attached model with no
+  /// comparator faults is bit-identical to none (the clock still ticks,
+  /// so phase windows line up with probe runs).
+  void set_fault_model(FaultModel* faults) noexcept { faults_ = faults; }
+  [[nodiscard]] FaultModel* fault_model() const noexcept { return faults_; }
+  /// Current fault-clock phase (merge-split steps executed with a model
+  /// attached).
+  [[nodiscard]] std::int64_t fault_phase() const noexcept {
+    return fault_step_;
+  }
+  void reset_fault_clock() noexcept { fault_step_ = 0; }
+
   /// Keys of `view` concatenated along its snake order (b per node).
   [[nodiscard]] std::vector<Key> read_snake(const ViewSpec& view) const;
 
@@ -78,6 +101,8 @@ class BlockMachine {
   CostModel cost_;
   ParallelExecutor* executor_;
   PhaseObserver* observer_ = nullptr;
+  FaultModel* faults_ = nullptr;
+  std::int64_t fault_step_ = 0;
 };
 
 }  // namespace prodsort

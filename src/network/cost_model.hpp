@@ -52,6 +52,8 @@ struct CostModel {
   std::int64_t tmr_phases = 0;    ///< phases executed triple-redundant
   std::int64_t tmr_masked = 0;    ///< pair outcomes fixed by majority vote
   std::int64_t repair_passes = 0; ///< certify-and-repair OET passes run
+  std::int64_t cert_steps = 0;    ///< exec_steps spent on certification
+  std::int64_t certificates = 0;  ///< charged certifications issued
 
   // Sort-service accounting (src/service/ and docs/SERVICE.md): how a
   // backend pool member spent its life serving multi-tenant jobs.
@@ -75,6 +77,8 @@ struct CostModel {
     tmr_phases = 0;
     tmr_masked = 0;
     repair_passes = 0;
+    cert_steps = 0;
+    certificates = 0;
     service_attempts = 0;
     service_retries = 0;
   }
@@ -108,6 +112,8 @@ struct CostModel {
     tmr_phases += other.tmr_phases;
     tmr_masked += other.tmr_masked;
     repair_passes += other.repair_passes;
+    cert_steps += other.cert_steps;
+    certificates += other.certificates;
     service_attempts += other.service_attempts;
     service_retries += other.service_retries;
     return *this;

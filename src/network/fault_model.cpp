@@ -128,6 +128,11 @@ FaultModel::FaultModel(const FaultConfig& config) : config_(config) {
     if (f.until_phase != -1 && f.until_phase <= f.from_phase)
       throw std::invalid_argument(
           "comparator fault with empty phase window");
+    if (f.burst < 1)
+      throw std::invalid_argument("comparator fault with burst < 1");
+    if (f.burst > 1 && f.kind != ComparatorFaultKind::kArbitrary)
+      throw std::invalid_argument(
+          "comparator burst is only meaningful for arbitrary-output faults");
   }
   crash_fired_.assign(config_.crash_schedule.size(), 0);
 }
@@ -236,6 +241,17 @@ std::optional<ComparatorFaultKind> FaultModel::comparator_fault(
   return std::nullopt;
 }
 
+int FaultModel::comparator_burst(PNode node,
+                                 std::int64_t phase) const noexcept {
+  for (const ComparatorFault& f : config_.comparator_schedule) {
+    if (f.node != node) continue;
+    if (phase < f.from_phase) continue;
+    if (f.until_phase != -1 && phase >= f.until_phase) continue;
+    return f.burst;
+  }
+  return 1;
+}
+
 Key FaultModel::comparator_garbage(PNode node, std::int64_t phase,
                                    std::int64_t pair) const noexcept {
   // Like crash_garbage: a value the input multiset almost surely never
@@ -327,6 +343,10 @@ std::string FaultModel::schedule_string() const {
       out += std::to_string(f.node) + "@" + std::to_string(f.from_phase);
       if (f.until_phase != -1) out += "~" + std::to_string(f.until_phase);
       out += comparator_kind_char(f.kind);
+      if (f.burst > 1) {
+        out += 'x';
+        out += std::to_string(f.burst);
+      }
     }
   }
   return out;
@@ -398,13 +418,28 @@ FaultConfig FaultModel::parse_schedule_string(const std::string& schedule) {
         at = plus == std::string::npos ? value.size() : plus + 1;
         ComparatorFault f;
         if (entry.empty()) bad_token("comparators", entry);
-        switch (entry.back()) {
+        // node@window are digits/@/~ only, so the first S/I/A names the
+        // kind; anything after it must be the xB burst suffix (valid
+        // only for arbitrary-output faults — a burst of stuck or
+        // inverted merge-splits would not mean anything).
+        const std::size_t kpos = entry.find_first_of("SIA");
+        if (kpos == std::string::npos) bad_token("comparators", entry);
+        switch (entry[kpos]) {
           case 'S': f.kind = ComparatorFaultKind::kStuckPassThrough; break;
           case 'I': f.kind = ComparatorFaultKind::kInverted; break;
           case 'A': f.kind = ComparatorFaultKind::kArbitrary; break;
           default: bad_token("comparators", entry);
         }
-        entry.pop_back();
+        const std::string tail = entry.substr(kpos + 1);
+        if (!tail.empty()) {
+          if (tail.front() != 'x' ||
+              f.kind != ComparatorFaultKind::kArbitrary)
+            bad_token("comparators", entry);
+          f.burst = static_cast<int>(
+              parse_count("comparators", tail.substr(1)));
+          if (f.burst < 1) bad_token("comparators", entry);
+        }
+        entry.resize(kpos);
         const std::size_t sep = entry.find('@');
         if (sep == std::string::npos) bad_token("comparators", entry);
         f.node = static_cast<PNode>(

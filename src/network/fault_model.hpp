@@ -91,6 +91,10 @@ struct ComparatorFault {
   std::int64_t from_phase = 0;
   std::int64_t until_phase = -1;  ///< exclusive; -1 = permanent
   ComparatorFaultKind kind = ComparatorFaultKind::kStuckPassThrough;
+  /// Keys corrupted per faulty merge-split in block mode (arbitrary
+  /// kind only; clamped to the block size; ignored — and required to be
+  /// 1 — for the other kinds and in single-key mode).
+  int burst = 1;
   friend bool operator==(const ComparatorFault&,
                          const ComparatorFault&) = default;
 };
@@ -203,6 +207,12 @@ class FaultModel {
   [[nodiscard]] std::optional<ComparatorFaultKind> comparator_fault(
       PNode node, std::int64_t phase) const noexcept;
 
+  /// Block-mode corruption burst of the active comparator fault at
+  /// (node, phase) — same earliest-entry-wins rule as comparator_fault;
+  /// 1 when no fault is active.
+  [[nodiscard]] int comparator_burst(PNode node,
+                                     std::int64_t phase) const noexcept;
+
   /// The deterministic garbage an arbitrary-output comparator emits —
   /// derived from (seed, node, phase, pair) so the value is stable
   /// across thread counts and almost surely outside the input multiset.
@@ -259,10 +269,11 @@ class FaultModel {
   /// Machine-readable schedule summary for repro lines, e.g.
   /// "seed=5,drop=0.001,ce=0.001,corrupt=0,links=1,stragglers=1x4,
   /// crashes=3@17+40@200P,comparators=5@2~9I+7@0A" (P marks a permanent
-  /// crash; comparator entries are node@from[~until]kind with kind S =
-  /// stuck-pass-through, I = inverted, A = arbitrary output, and no
-  /// ~until meaning permanent).  Round-trips through
-  /// parse_schedule_string.
+  /// crash; comparator entries are node@from[~until]kind[xburst] with
+  /// kind S = stuck-pass-through, I = inverted, A = arbitrary output,
+  /// no ~until meaning permanent, and an optional xB suffix — valid
+  /// only after A — naming the block-mode corruption burst).
+  /// Round-trips through parse_schedule_string.
   [[nodiscard]] std::string schedule_string() const;
 
   /// Inverse of schedule_string: rebuilds the FaultConfig from a

@@ -6,6 +6,7 @@
 
 #include "core/certifier.hpp"
 #include "core/verify.hpp"
+#include "product/snake_order.hpp"
 
 namespace prodsort {
 
@@ -148,18 +149,38 @@ CrashRecoveryReport RecoveryController::run(const SortOptions& options) {
 
   // Read-out and certification (rung 4).  Crashes are loud; silent
   // comparator faults and lost compare-exchange messages are not, so
-  // the full-topology read-out always gets an end-to-end certificate.
+  // the full-topology read-out always gets an end-to-end certificate,
+  // run at the policy's plan (the adaptive risk dial) and charged to
+  // the virtual clock.  A sampled-level failure escalates to a charged
+  // full certificate first — repair must work from the true window.
   // A wrong-order verdict (right keys, wrong permutation) runs the
   // bounded dirty-window repair loop; keys-corrupted is unrepairable
   // and falls through to the data-loss verdict.  A crash firing during
   // repair is out of budget by construction here, so it fails the run.
+  bool host_checksum_needed = true;
   if (report.dead.empty()) {
     const Certifier certifier(
         MultisetFingerprint{checksum,
                             static_cast<std::uint64_t>(m.keys().size())},
         m.executor());
-    EndToEndCertificate cert = certifier.certify(m, full_view(m.graph()));
+    report.cert_level = policy_.cert_plan.level;
+    EndToEndCertificate cert =
+        certify_charged(m, full_view(m.graph()), certifier, policy_.cert_plan);
+    if (!cert.pass() && cert.level != CertLevel::kFull) {
+      report.cert_escalated = true;
+      cert = certify_charged(m, full_view(m.graph()), certifier, CertPlan{});
+    }
     report.cert_failed = !cert.pass();
+    if (report.cert_failed && cert.dirty_lo >= 0) {
+      // Attribution for the suspect-comparator ledger: the nodes whose
+      // snake ranks sit in the dirty window (capped — a wide window
+      // implicates the whole fabric, not a nameable comparator).
+      const ViewSpec view = full_view(m.graph());
+      const PNode cap = std::min<PNode>(cert.dirty_hi, cert.dirty_lo + 7);
+      for (PNode rank = cert.dirty_lo; rank <= cap; ++rank)
+        report.suspect_nodes.push_back(
+            view_node_at_snake_rank(m.graph(), view, rank));
+    }
     if (cert.verdict == CertVerdict::kWrongOrder) {
       const int budget =
           policy_.repair_passes > 0
@@ -177,6 +198,14 @@ CrashRecoveryReport RecoveryController::run(const SortOptions& options) {
     }
     report.output = m.read_snake(full_view(m.graph()));
     report.sorted = cert.sorted;
+    // A clean run certified by a fingerprint-skipping plan is taken at
+    // its word — re-hashing host-side would silently re-impose the full
+    // tax the plan traded away.  That is the budgeted escape window;
+    // any loud event (crash, rollback, failed cert) restores the full
+    // host-side verdict.
+    if (cert.pass() && !cert.fingerprint_checked && report.crashes == 0 &&
+        report.rollbacks == 0 && report.remaps == 0)
+      host_checksum_needed = false;
   } else if (report.path == RecoveryPath::kDegradedRemap) {
     const DegradedView degraded(m.graph(), full_view(m.graph()), report.dead);
     std::vector<Key> live = read_degraded_snake(m, degraded);
@@ -200,8 +229,9 @@ CrashRecoveryReport RecoveryController::run(const SortOptions& options) {
                orphan_keys.end(), report.output.begin());
   }
 
-  report.data_loss = !report.lost_entries.empty() ||
-                     multiset_checksum(report.output) != checksum;
+  report.data_loss =
+      !report.lost_entries.empty() ||
+      (host_checksum_needed && multiset_checksum(report.output) != checksum);
   report.certified = report.sorted && !report.data_loss;
   // A run no crash rung touched but the certificate caught: the silent
   // path.  Repaired = rung 4 alone recovered it; unrepairable = failed

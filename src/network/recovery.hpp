@@ -38,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "core/certifier.hpp"
 #include "core/product_sort.hpp"
 #include "network/checkpoint.hpp"
 #include "network/machine.hpp"
@@ -56,6 +57,11 @@ struct RecoveryPolicy {
   /// certify_and_repair may spend on a wrong-order certificate; 0 means
   /// auto (machine size + 4, enough to sort any window fault-free).
   int repair_passes = 0;
+  /// Rung-4 certification plan (the adaptive risk dial).  The default
+  /// full plan keeps the legacy behavior; a sampled plan trades escape
+  /// probability for virtual time, and a sampled failure escalates to a
+  /// charged full certificate before repair runs.
+  CertPlan cert_plan = {};
 };
 
 enum class RecoveryPath {
@@ -75,6 +81,11 @@ struct CrashRecoveryReport {
   bool data_loss = false;  ///< keys unrecoverable or checksum mismatch
   bool certified = false;  ///< exit certificate passed (sorted, no loss)
   bool cert_failed = false; ///< first read-out certificate failed (SDC seen)
+  bool cert_escalated = false;  ///< sampled cert failed; re-ran at kFull
+  CertLevel cert_level = CertLevel::kFull;  ///< level rung 4 started at
+  /// Nodes inside the failing certificate's dirty window (snake order,
+  /// capped at 8) — the suspect-comparator ledger's attribution input.
+  std::vector<PNode> suspect_nodes;
   int rollbacks = 0;       ///< rung-2 restores performed
   int remaps = 0;          ///< rung-3 degraded restarts performed
   int repair_passes = 0;   ///< rung-4 OET repair passes executed

@@ -26,14 +26,15 @@ SortBackend::SortBackend(const ProductGraph& pg, int id,
 }
 
 AttemptResult SortBackend::run_attempt(const JobSpec& job, int attempt,
-                                       std::int64_t now) {
+                                       std::int64_t now,
+                                       const AttemptOptions& opts) {
   AttemptResult result;
   const PNode n = pg_->num_nodes();
   std::vector<Key> keys = service_job_keys(n, job);
   const std::uint64_t checksum = multiset_checksum(keys);
 
   Machine machine(*pg_, std::move(keys), executor_);
-  machine.set_tmr(config_.tmr);
+  machine.set_tmr(config_.tmr || opts.tmr);
   result.faulted =
       faults_ != nullptr &&
       (config_.fault_until < 0 || now < config_.fault_until);
@@ -47,6 +48,8 @@ AttemptResult SortBackend::run_attempt(const JobSpec& job, int attempt,
 
   RecoveryPolicy policy = config_.recovery;
   policy.expected_checksum = checksum;
+  if (opts.has_plan) policy.cert_plan = opts.cert_plan;
+  result.cert_level = policy.cert_plan.level;
   SortOptions options;
   options.s2 = s2_;
   try {
@@ -55,16 +58,28 @@ AttemptResult SortBackend::run_attempt(const JobSpec& job, int attempt,
     result.path = report.path;
     result.degraded = report.path == RecoveryPath::kDegradedRemap;
     result.sdc_detected = report.cert_failed;
+    result.cert_escalated = report.cert_escalated;
+    result.cert_level = report.cert_level;
+    result.suspect_nodes.assign(report.suspect_nodes.begin(),
+                                report.suspect_nodes.end());
     result.repair_passes = report.repair_passes;
-    result.success = report.certified &&
-                     report.output.size() == static_cast<std::size_t>(n) &&
-                     multiset_checksum(report.output) == checksum;
+    // When the plan skipped the fingerprint, the backend honors the
+    // trade: re-hashing the output here would re-impose the full tax
+    // the adaptive level deliberately deferred.  Any loud signal (a
+    // failed certificate, a crash) restores the audit.
+    const bool audit_checksum = !opts.has_plan || policy.cert_plan.fingerprint ||
+                                report.cert_failed || report.crashes > 0;
+    result.success =
+        report.certified &&
+        report.output.size() == static_cast<std::size_t>(n) &&
+        (!audit_checksum || multiset_checksum(report.output) == checksum);
   } catch (const std::exception&) {
     result.success = false;  // unmodeled dead-end: charge and fail
     result.path = RecoveryPath::kFailed;
   }
   result.steps = std::max<std::int64_t>(1, machine.cost().exec_steps);
   result.crashes = machine.cost().crashes;
+  result.cert_steps = machine.cost().cert_steps;
 
   totals_ += machine.cost();
   ++totals_.service_attempts;

@@ -45,6 +45,17 @@ struct BackendConfig {
   bool tmr = false;
 };
 
+/// Per-attempt dispatch decisions (the adaptive layer's knobs); the
+/// default options reproduce the legacy full-strength behavior.
+struct AttemptOptions {
+  /// Force TMR for this attempt regardless of the backend config — the
+  /// ledger's *selective* hardening of a suspect backend (config.tmr
+  /// still applies when false).
+  bool tmr = false;
+  bool has_plan = false;  ///< run rung 4 at cert_plan instead of full
+  CertPlan cert_plan;
+};
+
 struct AttemptResult {
   bool success = false;   ///< verified sorted + multiset checksum intact
   bool degraded = false;  ///< served on the degraded topology (rung 3)
@@ -55,9 +66,14 @@ struct AttemptResult {
   /// attempt (retry/circuit-breaker fodder), never a silent wrong
   /// answer.
   bool sdc_detected = false;
+  bool cert_escalated = false;  ///< sampled certificate failed; re-ran full
+  CertLevel cert_level = CertLevel::kFull;  ///< level the attempt ran at
+  /// Nodes the failing certificate implicated (ledger attribution).
+  std::vector<std::int64_t> suspect_nodes;
   std::int64_t steps = 0;   ///< virtual service duration (exec_steps, >= 1)
   std::int64_t crashes = 0; ///< crash events fired during the attempt
   std::int64_t repair_passes = 0;  ///< rung-4 OET passes this attempt
+  std::int64_t cert_steps = 0;     ///< virtual steps spent certifying
   RecoveryPath path = RecoveryPath::kNone;
 };
 
@@ -73,7 +89,12 @@ class SortBackend {
   /// Runs one sort attempt for `job` dispatched at virtual time `now`.
   /// Never throws: unmodeled escalation dead-ends count as a failed
   /// attempt at whatever virtual cost the machine consumed.
-  AttemptResult run_attempt(const JobSpec& job, int attempt, std::int64_t now);
+  AttemptResult run_attempt(const JobSpec& job, int attempt, std::int64_t now,
+                            const AttemptOptions& opts);
+  AttemptResult run_attempt(const JobSpec& job, int attempt,
+                            std::int64_t now) {
+    return run_attempt(job, attempt, now, AttemptOptions{});
+  }
 
   [[nodiscard]] int id() const noexcept { return id_; }
   [[nodiscard]] const BackendConfig& config() const noexcept { return config_; }

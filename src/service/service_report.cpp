@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "core/certifier.hpp"  // CertLevel names for the JSON export
 #include "core/hashing.hpp"
 
 namespace prodsort {
@@ -65,6 +66,12 @@ std::uint64_t ServiceReport::hash() const {
   h = mix_i64(h, verified_jobs);
   h = mix_i64(h, sdc_detected);
   h = mix_i64(h, sdc_failures);
+  h = mix_i64(h, cert_escalations);
+  // The budget is operator input, not measured behavior, but two runs
+  // under different budgets are different schedules — fold a stable
+  // integer encoding (per-mille) rather than raw double bits.
+  h = mix_i64(h, static_cast<std::int64_t>(sdc_budget * 1e6));
+  h = mix64(h, ledger_hash);
   h = mix_i64(h, breaker_transitions);
   h = mix_i64(h, queue_high_water);
   h = mix_i64(h, horizon);
@@ -89,15 +96,70 @@ std::uint64_t ServiceReport::hash() const {
     h = mix_i64(h, b.id);
     h = mix_i64(h, b.faulted ? 1 : 0);
     h = mix_i64(h, b.tmr ? 1 : 0);
+    h = mix_i64(h, b.suspect ? 1 : 0);
     h = mix_i64(h, b.attempts);
     h = mix_i64(h, b.failures);
     h = mix_i64(h, b.sdc_detected);
+    h = mix_i64(h, b.sdc_attributed);
+    h = mix_i64(h, b.tmr_attempts);
+    h = mix_i64(h, b.cert_level);
     h = mix_i64(h, b.busy_steps);
+    h = mix_i64(h, b.cert_steps);
     h = mix_i64(h, b.crashes);
     h = mix_i64(h, b.times_opened);
+    for (const auto& [node, hits] : b.sdc_nodes) {
+      h = mix_i64(h, node);
+      h = mix_i64(h, hits);
+    }
     h = mix_i64(h, static_cast<std::int64_t>(b.breaker));
   }
   return h;
+}
+
+std::string ServiceReport::json() const {
+  std::ostringstream out;
+  out << "{\"seed\":" << seed << ",\"offered\":" << offered
+      << ",\"completed_on_time\":" << completed_on_time
+      << ",\"completed_late\":" << completed_late
+      << ",\"shed_queue_full\":" << shed_queue_full
+      << ",\"shed_deadline\":" << shed_deadline << ",\"failed\":" << failed
+      << ",\"retries\":" << retries << ",\"fallback_jobs\":" << fallback_jobs
+      << ",\"degraded_jobs\":" << degraded_jobs
+      << ",\"verified_jobs\":" << verified_jobs
+      << ",\"sdc_detected\":" << sdc_detected
+      << ",\"sdc_failures\":" << sdc_failures
+      << ",\"cert_escalations\":" << cert_escalations
+      << ",\"sdc_budget\":" << sdc_budget
+      << ",\"ledger_hash\":" << ledger_hash
+      << ",\"breaker_transitions\":" << breaker_transitions
+      << ",\"queue_high_water\":" << queue_high_water
+      << ",\"horizon\":" << horizon << ",\"latency\":{\"p50\":" << latency.p50
+      << ",\"p95\":" << latency.p95 << ",\"p99\":" << latency.p99
+      << ",\"max\":" << latency.max << ",\"count\":" << latency.count
+      << "},\"goodput\":" << goodput << ",\"backends\":[";
+  for (std::size_t i = 0; i < backends.size(); ++i) {
+    const BackendHealth& b = backends[i];
+    if (i != 0) out << ',';
+    out << "{\"id\":" << b.id << ",\"faulted\":" << (b.faulted ? 1 : 0)
+        << ",\"tmr\":" << (b.tmr ? 1 : 0)
+        << ",\"suspect\":" << (b.suspect ? 1 : 0)
+        << ",\"attempts\":" << b.attempts << ",\"failures\":" << b.failures
+        << ",\"sdc_detected\":" << b.sdc_detected
+        << ",\"sdc_attributed\":" << b.sdc_attributed
+        << ",\"tmr_attempts\":" << b.tmr_attempts
+        << ",\"cert_level\":\"" << to_string(static_cast<CertLevel>(b.cert_level))
+        << "\",\"busy_steps\":" << b.busy_steps
+        << ",\"cert_steps\":" << b.cert_steps << ",\"crashes\":" << b.crashes
+        << ",\"times_opened\":" << b.times_opened << ",\"sdc_nodes\":[";
+    for (std::size_t j = 0; j < b.sdc_nodes.size(); ++j) {
+      if (j != 0) out << ',';
+      out << "{\"node\":" << b.sdc_nodes[j].first
+          << ",\"hits\":" << b.sdc_nodes[j].second << "}";
+    }
+    out << "],\"breaker\":\"" << to_string(b.breaker) << "\"}";
+  }
+  out << "],\"hash\":" << hash() << "}";
+  return out.str();
 }
 
 std::string ServiceReport::summary() const {

@@ -70,6 +70,18 @@ SortService::SortService(const ProductGraph& pg, ServiceConfig config,
         config_.breaker));
   }
 
+  if (config_.adaptive.enabled) {
+    if (!config_.adaptive.ledger_json.empty())
+      ledger_ = SuspectLedger::from_json(config_.adaptive.ledger_json);
+    for (std::size_t i = 0; i < backends_.size(); ++i) {
+      AdaptiveCertConfig cert;
+      cert.seed = mix64(config_.seed, static_cast<std::uint64_t>(i));
+      cert.sdc_budget = config_.adaptive.sdc_budget;
+      cert.decay_streak = config_.adaptive.decay_streak;
+      controllers_.emplace_back(cert);
+    }
+  }
+
   // Probe the fault-free service time once; arrivals and deadlines are
   // scaled by it so `load` means the same thing on every topology.
   JobSpec probe;
@@ -137,6 +149,7 @@ ServiceReport SortService::run() {
   std::vector<std::optional<InFlight>> busy(backends_.size());
   std::optional<InFlight> fallback_busy;
   std::size_t cursor = 0;  // rotating dispatch cursor for pool balance
+  std::vector<std::int64_t> tmr_attempts(backends_.size(), 0);
 
   const auto record_of = [&](std::int64_t id) -> JobRecord& {
     return report.jobs[static_cast<std::size_t>(id)];
@@ -213,9 +226,18 @@ ServiceReport SortService::run() {
         samplesort(keys, config_.fallback.buckets,
                    static_cast<unsigned>(mix64(job->key_seed)),
                    /*oversampling=*/8);
+        // The host output goes through the same end-to-end certificate
+        // path as backend attempts (multiset fingerprint + adjacency
+        // scan), so a corrupt fallback sort is *detected* — counted in
+        // sdc_detected by the completion handler — not just failed.
+        const Certifier certifier(
+            MultisetFingerprint{checksum,
+                                static_cast<std::uint64_t>(keys.size())},
+            executor_);
+        const EndToEndCertificate cert = certifier.certify(keys);
         AttemptResult result;
-        result.success = certify_sequence(keys).sorted &&
-                         multiset_checksum(keys) == checksum;
+        result.success = cert.pass();
+        result.sdc_detected = !cert.pass();
         const double n_log_n =
             static_cast<double>(n) *
             std::log2(std::max<double>(2, static_cast<double>(n)));
@@ -229,8 +251,29 @@ ServiceReport SortService::run() {
 
       SortBackend& backend = *backends_[static_cast<std::size_t>(target)];
       backend.breaker().on_dispatch();
+      // Adaptive mode: price the certificate by this backend's measured
+      // risk, and harden only schedule-named suspects with selective
+      // TMR — the pool-wide --tmr hammer stays available but is no
+      // longer the default answer to one flaky comparator.
+      AttemptOptions opts;
+      if (config_.adaptive.enabled) {
+        const double risk = ledger_.risk(target);
+        opts.has_plan = true;
+        opts.cert_plan = controllers_[static_cast<std::size_t>(target)].plan(
+            static_cast<std::uint64_t>(job->id), risk);
+        opts.tmr =
+            ledger_.suspect(target, config_.adaptive.suspect_threshold);
+        if (opts.tmr) ++tmr_attempts[static_cast<std::size_t>(target)];
+      }
       const AttemptResult result =
-          backend.run_attempt(*job, rec.attempts, now);
+          backend.run_attempt(*job, rec.attempts, now, opts);
+      if (config_.adaptive.enabled) {
+        ledger_.record_attempt(target, result.sdc_detected,
+                               result.suspect_nodes);
+        controllers_[static_cast<std::size_t>(target)].record(
+            result.sdc_detected);
+        if (result.cert_escalated) ++report.cert_escalations;
+      }
       busy[static_cast<std::size_t>(target)] =
           InFlight{*job, rec.attempts, result};
       push({now + result.steps, Event::kCompletion, 0, job->id, target});
@@ -334,11 +377,37 @@ ServiceReport SortService::run() {
     health.failures = b->failures();
     health.sdc_detected = b->sdc_detected();
     health.busy_steps = b->totals().exec_steps;
+    health.cert_steps = b->totals().cert_steps;
     health.crashes = b->totals().crashes;
     health.times_opened = b->breaker().times_opened();
     health.breaker = b->breaker().state();
+    if (config_.adaptive.enabled) {
+      health.suspect =
+          ledger_.suspect(health.id, config_.adaptive.suspect_threshold);
+      health.tmr_attempts = tmr_attempts[static_cast<std::size_t>(health.id)];
+      health.cert_level = static_cast<int>(
+          controllers_[static_cast<std::size_t>(health.id)].current_level(
+              ledger_.risk(health.id)));
+      if (const SuspectLedger::BackendEntry* entry = ledger_.entry(health.id)) {
+        health.sdc_attributed = entry->sdc_detected;
+        // Top implicated nodes: hits-descending, node-ascending, cap 4.
+        std::vector<std::pair<std::int64_t, std::int64_t>> nodes(
+            entry->node_hits.begin(), entry->node_hits.end());
+        std::sort(nodes.begin(), nodes.end(),
+                  [](const auto& a, const auto& b) {
+                    if (a.second != b.second) return a.second > b.second;
+                    return a.first < b.first;
+                  });
+        if (nodes.size() > 4) nodes.resize(4);
+        health.sdc_nodes = std::move(nodes);
+      }
+    }
     report.breaker_transitions += b->breaker().transitions();
     report.backends.push_back(health);
+  }
+  if (config_.adaptive.enabled) {
+    report.sdc_budget = config_.adaptive.sdc_budget;
+    report.ledger_hash = ledger_.state_hash();
   }
   return report;
 }

@@ -21,12 +21,15 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "core/adaptive_cert.hpp"
 #include "core/s2/s2_sorter.hpp"
 #include "service/admission_queue.hpp"
 #include "service/backend.hpp"
 #include "service/service_report.hpp"
+#include "service/suspect_ledger.hpp"
 
 namespace prodsort {
 
@@ -37,6 +40,19 @@ struct FallbackConfig {
   bool enabled = true;
   double speed = 8.0;  ///< keys·log-keys sorted per virtual step
   int buckets = 16;
+};
+
+/// The adaptive certification dial (docs/FAULTS.md, docs/SERVICE.md):
+/// replaces pool-wide hardening knobs with a silent-error budget the
+/// service spends as cheaply as the measured risk allows.
+struct AdaptiveCertServiceConfig {
+  bool enabled = false;        ///< off = every attempt certified full
+  double sdc_budget = 0.001;   ///< tolerated per-attempt escape probability
+  double suspect_threshold = 0.25;  ///< ledger risk that triggers TMR
+  int decay_streak = 8;        ///< clean certs per one-level decay
+  /// Serialized SuspectLedger to preload (empty = start fresh); lets
+  /// attribution persist across runs (prodsort_serve --ledger).
+  std::string ledger_json;
 };
 
 struct ServiceConfig {
@@ -50,6 +66,7 @@ struct ServiceConfig {
   QueueConfig queue;
   BreakerConfig breaker;
   FallbackConfig fallback;
+  AdaptiveCertServiceConfig adaptive;
 };
 
 class SortService {
@@ -76,6 +93,12 @@ class SortService {
     return config_;
   }
 
+  /// The suspect-comparator ledger after run() (or the preloaded state
+  /// before); prodsort_serve persists it with --ledger.
+  [[nodiscard]] const SuspectLedger& ledger() const noexcept {
+    return ledger_;
+  }
+
  private:
   struct Event;
 
@@ -84,6 +107,8 @@ class SortService {
   const S2Sorter* s2_;
   ParallelExecutor* executor_;
   std::vector<std::unique_ptr<SortBackend>> backends_;
+  SuspectLedger ledger_;
+  std::vector<AdaptiveCertController> controllers_;  ///< one per backend
   std::int64_t mean_steps_ = 1;
 };
 

@@ -1,0 +1,198 @@
+#include "service/suspect_ledger.hpp"
+
+#include <cctype>
+#include <stdexcept>
+
+#include "core/hashing.hpp"
+
+namespace prodsort {
+
+void SuspectLedger::record_attempt(
+    int id, bool sdc_detected, const std::vector<std::int64_t>& suspect_nodes) {
+  BackendEntry& e = backends_[id];
+  ++e.attempts;
+  if (sdc_detected) ++e.sdc_detected;
+  for (const std::int64_t node : suspect_nodes) ++e.node_hits[node];
+}
+
+double SuspectLedger::risk(int id) const noexcept {
+  const BackendEntry* e = entry(id);
+  const std::int64_t attempts = e != nullptr ? e->attempts : 0;
+  const std::int64_t sdc = e != nullptr ? e->sdc_detected : 0;
+  return static_cast<double>(sdc + 1) / static_cast<double>(attempts + 2);
+}
+
+bool SuspectLedger::suspect(int id, double threshold) const noexcept {
+  return risk(id) > threshold;
+}
+
+const SuspectLedger::BackendEntry* SuspectLedger::entry(int id) const noexcept {
+  const auto it = backends_.find(id);
+  return it == backends_.end() ? nullptr : &it->second;
+}
+
+std::uint64_t SuspectLedger::state_hash() const noexcept {
+  std::uint64_t h = mix64(0x6c656467, 0x6572);  // "ledger"
+  for (const auto& [id, e] : backends_) {
+    h = mix64(h, static_cast<std::uint64_t>(id));
+    h = mix64(h, static_cast<std::uint64_t>(e.attempts));
+    h = mix64(h, static_cast<std::uint64_t>(e.sdc_detected));
+    for (const auto& [node, hits] : e.node_hits) {
+      h = mix64(h, static_cast<std::uint64_t>(node));
+      h = mix64(h, static_cast<std::uint64_t>(hits));
+    }
+  }
+  return h;
+}
+
+std::string SuspectLedger::to_json() const {
+  std::string out = "{\"version\":1,\"backends\":[";
+  bool first_backend = true;
+  for (const auto& [id, e] : backends_) {
+    if (!first_backend) out += ',';
+    first_backend = false;
+    out += "{\"id\":" + std::to_string(id) +
+           ",\"attempts\":" + std::to_string(e.attempts) +
+           ",\"sdc\":" + std::to_string(e.sdc_detected) + ",\"nodes\":[";
+    bool first_node = true;
+    for (const auto& [node, hits] : e.node_hits) {
+      if (!first_node) out += ',';
+      first_node = false;
+      out += "{\"node\":" + std::to_string(node) +
+             ",\"hits\":" + std::to_string(hits) + "}";
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+namespace {
+
+// Minimal recursive-descent reader for exactly the JSON subset
+// to_json() emits (objects, arrays, integers, string keys).  No general
+// JSON dependency is wanted for one fixed schema; anything outside the
+// subset throws with position context.
+
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : text_(text) {}
+
+  void expect(char c) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != c) fail(std::string(1, c));
+    ++pos_;
+  }
+
+  [[nodiscard]] bool peek(char c) {
+    skip_ws();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  [[nodiscard]] std::string key() {
+    expect('"');
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') ++pos_;
+    if (pos_ >= text_.size()) fail("closing '\"'");
+    const std::string k = text_.substr(start, pos_ - start);
+    ++pos_;
+    expect(':');
+    return k;
+  }
+
+  [[nodiscard]] std::int64_t integer() {
+    skip_ws();
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0)
+      ++pos_;
+    if (pos_ == start || (text_[start] == '-' && pos_ == start + 1))
+      fail("integer");
+    return std::stoll(text_.substr(start, pos_ - start));
+  }
+
+  void finish() {
+    skip_ws();
+    if (pos_ != text_.size()) fail("end of input");
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0)
+      ++pos_;
+  }
+
+  [[noreturn]] void fail(const std::string& wanted) {
+    throw std::invalid_argument("malformed ledger JSON: expected " + wanted +
+                                " at offset " + std::to_string(pos_));
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+SuspectLedger SuspectLedger::from_json(const std::string& json) {
+  SuspectLedger ledger;
+  JsonReader r(json);
+  r.expect('{');
+  if (r.key() != "version")
+    throw std::invalid_argument("malformed ledger JSON: missing version");
+  if (r.integer() != 1)
+    throw std::invalid_argument("unsupported ledger JSON version");
+  r.expect(',');
+  if (r.key() != "backends")
+    throw std::invalid_argument("malformed ledger JSON: missing backends");
+  r.expect('[');
+  if (!r.peek(']')) {
+    do {
+      r.expect('{');
+      int id = 0;
+      BackendEntry e;
+      if (r.key() != "id")
+        throw std::invalid_argument("malformed ledger JSON: missing id");
+      id = static_cast<int>(r.integer());
+      r.expect(',');
+      if (r.key() != "attempts")
+        throw std::invalid_argument("malformed ledger JSON: missing attempts");
+      e.attempts = r.integer();
+      r.expect(',');
+      if (r.key() != "sdc")
+        throw std::invalid_argument("malformed ledger JSON: missing sdc");
+      e.sdc_detected = r.integer();
+      r.expect(',');
+      if (r.key() != "nodes")
+        throw std::invalid_argument("malformed ledger JSON: missing nodes");
+      r.expect('[');
+      if (!r.peek(']')) {
+        do {
+          r.expect('{');
+          if (r.key() != "node")
+            throw std::invalid_argument("malformed ledger JSON: missing node");
+          const std::int64_t node = r.integer();
+          r.expect(',');
+          if (r.key() != "hits")
+            throw std::invalid_argument("malformed ledger JSON: missing hits");
+          e.node_hits[node] = r.integer();
+          r.expect('}');
+        } while (r.peek(',') && (r.expect(','), true));
+      }
+      r.expect(']');
+      r.expect('}');
+      if (e.attempts < 0 || e.sdc_detected < 0 ||
+          e.sdc_detected > e.attempts)
+        throw std::invalid_argument(
+            "malformed ledger JSON: inconsistent counters");
+      ledger.backends_[id] = std::move(e);
+    } while (r.peek(',') && (r.expect(','), true));
+  }
+  r.expect(']');
+  r.expect('}');
+  r.finish();
+  return ledger;
+}
+
+}  // namespace prodsort

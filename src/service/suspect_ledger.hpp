@@ -1,0 +1,79 @@
+#pragma once
+
+// SuspectLedger — per-backend / per-node silent-data-corruption
+// attribution (docs/SERVICE.md, "The suspect-comparator ledger").
+//
+// Every certified attempt teaches the service something: a clean
+// certificate is weak evidence the backend's comparators are healthy, a
+// failed one names the nodes inside the dirty window.  The ledger
+// accumulates that evidence across attempts — and, serialized to JSON,
+// across runs — into a per-backend risk estimate the dispatch path
+// consumes:
+//
+//  * risk(backend) — a Laplace-smoothed SDC rate, (sdc + 1) /
+//    (attempts + 2).  An unknown backend therefore scores 0.5: the
+//    service certifies at full strength until the backend has earned a
+//    cheaper level (never trust a stranger's comparators);
+//  * suspect(backend) — the smoothed rate crossed the route-around
+//    threshold: dispatch hardens exactly this backend with selective
+//    TMR instead of taxing the whole pool;
+//  * node_hits(backend) — which processors the failed certificates
+//    implicate, for the per-backend attribution the report exports.
+//
+// Determinism: the ledger is a pure fold of recorded attempts, so
+// state_hash() is reproducible from a repro line's schedule, and
+// to_json()/from_json() round-trip bit-identically.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace prodsort {
+
+class SuspectLedger {
+ public:
+  struct BackendEntry {
+    std::int64_t attempts = 0;      ///< certified attempts recorded
+    std::int64_t sdc_detected = 0;  ///< attempts whose certificate failed
+    /// (node, hits): how often each node sat in a failing certificate's
+    /// dirty window.  Ordered map for deterministic serialization.
+    std::map<std::int64_t, std::int64_t> node_hits;
+  };
+
+  /// Folds one certified attempt into backend `id`'s entry.
+  void record_attempt(int id, bool sdc_detected,
+                      const std::vector<std::int64_t>& suspect_nodes);
+
+  /// Laplace-smoothed per-attempt SDC probability: (sdc + 1) /
+  /// (attempts + 2).  Unknown backends score 0.5 — conservative by
+  /// construction.
+  [[nodiscard]] double risk(int id) const noexcept;
+
+  /// True iff risk(id) exceeds `threshold` — the dispatch-time signal
+  /// to harden this backend (selective TMR / route-around).
+  [[nodiscard]] bool suspect(int id, double threshold) const noexcept;
+
+  [[nodiscard]] const BackendEntry* entry(int id) const noexcept;
+  [[nodiscard]] const std::map<int, BackendEntry>& entries() const noexcept {
+    return backends_;
+  }
+
+  /// Order-sensitive digest of the full ledger state, for the repro
+  /// line's bit-identical-replay check.
+  [[nodiscard]] std::uint64_t state_hash() const noexcept;
+
+  /// Serializes the ledger, e.g.
+  /// {"version":1,"backends":[{"id":0,"attempts":12,"sdc":1,
+  ///  "nodes":[{"node":5,"hits":1}]}]}.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Inverse of to_json(); throws std::invalid_argument on junk (a
+  /// corrupted ledger file must fail loudly, not load as empty).
+  [[nodiscard]] static SuspectLedger from_json(const std::string& json);
+
+ private:
+  std::map<int, BackendEntry> backends_;
+};
+
+}  // namespace prodsort

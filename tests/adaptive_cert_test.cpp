@@ -1,0 +1,266 @@
+// Adversarial mutation tests for the adaptive-certification risk dial.
+//
+// A sampled certificate is a *priced* check: its escape probability
+// for a single swapped adjacent pair is exactly
+// 1 - scanned/pairs, and everything downstream (the controller's
+// budget math, the service's sdc budget) leans on that number being
+// real.  These tests measure it: a seeded sweep of single-swap
+// mutations at fixed coverage must detect at the analytic rate within
+// binomial noise.  They also pin the nested-sample property (higher
+// coverage scans a superset, so detection is monotone per trial), the
+// escalate-on-first-failure rule, and the clean-streak decay.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "core/adaptive_cert.hpp"
+#include "core/certifier.hpp"
+#include "core/hashing.hpp"
+
+namespace prodsort {
+namespace {
+
+std::vector<Key> iota_keys(int n) {
+  std::vector<Key> keys(static_cast<std::size_t>(n));
+  std::iota(keys.begin(), keys.end(), Key{0});
+  return keys;
+}
+
+TEST(SampledPairs, CoverageMath) {
+  EXPECT_EQ(scanned_pairs_for(0, 0.5), 0);
+  EXPECT_EQ(scanned_pairs_for(1, 1.0), 0);
+  EXPECT_EQ(scanned_pairs_for(2, 0.01), 1);   // clamped up to 1
+  EXPECT_EQ(scanned_pairs_for(100, 1.0), 99);
+  EXPECT_EQ(scanned_pairs_for(201, 0.2), 40);  // ceil(0.2 * 200)
+}
+
+TEST(SampledPairs, IndicesAreDistinctAndInRange) {
+  const auto idx = sampled_pair_indices(199, 40, 42);
+  ASSERT_EQ(idx.size(), 40u);
+  std::set<std::int64_t> seen(idx.begin(), idx.end());
+  EXPECT_EQ(seen.size(), 40u);
+  EXPECT_GE(*seen.begin(), 0);
+  EXPECT_LT(*seen.rbegin(), 199);
+}
+
+// The nested-sample property: at the same seed, a larger sample is a
+// strict superset (prefix of the same seeded permutation).  This is
+// what makes per-trial detection monotone in certification level.
+TEST(SampledPairs, LargerSamplesNestSmallerOnes) {
+  for (const std::uint64_t seed : {1u, 7u, 99u}) {
+    const auto small = sampled_pair_indices(199, 20, seed);
+    const auto large = sampled_pair_indices(199, 80, seed);
+    const auto full = sampled_pair_indices(199, 199, seed);
+    ASSERT_EQ(std::vector<std::int64_t>(large.begin(), large.begin() + 20),
+              small);
+    ASSERT_EQ(std::vector<std::int64_t>(full.begin(), full.begin() + 80),
+              large);
+  }
+}
+
+TEST(CertificateSteps, SampledLevelsStrictlyCheaperThanFull) {
+  const std::int64_t n = 216;
+  const AdaptiveCertConfig defaults;
+  const std::int64_t full = certificate_steps(
+      n, scanned_pairs_for(n, defaults.coverage[2]), true);
+  const std::int64_t sampled = certificate_steps(
+      n, scanned_pairs_for(n, defaults.coverage[1]), false);
+  const std::int64_t spot = certificate_steps(
+      n, scanned_pairs_for(n, defaults.coverage[0]), false);
+  EXPECT_LT(spot, sampled);
+  EXPECT_LT(sampled, full);
+  // Even a fingerprinting sampled pass undercuts full.
+  EXPECT_LT(certificate_steps(n, scanned_pairs_for(n, 0.5), true), full);
+}
+
+TEST(CertifySampled, FullPlanMatchesLegacyCertify) {
+  std::vector<Key> seq = iota_keys(100);
+  std::swap(seq[30], seq[31]);
+  const Certifier certifier(iota_keys(100));
+  const EndToEndCertificate legacy = certifier.certify(seq);
+  const EndToEndCertificate planned = certifier.certify_sampled(seq, CertPlan{});
+  EXPECT_EQ(planned.verdict, legacy.verdict);
+  EXPECT_EQ(planned.dirty_lo, legacy.dirty_lo);
+  EXPECT_EQ(planned.dirty_hi, legacy.dirty_hi);
+  EXPECT_EQ(planned.scanned_pairs, 99);
+  EXPECT_EQ(planned.level, CertLevel::kFull);
+  EXPECT_TRUE(planned.fingerprint_checked);
+}
+
+// The headline mutation sweep: one swapped adjacent pair at a seeded
+// position, certified at coverage 0.2 with a fresh sample seed per
+// trial.  Detection probability is exactly scanned/pairs = 40/199;
+// over 4000 trials the binomial sd is ~0.0063, so a 0.04 tolerance is
+// ~6 sigma — failures mean the sampler is biased, not unlucky.
+TEST(CertifySampled, EscapeRateMatchesAnalyticBound) {
+  const int n = 200;
+  const std::vector<Key> sorted = iota_keys(n);
+  const Certifier certifier(sorted);
+  const std::int64_t pairs = n - 1;
+  const long trials = 4000;
+
+  CertPlan plan;
+  plan.level = CertLevel::kSpot;
+  plan.coverage = 0.2;
+  plan.fingerprint = false;  // isolate the adjacency sample
+  const double expected_rate =
+      static_cast<double>(scanned_pairs_for(n, plan.coverage)) /
+      static_cast<double>(pairs);
+
+  long detected = 0;
+  for (long t = 0; t < trials; ++t) {
+    const std::uint64_t h = mix64(0xABCDEF, static_cast<std::uint64_t>(t));
+    const auto pos = static_cast<std::size_t>(
+        h % static_cast<std::uint64_t>(pairs));
+    std::vector<Key> seq = sorted;
+    std::swap(seq[pos], seq[pos + 1]);
+    plan.sample_seed = mix64(h, 1);
+    const EndToEndCertificate cert = certifier.certify_sampled(seq, plan);
+    EXPECT_FALSE(cert.fingerprint_checked);
+    if (!cert.pass()) {
+      ASSERT_EQ(cert.verdict, CertVerdict::kWrongOrder);
+      ++detected;
+    }
+  }
+  const double rate =
+      static_cast<double>(detected) / static_cast<double>(trials);
+  EXPECT_NEAR(rate, expected_rate, 0.04);
+}
+
+// When a sampled certificate does fail, the dirty window must be the
+// *true* sorted-copy diff, not just the sampled violation — repair and
+// escalation work from it.
+TEST(CertifySampled, FailureReportsTrueDirtyWindow) {
+  const int n = 128;
+  const std::vector<Key> sorted = iota_keys(n);
+  const Certifier certifier(sorted);
+  std::vector<Key> seq = sorted;
+  std::swap(seq[50], seq[51]);
+
+  CertPlan plan;
+  plan.level = CertLevel::kSampled;
+  plan.coverage = 0.5;
+  plan.fingerprint = false;
+  bool found_detection = false;
+  for (std::uint64_t seed = 0; seed < 64 && !found_detection; ++seed) {
+    plan.sample_seed = seed;
+    const EndToEndCertificate cert = certifier.certify_sampled(seq, plan);
+    if (cert.pass()) continue;
+    found_detection = true;
+    EXPECT_EQ(cert.dirty_lo, 50);
+    EXPECT_EQ(cert.dirty_hi, 51);
+    EXPECT_EQ(cert.level, CertLevel::kSampled);
+  }
+  EXPECT_TRUE(found_detection);
+}
+
+// Skipping the fingerprint is the budgeted escape window: a corrupted
+// multiset with intact order sails through, and fingerprint_checked
+// says so.  Taking the fingerprint catches it.
+TEST(CertifySampled, FingerprintSkipIsTheEscapeWindow) {
+  const int n = 64;
+  const std::vector<Key> sorted = iota_keys(n);
+  const Certifier certifier(sorted);
+  std::vector<Key> seq = sorted;
+  seq[10] = seq[11];  // duplicated key replacing a lost one, still sorted
+
+  CertPlan no_fp;
+  no_fp.level = CertLevel::kSampled;
+  no_fp.coverage = 1.0;
+  no_fp.fingerprint = false;
+  no_fp.sample_seed = 3;
+  const EndToEndCertificate escaped = certifier.certify_sampled(seq, no_fp);
+  EXPECT_TRUE(escaped.pass());
+  EXPECT_FALSE(escaped.fingerprint_checked);
+
+  CertPlan with_fp = no_fp;
+  with_fp.fingerprint = true;
+  const EndToEndCertificate caught = certifier.certify_sampled(seq, with_fp);
+  EXPECT_EQ(caught.verdict, CertVerdict::kKeysCorrupted);
+  EXPECT_TRUE(caught.fingerprint_checked);
+}
+
+TEST(AdaptiveController, PicksCheapestLevelWithinBudget) {
+  AdaptiveCertConfig config;
+  config.sdc_budget = 0.01;
+  const AdaptiveCertController dial(config);
+  // risk 0.001: even spot's escape 0.001 * 0.875 meets the budget.
+  EXPECT_EQ(dial.pick_level(0.001), CertLevel::kSpot);
+  // risk 0.015: spot escapes at 0.0131 (> budget), sampled at 0.0075.
+  EXPECT_EQ(dial.pick_level(0.015), CertLevel::kSampled);
+  // risk 0.5: only full (zero escape) qualifies.
+  EXPECT_EQ(dial.pick_level(0.5), CertLevel::kFull);
+}
+
+// The rule the soak gates on: the first detected failure always
+// escalates straight to full certification, whatever the risk says.
+TEST(AdaptiveController, EscalatesToFullOnFirstFailure) {
+  AdaptiveCertConfig config;
+  config.sdc_budget = 1.0;  // budget alone would always pick spot
+  AdaptiveCertController dial(config);
+  EXPECT_EQ(dial.current_level(0.0), CertLevel::kSpot);
+  dial.record(/*failed=*/true);
+  EXPECT_EQ(dial.current_level(0.0), CertLevel::kFull);
+  EXPECT_EQ(dial.plan(7, 0.0).level, CertLevel::kFull);
+  EXPECT_TRUE(dial.plan(7, 0.0).fingerprint);
+  EXPECT_EQ(dial.escalations(), 1);
+  EXPECT_EQ(dial.clean_streak(), 0);
+}
+
+TEST(AdaptiveController, DecaysOneLevelPerCleanStreak) {
+  AdaptiveCertConfig config;
+  config.sdc_budget = 1.0;
+  config.decay_streak = 3;
+  AdaptiveCertController dial(config);
+  dial.record(true);
+  ASSERT_EQ(dial.current_level(0.0), CertLevel::kFull);
+  for (int i = 0; i < 3; ++i) dial.record(false);
+  EXPECT_EQ(dial.current_level(0.0), CertLevel::kSampled);
+  for (int i = 0; i < 3; ++i) dial.record(false);
+  EXPECT_EQ(dial.current_level(0.0), CertLevel::kSpot);
+  // A fresh failure re-escalates immediately.
+  dial.record(true);
+  EXPECT_EQ(dial.current_level(0.0), CertLevel::kFull);
+  EXPECT_EQ(dial.escalations(), 2);
+}
+
+TEST(AdaptiveController, PlansAreDeterministicWithPerJobSeeds) {
+  AdaptiveCertConfig config;
+  config.seed = 77;
+  config.sdc_budget = 1.0;
+  const AdaptiveCertController a(config);
+  const AdaptiveCertController b(config);
+  const CertPlan p0 = a.plan(0, 0.0);
+  EXPECT_EQ(p0.sample_seed, b.plan(0, 0.0).sample_seed);
+  EXPECT_NE(p0.sample_seed, a.plan(1, 0.0).sample_seed);
+  // Spot fingerprints every 8th job.
+  EXPECT_TRUE(a.plan(0, 0.0).fingerprint);
+  EXPECT_FALSE(a.plan(1, 0.0).fingerprint);
+  EXPECT_TRUE(a.plan(8, 0.0).fingerprint);
+}
+
+TEST(AdaptiveController, StateHashTracksRecordedHistory) {
+  AdaptiveCertConfig config;
+  AdaptiveCertController a(config);
+  AdaptiveCertController b(config);
+  EXPECT_EQ(a.state_hash(), b.state_hash());
+  a.record(true);
+  EXPECT_NE(a.state_hash(), b.state_hash());
+  b.record(true);
+  EXPECT_EQ(a.state_hash(), b.state_hash());
+}
+
+TEST(CertLevel, NamesRoundTrip) {
+  for (const CertLevel level :
+       {CertLevel::kSpot, CertLevel::kSampled, CertLevel::kFull})
+    EXPECT_EQ(parse_cert_level(to_string(level)), level);
+  EXPECT_THROW((void)parse_cert_level("turbo"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace prodsort

@@ -69,6 +69,33 @@ TEST(ReproLine, RejoinArgsUndoesShellSplitting) {
   EXPECT_EQ(ReproLine::rejoin_args(5, argv, 5), "");
 }
 
+// The adaptive-certification tokens ride the same parser: cert-level /
+// cert-seed on SDC-REPRO lines, sdc-budget / ledger on SERVICE-REPRO
+// lines.  They are optional — replay code falls back to defaults when
+// has() is false — so both presence and absence must be unambiguous.
+TEST(ReproLine, CarriesAdaptiveCertTokens) {
+  const ReproLine sdc(
+      "SDC-REPRO mode=sdc seed=7 trial=12 family=cycle-4 r=2 "
+      "schedule=seed=5,comparators=3@0~4I cert-level=sampled "
+      "cert-seed=123456789 rung=resort reason=repaired");
+  EXPECT_EQ(sdc.get("cert-level"), "sampled");
+  EXPECT_EQ(sdc.get("cert-seed"), "123456789");
+  EXPECT_EQ(sdc.get("rung"), "resort");
+
+  const ReproLine serve(
+      "SERVICE-REPRO mode=serve seed=9 jobs=40 backends=3 "
+      "sdc-budget=0.001 ledger=14467021887457771297 hash=42");
+  EXPECT_EQ(serve.get("sdc-budget"), "0.001");
+  EXPECT_EQ(serve.get("ledger"), "14467021887457771297");
+
+  // A pre-adaptive line simply lacks the tokens; replay sees has()=false
+  // and keeps the feature off — old lines stay replayable.
+  const ReproLine legacy("SERVICE-REPRO mode=serve seed=9 hash=42");
+  EXPECT_FALSE(legacy.has("sdc-budget"));
+  EXPECT_FALSE(legacy.has("ledger"));
+  EXPECT_FALSE(legacy.has("cert-level"));
+}
+
 TEST(ReproLine, ToleratesRepeatedSpacesAndJunkTokens) {
   const ReproLine repro("  seed=7   junk garbage==x  trial=3 ");
   EXPECT_EQ(repro.get("seed"), "7");

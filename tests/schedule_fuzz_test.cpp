@@ -16,8 +16,14 @@
 #include <random>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
+#include "core/block_sort.hpp"
+#include "core/verify.hpp"
+#include "graph/labeled_factor.hpp"
+#include "network/block_machine.hpp"
 #include "network/fault_model.hpp"
+#include "product/subgraph_view.hpp"
 
 namespace prodsort {
 namespace {
@@ -57,6 +63,9 @@ FaultConfig random_config(std::mt19937_64& rng) {
       case 1: fault.kind = ComparatorFaultKind::kInverted; break;
       default: fault.kind = ComparatorFaultKind::kArbitrary; break;
     }
+    // Burst widths (the `xB` suffix) only exist for arbitrary faults.
+    if (fault.kind == ComparatorFaultKind::kArbitrary && (rng() & 1) != 0)
+      fault.burst = 2 + static_cast<int>(rng() % 7);
     config.comparator_schedule.push_back(fault);
   }
   return config;
@@ -85,9 +94,11 @@ TEST(ScheduleFuzz, ComparatorEntriesRoundTripAllKinds) {
        .kind = ComparatorFaultKind::kArbitrary},
       {.node = 0, .from_phase = 11, .until_phase = 12,
        .kind = ComparatorFaultKind::kStuckPassThrough},
+      {.node = 3, .from_phase = 1, .until_phase = 4,
+       .kind = ComparatorFaultKind::kArbitrary, .burst = 3},
   };
   const std::string schedule = FaultModel(config).schedule_string();
-  EXPECT_NE(schedule.find("comparators=5@2~9I+7@0A+0@11~12S"),
+  EXPECT_NE(schedule.find("comparators=5@2~9I+7@0A+0@11~12S+3@1~4Ax3"),
             std::string::npos)
       << schedule;
   EXPECT_EQ(FaultModel::parse_schedule_string(schedule), config);
@@ -107,6 +118,12 @@ TEST(ScheduleFuzz, RejectsMalformedComparatorEntries) {
       "seed=1,comparators=5@2I+",     // dangling +
       "seed=1,comparators=5@2~I",     // empty until token
       "seed=1,comparators=5@twoI",    // non-numeric phase
+      "seed=1,comparators=5@2Ax",     // dangling burst
+      "seed=1,comparators=5@2Ax0",    // burst must be >= 1
+      "seed=1,comparators=5@2Ax-3",   // negative burst
+      "seed=1,comparators=5@2Axx3",   // doubled burst marker
+      "seed=1,comparators=5@2Ix3",    // burst on a non-arbitrary kind
+      "seed=1,comparators=5@2Sx2",    // burst on a non-arbitrary kind
   };
   for (const char* schedule : malformed)
     EXPECT_THROW((void)FaultModel::parse_schedule_string(schedule),
@@ -127,6 +144,63 @@ TEST(ScheduleFuzz, JunkNeverCrashes) {
       (void)FaultModel::parse_schedule_string(junk);
     } catch (const std::invalid_argument&) {
       // expected for most inputs
+    }
+  }
+}
+
+// Overlapping comparator windows on a handful of nodes, driven through
+// an actual BlockMachine sort after a schedule-string round trip.  The
+// earliest matching entry wins at each step; whatever the overlap
+// pattern, the sort must terminate, keep every block at size b, and —
+// when no arbitrary faults are in play — preserve the key multiset.
+TEST(ScheduleFuzz, OverlappingBlockSchedulesNeverCrash) {
+  constexpr int kBlock = 2;
+  const ProductGraph pg(labeled_path(4), 2);
+  const PNode n = pg.num_nodes();
+  const BlockSnakeOETS2 oet;
+  std::mt19937_64 rng(777);
+  for (int iter = 0; iter < 60; ++iter) {
+    FaultConfig config;
+    config.seed = rng();
+    const std::size_t entries = 1 + rng() % 6;
+    bool any_arbitrary = false;
+    for (std::size_t i = 0; i < entries; ++i) {
+      ComparatorFault fault;
+      fault.node = static_cast<PNode>(rng() % 4);  // few nodes → overlaps
+      fault.from_phase = static_cast<std::int64_t>(rng() % 6);
+      fault.until_phase =
+          (rng() & 3) == 0
+              ? -1
+              : fault.from_phase + 1 + static_cast<std::int64_t>(rng() % 8);
+      switch (rng() % 3) {
+        case 0: fault.kind = ComparatorFaultKind::kStuckPassThrough; break;
+        case 1: fault.kind = ComparatorFaultKind::kInverted; break;
+        default:
+          fault.kind = ComparatorFaultKind::kArbitrary;
+          fault.burst = 1 + static_cast<int>(rng() % kBlock);
+          any_arbitrary = true;
+          break;
+      }
+      config.comparator_schedule.push_back(fault);
+    }
+    // Replay through the string form, exactly as --repro does.
+    const FaultConfig parsed =
+        FaultModel::parse_schedule_string(FaultModel(config).schedule_string());
+    ASSERT_EQ(parsed, config);
+
+    FaultModel fm(parsed);
+    std::vector<Key> keys(static_cast<std::size_t>(n) * kBlock);
+    for (Key& k : keys) k = static_cast<Key>(rng() % 4096);
+    BlockMachine machine(pg, keys, kBlock);
+    machine.set_fault_model(&fm);
+    BlockSortOptions options;
+    options.s2 = &oet;
+    (void)sort_block_network(machine, options);
+    const std::vector<Key> out = machine.read_snake(full_view(pg));
+    ASSERT_EQ(out.size(), keys.size());
+    if (!any_arbitrary) {
+      ASSERT_EQ(multiset_checksum(out), multiset_checksum(keys))
+          << FaultModel(config).schedule_string();
     }
   }
 }

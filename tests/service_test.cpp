@@ -351,6 +351,115 @@ TEST(SortServiceTest, OverloadShedsWithoutLossAndEdfBeatsDropTail) {
   EXPECT_GT(on_time_by_policy[1], on_time_by_policy[0]);
 }
 
+// --- suspect ledger and the adaptive dial --------------------------------
+
+TEST(SuspectLedgerTest, RiskIsLaplaceSmoothed) {
+  SuspectLedger ledger;
+  // A stranger's comparators score (0+1)/(0+2) = 0.5.
+  EXPECT_DOUBLE_EQ(ledger.risk(3), 0.5);
+  EXPECT_TRUE(ledger.suspect(3, 0.25));
+  for (int i = 0; i < 18; ++i) ledger.record_attempt(3, false, {});
+  EXPECT_DOUBLE_EQ(ledger.risk(3), 1.0 / 20.0);
+  EXPECT_FALSE(ledger.suspect(3, 0.25));
+  ledger.record_attempt(3, true, {5, 6});
+  ledger.record_attempt(3, true, {6});
+  EXPECT_DOUBLE_EQ(ledger.risk(3), 3.0 / 22.0);
+  const SuspectLedger::BackendEntry* entry = ledger.entry(3);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->attempts, 20);
+  EXPECT_EQ(entry->sdc_detected, 2);
+  EXPECT_EQ(entry->node_hits.at(5), 1);
+  EXPECT_EQ(entry->node_hits.at(6), 2);
+}
+
+TEST(SuspectLedgerTest, JsonRoundTripPreservesStateHash) {
+  SuspectLedger ledger;
+  ledger.record_attempt(0, false, {});
+  ledger.record_attempt(1, true, {12, 14, 12});
+  ledger.record_attempt(1, false, {});
+  const SuspectLedger copy = SuspectLedger::from_json(ledger.to_json());
+  EXPECT_EQ(copy.state_hash(), ledger.state_hash());
+  EXPECT_EQ(copy.to_json(), ledger.to_json());
+  EXPECT_DOUBLE_EQ(copy.risk(1), ledger.risk(1));
+
+  // A corrupted ledger file must fail loudly, not load as empty.
+  EXPECT_THROW((void)SuspectLedger::from_json("{]"), std::invalid_argument);
+  EXPECT_THROW((void)SuspectLedger::from_json("not json at all"),
+               std::invalid_argument);
+  EXPECT_EQ(SuspectLedger::from_json("{\"version\":1,\"backends\":[]}")
+                .state_hash(),
+            SuspectLedger().state_hash());
+}
+
+// Adaptive mode stays a pure function of the seed: report hashes (which
+// fold cert levels, escalations, and the ledger digest) are identical
+// for any executor thread count.
+TEST(SortServiceTest, AdaptiveReportHashIsThreadCountInvariant) {
+  const ProductGraph pg(labeled_path(3), 2);
+  const SnakeOETS2 oet;
+  ServiceConfig config = small_config(12, 1.5);
+  config.adaptive.enabled = true;
+  config.adaptive.sdc_budget = 0.01;
+
+  std::vector<BackendConfig> backends(2);
+  backends[1].fault_schedule = "seed=5,comparators=3@2~40I";
+
+  std::vector<std::uint64_t> hashes;
+  std::vector<std::uint64_t> ledger_hashes;
+  for (const int threads : {1, 4}) {
+    ParallelExecutor executor(threads);
+    SortService service(pg, config, backends, &oet, &executor);
+    const ServiceReport report = service.run();
+    EXPECT_TRUE(report.conserved());
+    EXPECT_DOUBLE_EQ(report.sdc_budget, 0.01);
+    hashes.push_back(report.hash());
+    ledger_hashes.push_back(report.ledger_hash);
+  }
+  EXPECT_EQ(hashes[0], hashes[1]);
+  EXPECT_EQ(ledger_hashes[0], ledger_hashes[1]);
+}
+
+// The ISSUE's acceptance scenario: with a preloaded ledger naming one
+// backend as the suspect, dispatch selectively TMRs *only* that backend
+// — the clean-history backend rides the cheap certification levels and
+// never pays the 3x voting tax.
+TEST(SortServiceTest, LedgerDrivesSelectiveTmrOnSuspectBackendsOnly) {
+  const ProductGraph pg(labeled_path(3), 2);
+  const SnakeOETS2 oet;
+  ServiceConfig config = small_config(16, 0.8);
+  config.adaptive.enabled = true;
+  config.adaptive.sdc_budget = 0.05;
+
+  // Backend 0: long clean history (risk 1/30).  Backend 1: chronic SDC
+  // producer (risk 25/30), well past the 0.25 suspect threshold.
+  SuspectLedger history;
+  for (int i = 0; i < 28; ++i) history.record_attempt(0, false, {});
+  for (int i = 0; i < 28; ++i) history.record_attempt(1, i < 24, {3});
+  config.adaptive.ledger_json = history.to_json();
+
+  SortService service(pg, config, std::vector<BackendConfig>(2), &oet);
+  const ServiceReport report = service.run();
+  EXPECT_TRUE(report.conserved());
+
+  ASSERT_EQ(report.backends.size(), 2u);
+  const BackendHealth& clean = report.backends[0];
+  const BackendHealth& shady = report.backends[1];
+  EXPECT_FALSE(clean.suspect);
+  EXPECT_EQ(clean.tmr_attempts, 0);
+  EXPECT_GT(clean.attempts, 0);
+  // Clean history + generous budget → the dial drops below full.
+  EXPECT_LT(clean.cert_level, 2);
+  EXPECT_TRUE(shady.suspect);
+  EXPECT_GT(shady.tmr_attempts, 0);
+  EXPECT_EQ(shady.tmr_attempts, shady.attempts);
+  // Both backends are actually fault-free here, so every attempt is
+  // certified clean and the run itself attributes no new SDC.
+  EXPECT_EQ(report.sdc_detected, 0);
+  // The exported attribution carries the preloaded history forward.
+  EXPECT_EQ(shady.sdc_attributed, 24);
+  EXPECT_NE(report.ledger_hash, 0u);
+}
+
 TEST(SortServiceTest, RejectsInvalidConfig) {
   const ProductGraph pg(labeled_path(2), 2);
   const SnakeOETS2 oet;

@@ -4,8 +4,18 @@
 //                  [--policy drop-tail|edf|priority] [--backends B]
 //                  [--faulty F] [--tmr K] [--queue-cap C] [--retry R]
 //                  [--size N] [--dims r] [--threads T]
+//                  [--sdc-budget P] [--ledger FILE] [--json FILE]
 //   prodsort_serve --soak [same flags]
 //   prodsort_serve --repro SERVICE-REPRO ...
+//
+// `--sdc-budget P` switches on the adaptive certification dial
+// (docs/SERVICE.md): each backend's certificates are priced by its
+// measured risk in the suspect ledger, suspects are hardened with
+// selective TMR instead of the pool-wide --tmr hammer, and the repro
+// line gains `sdc-budget=`/`ledger=` tokens so a replay checks the
+// final ledger state too.  `--ledger FILE` preloads the ledger from a
+// previous run and persists the updated state back; `--json FILE`
+// writes ServiceReport::json() (the per-backend SDC attribution feed).
 //
 // Drives a SortService over a pool of simulated product-network
 // backends with open-loop, seed-hashed arrivals at `--load` times the
@@ -60,7 +70,29 @@ struct ServeArgs {
   int dims = 2;
   int threads = 1;
   bool soak = false;
+  double sdc_budget = 0;    ///< >0 switches the adaptive cert dial on
+  std::string ledger_path;  ///< preload + persist the suspect ledger
+  std::string json_path;    ///< write ServiceReport::json() here
 };
+
+std::string read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return {};
+  std::string out;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool ok =
+      std::fwrite(content.data(), 1, content.size(), f) == content.size();
+  return std::fclose(f) == 0 && ok;
+}
 
 /// Derived per-backend fault schedules: odd faulty backends are
 /// recoverable, even ones fail outright until the fault heals at
@@ -108,7 +140,15 @@ std::vector<BackendConfig> build_backends(const ServeArgs& args,
   return configs;
 }
 
-ServiceReport run_service(const ServeArgs& args, std::int64_t* mean_out) {
+/// A run plus the final suspect-ledger state (hash for the repro line,
+/// JSON for --ledger persistence; both empty when adaptive mode is off).
+struct ServeRun {
+  ServiceReport report;
+  std::uint64_t ledger_hash = 0;
+  std::string ledger_json;
+};
+
+ServeRun run_service(const ServeArgs& args, std::int64_t* mean_out) {
   const LabeledFactor factor = labeled_cycle(args.size);
   const ProductGraph pg(factor, args.dims);
   const SnakeOETS2 oet;
@@ -119,6 +159,12 @@ ServiceReport run_service(const ServeArgs& args, std::int64_t* mean_out) {
   config.load = args.load;
   config.retry_budget = args.retry;
   config.queue = {parse_shed_policy(args.policy), args.queue_cap};
+  if (args.sdc_budget > 0) {
+    config.adaptive.enabled = true;
+    config.adaptive.sdc_budget = args.sdc_budget;
+    if (!args.ledger_path.empty())
+      config.adaptive.ledger_json = read_file(args.ledger_path);
+  }
 
   // Fault-free probe for the mean service time (scales the fault-heal
   // instant and the breaker cooldown).
@@ -134,18 +180,24 @@ ServiceReport run_service(const ServeArgs& args, std::int64_t* mean_out) {
   SortService service(pg, config,
                       build_backends(args, mean, pg.num_nodes()), &oet,
                       &executor);
-  return service.run();
+  ServeRun run;
+  run.report = service.run();
+  if (config.adaptive.enabled) {
+    run.ledger_hash = service.ledger().state_hash();
+    run.ledger_json = service.ledger().to_json();
+  }
+  return run;
 }
 
-void print_repro(const ServeArgs& args, const ServiceReport& report) {
+void print_repro(const ServeArgs& args, const ServeRun& run) {
   std::printf("SERVICE-REPRO seed=%" PRIu64
               " jobs=%lld load=%g policy=%s backends=%d faulty=%d tmr=%d"
               " queue=%zu retry=%d size=%d dims=%d threads=%d"
-              " hash=%" PRIu64 "\n",
+              " sdc-budget=%g ledger=%" PRIu64 " hash=%" PRIu64 "\n",
               args.seed, static_cast<long long>(args.jobs), args.load,
               args.policy.c_str(), args.backends, args.faulty, args.tmr,
               args.queue_cap, args.retry, args.size, args.dims, args.threads,
-              report.hash());
+              args.sdc_budget, run.ledger_hash, run.report.hash());
 }
 
 /// Soak gate: the invariants CI asserts under sanitizers at overload.
@@ -175,7 +227,7 @@ int check_invariants(const ServeArgs& args, const ServiceReport& report) {
   return violations;
 }
 
-int run_repro(const std::string& line) {
+int run_repro(const std::string& line, const std::string& ledger_path) {
   const ReproLine repro(line);
   ServeArgs args;
   args.seed = std::stoull(repro.require("seed"));
@@ -191,18 +243,26 @@ int run_repro(const std::string& line) {
   args.size = std::stoi(repro.require("size"));
   args.dims = std::stoi(repro.require("dims"));
   args.threads = std::stoi(repro.require("threads"));
+  // Absent on pre-adaptive repro lines; default off.  A run that
+  // preloaded a ledger needs the same --ledger file passed alongside
+  // --repro — the line carries only the final state hash.
+  args.sdc_budget =
+      repro.has("sdc-budget") ? std::stod(repro.get("sdc-budget")) : 0;
+  args.ledger_path = ledger_path;
+  const std::uint64_t expected_ledger =
+      repro.has("ledger") ? std::stoull(repro.get("ledger")) : 0;
   const std::uint64_t expected = std::stoull(repro.require("hash"));
 
-  const ServiceReport report = run_service(args, nullptr);
-  if (report.hash() == expected) {
+  const ServeRun run = run_service(args, nullptr);
+  if (run.report.hash() == expected && run.ledger_hash == expected_ledger) {
     std::printf("repro: schedule replayed bit-identically (hash=%" PRIu64
-                ")\n",
-                expected);
+                " ledger=%" PRIu64 ")\n",
+                expected, expected_ledger);
     return 0;
   }
-  std::printf("repro: MISMATCH — expected hash=%" PRIu64 " got %" PRIu64
-              "\n",
-              expected, report.hash());
+  std::printf("repro: MISMATCH — expected hash=%" PRIu64 " ledger=%" PRIu64
+              " got hash=%" PRIu64 " ledger=%" PRIu64 "\n",
+              expected, expected_ledger, run.report.hash(), run.ledger_hash);
   return 1;
 }
 
@@ -229,6 +289,9 @@ int main(int argc, char** argv) {
     else if (has_value("--size")) args.size = std::atoi(argv[++i]);
     else if (has_value("--dims")) args.dims = std::atoi(argv[++i]);
     else if (has_value("--threads")) args.threads = std::atoi(argv[++i]);
+    else if (has_value("--sdc-budget")) args.sdc_budget = std::atof(argv[++i]);
+    else if (has_value("--ledger")) args.ledger_path = argv[++i];
+    else if (has_value("--json")) args.json_path = argv[++i];
     else if (std::strcmp(argv[i], "--soak") == 0) {
       // Overload defaults: 2x capacity, half the pool faulted.
       args.soak = true;
@@ -246,8 +309,9 @@ int main(int argc, char** argv) {
                    "usage: %s [--jobs J] [--seed S] [--load L]"
                    " [--policy drop-tail|edf|priority] [--backends B]"
                    " [--faulty F] [--tmr K] [--queue-cap C] [--retry R]"
-                   " [--size N] [--dims r] [--threads T] [--soak]"
-                   " [--repro SERVICE-REPRO-line]\n",
+                   " [--size N] [--dims r] [--threads T]"
+                   " [--sdc-budget P] [--ledger FILE] [--json FILE]"
+                   " [--soak] [--repro SERVICE-REPRO-line]\n",
                    argv[0]);
       return 2;
     }
@@ -255,7 +319,7 @@ int main(int argc, char** argv) {
 
   if (!repro_line.empty()) {
     try {
-      return run_repro(repro_line);
+      return run_repro(repro_line, args.ledger_path);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "--repro: malformed line: %s\n", e.what());
       return 2;
@@ -264,12 +328,27 @@ int main(int argc, char** argv) {
 
   try {
     std::int64_t mean = 0;
-    const ServiceReport report = run_service(args, &mean);
+    const ServeRun run = run_service(args, &mean);
+    const ServiceReport& report = run.report;
     std::printf("sort service: %d backends (%d faulted), mean service"
                 " %lld steps, load %.2fx, policy %s\n\n%s\n\n",
                 args.backends, args.faulty, static_cast<long long>(mean),
                 args.load, args.policy.c_str(), report.summary().c_str());
-    print_repro(args, report);
+    if (args.sdc_budget > 0) {
+      std::printf("adaptive: budget=%g escalations=%lld ledger=%" PRIu64
+                  "\n\n",
+                  args.sdc_budget,
+                  static_cast<long long>(report.cert_escalations),
+                  run.ledger_hash);
+    }
+    print_repro(args, run);
+    if (!args.json_path.empty() && !write_file(args.json_path, report.json()))
+      std::fprintf(stderr, "warning: could not write %s\n",
+                   args.json_path.c_str());
+    if (args.sdc_budget > 0 && !args.ledger_path.empty() &&
+        !write_file(args.ledger_path, run.ledger_json))
+      std::fprintf(stderr, "warning: could not write %s\n",
+                   args.ledger_path.c_str());
     if (args.soak) {
       const int violations = check_invariants(args, report);
       if (violations != 0) {

@@ -4,6 +4,7 @@
 //                   [--faults RATE] [--fault-seed F]
 //   prodsort_stress --chaos [--trials T] [--seed S] [--faults RATE]
 //   prodsort_stress --sdc [--trials T] [--seed S] [--min-repair-rate R]
+//                   [--cert-level spot|sampled|full] [--max-escape-rate R]
 //   prodsort_stress --repro FAULT-REPRO mode=chaos ...
 //   prodsort_stress --repro SDC-REPRO mode=sdc ...
 //
@@ -44,6 +45,16 @@
 // gates on the fraction of trials certify-and-repair resolved within
 // the pass budget (pass on entry, or repaired in place) without
 // escalating to the TMR / quarantine rungs.
+//
+// --cert-level runs the initial certificate at a graduated level
+// (docs/FAULTS.md, "Adaptive certification"): sub-full levels scan a
+// seeded sample of the adjacency pairs and fingerprint only every k-th
+// trial, so a corrupted output the sample misses is a *budgeted*
+// escape — counted and gated against --max-escape-rate (measured over
+// corrupted trials) instead of failing the soak.  A sampled
+// certificate that fails always escalates to a full one before the
+// repair ladder runs.  At the default full level any escape is fatal,
+// exactly as before.
 
 #include <algorithm>
 #include <cstdio>
@@ -53,6 +64,7 @@
 #include <random>
 #include <string>
 
+#include "core/adaptive_cert.hpp"
 #include "core/block_sort.hpp"
 #include "core/certifier.hpp"
 #include "core/hashing.hpp"
@@ -198,7 +210,35 @@ struct ChaosTrialSpec {
   FaultConfig config;
   unsigned seed = 0;  ///< with `trial`, derives the input keys
   long trial = 0;
+  /// SDC soak only: the level the initial certificate runs at.  Below
+  /// kFull a corrupted output the sampled scan misses is a *budgeted*
+  /// escape (counted, gated by --max-escape-rate), not a soak failure.
+  CertLevel cert_level = CertLevel::kFull;
+  std::uint64_t cert_seed = 0;  ///< 0 = derive from (seed, trial)
 };
+
+/// Trial-local sample seed for the sampled certificate — pure hash of
+/// (seed, trial), so an SDC-REPRO line replays the exact pair sample.
+std::uint64_t sdc_cert_seed(const ChaosTrialSpec& spec) {
+  if (spec.cert_seed != 0) return spec.cert_seed;
+  return mix64(mix64(spec.seed) ^ 0x63657274ULL,
+               static_cast<std::uint64_t>(spec.trial));
+}
+
+/// The trial's certification plan at `spec.cert_level`: coverage and
+/// fingerprint cadence from the AdaptiveCertConfig defaults, with the
+/// trial index standing in for the job index in the every-k-th rule.
+CertPlan sdc_cert_plan(const ChaosTrialSpec& spec) {
+  const AdaptiveCertConfig defaults;
+  const int level = static_cast<int>(spec.cert_level);
+  CertPlan plan;
+  plan.level = spec.cert_level;
+  plan.coverage = defaults.coverage[level];
+  plan.fingerprint =
+      spec.trial % defaults.fingerprint_every[level] == 0;
+  plan.sample_seed = sdc_cert_seed(spec);
+  return plan;
+}
 
 // Trial-local input derivation: a pure function of (seed, trial,
 // pattern), independent of every other trial, so --repro regenerates
@@ -367,6 +407,8 @@ struct SdcTotals {
   long repaired = 0;      ///< restored by bounded OET repair (rung 4)
   long tmr_masked = 0;    ///< restored by a TMR re-run
   long quarantined = 0;   ///< needed the fault-free re-sort
+  long escapes = 0;       ///< corrupted output a sub-full cert passed
+  long escalations = 0;   ///< sampled cert failed, full cert re-ran
   long repair_passes = 0;
   int max_repair_passes = 0;
 };
@@ -397,23 +439,42 @@ int run_sdc_trial(const ChaosTrialSpec& spec, SdcTotals* totals) {
   options.s2 = sorters[spec.sorter];
   (void)sort_product_network(machine, options);
 
-  const EndToEndCertificate cert = certifier.certify(machine, view);
   std::vector<Key> got = machine.read_snake(view);
+  const CertPlan plan = sdc_cert_plan(spec);
+  EndToEndCertificate cert = certifier.certify_sampled(got, plan);
+  bool escalated = false;
+  if (!cert.pass() && plan.level != CertLevel::kFull) {
+    // A sampled certificate never acts on its own verdict: the first
+    // failure escalates to a full certificate and the ladder below
+    // runs from the full dirty window.
+    escalated = true;
+    cert = certifier.certify(machine, view);
+  }
   const bool corrupted = got != expected;
   const bool fired = fm.counters().comparator_faults > 0;
+  // A corrupted output the sub-full certificate passed is the escape
+  // the operator's budget priced in — counted and gated at the summary
+  // (--max-escape-rate), not an immediate soak failure.  At full level
+  // with the fingerprint taken there is no budget: any escape is fatal.
+  const bool budgeted_escape =
+      cert.pass() && corrupted &&
+      (cert.level != CertLevel::kFull || !cert.fingerprint_checked);
   if (totals != nullptr) {
     ++totals->executed;
     totals->fired_trials += fired;
     totals->corrupted += corrupted;
     totals->detected += !cert.pass();
     totals->benign += fired && cert.pass() && !corrupted;
+    totals->escapes += budgeted_escape;
+    totals->escalations += escalated;
   }
 
   const char* rung = "none";
   const char* reason = nullptr;
   if (cert.pass()) {
-    // The one unforgivable outcome: wrong output, passing certificate.
-    if (corrupted) reason = "silent-escape";
+    // The one unforgivable outcome: wrong output, passing *full*
+    // certificate.  (A budgeted sampled-level escape returns clean.)
+    if (corrupted && !budgeted_escape) reason = "silent-escape";
   } else {
     // Rung 4: bounded alternating-parity OET repair over the dirty
     // window, in place, still under the attached fault model.
@@ -464,15 +525,18 @@ int run_sdc_trial(const ChaosTrialSpec& spec, SdcTotals* totals) {
 
   std::printf(
       "SDC-REPRO mode=sdc seed=%u trial=%ld family=%s r=%d pattern=%d"
-      " threads=%d sorter=%s schedule=%s rung=%s reason=%s\n",
+      " threads=%d sorter=%s schedule=%s cert-level=%s cert-seed=%llu"
+      " rung=%s reason=%s\n",
       spec.seed, spec.trial, spec.factor->name.c_str(), spec.r, spec.pattern,
       spec.threads, kChaosSorterNames[spec.sorter],
-      fm.schedule_string().c_str(), rung, reason);
+      fm.schedule_string().c_str(), to_string(spec.cert_level).c_str(),
+      static_cast<unsigned long long>(sdc_cert_seed(spec)), rung, reason);
   return 1;
 }
 
 int run_sdc_soak(long trials, unsigned seed, PNode max_nodes,
-                 double min_repair_rate) {
+                 double min_repair_rate, CertLevel cert_level,
+                 double max_escape_rate) {
   const auto factors = standard_factors();
   const ShearsortS2 shear;
   const SnakeOETS2 oet;
@@ -494,6 +558,7 @@ int run_sdc_soak(long trials, unsigned seed, PNode max_nodes,
     spec.pattern = static_cast<int>(mix64(h, 1) % 5);
     spec.threads = 1 + static_cast<int>(mix64(h, 2) % 4);
     spec.sorter = static_cast<std::size_t>(mix64(h, 3) % 2);
+    spec.cert_level = cert_level;
 
     const ProductGraph pg(*spec.factor, spec.r);
     const std::int64_t phases =
@@ -548,14 +613,27 @@ int run_sdc_soak(long trials, unsigned seed, PNode max_nodes,
           ? 1.0
           : static_cast<double>(totals.executed - escalated) /
                 static_cast<double>(totals.executed);
+  // At sub-full levels the soak reports the *measured* escape rate —
+  // corrupted outputs the sampled certificate passed, over all
+  // corrupted trials — against the operator's --max-escape-rate bound.
+  // At full level the bound is implicitly zero (a full escape already
+  // failed the run above), so the gate is a consistency check.
+  const double escape_rate =
+      totals.corrupted == 0
+          ? 0.0
+          : static_cast<double>(totals.escapes) /
+                static_cast<double>(totals.corrupted);
   std::printf(
-      "sdc soak: %ld/%ld trials executed, zero silent escapes"
+      "sdc soak: %ld/%ld trials executed at cert-level=%s, zero silent"
+      " escapes beyond budget"
       " (fired=%ld corrupted=%ld detected=%ld benign=%ld | repaired=%ld"
-      " tmr=%ld quarantined=%ld | repair passes mean=%.1f max=%d |"
+      " tmr=%ld quarantined=%ld | escapes=%ld escalations=%ld"
+      " escape-rate=%.3f | repair passes mean=%.1f max=%d |"
       " certify-and-repair rate=%.3f)\n",
-      totals.executed, trials, totals.fired_trials, totals.corrupted,
-      totals.detected, totals.benign, totals.repaired, totals.tmr_masked,
-      totals.quarantined,
+      totals.executed, trials, to_string(cert_level).c_str(),
+      totals.fired_trials, totals.corrupted, totals.detected, totals.benign,
+      totals.repaired, totals.tmr_masked, totals.quarantined, totals.escapes,
+      totals.escalations, escape_rate,
       totals.repaired > 0 ? static_cast<double>(totals.repair_passes) /
                                 static_cast<double>(totals.repaired)
                           : 0.0,
@@ -565,6 +643,12 @@ int run_sdc_soak(long trials, unsigned seed, PNode max_nodes,
         "sdc soak: certify-and-repair rate %.3f below --min-repair-rate"
         " %.3f\n",
         rate, min_repair_rate);
+    return 1;
+  }
+  if (escape_rate > max_escape_rate) {
+    std::printf(
+        "sdc soak: escape rate %.3f above --max-escape-rate %.3f\n",
+        escape_rate, max_escape_rate);
     return 1;
   }
   return 0;
@@ -608,6 +692,12 @@ int run_repro(const std::string& line) {
     spec.interval = std::stoi(repro.require("interval"));
     status = run_chaos_trial(spec, nullptr);
   } else {
+    // Absent on pre-adaptive SDC-REPRO lines; defaults replay the
+    // original full-certificate behavior.
+    if (repro.has("cert-level"))
+      spec.cert_level = parse_cert_level(repro.get("cert-level"));
+    if (repro.has("cert-seed"))
+      spec.cert_seed = std::stoull(repro.get("cert-seed"));
     status = run_sdc_trial(spec, nullptr);
   }
   std::printf("repro: %s\n", status == 0
@@ -627,6 +717,8 @@ int main(int argc, char** argv) {
   bool chaos = false;
   bool sdc = false;
   double min_repair_rate = 0;
+  CertLevel cert_level = CertLevel::kFull;
+  double max_escape_rate = 0;
   std::string repro_line;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trials") == 0 && i + 1 < argc)
@@ -645,6 +737,15 @@ int main(int argc, char** argv) {
       sdc = true;
     else if (std::strcmp(argv[i], "--min-repair-rate") == 0 && i + 1 < argc)
       min_repair_rate = std::atof(argv[++i]);
+    else if (std::strcmp(argv[i], "--cert-level") == 0 && i + 1 < argc) {
+      try {
+        cert_level = parse_cert_level(argv[++i]);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "--cert-level: %s\n", e.what());
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--max-escape-rate") == 0 && i + 1 < argc)
+      max_escape_rate = std::atof(argv[++i]);
     else if (std::strcmp(argv[i], "--repro") == 0) {
       // Everything after --repro is the repro line, quoted or
       // shell-split: rejoin it either way.
@@ -659,7 +760,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: %s [--trials T] [--seed S] [--max-nodes M]"
                    " [--faults RATE] [--fault-seed F] [--chaos] [--sdc]"
-                   " [--min-repair-rate R] [--repro REPRO-line]\n",
+                   " [--min-repair-rate R] [--cert-level spot|sampled|full]"
+                   " [--max-escape-rate R] [--repro REPRO-line]\n",
                    argv[0]);
       return 2;
     }
@@ -673,7 +775,9 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (sdc) return run_sdc_soak(trials, seed, max_nodes, min_repair_rate);
+  if (sdc)
+    return run_sdc_soak(trials, seed, max_nodes, min_repair_rate, cert_level,
+                        max_escape_rate);
   if (chaos)
     return run_chaos_soak(trials, seed, fault_rate >= 0 ? fault_rate : 0.001,
                           max_nodes);
