@@ -31,8 +31,10 @@ void Machine::compare_exchange_step(std::span<const CEPair> pairs,
                             faulty);
   }
   // A validating observer (the StepAuditor) subsumes the plain sweep
-  // with per-invariant reporting; passive observers do not.
-  if (check_disjoint_ &&
+  // with per-invariant reporting; a static disjointness proof
+  // (set_statically_audited) discharges it offline.  Passive observers
+  // leave it in force.
+  if (check_disjoint_ && !statically_audited_ &&
       (observer_ == nullptr || !observer_->supersedes_validation())) {
     std::vector<char> touched(keys_.size(), 0);
     for (const CEPair& p : pairs) {

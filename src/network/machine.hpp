@@ -56,6 +56,21 @@ class Machine {
   /// the CheckpointManager leave it in force.
   void set_check_disjoint(bool on) noexcept { check_disjoint_ = on; }
 
+  /// Statically-audited mode: declares that every schedule this machine
+  /// will run has been proven disjoint offline (staticcheck/
+  /// static_prover.hpp — a clean StaticProof covering the schedule's
+  /// canonical hash).  While set, the per-step disjointness sweep is
+  /// skipped even when `check_disjoint` is on, moving the O(pairs +
+  /// nodes) per-phase validation cost to a one-time static proof.  The
+  /// caller owns the obligation: setting this without a proof silently
+  /// disables the safety net (tools/prodsort_staticcheck measures the
+  /// sweep cost this mode saves and gates on the proof actually
+  /// existing).  A validating observer still supersedes everything.
+  void set_statically_audited(bool on) noexcept { statically_audited_ = on; }
+  [[nodiscard]] bool statically_audited() const noexcept {
+    return statically_audited_;
+  }
+
   /// Attaches a phase observer (borrowed; must outlive the machine, pass
   /// nullptr to detach).  While attached it is invoked around every
   /// compare-exchange step and supersedes `set_check_disjoint`.
@@ -141,6 +156,7 @@ class Machine {
   PhaseObserver* observer_ = nullptr;
   std::int64_t fault_step_ = 0;  ///< event-id stream for fault decisions
   bool tmr_ = false;             ///< triple-redundant voting; see set_tmr
+  bool statically_audited_ = false;  ///< see set_statically_audited
 #ifdef NDEBUG
   bool check_disjoint_ = false;
 #else

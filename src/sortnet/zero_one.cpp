@@ -1,6 +1,7 @@
 #include "sortnet/zero_one.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <stdexcept>
 #include <vector>
 
@@ -8,16 +9,45 @@
 
 namespace prodsort {
 
+namespace {
+
+// Bit j of pattern w equals (j >> w) & 1 — wire w's value over the 64
+// exhaustive inputs of one chunk, for the six low wires.
+constexpr std::uint64_t kExhaustivePattern[6] = {
+    0xAAAAAAAAAAAAAAAAULL, 0xCCCCCCCCCCCCCCCCULL, 0xF0F0F0F0F0F0F0F0ULL,
+    0xFF00FF00FF00FF00ULL, 0xFFFF0000FFFF0000ULL, 0xFFFFFFFF00000000ULL,
+};
+
+}  // namespace
+
+void zero_one_input(bool exhaustive, std::uint64_t seed, std::int64_t trial,
+                    std::span<Key> out) {
+  const int width = static_cast<int>(out.size());
+  if (exhaustive) {
+    for (int i = 0; i < width; ++i)
+      out[static_cast<std::size_t>(i)] = static_cast<Key>(
+          (static_cast<std::uint64_t>(trial) >> i) & 1u);
+    return;
+  }
+  // One splitmix64 word per 64 bits of input, keyed by (seed, trial).
+  const std::uint64_t trial_seed =
+      mix64(seed, static_cast<std::uint64_t>(trial));
+  for (int i = 0; i < width; ++i) {
+    const std::uint64_t word =
+        mix64(trial_seed, static_cast<std::uint64_t>(i / 64));
+    out[static_cast<std::size_t>(i)] =
+        static_cast<Key>((word >> (i % 64)) & 1u);
+  }
+}
+
 std::int64_t count_zero_one_failures(
     int width, const std::function<void(std::span<Key>)>& algorithm,
     std::int64_t max_failures) {
   if (width < 1 || width > 30) throw std::invalid_argument("width out of range");
   std::int64_t failures = 0;
   std::vector<Key> values(static_cast<std::size_t>(width));
-  for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << width); ++mask) {
-    for (int i = 0; i < width; ++i)
-      values[static_cast<std::size_t>(i)] =
-          static_cast<Key>((mask >> i) & 1u);
+  for (std::int64_t mask = 0; mask < (std::int64_t{1} << width); ++mask) {
+    zero_one_input(/*exhaustive=*/true, 0, mask, values);
     algorithm(values);
     if (!std::is_sorted(values.begin(), values.end())) {
       if (++failures >= max_failures) return failures;
@@ -26,9 +56,87 @@ std::int64_t count_zero_one_failures(
   return failures;
 }
 
+ComparatorActivity certify_comparators_zero_one(
+    int width, std::span<const Comparator> comparators, std::int64_t budget,
+    std::uint64_t seed) {
+  if (width < 1) throw std::invalid_argument("width out of range");
+  if (budget < 1) throw std::invalid_argument("budget must be positive");
+
+  ComparatorActivity out;
+  out.fired.assign(comparators.size(), 0);
+  ZeroOneCertificate& cert = out.cert;
+  cert.exhaustive = width < 63 && (std::int64_t{1} << width) <= budget;
+  const std::int64_t inputs =
+      cert.exhaustive ? std::int64_t{1} << width : budget;
+
+  std::vector<std::uint64_t> wires(static_cast<std::size_t>(width));
+  std::vector<Key> sample(static_cast<std::size_t>(width));
+  const std::int64_t chunks = (inputs + 63) / 64;
+  for (std::int64_t c = 0; c < chunks; ++c) {
+    const std::int64_t base = c * 64;
+    const int lanes =
+        static_cast<int>(std::min<std::int64_t>(64, inputs - base));
+    const std::uint64_t lane_mask =
+        lanes == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << lanes) - 1;
+
+    if (cert.exhaustive) {
+      for (int w = 0; w < width; ++w)
+        wires[static_cast<std::size_t>(w)] =
+            w < 6 ? kExhaustivePattern[w]
+                  : (((static_cast<std::uint64_t>(c) >> (w - 6)) & 1u) != 0
+                         ? ~std::uint64_t{0}
+                         : 0);
+    } else {
+      std::fill(wires.begin(), wires.end(), 0);
+      for (int j = 0; j < lanes; ++j) {
+        zero_one_input(/*exhaustive=*/false, seed, base + j, sample);
+        for (int w = 0; w < width; ++w)
+          wires[static_cast<std::size_t>(w)] |=
+              static_cast<std::uint64_t>(sample[static_cast<std::size_t>(w)] !=
+                                         0)
+              << j;
+      }
+    }
+
+    for (std::size_t k = 0; k < comparators.size(); ++k) {
+      const Comparator& cmp = comparators[k];
+      const std::uint64_t lo = wires[static_cast<std::size_t>(cmp.low)];
+      const std::uint64_t hi = wires[static_cast<std::size_t>(cmp.high)];
+      if ((lo & ~hi & lane_mask) != 0) out.fired[k] = 1;
+      wires[static_cast<std::size_t>(cmp.low)] = lo & hi;
+      wires[static_cast<std::size_t>(cmp.high)] = lo | hi;
+    }
+
+    std::uint64_t violation = 0;
+    for (int w = 0; w + 1 < width; ++w)
+      violation |= wires[static_cast<std::size_t>(w)] &
+                   ~wires[static_cast<std::size_t>(w + 1)];
+    violation &= lane_mask;
+    if (violation != 0) {
+      // The lowest set lane is the first failing trial, matching the
+      // black-box certifier's stop-at-first-failure behavior exactly.
+      const std::int64_t trial = base + std::countr_zero(violation);
+      cert.inputs_tested = trial + 1;
+      cert.failures = 1;
+      cert.witness.resize(static_cast<std::size_t>(width));
+      zero_one_input(cert.exhaustive, seed, trial, cert.witness);
+      return out;
+    }
+    cert.inputs_tested = base + lanes;
+  }
+  return out;
+}
+
 bool sorts_all_zero_one(const ComparatorNetwork& net) {
-  return count_zero_one_failures(
-             net.width(), [&](std::span<Key> v) { net.apply(v); }) == 0;
+  if (net.width() < 1 || net.width() > 30)
+    throw std::invalid_argument("width out of range");
+  std::vector<Comparator> flat;
+  flat.reserve(net.size());
+  for (const std::vector<Comparator>& layer : net.layers())
+    flat.insert(flat.end(), layer.begin(), layer.end());
+  return certify_comparators_zero_one(net.width(), flat,
+                                      std::int64_t{1} << net.width())
+      .cert.certified();
 }
 
 ZeroOneCertificate certify_zero_one(
@@ -45,21 +153,7 @@ ZeroOneCertificate certify_zero_one(
   std::vector<Key> input(static_cast<std::size_t>(width));
   std::vector<Key> values(static_cast<std::size_t>(width));
   for (std::int64_t trial = 0; trial < inputs; ++trial) {
-    if (cert.exhaustive) {
-      for (int i = 0; i < width; ++i)
-        input[static_cast<std::size_t>(i)] =
-            static_cast<Key>((static_cast<std::uint64_t>(trial) >> i) & 1u);
-    } else {
-      // One splitmix64 word per 64 bits of input, keyed by (seed, trial).
-      const std::uint64_t trial_seed =
-          mix64(seed, static_cast<std::uint64_t>(trial));
-      for (int i = 0; i < width; ++i) {
-        const std::uint64_t word =
-            mix64(trial_seed, static_cast<std::uint64_t>(i / 64));
-        input[static_cast<std::size_t>(i)] =
-            static_cast<Key>((word >> (i % 64)) & 1u);
-      }
-    }
+    zero_one_input(cert.exhaustive, seed, trial, input);
     values = input;
     algorithm(values);
     ++cert.inputs_tested;

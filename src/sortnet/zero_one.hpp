@@ -2,7 +2,20 @@
 
 // Knuth's zero-one principle [15], the paper's correctness tool: an
 // oblivious compare-exchange algorithm sorts every input iff it sorts
-// every 0-1 input.  These helpers enumerate all 2^n 0-1 inputs.
+// every 0-1 input.  This header is the repo's single zero-one engine:
+//
+//  * one shared input stream (zero_one_input) enumerating 0-1 vectors
+//    exhaustively or from a seeded splitmix64 sample, so every consumer
+//    — black-box certification below, the bit-parallel evaluator, and
+//    the static model checker (staticcheck/zero_one_check.hpp) — sees
+//    the identical trial order and reproduces identical witnesses;
+//  * a bit-parallel evaluator over explicit comparator sequences, 64
+//    inputs per machine word (min = AND, max = OR on the 0-1 domain),
+//    which also records per-comparator exchange activity — the exact
+//    "does this comparator ever fire" bitset fact the dead-comparator
+//    pass of staticcheck/dataflow.hpp consumes;
+//  * the black-box certifier for algorithms only available as opaque
+//    span functions (one input at a time; same stream, same witnesses).
 
 #include <functional>
 
@@ -11,6 +24,7 @@
 namespace prodsort {
 
 /// True iff the network sorts all 2^width 0-1 inputs (keep width <= ~24).
+/// Evaluated bit-parallel, 64 inputs per word.
 [[nodiscard]] bool sorts_all_zero_one(const ComparatorNetwork& net);
 
 /// Zero-one check for an arbitrary in-place algorithm of fixed width.
@@ -30,12 +44,42 @@ struct ZeroOneCertificate {
   [[nodiscard]] bool certified() const noexcept { return failures == 0; }
 };
 
+/// Fills `out` (size = width) with 0-1 trial `trial` of the shared
+/// enumeration stream.  Exhaustive order: bit i of the trial index
+/// (trial = the input read as a binary mask, width < 63).  Sampled
+/// order: one splitmix64 word per 64 positions, keyed by (seed, trial)
+/// — a pure hash, so any consumer holding (seed, trial) regenerates the
+/// identical input (the STATIC-REPRO replay guarantee).
+void zero_one_input(bool exhaustive, std::uint64_t seed, std::int64_t trial,
+                    std::span<Key> out);
+
+/// Result of bit-parallel comparator evaluation: the certificate plus
+/// per-comparator exchange activity over the tested inputs.
+struct ComparatorActivity {
+  ZeroOneCertificate cert;
+  /// fired[k] != 0 iff comparator k exchanged (low=1, high=0) on at
+  /// least one tested input.  On a *certified exhaustive* run, a
+  /// never-fired comparator provably never exchanges on ANY input (the
+  /// 0-1 threshold argument), so it is dead and prunable; on sampled
+  /// runs the flag is only a candidate signal.
+  std::vector<std::uint8_t> fired;
+};
+
+/// Bit-parallel 0-1 certification of an explicit comparator sequence
+/// (wire semantics: the minimum lands on `low` regardless of index
+/// order).  Exhaustive when 2^width <= budget, else `budget` sampled
+/// inputs; trial order, witness, and inputs_tested match
+/// certify_zero_one on the same (width, budget, seed) bit for bit.
+[[nodiscard]] ComparatorActivity certify_comparators_zero_one(
+    int width, std::span<const Comparator> comparators,
+    std::int64_t budget = std::int64_t{1} << 20, std::uint64_t seed = 1);
+
 /// Certifies an oblivious in-place algorithm of fixed width by the 0-1
 /// principle.  Exhaustive (all 2^width inputs) when 2^width <= budget;
-/// otherwise `budget` seeded-random 0-1 inputs drawn from a splitmix64
-/// stream — a statistical smoke screen, not a proof, flagged by
-/// `exhaustive == false`.  Stops at the first failure and returns the
-/// offending input as the witness.
+/// otherwise `budget` seeded-random 0-1 inputs drawn from the shared
+/// splitmix64 stream — a statistical smoke screen, not a proof, flagged
+/// by `exhaustive == false`.  Stops at the first failure and returns
+/// the offending input as the witness.
 [[nodiscard]] ZeroOneCertificate certify_zero_one(
     int width, const std::function<void(std::span<Key>)>& algorithm,
     std::int64_t budget = std::int64_t{1} << 20, std::uint64_t seed = 1);

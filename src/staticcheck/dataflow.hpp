@@ -1,0 +1,103 @@
+#pragma once
+
+// Dataflow optimizer pass over recorded schedules: which comparators
+// provably never exchange, which adjacent phases could fuse, and how
+// much slack the phase count carries over the true dependency depth.
+// Everything here is analysis over the IR — no keys, no execution —
+// and every "dead" verdict is a proof, by one of two engines:
+//
+//  * relation domain (any width): abstract interpretation over the
+//    ordered-pair lattice.  after[u] is the set of wires v with
+//    value(u) <= value(v) guaranteed at this program point; a
+//    comparator whose fact is already in the relation cannot exchange.
+//    Transfer functions are the exact min/max image of the relation
+//    (union for the min wire, intersection for the max wire, and the
+//    column-wise dual), so the domain is sound for all inputs and all
+//    key types, duplicates included — just not complete;
+//  * 0-1 activity (width <= exhaustive cutoff): bit-parallel evaluation
+//    of all 2^N 0-1 vectors records which comparators ever fire.  A
+//    comparator that never fires on any 0-1 input never fires on any
+//    input at all (apply the threshold indicator x >= t to a real-key
+//    run: it commutes with min/max, so a real exchange at the
+//    comparator would force a 0-1 exchange for some threshold) — the
+//    dead set is exact, not just sound.
+//
+// Pruning drops dead pairs and then empty phases; each dropped phase
+// saves its charged hop in CostModel::exec_steps (Section 5's step
+// counts), which tools/prodsort_staticcheck reports as projected
+// savings and tests confirm end-to-end by replaying the pruned
+// schedule.
+
+#include <vector>
+
+#include "staticcheck/zero_one_check.hpp"
+
+namespace prodsort {
+
+struct DataflowOptions {
+  /// Run the exact 0-1 activity engine when the width is within the
+  /// exhaustive cutoff (`zero_one.max_exhaustive_width`); sampled
+  /// activity is never used for deadness (a sample cannot prove a
+  /// comparator dead).
+  bool run_zero_one = true;
+  ZeroOneCheckOptions zero_one;
+  /// Relation-domain cap: the bitset matrix costs width^2 bits and each
+  /// comparator costs O(width); above the cap the relation engine is
+  /// skipped (reported via `relation_ran`).
+  int max_relation_width = 1 << 13;
+};
+
+/// A fusable boundary: phases `first_phase` and `first_phase + 1` touch
+/// disjoint processor sets, so one synchronous step could issue both,
+/// saving min(hop, next hop) charged steps.
+struct FusionCandidate {
+  std::int64_t first_phase = 0;
+  int saved_hops = 0;
+};
+
+struct DataflowReport {
+  std::uint64_t schedule_hash = 0;
+  std::int64_t comparators = 0;
+
+  // Deadness (indices follow the lowering order).
+  std::vector<std::uint8_t> dead;  ///< 1 = provably never exchanges
+  std::int64_t dead_by_relation = 0;
+  std::int64_t dead_by_zero_one = 0;
+  bool relation_ran = false;
+  /// True when the 0-1 engine ran exhaustively: `dead` is then the
+  /// EXACT set of never-firing comparators (relation hits included),
+  /// so zero dead comparators means provably nothing is prunable.
+  bool dead_exact = false;
+
+  // Phase structure.
+  std::vector<FusionCandidate> fusions;  ///< greedy non-overlapping scan
+  int phase_count = 0;
+  int critical_path = 0;  ///< comparator DAG depth (ASAP levels)
+  int slack = 0;          ///< phase_count - critical_path
+
+  // Projected Section-5 savings in charged exec steps.
+  std::int64_t saved_steps_prune = 0;   ///< hops of phases pruning empties
+  std::int64_t saved_steps_fusion = 0;  ///< sum of fusion saved_hops
+
+  [[nodiscard]] std::int64_t dead_total() const noexcept {
+    std::int64_t total = 0;
+    for (const std::uint8_t d : dead) total += d;
+    return total;
+  }
+};
+
+/// Runs both deadness engines, the fusion scan, and the critical-path
+/// analysis.  `lowered` must be the lowering of `ir` (phase provenance
+/// is taken from it).
+[[nodiscard]] DataflowReport analyze_dataflow(
+    const LoweredSchedule& lowered, const ScheduleIR& ir,
+    const DataflowOptions& options = {});
+
+/// Returns `ir` minus the comparators flagged in `dead` (lowering
+/// order) and minus any phase left empty.  The pruned schedule sorts
+/// exactly what the original sorts — dead comparators never exchange —
+/// while charging strictly fewer steps when a phase disappears.
+[[nodiscard]] ScheduleIR prune_schedule(const ScheduleIR& ir,
+                                        const std::vector<std::uint8_t>& dead);
+
+}  // namespace prodsort

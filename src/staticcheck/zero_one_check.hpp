@@ -1,0 +1,84 @@
+#pragma once
+
+// 0-1 model checking of recorded schedules (staticcheck layer).
+//
+// A ScheduleIR is an oblivious comparator program over processors; the
+// machine's sorted order is ascending snake rank (Definition 2).  Lower
+// each CEPair to a comparator over snake-rank wires (wire i = the node
+// at snake rank i; CEPair low receives the minimum, so the lowered
+// comparator's `low` wire is the low node's rank — descending
+// comparators fall out naturally where the snake folds) and Knuth's 0-1
+// principle turns sortedness into a finite model-checking problem:
+//
+//   width <= max_exhaustive_width  — evaluate all 2^N 0-1 vectors
+//       bit-parallel (64 per word); a clean pass is a PROOF of
+//       sortedness for every input of every type;
+//   larger widths — a seeded sample from the shared zero_one_input
+//       stream; evidence, not proof (`cert.exhaustive == false`), and
+//       bit-identically replayable from (schedule hash, seed) — the
+//       STATIC-REPRO line.
+//
+// A failure carries the offending 0-1 input, greedily minimized (every
+// 1 that can flip to 0 while still failing is flipped) so the witness
+// names few processors.  Block schedules check at unit granularity:
+// by the classical block-sorting lemma (Knuth 5.3.4), a pair schedule
+// that merge-split sorts blocks iff its unit-key lowering sorts.
+
+#include <vector>
+
+#include "sortnet/zero_one.hpp"
+#include "staticcheck/schedule_ir.hpp"
+
+namespace prodsort {
+
+/// A schedule lowered to a flat comparator sequence over snake-rank
+/// wires, with provenance (phase_of[k] = IR phase of comparator k) so
+/// activity facts map back to schedule positions.
+struct LoweredSchedule {
+  int width = 0;
+  std::vector<Comparator> comparators;
+  std::vector<std::int64_t> phase_of;
+};
+
+/// Lowers every pair of the schedule; throws if an endpoint is outside
+/// the graph.  `pg` must be the graph the schedule was recorded on.
+/// `snake_wires` selects the sorted-order convention being certified:
+/// wire i = node at snake rank i (the product-sort contract) when true,
+/// wire i = node i (the hypercube bitonic baseline, which sorts in
+/// node-id order) when false.
+[[nodiscard]] LoweredSchedule lower_to_comparators(const ProductGraph& pg,
+                                                   const ScheduleIR& ir,
+                                                   bool snake_wires = true);
+
+struct ZeroOneCheckOptions {
+  /// Exhaustive 2^N evaluation up to this width (22 ≈ 4M inputs, 65k
+  /// words per wire — well inside a CI budget for schedule sizes here).
+  int max_exhaustive_width = 22;
+  std::int64_t sample_budget = 4096;  ///< trials above the width cutoff
+  std::uint64_t seed = 1;             ///< sampled-stream seed
+  bool minimize_witness = true;
+};
+
+struct ZeroOneCheckResult {
+  ZeroOneCertificate cert;  ///< witness already minimized if requested
+  /// Set size of the original (un-minimized) witness minus the minimized
+  /// one; 0 when no failure or minimization off.
+  int witness_ones_removed = 0;
+  [[nodiscard]] bool sorts() const noexcept { return cert.certified(); }
+  /// True only for a clean exhaustive pass — a proof, not a sample.
+  [[nodiscard]] bool proven() const noexcept {
+    return cert.certified() && cert.exhaustive;
+  }
+};
+
+/// Checks a lowered schedule by the 0-1 principle (see header comment).
+[[nodiscard]] ZeroOneCheckResult check_zero_one(
+    const LoweredSchedule& lowered, const ZeroOneCheckOptions& options = {});
+
+/// Scalar reference: does the lowered schedule sort this one input?
+/// (Used for witness minimization and by tests as an independent oracle
+/// against the bit-parallel engine.)
+[[nodiscard]] bool schedule_sorts_input(const LoweredSchedule& lowered,
+                                        std::span<const Key> input);
+
+}  // namespace prodsort

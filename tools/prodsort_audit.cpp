@@ -18,6 +18,13 @@
 //             exhaustive for small widths, seeded-random beyond (the
 //             report flags which, see sortnet/zero_one.hpp).
 //
+// Every machine/block run additionally chains a ScheduleRecorder in
+// front of the StepAuditor and cross-checks that the schedule the
+// dynamic auditor just exercised is also statically proven
+// (staticcheck/static_prover.hpp).  The `AUDIT-STATIC` summary line
+// reports the coverage: a blind spot (a dynamically audited schedule
+// the static prover rejects or cannot analyze) fails the sweep.
+//
 // Exit status 0 iff every section is clean; violations also print as
 // `AUDIT-VIOLATION` lines.  --quick shrinks the sweep for ctest (label
 // `audit`); the full sweep is the CI configuration.
@@ -25,12 +32,16 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <map>
 #include <numeric>
 #include <random>
 #include <string>
 
 #include "analysis/packet_audit.hpp"
 #include "analysis/step_auditor.hpp"
+#include "core/hashing.hpp"
+#include "staticcheck/schedule_ir.hpp"
+#include "staticcheck/static_prover.hpp"
 #include "baselines/batcher_sequence.hpp"
 #include "baselines/bitonic_network.hpp"
 #include "baselines/columnsort.hpp"
@@ -73,6 +84,41 @@ struct Tally {
   }
 };
 
+// Static cross-check: every schedule the dynamic auditor exercises is
+// recorded (ScheduleRecorder chained in front of the StepAuditor) and
+// proven once per unique (graph, schedule hash) — identical schedules
+// reached through different runs (e.g. the TMR re-run) are proofs
+// served from cache, not re-derived.
+struct StaticCross {
+  long schedules = 0;  ///< dynamically audited runs recorded
+  std::map<std::uint64_t, bool> unique;  ///< cache key -> all_proven
+  long blind = 0;  ///< runs whose schedule the prover rejected
+
+  void add(const ProductGraph& pg, const ScheduleIR& ir,
+           bool cross_dimension) {
+    ++schedules;
+    const std::uint64_t key =
+        mix64(graph_fingerprint(pg), ir.canonical_hash());
+    const auto it = unique.find(key);
+    bool proven;
+    if (it != unique.end()) {
+      proven = it->second;
+    } else {
+      StaticProverOptions options;
+      options.allow_cross_dimension = cross_dimension;
+      proven = prove_schedule(pg, ir, options).all_proven();
+      unique.emplace(key, proven);
+    }
+    if (!proven) ++blind;
+  }
+
+  [[nodiscard]] long unproven() const {
+    long count = 0;
+    for (const auto& [key, proven] : unique) count += !proven;
+    return count;
+  }
+};
+
 void print_violations(Tally& tally, const char* section,
                       const StepAuditor& auditor) {
   tally.violations += auditor.violation_count();
@@ -96,7 +142,7 @@ ComparatorNetwork any_width_network(int n) {
 
 // ---------------------------------------------------------------- machine
 
-void audit_machine(const Options& opt, Tally& tally) {
+void audit_machine(const Options& opt, Tally& tally, StaticCross& cross) {
   const auto factors = standard_factors();
   const OracleS2 oracle;
   const ShearsortS2 shearsort;
@@ -147,10 +193,12 @@ void audit_machine(const Options& opt, Tally& tally) {
           auditor.reset();
           Machine machine(pg, random_keys(pg.num_nodes(), rng), &exec);
           machine.set_tmr(tmr);
-          machine.set_observer(&auditor);
+          ScheduleRecorder recorder(pg, &auditor);
+          machine.set_observer(&recorder);
           SortOptions options;
           options.s2 = &sorter;
           const SortReport report = sort_product_network(machine, options);
+          cross.add(pg, recorder.take(), entry.cross_dimension);
 
           const bool sorted = machine.snake_sorted(full_view(pg));
           const bool exact =
@@ -189,8 +237,10 @@ void audit_machine(const Options& opt, Tally& tally) {
     config.throw_on_violation = false;
     StepAuditor auditor(pg, config);
     Machine machine(pg, random_keys(pg.num_nodes(), rng), &exec);
-    machine.set_observer(&auditor);
+    ScheduleRecorder recorder(pg, &auditor);
+    machine.set_observer(&recorder);
     const int depth = bitonic_sort_on_hypercube(machine);
+    cross.add(pg, recorder.take(), /*cross_dimension=*/false);
     bool sorted = true;
     for (PNode v = 0; v + 1 < pg.num_nodes(); ++v)
       sorted = sorted && machine.key(v) <= machine.key(v + 1);
@@ -214,7 +264,7 @@ void audit_machine(const Options& opt, Tally& tally) {
 
 // ------------------------------------------------------------------ block
 
-void audit_block(const Options& opt, Tally& tally) {
+void audit_block(const Options& opt, Tally& tally, StaticCross& cross) {
   const auto factors = standard_factors();
   const BlockOracleS2 block_oracle;
   const BlockShearsortS2 block_shearsort;
@@ -246,10 +296,12 @@ void audit_block(const Options& opt, Tally& tally) {
 
         BlockMachine machine(pg, random_keys(pg.num_nodes() * block, rng),
                              block, &exec);
-        machine.set_observer(&auditor);
+        ScheduleRecorder recorder(pg, &auditor);
+        machine.set_observer(&recorder);
         BlockSortOptions options;
         options.s2 = entry.sorter;
         const BlockSortReport report = sort_block_network(machine, options);
+        cross.add(pg, recorder.take(), /*cross_dimension=*/false);
 
         const bool sorted = machine.snake_sorted(full_view(pg));
         const bool exact =
@@ -483,15 +535,27 @@ int main(int argc, char** argv) {
   }
 
   Tally tally;
+  StaticCross cross;
   try {
-    audit_machine(opt, tally);
-    audit_block(opt, tally);
+    audit_machine(opt, tally, cross);
+    audit_block(opt, tally, cross);
     audit_packet(opt, tally);
     certify_zero_one_sweep(opt, tally);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
   }
+
+  // Static/dynamic cross-check: every schedule the auditor exercised
+  // must also be statically proven — a blind spot is a failure.
+  const long unproven = cross.unproven();
+  if (unproven > 0 || cross.blind > 0) tally.fail();
+  std::printf(
+      "AUDIT-STATIC schedules=%ld unique=%zu proven=%zu unproven=%ld"
+      " blind=%ld static=%s\n",
+      cross.schedules, cross.unique.size(),
+      cross.unique.size() - static_cast<std::size_t>(unproven), unproven,
+      cross.blind, unproven == 0 && cross.blind == 0 ? "clean" : "DIRTY");
 
   const bool clean = tally.violations == 0 && tally.failures == 0;
   std::printf("AUDIT-SUMMARY combos=%ld violations=%ld failures=%ld status=%s\n",
