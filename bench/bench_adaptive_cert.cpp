@@ -49,6 +49,7 @@ struct LevelStats {
   long corrupted = 0;
   long detected = 0;
   std::int64_t cert_steps = 0;
+  std::vector<std::int64_t> step_samples;  ///< per-trial, for percentiles
 };
 
 }  // namespace
@@ -121,13 +122,16 @@ int main() {
       const EndToEndCertificate cert = certifier.certify_sampled(got, plan);
       stats[level].corrupted += corrupted;
       stats[level].detected += corrupted && !cert.pass();
-      stats[level].cert_steps +=
+      const std::int64_t steps =
           certificate_steps(n, cert.scanned_pairs, plan.fingerprint);
+      stats[level].cert_steps += steps;
+      stats[level].step_samples.push_back(steps);
     }
   }
 
   Table table({"level", "coverage", "fp-every", "corrupted", "detected",
-               "detect-rate", "escape-rate", "bound", "mean-cert-steps"});
+               "detect-rate", "escape-rate", "bound", "mean-cert-steps",
+               "p50", "p99"});
   JsonValue levels = JsonValue::array();
   int violations = 0;
   const double full_mean =
@@ -143,12 +147,17 @@ int main() {
     const double mean_steps =
         static_cast<double>(s.cert_steps) / static_cast<double>(kTrials);
     const std::string name = to_string(static_cast<CertLevel>(level));
+    // Nearest-rank cuts over the per-trial charge — the same rule the
+    // service/router latency stats use (bench_util.hpp).
+    const std::vector<std::int64_t> cuts =
+        percentiles(s.step_samples, {50, 99});
     table.add_row({name, fmt(defaults.coverage[level]),
                    fmt(defaults.fingerprint_every[level]),
                    fmt(static_cast<std::int64_t>(s.corrupted)),
                    fmt(static_cast<std::int64_t>(s.detected)),
                    fmt(detect_rate * 100) + "%", fmt(escape_rate * 100) + "%",
-                   fmt(bound * 100) + "%", fmt(mean_steps)});
+                   fmt(bound * 100) + "%", fmt(mean_steps), fmt(cuts[0]),
+                   fmt(cuts[1])});
     levels.push(JsonValue::object()
                     .set("level", name)
                     .set("coverage", defaults.coverage[level])
@@ -159,7 +168,9 @@ int main() {
                     .set("detection_rate", detect_rate)
                     .set("escape_rate", escape_rate)
                     .set("analytic_escape_bound", bound)
-                    .set("mean_cert_steps", mean_steps));
+                    .set("mean_cert_steps", mean_steps)
+                    .set("p50_cert_steps", cuts[0])
+                    .set("p99_cert_steps", cuts[1]));
 
     if (level > 0 && s.detected < stats[level - 1].detected) {
       std::printf("GATE: detection not monotone at level %s\n", name.c_str());

@@ -45,6 +45,8 @@ struct Cell {
   int tmr_sorted = 0;          ///< TMR run's output == std::sort
   std::int64_t tmr_masked = 0; ///< pair outcomes fixed by the vote
   double tmr_overhead = 0;     ///< mean exec_steps ratio vs fault-free
+  std::vector<std::int64_t> repair_steps;  ///< per-trial, for percentiles
+  std::vector<std::int64_t> tmr_steps;
 };
 
 std::int64_t probe_phases(const ProductGraph& pg, const SortOptions& options) {
@@ -96,9 +98,13 @@ void write_json(const std::vector<Cell>& cells, const char* family, int r,
                                 : 0.0)
             .set("repair_pass_max", c.max_repair_passes)
             .set("repair_overhead", c.repair_overhead / c.trials)
+            .set("repair_steps_p50", bench::percentile(c.repair_steps, 50))
+            .set("repair_steps_p99", bench::percentile(c.repair_steps, 99))
             .set("tmr_sorted", c.tmr_sorted)
             .set("tmr_masked", c.tmr_masked)
-            .set("tmr_overhead", c.tmr_overhead / c.trials));
+            .set("tmr_overhead", c.tmr_overhead / c.trials)
+            .set("tmr_steps_p50", bench::percentile(c.tmr_steps, 50))
+            .set("tmr_steps_p99", bench::percentile(c.tmr_steps, 99)));
   }
   JsonValue root =
       JsonValue::object()
@@ -181,6 +187,7 @@ int main() {
         }
         cell.repair_overhead += static_cast<double>(m.cost().exec_steps) /
                                 static_cast<double>(base_steps);
+        cell.repair_steps.push_back(m.cost().exec_steps);
       }
 
       // Strategy B: pay 3x up front, let the vote mask the fault.
@@ -194,6 +201,7 @@ int main() {
         cell.tmr_masked += m.cost().tmr_masked;
         cell.tmr_overhead += static_cast<double>(m.cost().exec_steps) /
                              static_cast<double>(base_steps);
+        cell.tmr_steps.push_back(m.cost().exec_steps);
       }
     }
 

@@ -7,6 +7,7 @@
 // artifacts (BENCH_*.json) build a JsonValue tree and hand it to
 // export_json instead of fprintf-ing braces by hand.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -28,6 +29,41 @@ inline std::vector<Key> random_keys(PNode count, unsigned seed) {
   std::mt19937_64 rng(seed);
   for (Key& k : keys) k = static_cast<Key>(rng() % 1000003);
   return keys;
+}
+
+/// Nearest-rank percentile over integer samples: ceil(p/100 * n),
+/// 1-based, clamped to [1, n] — the same pick ServiceReport's latency
+/// stats use, so service- and router-side benches report comparable
+/// numbers.  Returns 0 on an empty sample set.  `samples` is taken by
+/// value and sorted internally; call percentiles() for several cuts of
+/// one set to sort only once.
+inline std::int64_t percentile(std::vector<std::int64_t> samples, int p) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  const std::size_t n = samples.size();
+  std::size_t rank = (static_cast<std::size_t>(p) * n + 99) / 100;
+  rank = std::clamp<std::size_t>(rank, 1, n);
+  return samples[rank - 1];
+}
+
+/// Several nearest-rank cuts of one sample set with a single sort;
+/// result[i] corresponds to cuts[i].
+inline std::vector<std::int64_t> percentiles(std::vector<std::int64_t> samples,
+                                             const std::vector<int>& cuts) {
+  std::sort(samples.begin(), samples.end());
+  std::vector<std::int64_t> out;
+  out.reserve(cuts.size());
+  for (const int p : cuts) {
+    if (samples.empty()) {
+      out.push_back(0);
+      continue;
+    }
+    const std::size_t n = samples.size();
+    std::size_t rank = (static_cast<std::size_t>(p) * n + 99) / 100;
+    rank = std::clamp<std::size_t>(rank, 1, n);
+    out.push_back(samples[rank - 1]);
+  }
+  return out;
 }
 
 /// Millisecond wall-clock of a callable.

@@ -25,6 +25,7 @@ enum Stream : std::uint64_t {
   kCrashGarbage = 0x63726173,    // "cras"
   kComparatorGarbage = 0x636d7067,  // "cmpg"
   kTmrReplica = 0x746d7272,         // "tmrr"
+  kBurstOrder = 0x62757273,         // "burs"
 };
 
 char comparator_kind_char(ComparatorFaultKind kind) {
@@ -134,7 +135,55 @@ FaultModel::FaultModel(const FaultConfig& config) : config_(config) {
       throw std::invalid_argument(
           "comparator burst is only meaningful for arbitrary-output faults");
   }
+  for (const OutageWindow& w : config_.outage_schedule)
+    if (w.from < 0 || w.until <= w.from)
+      throw std::invalid_argument(
+          "outage window with negative start or non-positive width");
+  for (const CrashBurst& b : config_.burst_schedule)
+    if (b.count < 1 || b.phase < 0)
+      throw std::invalid_argument(
+          "crash burst with empty victim count or negative phase");
   crash_fired_.assign(config_.crash_schedule.size(), 0);
+}
+
+bool FaultModel::outage_active(std::int64_t now) const noexcept {
+  for (const OutageWindow& w : config_.outage_schedule)
+    if (now >= w.from && now < w.until) return true;
+  return false;
+}
+
+std::int64_t FaultModel::outage_until(std::int64_t now) const noexcept {
+  std::int64_t until = 0;
+  for (const OutageWindow& w : config_.outage_schedule)
+    if (now >= w.from && now < w.until) until = std::max(until, w.until);
+  return until;
+}
+
+void FaultModel::expand_bursts(PNode num_nodes) {
+  burst_crashes_.clear();
+  for (std::size_t b = 0; b < config_.burst_schedule.size(); ++b) {
+    const CrashBurst& burst = config_.burst_schedule[b];
+    // Victim selection mirrors select_stragglers: seed-hashed total
+    // order over the processors, take the prefix.  The burst index is a
+    // stream operand so two bursts at the same phase hit different (but
+    // individually deterministic) victim sets.
+    const int want = static_cast<int>(std::min<PNode>(burst.count, num_nodes));
+    std::vector<PNode> order(static_cast<std::size_t>(num_nodes));
+    std::iota(order.begin(), order.end(), PNode{0});
+    std::sort(order.begin(), order.end(), [&](PNode x, PNode y) {
+      const auto hx = decision(config_.seed, kBurstOrder,
+                               static_cast<std::uint64_t>(b),
+                               static_cast<std::uint64_t>(x));
+      const auto hy = decision(config_.seed, kBurstOrder,
+                               static_cast<std::uint64_t>(b),
+                               static_cast<std::uint64_t>(y));
+      return hx != hy ? hx < hy : x < y;
+    });
+    for (int i = 0; i < want; ++i)
+      burst_crashes_.push_back(
+          {order[static_cast<std::size_t>(i)], burst.phase, burst.permanent});
+  }
+  burst_fired_.assign(burst_crashes_.size(), 0);
 }
 
 void FaultModel::fail_links(const Graph& g) {
@@ -274,6 +323,8 @@ bool FaultModel::crash_due(std::int64_t phase) const noexcept {
   for (std::size_t i = 0; i < config_.crash_schedule.size(); ++i)
     if (crash_fired_[i] == 0 && config_.crash_schedule[i].phase == phase)
       return true;
+  for (std::size_t i = 0; i < burst_crashes_.size(); ++i)
+    if (burst_fired_[i] == 0 && burst_crashes_[i].phase == phase) return true;
   return false;
 }
 
@@ -284,6 +335,15 @@ std::optional<CrashEvent> FaultModel::take_crash(std::int64_t phase) {
     crash_fired_[i] = 1;
     ++counters_.crashes;
     return config_.crash_schedule[i];
+  }
+  // Expanded burst victims fire after the explicit schedule — a stable
+  // order, so replay is bit-identical.
+  for (std::size_t i = 0; i < burst_crashes_.size(); ++i) {
+    if (burst_fired_[i] != 0) continue;
+    if (burst_crashes_[i].phase != phase) continue;
+    burst_fired_[i] = 1;
+    ++counters_.crashes;
+    return burst_crashes_[i];
   }
   return std::nullopt;
 }
@@ -314,7 +374,10 @@ Key FaultModel::crash_garbage(PNode node, std::int64_t phase) const noexcept {
 void FaultModel::reset() {
   counters_ = FaultCounters{};
   std::fill(crash_fired_.begin(), crash_fired_.end(), 0);
+  std::fill(burst_fired_.begin(), burst_fired_.end(), 0);
   dead_nodes_.clear();
+  // The burst expansion itself is kept: it is a pure function of the
+  // config and num_nodes and would re-derive identically.
 }
 
 std::string FaultModel::schedule_string() const {
@@ -347,6 +410,23 @@ std::string FaultModel::schedule_string() const {
         out += 'x';
         out += std::to_string(f.burst);
       }
+    }
+  }
+  if (!config_.outage_schedule.empty()) {
+    out += ",outages=";
+    for (std::size_t i = 0; i < config_.outage_schedule.size(); ++i) {
+      const OutageWindow& w = config_.outage_schedule[i];
+      if (i != 0) out += '+';
+      out += std::to_string(w.from) + "~" + std::to_string(w.until);
+    }
+  }
+  if (!config_.burst_schedule.empty()) {
+    out += ",bursts=";
+    for (std::size_t i = 0; i < config_.burst_schedule.size(); ++i) {
+      const CrashBurst& b = config_.burst_schedule[i];
+      if (i != 0) out += '+';
+      out += std::to_string(b.count) + "@" + std::to_string(b.phase);
+      if (b.permanent) out += 'P';
     }
   }
   return out;
@@ -460,6 +540,45 @@ FaultConfig FaultModel::parse_schedule_string(const std::string& schedule) {
             (f.until_phase != -1 && f.until_phase <= f.from_phase))
           bad_token("comparators", entry);
         config.comparator_schedule.push_back(f);
+      }
+    } else if (key == "outages") {
+      if (value.empty() || value.back() == '+') bad_token("outages", value);
+      std::size_t at = 0;
+      while (at < value.size()) {
+        const std::size_t plus = value.find('+', at);
+        const std::string entry = value.substr(
+            at, plus == std::string::npos ? std::string::npos : plus - at);
+        at = plus == std::string::npos ? value.size() : plus + 1;
+        const std::size_t tilde = entry.find('~');
+        if (tilde == std::string::npos) bad_token("outages", entry);
+        OutageWindow w;
+        w.from = parse_count("outages", entry.substr(0, tilde));
+        w.until = parse_count("outages", entry.substr(tilde + 1));
+        // Same semantic checks as the constructor: a negative start or a
+        // zero/negative-width window is a corrupted token, not a shorter
+        // outage.
+        if (w.from < 0 || w.until <= w.from) bad_token("outages", entry);
+        config.outage_schedule.push_back(w);
+      }
+    } else if (key == "bursts") {
+      if (value.empty() || value.back() == '+') bad_token("bursts", value);
+      std::size_t at = 0;
+      while (at < value.size()) {
+        const std::size_t plus = value.find('+', at);
+        std::string entry = value.substr(
+            at, plus == std::string::npos ? std::string::npos : plus - at);
+        at = plus == std::string::npos ? value.size() : plus + 1;
+        CrashBurst b;
+        if (!entry.empty() && entry.back() == 'P') {
+          b.permanent = true;
+          entry.pop_back();
+        }
+        const std::size_t sep = entry.find('@');
+        if (sep == std::string::npos) bad_token("bursts", entry);
+        b.count = static_cast<int>(parse_count("bursts", entry.substr(0, sep)));
+        b.phase = parse_count("bursts", entry.substr(sep + 1));
+        if (b.count < 1 || b.phase < 0) bad_token("bursts", entry);
+        config.burst_schedule.push_back(b);
       }
     } else {
       throw std::invalid_argument("unknown schedule field: " + key);

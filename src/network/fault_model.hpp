@@ -99,6 +99,30 @@ struct ComparatorFault {
                          const ComparatorFault&) = default;
 };
 
+/// One pool-wide outage window on the *service* virtual clock: the
+/// whole fault domain is down for `[from, until)`.  Dispatch into the
+/// domain is refused while the window is active, and attempts that
+/// would complete inside it are lost (the sort service's router treats
+/// them as failures).  Unlike crashes, an outage names no node — it is
+/// the correlated "whole rack went dark" fault class.
+struct OutageWindow {
+  std::int64_t from = 0;
+  std::int64_t until = 0;  ///< exclusive
+  friend bool operator==(const OutageWindow&, const OutageWindow&) = default;
+};
+
+/// One correlated crash burst: `count` distinct seed-hashed processors
+/// all fail-stop at fault-clock phase `phase`.  The victims are chosen
+/// by expand_bursts() — a pure function of (seed, burst index), so every
+/// machine in a fault domain sharing the schedule loses the *same*
+/// nodes at the same phase (correlated, not independent, failures).
+struct CrashBurst {
+  int count = 0;
+  std::int64_t phase = 0;
+  bool permanent = false;
+  friend bool operator==(const CrashBurst&, const CrashBurst&) = default;
+};
+
 struct FaultConfig {
   std::uint64_t seed = 1;       ///< root of every decision stream
   double packet_drop_rate = 0;  ///< transient per-transmission loss prob
@@ -111,6 +135,8 @@ struct FaultConfig {
   int max_backoff = 8;          ///< retry backoff cap, in steps
   std::vector<CrashEvent> crash_schedule;  ///< fail-stop node crashes
   std::vector<ComparatorFault> comparator_schedule;  ///< silent comparator faults
+  std::vector<OutageWindow> outage_schedule;  ///< pool-wide outage windows
+  std::vector<CrashBurst> burst_schedule;     ///< correlated crash bursts
 
   friend bool operator==(const FaultConfig&, const FaultConfig&) = default;
 };
@@ -226,10 +252,39 @@ class FaultModel {
   /// endpoints on distinct replicas can still outvote the healthy one.
   [[nodiscard]] int faulty_replica(PNode node) const noexcept;
 
+  // --- correlated faults (fault domains) ---------------------------------
+
+  [[nodiscard]] bool has_outages() const noexcept {
+    return !config_.outage_schedule.empty();
+  }
+
+  /// True iff any scheduled outage window covers virtual time `now`.
+  [[nodiscard]] bool outage_active(std::int64_t now) const noexcept;
+
+  /// Virtual time the outage covering `now` ends (0 when none is
+  /// active); with overlapping windows, the latest `until` wins.
+  [[nodiscard]] std::int64_t outage_until(std::int64_t now) const noexcept;
+
+  [[nodiscard]] bool has_bursts() const noexcept {
+    return !config_.burst_schedule.empty();
+  }
+
+  /// Expands every CrashBurst into `count` distinct CrashEvents over
+  /// `num_nodes` processors (seed-hashed victim selection, like
+  /// select_stragglers — a pure function of the config, so every fault
+  /// domain member sharing the schedule loses the same nodes).  The
+  /// expanded events feed crash_due()/take_crash() alongside the
+  /// explicit crash schedule.  Replaces any previous expansion; call it
+  /// before the first phase, like select_stragglers.
+  void expand_bursts(PNode num_nodes);
+  [[nodiscard]] const std::vector<CrashEvent>& burst_crashes() const noexcept {
+    return burst_crashes_;
+  }
+
   // --- fail-stop crashes -------------------------------------------------
 
   [[nodiscard]] bool has_crashes() const noexcept {
-    return !config_.crash_schedule.empty();
+    return !config_.crash_schedule.empty() || !burst_crashes_.empty();
   }
 
   /// True iff a not-yet-fired crash is scheduled for `phase` (a const
@@ -272,8 +327,10 @@ class FaultModel {
   /// crash; comparator entries are node@from[~until]kind[xburst] with
   /// kind S = stuck-pass-through, I = inverted, A = arbitrary output,
   /// no ~until meaning permanent, and an optional xB suffix — valid
-  /// only after A — naming the block-mode corruption burst).
-  /// Round-trips through parse_schedule_string.
+  /// only after A — naming the block-mode corruption burst).  The
+  /// correlated layer appends ",outages=from~until+..." (service-clock
+  /// windows) and ",bursts=count@phase[P]+..." (correlated fail-stop
+  /// bursts).  Round-trips through parse_schedule_string.
   [[nodiscard]] std::string schedule_string() const;
 
   /// Inverse of schedule_string: rebuilds the FaultConfig from a
@@ -293,6 +350,8 @@ class FaultModel {
   std::vector<PNode> straggler_nodes_;
   std::vector<char> crash_fired_;     ///< per-schedule-entry fired flag
   std::vector<PNode> dead_nodes_;     ///< currently dead, ascending
+  std::vector<CrashEvent> burst_crashes_;  ///< expanded burst victims
+  std::vector<char> burst_fired_;     ///< per-expanded-event fired flag
 };
 
 }  // namespace prodsort

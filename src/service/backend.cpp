@@ -43,7 +43,60 @@ AttemptResult SortBackend::run_attempt(const JobSpec& job, int attempt,
     // fresh, so its fault clock already starts at phase 0.
     faults_->reset();
     if (faults_->config().stragglers > 0) faults_->select_stragglers(n);
+    if (faults_->has_bursts()) faults_->expand_bursts(n);
     machine.set_fault_model(faults_.get());
+  }
+
+  if (!opts.quarantine.empty()) {
+    // Topology quarantine: lift the suspects' keys host-side before any
+    // phase runs, sort the survivors over the degraded snake (BFS-routed
+    // around the excluded nodes — the suspect comparator is never an
+    // endpoint), and merge the orphans back at read-out under a full
+    // end-to-end certificate.
+    result.quarantined = true;
+    result.degraded = true;
+    try {
+      const ViewSpec view = full_view(*pg_);
+      const DegradedView degraded(*pg_, view, opts.quarantine);
+      std::vector<Key> orphan_keys;
+      orphan_keys.reserve(opts.quarantine.size());
+      for (const PNode q : opts.quarantine)
+        if (degraded.rank_of(q) < 0)  // actually excluded, not a stray id
+          orphan_keys.push_back(machine.key(q));
+      sort_degraded_snake(machine, degraded);
+      std::vector<Key> live = read_degraded_snake(machine, degraded);
+      std::sort(orphan_keys.begin(), orphan_keys.end());
+      std::vector<Key> merged(live.size() + orphan_keys.size());
+      std::merge(live.begin(), live.end(), orphan_keys.begin(),
+                 orphan_keys.end(), merged.begin());
+      const Certifier certifier(
+          MultisetFingerprint{checksum, static_cast<std::uint64_t>(n)},
+          executor_);
+      const EndToEndCertificate cert = certifier.certify(merged);
+      // Honest charge: the merged read-out is certified at full strength
+      // (every adjacent pair + fingerprint) on the machine's clock.
+      machine.cost().cert_steps += certificate_steps(
+          static_cast<std::int64_t>(merged.size()),
+          static_cast<std::int64_t>(merged.size()) - 1, true);
+      ++machine.cost().certificates;
+      result.success = cert.pass() &&
+                       merged.size() == static_cast<std::size_t>(n);
+      result.sdc_detected = !cert.pass();
+    } catch (const std::exception&) {
+      result.success = false;  // disconnected view or mid-sort crash
+      result.path = RecoveryPath::kFailed;
+    }
+    result.steps = std::max<std::int64_t>(1, machine.cost().exec_steps);
+    result.comparisons = machine.cost().comparisons;
+    result.crashes = machine.cost().crashes;
+    result.cert_steps = machine.cost().cert_steps;
+    totals_ += machine.cost();
+    ++totals_.service_attempts;
+    if (attempt > 1) ++totals_.service_retries;
+    ++attempts_;
+    if (!result.success) ++failures_;
+    if (result.sdc_detected) ++sdc_detected_;
+    return result;
   }
 
   RecoveryPolicy policy = config_.recovery;
@@ -78,6 +131,7 @@ AttemptResult SortBackend::run_attempt(const JobSpec& job, int attempt,
     result.path = RecoveryPath::kFailed;
   }
   result.steps = std::max<std::int64_t>(1, machine.cost().exec_steps);
+  result.comparisons = machine.cost().comparisons;
   result.crashes = machine.cost().crashes;
   result.cert_steps = machine.cost().cert_steps;
 

@@ -54,12 +54,26 @@ struct AttemptOptions {
   bool tmr = false;
   bool has_plan = false;  ///< run rung 4 at cert_plan instead of full
   CertPlan cert_plan;
+  /// Topology quarantine: nodes whose comparator the ledger has named
+  /// suspect.  The attempt sorts on the DegradedView that excludes them
+  /// — their keys are lifted host-side as orphans before any faulty
+  /// phase can touch a suspect comparator, the survivors sort via
+  /// BFS-routed odd-even transposition over the degraded snake, and the
+  /// orphans merge back at read-out under a full end-to-end
+  /// certificate.  The quarantined comparator is never an endpoint of
+  /// any compare-exchange, so its fault cannot fire; cost is the routed
+  /// degraded sort (~1x comparisons) instead of TMR's 3x.  Ignored when
+  /// empty.
+  std::vector<PNode> quarantine;
 };
 
 struct AttemptResult {
   bool success = false;   ///< verified sorted + multiset checksum intact
   bool degraded = false;  ///< served on the degraded topology (rung 3)
   bool faulted = false;   ///< the fault model was attached this attempt
+  /// Served with the ledger-named suspects excluded from the topology
+  /// (AttemptOptions::quarantine).
+  bool quarantined = false;
   /// The end-to-end certificate failed at first read-out — silent data
   /// corruption detected.  The attempt may still succeed if the repair
   /// rung restored a certified result; an uncertified exit is a failed
@@ -71,6 +85,7 @@ struct AttemptResult {
   /// Nodes the failing certificate implicated (ledger attribution).
   std::vector<std::int64_t> suspect_nodes;
   std::int64_t steps = 0;   ///< virtual service duration (exec_steps, >= 1)
+  std::int64_t comparisons = 0;  ///< pairwise comparisons this attempt (work)
   std::int64_t crashes = 0; ///< crash events fired during the attempt
   std::int64_t repair_passes = 0;  ///< rung-4 OET passes this attempt
   std::int64_t cert_steps = 0;     ///< virtual steps spent certifying

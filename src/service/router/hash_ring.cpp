@@ -1,0 +1,69 @@
+#include "service/router/hash_ring.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/hashing.hpp"
+
+namespace prodsort {
+
+namespace {
+
+// Ring-point stream tag; disjoint from the service and fault streams.
+constexpr std::uint64_t kStreamRing = 0x52494E47;  // "RING"
+
+}  // namespace
+
+HashRing::HashRing(std::uint64_t seed, int pools, int replicas)
+    : pools_(pools) {
+  if (pools < 1)
+    throw std::invalid_argument("hash ring needs at least one pool");
+  if (replicas < 1)
+    throw std::invalid_argument("hash ring needs at least one replica");
+  ring_.reserve(static_cast<std::size_t>(pools) *
+                static_cast<std::size_t>(replicas));
+  for (int p = 0; p < pools; ++p) {
+    for (int r = 0; r < replicas; ++r) {
+      const std::uint64_t point =
+          mix64(mix64(mix64(seed, kStreamRing), static_cast<std::uint64_t>(p)),
+                static_cast<std::uint64_t>(r));
+      ring_.emplace_back(point, p);
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+int HashRing::owner(std::uint64_t key) const noexcept {
+  const std::uint64_t point = mix64(key, kStreamRing);
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(),
+      std::make_pair(point, 0),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+  if (it == ring_.end()) it = ring_.begin();  // wrap around
+  return it->second;
+}
+
+std::vector<int> HashRing::preference(std::uint64_t key) const {
+  const std::uint64_t point = mix64(key, kStreamRing);
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(),
+      std::make_pair(point, 0),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(pools_));
+  std::vector<char> seen(static_cast<std::size_t>(pools_), 0);
+  for (std::size_t walked = 0;
+       walked < ring_.size() &&
+       order.size() < static_cast<std::size_t>(pools_);
+       ++walked) {
+    if (it == ring_.end()) it = ring_.begin();
+    if (!seen[static_cast<std::size_t>(it->second)]) {
+      seen[static_cast<std::size_t>(it->second)] = 1;
+      order.push_back(it->second);
+    }
+    ++it;
+  }
+  return order;
+}
+
+}  // namespace prodsort

@@ -1,0 +1,44 @@
+#pragma once
+
+// Consistent-hash ring over backend pools (docs/SERVICE.md,
+// "Federation & fault domains").
+//
+// Each pool owns `replicas` seed-hashed points on a 64-bit ring; a job
+// key is hashed onto the ring and walks clockwise collecting distinct
+// pools — preference(key) is the full failover order, so the primary
+// placement AND every fallback candidate are one pure function of
+// (seed, pools, replicas, key).  Adding or removing a pool moves only
+// the keys that hashed into its arcs (the consistent-hashing property);
+// everything else keeps its placement, which is what keeps per-pool
+// ledger attribution meaningful across topology changes.
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace prodsort {
+
+class HashRing {
+ public:
+  /// Throws std::invalid_argument unless pools >= 1 and replicas >= 1.
+  HashRing(std::uint64_t seed, int pools, int replicas);
+
+  [[nodiscard]] int pools() const noexcept { return pools_; }
+  [[nodiscard]] std::size_t points() const noexcept { return ring_.size(); }
+
+  /// The pool owning `key`: the first ring point clockwise of hash(key).
+  [[nodiscard]] int owner(std::uint64_t key) const noexcept;
+
+  /// All pools in clockwise-encounter order from hash(key): element 0 is
+  /// owner(key), the rest are the failover candidates in the order a
+  /// router should try them.  Always a permutation of [0, pools).
+  [[nodiscard]] std::vector<int> preference(std::uint64_t key) const;
+
+ private:
+  int pools_;
+  /// (point, pool), sorted by point ascending; ties broken by pool id at
+  /// construction so the walk order is total.
+  std::vector<std::pair<std::uint64_t, int>> ring_;
+};
+
+}  // namespace prodsort

@@ -1,0 +1,111 @@
+#pragma once
+
+// Machine-readable outcome of a PoolRouter run (docs/SERVICE.md,
+// "Federation & fault domains").
+//
+// The federated report rolls the single-service accounting up two more
+// levels: per-tenant terminal outcomes (the isolation audit) and
+// per-pool health including the fault-domain counters (outage refusals,
+// outage-converted failures, the deadline-miss EWMA that drives hedged
+// re-dispatch).  Everything is integer or a stable integer encoding, so
+// hash() is bit-identical across platforms and executor thread counts,
+// and conserved() is the federated no-silent-loss invariant:
+//
+//   offered == sum over tenants of submitted
+//   submitted(t) == on-time(t) + late(t) + shed(t) + failed(t)  for all t
+//
+// plus the per-job terminal/verified checks the single service makes.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "service/service_report.hpp"
+#include "service/service_types.hpp"
+
+namespace prodsort {
+
+/// Terminal accounting for one tenant — the isolation audit: a noisy
+/// neighbor shows up as *its own* shed counts, never as a hole in
+/// another tenant's conservation sum.
+struct TenantStats {
+  int id = -1;
+  std::string name;
+  std::int64_t submitted = 0;  ///< arrivals assigned to this tenant
+  std::int64_t completed_on_time = 0;
+  std::int64_t completed_late = 0;
+  std::int64_t shed_queue_full = 0;
+  std::int64_t shed_deadline = 0;
+  std::int64_t failed = 0;
+  std::int64_t queue_high_water = 0;  ///< must stay <= the tenant's cap
+  LatencyStats latency;               ///< completed jobs only
+
+  [[nodiscard]] bool conserved() const {
+    return submitted == completed_on_time + completed_late + shed_queue_full +
+                            shed_deadline + failed;
+  }
+};
+
+/// One fault domain's health: the pool-level counters plus the member
+/// backends' single-service health records.
+struct PoolHealth {
+  int id = -1;
+  bool has_domain_faults = false;  ///< a domain schedule was configured
+  std::int64_t dispatched = 0;     ///< attempts routed into this pool
+  std::int64_t failures = 0;       ///< failed attempts (incl. converted)
+  std::int64_t outage_refusals = 0;  ///< placements skipped: domain down
+  /// Attempts whose completion landed inside an outage window and were
+  /// converted to failures (in-flight work lost with the domain).
+  std::int64_t outage_failures = 0;
+  /// Deadline-miss EWMA at shutdown, folded as llround(ewma * 1e6) so
+  /// the report hash stays integer.
+  std::int64_t ewma_micro = 0;
+  bool degraded = false;  ///< EWMA above the hedging threshold at shutdown
+  std::int64_t quarantine_attempts = 0;  ///< summed over member backends
+  std::int64_t tmr_attempts = 0;         ///< summed over member backends
+  std::vector<BackendHealth> backends;
+};
+
+struct RouterReport {
+  std::uint64_t seed = 0;
+  std::int64_t offered = 0;
+  std::int64_t completed_on_time = 0;
+  std::int64_t completed_late = 0;
+  std::int64_t shed_queue_full = 0;
+  std::int64_t shed_deadline = 0;
+  std::int64_t failed = 0;
+  std::int64_t retries = 0;       ///< re-dispatch waves beyond the first
+  std::int64_t hedged_jobs = 0;   ///< waves that dispatched a second pool
+  std::int64_t failovers = 0;     ///< placements off the ring-primary pool
+  std::int64_t fallback_jobs = 0;
+  std::int64_t degraded_jobs = 0;
+  std::int64_t verified_jobs = 0;
+  std::int64_t sdc_detected = 0;
+  std::int64_t sdc_failures = 0;
+  std::int64_t cert_escalations = 0;
+  double sdc_budget = 0;
+  std::uint64_t ledger_hash = 0;
+  std::int64_t breaker_transitions = 0;
+  std::int64_t horizon = 0;
+  LatencyStats latency;  ///< all completed jobs, tenants pooled
+  double goodput = 0;
+  std::vector<TenantStats> tenants;
+  std::vector<PoolHealth> pools;
+  std::vector<JobRecord> jobs;  ///< per-job audit trail, by job id
+
+  /// The federated conservation invariant (header comment).
+  [[nodiscard]] bool conserved() const;
+
+  /// Order-sensitive mix of every field; two runs are behaviorally
+  /// identical iff their hashes match (the replay gate compares this).
+  [[nodiscard]] std::uint64_t hash() const;
+
+  [[nodiscard]] std::string summary() const;
+
+  /// JSON export: global counters, per-tenant stats, per-pool health
+  /// with nested backend records.  Per-job records omitted (audit
+  /// trail, not dashboard feed).
+  [[nodiscard]] std::string json() const;
+};
+
+}  // namespace prodsort

@@ -102,6 +102,7 @@ std::uint64_t ServiceReport::hash() const {
     h = mix_i64(h, b.sdc_detected);
     h = mix_i64(h, b.sdc_attributed);
     h = mix_i64(h, b.tmr_attempts);
+    h = mix_i64(h, b.quarantine_attempts);
     h = mix_i64(h, b.cert_level);
     h = mix_i64(h, b.busy_steps);
     h = mix_i64(h, b.cert_steps);
@@ -147,6 +148,7 @@ std::string ServiceReport::json() const {
         << ",\"sdc_detected\":" << b.sdc_detected
         << ",\"sdc_attributed\":" << b.sdc_attributed
         << ",\"tmr_attempts\":" << b.tmr_attempts
+        << ",\"quarantine_attempts\":" << b.quarantine_attempts
         << ",\"cert_level\":\"" << to_string(static_cast<CertLevel>(b.cert_level))
         << "\",\"busy_steps\":" << b.busy_steps
         << ",\"cert_steps\":" << b.cert_steps << ",\"crashes\":" << b.crashes

@@ -49,6 +49,7 @@ struct JobSpec {
   std::int64_t deadline = 0;   ///< absolute virtual-time deadline
   int priority = 1;            ///< 0 high, 1 normal, 2 low
   int pattern = 0;             ///< input shape, see service_job_keys
+  int tenant = 0;              ///< owning tenant (PoolRouter; single = 0)
   std::uint64_t key_seed = 0;  ///< derives the job's keys
 
   friend bool operator==(const JobSpec&, const JobSpec&) = default;

@@ -150,6 +150,11 @@ ServiceReport SortService::run() {
   std::optional<InFlight> fallback_busy;
   std::size_t cursor = 0;  // rotating dispatch cursor for pool balance
   std::vector<std::int64_t> tmr_attempts(backends_.size(), 0);
+  std::vector<std::int64_t> quarantine_attempts(backends_.size(), 0);
+  // A quarantined attempt that still caught an SDC proves the suspect
+  // set was wrong (or incomplete): the quarantine is burned and the
+  // backend escalates to selective TMR for the rest of the run.
+  std::vector<char> quarantine_burned(backends_.size(), 0);
 
   const auto record_of = [&](std::int64_t id) -> JobRecord& {
     return report.jobs[static_cast<std::size_t>(id)];
@@ -261,13 +266,32 @@ ServiceReport SortService::run() {
         opts.has_plan = true;
         opts.cert_plan = controllers_[static_cast<std::size_t>(target)].plan(
             static_cast<std::uint64_t>(job->id), risk);
-        opts.tmr =
-            ledger_.suspect(target, config_.adaptive.suspect_threshold);
-        if (opts.tmr) ++tmr_attempts[static_cast<std::size_t>(target)];
+        if (ledger_.suspect(target, config_.adaptive.suspect_threshold)) {
+          // Hardening ladder: quarantine the named comparator (route
+          // merges around it, ~1x cost) when the attribution is
+          // concentrated; selective TMR (3x) only when it is diffuse or
+          // a quarantined attempt already let an SDC through.
+          std::vector<std::int64_t> nodes;
+          if (!quarantine_burned[static_cast<std::size_t>(target)])
+            nodes = ledger_.quarantine_nodes(
+                target, config_.adaptive.quarantine_share,
+                config_.adaptive.quarantine_hits);
+          if (!nodes.empty()) {
+            opts.quarantine.reserve(nodes.size());
+            for (const std::int64_t node : nodes)
+              opts.quarantine.push_back(static_cast<PNode>(node));
+            ++quarantine_attempts[static_cast<std::size_t>(target)];
+          } else {
+            opts.tmr = true;
+            ++tmr_attempts[static_cast<std::size_t>(target)];
+          }
+        }
       }
       const AttemptResult result =
           backend.run_attempt(*job, rec.attempts, now, opts);
       if (config_.adaptive.enabled) {
+        if (result.quarantined && result.sdc_detected)
+          quarantine_burned[static_cast<std::size_t>(target)] = 1;
         ledger_.record_attempt(target, result.sdc_detected,
                                result.suspect_nodes);
         controllers_[static_cast<std::size_t>(target)].record(
@@ -385,6 +409,8 @@ ServiceReport SortService::run() {
       health.suspect =
           ledger_.suspect(health.id, config_.adaptive.suspect_threshold);
       health.tmr_attempts = tmr_attempts[static_cast<std::size_t>(health.id)];
+      health.quarantine_attempts =
+          quarantine_attempts[static_cast<std::size_t>(health.id)];
       health.cert_level = static_cast<int>(
           controllers_[static_cast<std::size_t>(health.id)].current_level(
               ledger_.risk(health.id)));

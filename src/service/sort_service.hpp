@@ -48,8 +48,18 @@ struct FallbackConfig {
 struct AdaptiveCertServiceConfig {
   bool enabled = false;        ///< off = every attempt certified full
   double sdc_budget = 0.001;   ///< tolerated per-attempt escape probability
-  double suspect_threshold = 0.25;  ///< ledger risk that triggers TMR
+  double suspect_threshold = 0.25;  ///< ledger risk that triggers hardening
   int decay_streak = 8;        ///< clean certs per one-level decay
+  /// Topology-quarantine gate on a suspect backend: when the ledger's
+  /// most-implicated node holds at least `quarantine_share` of the
+  /// attributed hits (and at least `quarantine_hits` of them), dispatch
+  /// routes merges around that node (AttemptOptions::quarantine)
+  /// instead of TMR-ing the whole backend.  Selective TMR is the rung
+  /// above: diffuse attribution, or a quarantined attempt that still
+  /// caught an SDC (the quarantine is "burned" for the rest of the
+  /// run).
+  double quarantine_share = 0.5;
+  std::int64_t quarantine_hits = 2;
   /// Serialized SuspectLedger to preload (empty = start fresh); lets
   /// attribution persist across runs (prodsort_serve --ledger).
   std::string ledger_json;

@@ -1,7 +1,10 @@
 #include "service/suspect_ledger.hpp"
 
+#include <algorithm>
 #include <cctype>
+#include <cstdio>
 #include <stdexcept>
+#include <utility>
 
 #include "core/hashing.hpp"
 
@@ -24,6 +27,34 @@ double SuspectLedger::risk(int id) const noexcept {
 
 bool SuspectLedger::suspect(int id, double threshold) const noexcept {
   return risk(id) > threshold;
+}
+
+std::vector<std::int64_t> SuspectLedger::quarantine_nodes(
+    int id, double min_share, std::int64_t min_hits, int max_nodes) const {
+  const BackendEntry* e = entry(id);
+  if (e == nullptr || e->node_hits.empty() || max_nodes < 1) return {};
+  std::int64_t total = 0;
+  for (const auto& [node, hits] : e->node_hits) total += hits;
+  if (total <= 0) return {};
+  std::vector<std::pair<std::int64_t, std::int64_t>> nodes(
+      e->node_hits.begin(), e->node_hits.end());
+  std::sort(nodes.begin(), nodes.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  // Concentration test on the top node alone: a dominant culprit is the
+  // license to route around it; anything diffuse stays TMR territory.
+  if (nodes.front().second < min_hits ||
+      static_cast<double>(nodes.front().second) <
+          min_share * static_cast<double>(total))
+    return {};
+  std::vector<std::int64_t> out;
+  for (const auto& [node, hits] : nodes) {
+    if (static_cast<int>(out.size()) >= max_nodes) break;
+    if (hits < min_hits) break;
+    out.push_back(node);
+  }
+  return out;
 }
 
 const SuspectLedger::BackendEntry* SuspectLedger::entry(int id) const noexcept {
@@ -193,6 +224,20 @@ SuspectLedger SuspectLedger::from_json(const std::string& json) {
   r.expect('}');
   r.finish();
   return ledger;
+}
+
+SuspectLedger load_ledger_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr)
+    throw std::runtime_error("ledger file unreadable: " + path);
+  std::string text;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  // from_json rejects truncated or corrupt content (including an empty
+  // file) with a named std::invalid_argument.
+  return SuspectLedger::from_json(text);
 }
 
 }  // namespace prodsort

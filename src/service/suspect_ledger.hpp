@@ -54,6 +54,18 @@ class SuspectLedger {
   /// to harden this backend (selective TMR / route-around).
   [[nodiscard]] bool suspect(int id, double threshold) const noexcept;
 
+  /// Topology-quarantine candidates for backend `id`: the attribution
+  /// is *concentrated* — the most-implicated node holds at least
+  /// `min_share` of all recorded hits and at least `min_hits` hits —
+  /// and routing merges around that one node (degraded-view exclusion)
+  /// is cheaper than TMR-ing the whole backend.  Returns up to
+  /// `max_nodes` nodes, hits-descending then node-ascending; empty when
+  /// the attribution is diffuse (no single comparator to blame — the
+  /// selective-TMR rung above quarantine handles that).
+  [[nodiscard]] std::vector<std::int64_t> quarantine_nodes(
+      int id, double min_share, std::int64_t min_hits,
+      int max_nodes = 1) const;
+
   [[nodiscard]] const BackendEntry* entry(int id) const noexcept;
   [[nodiscard]] const std::map<int, BackendEntry>& entries() const noexcept {
     return backends_;
@@ -75,5 +87,12 @@ class SuspectLedger {
  private:
   std::map<int, BackendEntry> backends_;
 };
+
+/// Reads and parses a serialized ledger from `path`.  A missing or
+/// unreadable file throws std::runtime_error naming the path; truncated
+/// or corrupt content propagates from_json's std::invalid_argument.  A
+/// ledger the operator pointed at must never load as silently empty —
+/// an empty ledger would quietly re-trust every known-suspect backend.
+[[nodiscard]] SuspectLedger load_ledger_file(const std::string& path);
 
 }  // namespace prodsort

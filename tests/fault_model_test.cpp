@@ -391,6 +391,101 @@ TEST(FaultModelTest, CrashEventsFireOnceAndResetRearms) {
   EXPECT_EQ(fm.counters().crashes, 0);
 }
 
+// --- correlated faults: outage windows and crash bursts ------------------
+
+TEST(FaultModelTest, OutageAndBurstScheduleStringRoundTrips) {
+  FaultConfig config;
+  config.seed = 77;
+  config.outage_schedule.push_back({.from = 0, .until = 128});
+  config.outage_schedule.push_back({.from = 512, .until = 700});
+  config.burst_schedule.push_back({.count = 3, .phase = 9, .permanent = false});
+  config.burst_schedule.push_back({.count = 1, .phase = 40, .permanent = true});
+  const FaultModel fm(config);
+  const std::string s = fm.schedule_string();
+  EXPECT_NE(s.find("outages=0~128+512~700"), std::string::npos);
+  EXPECT_NE(s.find("bursts=3@9+1@40P"), std::string::npos);
+  EXPECT_EQ(FaultModel::parse_schedule_string(s), config);
+}
+
+TEST(FaultModelTest, OutageWindowsGateTheServiceClock) {
+  FaultConfig config;
+  config.outage_schedule.push_back({.from = 10, .until = 20});
+  config.outage_schedule.push_back({.from = 15, .until = 40});  // overlaps
+  const FaultModel fm(config);
+  EXPECT_TRUE(fm.has_outages());
+  EXPECT_FALSE(fm.outage_active(9));
+  EXPECT_TRUE(fm.outage_active(10));   // from is inclusive
+  EXPECT_TRUE(fm.outage_active(19));
+  EXPECT_TRUE(fm.outage_active(39));
+  EXPECT_FALSE(fm.outage_active(40));  // until is exclusive
+  // Overlapping windows covering `now`: the latest until wins.
+  EXPECT_EQ(fm.outage_until(16), 40);
+  // Only [10,20) covers t=10 — the later window hasn't started yet (the
+  // router re-checks at the wake-up tick and sees the second window).
+  EXPECT_EQ(fm.outage_until(10), 20);
+  EXPECT_EQ(fm.outage_until(99), 0);  // nothing active
+}
+
+TEST(FaultModelTest, BurstExpansionIsDeterministicAndCorrelated) {
+  FaultConfig config;
+  config.seed = 13;
+  config.burst_schedule.push_back({.count = 4, .phase = 6, .permanent = true});
+  FaultModel a(config);
+  FaultModel b(config);
+  a.expand_bursts(50);
+  b.expand_bursts(50);
+  // The whole point of a fault domain: every member sharing the
+  // schedule loses the SAME seed-chosen victims.
+  EXPECT_EQ(a.burst_crashes(), b.burst_crashes());
+  ASSERT_EQ(a.burst_crashes().size(), 4u);
+  std::vector<PNode> victims;
+  for (const CrashEvent& e : a.burst_crashes()) {
+    EXPECT_EQ(e.phase, 6);
+    EXPECT_TRUE(e.permanent);
+    victims.push_back(e.node);
+  }
+  std::sort(victims.begin(), victims.end());
+  EXPECT_EQ(std::unique(victims.begin(), victims.end()), victims.end());
+
+  // Expanded victims feed the ordinary crash machinery.
+  EXPECT_TRUE(a.has_crashes());
+  EXPECT_TRUE(a.crash_due(6));
+  int fired = 0;
+  while (a.take_crash(6).has_value()) ++fired;
+  EXPECT_EQ(fired, 4);
+  EXPECT_FALSE(a.crash_due(6));
+
+  // reset() re-arms the fired events but keeps the expansion (it is a
+  // pure function of the config).
+  a.reset();
+  EXPECT_EQ(a.burst_crashes().size(), 4u);
+  EXPECT_TRUE(a.crash_due(6));
+}
+
+TEST(FaultModelTest, BurstVictimCountIsClampedToTheMachine) {
+  FaultConfig config;
+  config.seed = 5;
+  config.burst_schedule.push_back({.count = 100, .phase = 2});
+  FaultModel fm(config);
+  fm.expand_bursts(8);
+  EXPECT_EQ(fm.burst_crashes().size(), 8u);
+}
+
+TEST(FaultModelTest, RejectsInvalidOutageAndBurstConfig) {
+  FaultConfig negative_start;
+  negative_start.outage_schedule.push_back({.from = -1, .until = 5});
+  EXPECT_THROW(FaultModel{negative_start}, std::invalid_argument);
+  FaultConfig empty_window;
+  empty_window.outage_schedule.push_back({.from = 5, .until = 5});
+  EXPECT_THROW(FaultModel{empty_window}, std::invalid_argument);
+  FaultConfig no_victims;
+  no_victims.burst_schedule.push_back({.count = 0, .phase = 3});
+  EXPECT_THROW(FaultModel{no_victims}, std::invalid_argument);
+  FaultConfig negative_phase;
+  negative_phase.burst_schedule.push_back({.count = 2, .phase = -1});
+  EXPECT_THROW(FaultModel{negative_phase}, std::invalid_argument);
+}
+
 TEST(FaultModelTest, RejectsInvalidConfig) {
   FaultConfig bad;
   bad.straggler_factor = 0;

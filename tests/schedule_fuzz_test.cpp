@@ -49,6 +49,23 @@ FaultConfig random_config(std::mt19937_64& rng) {
     event.permanent = (rng() & 1) != 0;
     config.crash_schedule.push_back(event);
   }
+  const std::size_t outages = rng() % 4;
+  std::int64_t cursor = static_cast<std::int64_t>(rng() % 100);
+  for (std::size_t i = 0; i < outages; ++i) {
+    OutageWindow w;
+    w.from = cursor;
+    w.until = w.from + 1 + static_cast<std::int64_t>(rng() % 5000);
+    cursor = w.until + static_cast<std::int64_t>(rng() % 100);
+    config.outage_schedule.push_back(w);
+  }
+  const std::size_t bursts = rng() % 4;
+  for (std::size_t i = 0; i < bursts; ++i) {
+    CrashBurst b;
+    b.count = 1 + static_cast<int>(rng() % 8);
+    b.phase = static_cast<std::int64_t>(rng() % 10000);
+    b.permanent = (rng() & 1) != 0;
+    config.burst_schedule.push_back(b);
+  }
   const std::size_t faults = rng() % 5;
   for (std::size_t i = 0; i < faults; ++i) {
     ComparatorFault fault;
@@ -129,6 +146,50 @@ TEST(ScheduleFuzz, RejectsMalformedComparatorEntries) {
     EXPECT_THROW((void)FaultModel::parse_schedule_string(schedule),
                  std::invalid_argument)
         << schedule;
+}
+
+// Satellite requirement: the correlated-fault fields added for the
+// federated router — outage windows and crash bursts — reject truncated,
+// junk-suffixed, and negative-width tokens with the same named error
+// the rest of the grammar uses.
+TEST(ScheduleFuzz, RejectsMalformedOutageAndBurstEntries) {
+  const char* const malformed[] = {
+      "seed=1,outages=",          // empty list
+      "seed=1,outages=5",         // no ~until
+      "seed=1,outages=5~",        // truncated window
+      "seed=1,outages=~9",        // missing from
+      "seed=1,outages=9~4",       // negative width (until < from)
+      "seed=1,outages=4~4",       // empty window (until == from)
+      "seed=1,outages=-2~9",      // negative start
+      "seed=1,outages=1~2x",      // junk suffix on until
+      "seed=1,outages=one~9",     // non-numeric from
+      "seed=1,outages=1~2+",      // dangling +
+      "seed=1,outages=1~2+~",     // dangling second entry
+      "seed=1,bursts=",           // empty list
+      "seed=1,bursts=3",          // no @phase
+      "seed=1,bursts=3@",         // truncated
+      "seed=1,bursts=@5",         // missing count
+      "seed=1,bursts=0@5",        // zero victims
+      "seed=1,bursts=-1@5",       // negative count
+      "seed=1,bursts=2@-3",       // negative phase
+      "seed=1,bursts=2@3Q",       // junk suffix (only P is legal)
+      "seed=1,bursts=2@3PP",      // doubled flag
+      "seed=1,bursts=2@3+",       // dangling +
+  };
+  for (const char* schedule : malformed) {
+    try {
+      (void)FaultModel::parse_schedule_string(schedule);
+      FAIL() << "accepted malformed schedule: " << schedule;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("malformed schedule field"),
+                std::string::npos)
+          << schedule << " -> " << e.what();
+    }
+  }
+
+  // The documented forms parse.
+  EXPECT_NO_THROW(FaultModel::parse_schedule_string(
+      "seed=1,outages=0~128+512~700,bursts=3@9+1@40P"));
 }
 
 // Random junk must produce std::invalid_argument (or parse, if it

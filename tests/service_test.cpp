@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -169,6 +171,73 @@ TEST(CircuitBreakerTest, RejectsInvalidConfig) {
                std::invalid_argument);
   EXPECT_THROW(CircuitBreaker({.failure_threshold = 1, .cooldown = 0}),
                std::invalid_argument);
+}
+
+// Half-open edge case: the cooldown expiring *exactly* on the probe
+// tick admits the probe — open_until is the first admitting instant,
+// not the last refusing one.
+TEST(CircuitBreakerTest, CooldownExpiringExactlyOnProbeTickAdmits) {
+  CircuitBreaker b({.failure_threshold = 1, .cooldown = 64});
+  b.record_failure(100);
+  EXPECT_EQ(b.state(), BreakerState::kOpen);
+  EXPECT_EQ(b.open_until(), 164);
+  EXPECT_FALSE(b.allows(163));
+  EXPECT_EQ(b.state(), BreakerState::kOpen);  // refusal has no side effect
+  EXPECT_TRUE(b.allows(164));                 // boundary instant admits
+  EXPECT_EQ(b.state(), BreakerState::kHalfOpen);
+}
+
+// Half-open edge case: a failure from a *concurrent* in-flight attempt
+// lands while the probe is out.  The breaker reopens immediately; the
+// probe's late success must clear the failure streak but NOT close the
+// reopened breaker.
+TEST(CircuitBreakerTest, ConcurrentFailureDuringProbeWinsOverLateSuccess) {
+  CircuitBreaker b({.failure_threshold = 2, .cooldown = 100});
+  b.record_failure(0);
+  b.record_failure(1);  // trip
+  EXPECT_EQ(b.state(), BreakerState::kOpen);
+  EXPECT_TRUE(b.allows(101));
+  b.on_dispatch();  // probe in flight
+  EXPECT_EQ(b.state(), BreakerState::kHalfOpen);
+
+  b.record_failure(105);  // straggler attempt fails concurrently
+  EXPECT_EQ(b.state(), BreakerState::kOpen);
+  EXPECT_EQ(b.open_until(), 205);  // cooldown restarted
+  EXPECT_EQ(b.times_opened(), 2);
+
+  b.record_success();  // the probe's success arrives late
+  EXPECT_EQ(b.state(), BreakerState::kOpen);  // does not close an open breaker
+  EXPECT_EQ(b.consecutive_failures(), 0);     // but does clear the streak
+  EXPECT_FALSE(b.allows(204));
+  EXPECT_TRUE(b.allows(205));
+}
+
+// Half-open edge case: the single-probe gate — once the probe is
+// dispatched, every further admission is refused until it resolves,
+// and resolving reopens the gate.
+TEST(CircuitBreakerTest, HalfOpenAdmitsExactlyOneProbeUntilResolution) {
+  CircuitBreaker b({.failure_threshold = 1, .cooldown = 10});
+  b.record_failure(0);
+  EXPECT_TRUE(b.allows(10));
+  b.on_dispatch();
+  EXPECT_FALSE(b.allows(10));
+  EXPECT_FALSE(b.allows(1000));  // time alone never unseats the probe
+  b.record_success();
+  EXPECT_EQ(b.state(), BreakerState::kClosed);
+  EXPECT_TRUE(b.allows(1000));
+}
+
+// The breaker state is part of the report's behavioral identity: two
+// otherwise-identical reports with different breaker states must not
+// hash equal (the repro replay gate compares hashes).
+TEST(CircuitBreakerTest, BreakerStateFoldsIntoReportHashAndJson) {
+  ServiceReport a;
+  a.backends.resize(1);
+  ServiceReport b = a;
+  b.backends[0].breaker = BreakerState::kHalfOpen;
+  EXPECT_NE(a.hash(), b.hash());
+  EXPECT_NE(a.json().find("\"breaker\":\"closed\""), std::string::npos);
+  EXPECT_NE(b.json().find("\"breaker\":\"half-open\""), std::string::npos);
 }
 
 // --- whole-service scenarios --------------------------------------------
@@ -391,6 +460,67 @@ TEST(SuspectLedgerTest, JsonRoundTripPreservesStateHash) {
             SuspectLedger().state_hash());
 }
 
+TEST(SuspectLedgerTest, QuarantineNamesOnlyConcentratedAttribution) {
+  SuspectLedger ledger;
+  // Backend 0: every failing certificate implicates node 3 (plus a
+  // scattering of others) — concentrated.
+  for (int i = 0; i < 6; ++i) ledger.record_attempt(0, true, {3});
+  ledger.record_attempt(0, true, {5});
+  EXPECT_EQ(ledger.quarantine_nodes(0, 0.5, 2),
+            (std::vector<std::int64_t>{3}));
+  // Backend 1: hits spread evenly — diffuse, no single comparator to
+  // blame, so the selective-TMR rung must handle it instead.
+  for (int i = 0; i < 6; ++i)
+    ledger.record_attempt(1, true, {i});
+  EXPECT_TRUE(ledger.quarantine_nodes(1, 0.5, 2).empty());
+  // The min_hits floor: one concentrated hit is not evidence.
+  ledger.record_attempt(2, true, {7});
+  EXPECT_TRUE(ledger.quarantine_nodes(2, 0.5, 2).empty());
+  EXPECT_EQ(ledger.quarantine_nodes(2, 0.5, 1),
+            (std::vector<std::int64_t>{7}));
+  // Unknown backends have no attribution at all.
+  EXPECT_TRUE(ledger.quarantine_nodes(9, 0.5, 1).empty());
+}
+
+// Satellite requirement: a ledger file the operator pointed at must
+// fail loudly — missing, truncated, or corrupt all throw named errors;
+// none may load as silently empty.
+TEST(SuspectLedgerTest, LedgerFileFailuresAreLoud) {
+  const std::string missing =
+      testing::TempDir() + "no_such_ledger_anywhere.json";
+  try {
+    (void)load_ledger_file(missing);
+    FAIL() << "missing ledger file must throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(missing), std::string::npos)
+        << "error must name the path";
+  }
+
+  const std::string corrupt = testing::TempDir() + "corrupt_ledger.json";
+  {
+    std::ofstream out(corrupt);
+    out << "{\"version\":1,\"backends\":[{\"id\":0,";  // truncated mid-entry
+  }
+  EXPECT_THROW((void)load_ledger_file(corrupt), std::invalid_argument);
+  {
+    std::ofstream out(corrupt);
+    out << "not json at all";
+  }
+  EXPECT_THROW((void)load_ledger_file(corrupt), std::invalid_argument);
+
+  // And a good file round-trips the exact state.
+  SuspectLedger ledger;
+  ledger.record_attempt(1, true, {12, 14});
+  const std::string good = testing::TempDir() + "good_ledger.json";
+  {
+    std::ofstream out(good);
+    out << ledger.to_json();
+  }
+  EXPECT_EQ(load_ledger_file(good).state_hash(), ledger.state_hash());
+  std::remove(corrupt.c_str());
+  std::remove(good.c_str());
+}
+
 // Adaptive mode stays a pure function of the seed: report hashes (which
 // fold cert levels, escalations, and the ledger digest) are identical
 // for any executor thread count.
@@ -419,11 +549,12 @@ TEST(SortServiceTest, AdaptiveReportHashIsThreadCountInvariant) {
   EXPECT_EQ(ledger_hashes[0], ledger_hashes[1]);
 }
 
-// The ISSUE's acceptance scenario: with a preloaded ledger naming one
-// backend as the suspect, dispatch selectively TMRs *only* that backend
-// — the clean-history backend rides the cheap certification levels and
-// never pays the 3x voting tax.
-TEST(SortServiceTest, LedgerDrivesSelectiveTmrOnSuspectBackendsOnly) {
+// The hardening ladder's cheap rung: with a preloaded ledger naming one
+// backend as the suspect and every hit attributed to ONE comparator,
+// dispatch quarantines that comparator (BFS-routes merges around it,
+// ~1x comparisons) instead of paying the 3x selective-TMR vote — and
+// the clean-history backend pays neither.
+TEST(SortServiceTest, ConcentratedLedgerDrivesQuarantineNotTmr) {
   const ProductGraph pg(labeled_path(3), 2);
   const SnakeOETS2 oet;
   ServiceConfig config = small_config(16, 0.8);
@@ -431,7 +562,7 @@ TEST(SortServiceTest, LedgerDrivesSelectiveTmrOnSuspectBackendsOnly) {
   config.adaptive.sdc_budget = 0.05;
 
   // Backend 0: long clean history (risk 1/30).  Backend 1: chronic SDC
-  // producer (risk 25/30), well past the 0.25 suspect threshold.
+  // producer (risk 25/30), every failed certificate implicating node 3.
   SuspectLedger history;
   for (int i = 0; i < 28; ++i) history.record_attempt(0, false, {});
   for (int i = 0; i < 28; ++i) history.record_attempt(1, i < 24, {3});
@@ -446,18 +577,55 @@ TEST(SortServiceTest, LedgerDrivesSelectiveTmrOnSuspectBackendsOnly) {
   const BackendHealth& shady = report.backends[1];
   EXPECT_FALSE(clean.suspect);
   EXPECT_EQ(clean.tmr_attempts, 0);
+  EXPECT_EQ(clean.quarantine_attempts, 0);
   EXPECT_GT(clean.attempts, 0);
   // Clean history + generous budget → the dial drops below full.
   EXPECT_LT(clean.cert_level, 2);
   EXPECT_TRUE(shady.suspect);
-  EXPECT_GT(shady.tmr_attempts, 0);
-  EXPECT_EQ(shady.tmr_attempts, shady.attempts);
-  // Both backends are actually fault-free here, so every attempt is
-  // certified clean and the run itself attributes no new SDC.
+  EXPECT_GT(shady.quarantine_attempts, 0);
+  EXPECT_EQ(shady.quarantine_attempts, shady.attempts);
+  EXPECT_EQ(shady.tmr_attempts, 0);  // concentrated: never pays the vote
+  // Quarantined attempts carry a full end-to-end certificate; both
+  // backends are actually fault-free here, so every job verifies and
+  // the run attributes no new SDC.
+  EXPECT_EQ(report.verified_jobs,
+            report.completed_on_time + report.completed_late);
   EXPECT_EQ(report.sdc_detected, 0);
   // The exported attribution carries the preloaded history forward.
   EXPECT_EQ(shady.sdc_attributed, 24);
   EXPECT_NE(report.ledger_hash, 0u);
+}
+
+// The ladder's escalation rung: when the attribution is *diffuse* (no
+// single comparator holds the min-share of hits), there is nothing to
+// quarantine and dispatch falls back to selective TMR on exactly the
+// suspect backend.
+TEST(SortServiceTest, DiffuseLedgerEscalatesToSelectiveTmr) {
+  const ProductGraph pg(labeled_path(3), 2);
+  const SnakeOETS2 oet;
+  ServiceConfig config = small_config(16, 0.8);
+  config.adaptive.enabled = true;
+  config.adaptive.sdc_budget = 0.05;
+
+  // Backend 1's failing certificates implicate a different node every
+  // time: suspect, but with no comparator to blame.
+  SuspectLedger history;
+  for (int i = 0; i < 28; ++i) history.record_attempt(0, false, {});
+  for (int i = 0; i < 28; ++i)
+    history.record_attempt(1, i < 24, {i % 8});
+  config.adaptive.ledger_json = history.to_json();
+
+  SortService service(pg, config, std::vector<BackendConfig>(2), &oet);
+  const ServiceReport report = service.run();
+  EXPECT_TRUE(report.conserved());
+
+  ASSERT_EQ(report.backends.size(), 2u);
+  const BackendHealth& shady = report.backends[1];
+  EXPECT_TRUE(shady.suspect);
+  EXPECT_EQ(shady.quarantine_attempts, 0);
+  EXPECT_GT(shady.tmr_attempts, 0);
+  EXPECT_EQ(shady.tmr_attempts, shady.attempts);
+  EXPECT_EQ(report.backends[0].tmr_attempts, 0);
 }
 
 TEST(SortServiceTest, RejectsInvalidConfig) {

@@ -5,17 +5,33 @@
 //                  [--faulty F] [--tmr K] [--queue-cap C] [--retry R]
 //                  [--size N] [--dims r] [--threads T]
 //                  [--sdc-budget P] [--ledger FILE] [--json FILE]
+//   prodsort_serve --pools P [--tenants T] [--outage P@F~U ...]
+//                  [--no-failover] [--no-hedge] [same flags]
 //   prodsort_serve --soak [same flags]
 //   prodsort_serve --repro SERVICE-REPRO ...
 //
 // `--sdc-budget P` switches on the adaptive certification dial
 // (docs/SERVICE.md): each backend's certificates are priced by its
-// measured risk in the suspect ledger, suspects are hardened with
-// selective TMR instead of the pool-wide --tmr hammer, and the repro
-// line gains `sdc-budget=`/`ledger=` tokens so a replay checks the
-// final ledger state too.  `--ledger FILE` preloads the ledger from a
-// previous run and persists the updated state back; `--json FILE`
-// writes ServiceReport::json() (the per-backend SDC attribution feed).
+// measured risk in the suspect ledger, suspects are hardened with the
+// quarantine-before-TMR ladder instead of the pool-wide --tmr hammer,
+// and the repro line gains `sdc-budget=`/`ledger=` tokens so a replay
+// checks the final ledger state too.  `--ledger FILE` preloads the
+// ledger from a previous run and persists the updated state back; a
+// missing, truncated, or corrupt ledger file is a *loud* error (exit
+// 2, error naming the path) — a ledger the operator pointed at must
+// never load as silently empty.  Bootstrap a fresh one by writing
+// {"version":1,"backends":[]} to the file first.  `--json FILE` writes
+// the report JSON (the per-backend SDC attribution feed).
+//
+// `--pools P` switches to the federated PoolRouter (docs/SERVICE.md,
+// "Federation & fault domains"): P pools of --backends members each,
+// consistent-hash placement, cross-pool failover and hedged
+// re-dispatch (disable with --no-failover / --no-hedge), and
+// `--tenants T` equal-weight tenants with per-tenant queues and
+// in-flight quotas.  `--outage P@F~U` (repeatable) schedules a
+// pool-wide outage for fault domain P covering virtual time
+// [F*mean, U*mean) — dispatch into the domain is refused and in-flight
+// attempts completing inside the window are lost.
 //
 // Drives a SortService over a pool of simulated product-network
 // backends with open-loop, seed-hashed arrivals at `--load` times the
@@ -40,16 +56,19 @@
 // one terminal outcome), the queue bound, and verification of every
 // completed job — and exits 1 with the repro line on any violation.
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "core/hashing.hpp"
 #include "core/s2/snake_oet_s2.hpp"
 #include "repro_line.hpp"
+#include "service/router/pool_router.hpp"
 #include "service/sort_service.hpp"
 
 using namespace prodsort;
@@ -72,19 +91,13 @@ struct ServeArgs {
   bool soak = false;
   double sdc_budget = 0;    ///< >0 switches the adaptive cert dial on
   std::string ledger_path;  ///< preload + persist the suspect ledger
-  std::string json_path;    ///< write ServiceReport::json() here
+  std::string json_path;    ///< write the report JSON here
+  int pools = 0;            ///< >0 switches to the federated PoolRouter
+  int tenants = 1;          ///< equal-weight tenants (router path)
+  std::vector<std::string> outages;  ///< raw P@F~U tokens
+  bool failover = true;
+  bool hedge = true;
 };
-
-std::string read_file(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return {};
-  std::string out;
-  char buf[4096];
-  std::size_t n = 0;
-  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
-  std::fclose(f);
-  return out;
-}
 
 bool write_file(const std::string& path, const std::string& content) {
   std::FILE* f = std::fopen(path.c_str(), "wb");
@@ -162,9 +175,15 @@ ServeRun run_service(const ServeArgs& args, std::int64_t* mean_out) {
   if (args.sdc_budget > 0) {
     config.adaptive.enabled = true;
     config.adaptive.sdc_budget = args.sdc_budget;
-    if (!args.ledger_path.empty())
-      config.adaptive.ledger_json = read_file(args.ledger_path);
   }
+  // Loud by design, and unconditional: a --ledger pointing at a
+  // missing or corrupt file throws (exit 2 in main) instead of loading
+  // as silently empty and re-trusting every known-suspect backend —
+  // even when adaptive mode is off and the history would merely ride
+  // along unused.
+  if (!args.ledger_path.empty())
+    config.adaptive.ledger_json =
+        load_ledger_file(args.ledger_path).to_json();
 
   // Fault-free probe for the mean service time (scales the fault-heal
   // instant and the breaker cooldown).
@@ -187,6 +206,172 @@ ServeRun run_service(const ServeArgs& args, std::int64_t* mean_out) {
     run.ledger_json = service.ledger().to_json();
   }
   return run;
+}
+
+/// One "P@F~U" outage token: pool P dark over [F*mean, U*mean).
+struct OutageToken {
+  int pool = 0;
+  std::int64_t from = 0;   ///< in mean-service-step multiples
+  std::int64_t until = 0;  ///< exclusive, same unit
+};
+
+OutageToken parse_outage_token(const std::string& token, int pools) {
+  int pool = 0;
+  long long from = 0;
+  long long until = 0;
+  char trail = 0;
+  if (std::sscanf(token.c_str(), "%d@%lld~%lld%c", &pool, &from, &until,
+                  &trail) != 3 ||
+      pool < 0 || pool >= pools || from < 0 || until <= from)
+    throw std::invalid_argument("--outage: bad token '" + token +
+                                "' (want P@F~U with 0 <= P < pools, U > F)");
+  return OutageToken{pool, from, until};
+}
+
+/// The federated pool specs: every pool gets the derived member
+/// schedules of build_backends under a pool-mixed seed, plus a domain
+/// schedule carrying its --outage windows (scaled by the probed mean).
+std::vector<PoolSpec> build_pools(const ServeArgs& args, std::int64_t mean,
+                                  PNode nodes) {
+  std::vector<PoolSpec> pools(static_cast<std::size_t>(args.pools));
+  for (int p = 0; p < args.pools; ++p) {
+    ServeArgs member_args = args;
+    member_args.seed = mix64(args.seed, 0xF00D + static_cast<std::uint64_t>(p));
+    pools[static_cast<std::size_t>(p)].backends =
+        build_backends(member_args, mean, nodes);
+  }
+  for (const std::string& token : args.outages) {
+    const OutageToken o = parse_outage_token(token, args.pools);
+    std::string& schedule =
+        pools[static_cast<std::size_t>(o.pool)].domain_schedule;
+    char window[64];
+    std::snprintf(window, sizeof window, "%lld~%lld",
+                  static_cast<long long>(o.from * mean),
+                  static_cast<long long>(o.until * mean));
+    if (schedule.empty()) {
+      char head[64];
+      std::snprintf(head, sizeof head, "seed=%" PRIu64 ",outages=",
+                    mix64(args.seed, static_cast<std::uint64_t>(o.pool)));
+      schedule = std::string(head) + window;
+    } else {
+      schedule += std::string("+") + window;
+    }
+  }
+  return pools;
+}
+
+struct RouterRun {
+  RouterReport report;
+  std::uint64_t ledger_hash = 0;
+  std::string ledger_json;
+};
+
+RouterRun run_router(const ServeArgs& args, std::int64_t* mean_out) {
+  const LabeledFactor factor = labeled_cycle(args.size);
+  const ProductGraph pg(factor, args.dims);
+  const SnakeOETS2 oet;
+
+  RouterConfig config;
+  config.seed = args.seed;
+  config.jobs = args.jobs;
+  config.load = args.load;
+  config.retry_budget = args.retry;
+  config.policy = parse_shed_policy(args.policy);
+  config.failover = args.failover;
+  config.hedging = args.hedge;
+  if (args.sdc_budget > 0) {
+    config.adaptive.enabled = true;
+    config.adaptive.sdc_budget = args.sdc_budget;
+  }
+  // Same loud-failure rule as the single-service path: a named --ledger
+  // must parse, whether or not adaptive certification consumes it.
+  if (!args.ledger_path.empty())
+    config.adaptive.ledger_json =
+        load_ledger_file(args.ledger_path).to_json();
+
+  // Fault-free probe (single healthy pool) for the mean service time.
+  RouterConfig probe = config;
+  probe.jobs = 0;
+  const std::int64_t mean =
+      PoolRouter(pg, probe, {PoolSpec{std::vector<BackendConfig>(1), {}}},
+                 &oet)
+          .mean_service_steps();
+  if (mean_out != nullptr) *mean_out = mean;
+  config.breaker = {.failure_threshold = 2, .cooldown = 2 * mean};
+
+  const int total_backends = args.pools * args.backends;
+  for (int t = 0; t < args.tenants; ++t) {
+    TenantSpec tenant;
+    tenant.name = "tenant" + std::to_string(t);
+    tenant.weight = 1.0;
+    tenant.max_in_flight =
+        std::max(1, total_backends / std::max(1, args.tenants));
+    tenant.queue_cap = args.queue_cap;
+    config.tenants.push_back(std::move(tenant));
+  }
+
+  ParallelExecutor executor(args.threads);
+  PoolRouter router(pg, config, build_pools(args, mean, pg.num_nodes()),
+                    &oet, &executor);
+  RouterRun run;
+  run.report = router.run();
+  if (config.adaptive.enabled) {
+    run.ledger_hash = router.ledger().state_hash();
+    run.ledger_json = router.ledger().to_json();
+  }
+  return run;
+}
+
+void print_router_repro(const ServeArgs& args, const RouterRun& run) {
+  std::string outage;
+  for (const std::string& token : args.outages) {
+    if (!outage.empty()) outage += '+';
+    outage += token;
+  }
+  std::printf("SERVICE-REPRO seed=%" PRIu64
+              " jobs=%lld load=%g policy=%s backends=%d faulty=%d tmr=%d"
+              " queue=%zu retry=%d size=%d dims=%d threads=%d"
+              " pools=%d tenants=%d failover=%d hedge=%d",
+              args.seed, static_cast<long long>(args.jobs), args.load,
+              args.policy.c_str(), args.backends, args.faulty, args.tmr,
+              args.queue_cap, args.retry, args.size, args.dims, args.threads,
+              args.pools, args.tenants, args.failover ? 1 : 0,
+              args.hedge ? 1 : 0);
+  if (!outage.empty()) std::printf(" outage=%s", outage.c_str());
+  std::printf(" sdc-budget=%g ledger=%" PRIu64 " hash=%" PRIu64 "\n",
+              args.sdc_budget, run.ledger_hash, run.report.hash());
+}
+
+/// Federated soak gate: conservation across pools and tenants, the
+/// per-tenant queue bound, and verification of every completion.
+int check_router_invariants(const ServeArgs& args,
+                            const RouterReport& report) {
+  int violations = 0;
+  if (!report.conserved()) {
+    std::printf("VIOLATION: federated conservation — offered=%lld but"
+                " tenant terminal outcomes do not add up (silent loss)\n",
+                static_cast<long long>(report.offered));
+    ++violations;
+  }
+  for (const TenantStats& t : report.tenants) {
+    if (t.queue_high_water > static_cast<std::int64_t>(args.queue_cap)) {
+      std::printf("VIOLATION: tenant %s queue bound — high water %lld >"
+                  " capacity %zu\n",
+                  t.name.c_str(),
+                  static_cast<long long>(t.queue_high_water), args.queue_cap);
+      ++violations;
+    }
+  }
+  if (report.verified_jobs !=
+      report.completed_on_time + report.completed_late) {
+    std::printf("VIOLATION: verification — %lld completions but %lld"
+                " verified\n",
+                static_cast<long long>(report.completed_on_time +
+                                       report.completed_late),
+                static_cast<long long>(report.verified_jobs));
+    ++violations;
+  }
+  return violations;
 }
 
 void print_repro(const ServeArgs& args, const ServeRun& run) {
@@ -253,6 +438,39 @@ int run_repro(const std::string& line, const std::string& ledger_path) {
       repro.has("ledger") ? std::stoull(repro.get("ledger")) : 0;
   const std::uint64_t expected = std::stoull(repro.require("hash"));
 
+  // Federated repro: the `pools` token switches the replay to the
+  // PoolRouter with the line's tenants / failover / hedge / outage
+  // configuration.
+  if (repro.has("pools") && std::stoi(repro.get("pools")) > 0) {
+    args.pools = std::stoi(repro.get("pools"));
+    args.tenants = repro.has("tenants") ? std::stoi(repro.get("tenants")) : 1;
+    args.failover =
+        !repro.has("failover") || std::stoi(repro.get("failover")) != 0;
+    args.hedge = !repro.has("hedge") || std::stoi(repro.get("hedge")) != 0;
+    if (repro.has("outage")) {
+      // P@F~U tokens joined by '+'.
+      const std::string joined = repro.get("outage");
+      std::size_t start = 0;
+      for (std::size_t i = 0; i <= joined.size(); ++i) {
+        if (i == joined.size() || joined[i] == '+') {
+          if (i > start) args.outages.push_back(joined.substr(start, i - start));
+          start = i + 1;
+        }
+      }
+    }
+    const RouterRun run = run_router(args, nullptr);
+    if (run.report.hash() == expected && run.ledger_hash == expected_ledger) {
+      std::printf("repro: federated schedule replayed bit-identically"
+                  " (hash=%" PRIu64 " ledger=%" PRIu64 ")\n",
+                  expected, expected_ledger);
+      return 0;
+    }
+    std::printf("repro: MISMATCH — expected hash=%" PRIu64 " ledger=%" PRIu64
+                " got hash=%" PRIu64 " ledger=%" PRIu64 "\n",
+                expected, expected_ledger, run.report.hash(), run.ledger_hash);
+    return 1;
+  }
+
   const ServeRun run = run_service(args, nullptr);
   if (run.report.hash() == expected && run.ledger_hash == expected_ledger) {
     std::printf("repro: schedule replayed bit-identically (hash=%" PRIu64
@@ -292,6 +510,11 @@ int main(int argc, char** argv) {
     else if (has_value("--sdc-budget")) args.sdc_budget = std::atof(argv[++i]);
     else if (has_value("--ledger")) args.ledger_path = argv[++i];
     else if (has_value("--json")) args.json_path = argv[++i];
+    else if (has_value("--pools")) args.pools = std::atoi(argv[++i]);
+    else if (has_value("--tenants")) args.tenants = std::atoi(argv[++i]);
+    else if (has_value("--outage")) args.outages.emplace_back(argv[++i]);
+    else if (std::strcmp(argv[i], "--no-failover") == 0) args.failover = false;
+    else if (std::strcmp(argv[i], "--no-hedge") == 0) args.hedge = false;
     else if (std::strcmp(argv[i], "--soak") == 0) {
       // Overload defaults: 2x capacity, half the pool faulted.
       args.soak = true;
@@ -311,6 +534,8 @@ int main(int argc, char** argv) {
                    " [--faulty F] [--tmr K] [--queue-cap C] [--retry R]"
                    " [--size N] [--dims r] [--threads T]"
                    " [--sdc-budget P] [--ledger FILE] [--json FILE]"
+                   " [--pools P] [--tenants T] [--outage P@F~U]"
+                   " [--no-failover] [--no-hedge]"
                    " [--soak] [--repro SERVICE-REPRO-line]\n",
                    argv[0]);
       return 2;
@@ -322,6 +547,50 @@ int main(int argc, char** argv) {
       return run_repro(repro_line, args.ledger_path);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "--repro: malformed line: %s\n", e.what());
+      return 2;
+    }
+  }
+
+  if (args.pools > 0) {
+    try {
+      std::int64_t mean = 0;
+      const RouterRun run = run_router(args, &mean);
+      const RouterReport& report = run.report;
+      std::printf("pool router: %d pools x %d backends, %d tenant(s), mean"
+                  " service %lld steps, load %.2fx, policy %s, failover %s,"
+                  " hedging %s\n\n%s\n\n",
+                  args.pools, args.backends, args.tenants,
+                  static_cast<long long>(mean), args.load,
+                  args.policy.c_str(), args.failover ? "on" : "off",
+                  args.hedge ? "on" : "off", report.summary().c_str());
+      if (args.sdc_budget > 0) {
+        std::printf("adaptive: budget=%g escalations=%lld ledger=%" PRIu64
+                    "\n\n",
+                    args.sdc_budget,
+                    static_cast<long long>(report.cert_escalations),
+                    run.ledger_hash);
+      }
+      print_router_repro(args, run);
+      if (!args.json_path.empty() &&
+          !write_file(args.json_path, report.json()))
+        std::fprintf(stderr, "warning: could not write %s\n",
+                     args.json_path.c_str());
+      if (args.sdc_budget > 0 && !args.ledger_path.empty() &&
+          !write_file(args.ledger_path, run.ledger_json))
+        std::fprintf(stderr, "warning: could not write %s\n",
+                     args.ledger_path.c_str());
+      if (args.soak) {
+        const int violations = check_router_invariants(args, report);
+        if (violations != 0) {
+          std::printf("soak: %d invariant violation(s)\n", violations);
+          return 1;
+        }
+        std::printf("soak: all federated invariants held at %.2fx load\n",
+                    args.load);
+      }
+      return 0;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "prodsort_serve: %s\n", e.what());
       return 2;
     }
   }
