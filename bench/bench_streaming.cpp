@@ -1,0 +1,170 @@
+// Streaming ingestion envelope (docs/STREAMING.md): memory high-water
+// and egress latency versus batch size and backend-pool count, with and
+// without fault pressure, self-gated so CI fails loudly on a
+// regression:
+//
+//   (a) bounded memory: every cell's resident high-water must stay
+//       within its byte budget — the backpressure headline — and the
+//       faulted cells must conserve every key with zero certificate
+//       escapes despite crashes, outages, and torn merges;
+//   (b) egress latency: per-run service latency percentiles and the
+//       seal lag (virtual time from the last arrival to the last sealed
+//       range), the streaming analogue of the service benches' latency
+//       tables;
+//   (c) determinism: each cell's report hash must be identical across
+//       executor thread counts.
+//
+// Results are exported as BENCH_streaming.json; every row carries the
+// seed, so any cell replays by hand through prodsort_stream --repro.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "graph/labeled_factor.hpp"
+#include "network/parallel_executor.hpp"
+#include "stream/streaming_sorter.hpp"
+
+namespace {
+
+using namespace prodsort;
+using bench::fmt;
+using bench::JsonValue;
+using bench::Table;
+
+int g_gate_failures = 0;
+
+void gate(bool ok, const char* what) {
+  if (ok) return;
+  ++g_gate_failures;
+  std::fprintf(stderr, "GATE FAILED: %s\n", what);
+}
+
+struct Cell {
+  std::int64_t batch_keys = 0;
+  int backends = 0;
+  bool faults = false;
+  StreamReport report;
+  std::int64_t seal_lag = 0;  ///< horizon - last arrival (egress latency)
+};
+
+StreamConfig cell_config(std::int64_t batch_keys, int backends, bool faults) {
+  StreamConfig cfg;
+  cfg.seed = 29;
+  cfg.batches = 24;
+  cfg.batch_keys = batch_keys;
+  cfg.batch_interval = 64;
+  cfg.ranges = 8;
+  cfg.block = 16;  // run_keys = 16 nodes * 16 = 256 on cycle(4)^2
+  cfg.budget_bytes = 4 * batch_keys * 8;
+  cfg.backends = backends;
+  cfg.domains = 2;
+  if (faults) {
+    cfg.faulty = 1;
+    cfg.crash_rate = 0.05;
+    cfg.tear_rate = 0.2;
+    cfg.outage = "0@400~800";
+  }
+  return cfg;
+}
+
+Cell run_cell(const ProductGraph& pg, std::int64_t batch_keys, int backends,
+              bool faults) {
+  const StreamConfig cfg = cell_config(batch_keys, backends, faults);
+  Cell cell;
+  cell.batch_keys = batch_keys;
+  cell.backends = backends;
+  cell.faults = faults;
+
+  ParallelExecutor executor(2);
+  StreamingSorter sorter(pg, cfg, &executor);
+  cell.report = sorter.run();
+  const std::int64_t last_arrival =
+      static_cast<std::int64_t>(cfg.batches - 1) * cfg.batch_interval;
+  cell.seal_lag = cell.report.horizon - last_arrival;
+
+  gate(cell.report.conserved(), "stream cell must conserve every key");
+  gate(cell.report.high_water_bytes <= cell.report.budget_bytes,
+       "memory high-water within budget");
+  gate(cell.report.cert_escapes == 0, "zero certificate escapes");
+
+  // (c) the virtual clock must not observe the executor width.
+  ParallelExecutor single(1);
+  StreamingSorter replay(pg, cfg, &single);
+  gate(replay.run().hash() == cell.report.hash(),
+       "report hash identical across thread counts");
+  return cell;
+}
+
+}  // namespace
+
+int main() {
+  const LabeledFactor factor = labeled_cycle(4);
+  const ProductGraph pg(factor, 2);
+
+  std::vector<Cell> cells;
+  for (const bool faults : {false, true})
+    for (const std::int64_t batch_keys : {std::int64_t{256}, std::int64_t{1024},
+                                          std::int64_t{4096}})
+      for (const int backends : {2, 4, 8})
+        cells.push_back(run_cell(pg, batch_keys, backends, faults));
+
+  std::printf("Streaming ingestion envelope — cycle(4)^2, block=16, 24"
+              " batches, 8 ranges, budget = 4 batches of keys\n"
+              "(docs/STREAMING.md; every row replays via prodsort_stream"
+              " --repro with seed=29)\n\n");
+  Table table({"faults", "batch", "backends", "high-water", "budget",
+               "stalls", "cuts", "run-p50", "run-p99", "seal-lag",
+               "retries", "rollbacks"});
+  for (const Cell& cell : cells) {
+    table.add_row({cell.faults ? "on" : "off", fmt(cell.batch_keys),
+                   fmt(cell.backends), fmt(cell.report.high_water_bytes),
+                   fmt(cell.report.budget_bytes),
+                   fmt(cell.report.backpressure_stalls),
+                   fmt(cell.report.forced_cuts), fmt(cell.report.run_latency.p50),
+                   fmt(cell.report.run_latency.p99), fmt(cell.seal_lag),
+                   fmt(cell.report.retries), fmt(cell.report.merge_rollbacks)});
+  }
+  table.print();
+  table.maybe_export_csv("bench_streaming");
+
+  JsonValue rows = JsonValue::array();
+  for (const Cell& cell : cells) {
+    rows.push(JsonValue::object()
+                  .set("faults", cell.faults)
+                  .set("batch_keys", cell.batch_keys)
+                  .set("backends", cell.backends)
+                  .set("budget_bytes", cell.report.budget_bytes)
+                  .set("high_water_bytes", cell.report.high_water_bytes)
+                  .set("spill_high_bytes", cell.report.spill_high_bytes)
+                  .set("backpressure_stalls", cell.report.backpressure_stalls)
+                  .set("forced_cuts", cell.report.forced_cuts)
+                  .set("run_latency_p50", cell.report.run_latency.p50)
+                  .set("run_latency_p99", cell.report.run_latency.p99)
+                  .set("seal_lag", cell.seal_lag)
+                  .set("merge_steps", cell.report.merge_steps)
+                  .set("retries", cell.report.retries)
+                  .set("crash_injected", cell.report.crash_injected)
+                  .set("merge_rollbacks", cell.report.merge_rollbacks)
+                  .set("sdc_detected", cell.report.sdc_detected)
+                  .set("conserved", cell.report.conserved())
+                  .set("hash", cell.report.hash()));
+  }
+  JsonValue root = JsonValue::object();
+  root.set("experiment", "streaming")
+      .set("topology", "cycle(4)^2")
+      .set("block", 16)
+      .set("batches", 24)
+      .set("ranges", 8)
+      .set("seed", std::int64_t{29})
+      .set("cells", std::move(rows));
+  bench::export_json("BENCH_streaming", root);
+
+  if (g_gate_failures != 0) {
+    std::fprintf(stderr, "\n%d gate failure(s)\n", g_gate_failures);
+    return 1;
+  }
+  std::printf("\nall streaming gates held across %zu cells\n", cells.size());
+  return 0;
+}

@@ -1,0 +1,74 @@
+#!/usr/bin/env sh
+# Collects every BENCH_*.json emitted by the self-gated benches into one
+# BENCH_summary.json so CI publishes a single machine-readable artifact
+# instead of one file per bench.
+#
+#   ./scripts/collect_bench.sh [-o OUTPUT] [SEARCH_DIR ...]
+#
+# Default output is BENCH_summary.json in the current directory; default
+# search roots are `build` and `.` (the benches write to PRODSORT_CSV_DIR
+# when set and to their working directory otherwise, so CI runs that
+# launch bench binaries from the repo root leave the JSON there rather
+# than under build/).  Directories are searched recursively; when the
+# same basename appears under more than one root, the first root listed
+# wins.  The summary is assembled textually — each input file is already
+# a JSON object, so the script never needs jq or python:
+#
+#   { "generated_by": ..., "count": N,
+#     "benches": { "BENCH_streaming": { ... }, ... } }
+#
+# Exits 1 if no BENCH_*.json is found anywhere (a CI wiring bug, not an
+# empty result worth uploading).
+
+set -eu
+
+OUTPUT=BENCH_summary.json
+if [ "${1:-}" = "-o" ]; then
+  [ $# -ge 2 ] || { echo "error: -o needs an argument" >&2; exit 2; }
+  OUTPUT=$2
+  shift 2
+fi
+[ $# -gt 0 ] || set -- build .
+
+# First pass: one "name<TAB>path" line per distinct basename, earlier
+# roots shadowing later ones.  BENCH_summary.json itself is excluded so
+# re-running the script never folds its own output back in.
+manifest=$(
+  for dir in "$@"; do
+    [ -d "$dir" ] || continue
+    find "$dir" -name 'BENCH_*.json' ! -name "$(basename "$OUTPUT")" \
+      | LC_ALL=C sort
+  done | while IFS= read -r path; do
+    printf '%s\t%s\n' "$(basename "$path" .json)" "$path"
+  done | awk -F'\t' '!seen[$1]++'
+)
+
+if [ -z "$manifest" ]; then
+  echo "error: no BENCH_*.json under: $*" >&2
+  echo "hint: run the bench binaries first (scripts/run_experiments.sh)" >&2
+  exit 1
+fi
+
+count=$(printf '%s\n' "$manifest" | wc -l | tr -d ' ')
+tmp=$(mktemp "${OUTPUT}.XXXXXX")
+trap 'rm -f "$tmp"' EXIT
+
+{
+  printf '{\n'
+  printf '  "generated_by": "scripts/collect_bench.sh",\n'
+  printf '  "count": %s,\n' "$count"
+  printf '  "benches": {\n'
+  first=1
+  printf '%s\n' "$manifest" | while IFS="$(printf '\t')" read -r name path; do
+    if [ "$first" -eq 1 ]; then first=0; else printf ',\n'; fi
+    printf '    "%s": ' "$name"
+    # Indent the bench's own JSON so the summary stays readable.
+    sed 's/^/    /; 1s/^    //' "$path"
+  done
+  printf '\n  }\n}\n'
+} > "$tmp"
+mv "$tmp" "$OUTPUT"
+trap - EXIT
+
+echo "wrote $OUTPUT ($count benches):"
+printf '%s\n' "$manifest" | awk -F'\t' '{ printf "  %s  <- %s\n", $1, $2 }'

@@ -49,5 +49,9 @@ for bench in "$BUILD_DIR"/bench/bench_*; do
 done
 
 echo
+"$(dirname "$0")/collect_bench.sh" \
+  -o "$RESULTS_DIR/BENCH_summary.json" "$RESULTS_DIR" || status=1
+
+echo
 echo "results in $RESULTS_DIR/ ($(ls "$RESULTS_DIR" | wc -l) files)"
 exit $status

@@ -45,6 +45,31 @@ MultisetFingerprint fingerprint_sequence(std::span<const Key> keys,
   return fp;
 }
 
+void FingerprintAccumulator::absorb(Key key) noexcept {
+  const std::uint64_t h = mix64(static_cast<std::uint64_t>(key));
+  sum_ += h;
+  xor_ ^= h;
+  ++count_;
+}
+
+void FingerprintAccumulator::absorb(std::span<const Key> keys) noexcept {
+  for (const Key k : keys) absorb(k);
+}
+
+void FingerprintAccumulator::absorb(
+    const FingerprintAccumulator& other) noexcept {
+  sum_ += other.sum_;
+  xor_ ^= other.xor_;
+  count_ += other.count_;
+}
+
+MultisetFingerprint FingerprintAccumulator::finalize() const noexcept {
+  MultisetFingerprint fp;
+  fp.count = count_;
+  fp.checksum = mix64(mix64(sum_, xor_), count_);
+  return fp;
+}
+
 std::string to_string(CertVerdict verdict) {
   switch (verdict) {
     case CertVerdict::kPass: return "pass";

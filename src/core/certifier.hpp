@@ -54,6 +54,43 @@ struct MultisetFingerprint {
 [[nodiscard]] MultisetFingerprint fingerprint_sequence(
     std::span<const Key> keys, ParallelExecutor* executor = nullptr);
 
+/// Incremental multiset fingerprinting for chained certificates
+/// (docs/STREAMING.md, "Certificate chaining").  Holds the *raw*
+/// pre-finalization accumulators of the multiset_checksum combine
+/// (wrapping sum + xor of per-key splitmix hashes, plus the count), so
+/// disjoint key sets fingerprinted separately can be merged with
+/// absorb() and finalized once: finalize() over absorbed pieces equals
+/// fingerprint_sequence() over their concatenation, in any order (a
+/// pinned equivalence — see certifier_test).  This is what lets the
+/// streaming pipeline prove "sealed output == ingested input" without
+/// ever holding both sides in memory: each batch and each sealed range
+/// contributes its accumulator, and only the two stream-level
+/// accumulators are compared at the end.
+class FingerprintAccumulator {
+ public:
+  /// Absorbs one key.
+  void absorb(Key key) noexcept;
+  /// Absorbs every key of `keys`.
+  void absorb(std::span<const Key> keys) noexcept;
+  /// Merges another accumulator's keys into this one (disjoint-union
+  /// semantics: both multisets are now represented).
+  void absorb(const FingerprintAccumulator& other) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+
+  /// The finalized fingerprint of everything absorbed so far.  Pure —
+  /// the accumulator can keep absorbing afterwards.
+  [[nodiscard]] MultisetFingerprint finalize() const noexcept;
+
+  friend bool operator==(const FingerprintAccumulator&,
+                         const FingerprintAccumulator&) = default;
+
+ private:
+  std::uint64_t sum_ = 0;
+  std::uint64_t xor_ = 0;
+  std::uint64_t count_ = 0;
+};
+
 enum class CertVerdict {
   kPass,           ///< sorted permutation of the expected multiset
   kWrongOrder,     ///< right keys, wrong permutation: repairable in place

@@ -1,0 +1,81 @@
+#pragma once
+
+// Measured host-side sorting and multiway merging (docs/STREAMING.md,
+// "Measured host merge").
+//
+// Two places run sorts on the *host* rather than on a simulated
+// machine: the service's last-resort fallback (every breaker open) and
+// the streaming pipeline's egress merge.  Until PR 9 the fallback
+// charged an analytic n·log2(n)/speed proxy for that work — a
+// documented honesty gap, since backend latencies are measured step
+// counts while fallback latencies were a formula.  This header closes
+// the gap: the host paths below *count* every comparison and key move
+// they actually perform, and convert that work to virtual steps with
+// the same lane discipline the certifier uses (kCertLanes = 8 parallel
+// lanes; see certificate_steps in core/certifier.hpp), so host latency
+// and backend latency sit on one commensurable clock.
+//
+// The conversion is steps = ceil((comparisons + moves) / kHostMergeLanes):
+// comparisons and moves are the two unit operations the simulated
+// machine also charges (CostModel::comparisons / exchanges), and the
+// lane count models the same modest host parallelism the certificate
+// scan assumes.  No term of the charge is analytic — run a different
+// input and the step count moves with the work actually done.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/multiway_merge.hpp"  // Key
+
+namespace prodsort {
+
+/// Parallel lanes the host work is spread over when converting counted
+/// operations to virtual steps.  Deliberately equal to kCertLanes so
+/// host sorting, host merging, and certification all price host work
+/// with one constant (pinned by a test).
+inline constexpr std::int64_t kHostMergeLanes = 8;
+
+/// Operation counts of a measured host sort or merge.  Accumulating:
+/// pass the same stats object through several calls to price a whole
+/// pipeline stage.
+struct HostMergeStats {
+  std::int64_t comparisons = 0;  ///< key comparisons actually evaluated
+  std::int64_t moves = 0;        ///< keys written to an output buffer
+  std::int64_t runs = 0;         ///< sorted runs consumed or produced
+
+  /// Virtual-step price of the counted work:
+  /// ceil((comparisons + moves) / kHostMergeLanes), never negative.
+  [[nodiscard]] std::int64_t steps() const noexcept {
+    const std::int64_t ops = comparisons + moves;
+    return (ops + kHostMergeLanes - 1) / kHostMergeLanes;
+  }
+
+  HostMergeStats& operator+=(const HostMergeStats& other) noexcept {
+    comparisons += other.comparisons;
+    moves += other.moves;
+    runs += other.runs;
+    return *this;
+  }
+};
+
+/// K-way merges `runs` (each individually sorted ascending; empty runs
+/// legal, any run count >= 0) into one sorted sequence, counting every
+/// heap comparison and every emitted key into `stats`.  Unlike
+/// multiway_merge (core/multiway_merge.hpp) the runs need not share a
+/// length, which is what the streaming egress needs — skewed splitters
+/// produce wildly unequal runs.  Throws std::invalid_argument if any
+/// run is not sorted.
+[[nodiscard]] std::vector<Key> measured_multiway_merge(
+    std::span<const std::vector<Key>> runs, HostMergeStats& stats);
+
+/// Sorts `keys` the way an external sample-sort's host stage would:
+/// cut into ceil(n / run_keys) runs of at most `run_keys` keys, sort
+/// each run (comparisons counted via an instrumented comparator, one
+/// move per key to materialize the run), then measured_multiway_merge
+/// the runs.  Throws std::invalid_argument on run_keys < 1.
+[[nodiscard]] std::vector<Key> measured_host_sort(std::span<const Key> keys,
+                                                  std::int64_t run_keys,
+                                                  HostMergeStats& stats);
+
+}  // namespace prodsort

@@ -1,0 +1,52 @@
+#pragma once
+
+// Sample-sort splitter selection and scatter (docs/STREAMING.md).
+//
+// The streaming pipeline partitions arriving batches into P per-range
+// runs with the classic sample-sort recipe: draw a seeded sample from
+// the stream prefix, sort it, take P-1 evenly spaced elements as
+// splitters, and route every later key to the range whose half-open
+// splitter interval contains it.  Correctness needs nothing from the
+// sample (any P-1 keys partition the key space); the sample only
+// controls *balance*, which is why duplicate-heavy or adversarial
+// prefixes may produce empty or skewed ranges — the memory budget, not
+// the splitters, is the guardrail against skew (see the edge-case tests
+// in stream_test).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/multiway_merge.hpp"  // Key
+
+namespace prodsort {
+
+/// Seeded sample of `count` keys from `prefix`: positions are a pure
+/// splitmix64 function of (seed, slot), so the sample — and therefore
+/// the whole splitter-dependent pipeline — replays bit-identically.
+/// Returns the sample sorted.  `count` is clamped to prefix.size().
+[[nodiscard]] std::vector<Key> sample_prefix(std::span<const Key> prefix,
+                                             std::int64_t count,
+                                             std::uint64_t seed);
+
+/// P-1 splitters for `ranges` ranges from a *sorted* sample: the
+/// elements at the P-1 interior quantile positions.  Duplicate sample
+/// keys may yield duplicate splitters (legal: the ranges between equal
+/// splitters are simply empty).  Returns an empty vector when ranges
+/// == 1.  Throws std::invalid_argument on ranges < 1, an unsorted
+/// sample, or an empty sample with ranges > 1.
+[[nodiscard]] std::vector<Key> pick_splitters(std::span<const Key> sample,
+                                              int ranges);
+
+/// The range of `key` under `splitters` (sorted, size P-1): the number
+/// of splitters strictly below it is its range index, i.e. range i
+/// holds keys in (splitters[i-1], splitters[i]] ... the standard
+/// upper-bound rule, so equal keys always land in one range.
+[[nodiscard]] int range_of(Key key, std::span<const Key> splitters);
+
+/// Scatters `keys` by range: result[i] lists the keys of range i, in
+/// arrival order (stable).  result.size() == splitters.size() + 1.
+[[nodiscard]] std::vector<std::vector<Key>> scatter_keys(
+    std::span<const Key> keys, std::span<const Key> splitters);
+
+}  // namespace prodsort

@@ -4,7 +4,10 @@
 #include <exception>
 #include <utility>
 
+#include "core/block_sort.hpp"
+#include "core/certifier.hpp"
 #include "core/verify.hpp"
+#include "network/block_machine.hpp"
 #include "product/subgraph_view.hpp"
 
 namespace prodsort {
@@ -28,6 +31,7 @@ SortBackend::SortBackend(const ProductGraph& pg, int id,
 AttemptResult SortBackend::run_attempt(const JobSpec& job, int attempt,
                                        std::int64_t now,
                                        const AttemptOptions& opts) {
+  if (job.block > 0) return run_block_attempt(job, attempt, now);
   AttemptResult result;
   const PNode n = pg_->num_nodes();
   std::vector<Key> keys = service_job_keys(n, job);
@@ -135,6 +139,72 @@ AttemptResult SortBackend::run_attempt(const JobSpec& job, int attempt,
   result.crashes = machine.cost().crashes;
   result.cert_steps = machine.cost().cert_steps;
 
+  totals_ += machine.cost();
+  ++totals_.service_attempts;
+  if (attempt > 1) ++totals_.service_retries;
+  ++attempts_;
+  if (!result.success) ++failures_;
+  if (result.sdc_detected) ++sdc_detected_;
+  return result;
+}
+
+AttemptResult SortBackend::run_block_attempt(const JobSpec& job, int attempt,
+                                             std::int64_t now) {
+  // Block-mode attempt (streaming runs, docs/STREAMING.md): sort
+  // block * N^r keys with the Section 4 merge-split schedule, certify
+  // the snake read-out end-to-end, and block_certify_and_repair a
+  // wrong-order exit.  Only comparator faults perturb a BlockMachine
+  // (crashes and stragglers are unit-mode concepts — the streaming
+  // dispatcher models whole-run crashes and outages itself), and the
+  // unit-mode knobs that assume one key per node (TMR voting, topology
+  // quarantine, checkpoint rollback) are deliberately not offered here.
+  AttemptResult result;
+  const PNode n = pg_->num_nodes();
+  const PNode total = n * static_cast<PNode>(job.block);
+  std::vector<Key> keys = service_job_keys(total, job);
+  const std::uint64_t checksum = multiset_checksum(keys);
+
+  BlockMachine machine(*pg_, std::move(keys), job.block, executor_);
+  result.faulted = faults_ != nullptr &&
+                   (config_.fault_until < 0 || now < config_.fault_until);
+  if (result.faulted) {
+    faults_->reset();
+    if (faults_->has_bursts()) faults_->expand_bursts(n);
+    machine.set_fault_model(faults_.get());
+  }
+
+  try {
+    BlockSortOptions options;
+    const BlockSnakeOETS2 snake_s2;
+    options.s2 = &snake_s2;
+    sort_block_network(machine, options);
+
+    const ViewSpec view = full_view(*pg_);
+    const Certifier certifier(
+        MultisetFingerprint{checksum, static_cast<std::uint64_t>(total)},
+        executor_);
+    EndToEndCertificate cert = certifier.certify(machine.read_snake(view));
+    machine.cost().cert_steps +=
+        certificate_steps(total, total - 1, /*fingerprint=*/true);
+    ++machine.cost().certificates;
+    if (cert.verdict == CertVerdict::kWrongOrder) {
+      result.sdc_detected = true;
+      const BlockRepairReport repair =
+          block_certify_and_repair(machine, view, certifier);
+      result.repair_passes = repair.passes;
+      cert = repair.after;
+    }
+    result.success = cert.pass();
+    result.sdc_detected = result.sdc_detected || !cert.pass();
+    if (result.success) result.output = machine.read_snake(view);
+  } catch (const std::exception&) {
+    result.success = false;  // unmodeled dead-end: charge and fail
+    result.path = RecoveryPath::kFailed;
+  }
+
+  result.steps = std::max<std::int64_t>(1, machine.cost().exec_steps);
+  result.comparisons = machine.cost().comparisons;
+  result.cert_steps = machine.cost().cert_steps;
   totals_ += machine.cost();
   ++totals_.service_attempts;
   if (attempt > 1) ++totals_.service_retries;

@@ -90,6 +90,10 @@ struct AttemptResult {
   std::int64_t repair_passes = 0;  ///< rung-4 OET passes this attempt
   std::int64_t cert_steps = 0;     ///< virtual steps spent certifying
   RecoveryPath path = RecoveryPath::kNone;
+  /// Sorted keys in snake order, populated only by verified block-mode
+  /// attempts (the streaming egress consumes them); empty otherwise —
+  /// unit-mode callers derive outputs from the job's pure-hash input.
+  std::vector<Key> output;
 };
 
 class SortBackend {
@@ -111,6 +115,8 @@ class SortBackend {
     return run_attempt(job, attempt, now, AttemptOptions{});
   }
 
+  [[nodiscard]] const ProductGraph& graph() const noexcept { return *pg_; }
+
   [[nodiscard]] int id() const noexcept { return id_; }
   [[nodiscard]] const BackendConfig& config() const noexcept { return config_; }
   [[nodiscard]] bool has_faults() const noexcept { return faults_ != nullptr; }
@@ -128,6 +134,12 @@ class SortBackend {
   }
 
  private:
+  /// Block-mode attempt (JobSpec::block > 0): BlockMachine + merge-split
+  /// schedule + end-to-end certificate + block repair.  TMR, quarantine,
+  /// and checkpointed recovery are unit-mode-only and not applied.
+  AttemptResult run_block_attempt(const JobSpec& job, int attempt,
+                                  std::int64_t now);
+
   const ProductGraph* pg_;
   int id_;
   BackendConfig config_;

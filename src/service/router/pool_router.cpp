@@ -8,7 +8,7 @@
 #include <stdexcept>
 #include <utility>
 
-#include "baselines/samplesort.hpp"
+#include "core/host_merge.hpp"
 #include "core/hashing.hpp"
 #include "core/product_sort.hpp"
 #include "core/verify.hpp"
@@ -381,17 +381,20 @@ RouterReport PoolRouter::run() {
       if (all_breakers_open() && config_.fallback.enabled &&
           !fallback_busy.has_value()) {
         // Last resort: the whole federation is breaker-open, sort on
-        // the host (same cost-honesty caveat as the single service).
+        // the host with the *measured* merge path (core/host_merge.hpp)
+        // — same charge discipline as the single service.
         ++st.waves;
         if (st.waves > 1) ++report.retries;
         ++rec.attempts;
         ++ten.in_flight;
-        const PNode n = pg_->num_nodes();
-        std::vector<Key> keys = service_job_keys(n, job);
-        const std::uint64_t checksum = multiset_checksum(keys);
-        samplesort(keys, config_.fallback.buckets,
-                   static_cast<unsigned>(mix64(job.key_seed)),
-                   /*oversampling=*/8);
+        const PNode n = job.block > 0
+                            ? pg_->num_nodes() * static_cast<PNode>(job.block)
+                            : pg_->num_nodes();
+        const std::vector<Key> input = service_job_keys(n, job);
+        const std::uint64_t checksum = multiset_checksum(input);
+        HostMergeStats stats;
+        const std::vector<Key> keys =
+            measured_host_sort(input, config_.fallback.run_keys, stats);
         const Certifier certifier(
             MultisetFingerprint{checksum,
                                 static_cast<std::uint64_t>(keys.size())},
@@ -400,11 +403,8 @@ RouterReport PoolRouter::run() {
         AttemptResult result;
         result.success = cert.pass();
         result.sdc_detected = !cert.pass();
-        const double n_log_n =
-            static_cast<double>(n) *
-            std::log2(std::max<double>(2, static_cast<double>(n)));
-        result.steps = std::max<std::int64_t>(
-            1, std::llround(n_log_n / config_.fallback.speed));
+        result.comparisons = stats.comparisons;
+        result.steps = std::max<std::int64_t>(1, stats.steps());
         ++jstate[static_cast<std::size_t>(job.id)].outstanding;
         fallback_busy = InFlight{job, result};
         push({now + result.steps, Event::kCompletion, 0, job.id,

@@ -35,6 +35,11 @@ ShedPolicy parse_shed_policy(const std::string& name) {
 }
 
 std::vector<Key> service_job_keys(PNode count, const JobSpec& spec) {
+  if (!spec.payload.empty()) {
+    if (static_cast<PNode>(spec.payload.size()) != count)
+      throw std::invalid_argument("service_job_keys: payload size mismatch");
+    return spec.payload;
+  }
   std::vector<Key> keys(static_cast<std::size_t>(count));
   const std::uint64_t base = mix64(spec.key_seed);
   for (PNode i = 0; i < count; ++i) {

@@ -52,10 +52,22 @@ struct JobSpec {
   int tenant = 0;              ///< owning tenant (PoolRouter; single = 0)
   std::uint64_t key_seed = 0;  ///< derives the job's keys
 
+  /// Explicit input keys.  Empty for classic service jobs (whose keys
+  /// are the pure hash of key_seed/pattern); the streaming pipeline
+  /// (src/stream/) carries each run's scattered keys here, because a
+  /// run's contents depend on the whole stream prefix, not on one seed.
+  /// When non-empty, service_job_keys returns exactly this payload.
+  std::vector<Key> payload;
+
+  /// Keys per node for a block-mode attempt (BlockMachine + merge-split
+  /// network); 0 = unit mode (one key per node).  Streaming runs use
+  /// block mode so one bounded-size job covers run_keys = n*b keys.
+  int block = 0;
+
   friend bool operator==(const JobSpec&, const JobSpec&) = default;
 };
 
-/// The serving backend recorded for a fallback (host samplesort) run.
+/// The serving backend recorded for a fallback (measured host sort) run.
 inline constexpr int kFallbackBackend = -2;
 
 struct JobRecord {
@@ -63,7 +75,7 @@ struct JobRecord {
   JobOutcome outcome = JobOutcome::kPending;
   int attempts = 0;     ///< sort attempts dispatched (0 if never served)
   int backend = -1;     ///< last serving backend id; kFallbackBackend = host
-  bool fallback = false;   ///< served by the samplesort fallback
+  bool fallback = false;   ///< served by the measured host fallback
   bool degraded = false;   ///< served via a degraded-topology remap
   bool verified = false;   ///< output certified sorted, checksum intact
   std::int64_t completion = -1;  ///< virtual completion time (-1 unserved)

@@ -8,7 +8,7 @@
 #include <stdexcept>
 #include <utility>
 
-#include "baselines/samplesort.hpp"
+#include "core/host_merge.hpp"
 #include "core/hashing.hpp"
 #include "core/product_sort.hpp"
 #include "core/verify.hpp"
@@ -223,14 +223,18 @@ ServiceReport SortService::run() {
 
       if (use_fallback) {
         // Last resort: the whole pool is breaker-open, sort on the
-        // host.  The duration is the analytic n log n proxy — see the
-        // cost-honesty caveat in docs/SERVICE.md.
-        const PNode n = pg_->num_nodes();
-        std::vector<Key> keys = service_job_keys(n, *job);
-        const std::uint64_t checksum = multiset_checksum(keys);
-        samplesort(keys, config_.fallback.buckets,
-                   static_cast<unsigned>(mix64(job->key_seed)),
-                   /*oversampling=*/8);
+        // host.  The duration is *measured* — every comparison and key
+        // move of the run-sort + k-way merge is counted and priced
+        // through kHostMergeLanes (core/host_merge.hpp), so fallback
+        // and backend latencies share one clock.
+        const PNode n = job->block > 0
+                            ? pg_->num_nodes() * static_cast<PNode>(job->block)
+                            : pg_->num_nodes();
+        const std::vector<Key> input = service_job_keys(n, *job);
+        const std::uint64_t checksum = multiset_checksum(input);
+        HostMergeStats stats;
+        const std::vector<Key> keys =
+            measured_host_sort(input, config_.fallback.run_keys, stats);
         // The host output goes through the same end-to-end certificate
         // path as backend attempts (multiset fingerprint + adjacency
         // scan), so a corrupt fallback sort is *detected* — counted in
@@ -243,11 +247,8 @@ ServiceReport SortService::run() {
         AttemptResult result;
         result.success = cert.pass();
         result.sdc_detected = !cert.pass();
-        const double n_log_n =
-            static_cast<double>(n) *
-            std::log2(std::max<double>(2, static_cast<double>(n)));
-        result.steps = std::max<std::int64_t>(
-            1, std::llround(n_log_n / config_.fallback.speed));
+        result.comparisons = stats.comparisons;
+        result.steps = std::max<std::int64_t>(1, stats.steps());
         fallback_busy = InFlight{*job, rec.attempts, result};
         push({now + result.steps, Event::kCompletion, 0, job->id,
               kFallbackBackend});

@@ -7,7 +7,7 @@
 // CostModel virtual clock: open-loop arrivals (seed-hashed exponential
 // inter-arrival gaps), a bounded admission queue with pluggable
 // shedding, per-job deadlines, a bounded retry budget with exponential
-// backoff, a per-backend circuit breaker, and a host-samplesort
+// backoff, a per-backend circuit breaker, and a measured host-sort
 // fallback engaged only when every product-network backend's breaker is
 // open.  Every event is ordered by (time, kind, sequence), every random
 // decision is a pure splitmix64 hash of the seed, and backends execute
@@ -33,13 +33,17 @@
 
 namespace prodsort {
 
-/// Host samplesort used when the whole backend pool is breaker-open.
-/// Its virtual-time charge is an analytic n·log2(n)/speed proxy, not a
-/// measured simulation — see the cost-honesty caveat in docs/SERVICE.md.
+/// Host sort used when the whole backend pool is breaker-open.  Charged
+/// by *measurement*: measured_host_sort (core/host_merge.hpp) counts
+/// every comparison and key move of its run-sort + k-way merge and
+/// prices them through the shared kHostMergeLanes discipline, so
+/// fallback latencies sit on the same clock as backend latencies (see
+/// docs/STREAMING.md, "Measured host merge").
 struct FallbackConfig {
   bool enabled = true;
-  double speed = 8.0;  ///< keys·log-keys sorted per virtual step
-  int buckets = 16;
+  /// Keys per sorted run before the k-way merge (the external
+  /// sample-sort host stage shape); clamped to the job size.
+  std::int64_t run_keys = 64;
 };
 
 /// The adaptive certification dial (docs/FAULTS.md, docs/SERVICE.md):

@@ -1,0 +1,30 @@
+#include "stream/memory_budget.hpp"
+
+#include <stdexcept>
+
+namespace prodsort {
+
+MemoryBudget::MemoryBudget(std::int64_t budget_bytes) : budget_(budget_bytes) {
+  if (budget_bytes < 1)
+    throw std::invalid_argument("MemoryBudget: budget_bytes < 1");
+}
+
+bool MemoryBudget::try_reserve(std::int64_t bytes) {
+  if (bytes < 0) throw std::invalid_argument("MemoryBudget: negative reserve");
+  if (used_ + bytes > budget_) {
+    ++refusals_;
+    return false;
+  }
+  used_ += bytes;
+  if (used_ > high_) high_ = used_;
+  return true;
+}
+
+void MemoryBudget::release(std::int64_t bytes) {
+  if (bytes < 0) throw std::invalid_argument("MemoryBudget: negative release");
+  if (bytes > used_)
+    throw std::logic_error("MemoryBudget: released more than reserved");
+  used_ -= bytes;
+}
+
+}  // namespace prodsort

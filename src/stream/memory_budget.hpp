@@ -1,0 +1,53 @@
+#pragma once
+
+// Byte-accounted ingestion memory budget with backpressure
+// (docs/STREAMING.md, "Memory budget").
+//
+// The streaming pipeline's headline resource guarantee is that its
+// resident ingestion memory — staged batch keys and per-range run
+// buffers — never exceeds a configured byte budget: when a reservation
+// would cross the line, the caller must shed resident bytes (cut a
+// partial run to spill) or stall, never overrun.  try_reserve is
+// all-or-nothing and the high-water mark is recorded on every
+// successful reservation, so "high_water() <= budget()" is an exact
+// invariant the tests and the soak gate assert, not a sampled
+// approximation.
+//
+// The budget deliberately does *not* cover spill storage (retained run
+// slices and sorted run outputs awaiting the egress merge) — that is
+// the model's disk, reported separately as StreamReport::spill_high
+// and unbounded by design, exactly like the run files of an external
+// sample-sort.
+
+#include <cstdint>
+
+namespace prodsort {
+
+class MemoryBudget {
+ public:
+  /// Throws std::invalid_argument on budget_bytes < 1.
+  explicit MemoryBudget(std::int64_t budget_bytes);
+
+  /// Reserves `bytes` if the budget admits them; all-or-nothing.
+  /// Reserving 0 bytes always succeeds.  Throws on negative bytes.
+  [[nodiscard]] bool try_reserve(std::int64_t bytes);
+
+  /// Returns previously reserved bytes.  Throws std::logic_error on
+  /// releasing more than is currently reserved (an accounting bug, not
+  /// a recoverable condition).
+  void release(std::int64_t bytes);
+
+  [[nodiscard]] std::int64_t budget() const noexcept { return budget_; }
+  [[nodiscard]] std::int64_t used() const noexcept { return used_; }
+  [[nodiscard]] std::int64_t high_water() const noexcept { return high_; }
+  /// Reservations refused because they would have crossed the budget.
+  [[nodiscard]] std::int64_t refusals() const noexcept { return refusals_; }
+
+ private:
+  std::int64_t budget_;
+  std::int64_t used_ = 0;
+  std::int64_t high_ = 0;
+  std::int64_t refusals_ = 0;
+};
+
+}  // namespace prodsort

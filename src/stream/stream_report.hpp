@@ -1,0 +1,86 @@
+#pragma once
+
+// Machine-readable outcome of a StreamingSorter run (docs/STREAMING.md).
+//
+// Same discipline as ServiceReport: integer counters, nearest-rank
+// latency percentiles, and an order-sensitive hash() that is
+// bit-identical across platforms and executor thread counts — the
+// STREAM-REPRO replay gate compares exactly this hash.  conserved() is
+// the stream's no-silent-loss invariant: every ingested key is emitted
+// exactly once and the chained multiset fingerprints agree end to end.
+
+#include <cstdint>
+#include <string>
+
+#include "core/certifier.hpp"           // MultisetFingerprint
+#include "service/service_report.hpp"   // LatencyStats
+
+namespace prodsort {
+
+struct StreamReport {
+  std::uint64_t seed = 0;
+  std::int64_t batches = 0;        ///< batches ingested (each exactly once)
+  std::int64_t keys_ingested = 0;  ///< real keys entering the pipeline
+  std::int64_t keys_emitted = 0;   ///< keys sealed into output ranges
+
+  // Run lifecycle (one run = one bounded-size backend job).
+  std::int64_t runs = 0;          ///< runs cut from the range buffers
+  std::int64_t run_attempts = 0;  ///< backend attempts dispatched
+  std::int64_t run_failures = 0;  ///< attempts that failed (any cause)
+  std::int64_t runs_failed = 0;   ///< runs dead after the retry budget (gate 0)
+  std::int64_t retries = 0;       ///< re-dispatches beyond first attempts
+  std::int64_t crash_injected = 0;   ///< whole-run crashes fired mid-attempt
+  std::int64_t outage_refusals = 0;  ///< dispatches refused: domain in outage
+  std::int64_t outage_failures = 0;  ///< completions landing inside an outage
+  std::int64_t sdc_detected = 0;     ///< attempts whose certificate failed
+  std::int64_t repair_passes = 0;    ///< block repair passes across attempts
+  std::int64_t cert_escapes = 0;     ///< egress fingerprint mismatches (gate 0)
+
+  // Memory (bytes; docs/STREAMING.md "Memory budget").
+  std::int64_t budget_bytes = 0;
+  std::int64_t high_water_bytes = 0;  ///< must stay <= budget_bytes
+  std::int64_t spill_high_bytes = 0;  ///< retained slices + sorted runs (disk)
+  std::int64_t backpressure_stalls = 0;  ///< ingest reservations refused
+  std::int64_t forced_cuts = 0;  ///< partial runs cut to relieve pressure
+  std::int64_t padded_keys = 0;  ///< sentinel keys added to short runs
+
+  // Egress (docs/STREAMING.md "Recovery ladder").
+  std::int64_t ranges_sealed = 0;
+  std::int64_t empty_ranges = 0;      ///< ranges sealed with zero keys
+  std::int64_t merge_rollbacks = 0;   ///< torn merges rolled back + re-merged
+  std::int64_t merge_comparisons = 0; ///< measured egress merge comparisons
+  std::int64_t merge_moves = 0;       ///< measured egress merge key moves
+  std::int64_t merge_steps = 0;       ///< virtual steps charged to egress
+
+  std::int64_t breaker_transitions = 0;  ///< summed across backends
+  std::int64_t horizon = 0;  ///< virtual time when the last range sealed
+  LatencyStats run_latency;  ///< completion - dispatch, per verified run
+
+  // Certificate chain (docs/STREAMING.md "Certificate chaining").
+  MultisetFingerprint ingest_fp;  ///< finalized over every ingested key
+  MultisetFingerprint sealed_fp;  ///< finalized over every sealed key
+  /// Order-sensitive chain over the per-batch fingerprints, in ingest
+  /// order: chain = mix64(chain, batch_checksum).  Replay identity for
+  /// the STREAM-REPRO line (order matters here, unlike the multiset).
+  std::uint64_t chain_hash = 0;
+
+  bool complete = false;  ///< every range sealed, no run dead
+
+  /// True iff the stream completed with every ingested key emitted
+  /// exactly once: complete, keys_emitted == keys_ingested, sealed_fp
+  /// == ingest_fp, and zero certificate escapes.
+  [[nodiscard]] bool conserved() const;
+
+  /// Order-sensitive mix of every integer field.  Two runs are
+  /// behaviorally identical iff their hashes match — the determinism
+  /// tests and the --repro replay gate compare this.
+  [[nodiscard]] std::uint64_t hash() const;
+
+  /// One-paragraph human summary for tool output.
+  [[nodiscard]] std::string summary() const;
+
+  /// Machine-readable JSON export of the counters above.
+  [[nodiscard]] std::string json() const;
+};
+
+}  // namespace prodsort

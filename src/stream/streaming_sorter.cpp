@@ -1,0 +1,694 @@
+#include "stream/streaming_sorter.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cinttypes>
+#include <cstdio>
+#include <deque>
+#include <optional>
+#include <queue>
+#include <stdexcept>
+#include <utility>
+
+#include "core/certifier.hpp"
+#include "core/hashing.hpp"
+#include "core/host_merge.hpp"
+#include "core/splitters.hpp"
+#include "service/backend.hpp"
+#include "service/service_types.hpp"
+#include "stream/memory_budget.hpp"
+
+namespace prodsort {
+
+namespace {
+
+constexpr std::int64_t kKeyBytes = sizeof(Key);
+// Purpose salts so the sample, crash, and tear hash streams never
+// collide with each other or with any other subsystem's draws.
+constexpr std::uint64_t kSampleSalt = 0x57ea3u;
+constexpr std::uint64_t kCrashSalt = 0xc7a54u;
+constexpr std::uint64_t kTearSalt = 0x7ea7u;
+
+std::int64_t parse_i64(std::string_view text, const std::string& token,
+                       const char* what) {
+  std::int64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size())
+    throw std::invalid_argument("malformed outage token '" + token +
+                                "': bad " + what);
+  return value;
+}
+
+}  // namespace
+
+std::vector<std::vector<OutageWindow>> parse_domain_outages(
+    const std::string& schedule, int domains) {
+  if (domains < 1)
+    throw std::invalid_argument("parse_domain_outages: domains < 1");
+  std::vector<std::vector<OutageWindow>> windows(
+      static_cast<std::size_t>(domains));
+  if (schedule.empty()) return windows;
+  std::size_t pos = 0;
+  while (pos <= schedule.size()) {
+    const std::size_t next = schedule.find('+', pos);
+    const std::string token = schedule.substr(
+        pos, next == std::string::npos ? std::string::npos : next - pos);
+    const std::size_t at = token.find('@');
+    const std::size_t tilde = token.find('~');
+    if (at == std::string::npos || tilde == std::string::npos || tilde < at)
+      throw std::invalid_argument("malformed outage token '" + token +
+                                  "': want D@FROM~UNTIL");
+    const std::int64_t domain =
+        parse_i64(std::string_view(token).substr(0, at), token, "domain");
+    const std::int64_t from = parse_i64(
+        std::string_view(token).substr(at + 1, tilde - at - 1), token, "from");
+    const std::int64_t until =
+        parse_i64(std::string_view(token).substr(tilde + 1), token, "until");
+    if (domain < 0 || domain >= domains)
+      throw std::invalid_argument("malformed outage token '" + token +
+                                  "': domain out of range");
+    if (until <= from)
+      throw std::invalid_argument("malformed outage token '" + token +
+                                  "': until <= from");
+    windows[static_cast<std::size_t>(domain)].push_back(
+        OutageWindow{from, until});
+    if (next == std::string::npos) break;
+    pos = next + 1;
+  }
+  return windows;
+}
+
+std::string format_domain_outages(
+    const std::vector<std::vector<OutageWindow>>& windows) {
+  std::string out;
+  for (std::size_t d = 0; d < windows.size(); ++d) {
+    for (const OutageWindow& w : windows[d]) {
+      if (!out.empty()) out += '+';
+      char buf[96];
+      std::snprintf(buf, sizeof buf, "%zu@%" PRId64 "~%" PRId64, d, w.from,
+                    w.until);
+      out += buf;
+    }
+  }
+  return out;
+}
+
+struct StreamingSorter::Impl {
+  struct Run {
+    std::int64_t id = 0;
+    int range = 0;
+    std::vector<Key> slice;  ///< retained real keys (spill) until verified
+    std::int64_t pad = 0;    ///< sentinels appended at dispatch
+    FingerprintAccumulator acc;  ///< fingerprint of the real keys
+    int attempts = 0;
+    bool done = false;
+    std::vector<Key> output;  ///< stripped sorted output (spill) once done
+  };
+
+  enum Kind { kArrival = 0, kCompletion = 1, kMergeDone = 2, kRequeue = 3 };
+
+  struct Event {
+    std::int64_t time = 0;
+    int kind = 0;
+    std::int64_t seq = 0;
+    std::int64_t id = 0;  ///< batch (arrival), run (completion/requeue),
+                          ///< range (merge-done); -1 = dispatch poke
+    int aux = 0;          ///< completion: backend; merge-done: 1 = torn
+    [[nodiscard]] bool operator>(const Event& o) const {
+      if (time != o.time) return time > o.time;
+      if (kind != o.kind) return kind > o.kind;
+      return seq > o.seq;
+    }
+  };
+
+  struct InFlight {
+    std::int64_t run = 0;
+    AttemptResult result;
+    std::int64_t dispatched = 0;
+  };
+
+  struct PendingMerge {
+    int range = 0;
+    std::vector<Key> output;
+    HostMergeStats stats;
+    std::int64_t cursor_bytes = 0;
+    std::int64_t started = 0;
+  };
+
+  const ProductGraph* pg;
+  StreamConfig cfg;
+  ParallelExecutor* executor;
+  std::vector<Key>* emitted;
+
+  std::int64_t run_keys = 0;
+  int domains = 1;
+  std::vector<std::vector<OutageWindow>> outages;
+  std::vector<std::unique_ptr<SortBackend>> backends;
+  std::vector<std::optional<InFlight>> busy;
+
+  MemoryBudget ram;
+  std::int64_t spill_used = 0;
+  std::int64_t spill_high = 0;
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
+  std::int64_t seq = 0;
+  std::int64_t next_poke = -1;
+
+  std::vector<Key> splitters;
+  bool have_splitters = false;
+  std::vector<std::vector<Key>> buffers;  ///< per-range partial runs (RAM)
+  std::vector<Run> runs;
+  std::deque<std::int64_t> ready;
+
+  FingerprintAccumulator ingest_acc;
+  FingerprintAccumulator sealed_acc;
+  std::uint64_t chain = 0;
+  int batches_ingested = 0;
+  bool flushed = false;
+
+  int next_seal = 0;
+  bool merge_busy = false;
+  std::vector<int> merge_attempts;
+  std::optional<PendingMerge> pending;
+  Key last_sealed = 0;
+  bool has_last_sealed = false;
+
+  std::vector<std::int64_t> latencies;
+  bool failed = false;
+  StreamReport report;
+
+  Impl(const ProductGraph& graph, const StreamConfig& config,
+       ParallelExecutor* exec, std::vector<Key>* emitted_out)
+      : pg(&graph),
+        cfg(config),
+        executor(exec),
+        emitted(emitted_out),
+        ram(config.budget_bytes) {
+    if (cfg.batches < 1) throw std::invalid_argument("stream: batches < 1");
+    if (cfg.batch_keys < 1)
+      throw std::invalid_argument("stream: batch_keys < 1");
+    if (cfg.batch_interval < 1)
+      throw std::invalid_argument("stream: batch_interval < 1");
+    if (cfg.ranges < 1) throw std::invalid_argument("stream: ranges < 1");
+    if (cfg.sample_keys < 1)
+      throw std::invalid_argument("stream: sample_keys < 1");
+    if (cfg.block < 1) throw std::invalid_argument("stream: block < 1");
+    if (cfg.backends < 1) throw std::invalid_argument("stream: backends < 1");
+    if (cfg.domains < 1) throw std::invalid_argument("stream: domains < 1");
+    if (cfg.retry_limit < 1)
+      throw std::invalid_argument("stream: retry_limit < 1");
+    if (cfg.tear_rate < 0 || cfg.tear_rate >= 1)
+      throw std::invalid_argument("stream: tear_rate outside [0, 1)");
+    if (cfg.crash_rate < 0 || cfg.crash_rate >= 1)
+      throw std::invalid_argument("stream: crash_rate outside [0, 1)");
+    if (pg->dims() < 2)
+      throw std::invalid_argument("stream: block sorting needs dims >= 2");
+    if (cfg.budget_bytes < cfg.batch_keys * kKeyBytes)
+      throw std::invalid_argument(
+          "stream: budget below one batch — backpressure could never "
+          "admit an arrival");
+    run_keys = pg->num_nodes() * static_cast<std::int64_t>(cfg.block);
+    domains = std::min(cfg.domains, cfg.backends);
+    outages = parse_domain_outages(cfg.outage, domains);
+
+    buffers.resize(static_cast<std::size_t>(cfg.ranges));
+    merge_attempts.assign(static_cast<std::size_t>(cfg.ranges), 0);
+    busy.resize(static_cast<std::size_t>(cfg.backends));
+    for (int i = 0; i < cfg.backends; ++i) {
+      BackendConfig bc;
+      if (i < cfg.faulty) {
+        // A silently inverted comparator active over the early
+        // merge-split phases — the fault class only the end-to-end
+        // certificate (and then block repair) can handle.  Pure
+        // function of the seed, so STREAM-REPRO rebuilds the pool.
+        const std::uint64_t h = mix64(cfg.seed, 0xfab17u + static_cast<std::uint64_t>(i));
+        const auto node = static_cast<long long>(
+            h % static_cast<std::uint64_t>(pg->num_nodes()));
+        char schedule[96];
+        std::snprintf(schedule, sizeof schedule,
+                      "seed=%" PRIu64 ",comparators=%lld@2~34I", h, node);
+        bc.fault_schedule = schedule;
+      }
+      backends.push_back(std::make_unique<SortBackend>(
+          *pg, i, bc, nullptr, executor, cfg.breaker));
+    }
+  }
+
+  void push(Event e) {
+    e.seq = seq++;
+    events.push(e);
+  }
+
+  // --- spill accounting (the model's disk; never budget-gated) ----------
+  void spill_add(std::int64_t bytes) {
+    spill_used += bytes;
+    if (spill_used > spill_high) spill_high = spill_used;
+  }
+  void spill_release(std::int64_t bytes) { spill_used -= bytes; }
+
+  // --- outage windows ----------------------------------------------------
+  [[nodiscard]] bool domain_in_outage(int d, std::int64_t now) const {
+    for (const OutageWindow& w : outages[static_cast<std::size_t>(d)])
+      if (w.from <= now && now < w.until) return true;
+    return false;
+  }
+  [[nodiscard]] std::int64_t domain_outage_until(int d,
+                                                 std::int64_t now) const {
+    std::int64_t until = now;
+    for (const OutageWindow& w : outages[static_cast<std::size_t>(d)])
+      if (w.from <= now && now < w.until) until = std::max(until, w.until);
+    return until;
+  }
+
+  // --- ingest ------------------------------------------------------------
+  void ingest(std::int64_t batch, std::int64_t now) {
+    const std::int64_t bytes = cfg.batch_keys * kKeyBytes;
+    while (!ram.try_reserve(bytes)) {
+      // Backpressure: shed resident bytes by cutting the fullest
+      // partial run out to spill.  Validated budget >= one batch, so
+      // this always converges: once every buffer is empty the reserve
+      // must succeed.
+      if (!force_cut()) throw std::logic_error("stream: backpressure deadlock");
+    }
+    JobSpec spec;
+    spec.key_seed = mix64(cfg.seed, static_cast<std::uint64_t>(batch));
+    spec.pattern = cfg.pattern;
+    const std::vector<Key> keys = service_job_keys(cfg.batch_keys, spec);
+
+    FingerprintAccumulator batch_acc;
+    batch_acc.absorb(keys);
+    ingest_acc.absorb(batch_acc);
+    chain = mix64(chain, batch_acc.finalize().checksum);
+    ++report.batches;
+    report.keys_ingested += static_cast<std::int64_t>(keys.size());
+
+    if (!have_splitters) {
+      const std::vector<Key> sample =
+          sample_prefix(keys, cfg.sample_keys, mix64(cfg.seed, kSampleSalt));
+      splitters = pick_splitters(sample, cfg.ranges);
+      have_splitters = true;
+    }
+
+    std::vector<std::vector<Key>> frags = scatter_keys(keys, splitters);
+    FingerprintAccumulator scatter_acc;
+    for (const auto& frag : frags) scatter_acc.absorb(frag);
+    // Scatter conservation: the fragments must re-assemble the batch
+    // multiset exactly.  A mismatch is a pipeline bug surfacing as a
+    // certificate escape, never silent output.
+    if (!(scatter_acc == batch_acc)) ++report.cert_escapes;
+
+    for (int r = 0; r < cfg.ranges; ++r) {
+      auto& buffer = buffers[static_cast<std::size_t>(r)];
+      buffer.insert(buffer.end(), frags[static_cast<std::size_t>(r)].begin(),
+                    frags[static_cast<std::size_t>(r)].end());
+      while (static_cast<std::int64_t>(buffer.size()) >= run_keys)
+        cut_run(r, /*pressure=*/false);
+    }
+
+    if (++batches_ingested == cfg.batches) {
+      for (int r = 0; r < cfg.ranges; ++r)
+        if (!buffers[static_cast<std::size_t>(r)].empty())
+          cut_run(r, /*pressure=*/false);
+      flushed = true;
+    }
+  }
+
+  /// Cuts a run from the front of range r's buffer: the first run_keys
+  /// keys, or everything the buffer holds (a padded partial run) when
+  /// it is shorter.  The cut keys leave RAM for spill (retained slice).
+  void cut_run(int r, bool pressure) {
+    auto& buffer = buffers[static_cast<std::size_t>(r)];
+    const auto take = std::min<std::int64_t>(
+        run_keys, static_cast<std::int64_t>(buffer.size()));
+    Run run;
+    run.id = static_cast<std::int64_t>(runs.size());
+    run.range = r;
+    run.slice.assign(buffer.begin(), buffer.begin() + take);
+    buffer.erase(buffer.begin(), buffer.begin() + take);
+    run.pad = run_keys - take;
+    run.acc.absorb(run.slice);
+    ram.release(take * kKeyBytes);
+    spill_add(take * kKeyBytes);
+    if (pressure) ++report.forced_cuts;
+    report.padded_keys += run.pad;
+    ++report.runs;
+    ready.push_back(run.id);
+    runs.push_back(std::move(run));
+  }
+
+  /// Relieves memory pressure by cutting the fullest partial run out to
+  /// spill.  False when every buffer is already empty.
+  bool force_cut() {
+    int best = -1;
+    std::size_t best_size = 0;
+    for (int r = 0; r < cfg.ranges; ++r) {
+      const std::size_t size = buffers[static_cast<std::size_t>(r)].size();
+      if (size > best_size) {
+        best = r;
+        best_size = size;
+      }
+    }
+    if (best < 0) return false;
+    cut_run(best, /*pressure=*/true);
+    return true;
+  }
+
+  // --- dispatch ----------------------------------------------------------
+  void try_dispatch(std::int64_t now) {
+    while (!ready.empty()) {
+      int target = -1;
+      bool outage_blocked = false;
+      // Half-open probes first, then closed breakers (service order).
+      for (int pass = 0; pass < 2 && target < 0; ++pass) {
+        for (int i = 0; i < cfg.backends; ++i) {
+          if (busy[static_cast<std::size_t>(i)].has_value()) continue;
+          CircuitBreaker& breaker = backends[static_cast<std::size_t>(i)]->breaker();
+          const bool half_open_pass = breaker.state() != BreakerState::kClosed;
+          if ((pass == 0) != half_open_pass) continue;
+          if (domain_in_outage(i % domains, now)) {
+            outage_blocked = true;
+            continue;
+          }
+          if (!breaker.allows(now)) continue;
+          target = i;
+          break;
+        }
+      }
+      if (target < 0) {
+        if (outage_blocked) ++report.outage_refusals;
+        schedule_poke(now);
+        return;
+      }
+      const std::int64_t run_id = ready.front();
+      ready.pop_front();
+      dispatch(run_id, target, now);
+    }
+  }
+
+  void dispatch(std::int64_t run_id, int backend, std::int64_t now) {
+    Run& run = runs[static_cast<std::size_t>(run_id)];
+    ++run.attempts;
+    ++report.run_attempts;
+    if (run.attempts > 1) ++report.retries;
+    SortBackend& be = *backends[static_cast<std::size_t>(backend)];
+    be.breaker().on_dispatch();
+
+    JobSpec spec;
+    spec.id = run.id;
+    spec.key_seed = mix64(cfg.seed, static_cast<std::uint64_t>(run.id));
+    spec.block = cfg.block;
+    spec.payload = run.slice;  // re-padded on every (re-)dispatch
+    spec.payload.resize(static_cast<std::size_t>(run_keys), kStreamSentinel);
+
+    AttemptResult result = be.run_attempt(spec, run.attempts, now);
+    report.sdc_detected += result.sdc_detected ? 1 : 0;
+    report.repair_passes += result.repair_passes;
+
+    // Whole-run crash injection on the dispatch clock: the backend dies
+    // partway (half the steps are burned) and the run must be
+    // re-dispatched from its retained slice.  Pure hash of (seed, run,
+    // attempt), so replay is bit-identical.
+    const double u = hash_to_unit(
+        mix64(mix64(cfg.seed, kCrashSalt),
+              mix64(static_cast<std::uint64_t>(run.id),
+                    static_cast<std::uint64_t>(run.attempts))));
+    if (u < cfg.crash_rate) {
+      result.success = false;
+      result.output.clear();
+      result.steps = std::max<std::int64_t>(1, result.steps / 2);
+      ++report.crash_injected;
+    }
+
+    const std::int64_t completion = now + result.steps;
+    busy[static_cast<std::size_t>(backend)] =
+        InFlight{run.id, std::move(result), now};
+    push({completion, kCompletion, 0, run.id, backend});
+  }
+
+  void on_completion(const Event& e, std::int64_t now) {
+    InFlight fl = std::move(*busy[static_cast<std::size_t>(e.aux)]);
+    busy[static_cast<std::size_t>(e.aux)].reset();
+    SortBackend& be = *backends[static_cast<std::size_t>(e.aux)];
+    Run& run = runs[static_cast<std::size_t>(fl.run)];
+
+    bool success = fl.result.success;
+    // PoolRouter semantics: a completion landing inside its domain's
+    // outage window is lost — the work happened, the result did not
+    // make it out of the dark rack.
+    if (success && domain_in_outage(e.aux % domains, now)) {
+      success = false;
+      ++report.outage_failures;
+    }
+
+    if (success) {
+      std::vector<Key>& out = fl.result.output;
+      bool ok = static_cast<std::int64_t>(out.size()) == run_keys;
+      if (ok) {
+        std::int64_t pad_seen = 0;
+        while (pad_seen < static_cast<std::int64_t>(out.size()) &&
+               out[out.size() - 1 - static_cast<std::size_t>(pad_seen)] ==
+                   kStreamSentinel)
+          ++pad_seen;
+        ok = pad_seen == run.pad;
+      }
+      if (ok) {
+        out.resize(out.size() - static_cast<std::size_t>(run.pad));
+        FingerprintAccumulator out_acc;
+        out_acc.absorb(out);
+        ok = out_acc == run.acc;
+      }
+      if (!ok) {
+        // The backend's own certificate passed but the stream-level
+        // check disagrees: a silent escape, caught here.  Gate: zero.
+        ++report.cert_escapes;
+        success = false;
+      } else {
+        be.breaker().record_success();
+        run.done = true;
+        spill_add(static_cast<std::int64_t>(out.size()) * kKeyBytes);
+        run.output = std::move(out);
+        spill_release(static_cast<std::int64_t>(run.slice.size()) * kKeyBytes);
+        run.slice.clear();
+        run.slice.shrink_to_fit();
+        latencies.push_back(now - fl.dispatched);
+      }
+    }
+
+    if (!success) {
+      ++report.run_failures;
+      be.breaker().record_failure(now);
+      if (run.attempts >= cfg.retry_limit) {
+        ++report.runs_failed;
+        failed = true;
+      } else {
+        const std::int64_t backoff =
+            std::min(cfg.backoff_cap,
+                     cfg.backoff_base << std::min(run.attempts - 1, 30));
+        push({now + std::max<std::int64_t>(1, backoff), kRequeue, 0, run.id, 0});
+      }
+    }
+    try_dispatch(now);
+  }
+
+  void schedule_poke(std::int64_t now) {
+    std::int64_t wake = std::numeric_limits<std::int64_t>::max();
+    for (int i = 0; i < cfg.backends; ++i) {
+      if (busy[static_cast<std::size_t>(i)].has_value()) continue;
+      if (domain_in_outage(i % domains, now))
+        wake = std::min(wake, domain_outage_until(i % domains, now));
+      else if (backends[static_cast<std::size_t>(i)]->breaker().state() ==
+               BreakerState::kOpen)
+        wake = std::min(
+            wake, backends[static_cast<std::size_t>(i)]->breaker().open_until());
+    }
+    if (wake == std::numeric_limits<std::int64_t>::max()) return;
+    wake = std::max(wake, now + 1);
+    if (wake == next_poke) return;
+    next_poke = wake;
+    push({wake, kRequeue, 0, -1, 0});
+  }
+
+  // --- egress ------------------------------------------------------------
+  void try_start_merge(std::int64_t now) {
+    if (!flushed || merge_busy || failed) return;
+    while (next_seal < cfg.ranges) {
+      bool any = false;
+      bool all_done = true;
+      for (const Run& run : runs) {
+        if (run.range != next_seal) continue;
+        any = true;
+        if (!run.done) {
+          all_done = false;
+          break;
+        }
+      }
+      if (!all_done) return;
+      if (!any) {
+        ++report.ranges_sealed;
+        ++report.empty_ranges;
+        ++next_seal;
+        report.horizon = std::max(report.horizon, now);
+        continue;
+      }
+      start_merge(next_seal, now);
+      return;
+    }
+  }
+
+  void start_merge(int r, std::int64_t now) {
+    merge_busy = true;
+    const int attempt = ++merge_attempts[static_cast<std::size_t>(r)];
+
+    std::vector<std::vector<Key>> inputs;
+    for (const Run& run : runs)
+      if (run.range == r) inputs.push_back(run.output);
+
+    PendingMerge pm;
+    pm.range = r;
+    pm.started = now;
+    // The merge cursors (one head per run) are the only resident bytes
+    // egress needs: emitted keys stream to the consumer as produced.
+    pm.cursor_bytes = static_cast<std::int64_t>(inputs.size()) * 2 * kKeyBytes;
+    if (!ram.try_reserve(pm.cursor_bytes)) pm.cursor_bytes = 0;
+    pm.output = measured_multiway_merge(inputs, pm.stats);
+    const std::int64_t total = static_cast<std::int64_t>(pm.output.size());
+    const std::int64_t steps =
+        pm.stats.steps() +
+        certificate_steps(total, std::max<std::int64_t>(0, total - 1), true);
+
+    // Torn-egress draw: pure hash of (seed, range, merge attempt).
+    const double u = hash_to_unit(
+        mix64(mix64(cfg.seed, kTearSalt),
+              mix64(static_cast<std::uint64_t>(r),
+                    static_cast<std::uint64_t>(attempt))));
+    const bool tear = u < cfg.tear_rate;
+    const std::int64_t duration =
+        tear ? std::max<std::int64_t>(1, steps / 2)
+             : std::max<std::int64_t>(1, steps);
+    pending = std::move(pm);
+    push({now + duration, kMergeDone, 0, r, tear ? 1 : 0});
+  }
+
+  void on_merge_done(const Event& e, std::int64_t now) {
+    merge_busy = false;
+    PendingMerge pm = std::move(*pending);
+    pending.reset();
+    ram.release(pm.cursor_bytes);
+    report.merge_steps += now - pm.started;
+
+    if (e.aux == 1) {
+      // Torn merge: the partial output is discarded, the pipeline rolls
+      // back to the last sealed range, and the range re-merges from the
+      // retained sorted runs in spill.  Half the merge work was burned
+      // — charged, not hidden.
+      ++report.merge_rollbacks;
+      report.merge_comparisons += pm.stats.comparisons / 2;
+      report.merge_moves += pm.stats.moves / 2;
+      if (merge_attempts[static_cast<std::size_t>(pm.range)] >=
+          cfg.retry_limit) {
+        failed = true;
+        return;
+      }
+      start_merge(pm.range, now);
+      return;
+    }
+
+    report.merge_comparisons += pm.stats.comparisons;
+    report.merge_moves += pm.stats.moves;
+
+    // Seal certificate: the merged range must be sorted, carry exactly
+    // the multiset of its runs, and start at or above the previous
+    // sealed range's last key (the splitter partition boundary).
+    FingerprintAccumulator range_acc;
+    for (const Run& run : runs)
+      if (run.range == pm.range) range_acc.absorb(run.acc);
+    const Certifier certifier(range_acc.finalize(), executor);
+    const EndToEndCertificate cert = certifier.certify(pm.output);
+    bool ok = cert.pass();
+    if (ok && has_last_sealed && !pm.output.empty())
+      ok = pm.output.front() >= last_sealed;
+    if (!ok) {
+      ++report.cert_escapes;
+      failed = true;
+      return;
+    }
+
+    sealed_acc.absorb(range_acc);
+    report.keys_emitted += static_cast<std::int64_t>(pm.output.size());
+    if (!pm.output.empty()) {
+      last_sealed = pm.output.back();
+      has_last_sealed = true;
+    }
+    for (Run& run : runs) {
+      if (run.range != pm.range || run.output.empty()) continue;
+      spill_release(static_cast<std::int64_t>(run.output.size()) * kKeyBytes);
+      run.output.clear();
+      run.output.shrink_to_fit();
+    }
+    emitted->insert(emitted->end(), pm.output.begin(), pm.output.end());
+    ++report.ranges_sealed;
+    ++next_seal;
+    report.horizon = std::max(report.horizon, now);
+    try_start_merge(now);
+  }
+
+  StreamReport run() {
+    for (int b = 0; b < cfg.batches; ++b)
+      push({static_cast<std::int64_t>(b) * cfg.batch_interval, kArrival, 0, b,
+            0});
+
+    while (!events.empty()) {
+      const Event e = events.top();
+      events.pop();
+      const std::int64_t now = e.time;
+      if (e.kind == kRequeue && e.id == -1 && next_poke == e.time)
+        next_poke = -1;
+      switch (e.kind) {
+        case kArrival:
+          ingest(e.id, now);
+          try_dispatch(now);
+          break;
+        case kCompletion:
+          on_completion(e, now);
+          break;
+        case kRequeue:
+          if (e.id >= 0) ready.push_back(e.id);
+          try_dispatch(now);
+          break;
+        case kMergeDone:
+          on_merge_done(e, now);
+          break;
+        default:
+          break;
+      }
+      if (flushed) try_start_merge(now);
+    }
+
+    report.seed = cfg.seed;
+    report.budget_bytes = ram.budget();
+    report.high_water_bytes = ram.high_water();
+    report.backpressure_stalls = ram.refusals();
+    report.spill_high_bytes = spill_high;
+    report.run_latency = latency_stats(latencies);
+    for (const auto& be : backends)
+      report.breaker_transitions += be->breaker().transitions();
+    report.ingest_fp = ingest_acc.finalize();
+    report.sealed_fp = sealed_acc.finalize();
+    report.chain_hash = chain;
+    report.complete =
+        next_seal == cfg.ranges && !failed && report.runs_failed == 0;
+    return report;
+  }
+};
+
+StreamingSorter::StreamingSorter(const ProductGraph& pg,
+                                 const StreamConfig& config,
+                                 ParallelExecutor* executor)
+    : impl_(std::make_unique<Impl>(pg, config, executor, &emitted_)) {}
+
+StreamingSorter::~StreamingSorter() = default;
+
+StreamReport StreamingSorter::run() { return impl_->run(); }
+
+}  // namespace prodsort

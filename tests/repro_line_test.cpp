@@ -1,5 +1,6 @@
 // Unit coverage for the shared REPRO-line parser (tools/repro_line.hpp)
-// that prodsort_stress and prodsort_serve both replay through.
+// that prodsort_stress, prodsort_serve, and prodsort_stream all replay
+// through, plus the typed STREAM-REPRO round trip (tools/stream_repro.hpp).
 
 #include "repro_line.hpp"
 
@@ -7,6 +8,8 @@
 
 #include <stdexcept>
 #include <string>
+
+#include "stream_repro.hpp"
 
 namespace prodsort {
 namespace {
@@ -102,6 +105,123 @@ TEST(ReproLine, ToleratesRepeatedSpacesAndJunkTokens) {
   EXPECT_EQ(repro.get("trial"), "3");
   EXPECT_EQ(repro.get("garbage"), "=x");
   EXPECT_FALSE(repro.has("junk"));
+}
+
+// --- STREAM-REPRO (tools/stream_repro.hpp) ------------------------------
+
+StreamRepro sample_stream_repro() {
+  StreamRepro r;
+  r.config.seed = 0xDEADBEEFu;
+  r.config.batches = 23;
+  r.config.batch_keys = 771;
+  r.config.pattern = 3;
+  r.config.batch_interval = 96;
+  r.config.ranges = 5;
+  r.config.sample_keys = 129;
+  r.config.block = 16;
+  r.config.budget_bytes = 99991;
+  r.config.backends = 6;
+  r.config.domains = 3;
+  r.config.faulty = 2;
+  r.config.outage = "0@300~500+2@800~900+0@1000~1100";
+  r.config.tear_rate = 0.125;
+  r.config.crash_rate = 0.01;
+  r.config.retry_limit = 5;
+  r.config.backoff_base = 4;
+  r.config.backoff_cap = 128;
+  r.config.breaker = {.failure_threshold = 2, .cooldown = 333};
+  r.size = 5;
+  r.dims = 3;
+  r.threads = 4;
+  r.chain = 12345678901234567890ull;
+  r.hash = 9876543210123456789ull;
+  return r;
+}
+
+TEST(StreamRepro, FormatParseRoundTripsEveryField) {
+  const StreamRepro r = sample_stream_repro();
+  const StreamRepro p = parse_stream_repro(format_stream_repro(r));
+  EXPECT_EQ(p.config.seed, r.config.seed);
+  EXPECT_EQ(p.config.batches, r.config.batches);
+  EXPECT_EQ(p.config.batch_keys, r.config.batch_keys);
+  EXPECT_EQ(p.config.pattern, r.config.pattern);
+  EXPECT_EQ(p.config.batch_interval, r.config.batch_interval);
+  EXPECT_EQ(p.config.ranges, r.config.ranges);
+  EXPECT_EQ(p.config.sample_keys, r.config.sample_keys);
+  EXPECT_EQ(p.config.block, r.config.block);
+  EXPECT_EQ(p.config.budget_bytes, r.config.budget_bytes);
+  EXPECT_EQ(p.config.backends, r.config.backends);
+  EXPECT_EQ(p.config.domains, r.config.domains);
+  EXPECT_EQ(p.config.faulty, r.config.faulty);
+  EXPECT_EQ(p.config.outage, r.config.outage);
+  EXPECT_EQ(p.config.tear_rate, r.config.tear_rate)
+      << "rates print at %.17g so the double round-trips bit-identically";
+  EXPECT_EQ(p.config.crash_rate, r.config.crash_rate);
+  EXPECT_EQ(p.config.retry_limit, r.config.retry_limit);
+  EXPECT_EQ(p.config.backoff_base, r.config.backoff_base);
+  EXPECT_EQ(p.config.backoff_cap, r.config.backoff_cap);
+  EXPECT_EQ(p.config.breaker.failure_threshold,
+            r.config.breaker.failure_threshold);
+  EXPECT_EQ(p.config.breaker.cooldown, r.config.breaker.cooldown);
+  EXPECT_EQ(p.size, r.size);
+  EXPECT_EQ(p.dims, r.dims);
+  EXPECT_EQ(p.threads, r.threads);
+  EXPECT_EQ(p.chain, r.chain);
+  EXPECT_EQ(p.hash, r.hash);
+}
+
+TEST(StreamRepro, EmptyOutageIsOmittedAndParsesBack) {
+  StreamRepro r = sample_stream_repro();
+  r.config.outage.clear();
+  const std::string line = format_stream_repro(r);
+  EXPECT_EQ(line.find("outage="), std::string::npos);
+  EXPECT_TRUE(parse_stream_repro(line).config.outage.empty());
+}
+
+TEST(StreamRepro, MissingRequiredTokenNamesTheKey) {
+  try {
+    (void)parse_stream_repro("STREAM-REPRO seed=7 batches=3");
+    FAIL() << "accepted a line with most tokens missing";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("batch="), std::string::npos)
+        << "error must name the first missing token: " << e.what();
+  }
+}
+
+TEST(StreamRepro, MalformedTokensAreRejectedByName) {
+  const std::string good = format_stream_repro(sample_stream_repro());
+  const struct {
+    const char* from;
+    const char* to;
+    const char* named;
+  } kMutations[] = {
+      {"batches=23", "batches=twenty", "batches="},
+      {"budget=99991", "budget=99991x", "budget="},
+      {"tear=0.125", "tear=0.1x25", "tear="},
+      {"chain=12345678901234567890", "chain=0x12", "chain="},
+      {"outage=0@300~500+2@800~900+0@1000~1100", "outage=9@1~2",
+       "outage token"},
+  };
+  for (const auto& m : kMutations) {
+    std::string line = good;
+    const std::size_t pos = line.find(m.from);
+    ASSERT_NE(pos, std::string::npos) << m.from;
+    line.replace(pos, std::string(m.from).size(), m.to);
+    try {
+      (void)parse_stream_repro(line);
+      FAIL() << "accepted malformed token: " << m.to;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(m.named), std::string::npos)
+          << "error for '" << m.to << "' must name '" << m.named
+          << "', got: " << e.what();
+    }
+  }
+}
+
+TEST(StreamRepro, UnknownTokensAreIgnoredForForwardCompatibility) {
+  const std::string line =
+      format_stream_repro(sample_stream_repro()) + " future-flag=1 note=x";
+  EXPECT_EQ(parse_stream_repro(line).config.batches, 23);
 }
 
 }  // namespace

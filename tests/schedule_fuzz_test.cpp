@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <random>
 #include <stdexcept>
 #include <string>
@@ -23,6 +24,7 @@
 #include "graph/labeled_factor.hpp"
 #include "network/block_machine.hpp"
 #include "network/fault_model.hpp"
+#include "stream_repro.hpp"
 #include "product/subgraph_view.hpp"
 
 namespace prodsort {
@@ -286,6 +288,106 @@ TEST(ScheduleFuzz, MutatedValidSchedulesNeverCrash) {
       // expected when the mutation broke a token
     }
   }
+}
+
+// --- STREAM-REPRO token fuzz (tools/stream_repro.hpp) -------------------
+//
+// The streaming replay line embeds the per-domain outage grammar and a
+// couple dozen typed tokens; like the fault-schedule grammar above, the
+// print-then-parse pair must be a lossless inverse on every valid
+// config and reject mutations with a *named* std::invalid_argument.
+
+StreamRepro random_stream_repro(std::mt19937_64& rng) {
+  static const double kRates[] = {0, 0, 0.5, 0.25, 0.125, 0.01, 0.001};
+  StreamRepro r;
+  r.config.seed = rng();
+  r.config.batches = 1 + static_cast<int>(rng() % 200);
+  r.config.batch_keys = 1 + static_cast<std::int64_t>(rng() % 5000);
+  r.config.pattern = static_cast<int>(rng() % 5);
+  r.config.batch_interval = 1 + static_cast<std::int64_t>(rng() % 512);
+  r.config.ranges = 1 + static_cast<int>(rng() % 16);
+  r.config.sample_keys = 1 + static_cast<std::int64_t>(rng() % 512);
+  r.config.block = 1 + static_cast<int>(rng() % 64);
+  r.config.budget_bytes = r.config.batch_keys * 8 +
+                          static_cast<std::int64_t>(rng() % (1 << 20));
+  r.config.backends = 1 + static_cast<int>(rng() % 8);
+  r.config.domains = 1 + static_cast<int>(rng() % 4);
+  r.config.faulty = static_cast<int>(rng() % (r.config.backends + 1));
+  r.config.tear_rate = kRates[rng() % 7];
+  r.config.crash_rate = kRates[rng() % 7];
+  r.config.retry_limit = 1 + static_cast<int>(rng() % 16);
+  r.config.backoff_base = 1 + static_cast<std::int64_t>(rng() % 64);
+  r.config.backoff_cap = r.config.backoff_base +
+                         static_cast<std::int64_t>(rng() % 1024);
+  r.config.breaker.failure_threshold = 1 + static_cast<int>(rng() % 8);
+  r.config.breaker.cooldown = 1 + static_cast<std::int64_t>(rng() % 4096);
+  r.size = 3 + static_cast<int>(rng() % 4);
+  r.dims = 2 + static_cast<int>(rng() % 2);
+  r.threads = 1 + static_cast<int>(rng() % 8);
+  r.chain = rng();
+  r.hash = rng();
+  // Outage windows over the domains this config actually has (the
+  // budget/outage interaction: both ride the same line and must
+  // round-trip together).
+  const int domains = std::min(r.config.domains, r.config.backends);
+  const std::size_t windows = rng() % 4;
+  std::string outage;
+  for (std::size_t i = 0; i < windows; ++i) {
+    const std::int64_t from = static_cast<std::int64_t>(rng() % 10000);
+    const std::int64_t until = from + 1 + static_cast<std::int64_t>(rng() % 5000);
+    if (!outage.empty()) outage += '+';
+    outage += std::to_string(rng() % static_cast<std::uint64_t>(domains)) +
+              "@" + std::to_string(from) + "~" + std::to_string(until);
+  }
+  r.config.outage = outage;
+  return r;
+}
+
+TEST(ScheduleFuzz, StreamReproRoundTripsRandomValidLines) {
+  std::mt19937_64 rng(51);
+  for (int iter = 0; iter < 500; ++iter) {
+    const StreamRepro r = random_stream_repro(rng);
+    const std::string line = format_stream_repro(r);
+    const StreamRepro p = parse_stream_repro(line);
+    EXPECT_EQ(format_stream_repro(p), line)
+        << "format(parse(format(x))) must be a fixed point";
+    EXPECT_EQ(p.config.budget_bytes, r.config.budget_bytes);
+    EXPECT_EQ(p.config.outage, r.config.outage);
+    EXPECT_EQ(p.config.tear_rate, r.config.tear_rate);
+    EXPECT_EQ(p.chain, r.chain);
+    EXPECT_EQ(p.hash, r.hash);
+    // And the outage schedule itself survives its own round trip under
+    // the line's domain count.
+    const int domains = std::min(p.config.domains, p.config.backends);
+    const auto windows = parse_domain_outages(p.config.outage, domains);
+    EXPECT_EQ(parse_domain_outages(format_domain_outages(windows), domains),
+              windows);
+  }
+}
+
+TEST(ScheduleFuzz, MutatedStreamReproLinesNeverCrash) {
+  std::mt19937_64 rng(52);
+  int rejected = 0;
+  for (int iter = 0; iter < 1000; ++iter) {
+    std::string line = format_stream_repro(random_stream_repro(rng));
+    const std::size_t pos = rng() % line.size();
+    switch (rng() % 3) {
+      case 0: line[pos] = static_cast<char>('!' + rng() % 90); break;
+      case 1: line.erase(pos, 1); break;
+      default: line = line.substr(0, pos); break;
+    }
+    try {
+      (void)parse_stream_repro(line);
+    } catch (const std::invalid_argument& e) {
+      ++rejected;
+      const std::string what = e.what();
+      EXPECT_TRUE(what.find("STREAM-REPRO") != std::string::npos ||
+                  what.find("missing required token") != std::string::npos ||
+                  what.find("outage token") != std::string::npos)
+          << "rejection must carry a named error, got: " << what;
+    }
+  }
+  EXPECT_GT(rejected, 0) << "mutations should break at least some lines";
 }
 
 }  // namespace

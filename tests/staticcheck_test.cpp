@@ -130,8 +130,9 @@ TEST(ScheduleRecorderTest, AppliedScheduleReproducesTheSort) {
   apply_schedule(machine, ir);
   EXPECT_TRUE(machine.snake_sorted(full_view(pg)));
 
-  Machine wrong(ProductGraph(labeled_path(3), 2),
-                random_keys(9, 1));
+  // Machine keeps a reference to its graph — the graph must outlive it.
+  const ProductGraph small(labeled_path(3), 2);
+  Machine wrong(small, random_keys(9, 1));
   EXPECT_THROW(apply_schedule(wrong, ir), std::invalid_argument);
 }
 

@@ -1,0 +1,448 @@
+// Streaming ingestion pipeline (src/stream/, docs/STREAMING.md): the
+// splitter/scatter layer and its duplicate-heavy edge cases, the
+// incremental fingerprint accumulator the certificate chain rides on,
+// the measured host merge, the byte-accounted memory budget, and the
+// StreamingSorter end to end — conservation, determinism across
+// executor thread counts, backpressure under skew, and every rung of
+// the recovery ladder (crash, outage, torn merge, silent comparator).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "core/certifier.hpp"
+#include "core/hashing.hpp"
+#include "core/host_merge.hpp"
+#include "core/splitters.hpp"
+#include "graph/labeled_factor.hpp"
+#include "network/parallel_executor.hpp"
+#include "stream/memory_budget.hpp"
+#include "stream/streaming_sorter.hpp"
+
+namespace prodsort {
+namespace {
+
+// --- splitters ----------------------------------------------------------
+
+TEST(Splitters, SamplePrefixIsSortedSeededAndClamped) {
+  std::vector<Key> prefix;
+  for (int i = 0; i < 100; ++i)
+    prefix.push_back(static_cast<Key>(mix64(7, static_cast<std::uint64_t>(i)) %
+                                      1000));
+  const std::vector<Key> a = sample_prefix(prefix, 32, 5);
+  const std::vector<Key> b = sample_prefix(prefix, 32, 5);
+  EXPECT_EQ(a, b) << "same seed must draw the same sample";
+  EXPECT_TRUE(std::is_sorted(a.begin(), a.end()));
+  EXPECT_EQ(a.size(), 32u);
+  const std::vector<Key> c = sample_prefix(prefix, 32, 6);
+  EXPECT_NE(a, c) << "different seeds should draw different samples";
+  EXPECT_EQ(sample_prefix(prefix, 1000, 5).size(), prefix.size())
+      << "count clamps to the prefix size";
+  EXPECT_TRUE(sample_prefix({}, 8, 5).empty());
+  EXPECT_THROW((void)sample_prefix(prefix, -1, 5), std::invalid_argument);
+}
+
+TEST(Splitters, PickSplittersQuantilesAndErrors) {
+  const std::vector<Key> sample = {10, 20, 30, 40, 50, 60, 70, 80};
+  const std::vector<Key> splitters = pick_splitters(sample, 4);
+  ASSERT_EQ(splitters.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(splitters.begin(), splitters.end()));
+  EXPECT_TRUE(pick_splitters(sample, 1).empty());
+  EXPECT_THROW((void)pick_splitters(sample, 0), std::invalid_argument);
+  const std::vector<Key> unsorted = {3, 1, 2};
+  EXPECT_THROW((void)pick_splitters(unsorted, 2), std::invalid_argument);
+  EXPECT_THROW((void)pick_splitters({}, 2), std::invalid_argument);
+  EXPECT_TRUE(pick_splitters({}, 1).empty())
+      << "one range needs no splitters, even from an empty sample";
+}
+
+TEST(Splitters, AllEqualSampleRoutesEverythingToOneRange) {
+  // Duplicate-heavy worst case: every sample key equal, so every
+  // splitter is equal and all mass lands in range 0 (keys <= splitter).
+  const std::vector<Key> sample(16, 42);
+  const std::vector<Key> splitters = pick_splitters(sample, 4);
+  ASSERT_EQ(splitters.size(), 3u);
+  const std::vector<Key> keys = {42, 42, 42, 42};
+  const std::vector<std::vector<Key>> out = scatter_keys(keys, splitters);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0].size(), 4u);
+  EXPECT_TRUE(out[1].empty() && out[2].empty() && out[3].empty());
+}
+
+TEST(Splitters, EqualKeysAlwaysLandInOneRange) {
+  const std::vector<Key> splitters = {10, 20, 30};
+  EXPECT_EQ(range_of(10, splitters), 0) << "keys equal to a splitter go low";
+  EXPECT_EQ(range_of(11, splitters), 1);
+  EXPECT_EQ(range_of(20, splitters), 1);
+  EXPECT_EQ(range_of(30, splitters), 2);
+  EXPECT_EQ(range_of(31, splitters), 3);
+  EXPECT_EQ(range_of(5, {}), 0) << "no splitters: single range";
+}
+
+TEST(Splitters, ScatterIsStableAndConserving) {
+  const std::vector<Key> splitters = {50};
+  const std::vector<Key> keys = {70, 10, 80, 20, 50};
+  const std::vector<std::vector<Key>> out = scatter_keys(keys, splitters);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], (std::vector<Key>{10, 20, 50}));
+  EXPECT_EQ(out[1], (std::vector<Key>{70, 80}));
+  const std::vector<std::vector<Key>> none = scatter_keys({}, splitters);
+  EXPECT_TRUE(none[0].empty() && none[1].empty());
+}
+
+TEST(Splitters, PreSortedAndReversedInputsScatterConserving) {
+  std::vector<Key> sorted;
+  for (int i = 0; i < 64; ++i) sorted.push_back(i);
+  std::vector<Key> reversed(sorted.rbegin(), sorted.rend());
+  const std::vector<Key> splitters =
+      pick_splitters(sample_prefix(sorted, 16, 3), 4);
+  for (const std::vector<Key>& keys : {sorted, reversed}) {
+    const std::vector<std::vector<Key>> out = scatter_keys(keys, splitters);
+    std::size_t total = 0;
+    for (const auto& frag : out) total += frag.size();
+    EXPECT_EQ(total, keys.size());
+  }
+}
+
+// --- fingerprint accumulator --------------------------------------------
+
+TEST(FingerprintAccumulator, MatchesFingerprintSequence) {
+  std::vector<Key> keys;
+  for (int i = 0; i < 257; ++i)
+    keys.push_back(static_cast<Key>(mix64(11, static_cast<std::uint64_t>(i))));
+  FingerprintAccumulator acc;
+  acc.absorb(keys);
+  EXPECT_EQ(acc.finalize(), fingerprint_sequence(keys))
+      << "the pinned equivalence the certificate chain relies on";
+  EXPECT_EQ(acc.count(), keys.size());
+}
+
+TEST(FingerprintAccumulator, DisjointMergeEqualsConcatenation) {
+  std::vector<Key> all;
+  FingerprintAccumulator merged;
+  for (int part = 0; part < 5; ++part) {
+    FingerprintAccumulator piece;
+    for (int i = 0; i < 40 + part; ++i) {
+      const Key k = static_cast<Key>(
+          mix64(static_cast<std::uint64_t>(part), static_cast<std::uint64_t>(i)));
+      piece.absorb(k);
+      all.push_back(k);
+    }
+    merged.absorb(piece);
+  }
+  EXPECT_EQ(merged.finalize(), fingerprint_sequence(all));
+}
+
+TEST(FingerprintAccumulator, OrderInvariant) {
+  std::vector<Key> keys = {5, 3, 9, 1, 3, 5};
+  FingerprintAccumulator forward;
+  forward.absorb(keys);
+  std::reverse(keys.begin(), keys.end());
+  FingerprintAccumulator backward;
+  backward.absorb(keys);
+  EXPECT_EQ(forward, backward);
+  EXPECT_EQ(forward.finalize(), backward.finalize());
+}
+
+// --- measured host merge ------------------------------------------------
+
+TEST(HostMerge, MergesUnequalRunsAndMeasures) {
+  const std::vector<std::vector<Key>> runs = {
+      {1, 4, 9, 12}, {2, 3}, {}, {5, 6, 7, 8, 10, 11}};
+  HostMergeStats stats;
+  const std::vector<Key> out = measured_multiway_merge(runs, stats);
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+  EXPECT_EQ(out.size(), 12u);
+  EXPECT_EQ(stats.moves, 12);
+  EXPECT_GT(stats.comparisons, 0);
+  EXPECT_EQ(stats.steps(),
+            (stats.comparisons + stats.moves + kHostMergeLanes - 1) /
+                kHostMergeLanes)
+      << "virtual-time charge is ceil(ops / lanes)";
+}
+
+TEST(HostMerge, LanesMatchCertificateLanes) {
+  // The merge and the certificate stream through the same host lanes;
+  // if one widens, the cost comparison across subsystems silently
+  // skews — pin it.
+  EXPECT_EQ(kHostMergeLanes, kCertLanes);
+}
+
+TEST(HostMerge, ThrowsOnUnsortedRun) {
+  const std::vector<std::vector<Key>> runs = {{1, 2, 3}, {5, 4}};
+  HostMergeStats stats;
+  EXPECT_THROW((void)measured_multiway_merge(runs, stats),
+               std::invalid_argument);
+}
+
+TEST(HostMerge, MeasuredHostSortMatchesStdSort) {
+  std::vector<Key> keys;
+  for (int i = 0; i < 333; ++i)
+    keys.push_back(static_cast<Key>(mix64(3, static_cast<std::uint64_t>(i)) %
+                                    997));
+  std::vector<Key> expected = keys;
+  std::sort(expected.begin(), expected.end());
+  HostMergeStats stats;
+  EXPECT_EQ(measured_host_sort(keys, 64, stats), expected);
+  EXPECT_GT(stats.comparisons, 0);
+  EXPECT_GT(stats.moves, 0);
+  EXPECT_EQ(stats.runs, (333 + 63) / 64);
+  HostMergeStats single;
+  EXPECT_EQ(measured_host_sort(keys, 1000, single), expected)
+      << "run_keys beyond the input degenerates to one sorted run";
+  EXPECT_THROW((void)measured_host_sort(keys, 0, stats),
+               std::invalid_argument);
+}
+
+// --- memory budget ------------------------------------------------------
+
+TEST(MemoryBudget, ReserveReleaseHighWater) {
+  MemoryBudget budget(100);
+  EXPECT_TRUE(budget.try_reserve(60));
+  EXPECT_TRUE(budget.try_reserve(40));
+  EXPECT_EQ(budget.used(), 100);
+  EXPECT_EQ(budget.high_water(), 100);
+  budget.release(70);
+  EXPECT_EQ(budget.used(), 30);
+  EXPECT_EQ(budget.high_water(), 100) << "high water never recedes";
+  EXPECT_EQ(budget.refusals(), 0);
+}
+
+TEST(MemoryBudget, RefusalIsAllOrNothing) {
+  MemoryBudget budget(100);
+  EXPECT_TRUE(budget.try_reserve(90));
+  EXPECT_FALSE(budget.try_reserve(11)) << "would exceed: nothing reserved";
+  EXPECT_EQ(budget.used(), 90);
+  EXPECT_EQ(budget.refusals(), 1);
+  EXPECT_TRUE(budget.try_reserve(10)) << "exact fit still admitted";
+}
+
+TEST(MemoryBudget, GuardsAgainstMisuse) {
+  EXPECT_THROW(MemoryBudget(0), std::invalid_argument);
+  MemoryBudget budget(10);
+  EXPECT_THROW((void)budget.try_reserve(-1), std::invalid_argument);
+  EXPECT_THROW(budget.release(1), std::logic_error)
+      << "over-release is an accounting bug, not a no-op";
+}
+
+// --- streaming sorter ---------------------------------------------------
+
+StreamConfig small_config() {
+  StreamConfig cfg;
+  cfg.seed = 7;
+  cfg.batches = 6;
+  cfg.batch_keys = 100;
+  cfg.ranges = 4;
+  cfg.block = 4;  // run_keys = 16 * 4 = 64 on cycle(4)^2
+  cfg.budget_bytes = 1 << 14;
+  cfg.backends = 3;
+  cfg.domains = 2;
+  return cfg;
+}
+
+struct StreamOutcome {
+  StreamReport report;
+  std::vector<Key> emitted;
+};
+
+StreamOutcome run_stream(const StreamConfig& cfg, int threads = 1) {
+  const LabeledFactor factor = labeled_cycle(4);
+  const ProductGraph pg(factor, 2);
+  ParallelExecutor executor(threads);
+  StreamingSorter sorter(pg, cfg, &executor);
+  StreamOutcome outcome;
+  outcome.report = sorter.run();
+  outcome.emitted = sorter.emitted();
+  return outcome;
+}
+
+TEST(StreamingSorter, FaultFreeStreamConservesAndSorts) {
+  const StreamOutcome out = run_stream(small_config());
+  const StreamReport& report = out.report;
+  EXPECT_TRUE(report.complete);
+  EXPECT_TRUE(report.conserved()) << report.summary();
+  EXPECT_EQ(report.keys_ingested, 600);
+  EXPECT_EQ(report.keys_emitted, 600);
+  EXPECT_EQ(report.cert_escapes, 0);
+  EXPECT_LE(report.high_water_bytes, report.budget_bytes);
+  EXPECT_TRUE(std::is_sorted(out.emitted.begin(), out.emitted.end()))
+      << "sealed ranges must concatenate into one sorted sequence";
+  EXPECT_EQ(static_cast<std::int64_t>(out.emitted.size()),
+            report.keys_emitted);
+  EXPECT_EQ(report.sealed_fp, report.ingest_fp);
+}
+
+TEST(StreamingSorter, DeterministicAcrossThreadCounts) {
+  StreamConfig cfg = small_config();
+  cfg.faulty = 1;
+  cfg.crash_rate = 0.1;
+  cfg.tear_rate = 0.2;
+  const StreamOutcome one = run_stream(cfg, 1);
+  const StreamOutcome four = run_stream(cfg, 4);
+  EXPECT_EQ(one.report.hash(), four.report.hash())
+      << "the virtual clock must not observe the executor width";
+  EXPECT_EQ(one.emitted, four.emitted);
+  EXPECT_EQ(one.report.chain_hash, four.report.chain_hash);
+}
+
+TEST(StreamingSorter, SkewedKeysRespectBudgetUnderBackpressure) {
+  StreamConfig cfg = small_config();
+  cfg.pattern = 2;  // few-distinct: most ranges empty, survivors skewed
+  cfg.ranges = 8;   // only 4 distinct values: at least half stay empty
+  cfg.batches = 10;
+  cfg.batch_keys = 200;
+  cfg.budget_bytes = 200 * 8 + 64;  // barely above one batch
+  const StreamOutcome out = run_stream(cfg);
+  EXPECT_TRUE(out.report.conserved()) << out.report.summary();
+  EXPECT_LE(out.report.high_water_bytes, out.report.budget_bytes)
+      << "skew must spill through forced cuts, never overshoot";
+  EXPECT_GT(out.report.forced_cuts, 0);
+  EXPECT_GT(out.report.backpressure_stalls, 0);
+  EXPECT_GT(out.report.empty_ranges, 0)
+      << "four distinct values cannot populate every range";
+  EXPECT_TRUE(std::is_sorted(out.emitted.begin(), out.emitted.end()));
+}
+
+TEST(StreamingSorter, TwoValuedAndReversedPatternsConserve) {
+  for (int pattern : {1, 3}) {  // binary, reversed
+    StreamConfig cfg = small_config();
+    cfg.pattern = pattern;
+    const StreamOutcome out = run_stream(cfg);
+    EXPECT_TRUE(out.report.conserved())
+        << "pattern " << pattern << ": " << out.report.summary();
+    EXPECT_TRUE(std::is_sorted(out.emitted.begin(), out.emitted.end()));
+  }
+}
+
+TEST(StreamingSorter, SingletonBatchPadsAndConserves) {
+  StreamConfig cfg = small_config();
+  cfg.batches = 1;
+  cfg.batch_keys = 1;
+  const StreamOutcome out = run_stream(cfg);
+  EXPECT_TRUE(out.report.conserved()) << out.report.summary();
+  EXPECT_EQ(out.report.keys_emitted, 1);
+  EXPECT_EQ(out.report.padded_keys, 63)
+      << "a 1-key run pads to run_keys with sentinels, all stripped";
+  EXPECT_GT(out.report.empty_ranges, 0);
+}
+
+TEST(StreamingSorter, BatchCountNotDividingRangesStillSeals) {
+  StreamConfig cfg = small_config();
+  cfg.batches = 7;   // does not divide ranges = 4
+  cfg.batch_keys = 37;  // nothing divides run_keys = 64
+  cfg.ranges = 3;
+  const StreamOutcome out = run_stream(cfg);
+  EXPECT_TRUE(out.report.conserved()) << out.report.summary();
+  EXPECT_EQ(out.report.keys_emitted, 7 * 37);
+  EXPECT_EQ(out.report.ranges_sealed, 3);
+  EXPECT_GT(out.report.padded_keys, 0);
+}
+
+TEST(StreamingSorter, CrashedRunsRedispatchFromRetainedSlices) {
+  StreamConfig cfg = small_config();
+  cfg.crash_rate = 0.3;
+  const StreamOutcome out = run_stream(cfg);
+  EXPECT_GT(out.report.crash_injected, 0);
+  EXPECT_GT(out.report.retries, 0);
+  EXPECT_TRUE(out.report.conserved())
+      << "every crashed run must be re-served from its slice: "
+      << out.report.summary();
+  EXPECT_EQ(out.report.runs_failed, 0);
+}
+
+TEST(StreamingSorter, OutageWindowRefusesThenRecovers) {
+  StreamConfig cfg = small_config();
+  cfg.outage = "0@100~400";
+  const StreamOutcome out = run_stream(cfg);
+  EXPECT_GT(out.report.outage_refusals + out.report.outage_failures, 0)
+      << "the window overlaps the dispatch burst, something must be hit";
+  EXPECT_TRUE(out.report.conserved()) << out.report.summary();
+}
+
+TEST(StreamingSorter, TornMergeRollsBackAndReseals) {
+  StreamConfig cfg = small_config();
+  cfg.tear_rate = 0.4;
+  cfg.seed = 3;
+  const StreamOutcome out = run_stream(cfg);
+  EXPECT_GT(out.report.merge_rollbacks, 0);
+  EXPECT_TRUE(out.report.conserved())
+      << "a torn merge must re-merge from retained runs: "
+      << out.report.summary();
+  EXPECT_TRUE(std::is_sorted(out.emitted.begin(), out.emitted.end()));
+}
+
+TEST(StreamingSorter, SilentComparatorIsCaughtAndRepaired) {
+  StreamConfig cfg = small_config();
+  cfg.faulty = 2;
+  const StreamOutcome out = run_stream(cfg);
+  EXPECT_GT(out.report.sdc_detected, 0)
+      << "the inverted comparator must trip the end-to-end certificate";
+  EXPECT_EQ(out.report.cert_escapes, 0)
+      << "detected is fine, escaped is the gate";
+  EXPECT_TRUE(out.report.conserved()) << out.report.summary();
+}
+
+TEST(StreamingSorter, EveryBatchIngestedExactlyOnceUnderFaults) {
+  StreamConfig cfg = small_config();
+  cfg.crash_rate = 0.2;
+  cfg.tear_rate = 0.2;
+  cfg.faulty = 1;
+  cfg.outage = "1@200~500";
+  const StreamOutcome out = run_stream(cfg);
+  EXPECT_EQ(out.report.batches, cfg.batches)
+      << "recovery re-dispatches runs, never re-ingests batches";
+  EXPECT_EQ(out.report.keys_ingested, cfg.batches * cfg.batch_keys);
+  EXPECT_TRUE(out.report.conserved()) << out.report.summary();
+}
+
+TEST(StreamingSorter, RejectsConfigsItCannotHonor) {
+  const LabeledFactor factor = labeled_cycle(4);
+  const ProductGraph pg(factor, 2);
+  StreamConfig cfg = small_config();
+  cfg.budget_bytes = cfg.batch_keys * 8 - 1;  // below one batch
+  EXPECT_THROW(StreamingSorter(pg, cfg), std::invalid_argument);
+  cfg = small_config();
+  cfg.ranges = 0;
+  EXPECT_THROW(StreamingSorter(pg, cfg), std::invalid_argument);
+  cfg = small_config();
+  cfg.outage = "9@1~2";  // domain out of range
+  EXPECT_THROW(StreamingSorter(pg, cfg), std::invalid_argument);
+  cfg = small_config();
+  cfg.tear_rate = 1.0;
+  EXPECT_THROW(StreamingSorter(pg, cfg), std::invalid_argument);
+  const ProductGraph line(factor, 1);
+  EXPECT_THROW(StreamingSorter(line, small_config()), std::invalid_argument);
+}
+
+// --- outage schedule grammar --------------------------------------------
+
+TEST(DomainOutages, ParsesAndFormatsRoundTrip) {
+  const auto windows = parse_domain_outages("0@10~20+1@5~8+0@30~40", 2);
+  ASSERT_EQ(windows.size(), 2u);
+  ASSERT_EQ(windows[0].size(), 2u);
+  EXPECT_EQ(windows[0][0].from, 10);
+  EXPECT_EQ(windows[0][1].until, 40);
+  ASSERT_EQ(windows[1].size(), 1u);
+  const std::string formatted = format_domain_outages(windows);
+  EXPECT_EQ(parse_domain_outages(formatted, 2), windows)
+      << "format must be a parse fixed point";
+  EXPECT_TRUE(format_domain_outages(parse_domain_outages("", 3)).empty());
+}
+
+TEST(DomainOutages, RejectsMalformedTokensByName) {
+  for (const char* bad : {"junk", "0@5", "0@5~", "0@5~5", "0@8~5", "2@1~2",
+                          "-1@1~2", "0@x~2", "0@1~2+garbage"}) {
+    try {
+      (void)parse_domain_outages(bad, 2);
+      FAIL() << "accepted malformed schedule: " << bad;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("outage token"), std::string::npos)
+          << "error must name the grammar: " << e.what();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace prodsort

@@ -1,0 +1,263 @@
+// prodsort_stream — deterministic streaming-ingestion driver
+// (docs/STREAMING.md).
+//
+//   prodsort_stream [--seed S] [--batches B] [--batch-keys K]
+//                   [--pattern P] [--interval I] [--ranges R]
+//                   [--sample N] [--block B] [--budget BYTES]
+//                   [--backends N] [--domains D] [--faulty F]
+//                   [--outage D@F~U ...] [--tear RATE] [--crash RATE]
+//                   [--retry R] [--size N] [--dims r] [--threads T]
+//                   [--json FILE]
+//   prodsort_stream --soak [same flags]
+//   prodsort_stream --repro STREAM-REPRO ...
+//
+// Runs a StreamingSorter over --batches seed-hashed batches: sample-
+// sort splitter partitioning, bounded-size block-mode runs dispatched
+// to a breaker-guarded backend pool, and measured multiway host merge
+// on egress — all on the virtual clock, under a byte-accounted memory
+// budget with backpressure.  `--faulty F` gives the first F backends a
+// silently inverted comparator (exercising the end-to-end certificate
+// and block repair); `--outage D@F~U` (repeatable) darkens fault
+// domain D over virtual time [F, U); `--crash` and `--tear` inject
+// whole-run crashes and torn egress merges at the given per-attempt
+// rates.
+//
+// Every run prints one machine-readable STREAM-REPRO line; --repro
+// accepts that line (quoted or shell-split), replays the stream, and
+// exits nonzero unless both the certificate chain and the report hash
+// match bit-identically.
+//
+// --soak is the streaming gate CI runs under sanitizers: default fault
+// pressure (crashes, tears, one faulty backend, an outage window) plus
+// hard invariant checks — conservation (every ingested key sealed
+// exactly once, fingerprints equal), zero certificate escapes, memory
+// high-water within the budget, and globally sorted emission — exit 1
+// with the repro line on any violation.
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "graph/labeled_factor.hpp"
+#include "network/parallel_executor.hpp"
+#include "stream_repro.hpp"
+
+using namespace prodsort;
+
+namespace {
+
+struct StreamRun {
+  StreamReport report;
+  bool emitted_sorted = false;
+  std::int64_t emitted_keys = 0;
+};
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool ok =
+      std::fwrite(content.data(), 1, content.size(), f) == content.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+StreamRun run_stream(const StreamRepro& args) {
+  const LabeledFactor factor = labeled_cycle(args.size);
+  const ProductGraph pg(factor, args.dims);
+  ParallelExecutor executor(args.threads);
+  StreamingSorter sorter(pg, args.config, &executor);
+  StreamRun run;
+  run.report = sorter.run();
+  const std::vector<Key>& emitted = sorter.emitted();
+  run.emitted_keys = static_cast<std::int64_t>(emitted.size());
+  run.emitted_sorted = true;
+  for (std::size_t i = 1; i < emitted.size(); ++i)
+    if (emitted[i - 1] > emitted[i]) run.emitted_sorted = false;
+  return run;
+}
+
+/// The streaming soak gate: the invariants CI asserts under sanitizers.
+int check_invariants(const StreamRepro& args, const StreamRun& run) {
+  const StreamReport& report = run.report;
+  int violations = 0;
+  if (!report.complete) {
+    std::printf("VIOLATION: stream did not complete — %lld/%d ranges sealed,"
+                " %lld run(s) dead\n",
+                static_cast<long long>(report.ranges_sealed),
+                args.config.ranges,
+                static_cast<long long>(report.runs_failed));
+    ++violations;
+  }
+  if (report.cert_escapes != 0) {
+    std::printf("VIOLATION: %lld certificate escape(s) — a fingerprint"
+                " mismatch crossed a pipeline stage\n",
+                static_cast<long long>(report.cert_escapes));
+    ++violations;
+  }
+  if (!report.conserved()) {
+    std::printf("VIOLATION: conservation — ingested=%lld emitted=%lld,"
+                " multiset fingerprints %s\n",
+                static_cast<long long>(report.keys_ingested),
+                static_cast<long long>(report.keys_emitted),
+                report.sealed_fp == report.ingest_fp ? "equal" : "DIFFER");
+    ++violations;
+  }
+  if (report.high_water_bytes > report.budget_bytes) {
+    std::printf("VIOLATION: memory — high water %lld bytes > budget %lld\n",
+                static_cast<long long>(report.high_water_bytes),
+                static_cast<long long>(report.budget_bytes));
+    ++violations;
+  }
+  if (!run.emitted_sorted) {
+    std::printf("VIOLATION: emission not globally sorted across %lld keys\n",
+                static_cast<long long>(run.emitted_keys));
+    ++violations;
+  }
+  return violations;
+}
+
+int run_repro(const std::string& line) {
+  StreamRepro args = parse_stream_repro(line);
+  const std::uint64_t expect_chain = args.chain;
+  const std::uint64_t expect_hash = args.hash;
+  const StreamRun run = run_stream(args);
+  if (run.report.chain_hash == expect_chain &&
+      run.report.hash() == expect_hash) {
+    std::printf("repro: stream replayed bit-identically (chain=%" PRIu64
+                " hash=%" PRIu64 ")\n",
+                expect_chain, expect_hash);
+    return 0;
+  }
+  std::printf("repro: MISMATCH — expected chain=%" PRIu64 " hash=%" PRIu64
+              " got chain=%" PRIu64 " hash=%" PRIu64 "\n",
+              expect_chain, expect_hash, run.report.chain_hash,
+              run.report.hash());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  StreamRepro args;
+  StreamConfig& cfg = args.config;
+  bool soak = false;
+  bool outage_set = false;
+  std::string json_path;
+  std::string repro_line;
+  for (int i = 1; i < argc; ++i) {
+    const auto has_value = [&](const char* flag) {
+      return std::strcmp(argv[i], flag) == 0 && i + 1 < argc;
+    };
+    if (has_value("--seed"))
+      cfg.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    else if (has_value("--batches")) cfg.batches = std::atoi(argv[++i]);
+    else if (has_value("--batch-keys")) cfg.batch_keys = std::atoll(argv[++i]);
+    else if (has_value("--pattern")) cfg.pattern = std::atoi(argv[++i]);
+    else if (has_value("--interval"))
+      cfg.batch_interval = std::atoll(argv[++i]);
+    else if (has_value("--ranges")) cfg.ranges = std::atoi(argv[++i]);
+    else if (has_value("--sample")) cfg.sample_keys = std::atoll(argv[++i]);
+    else if (has_value("--block")) cfg.block = std::atoi(argv[++i]);
+    else if (has_value("--budget")) cfg.budget_bytes = std::atoll(argv[++i]);
+    else if (has_value("--backends")) cfg.backends = std::atoi(argv[++i]);
+    else if (has_value("--domains")) cfg.domains = std::atoi(argv[++i]);
+    else if (has_value("--faulty")) cfg.faulty = std::atoi(argv[++i]);
+    else if (has_value("--outage")) {
+      if (!cfg.outage.empty()) cfg.outage += '+';
+      cfg.outage += argv[++i];
+      outage_set = true;
+    } else if (has_value("--tear")) cfg.tear_rate = std::atof(argv[++i]);
+    else if (has_value("--crash")) cfg.crash_rate = std::atof(argv[++i]);
+    else if (has_value("--retry")) cfg.retry_limit = std::atoi(argv[++i]);
+    else if (has_value("--size")) args.size = std::atoi(argv[++i]);
+    else if (has_value("--dims")) args.dims = std::atoi(argv[++i]);
+    else if (has_value("--threads")) args.threads = std::atoi(argv[++i]);
+    else if (has_value("--json")) json_path = argv[++i];
+    else if (std::strcmp(argv[i], "--soak") == 0) soak = true;
+    else if (std::strcmp(argv[i], "--repro") == 0) {
+      repro_line = ReproLine::rejoin_args(argc, argv, i + 1);
+      i = argc;
+      if (repro_line.empty()) {
+        std::fprintf(stderr, "--repro needs a STREAM-REPRO line\n");
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--seed S] [--batches B] [--batch-keys K]"
+                   " [--pattern P] [--interval I] [--ranges R] [--sample N]"
+                   " [--block B] [--budget BYTES] [--backends N]"
+                   " [--domains D] [--faulty F] [--outage D@F~U]"
+                   " [--tear RATE] [--crash RATE] [--retry R] [--size N]"
+                   " [--dims r] [--threads T] [--json FILE]"
+                   " [--soak] [--repro STREAM-REPRO-line]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  if (!repro_line.empty()) {
+    try {
+      return run_repro(repro_line);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "--repro: malformed line: %s\n", e.what());
+      return 2;
+    }
+  }
+
+  if (soak) {
+    // Default fault pressure: whole-run crashes, torn merges, one
+    // comparator-faulted backend, and one mid-stream outage window —
+    // every rung of the recovery ladder fires.
+    if (cfg.crash_rate == 0) cfg.crash_rate = 0.05;
+    if (cfg.tear_rate == 0) cfg.tear_rate = 0.25;
+    if (cfg.faulty == 0) cfg.faulty = 1;
+    if (!outage_set) {
+      const std::int64_t from = cfg.batch_interval * cfg.batches / 4;
+      char window[64];
+      std::snprintf(window, sizeof window, "0@%lld~%lld",
+                    static_cast<long long>(from),
+                    static_cast<long long>(2 * from));
+      cfg.outage = window;
+    }
+  }
+
+  try {
+    StreamRun run = run_stream(args);
+    const StreamReport& report = run.report;
+    args.chain = report.chain_hash;
+    args.hash = report.hash();
+    std::printf("streaming sort: %d batches x %lld keys over cycle(%d)^%d,"
+                " block=%d, %d ranges, %d backends (%d faulted, %d domains),"
+                " budget %lld bytes\n\n%s\n\n",
+                cfg.batches, static_cast<long long>(cfg.batch_keys),
+                args.size, args.dims, cfg.block, cfg.ranges, cfg.backends,
+                cfg.faulty, std::min(cfg.domains, cfg.backends),
+                static_cast<long long>(cfg.budget_bytes),
+                report.summary().c_str());
+    std::printf("%s\n", format_stream_repro(args).c_str());
+    if (!json_path.empty() && !write_file(json_path, report.json()))
+      std::fprintf(stderr, "warning: could not write %s\n", json_path.c_str());
+    if (soak) {
+      const int violations = check_invariants(args, run);
+      if (violations != 0) {
+        std::printf("soak: %d invariant violation(s)\n", violations);
+        return 1;
+      }
+      std::printf("soak: all streaming invariants held — %lld keys,"
+                  " high-water %lld/%lld bytes, %lld retries, %lld"
+                  " rollbacks\n",
+                  static_cast<long long>(report.keys_emitted),
+                  static_cast<long long>(report.high_water_bytes),
+                  static_cast<long long>(report.budget_bytes),
+                  static_cast<long long>(report.retries),
+                  static_cast<long long>(report.merge_rollbacks));
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "prodsort_stream: %s\n", e.what());
+    return 2;
+  }
+}
