@@ -18,7 +18,9 @@
 #     "benches": { "BENCH_streaming": { ... }, ... } }
 #
 # Exits 1 if no BENCH_*.json is found anywhere (a CI wiring bug, not an
-# empty result worth uploading).
+# empty result worth uploading), and 1 naming the offending file if any
+# input is empty or not a JSON object (a bench that died mid-write must
+# fail the collection, not be folded into a corrupt summary).
 
 set -eu
 
@@ -48,6 +50,30 @@ if [ -z "$manifest" ]; then
   echo "hint: run the bench binaries first (scripts/run_experiments.sh)" >&2
   exit 1
 fi
+
+# Validation pass: every input must be a non-empty JSON object.  The
+# summary is assembled textually, so a zero-byte or truncated file (a
+# bench killed mid-write) would corrupt the artifact silently — fail
+# loudly naming the file instead.
+bad=0
+while IFS="$(printf '\t')" read -r name path; do
+  if [ ! -s "$path" ]; then
+    echo "error: $path is empty — the bench died before writing its JSON" >&2
+    bad=1
+    continue
+  fi
+  first_char=$(sed -n 's/^[[:space:]]*//; /./{p;q;}' "$path" | cut -c1)
+  last_char=$(tail -c 64 "$path" | tr -d '[:space:]' | tail -c 1)
+  if [ "$first_char" != "{" ] || [ "$last_char" != "}" ]; then
+    echo "error: $path is malformed — expected a JSON object," \
+         "got first char '${first_char:-<none>}'," \
+         "last char '${last_char:-<none>}'" >&2
+    bad=1
+  fi
+done <<MANIFEST_EOF
+$manifest
+MANIFEST_EOF
+[ "$bad" -eq 0 ] || exit 1
 
 count=$(printf '%s\n' "$manifest" | wc -l | tr -d ' ')
 tmp=$(mktemp "${OUTPUT}.XXXXXX")

@@ -7,7 +7,7 @@
 #   ./scripts/run_experiments.sh --sanitize
 #
 # --sanitize instead configures and builds the asan-ubsan and tsan
-# presets (see CMakePresets.json) and runs the `faults`-labeled test
+# presets (see CMakePresets.json) and runs the `faults`-, `audit`-, and `durability`-labeled test
 # subset under each — the fault-injection/recovery paths exercised with
 # memory and data-race checking.
 

@@ -70,6 +70,19 @@ MultisetFingerprint FingerprintAccumulator::finalize() const noexcept {
   return fp;
 }
 
+FingerprintState FingerprintAccumulator::state() const noexcept {
+  return FingerprintState{sum_, xor_, count_};
+}
+
+FingerprintAccumulator FingerprintAccumulator::from_state(
+    const FingerprintState& state) noexcept {
+  FingerprintAccumulator acc;
+  acc.sum_ = state.sum;
+  acc.xor_ = state.xor_mix;
+  acc.count_ = state.count;
+  return acc;
+}
+
 std::string to_string(CertVerdict verdict) {
   switch (verdict) {
     case CertVerdict::kPass: return "pass";

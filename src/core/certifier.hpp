@@ -66,6 +66,20 @@ struct MultisetFingerprint {
 /// ever holding both sides in memory: each batch and each sealed range
 /// contributes its accumulator, and only the two stream-level
 /// accumulators are compared at the end.
+/// Raw, pre-finalization state of a FingerprintAccumulator — the three
+/// words the commutative combine carries.  Serializable (the durability
+/// journal persists it, docs/DURABILITY.md) and restorable: an
+/// accumulator rebuilt with from_state() continues absorbing exactly
+/// where the journaled one stopped, so a crash-restarted stream can
+/// extend its ingest/sealed fingerprints instead of recomputing them.
+struct FingerprintState {
+  std::uint64_t sum = 0;
+  std::uint64_t xor_mix = 0;
+  std::uint64_t count = 0;
+  friend bool operator==(const FingerprintState&,
+                         const FingerprintState&) = default;
+};
+
 class FingerprintAccumulator {
  public:
   /// Absorbs one key.
@@ -81,6 +95,13 @@ class FingerprintAccumulator {
   /// The finalized fingerprint of everything absorbed so far.  Pure —
   /// the accumulator can keep absorbing afterwards.
   [[nodiscard]] MultisetFingerprint finalize() const noexcept;
+
+  /// Snapshot of the raw accumulator words (journal serialization).
+  [[nodiscard]] FingerprintState state() const noexcept;
+  /// Rebuilds an accumulator from a journaled snapshot; state() and
+  /// finalize() of the result equal the original's (pinned by test).
+  [[nodiscard]] static FingerprintAccumulator from_state(
+      const FingerprintState& state) noexcept;
 
   friend bool operator==(const FingerprintAccumulator&,
                          const FingerprintAccumulator&) = default;

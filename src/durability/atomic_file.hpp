@@ -1,0 +1,24 @@
+#pragma once
+
+// Crash-safe whole-file replacement (docs/DURABILITY.md, "Atomic
+// ledger persistence").
+//
+// A plain fopen/fwrite of a state file (the suspect-ledger JSON, a
+// compacted journal) can be interrupted half-written, leaving a reader
+// with truncated garbage where the previous good copy used to be.  The
+// standard fix: write the new contents to `path + ".tmp"`, fsync,
+// rename over `path` (atomic on POSIX), fsync the directory.  A crash
+// at any point leaves either the old complete file or the new complete
+// file — never a mix — and a stray `.tmp` from an interrupted write is
+// simply ignored by readers.
+
+#include <string>
+
+namespace prodsort {
+
+/// Atomically replaces `path` with `contents`.  Throws
+/// std::runtime_error naming the path on any I/O failure (the original
+/// file, if it existed, is untouched on failure).
+void write_file_atomic(const std::string& path, const std::string& contents);
+
+}  // namespace prodsort

@@ -1,0 +1,140 @@
+#include "durability/io_faults.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <stdexcept>
+#include <string_view>
+
+#include "core/hashing.hpp"
+
+namespace prodsort {
+
+namespace {
+
+// Purpose salts keeping the three fault categories' hash streams
+// disjoint from each other and from every other subsystem's draws.
+constexpr std::uint64_t kShortWriteSalt = 0x5097u;
+constexpr std::uint64_t kDropSyncSalt = 0xd809u;
+constexpr std::uint64_t kReadCorruptSalt = 0xc099u;
+
+[[noreturn]] void bad_token(const std::string& token, const char* why) {
+  throw std::invalid_argument("malformed journal token '" + token + "': " +
+                              why);
+}
+
+double parse_rate_value(std::string_view text, const std::string& token) {
+  double value = 0;
+  std::size_t consumed = 0;
+  try {
+    value = std::stod(std::string(text), &consumed);
+  } catch (const std::exception&) {
+    bad_token(token, "bad rate");
+  }
+  if (consumed != text.size()) bad_token(token, "bad rate");
+  if (value < 0 || value >= 1) bad_token(token, "rate outside [0, 1)");
+  return value;
+}
+
+std::uint64_t parse_seed_value(std::string_view text,
+                               const std::string& token) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size())
+    bad_token(token, "bad seed");
+  return value;
+}
+
+}  // namespace
+
+IoFaultConfig parse_io_faults(const std::string& schedule) {
+  IoFaultConfig config;
+  if (schedule.empty()) bad_token(schedule, "empty schedule (want 'none')");
+  if (schedule == "none") return config;
+  bool seen_seed = false;
+  bool seen_shortw = false;
+  bool seen_dropsync = false;
+  bool seen_corrupt = false;
+  std::size_t pos = 0;
+  while (pos <= schedule.size()) {
+    const std::size_t next = schedule.find('+', pos);
+    const std::string token = schedule.substr(
+        pos, next == std::string::npos ? std::string::npos : next - pos);
+    const std::size_t at = token.find('@');
+    if (at == std::string::npos || at == 0 || at + 1 >= token.size())
+      bad_token(token, "want KEY@VALUE");
+    const std::string_view key = std::string_view(token).substr(0, at);
+    const std::string_view value = std::string_view(token).substr(at + 1);
+    if (key == "ioseed") {
+      if (seen_seed) bad_token(token, "duplicate ioseed");
+      seen_seed = true;
+      config.seed = parse_seed_value(value, token);
+    } else if (key == "shortw") {
+      if (seen_shortw) bad_token(token, "duplicate shortw");
+      seen_shortw = true;
+      config.short_write_rate = parse_rate_value(value, token);
+    } else if (key == "dropsync") {
+      if (seen_dropsync) bad_token(token, "duplicate dropsync");
+      seen_dropsync = true;
+      config.drop_sync_rate = parse_rate_value(value, token);
+    } else if (key == "corrupt") {
+      if (seen_corrupt) bad_token(token, "duplicate corrupt");
+      seen_corrupt = true;
+      config.read_corrupt_rate = parse_rate_value(value, token);
+    } else {
+      bad_token(token, "unknown key");
+    }
+    if (next == std::string::npos) break;
+    pos = next + 1;
+  }
+  return config;
+}
+
+std::string format_io_faults(const IoFaultConfig& config) {
+  std::string out;
+  const auto add = [&out](const char* key, double rate) {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%s@%.17g", key, rate);
+    if (!out.empty()) out += '+';
+    out += buf;
+  };
+  if (config.seed != 0) {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "ioseed@%llu",
+                  static_cast<unsigned long long>(config.seed));
+    out += buf;
+  }
+  if (config.short_write_rate > 0) add("shortw", config.short_write_rate);
+  if (config.drop_sync_rate > 0) add("dropsync", config.drop_sync_rate);
+  if (config.read_corrupt_rate > 0) add("corrupt", config.read_corrupt_rate);
+  return out.empty() ? "none" : out;
+}
+
+bool IoFaultClock::draw_short_write() {
+  const std::uint64_t h =
+      mix64(mix64(config_.seed, kShortWriteSalt), write_ops_++);
+  const bool hit = hash_to_unit(h) < config_.short_write_rate;
+  if (hit) ++short_writes_;
+  return hit;
+}
+
+bool IoFaultClock::draw_drop_sync() {
+  const std::uint64_t h =
+      mix64(mix64(config_.seed, kDropSyncSalt), sync_ops_++);
+  const bool hit = hash_to_unit(h) < config_.drop_sync_rate;
+  if (hit) ++dropped_syncs_;
+  return hit;
+}
+
+bool IoFaultClock::draw_read_corrupt(std::uint64_t* bit_hash) {
+  const std::uint64_t h =
+      mix64(mix64(config_.seed, kReadCorruptSalt), read_ops_++);
+  const bool hit = hash_to_unit(h) < config_.read_corrupt_rate;
+  if (hit) {
+    ++read_corruptions_;
+    if (bit_hash != nullptr) *bit_hash = mix64(h);
+  }
+  return hit;
+}
+
+}  // namespace prodsort

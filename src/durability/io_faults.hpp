@@ -1,0 +1,100 @@
+#pragma once
+
+// Fault-injectable durability I/O (docs/DURABILITY.md, "Fault
+// injection").
+//
+// The durability layer's failure model mirrors what real disks and
+// filesystems do to a write-ahead journal: writes land partially
+// (short writes), fsync lies (data the process believes durable is
+// lost at power cut), and bits rot between write and read.  Each class
+// is injectable deterministically — every draw is a pure splitmix64
+// hash of (seed, per-category operation counter), the same fault-clock
+// discipline FaultModel uses for link/crash/comparator faults — and
+// the whole configuration round-trips through the `journal=` schedule
+// token of a STREAM-REPRO line, so durability failures replay
+// bit-identically just like network failures do.
+//
+//  * short writes   — an append's first write() syscall is cut short;
+//    the writer detects the short count and completes the remainder
+//    (counted, never silent).  A crash between the two halves leaves a
+//    torn record, which journal replay discards as a torn tail.
+//  * dropped fsync  — sync() silently does nothing, so the journal's
+//    durable ("synced") size lags its written size.  Observable only
+//    at a crash: the kill hook truncates the file to the synced size,
+//    exactly the bytes a real power cut would preserve.
+//  * read corruption — a read-back flips one hashed bit.  The journal
+//    detects it by CRC (bit rot, refused loudly); spill files detect
+//    it by fingerprint mismatch (re-read, then re-dispatch).
+
+#include <cstdint>
+#include <string>
+
+namespace prodsort {
+
+/// Deterministic durability-I/O fault rates.  Round-trips through the
+/// `journal=` token (parse_io_faults / format_io_faults).
+struct IoFaultConfig {
+  std::uint64_t seed = 0;
+  double short_write_rate = 0;   ///< per-append short-write probability
+  double drop_sync_rate = 0;     ///< per-sync silent-no-op probability
+  double read_corrupt_rate = 0;  ///< per-read one-bit-flip probability
+
+  [[nodiscard]] bool any() const noexcept {
+    return short_write_rate > 0 || drop_sync_rate > 0 ||
+           read_corrupt_rate > 0;
+  }
+  friend bool operator==(const IoFaultConfig&,
+                         const IoFaultConfig&) = default;
+};
+
+/// Parses a `journal=` schedule token: '+'-joined subtokens
+/// `ioseed@S`, `shortw@R`, `dropsync@R`, `corrupt@R`, or the literal
+/// `none` (journaling on, no injected faults).  Rates must be in
+/// [0, 1).  Throws std::invalid_argument naming the malformed token on
+/// junk, duplicates, or out-of-range rates.
+[[nodiscard]] IoFaultConfig parse_io_faults(const std::string& schedule);
+
+/// Inverse of parse_io_faults; "none" for the all-default config.
+/// Rates print %.17g so parse(format(x)) == x bit-identically (the
+/// round trip the fuzz tests pin).
+[[nodiscard]] std::string format_io_faults(const IoFaultConfig& config);
+
+/// The per-category fault clock: each draw advances its own operation
+/// counter, so outcomes depend only on (seed, category, op index) —
+/// never on interleaving with other categories.
+class IoFaultClock {
+ public:
+  explicit IoFaultClock(const IoFaultConfig& config) : config_(config) {}
+
+  /// True when the next append should land short.
+  [[nodiscard]] bool draw_short_write();
+  /// True when the next sync should be silently dropped.
+  [[nodiscard]] bool draw_drop_sync();
+  /// True when the next read should flip a bit; *bit_hash receives the
+  /// draw's hash (the caller derives the flipped position from it).
+  [[nodiscard]] bool draw_read_corrupt(std::uint64_t* bit_hash);
+
+  [[nodiscard]] const IoFaultConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] std::int64_t short_writes() const noexcept {
+    return short_writes_;
+  }
+  [[nodiscard]] std::int64_t dropped_syncs() const noexcept {
+    return dropped_syncs_;
+  }
+  [[nodiscard]] std::int64_t read_corruptions() const noexcept {
+    return read_corruptions_;
+  }
+
+ private:
+  IoFaultConfig config_;
+  std::uint64_t write_ops_ = 0;
+  std::uint64_t sync_ops_ = 0;
+  std::uint64_t read_ops_ = 0;
+  std::int64_t short_writes_ = 0;
+  std::int64_t dropped_syncs_ = 0;
+  std::int64_t read_corruptions_ = 0;
+};
+
+}  // namespace prodsort

@@ -1,0 +1,303 @@
+#pragma once
+
+// Checksummed write-ahead journal for the streaming pipeline
+// (docs/DURABILITY.md).
+//
+// Every externally visible state transition of a durable
+// StreamingSorter — batch ingested, run cut to spill, run verified,
+// ingestion flushed, range sealed, spill-ledger reconciliation —
+// commits one length-prefixed, CRC-checksummed, monotonically
+// sequenced record to an append-only log before the pipeline proceeds.
+// The commit contract is write-ahead in the literal sense: any file
+// the record references (a run slice, a verified run output, a sealed
+// range) is written and fsync'd *before* the record is appended and
+// fsync'd, so a record's presence certifies its referenced bytes were
+// durable first.
+//
+// Replay (replay_journal) enforces three integrity rules:
+//
+//  * torn tail — an incomplete or checksum-failing record that runs to
+//    end-of-file is the uncommitted write a crash interrupted; it is
+//    discarded (reported, never an error);
+//  * bit rot  — a bad magic or bad CRC *followed by more data* cannot
+//    be a torn write (something was appended after it, so it had
+//    committed); replay refuses loudly with a named error;
+//  * sequence — records must be numbered 1, 2, 3, ... exactly; a
+//    duplicate or a gap is named in the error (a replayed-over or
+//    spliced journal, not a crash artifact).
+//
+// Once a range seals, the whole prefix that produced it is dead
+// weight; rewrite() compacts the journal — config + snapshot + the
+// still-live records — into a new file that atomically replaces the
+// old one (write, fsync, rename, fsync dir), so journal size tracks
+// *outstanding* work, not stream length.
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/certifier.hpp"  // FingerprintState
+#include "core/multiway_merge.hpp"  // Key
+#include "durability/io_faults.hpp"
+
+namespace prodsort {
+
+/// Thrown by the deterministic kill hook (Journal::set_kill_after):
+/// after the N-th record commits, the journal truncates its file to
+/// the *synced* size — exactly the bytes a power cut would preserve,
+/// including the effect of any dropped fsyncs — and throws this.  The
+/// driver treats it as SIGKILL: no cleanup, exit.
+struct DurabilityKill : std::runtime_error {
+  explicit DurabilityKill(std::uint64_t seq)
+      : std::runtime_error("durability kill after record " +
+                           std::to_string(seq)),
+        records(seq) {}
+  std::uint64_t records;
+};
+
+enum class RecordType : std::uint16_t {
+  kConfig = 1,       ///< stream configuration (first record, always)
+  kBatchIngested = 2,
+  kRunDispatched = 3,  ///< run cut + slice durable; dispatchable
+  kRunVerified = 4,    ///< run output durable + fingerprint-verified
+  kIngestDone = 5,     ///< every batch ingested, every buffer cut
+  kRangeSealed = 6,    ///< range output durable + certified
+  kLedgerDelta = 7,    ///< spill byte-ledger reconciliation point
+  kSnapshot = 8,       ///< compaction aggregate (follows kConfig)
+};
+
+[[nodiscard]] std::string to_string(RecordType type);
+
+/// One replayed record: sequence, type, raw payload, and the byte
+/// range it occupied (offsets let tests truncate at exact record
+/// boundaries to simulate a kill after any given commit).
+struct JournalRecord {
+  std::uint64_t seq = 0;
+  RecordType type = RecordType::kConfig;
+  std::string payload;
+  std::int64_t offset = 0;
+  std::int64_t end_offset = 0;
+};
+
+struct JournalReplay {
+  std::vector<JournalRecord> records;
+  bool torn_tail = false;      ///< trailing uncommitted bytes discarded
+  std::int64_t torn_bytes = 0; ///< size of the discarded tail
+  std::int64_t valid_bytes = 0;
+};
+
+/// CRC-32 (IEEE 802.3, reflected) over `data` — the per-record
+/// checksum.  Exposed for the fuzz tests.
+[[nodiscard]] std::uint32_t crc32_ieee(std::string_view data);
+
+/// Encodes one record: magic, sequence, type, length-prefixed payload,
+/// CRC over everything before it.
+[[nodiscard]] std::string encode_record(std::uint64_t seq, RecordType type,
+                                        std::string_view payload);
+
+/// Replays an encoded record stream (the journal file's bytes),
+/// applying the integrity rules above.  Throws std::runtime_error
+/// naming the offense on bit rot or sequence violations; a torn tail
+/// is reported, not thrown.
+[[nodiscard]] JournalReplay replay_journal_buffer(std::string_view buffer);
+
+/// Reads `path` (read-corruption-injectable through `clock`) and
+/// replays it.  Throws std::runtime_error on a missing/unreadable file.
+[[nodiscard]] JournalReplay replay_journal(const std::string& path,
+                                           IoFaultClock* clock = nullptr);
+
+// --- payload packing -----------------------------------------------------
+
+/// Little-endian payload builder; the inverse of PayloadReader.
+class PayloadWriter {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v);
+  void str(std::string_view v);
+  void fp(const FingerprintState& v);
+  [[nodiscard]] std::string take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+/// Little-endian payload parser.  Throws std::runtime_error naming the
+/// record type on truncation or trailing garbage — a structurally
+/// valid (CRC-passing) record with a mis-shaped payload is corruption
+/// the CRC cannot see, so it is refused loudly.
+class PayloadReader {
+ public:
+  PayloadReader(std::string_view data, const char* what)
+      : data_(data), what_(what) {}
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  [[nodiscard]] std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  [[nodiscard]] double f64();
+  [[nodiscard]] std::string str();
+  [[nodiscard]] FingerprintState fp();
+  /// Throws unless every payload byte was consumed.
+  void finish() const;
+
+ private:
+  void need(std::size_t bytes) const;
+  std::string_view data_;
+  const char* what_;
+  std::size_t pos_ = 0;
+};
+
+// --- typed records -------------------------------------------------------
+
+struct BatchIngestedRecord {
+  std::int64_t batch = 0;
+  std::int64_t keys = 0;
+  std::uint64_t checksum = 0;     ///< finalized per-batch fingerprint
+  std::uint64_t chain_after = 0;  ///< stream chain after this batch
+  [[nodiscard]] std::string encode() const;
+  [[nodiscard]] static BatchIngestedRecord decode(std::string_view payload);
+};
+
+struct RunDispatchedRecord {
+  std::int64_t run = 0;
+  std::int32_t range = 0;
+  std::int64_t pad = 0;
+  std::int64_t keys = 0;         ///< real keys in the retained slice
+  FingerprintState fp;           ///< slice fingerprint (== output's)
+  std::int64_t file_bytes = 0;   ///< slice spill file size, fsync'd first
+  [[nodiscard]] std::string encode() const;
+  [[nodiscard]] static RunDispatchedRecord decode(std::string_view payload);
+};
+
+struct RunVerifiedRecord {
+  std::int64_t run = 0;
+  std::int64_t keys = 0;
+  FingerprintState fp;
+  std::int64_t file_bytes = 0;   ///< output spill file size, fsync'd first
+  [[nodiscard]] std::string encode() const;
+  [[nodiscard]] static RunVerifiedRecord decode(std::string_view payload);
+};
+
+struct IngestDoneRecord {
+  std::int64_t batches = 0;
+  FingerprintState ingest;
+  std::uint64_t chain = 0;
+  std::int64_t keys_ingested = 0;
+  std::int64_t runs_total = 0;
+  std::int64_t padded_keys = 0;
+  std::int64_t forced_cuts = 0;
+  [[nodiscard]] std::string encode() const;
+  [[nodiscard]] static IngestDoneRecord decode(std::string_view payload);
+};
+
+struct RangeSealedRecord {
+  std::int32_t range = 0;
+  std::int64_t keys = 0;
+  FingerprintState fp;           ///< the sealed range's fingerprint
+  std::uint8_t has_keys = 0;
+  Key first = 0;
+  Key last = 0;
+  std::int64_t file_bytes = 0;   ///< range output file, fsync'd first
+  [[nodiscard]] std::string encode() const;
+  [[nodiscard]] static RangeSealedRecord decode(std::string_view payload);
+};
+
+struct LedgerDeltaRecord {
+  std::int64_t spill_accounted = 0;  ///< the byte-counter model's view
+  std::int64_t spill_measured = 0;   ///< sum of live spill file sizes
+  std::int64_t resident_used = 0;    ///< MemoryBudget::used at this point
+  std::int64_t spill_high = 0;       ///< accounted high-water so far
+  [[nodiscard]] std::string encode() const;
+  [[nodiscard]] static LedgerDeltaRecord decode(std::string_view payload);
+};
+
+/// Compaction aggregate: everything the dropped kBatchIngested /
+/// kIngestDone prefix proved.  Only written post-flush (sealing — the
+/// compaction trigger — requires a flushed stream).
+struct SnapshotRecord {
+  std::int64_t batches = 0;
+  FingerprintState ingest;
+  std::uint64_t chain = 0;
+  std::int64_t keys_ingested = 0;
+  std::int64_t runs_total = 0;
+  std::int64_t padded_keys = 0;
+  std::int64_t forced_cuts = 0;
+  [[nodiscard]] std::string encode() const;
+  [[nodiscard]] static SnapshotRecord decode(std::string_view payload);
+};
+
+// --- the writer ----------------------------------------------------------
+
+/// Append-only journal writer over one file, with the io-fault clock
+/// threaded through every write and sync.  Not thread-safe; the
+/// streaming pipeline journals from its (single-threaded) event loop.
+class JournalWriter {
+ public:
+  /// Opens `path` fresh (truncating any previous journal).  `clock`
+  /// is borrowed and may be null (no injected faults).  With
+  /// `open_now` false the writer starts closed — the existing journal
+  /// file is left untouched until the first rewrite() replaces it
+  /// atomically (how recovery re-journals without risking the old log).
+  JournalWriter(std::string path, IoFaultClock* clock, bool open_now = true);
+  ~JournalWriter();
+
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  /// Commits one record: encode, append (short writes detected and
+  /// completed), fsync (droppable by the fault clock).  Returns the
+  /// record's sequence number.  Fires the kill hook after the commit.
+  std::uint64_t append(RecordType type, std::string_view payload);
+
+  /// Atomically replaces the journal with `records` (compaction):
+  /// encodes them as sequences 1..n into `path + ".new"`, fsyncs,
+  /// renames over the journal, fsyncs the directory, and re-opens for
+  /// append with seq = n.  The kill hook counts these records too; a
+  /// kill mid-rewrite leaves the *old* journal intact (the rename
+  /// never happens), which is exactly a compaction crash.
+  void rewrite(
+      const std::vector<std::pair<RecordType, std::string>>& records);
+
+  /// Deterministic crash: after the N-th committed record (counting
+  /// from the writer's construction), truncate to the synced size and
+  /// throw DurabilityKill.  0 disables.
+  void set_kill_after(std::int64_t records) { kill_after_ = records; }
+
+  [[nodiscard]] std::uint64_t next_seq() const noexcept { return seq_ + 1; }
+  [[nodiscard]] std::int64_t records_committed() const noexcept {
+    return committed_;
+  }
+  [[nodiscard]] std::int64_t bytes_written() const noexcept { return bytes_; }
+  [[nodiscard]] std::int64_t syncs() const noexcept { return syncs_; }
+  [[nodiscard]] std::int64_t compactions() const noexcept {
+    return compactions_;
+  }
+
+ private:
+  void open_fresh(const std::string& path);
+  void write_all(int fd, std::string_view data, bool faultable);
+  void sync_file();
+  void maybe_kill();
+
+  std::string path_;
+  IoFaultClock* clock_;
+  int fd_ = -1;
+  std::uint64_t seq_ = 0;
+  std::int64_t written_size_ = 0;
+  std::int64_t synced_size_ = 0;
+  std::int64_t committed_ = 0;
+  std::int64_t bytes_ = 0;
+  std::int64_t syncs_ = 0;
+  std::int64_t compactions_ = 0;
+  std::int64_t kill_after_ = 0;
+};
+
+}  // namespace prodsort

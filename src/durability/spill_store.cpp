@@ -1,0 +1,165 @@
+#include "durability/spill_store.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace prodsort {
+
+namespace {
+
+constexpr std::size_t kKeyBytes = sizeof(Key);
+
+void pack_keys(const std::vector<Key>& keys, std::string& out) {
+  out.clear();
+  out.reserve(keys.size() * kKeyBytes);
+  for (const Key key : keys) {
+    const auto v = static_cast<std::uint64_t>(key);
+    for (std::size_t i = 0; i < kKeyBytes; ++i)
+      out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+}  // namespace
+
+SpillStore::SpillStore(std::string dir, IoFaultClock* clock)
+    : dir_(std::move(dir)), clock_(clock) {}
+
+std::string SpillStore::slice_name(std::int64_t run) {
+  return "run" + std::to_string(run) + ".slice";
+}
+
+std::string SpillStore::output_name(std::int64_t run) {
+  return "run" + std::to_string(run) + ".out";
+}
+
+std::string SpillStore::range_name(int range) {
+  return "range" + std::to_string(range) + ".out";
+}
+
+std::string SpillStore::path_of(const std::string& name) const {
+  return dir_ + "/" + name;
+}
+
+std::int64_t SpillStore::write_keys(const std::string& name,
+                                    const std::vector<Key>& keys) {
+  const std::string path = path_of(name);
+  std::string bytes;
+  pack_keys(keys, bytes);
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0)
+    throw std::runtime_error("cannot open spill file: " + path + ": " +
+                             std::strerror(errno));
+  std::size_t done = 0;
+  while (done < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + done, bytes.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      throw std::runtime_error("spill write failed: " + path + ": " +
+                               std::strerror(errno));
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  // The write-ahead contract: the file is durable before any journal
+  // record referencing it commits, so this fsync is not droppable.
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    throw std::runtime_error("spill fsync failed: " + path + ": " +
+                             std::strerror(errno));
+  }
+  ::close(fd);
+  const auto size = static_cast<std::int64_t>(bytes.size());
+  const auto [it, inserted] = live_files_.try_emplace(name, 0);
+  live_ += size - it->second;
+  it->second = size;
+  if (inserted) ++created_;
+  if (live_ > high_) high_ = live_;
+  return size;
+}
+
+std::vector<Key> SpillStore::read_keys(const std::string& name) {
+  const std::string path = path_of(name);
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0)
+    throw std::runtime_error("cannot open spill file: " + path + ": " +
+                             std::strerror(errno));
+  std::string bytes;
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      throw std::runtime_error("spill read failed: " + path + ": " +
+                               std::strerror(errno));
+    }
+    if (n == 0) break;
+    bytes.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  if (bytes.size() % kKeyBytes != 0)
+    throw std::runtime_error("spill file " + path + " is " +
+                             std::to_string(bytes.size()) +
+                             " bytes, not a whole number of keys");
+  if (clock_ != nullptr && !bytes.empty()) {
+    std::uint64_t bit_hash = 0;
+    if (clock_->draw_read_corrupt(&bit_hash)) {
+      const std::size_t bit = bit_hash % (bytes.size() * 8);
+      bytes[bit / 8] ^= static_cast<char>(1u << (bit % 8));
+    }
+  }
+  std::vector<Key> keys(bytes.size() / kKeyBytes);
+  for (std::size_t k = 0; k < keys.size(); ++k) {
+    std::uint64_t v = 0;
+    for (std::size_t i = kKeyBytes; i-- > 0;)
+      v = (v << 8) |
+          static_cast<std::uint8_t>(bytes[k * kKeyBytes + i]);
+    keys[k] = static_cast<Key>(v);
+  }
+  return keys;
+}
+
+void SpillStore::remove(const std::string& name) {
+  const auto it = live_files_.find(name);
+  if (it != live_files_.end()) {
+    live_ -= it->second;
+    live_files_.erase(it);
+  }
+  ::unlink(path_of(name).c_str());
+}
+
+std::int64_t SpillStore::adopt(const std::string& name,
+                               std::int64_t expected_bytes) {
+  const std::string path = path_of(name);
+  struct stat st {};
+  if (::stat(path.c_str(), &st) != 0) {
+    if (errno == ENOENT) return -1;
+    throw std::runtime_error("cannot stat spill file: " + path + ": " +
+                             std::strerror(errno));
+  }
+  const auto size = static_cast<std::int64_t>(st.st_size);
+  if (expected_bytes >= 0 && size != expected_bytes)
+    throw std::runtime_error(
+        "spill file " + path + " is " + std::to_string(size) +
+        " bytes but the journal recorded " + std::to_string(expected_bytes));
+  const auto [it, inserted] = live_files_.try_emplace(name, 0);
+  live_ += size - it->second;
+  it->second = size;
+  if (inserted) ++created_;
+  if (live_ > high_) high_ = live_;
+  return size;
+}
+
+bool SpillStore::exists(const std::string& name) const {
+  struct stat st {};
+  return ::stat(path_of(name).c_str(), &st) == 0;
+}
+
+}  // namespace prodsort

@@ -1,0 +1,85 @@
+#pragma once
+
+// Real spill-file backend for the streaming pipeline's retained slices
+// and sorted runs (docs/DURABILITY.md, "Spill files").
+//
+// PR 9's spill ledger modeled out-of-core bytes as counters
+// (spill_high_bytes) without ever touching disk.  This store makes the
+// model *measured*: every retained slice, verified run output, and
+// sealed range lands in its own file under the journal directory, keys
+// packed as little-endian 64-bit integers, fsync'd before the journal
+// record that references the file commits.  The store tracks the live
+// file set's total size, so the byte-counter model can be reconciled
+// against actual disk occupancy (kLedgerDelta records) instead of
+// trusted blindly.
+//
+// Reads go through the io-fault clock: a drawn read corruption flips
+// one hashed bit of the returned buffer, which the caller's
+// fingerprint check then catches (spill corruption is detected by
+// certification, not by per-file checksums — the journal already holds
+// the authoritative fingerprint for every file it references).
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/multiway_merge.hpp"  // Key
+#include "durability/io_faults.hpp"
+
+namespace prodsort {
+
+class SpillStore {
+ public:
+  /// `dir` must exist; `clock` is borrowed and may be null.
+  SpillStore(std::string dir, IoFaultClock* clock);
+
+  /// Conventional file names inside the store.
+  [[nodiscard]] static std::string slice_name(std::int64_t run);
+  [[nodiscard]] static std::string output_name(std::int64_t run);
+  [[nodiscard]] static std::string range_name(int range);
+
+  [[nodiscard]] std::string path_of(const std::string& name) const;
+
+  /// Writes `keys` to `name` (truncating), fsyncs, and tracks the file
+  /// as live.  Returns the file size in bytes.  Throws on I/O errors.
+  std::int64_t write_keys(const std::string& name,
+                          const std::vector<Key>& keys);
+
+  /// Reads `name` back (read-corruption-injectable).  Throws on a
+  /// missing/unreadable file or a size that is not a whole number of
+  /// keys — both named with the path.
+  [[nodiscard]] std::vector<Key> read_keys(const std::string& name);
+
+  /// Unlinks `name` and drops it from the live set.  Missing files are
+  /// tolerated (recovery may have already consumed them).
+  void remove(const std::string& name);
+
+  /// Recovery adoption: stats an existing file and tracks it as live.
+  /// Returns its size, or -1 if the file is missing.  When
+  /// `expected_bytes` >= 0 and the size disagrees, throws a named
+  /// error — a journaled record's file must be exactly as journaled or
+  /// explicitly absent, never silently resized.
+  std::int64_t adopt(const std::string& name, std::int64_t expected_bytes);
+
+  [[nodiscard]] bool exists(const std::string& name) const;
+
+  /// Sum of live (tracked) file sizes right now.
+  [[nodiscard]] std::int64_t live_bytes() const noexcept { return live_; }
+  /// High-water of live_bytes() — the measured counterpart of the
+  /// ledger's accounted spill_high_bytes.
+  [[nodiscard]] std::int64_t measured_high() const noexcept { return high_; }
+  [[nodiscard]] std::int64_t files_created() const noexcept {
+    return created_;
+  }
+
+ private:
+  std::string dir_;
+  IoFaultClock* clock_;
+  std::unordered_map<std::string, std::int64_t> live_files_;
+  std::int64_t live_ = 0;
+  std::int64_t high_ = 0;
+  std::int64_t created_ = 0;
+};
+
+}  // namespace prodsort

@@ -1,0 +1,100 @@
+#pragma once
+
+// Journal replay and crash recovery for the streaming pipeline
+// (docs/DURABILITY.md, "Recovery").
+//
+// A durable StreamingSorter leaves two artifacts behind when it dies:
+// the write-ahead journal (wal.log) and the spill files its committed
+// records reference.  Recovery replays the journal — discarding a torn
+// tail, refusing bit rot and sequence violations loudly — and resumes
+// from whichever of two states the log proves:
+//
+//  * flushed — the journal holds a kIngestDone (or post-compaction
+//    kSnapshot): every batch was ingested and every run cut before the
+//    crash.  No batch is re-ingested; the ingest accumulator, chain,
+//    and counters restore from the aggregate record; sealed ranges
+//    re-emit from their certified range files; surviving runs rebuild
+//    from the journal — verified outputs load and re-certify against
+//    the journaled fingerprints, unverified (or damaged) runs reload
+//    their retained slices and re-dispatch through the backend pool.
+//
+//  * mid-ingest — the crash landed before the flush.  Batch keys are a
+//    pure hash of the seed, so ingestion replays from batch 0 at zero
+//    storage cost; every re-ingested batch and re-cut run is
+//    cross-checked against its journaled fingerprint (a mismatch means
+//    the journal belongs to a different stream — refused loudly, never
+//    absorbed), and runs the journal proves verified short-circuit by
+//    loading their output files instead of re-sorting.
+//
+// Either way the recovered stream's emitted output, certificate chain,
+// and ingest/sealed fingerprints are bit-identical to an uninterrupted
+// run — the recovery soak gate compares exactly these.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "durability/journal.hpp"
+#include "stream/stream_report.hpp"
+#include "stream/streaming_sorter.hpp"
+
+namespace prodsort {
+
+class ParallelExecutor;
+
+/// Binary kConfig payload: every StreamConfig field a replay needs,
+/// plus the topology shape (cycle(size)^dims).  Lives in the journal
+/// so `--recover DIR` needs no flags — the journal is self-describing.
+[[nodiscard]] std::string encode_stream_config(const StreamConfig& config,
+                                               int size, int dims);
+void decode_stream_config(std::string_view payload, StreamConfig* config,
+                          int* size, int* dims);
+
+/// One live (unsealed) run reconstructed from the journal.
+struct RecoveredRun {
+  RunDispatchedRecord cut;
+  bool verified = false;
+  RunVerifiedRecord verify;
+};
+
+/// Everything the journal proves about the crashed stream.
+struct RecoveryManifest {
+  bool flushed = false;
+  SnapshotRecord aggregate;  ///< valid when flushed
+  std::vector<BatchIngestedRecord> batches;  ///< for mid-ingest cross-check
+  std::vector<RecoveredRun> runs;            ///< live runs, ascending by id
+  std::vector<RangeSealedRecord> sealed;     ///< contiguous from range 0
+  std::int64_t replayed_records = 0;
+  bool torn_tail = false;
+  std::int64_t torn_bytes = 0;
+};
+
+/// Replays `journal_dir`/wal.log into a manifest and decodes the
+/// journaled config into *config/*size/*dims.  Throws
+/// std::runtime_error with a named cause on an unreadable or corrupt
+/// journal, a journal that does not start with a config record, or a
+/// structurally inconsistent record set (a verify for an unknown run,
+/// non-contiguous sealed ranges, a duplicate config).
+[[nodiscard]] RecoveryManifest load_recovery_manifest(
+    const std::string& journal_dir, StreamConfig* config, int* size,
+    int* dims);
+
+struct StreamRecoveryResult {
+  StreamConfig config;  ///< as journaled, journal_dir pointed at the dir
+  int size = 0;
+  int dims = 0;
+  StreamReport report;
+  std::vector<Key> emitted;
+};
+
+/// Full recovery: load the manifest, rebuild the topology from the
+/// journaled shape, and drive a StreamingSorter to completion from the
+/// recovered state.  `kill_after_records` re-arms the deterministic
+/// kill hook (0 = run to completion), so crash-during-recovery is
+/// testable too.
+[[nodiscard]] StreamRecoveryResult recover_stream(
+    const std::string& journal_dir, ParallelExecutor* executor,
+    std::int64_t kill_after_records = 0);
+
+}  // namespace prodsort

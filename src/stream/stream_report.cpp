@@ -49,6 +49,21 @@ std::uint64_t StreamReport::hash() const {
   h = mix_i64(h, merge_steps);
   h = mix_i64(h, breaker_transitions);
   h = mix_i64(h, horizon);
+  h = mix_i64(h, journal_records);
+  h = mix_i64(h, journal_bytes);
+  h = mix_i64(h, journal_syncs);
+  h = mix_i64(h, journal_short_writes);
+  h = mix_i64(h, journal_dropped_syncs);
+  h = mix_i64(h, journal_compactions);
+  h = mix_i64(h, spill_files);
+  h = mix_i64(h, spill_measured_high_bytes);
+  h = mix_i64(h, spill_reconcile_failures);
+  h = mix_i64(h, io_read_corruptions);
+  h = mix_i64(h, recovered_runs);
+  h = mix_i64(h, recovered_ranges);
+  h = mix_i64(h, reingested_batches);
+  h = mix_i64(h, replayed_records);
+  h = mix_i64(h, torn_tail_bytes);
   h = mix_i64(h, run_latency.p50);
   h = mix_i64(h, run_latency.p95);
   h = mix_i64(h, run_latency.p99);
@@ -91,6 +106,21 @@ std::string StreamReport::json() const {
       << ",\"merge_steps\":" << merge_steps
       << ",\"breaker_transitions\":" << breaker_transitions
       << ",\"horizon\":" << horizon
+      << ",\"journal_records\":" << journal_records
+      << ",\"journal_bytes\":" << journal_bytes
+      << ",\"journal_syncs\":" << journal_syncs
+      << ",\"journal_short_writes\":" << journal_short_writes
+      << ",\"journal_dropped_syncs\":" << journal_dropped_syncs
+      << ",\"journal_compactions\":" << journal_compactions
+      << ",\"spill_files\":" << spill_files
+      << ",\"spill_measured_high_bytes\":" << spill_measured_high_bytes
+      << ",\"spill_reconcile_failures\":" << spill_reconcile_failures
+      << ",\"io_read_corruptions\":" << io_read_corruptions
+      << ",\"recovered_runs\":" << recovered_runs
+      << ",\"recovered_ranges\":" << recovered_ranges
+      << ",\"reingested_batches\":" << reingested_batches
+      << ",\"replayed_records\":" << replayed_records
+      << ",\"torn_tail_bytes\":" << torn_tail_bytes
       << ",\"run_latency\":{\"p50\":" << run_latency.p50
       << ",\"p95\":" << run_latency.p95 << ",\"p99\":" << run_latency.p99
       << ",\"max\":" << run_latency.max << ",\"count\":" << run_latency.count
@@ -114,7 +144,15 @@ std::string StreamReport::summary() const {
       << high_water_bytes << "/" << budget_bytes
       << " spill-high=" << spill_high_bytes
       << " stalls=" << backpressure_stalls << " forced-cuts=" << forced_cuts
-      << " padded=" << padded_keys << "\negress ranges=" << ranges_sealed
+      << " padded=" << padded_keys << "\ndurability journal-records="
+      << journal_records << " (compactions=" << journal_compactions
+      << ", short-writes=" << journal_short_writes << ", dropped-syncs="
+      << journal_dropped_syncs << ") spill-files=" << spill_files
+      << " measured-high=" << spill_measured_high_bytes
+      << " reconcile-failures=" << spill_reconcile_failures
+      << " recovered=" << recovered_runs << "r/" << recovered_ranges
+      << "R reingested=" << reingested_batches
+      << "\negress ranges=" << ranges_sealed
       << " (empty=" << empty_ranges << ") rollbacks=" << merge_rollbacks
       << " merge-steps=" << merge_steps << " horizon=" << horizon
       << " run-latency p50=" << run_latency.p50 << " p99=" << run_latency.p99

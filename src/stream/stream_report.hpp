@@ -56,6 +56,23 @@ struct StreamReport {
   std::int64_t horizon = 0;  ///< virtual time when the last range sealed
   LatencyStats run_latency;  ///< completion - dispatch, per verified run
 
+  // Durability (docs/DURABILITY.md); all zero when journaling is off.
+  std::int64_t journal_records = 0;  ///< records committed (incl. rewrites)
+  std::int64_t journal_bytes = 0;    ///< bytes appended to the journal
+  std::int64_t journal_syncs = 0;    ///< fsyncs requested on the journal
+  std::int64_t journal_short_writes = 0;   ///< injected short appends
+  std::int64_t journal_dropped_syncs = 0;  ///< injected fsyncs that lied
+  std::int64_t journal_compactions = 0;    ///< seal-triggered log rewrites
+  std::int64_t spill_files = 0;            ///< distinct spill files created
+  std::int64_t spill_measured_high_bytes = 0;  ///< measured live-file high
+  std::int64_t spill_reconcile_failures = 0;   ///< accounted != measured (gate 0)
+  std::int64_t io_read_corruptions = 0;  ///< injected read-back bit flips
+  std::int64_t recovered_runs = 0;     ///< runs restored from journal + spill
+  std::int64_t recovered_ranges = 0;   ///< sealed ranges re-emitted from disk
+  std::int64_t reingested_batches = 0; ///< batches replayed mid-ingest (0 post-flush)
+  std::int64_t replayed_records = 0;   ///< journal records replayed at recovery
+  std::int64_t torn_tail_bytes = 0;    ///< uncommitted tail discarded at replay
+
   // Certificate chain (docs/STREAMING.md "Certificate chaining").
   MultisetFingerprint ingest_fp;  ///< finalized over every ingested key
   MultisetFingerprint sealed_fp;  ///< finalized over every sealed key

@@ -1,9 +1,13 @@
 #include "stream/streaming_sorter.hpp"
 
+#include <sys/stat.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <charconv>
 #include <cinttypes>
 #include <cstdio>
+#include <cstring>
 #include <deque>
 #include <optional>
 #include <queue>
@@ -14,9 +18,12 @@
 #include "core/hashing.hpp"
 #include "core/host_merge.hpp"
 #include "core/splitters.hpp"
+#include "durability/journal.hpp"
+#include "durability/spill_store.hpp"
 #include "service/backend.hpp"
 #include "service/service_types.hpp"
 #include "stream/memory_budget.hpp"
+#include "stream/recovery.hpp"
 
 namespace prodsort {
 
@@ -104,6 +111,11 @@ struct StreamingSorter::Impl {
     int attempts = 0;
     bool done = false;
     std::vector<Key> output;  ///< stripped sorted output (spill) once done
+    /// Durable mode: the slice file's size — the file (and these bytes
+    /// in the spill ledger) is retained until the range seals, so a
+    /// lost output file can still re-dispatch.  0 when journaling is
+    /// off (slice bytes release at verify, PR 9 behavior).
+    std::int64_t slice_bytes = 0;
   };
 
   enum Kind { kArrival = 0, kCompletion = 1, kMergeDone = 2, kRequeue = 3 };
@@ -178,13 +190,25 @@ struct StreamingSorter::Impl {
   bool failed = false;
   StreamReport report;
 
+  // Durability (all null/zero when cfg.journal_dir is empty).
+  std::unique_ptr<IoFaultClock> io_clock;
+  std::unique_ptr<SpillStore> store;
+  std::unique_ptr<JournalWriter> journal;
+  const RecoveryManifest* recovery = nullptr;
+  std::vector<RangeSealedRecord> sealed_records;  ///< for compaction
+  std::int64_t range_bytes_live = 0;  ///< sealed range files on disk
+
+  [[nodiscard]] bool durable() const noexcept { return journal != nullptr; }
+
   Impl(const ProductGraph& graph, const StreamConfig& config,
-       ParallelExecutor* exec, std::vector<Key>* emitted_out)
+       ParallelExecutor* exec, std::vector<Key>* emitted_out,
+       const RecoveryManifest* manifest)
       : pg(&graph),
         cfg(config),
         executor(exec),
         emitted(emitted_out),
-        ram(config.budget_bytes) {
+        ram(config.budget_bytes),
+        recovery(manifest) {
     if (cfg.batches < 1) throw std::invalid_argument("stream: batches < 1");
     if (cfg.batch_keys < 1)
       throw std::invalid_argument("stream: batch_keys < 1");
@@ -233,6 +257,31 @@ struct StreamingSorter::Impl {
       backends.push_back(std::make_unique<SortBackend>(
           *pg, i, bc, nullptr, executor, cfg.breaker));
     }
+
+    if (recovery != nullptr && cfg.journal_dir.empty())
+      throw std::invalid_argument(
+          "stream: recovery requires a journal directory");
+    if (!cfg.journal_dir.empty()) {
+      if (::mkdir(cfg.journal_dir.c_str(), 0755) != 0 && errno != EEXIST)
+        throw std::invalid_argument("stream: cannot create journal dir " +
+                                    cfg.journal_dir + ": " +
+                                    std::strerror(errno));
+      io_clock = std::make_unique<IoFaultClock>(cfg.io_faults);
+      store = std::make_unique<SpillStore>(cfg.journal_dir, io_clock.get());
+      // Recovery must not truncate the old journal before the new one
+      // is durable: the deferred writer leaves wal.log untouched until
+      // the first rewrite() atomically replaces it.
+      journal = std::make_unique<JournalWriter>(cfg.journal_dir + "/wal.log",
+                                                io_clock.get(),
+                                                /*open_now=*/recovery ==
+                                                    nullptr);
+      journal->set_kill_after(cfg.kill_after_records);
+      if (recovery == nullptr) {
+        journal->append(RecordType::kConfig, config_payload());
+      } else {
+        init_from_recovery();
+      }
+    }
   }
 
   void push(Event e) {
@@ -246,6 +295,242 @@ struct StreamingSorter::Impl {
     if (spill_used > spill_high) spill_high = spill_used;
   }
   void spill_release(std::int64_t bytes) { spill_used -= bytes; }
+
+  // --- durability --------------------------------------------------------
+  [[nodiscard]] std::string config_payload() const {
+    return encode_stream_config(cfg, static_cast<int>(pg->radix()),
+                                pg->dims());
+  }
+
+  /// Reads a spill file and checks it against the journaled fingerprint
+  /// state, re-reading once on a mismatch (a read-back corruption is
+  /// transient; a bad file is not).  Returns false when the file is
+  /// missing or fails the check both times.
+  bool read_checked(const std::string& name, const FingerprintState& expect,
+                    std::vector<Key>* out) {
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      std::vector<Key> keys;
+      try {
+        keys = store->read_keys(name);
+      } catch (const std::runtime_error&) {
+        return false;
+      }
+      FingerprintAccumulator acc;
+      acc.absorb(keys);
+      if (acc.state() == expect) {
+        *out = std::move(keys);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Journals one seal: range file durable first, then the record, then
+  /// the range's run files (slices and outputs) leave the store, the
+  /// spill ledger reconciles against measured disk, and the journal
+  /// compacts down to the still-live records.
+  void seal_durable(int r, const std::vector<Key>& output,
+                    const FingerprintState& range_fp) {
+    RangeSealedRecord rec;
+    rec.range = r;
+    rec.keys = static_cast<std::int64_t>(output.size());
+    rec.fp = range_fp;
+    rec.has_keys = output.empty() ? 0 : 1;
+    if (!output.empty()) {
+      rec.first = output.front();
+      rec.last = output.back();
+      rec.file_bytes =
+          store->write_keys(SpillStore::range_name(r), output);
+      range_bytes_live += rec.file_bytes;
+    }
+    journal->append(RecordType::kRangeSealed, rec.encode());
+    sealed_records.push_back(rec);
+    for (Run& run : runs) {
+      if (run.range != r) continue;
+      store->remove(SpillStore::slice_name(run.id));
+      store->remove(SpillStore::output_name(run.id));
+      // Durable retention ends at seal: release the slice bytes the
+      // non-durable model would have released at verify.
+      spill_release(run.slice_bytes);
+      run.slice_bytes = 0;
+    }
+  }
+
+  /// After the caller has released the sealed runs' output bytes:
+  /// reconcile the ledger against measured disk and compact the log.
+  void finish_seal_durable() {
+    reconcile_ledger();
+    journal->rewrite(live_records());
+  }
+
+  /// Compares the byte-counter spill model against measured live file
+  /// sizes and journals the reconciliation point.  A disagreement is a
+  /// modeling bug (gate: zero), counted loudly, never absorbed.
+  void reconcile_ledger() {
+    const std::int64_t measured = store->live_bytes() - range_bytes_live;
+    if (measured != spill_used) ++report.spill_reconcile_failures;
+    LedgerDeltaRecord delta;
+    delta.spill_accounted = spill_used;
+    delta.spill_measured = measured;
+    delta.resident_used = ram.used();
+    delta.spill_high = spill_high;
+    journal->append(RecordType::kLedgerDelta, delta.encode());
+  }
+
+  /// The compacted journal: config + aggregate snapshot + sealed-range
+  /// records + the live (unsealed) runs' cut/verify records.
+  [[nodiscard]] std::vector<std::pair<RecordType, std::string>>
+  live_records() const {
+    std::vector<std::pair<RecordType, std::string>> records;
+    records.emplace_back(RecordType::kConfig, config_payload());
+    SnapshotRecord snap;
+    snap.batches = batches_ingested;
+    snap.ingest = ingest_acc.state();
+    snap.chain = chain;
+    snap.keys_ingested = report.keys_ingested;
+    snap.runs_total = static_cast<std::int64_t>(runs.size());
+    snap.padded_keys = report.padded_keys;
+    snap.forced_cuts = report.forced_cuts;
+    records.emplace_back(RecordType::kSnapshot, snap.encode());
+    for (const RangeSealedRecord& rec : sealed_records)
+      records.emplace_back(RecordType::kRangeSealed, rec.encode());
+    for (const Run& run : runs) {
+      if (run.slice_bytes == 0 && run.range >= 0 &&
+          run.range < static_cast<int>(sealed_records.size()))
+        continue;  // sealed range's run: files already released
+      if (run.range < 0) continue;  // recovery placeholder
+      RunDispatchedRecord cut;
+      cut.run = run.id;
+      cut.range = run.range;
+      cut.pad = run.pad;
+      cut.keys = static_cast<std::int64_t>(run.acc.state().count);
+      cut.fp = run.acc.state();
+      cut.file_bytes = run.slice_bytes;
+      records.emplace_back(RecordType::kRunDispatched, cut.encode());
+      if (run.done) {
+        RunVerifiedRecord verify;
+        verify.run = run.id;
+        verify.keys = cut.keys;
+        verify.fp = cut.fp;
+        verify.file_bytes = cut.keys * kKeyBytes;
+        records.emplace_back(RecordType::kRunVerified, verify.encode());
+      }
+    }
+    return records;
+  }
+
+  /// Rebuilds pipeline state from a replayed journal (flushed mode) or
+  /// arms the cross-check manifest (mid-ingest mode) — see
+  /// stream/recovery.hpp for the two regimes.
+  void init_from_recovery() {
+    const RecoveryManifest& m = *recovery;
+    report.replayed_records = m.replayed_records;
+    report.torn_tail_bytes = m.torn_bytes;
+    // Re-journal the recovered state first: wal.log is replaced
+    // atomically, so a crash during recovery replays the same manifest.
+    if (!m.flushed) {
+      // Mid-ingest: ingestion replays from batch 0 under journal
+      // cross-checks; the fresh journal starts from config alone.
+      journal->rewrite({{RecordType::kConfig, config_payload()}});
+      return;
+    }
+
+    flushed = true;
+    batches_ingested = static_cast<int>(m.aggregate.batches);
+    ingest_acc = FingerprintAccumulator::from_state(m.aggregate.ingest);
+    chain = m.aggregate.chain;
+    report.batches = m.aggregate.batches;
+    report.keys_ingested = m.aggregate.keys_ingested;
+    report.padded_keys = m.aggregate.padded_keys;
+    report.forced_cuts = m.aggregate.forced_cuts;
+    report.runs = m.aggregate.runs_total;
+
+    // Sealed ranges re-emit from their certified range files.  A
+    // sealed range's runs are gone (released at seal), so a range file
+    // that fails its certificate is unrecoverable — refused loudly.
+    for (const RangeSealedRecord& rec : m.sealed) {
+      sealed_records.push_back(rec);
+      if (rec.keys > 0) {
+        store->adopt(SpillStore::range_name(rec.range), rec.file_bytes);
+        range_bytes_live += rec.file_bytes;
+        std::vector<Key> keys;
+        if (!read_checked(SpillStore::range_name(rec.range), rec.fp, &keys))
+          throw std::runtime_error(
+              "recovery: sealed range " + std::to_string(rec.range) +
+              " fails its journaled fingerprint and its runs were "
+              "released at seal — unrecoverable");
+        const bool sorted = std::is_sorted(keys.begin(), keys.end());
+        if (!sorted || keys.front() != rec.first || keys.back() != rec.last ||
+            (has_last_sealed && keys.front() < last_sealed))
+          throw std::runtime_error(
+              "recovery: sealed range " + std::to_string(rec.range) +
+              " violates its journaled order/boundary — unrecoverable");
+        sealed_acc.absorb(FingerprintAccumulator::from_state(rec.fp));
+        report.keys_emitted += rec.keys;
+        last_sealed = keys.back();
+        has_last_sealed = true;
+        emitted->insert(emitted->end(), keys.begin(), keys.end());
+      } else {
+        ++report.empty_ranges;
+      }
+      ++report.ranges_sealed;
+      ++report.recovered_ranges;
+      ++next_seal;
+    }
+
+    // Live runs: verified outputs load and re-certify; anything else
+    // (unverified, or a verified run whose output file is damaged)
+    // reloads its retained slice and re-dispatches.
+    Run placeholder;
+    placeholder.range = -1;
+    placeholder.done = true;
+    runs.assign(static_cast<std::size_t>(m.aggregate.runs_total),
+                placeholder);
+    for (const RecoveredRun& rr : m.runs) {
+      if (rr.cut.run < 0 ||
+          rr.cut.run >= static_cast<std::int64_t>(runs.size()))
+        throw std::runtime_error("recovery: run id " +
+                                 std::to_string(rr.cut.run) +
+                                 " outside the journaled run count");
+      Run run;
+      run.id = rr.cut.run;
+      run.range = rr.cut.range;
+      run.pad = rr.cut.pad;
+      run.acc = FingerprintAccumulator::from_state(rr.cut.fp);
+      run.slice_bytes = rr.cut.file_bytes;
+      store->adopt(SpillStore::slice_name(run.id), rr.cut.file_bytes);
+      spill_add(run.slice_bytes);
+      bool adopted = false;
+      if (rr.verified) {
+        std::vector<Key> output;
+        if (store->exists(SpillStore::output_name(run.id)) &&
+            read_checked(SpillStore::output_name(run.id), rr.verify.fp,
+                         &output) &&
+            std::is_sorted(output.begin(), output.end())) {
+          store->adopt(SpillStore::output_name(run.id),
+                       rr.verify.file_bytes);
+          spill_add(static_cast<std::int64_t>(output.size()) * kKeyBytes);
+          run.done = true;
+          run.output = std::move(output);
+          adopted = true;
+        }
+      }
+      if (!adopted) {
+        std::vector<Key> slice;
+        if (!read_checked(SpillStore::slice_name(run.id), rr.cut.fp, &slice))
+          throw std::runtime_error(
+              "recovery: run " + std::to_string(run.id) +
+              " slice file fails its journaled fingerprint — the journal "
+              "committed after the slice was durable, so this is disk "
+              "damage, not a crash artifact");
+        run.slice = std::move(slice);
+        ready.push_back(run.id);
+      }
+      ++report.recovered_runs;
+      runs[static_cast<std::size_t>(run.id)] = std::move(run);
+    }
+    journal->rewrite(live_records());
+  }
 
   // --- outage windows ----------------------------------------------------
   [[nodiscard]] bool domain_in_outage(int d, std::int64_t now) const {
@@ -262,7 +547,7 @@ struct StreamingSorter::Impl {
   }
 
   // --- ingest ------------------------------------------------------------
-  void ingest(std::int64_t batch, std::int64_t now) {
+  void ingest(std::int64_t batch, std::int64_t /*now*/) {
     const std::int64_t bytes = cfg.batch_keys * kKeyBytes;
     while (!ram.try_reserve(bytes)) {
       // Backpressure: shed resident bytes by cutting the fullest
@@ -282,6 +567,31 @@ struct StreamingSorter::Impl {
     chain = mix64(chain, batch_acc.finalize().checksum);
     ++report.batches;
     report.keys_ingested += static_cast<std::int64_t>(keys.size());
+
+    if (recovery != nullptr) {
+      // Mid-ingest recovery: every re-ingested batch must reproduce its
+      // journaled fingerprint — a mismatch means this journal belongs
+      // to a different stream, refused loudly, never absorbed.
+      ++report.reingested_batches;
+      if (batch < static_cast<std::int64_t>(recovery->batches.size())) {
+        const BatchIngestedRecord& rec =
+            recovery->batches[static_cast<std::size_t>(batch)];
+        if (rec.checksum != batch_acc.finalize().checksum ||
+            rec.chain_after != chain)
+          throw std::runtime_error(
+              "recovery: re-ingested batch " + std::to_string(batch) +
+              " does not reproduce its journaled fingerprint/chain — the "
+              "journal belongs to a different stream");
+      }
+    }
+    if (durable()) {
+      BatchIngestedRecord rec;
+      rec.batch = batch;
+      rec.keys = static_cast<std::int64_t>(keys.size());
+      rec.checksum = batch_acc.finalize().checksum;
+      rec.chain_after = chain;
+      journal->append(RecordType::kBatchIngested, rec.encode());
+    }
 
     if (!have_splitters) {
       const std::vector<Key> sample =
@@ -311,6 +621,17 @@ struct StreamingSorter::Impl {
         if (!buffers[static_cast<std::size_t>(r)].empty())
           cut_run(r, /*pressure=*/false);
       flushed = true;
+      if (durable()) {
+        IngestDoneRecord rec;
+        rec.batches = batches_ingested;
+        rec.ingest = ingest_acc.state();
+        rec.chain = chain;
+        rec.keys_ingested = report.keys_ingested;
+        rec.runs_total = static_cast<std::int64_t>(runs.size());
+        rec.padded_keys = report.padded_keys;
+        rec.forced_cuts = report.forced_cuts;
+        journal->append(RecordType::kIngestDone, rec.encode());
+      }
     }
   }
 
@@ -333,8 +654,66 @@ struct StreamingSorter::Impl {
     if (pressure) ++report.forced_cuts;
     report.padded_keys += run.pad;
     ++report.runs;
-    ready.push_back(run.id);
+
+    bool adopted = false;
+    if (durable()) {
+      run.slice_bytes = store->write_keys(SpillStore::slice_name(run.id),
+                                          run.slice);
+      RunDispatchedRecord rec;
+      rec.run = run.id;
+      rec.range = r;
+      rec.pad = run.pad;
+      rec.keys = take;
+      rec.fp = run.acc.state();
+      rec.file_bytes = run.slice_bytes;
+      journal->append(RecordType::kRunDispatched, rec.encode());
+      adopted = adopt_verified_cut(run);
+    }
+    if (!adopted) ready.push_back(run.id);
     runs.push_back(std::move(run));
+  }
+
+  /// Mid-ingest recovery short-circuit: a run the old journal proves
+  /// verified skips the backend — its re-cut slice must match the
+  /// journaled cut fingerprint (else the journal is for a different
+  /// stream), and its surviving output file must re-certify; a damaged
+  /// output falls back to normal dispatch from the fresh slice.
+  bool adopt_verified_cut(Run& run) {
+    if (recovery == nullptr) return false;
+    const RecoveredRun* match = nullptr;
+    for (const RecoveredRun& rr : recovery->runs)
+      if (rr.cut.run == run.id) {
+        match = &rr;
+        break;
+      }
+    if (match == nullptr) return false;
+    if (!(match->cut.fp == run.acc.state()) || match->cut.range != run.range ||
+        match->cut.pad != run.pad)
+      throw std::runtime_error(
+          "recovery: re-cut run " + std::to_string(run.id) +
+          " diverges from its journaled cut — the journal belongs to a "
+          "different stream");
+    if (!match->verified) return false;
+    std::vector<Key> output;
+    if (!read_checked(SpillStore::output_name(run.id), match->verify.fp,
+                      &output) ||
+        !std::is_sorted(output.begin(), output.end()))
+      return false;  // damaged output: re-dispatch from the fresh slice
+    store->adopt(SpillStore::output_name(run.id), match->verify.file_bytes);
+    spill_add(static_cast<std::int64_t>(output.size()) * kKeyBytes);
+    run.done = true;
+    run.output = std::move(output);
+    run.slice.clear();
+    run.slice.shrink_to_fit();
+    ++report.recovered_runs;
+    RunVerifiedRecord rec;
+    rec.run = run.id;
+    rec.keys = static_cast<std::int64_t>(run.output.size());
+    rec.fp = run.acc.state();
+    rec.file_bytes =
+        static_cast<std::int64_t>(run.output.size()) * kKeyBytes;
+    journal->append(RecordType::kRunVerified, rec.encode());
+    return true;
   }
 
   /// Relieves memory pressure by cutting the fullest partial run out to
@@ -468,7 +847,22 @@ struct StreamingSorter::Impl {
         run.done = true;
         spill_add(static_cast<std::int64_t>(out.size()) * kKeyBytes);
         run.output = std::move(out);
-        spill_release(static_cast<std::int64_t>(run.slice.size()) * kKeyBytes);
+        if (durable()) {
+          // Write-ahead: output durable, then the verify record.  The
+          // slice file (and its ledger bytes) is retained until seal so
+          // a lost output can still re-dispatch.
+          const std::int64_t file_bytes = store->write_keys(
+              SpillStore::output_name(run.id), run.output);
+          RunVerifiedRecord rec;
+          rec.run = run.id;
+          rec.keys = static_cast<std::int64_t>(run.output.size());
+          rec.fp = run.acc.state();
+          rec.file_bytes = file_bytes;
+          journal->append(RecordType::kRunVerified, rec.encode());
+        } else {
+          spill_release(static_cast<std::int64_t>(run.slice.size()) *
+                        kKeyBytes);
+        }
         run.slice.clear();
         run.slice.shrink_to_fit();
         latencies.push_back(now - fl.dispatched);
@@ -525,6 +919,10 @@ struct StreamingSorter::Impl {
       }
       if (!all_done) return;
       if (!any) {
+        if (durable()) {
+          seal_durable(next_seal, {}, FingerprintState{});
+          finish_seal_durable();
+        }
         ++report.ranges_sealed;
         ++report.empty_ranges;
         ++next_seal;
@@ -620,12 +1018,14 @@ struct StreamingSorter::Impl {
       last_sealed = pm.output.back();
       has_last_sealed = true;
     }
+    if (durable()) seal_durable(pm.range, pm.output, range_acc.state());
     for (Run& run : runs) {
       if (run.range != pm.range || run.output.empty()) continue;
       spill_release(static_cast<std::int64_t>(run.output.size()) * kKeyBytes);
       run.output.clear();
       run.output.shrink_to_fit();
     }
+    if (durable()) finish_seal_durable();
     emitted->insert(emitted->end(), pm.output.begin(), pm.output.end());
     ++report.ranges_sealed;
     ++next_seal;
@@ -634,9 +1034,15 @@ struct StreamingSorter::Impl {
   }
 
   StreamReport run() {
-    for (int b = 0; b < cfg.batches; ++b)
-      push({static_cast<std::int64_t>(b) * cfg.batch_interval, kArrival, 0, b,
-            0});
+    if (flushed) {
+      // Recovered post-flush: no batch ever re-arrives; one poke at
+      // t=0 kicks dispatch of the reloaded runs and the egress chain.
+      push({0, kRequeue, 0, -1, 0});
+    } else {
+      for (int b = 0; b < cfg.batches; ++b)
+        push({static_cast<std::int64_t>(b) * cfg.batch_interval, kArrival, 0,
+              b, 0});
+    }
 
     while (!events.empty()) {
       const Event e = events.top();
@@ -678,14 +1084,27 @@ struct StreamingSorter::Impl {
     report.chain_hash = chain;
     report.complete =
         next_seal == cfg.ranges && !failed && report.runs_failed == 0;
+    if (durable()) {
+      report.journal_records = journal->records_committed();
+      report.journal_bytes = journal->bytes_written();
+      report.journal_syncs = journal->syncs();
+      report.journal_compactions = journal->compactions();
+      report.journal_short_writes = io_clock->short_writes();
+      report.journal_dropped_syncs = io_clock->dropped_syncs();
+      report.io_read_corruptions = io_clock->read_corruptions();
+      report.spill_files = store->files_created();
+      report.spill_measured_high_bytes = store->measured_high();
+    }
     return report;
   }
 };
 
 StreamingSorter::StreamingSorter(const ProductGraph& pg,
                                  const StreamConfig& config,
-                                 ParallelExecutor* executor)
-    : impl_(std::make_unique<Impl>(pg, config, executor, &emitted_)) {}
+                                 ParallelExecutor* executor,
+                                 const RecoveryManifest* recovery)
+    : impl_(std::make_unique<Impl>(pg, config, executor, &emitted_,
+                                   recovery)) {}
 
 StreamingSorter::~StreamingSorter() = default;
 

@@ -55,6 +55,7 @@
 #include <vector>
 
 #include "core/multiway_merge.hpp"  // Key
+#include "durability/io_faults.hpp"
 #include "network/fault_model.hpp"  // OutageWindow
 #include "product/product_graph.hpp"
 #include "service/circuit_breaker.hpp"
@@ -63,6 +64,7 @@
 namespace prodsort {
 
 class ParallelExecutor;
+struct RecoveryManifest;
 
 /// Sentinel padding a short run up to run_keys; sorts above every real
 /// key (batch patterns generate keys far below it) and is stripped —
@@ -91,6 +93,16 @@ struct StreamConfig {
   std::int64_t backoff_base = 8;  ///< retry backoff: min(cap, base << (k-1))
   std::int64_t backoff_cap = 256;
   BreakerConfig breaker;
+
+  // Durability (docs/DURABILITY.md).  A non-empty journal_dir turns on
+  // the write-ahead journal and real spill files under that directory;
+  // io_faults injects deterministic short writes / dropped fsyncs /
+  // read corruption; kill_after_records arms the deterministic crash
+  // hook (the run throws DurabilityKill after the N-th journal record
+  // commits, leaving exactly what a power cut would).
+  std::string journal_dir;
+  IoFaultConfig io_faults;
+  std::int64_t kill_after_records = 0;
 };
 
 /// Parses the per-domain outage schedule ("D@FROM~UNTIL" joined by
@@ -111,9 +123,12 @@ class StreamingSorter {
   /// std::invalid_argument on a config the pipeline cannot honor
   /// (budget below one batch, no ranges/backends, r < 2 topologies are
   /// rejected by sort_block_network at dispatch, malformed outage
-  /// schedule).
+  /// schedule).  A non-null `recovery` (borrowed; must outlive run())
+  /// resumes the stream from a replayed journal instead of starting
+  /// fresh — see stream/recovery.hpp.
   StreamingSorter(const ProductGraph& pg, const StreamConfig& config,
-                  ParallelExecutor* executor = nullptr);
+                  ParallelExecutor* executor = nullptr,
+                  const RecoveryManifest* recovery = nullptr);
   ~StreamingSorter();
 
   StreamingSorter(const StreamingSorter&) = delete;
@@ -133,8 +148,10 @@ class StreamingSorter {
 
  private:
   struct Impl;
-  std::unique_ptr<Impl> impl_;
+  // emitted_ must be constructed before impl_: the Impl constructor
+  // replays recovered sealed ranges straight into it.
   std::vector<Key> emitted_;
+  std::unique_ptr<Impl> impl_;
 };
 
 }  // namespace prodsort

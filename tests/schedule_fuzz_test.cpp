@@ -21,6 +21,7 @@
 
 #include "core/block_sort.hpp"
 #include "core/verify.hpp"
+#include "durability/journal.hpp"
 #include "graph/labeled_factor.hpp"
 #include "network/block_machine.hpp"
 #include "network/fault_model.hpp"
@@ -340,6 +341,15 @@ StreamRepro random_stream_repro(std::mt19937_64& rng) {
               "@" + std::to_string(from) + "~" + std::to_string(until);
   }
   r.config.outage = outage;
+  // Half the lines are durable runs: the journal= token (the io-fault
+  // schedule) rides the line and must round-trip with everything else.
+  if (rng() & 1) {
+    r.journal = true;
+    r.config.io_faults.seed = rng();
+    r.config.io_faults.short_write_rate = kRates[rng() % 7];
+    r.config.io_faults.drop_sync_rate = kRates[rng() % 7];
+    r.config.io_faults.read_corrupt_rate = kRates[rng() % 7];
+  }
   return r;
 }
 
@@ -356,6 +366,8 @@ TEST(ScheduleFuzz, StreamReproRoundTripsRandomValidLines) {
     EXPECT_EQ(p.config.tear_rate, r.config.tear_rate);
     EXPECT_EQ(p.chain, r.chain);
     EXPECT_EQ(p.hash, r.hash);
+    EXPECT_EQ(p.journal, r.journal);
+    EXPECT_EQ(p.config.io_faults, r.config.io_faults);
     // And the outage schedule itself survives its own round trip under
     // the line's domain count.
     const int domains = std::min(p.config.domains, p.config.backends);
@@ -383,11 +395,143 @@ TEST(ScheduleFuzz, MutatedStreamReproLinesNeverCrash) {
       const std::string what = e.what();
       EXPECT_TRUE(what.find("STREAM-REPRO") != std::string::npos ||
                   what.find("missing required token") != std::string::npos ||
-                  what.find("outage token") != std::string::npos)
+                  what.find("outage token") != std::string::npos ||
+                  what.find("journal token") != std::string::npos)
           << "rejection must carry a named error, got: " << what;
     }
   }
   EXPECT_GT(rejected, 0) << "mutations should break at least some lines";
+}
+
+// --- durability: journal= token and record grammar ----------------------
+//
+// The journal's record stream is the third replayable grammar in the
+// repo (after the fault schedule and the repro lines) and gets the
+// same treatment: valid inputs round-trip bit-identically, mutated
+// ones are rejected with a *named* error, and nothing ever crashes.
+
+TEST(ScheduleFuzz, IoFaultTokenRoundTripsAndRejectsMutations) {
+  static const double kRates[] = {0, 0.5, 0.25, 0.125, 0.01, 0.001, 1e-05};
+  std::mt19937_64 rng(53);
+  int rejected = 0;
+  for (int iter = 0; iter < 500; ++iter) {
+    IoFaultConfig cfg;
+    cfg.seed = rng();
+    cfg.short_write_rate = kRates[rng() % 7];
+    cfg.drop_sync_rate = kRates[rng() % 7];
+    cfg.read_corrupt_rate = kRates[rng() % 7];
+    const std::string token = format_io_faults(cfg);
+    EXPECT_EQ(parse_io_faults(token), cfg)
+        << "parse(format(x)) must be the identity on " << token;
+
+    std::string mutated = token;
+    const std::size_t pos = rng() % mutated.size();
+    switch (rng() % 3) {
+      case 0: mutated[pos] = static_cast<char>('!' + rng() % 90); break;
+      case 1: mutated.erase(pos, 1); break;
+      default: mutated = mutated.substr(0, pos); break;
+    }
+    try {
+      const IoFaultConfig back = parse_io_faults(mutated);
+      // A mutation can land on another valid token (e.g. a digit of a
+      // seed); it must then parse to a *different* config or be the
+      // rare no-op-shaped edit — never mis-parse into silence.
+      (void)back;
+    } catch (const std::invalid_argument& e) {
+      ++rejected;
+      EXPECT_NE(std::string(e.what()).find("journal token"),
+                std::string::npos)
+          << "rejection must name the token, got: " << e.what();
+    }
+  }
+  EXPECT_GT(rejected, 0) << "mutations should break at least some tokens";
+}
+
+TEST(ScheduleFuzz, JournalRecordStreamsRoundTripAndRejectRot) {
+  std::mt19937_64 rng(54);
+  for (int iter = 0; iter < 200; ++iter) {
+    // A random valid record stream replays losslessly.
+    const std::size_t count = 1 + rng() % 8;
+    std::string buffer;
+    std::vector<std::string> payloads;
+    for (std::uint64_t seq = 1; seq <= count; ++seq) {
+      std::string payload(rng() % 64, '\0');
+      for (char& c : payload) c = static_cast<char>(rng() & 0xff);
+      payloads.push_back(payload);
+      buffer += encode_record(
+          seq, static_cast<RecordType>(1 + rng() % 8), payload);
+    }
+    const JournalReplay replay = replay_journal_buffer(buffer);
+    ASSERT_EQ(replay.records.size(), count);
+    EXPECT_FALSE(replay.torn_tail);
+    for (std::size_t i = 0; i < count; ++i)
+      EXPECT_EQ(replay.records[i].payload, payloads[i]);
+
+    // One flipped bit is always classified: rot (a named throw) when
+    // committed data follows, a discarded torn tail when it lands in
+    // the final record — never silently replayed as valid.
+    std::string rotted = buffer;
+    const std::size_t byte = rng() % rotted.size();
+    rotted[byte] = static_cast<char>(rotted[byte] ^ (1u << (rng() % 8)));
+    try {
+      const JournalReplay damaged = replay_journal_buffer(rotted);
+      EXPECT_TRUE(damaged.torn_tail)
+          << "an absorbed flip at byte " << byte << " must be a torn tail";
+      EXPECT_LT(damaged.records.size(), count);
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("journal corrupt"),
+                std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST(ScheduleFuzz, TypedJournalPayloadsRejectTruncationByName) {
+  // Every typed record refuses a truncated or padded payload with an
+  // error naming its own record type — corruption the CRC cannot see
+  // (the record committed fine; its *shape* is wrong).
+  FingerprintAccumulator acc;
+  acc.absorb(42);
+  const FingerprintState fp = acc.state();
+  const std::vector<std::pair<const char*, std::string>> encoded = {
+      {"batch-ingested", BatchIngestedRecord{1, 2, 3, 4}.encode()},
+      {"run-dispatched", RunDispatchedRecord{1, 2, 3, 4, fp, 5}.encode()},
+      {"run-verified", RunVerifiedRecord{1, 2, fp, 3}.encode()},
+      {"ingest-done", IngestDoneRecord{1, fp, 2, 3, 4, 5, 6}.encode()},
+      {"range-sealed", RangeSealedRecord{1, 2, fp, 1, 3, 4, 5}.encode()},
+      {"ledger-delta", LedgerDeltaRecord{1, 2, 3, 4}.encode()},
+      {"snapshot", SnapshotRecord{1, fp, 2, 3, 4, 5, 6}.encode()},
+  };
+  const auto decode = [](const char* name, const std::string& payload) {
+    const std::string_view p(payload);
+    if (std::string(name) == "batch-ingested")
+      (void)BatchIngestedRecord::decode(p);
+    else if (std::string(name) == "run-dispatched")
+      (void)RunDispatchedRecord::decode(p);
+    else if (std::string(name) == "run-verified")
+      (void)RunVerifiedRecord::decode(p);
+    else if (std::string(name) == "ingest-done")
+      (void)IngestDoneRecord::decode(p);
+    else if (std::string(name) == "range-sealed")
+      (void)RangeSealedRecord::decode(p);
+    else if (std::string(name) == "ledger-delta")
+      (void)LedgerDeltaRecord::decode(p);
+    else
+      (void)SnapshotRecord::decode(p);
+  };
+  for (const auto& [name, payload] : encoded) {
+    decode(name, payload);  // the intact payload parses
+    for (const std::string& bad :
+         {payload.substr(0, payload.size() / 2), payload + "x"}) {
+      try {
+        decode(name, bad);
+        FAIL() << name << " must reject a mis-shaped payload";
+      } catch (const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what()).find(name), std::string::npos)
+            << "error must name the record type, got: " << e.what();
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -67,6 +67,7 @@
 
 #include "core/hashing.hpp"
 #include "core/s2/snake_oet_s2.hpp"
+#include "durability/atomic_file.hpp"
 #include "repro_line.hpp"
 #include "service/router/pool_router.hpp"
 #include "service/sort_service.hpp"
@@ -105,6 +106,19 @@ bool write_file(const std::string& path, const std::string& content) {
   const bool ok =
       std::fwrite(content.data(), 1, content.size(), f) == content.size();
   return std::fclose(f) == 0 && ok;
+}
+
+/// Ledger persistence is atomic (write temp, fsync, rename): a crash
+/// mid-persist leaves at worst a stray FILE.tmp that the loud-failure
+/// loader never looks at — the previous ledger survives intact.
+bool persist_ledger(const std::string& path, const std::string& json) {
+  try {
+    write_file_atomic(path, json);
+    return true;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "warning: could not persist ledger: %s\n", e.what());
+    return false;
+  }
 }
 
 /// Derived per-backend fault schedules: odd faulty backends are
@@ -575,10 +589,8 @@ int main(int argc, char** argv) {
           !write_file(args.json_path, report.json()))
         std::fprintf(stderr, "warning: could not write %s\n",
                      args.json_path.c_str());
-      if (args.sdc_budget > 0 && !args.ledger_path.empty() &&
-          !write_file(args.ledger_path, run.ledger_json))
-        std::fprintf(stderr, "warning: could not write %s\n",
-                     args.ledger_path.c_str());
+      if (args.sdc_budget > 0 && !args.ledger_path.empty())
+        (void)persist_ledger(args.ledger_path, run.ledger_json);
       if (args.soak) {
         const int violations = check_router_invariants(args, report);
         if (violations != 0) {
@@ -614,10 +626,8 @@ int main(int argc, char** argv) {
     if (!args.json_path.empty() && !write_file(args.json_path, report.json()))
       std::fprintf(stderr, "warning: could not write %s\n",
                    args.json_path.c_str());
-    if (args.sdc_budget > 0 && !args.ledger_path.empty() &&
-        !write_file(args.ledger_path, run.ledger_json))
-      std::fprintf(stderr, "warning: could not write %s\n",
-                   args.ledger_path.c_str());
+    if (args.sdc_budget > 0 && !args.ledger_path.empty())
+      (void)persist_ledger(args.ledger_path, run.ledger_json);
     if (args.soak) {
       const int violations = check_invariants(args, report);
       if (violations != 0) {

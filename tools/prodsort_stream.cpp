@@ -1,5 +1,5 @@
 // prodsort_stream — deterministic streaming-ingestion driver
-// (docs/STREAMING.md).
+// (docs/STREAMING.md, docs/DURABILITY.md).
 //
 //   prodsort_stream [--seed S] [--batches B] [--batch-keys K]
 //                   [--pattern P] [--interval I] [--ranges R]
@@ -7,8 +7,10 @@
 //                   [--backends N] [--domains D] [--faulty F]
 //                   [--outage D@F~U ...] [--tear RATE] [--crash RATE]
 //                   [--retry R] [--size N] [--dims r] [--threads T]
-//                   [--json FILE]
+//                   [--json FILE] [--journal DIR] [--io-faults TOKEN]
+//                   [--kill-after-records N] [--out FILE]
 //   prodsort_stream --soak [same flags]
+//   prodsort_stream --recover DIR [--kill-after-records N] [--out FILE]
 //   prodsort_stream --repro STREAM-REPRO ...
 //
 // Runs a StreamingSorter over --batches seed-hashed batches: sample-
@@ -22,17 +24,34 @@
 // whole-run crashes and torn egress merges at the given per-attempt
 // rates.
 //
+// Durability: `--journal DIR` turns on the write-ahead journal and
+// real spill files under DIR; `--io-faults TOKEN` injects
+// deterministic short writes / dropped fsyncs / read corruption
+// (TOKEN = `ioseed@S+shortw@R+dropsync@R+corrupt@R`, or `none`);
+// `--kill-after-records N` crashes the process (exit 137, printing
+// DURABILITY-KILL) after the N-th journal record commits, leaving
+// exactly what a power cut would.  `--recover DIR` replays the
+// journal, discards a torn tail, re-verifies surviving runs against
+// their journaled fingerprints, re-dispatches what needs it, and
+// finishes the stream — the emitted output and the STREAM-FP line are
+// bit-identical to an uninterrupted run.  `--out FILE` writes the
+// emitted keys as raw binary so a recovered run can be byte-compared
+// (cmp) against an uninterrupted one.
+//
 // Every run prints one machine-readable STREAM-REPRO line; --repro
 // accepts that line (quoted or shell-split), replays the stream, and
 // exits nonzero unless both the certificate chain and the report hash
-// match bit-identically.
+// match bit-identically.  A journaled line carries a `journal=` token
+// and needs --journal DIR at replay time (the directory itself is
+// machine-local and never rides on the line).
 //
 // --soak is the streaming gate CI runs under sanitizers: default fault
 // pressure (crashes, tears, one faulty backend, an outage window) plus
 // hard invariant checks — conservation (every ingested key sealed
 // exactly once, fingerprints equal), zero certificate escapes, memory
-// high-water within the budget, and globally sorted emission — exit 1
-// with the repro line on any violation.
+// high-water within the budget, globally sorted emission, and (when
+// journaling) a spill ledger that reconciles against measured disk —
+// exit 1 with the repro line on any violation.
 
 #include <algorithm>
 #include <cinttypes>
@@ -42,8 +61,10 @@
 #include <stdexcept>
 #include <string>
 
+#include "durability/journal.hpp"
 #include "graph/labeled_factor.hpp"
 #include "network/parallel_executor.hpp"
+#include "stream/recovery.hpp"
 #include "stream_repro.hpp"
 
 using namespace prodsort;
@@ -52,6 +73,7 @@ namespace {
 
 struct StreamRun {
   StreamReport report;
+  std::vector<Key> emitted;
   bool emitted_sorted = false;
   std::int64_t emitted_keys = 0;
 };
@@ -64,6 +86,37 @@ bool write_file(const std::string& path, const std::string& content) {
   return std::fclose(f) == 0 && ok;
 }
 
+/// Raw little-endian i64 image of the emitted keys — the byte format a
+/// recovered run is `cmp`'d against in the durability-soak gate.
+std::string pack_emitted(const std::vector<Key>& keys) {
+  std::string out;
+  out.reserve(keys.size() * sizeof(Key));
+  for (const Key key : keys) {
+    const auto u = static_cast<std::uint64_t>(key);
+    for (int b = 0; b < 8; ++b)
+      out.push_back(static_cast<char>((u >> (8 * b)) & 0xff));
+  }
+  return out;
+}
+
+/// The stream's data identity, independent of *how* the keys got out:
+/// a recovered run legitimately differs from an uninterrupted one in
+/// work counters (so report.hash() differs) but must match this line
+/// bit-for-bit.
+void print_stream_fp(const StreamReport& report) {
+  std::printf("STREAM-FP keys=%lld chain=%" PRIu64 " ingest=%" PRIu64
+              " sealed=%" PRIu64 "\n",
+              static_cast<long long>(report.keys_emitted), report.chain_hash,
+              report.ingest_fp.checksum, report.sealed_fp.checksum);
+}
+
+void finish_run(StreamRun& run) {
+  run.emitted_keys = static_cast<std::int64_t>(run.emitted.size());
+  run.emitted_sorted = true;
+  for (std::size_t i = 1; i < run.emitted.size(); ++i)
+    if (run.emitted[i - 1] > run.emitted[i]) run.emitted_sorted = false;
+}
+
 StreamRun run_stream(const StreamRepro& args) {
   const LabeledFactor factor = labeled_cycle(args.size);
   const ProductGraph pg(factor, args.dims);
@@ -71,11 +124,8 @@ StreamRun run_stream(const StreamRepro& args) {
   StreamingSorter sorter(pg, args.config, &executor);
   StreamRun run;
   run.report = sorter.run();
-  const std::vector<Key>& emitted = sorter.emitted();
-  run.emitted_keys = static_cast<std::int64_t>(emitted.size());
-  run.emitted_sorted = true;
-  for (std::size_t i = 1; i < emitted.size(); ++i)
-    if (emitted[i - 1] > emitted[i]) run.emitted_sorted = false;
+  run.emitted = sorter.emitted();
+  finish_run(run);
   return run;
 }
 
@@ -116,11 +166,26 @@ int check_invariants(const StreamRepro& args, const StreamRun& run) {
                 static_cast<long long>(run.emitted_keys));
     ++violations;
   }
+  if (report.spill_reconcile_failures != 0) {
+    std::printf("VIOLATION: spill ledger — %lld reconciliation failure(s),"
+                " the byte model disagrees with measured disk\n",
+                static_cast<long long>(report.spill_reconcile_failures));
+    ++violations;
+  }
   return violations;
 }
 
-int run_repro(const std::string& line) {
+int run_repro(const std::string& line, const std::string& journal_dir) {
   StreamRepro args = parse_stream_repro(line);
+  if (args.journal && journal_dir.empty()) {
+    std::fprintf(stderr,
+                 "--repro: this line carries a journal= token (a durable"
+                 " run); supply a scratch directory with --journal DIR"
+                 " (before --repro, which consumes the rest of the"
+                 " command line) to replay it\n");
+    return 2;
+  }
+  if (args.journal) args.config.journal_dir = journal_dir;
   const std::uint64_t expect_chain = args.chain;
   const std::uint64_t expect_hash = args.hash;
   const StreamRun run = run_stream(args);
@@ -147,6 +212,8 @@ int main(int argc, char** argv) {
   bool outage_set = false;
   std::string json_path;
   std::string repro_line;
+  std::string recover_dir;
+  std::string out_path;
   for (int i = 1; i < argc; ++i) {
     const auto has_value = [&](const char* flag) {
       return std::strcmp(argv[i], flag) == 0 && i + 1 < argc;
@@ -176,6 +243,20 @@ int main(int argc, char** argv) {
     else if (has_value("--dims")) args.dims = std::atoi(argv[++i]);
     else if (has_value("--threads")) args.threads = std::atoi(argv[++i]);
     else if (has_value("--json")) json_path = argv[++i];
+    else if (has_value("--journal")) {
+      cfg.journal_dir = argv[++i];
+      args.journal = true;
+    } else if (has_value("--io-faults")) {
+      try {
+        cfg.io_faults = parse_io_faults(argv[++i]);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "--io-faults: %s\n", e.what());
+        return 2;
+      }
+    } else if (has_value("--kill-after-records"))
+      cfg.kill_after_records = std::atoll(argv[++i]);
+    else if (has_value("--recover")) recover_dir = argv[++i];
+    else if (has_value("--out")) out_path = argv[++i];
     else if (std::strcmp(argv[i], "--soak") == 0) soak = true;
     else if (std::strcmp(argv[i], "--repro") == 0) {
       repro_line = ReproLine::rejoin_args(argc, argv, i + 1);
@@ -192,17 +273,93 @@ int main(int argc, char** argv) {
                    " [--domains D] [--faulty F] [--outage D@F~U]"
                    " [--tear RATE] [--crash RATE] [--retry R] [--size N]"
                    " [--dims r] [--threads T] [--json FILE]"
+                   " [--journal DIR] [--io-faults TOKEN]"
+                   " [--kill-after-records N] [--out FILE]"
+                   " [--recover DIR]"
                    " [--soak] [--repro STREAM-REPRO-line]\n",
                    argv[0]);
       return 2;
     }
   }
 
+  if (cfg.io_faults.any() && cfg.journal_dir.empty() && recover_dir.empty()) {
+    std::fprintf(stderr,
+                 "--io-faults injects into the durability layer; it needs"
+                 " --journal DIR (or --recover DIR)\n");
+    return 2;
+  }
+  if (cfg.kill_after_records != 0 && cfg.journal_dir.empty() &&
+      recover_dir.empty()) {
+    std::fprintf(stderr,
+                 "--kill-after-records counts journal records; it needs"
+                 " --journal DIR (or --recover DIR)\n");
+    return 2;
+  }
+
   if (!repro_line.empty()) {
     try {
-      return run_repro(repro_line);
+      return run_repro(repro_line, cfg.journal_dir);
+    } catch (const DurabilityKill& kill) {
+      std::printf("DURABILITY-KILL after %lld journal record(s) — journal"
+                  " truncated to its synced prefix\n",
+                  static_cast<long long>(kill.records));
+      return 137;
     } catch (const std::exception& e) {
       std::fprintf(stderr, "--repro: malformed line: %s\n", e.what());
+      return 2;
+    }
+  }
+
+  if (!recover_dir.empty()) {
+    try {
+      ParallelExecutor executor(args.threads);
+      const StreamRecoveryResult result =
+          recover_stream(recover_dir, &executor, cfg.kill_after_records);
+      StreamRun run;
+      run.report = result.report;
+      run.emitted = result.emitted;
+      finish_run(run);
+      std::printf("recovered stream from %s: %lld journal record(s)"
+                  " replayed, %lld torn-tail byte(s) discarded, %lld run(s)"
+                  " and %lld range(s) restored from disk, %lld batch(es)"
+                  " re-ingested\n\n%s\n\n",
+                  recover_dir.c_str(),
+                  static_cast<long long>(run.report.replayed_records),
+                  static_cast<long long>(run.report.torn_tail_bytes),
+                  static_cast<long long>(run.report.recovered_runs),
+                  static_cast<long long>(run.report.recovered_ranges),
+                  static_cast<long long>(run.report.reingested_batches),
+                  run.report.summary().c_str());
+      print_stream_fp(run.report);
+      if (!run.emitted_sorted) {
+        std::printf("VIOLATION: recovered emission not globally sorted"
+                    " across %lld keys\n",
+                    static_cast<long long>(run.emitted_keys));
+        return 1;
+      }
+      if (run.report.spill_reconcile_failures != 0) {
+        std::printf("VIOLATION: spill ledger — %lld reconciliation"
+                    " failure(s) after recovery\n",
+                    static_cast<long long>(
+                        run.report.spill_reconcile_failures));
+        return 1;
+      }
+      if (!out_path.empty() &&
+          !write_file(out_path, pack_emitted(run.emitted))) {
+        std::fprintf(stderr, "error: could not write %s\n", out_path.c_str());
+        return 1;
+      }
+      if (!json_path.empty() && !write_file(json_path, run.report.json()))
+        std::fprintf(stderr, "warning: could not write %s\n",
+                     json_path.c_str());
+      return 0;
+    } catch (const DurabilityKill& kill) {
+      std::printf("DURABILITY-KILL after %lld journal record(s) — journal"
+                  " truncated to its synced prefix\n",
+                  static_cast<long long>(kill.records));
+      return 137;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "prodsort_stream --recover: %s\n", e.what());
       return 2;
     }
   }
@@ -238,6 +395,11 @@ int main(int argc, char** argv) {
                 static_cast<long long>(cfg.budget_bytes),
                 report.summary().c_str());
     std::printf("%s\n", format_stream_repro(args).c_str());
+    print_stream_fp(report);
+    if (!out_path.empty() && !write_file(out_path, pack_emitted(run.emitted))) {
+      std::fprintf(stderr, "error: could not write %s\n", out_path.c_str());
+      return 1;
+    }
     if (!json_path.empty() && !write_file(json_path, report.json()))
       std::fprintf(stderr, "warning: could not write %s\n", json_path.c_str());
     if (soak) {
@@ -256,6 +418,11 @@ int main(int argc, char** argv) {
                   static_cast<long long>(report.merge_rollbacks));
     }
     return 0;
+  } catch (const DurabilityKill& kill) {
+    std::printf("DURABILITY-KILL after %lld journal record(s) — journal"
+                " truncated to its synced prefix\n",
+                static_cast<long long>(kill.records));
+    return 137;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "prodsort_stream: %s\n", e.what());
     return 2;

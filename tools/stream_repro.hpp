@@ -37,6 +37,12 @@ struct StreamRepro {
   int threads = 1;
   std::uint64_t chain = 0;  ///< expected StreamReport::chain_hash
   std::uint64_t hash = 0;   ///< expected StreamReport::hash()
+  /// True when the run was journaled (docs/DURABILITY.md): the line
+  /// then carries a `journal=` token holding the io-fault schedule
+  /// (`none` for no injected faults).  The journal *directory* is
+  /// machine-local and never rides on the line — a replay must supply
+  /// its own via --journal.
+  bool journal = false;
 };
 
 namespace stream_repro_detail {
@@ -106,6 +112,11 @@ inline std::string format_stream_repro(const StreamRepro& r) {
   // fixed buffer.  Omitted entirely when there are no windows, and
   // guaranteed space-free by format_domain_outages.
   if (!r.config.outage.empty()) line += " outage=" + r.config.outage;
+  // journal= marks a durable run and round-trips the io-fault schedule
+  // (`none` when journaling ran fault-free); absent entirely when the
+  // run was not journaled.
+  if (r.journal || !r.config.journal_dir.empty())
+    line += " journal=" + format_io_faults(r.config.io_faults);
   return line;
 }
 
@@ -148,6 +159,12 @@ inline StreamRepro parse_stream_repro(const std::string& line) {
     // mid-replay; parse_domain_outages names the bad token.
     (void)parse_domain_outages(r.config.outage,
                                std::min(r.config.domains, r.config.backends));
+  }
+  if (repro.has("journal")) {
+    r.journal = true;
+    // parse_io_faults throws std::invalid_argument naming the malformed
+    // subtoken — same eager-failure discipline as the outage schedule.
+    r.config.io_faults = parse_io_faults(repro.get("journal"));
   }
   return r;
 }
